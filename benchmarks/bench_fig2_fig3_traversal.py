@@ -1,0 +1,75 @@
+"""Figures 2 & 3 — traversal orders and operation sets on 8-OTU trees.
+
+Paper claims reproduced exactly:
+
+* Fig. 2: the balanced 8-OTU tree needs ``n − 1 = 7`` serial subtree
+  calculations in post-order, but only ``ceil(log2 8) = 3`` concurrent
+  operation sets in reverse level-order.
+* Fig. 3: the pectinate 8-OTU tree needs 7 sets however traversed — until
+  it is optimally rerooted, after which ``ceil(8/2) = 4`` sets suffice.
+
+The benchmark measures the schedule-construction kernel itself
+(reverse level-order + greedy set building).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.core import (
+    build_operation_sets,
+    count_operation_sets,
+    make_plan,
+    optimal_reroot_exhaustive,
+    reverse_levelorder_operations,
+    set_index_by_node,
+)
+from repro.trees import balanced_tree, pectinate_tree, render_schedule
+
+
+def collect_rows():
+    balanced = balanced_tree(8, names=list("abcdefgh"))
+    pectinate = pectinate_tree(8, names=list("abcdefgh"))
+    rerooted = optimal_reroot_exhaustive(pectinate).tree
+    rows = []
+    for label, tree in [
+        ("Fig2 balanced", balanced),
+        ("Fig3 pectinate", pectinate),
+        ("Fig3 pectinate rerooted", rerooted),
+    ]:
+        rows.append(
+            {
+                "case": label,
+                "serial operations": tree.n_tips - 1,
+                "operation sets": count_operation_sets(tree),
+                "set sizes": "+".join(map(str, make_plan(tree).set_sizes)),
+            }
+        )
+    return rows, balanced, pectinate, rerooted
+
+
+def test_fig2_fig3_tables(benchmark, results_dir):
+    rows, balanced, pectinate, rerooted = collect_rows()
+
+    # Paper's exact numbers.
+    assert rows[0]["operation sets"] == 3
+    assert rows[1]["operation sets"] == 7
+    assert rows[2]["operation sets"] == 4
+
+    text = format_table(rows, title="Figures 2-3: operation sets for 8-OTU trees")
+    text += "\nFig. 2 (balanced, sets annotated):\n"
+    text += render_schedule(balanced, set_index_by_node(balanced)) + "\n"
+    text += "\nFig. 3 upper (pectinate):\n"
+    text += render_schedule(pectinate, set_index_by_node(pectinate)) + "\n"
+    text += "\nFig. 3 lower (optimally rerooted):\n"
+    text += render_schedule(rerooted, set_index_by_node(rerooted)) + "\n"
+    emit(results_dir, "fig2_fig3_traversal.md", text)
+
+    # Kernel under measurement: schedule construction for the rerooted tree.
+    def build():
+        ops = reverse_levelorder_operations(rerooted)
+        return build_operation_sets(ops)
+
+    sets = benchmark(build)
+    assert len(sets) == 4

@@ -1,0 +1,89 @@
+"""Figure 4 — kernel launches before vs after optimal rerooting.
+
+Paper setup: 100 randomly generated 256-OTU trees; for each, the number of
+required operation sets (GPU kernel launches) with the arbitrary original
+rooting and with optimal rerooting.
+
+Shape claims checked:
+
+* rerooting never increases the launch count,
+* the launch count is reduced by up to ~half for the least balanced trees,
+* typically at least one tree in a large sample is already optimal
+  (paper: a 26-set tree gained nothing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.bench import Series, ascii_plot, format_table, summarize_interval
+from repro.core import count_operation_sets, optimal_reroot_fast
+from repro.trees import random_attachment_tree
+
+
+N_TREES = 100
+N_TAXA = 256
+
+
+def collect(n_trees: int = N_TREES, n_taxa: int = N_TAXA):
+    pairs = []
+    for seed in range(1, n_trees + 1):
+        tree = random_attachment_tree(n_taxa, seed)
+        before = count_operation_sets(tree)
+        result = optimal_reroot_fast(tree)
+        pairs.append((seed, before, result.operation_sets))
+    return pairs
+
+
+def test_fig4_launch_reduction(benchmark, results_dir, full_scale):
+    n_trees = N_TREES if full_scale else 40
+    pairs = collect(n_trees=n_trees)
+    before = np.array([b for _, b, _ in pairs])
+    after = np.array([a for _, _, a in pairs])
+
+    # Shape claims.
+    assert np.all(after <= before)
+    assert np.min(after / before) < 0.65  # strong reductions exist
+    assert np.any(after == before) or np.min(before) > np.min(after)
+
+    ratio = after / before
+    rows = [
+        {"statistic": "trees", "value": len(pairs)},
+        {"statistic": "taxa per tree", "value": N_TAXA},
+        {"statistic": "launches before (range)", "value": summarize_interval(before.tolist())},
+        {"statistic": "launches after (range)", "value": summarize_interval(after.tolist())},
+        {"statistic": "mean reduction factor", "value": f"{float(np.mean(before / after)):.2f}"},
+        {"statistic": "max reduction factor", "value": f"{float(np.max(before / after)):.2f}"},
+        {"statistic": "trees already optimal", "value": int(np.sum(after == before))},
+    ]
+    text = format_table(
+        rows, title="Figure 4: kernel launches for random 256-OTU trees"
+    )
+    scatter = [
+        {"seed": s, "launches_original": b, "launches_rerooted": a}
+        for s, b, a in pairs[:20]
+    ]
+    text += "\n" + format_table(scatter, title="First 20 trees (scatter data)")
+    # The paper's Figure 4 scatter: rerooted vs original launches, with
+    # the no-change diagonal drawn as dots.
+    diag = list(range(int(before.min()), int(before.max()) + 1, 2))
+    text += "\n```\n" + ascii_plot(
+        [
+            Series(diag, diag, ".", "no change"),
+            Series(before.tolist(), after.tolist(), "o", "tree"),
+        ],
+        xlabel="launches with original rooting",
+        ylabel="launches after optimal rerooting",
+        title="Figure 4 (reproduced)",
+    ) + "\n```\n"
+    emit(results_dir, "fig4_opsets.md", text)
+
+    # Kernel under measurement: one tree's full reroot-and-count pipeline.
+    tree = random_attachment_tree(N_TAXA, 1)
+
+    def reroot_and_count():
+        return optimal_reroot_fast(tree).operation_sets
+
+    result = benchmark(reroot_and_count)
+    assert result <= count_operation_sets(tree)

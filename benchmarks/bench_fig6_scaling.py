@@ -1,0 +1,106 @@
+"""Figure 6 — throughput vs tree size across topology types.
+
+Paper setup: 512 patterns; tree sizes 16 … 4,096 OTUs; balanced,
+pectinate and 1,000 random topologies, the latter two with and without
+rerooting.
+
+Shape claims checked:
+
+* pectinate throughput is flat in n (fully serial — this line equals the
+  no-subtree-concurrency baseline for any topology, per the paper's note),
+* rerooted pectinate sits just under 2× above it, with the best-case
+  speedup in the paper's 1.9x band for n ≥ ~256,
+* balanced throughput grows with n and flattens (device saturation),
+* random trees sit between pectinate and balanced, improve with
+  rerooting, and their distribution skews toward balanced as n grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.bench import Series, ascii_plot, format_table, run_case, sweep_random_trees
+from repro.core import optimal_reroot_fast
+from repro.gpu import simulate_tree
+from repro.trees import pectinate_tree
+
+
+def test_fig6_scaling(benchmark, results_dir, full_scale):
+    sizes = (16, 64, 256, 1024, 4096) if full_scale else (16, 64, 256, 1024)
+    n_random = 50 if full_scale else 12
+    rows = []
+    by_size = {}
+    for n in sizes:
+        balanced = run_case("balanced", n, 512)
+        pectinate = run_case("pectinate", n, 512)
+        pect_reroot = run_case("pectinate", n, 512, reroot=True)
+        sample = sweep_random_trees(n, n_random, 512)
+        sample_reroot = sweep_random_trees(n, n_random, 512, reroot=True)
+        random_g = np.array([c.gflops for c in sample])
+        random_rg = np.array([c.gflops for c in sample_reroot])
+        by_size[n] = (balanced, pectinate, pect_reroot, random_g, random_rg)
+        rows.append(
+            {
+                "otus": n,
+                "balanced": f"{balanced.gflops:.2f}",
+                "pectinate": f"{pectinate.gflops:.2f}",
+                "pectinate rerooted": f"{pect_reroot.gflops:.2f}",
+                "random (median)": f"{float(np.median(random_g)):.2f}",
+                "random rerooted (median)": f"{float(np.median(random_rg)):.2f}",
+            }
+        )
+    text = format_table(
+        rows, title="Figure 6: throughput (GFLOPS) vs tree size, 512 patterns"
+    )
+    sizes_list = list(sizes)
+    text += "\n```\n" + ascii_plot(
+        [
+            Series(sizes_list, [by_size[n][0].gflops for n in sizes], "B", "balanced"),
+            Series(sizes_list, [float(np.median(by_size[n][3])) for n in sizes], "r", "random (median)"),
+            Series(sizes_list, [float(np.median(by_size[n][4])) for n in sizes], "R", "random rerooted"),
+            Series(sizes_list, [by_size[n][2].gflops for n in sizes], "P", "pectinate rerooted"),
+            Series(sizes_list, [by_size[n][1].gflops for n in sizes], "p", "pectinate"),
+        ],
+        xlabel="tips (log scale)",
+        ylabel="modelled GFLOPS (log scale)",
+        title="Figure 6 (reproduced)",
+        logx=True,
+        logy=True,
+    ) + "\n```\n"
+    emit(results_dir, "fig6_scaling.md", text)
+
+    # --- Shape assertions --------------------------------------------
+    pect_line = [by_size[n][1].gflops for n in sizes]
+    assert max(pect_line) / min(pect_line) < 1.05  # flat
+
+    bal_line = [by_size[n][0].gflops for n in sizes]
+    assert all(a < b for a, b in zip(bal_line, bal_line[1:]))  # growing
+    # flattening growth (saturation)
+    growth = [b / a for a, b in zip(bal_line, bal_line[1:])]
+    assert growth[-1] < growth[0]
+
+    for n in sizes:
+        balanced, pectinate, pect_reroot, random_g, random_rg = by_size[n]
+        # ordering: pectinate <= random <= balanced-ish ceiling
+        assert pectinate.gflops <= np.median(random_g) + 1e-9
+        assert np.all(random_rg >= random_g - 1e-9)
+        # rerooted pectinate ~2x pectinate
+        ratio = pect_reroot.gflops / pectinate.gflops
+        assert 1.5 < ratio < 2.0
+        if n >= 256:
+            assert ratio > 1.8  # the paper's 1.93x band at large n
+
+    # Random distribution skews toward balanced with size: the median
+    # random/balanced throughput ratio increases with n.
+    ratios = [float(np.median(by_size[n][3]) / by_size[n][0].gflops) for n in sizes]
+    assert ratios[-1] > ratios[0]
+
+    # Kernel under measurement: simulated evaluation at the largest size.
+    big = optimal_reroot_fast(pectinate_tree(sizes[-1])).tree
+
+    def evaluate():
+        return simulate_tree(big).seconds
+
+    seconds = benchmark(evaluate)
+    assert seconds > 0

@@ -1,0 +1,84 @@
+"""Extension — periodic rerooting during the search (paper §VIII, factor 3).
+
+The paper conjectures that "further balanced rerootings, later in the
+search process, might result in further performance gains, and this
+remains an issue to be studied". This benchmark studies it: the same
+pectinate-start MCMC chain is run with rerooting never / every 50 / every
+10 iterations, and the total launch count and modelled device time are
+compared. Because topology moves drift the working tree away from any
+fixed rooting, periodic rerooting keeps the launch economics near
+optimal at negligible host cost (the O(n) DP per rerooting).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench import format_table
+from repro.data import simulate_alignment
+from repro.inference import TreeLikelihood, run_mcmc
+from repro.models import HKY85
+from repro.trees import pectinate_tree
+
+
+def test_periodic_rerooting(benchmark, results_dir, full_scale):
+    n_taxa = 48 if full_scale else 32
+    iterations = 300 if full_scale else 120
+    model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+    tree = pectinate_tree(n_taxa, branch_length=0.15)
+    aln = simulate_alignment(tree, model, 96, seed=111)
+
+    def chain(reroot_every):
+        ev = TreeLikelihood(tree, model, aln)
+        return run_mcmc(
+            ev, iterations, seed=112, reroot_every=reroot_every,
+            nni_probability=0.5,
+        )
+
+    never = chain(0)
+    sparse = chain(50)
+    frequent = chain(10)
+
+    rows = []
+    for label, result in [
+        ("never", never),
+        ("every 50 iterations", sparse),
+        ("every 10 iterations", frequent),
+    ]:
+        rows.append(
+            {
+                "rerooting": label,
+                "rerootings applied": result.rerootings,
+                "kernel launches": result.kernel_launches,
+                "device seconds": f"{result.device_seconds:.4f}",
+                "speedup vs never": f"{never.device_seconds / result.device_seconds:.2f}x",
+            }
+        )
+    emit(
+        results_dir,
+        "mcmc_periodic_reroot.md",
+        format_table(
+            rows,
+            title=f"Extension (§VIII): periodic rerooting during MCMC "
+            f"({n_taxa} taxa, {iterations} iterations, pectinate start)",
+        ),
+    )
+
+    # Both cadences rebalance at least once. (How *many* times is not
+    # monotone in the cadence: a frequently-checked chain stays balanced
+    # after its first rebalance, while a rarely-checked one drifts further
+    # between checks and may need several.)
+    assert sparse.rerootings >= 1
+    assert frequent.rerootings >= 1
+    assert frequent.kernel_launches < never.kernel_launches
+    assert frequent.device_seconds < never.device_seconds
+    # More frequent rerooting keeps the tree better balanced overall.
+    assert frequent.device_seconds <= sparse.device_seconds * 1.05
+
+    def short_chain():
+        ev = TreeLikelihood(tree, model, aln)
+        return run_mcmc(ev, 10, seed=113, reroot_every=5)
+
+    result = benchmark.pedantic(short_chain, rounds=1, iterations=1)
+    assert result.proposed == 10

@@ -1,0 +1,80 @@
+"""Supplementary — device-memory budget across problem sizes.
+
+The paper's device (Table I) pairs its 3,584 cores with 16 GB of HBM2.
+Partials buffers dominate the budget at ``(n−1) · C · P · S`` floats,
+so tree size, pattern count, state count and precision together decide
+the largest problem a card holds — the practical boundary of the
+strong-scaling story in §I. This benchmark tabulates the engine's real
+buffer footprints (exact byte counts from live instances) across the
+paper's problem grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.bench import format_table
+from repro.core import create_instance
+from repro.data import random_patterns
+from repro.models import GY94, JC69, Poisson, discrete_gamma
+from repro.trees import balanced_tree
+
+GP100_MEMORY_BYTES = 16 * 1024**3
+
+
+def footprint(n_taxa, sites, model, categories=1, dtype=np.float64):
+    tree = balanced_tree(n_taxa)
+    patterns = random_patterns(tree.tip_names(), sites, seed=1, alphabet=model.alphabet)
+    rates = discrete_gamma(0.5, categories) if categories > 1 else None
+    instance = create_instance(tree, model, patterns, rates=rates, dtype=dtype)
+    return instance.memory_footprint()
+
+
+def test_memory_budget(benchmark, results_dir, full_scale):
+    cases = [
+        ("DNA, 512 patterns", 256, 512, JC69(), 1),
+        ("DNA, 512 patterns, G4", 256, 512, JC69(), 4),
+        ("DNA, 4096 patterns", 256, 4096, JC69(), 1),
+        ("protein, 512 patterns", 256, 512, Poisson(), 1),
+        ("codon, 512 patterns", 64, 512, GY94(), 1),
+    ]
+    if full_scale:
+        cases.append(("DNA, paper max tree", 4096, 512, JC69(), 1))
+
+    rows = []
+    for label, n, sites, model, categories in cases:
+        double = footprint(n, sites, model, categories)
+        single = footprint(n, sites, model, categories, dtype=np.float32)
+        rows.append(
+            {
+                "workload": label,
+                "taxa": n,
+                "partials MB (double)": f"{double['partials'] / 1e6:.1f}",
+                "total MB (double)": f"{double['total'] / 1e6:.1f}",
+                "total MB (single)": f"{single['total'] / 1e6:.1f}",
+                "% of GP100 16GB": f"{100 * double['total'] / GP100_MEMORY_BYTES:.2f}",
+            }
+        )
+    emit(
+        results_dir,
+        "memory_budget.md",
+        format_table(rows, title="Supplementary: engine memory budget"),
+    )
+
+    # Structural claims: categories multiply partials; codon states
+    # dominate despite fewer taxa; single precision ~halves partials.
+    base = footprint(256, 512, JC69(), 1)
+    g4 = footprint(256, 512, JC69(), 4)
+    assert g4["partials"] == 4 * base["partials"]
+    codon = footprint(64, 512, GY94(), 1)
+    assert codon["partials"] > base["partials"]  # 61 states vs 4
+    single = footprint(256, 512, JC69(), 1, dtype=np.float32)
+    assert single["partials"] * 2 == base["partials"]
+    # Everything in the paper's grid fits the GP100 comfortably.
+    assert all(
+        float(r["% of GP100 16GB"]) < 50.0 for r in rows
+    )
+
+    benchmark(footprint, 64, 512, JC69(), 1)

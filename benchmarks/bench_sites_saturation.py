@@ -1,0 +1,71 @@
+"""Supplementary — concurrency gains vs problem size (paper §VI rationale).
+
+The paper fixes ``--sites 512`` "to avoid saturating the GPU when
+computing the partial likelihood at a single node, thus allowing gains
+from concurrent computation of multiple nodes", citing its reference [3]
+performance curve. This benchmark regenerates that rationale: as the
+pattern count grows, a single operation fills the device by itself, so
+the concurrent-over-serial speedup (and hence the value of rerooting)
+decays toward 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench import Series, ascii_plot, format_table
+from repro.core import optimal_reroot_fast
+from repro.gpu import GP100, WorkloadDims, simulated_speedup
+from repro.trees import balanced_tree, pectinate_tree
+
+
+SITES = (64, 256, 1024, 4096, 16384, 65536)
+
+
+def test_sites_saturation(benchmark, results_dir):
+    balanced = balanced_tree(64)
+    rerooted = optimal_reroot_fast(pectinate_tree(64)).tree
+    rows = []
+    bal_speedups = []
+    reroot_speedups = []
+    for sites in SITES:
+        s_bal = simulated_speedup(balanced, patterns=sites)
+        s_reroot = simulated_speedup(rerooted, patterns=sites)
+        bal_speedups.append(s_bal)
+        reroot_speedups.append(s_reroot)
+        rows.append(
+            {
+                "site patterns": sites,
+                "threads per op": sites * 4,
+                "balanced speedup": f"{s_bal:.2f}x",
+                "rerooted pectinate speedup": f"{s_reroot:.2f}x",
+            }
+        )
+    text = format_table(
+        rows,
+        title="Supplementary: concurrency speedup vs pattern count (64 OTUs)",
+    )
+    text += "\n```\n" + ascii_plot(
+        [
+            Series(list(SITES), bal_speedups, "B", "balanced"),
+            Series(list(SITES), reroot_speedups, "P", "pectinate rerooted"),
+        ],
+        xlabel="site patterns (log scale)",
+        ylabel="concurrent/serial speedup",
+        title="Device saturation vs problem size",
+        logx=True,
+    ) + "\n```\n"
+    emit(results_dir, "sites_saturation.md", text)
+
+    # The paper's rationale, as assertions:
+    # 1. speedups decay monotonically with the pattern count;
+    assert all(b >= a - 1e-9 for a, b in zip(bal_speedups[::-1], bal_speedups[-2::-1]))
+    assert all(b >= a - 1e-9 for a, b in zip(reroot_speedups[::-1], reroot_speedups[-2::-1]))
+    # 2. at 512-ish patterns there is still substantial headroom;
+    assert simulated_speedup(balanced, patterns=512) > 3.0
+    # 3. at huge pattern counts one node saturates the device: gains die.
+    assert bal_speedups[-1] < 1.5
+    assert reroot_speedups[-1] < 1.2
+
+    benchmark(simulated_speedup, balanced, patterns=512)

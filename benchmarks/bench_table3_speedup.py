@@ -1,0 +1,98 @@
+"""Table III — proportion of theoretical speedup realised, 64 OTUs, 512 patterns.
+
+Paper rows: balanced / pectinate / pectinate rerooted / random (100
+trees) / random rerooted. Columns: theoretical expectation, measured
+GP100 speedup, realised fraction.
+
+Shape claims checked:
+
+* no modelled speedup exceeds its theoretical bound,
+* the balanced tree realises much less than half of its 10.5× bound
+  (device saturation; paper: 0.38),
+* the rerooted pectinate tree approaches but does not reach 2×,
+* random intervals are ordered correctly and shift upward with rerooting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.bench import format_table, run_case, summarize_interval, sweep_random_trees
+from repro.core import speedup_balanced, speedup_pectinate_rerooted
+
+N = 64
+SITES = 512
+
+
+def test_table3(benchmark, results_dir, full_scale):
+    n_random = 100 if full_scale else 30
+
+    balanced = run_case("balanced", N, SITES)
+    pectinate = run_case("pectinate", N, SITES)
+    pect_rerooted = run_case("pectinate", N, SITES, reroot=True)
+    random_plain = sweep_random_trees(N, n_random, SITES)
+    random_reroot = sweep_random_trees(N, n_random, SITES, reroot=True)
+
+    def interval(cases, attr):
+        return [getattr(c, attr) for c in cases]
+
+    rows = [
+        {
+            "topology type": "balanced",
+            "theoretical": f"{balanced.theoretical_speedup:.2f}",
+            "GP100 model": f"{balanced.model_speedup:.2f}",
+            "realized": f"{balanced.model_speedup / balanced.theoretical_speedup:.2f}",
+        },
+        {
+            "topology type": "pectinate",
+            "theoretical": "1.00",
+            "GP100 model": f"{pectinate.model_speedup:.2f}",
+            "realized": "na",
+        },
+        {
+            "topology type": "pectinate rerooted",
+            "theoretical": f"{pect_rerooted.theoretical_speedup:.2f}",
+            "GP100 model": f"{pect_rerooted.model_speedup:.2f}",
+            "realized": f"{pect_rerooted.model_speedup / pect_rerooted.theoretical_speedup:.2f}",
+        },
+        {
+            "topology type": "random",
+            "theoretical": summarize_interval(interval(random_plain, "theoretical_speedup")),
+            "GP100 model": summarize_interval(interval(random_plain, "model_speedup")),
+            "realized": summarize_interval(
+                [c.model_speedup / c.theoretical_speedup for c in random_plain]
+            ),
+        },
+        {
+            "topology type": "random rerooted",
+            "theoretical": summarize_interval(interval(random_reroot, "theoretical_speedup")),
+            "GP100 model": summarize_interval(interval(random_reroot, "model_speedup")),
+            "realized": summarize_interval(
+                [c.model_speedup / c.theoretical_speedup for c in random_reroot]
+            ),
+        },
+    ]
+    text = format_table(
+        rows,
+        title=f"Table III: proportion of theoretical speedup realised "
+        f"({N} OTUs, {SITES} patterns)",
+    )
+    emit(results_dir, "table3_speedup.md", text)
+
+    # --- Shape assertions --------------------------------------------
+    assert balanced.theoretical_speedup == speedup_balanced(N)
+    assert pect_rerooted.theoretical_speedup == speedup_pectinate_rerooted(N)
+    for case in [balanced, pectinate, pect_rerooted, *random_plain, *random_reroot]:
+        assert case.model_speedup <= case.theoretical_speedup + 1e-9
+    assert balanced.model_speedup / balanced.theoretical_speedup < 0.5
+    assert 1.4 < pect_rerooted.model_speedup < 2.0
+    assert pectinate.model_speedup == 1.0
+    r_plain = np.array([c.model_speedup for c in random_plain])
+    r_reroot = np.array([c.model_speedup for c in random_reroot])
+    assert r_reroot.min() >= r_plain.min()
+    assert r_reroot.mean() > r_plain.mean()
+
+    # Kernel under measurement: one full Table-III case evaluation.
+    result = benchmark(run_case, "pectinate", N, SITES, reroot=True)
+    assert result.operation_sets == 32

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Partitioned analysis: per-codon-position models plus rerooting.
+
+A realistic protein-coding workflow (paper §IV-A): split the alignment by
+codon position, give each position its own model (third positions evolve
+fastest), and evaluate all partitions on one shared tree. Partition
+concurrency and rerooting compose — the launch count drops from
+``partitions × (n−1)`` to the rerooted tree's set count.
+
+Run:  python examples/partitioned_analysis.py
+"""
+
+from repro.data import simulate_alignment
+from repro.gpu import GP100
+from repro.models import HKY85, discrete_gamma
+from repro.partition import PartitionedLikelihood, partition_by_codon_position
+from repro.trees import pectinate_tree
+
+N_TAXA = 48
+N_CODONS = 120
+
+
+def main() -> None:
+    tree = pectinate_tree(N_TAXA, branch_length=0.12)
+    # Simulate with one model; analyse with per-position models (the
+    # usual model-fit improvement workflow).
+    alignment = simulate_alignment(tree, HKY85(2.0), N_CODONS * 3, seed=21)
+    models = [HKY85(2.0), HKY85(2.0), HKY85(4.0)]
+    rates = [discrete_gamma(1.0, 4), discrete_gamma(0.5, 4), discrete_gamma(2.0, 4)]
+    dataset = partition_by_codon_position(alignment, models, rates=rates)
+
+    plain = PartitionedLikelihood(tree, dataset)
+    rerooted = PartitionedLikelihood(tree, dataset, reroot="fast")
+
+    print(f"{N_TAXA} taxa, {N_CODONS * 3} sites split by codon position (HKY+G4)\n")
+    for partition, ll in zip(dataset, rerooted.partition_log_likelihoods()):
+        print(
+            f"  {partition.name}: {partition.n_patterns:4d} patterns, "
+            f"logL = {ll:12.3f}"
+        )
+    print(f"  joint log-likelihood: {rerooted.log_likelihood():.3f}\n")
+
+    print(f"{'configuration':42s} {'launches':>9s} {'model time':>11s}")
+    for label, pl, concurrent in [
+        ("sequential partitions, original rooting", plain, False),
+        ("concurrent partitions, original rooting", plain, True),
+        ("concurrent partitions + rerooted tree", rerooted, True),
+    ]:
+        timing = pl.device_timing(GP100, concurrent_partitions=concurrent)
+        print(f"{label:42s} {timing.n_launches:9d} {timing.seconds * 1e6:9.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro — rerooting trees for concurrent phylogenetic likelihoods.
+
+A from-scratch Python reproduction of Ayres & Cummings (IPDPSW 2018),
+"Rerooting Trees Increases Opportunities for Concurrent Computation and
+Results in Markedly Improved Performance for Phylogenetic Inference".
+
+Subpackages
+-----------
+``repro.trees``
+    Bifurcating trees, Newick IO, topology generators, traversals,
+    rerooting mechanics.
+``repro.data``
+    Alphabets, alignments, site-pattern compression, sequence simulation.
+``repro.models``
+    Reversible substitution models (DNA/AA/codon) and rate heterogeneity.
+``repro.beagle``
+    The BEAGLE-work-alike likelihood engine: buffers, operations,
+    vectorised single- and multi-operation kernels, rescaling.
+``repro.core``
+    The paper's contribution: operation-set construction, theoretical
+    speedup bounds, exhaustive and O(n) optimal rerooting, execution
+    planning.
+``repro.gpu``
+    Simulated GPU device model (launch overhead + wave-quantised
+    saturation) standing in for the paper's Quadro GP100.
+``repro.inference``
+    TreeLikelihood facade, branch-length optimisation, Metropolis MCMC.
+``repro.bench``
+    The ``synthetictest`` CLI work-alike and benchmark harness.
+
+Quick start
+-----------
+>>> from repro import TreeLikelihood, pectinate_tree, JC69
+>>> from repro.data import simulate_alignment
+>>> tree = pectinate_tree(64, branch_length=0.1)
+>>> aln = simulate_alignment(tree, JC69(), 512, seed=1)
+>>> serial = TreeLikelihood(tree, JC69(), aln, mode="serial")
+>>> rerooted = TreeLikelihood(tree, JC69(), aln, reroot="fast")
+>>> round(serial.log_likelihood(), 6) == round(rerooted.log_likelihood(), 6)
+True
+>>> serial.n_launches, rerooted.n_launches
+(63, 32)
+"""
+
+from .trees import (
+    Tree,
+    Node,
+    balanced_tree,
+    coalescent_tree,
+    parse_newick,
+    pectinate_tree,
+    random_attachment_tree,
+    reroot_on_edge,
+    write_newick,
+    yule_tree,
+)
+from .models import GTR, GY94, HKY85, JC69, K80, Poisson, discrete_gamma
+from .data import Alignment, compress, random_patterns, simulate_alignment
+from .beagle import BeagleInstance
+from .core import (
+    count_operation_sets,
+    optimal_reroot_exhaustive,
+    optimal_reroot_fast,
+    rerooted_speedup_interval,
+    speedup_balanced,
+    speedup_pectinate_rerooted,
+    tree_theoretical_speedup,
+)
+from .gpu import GP100, DeviceSpec, SimulatedDevice, simulated_speedup
+from .inference import TreeLikelihood, optimize_branch_lengths, run_mcmc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tree",
+    "Node",
+    "parse_newick",
+    "write_newick",
+    "balanced_tree",
+    "pectinate_tree",
+    "random_attachment_tree",
+    "yule_tree",
+    "coalescent_tree",
+    "reroot_on_edge",
+    "JC69",
+    "K80",
+    "HKY85",
+    "GTR",
+    "GY94",
+    "Poisson",
+    "discrete_gamma",
+    "Alignment",
+    "compress",
+    "random_patterns",
+    "simulate_alignment",
+    "BeagleInstance",
+    "count_operation_sets",
+    "optimal_reroot_exhaustive",
+    "optimal_reroot_fast",
+    "speedup_balanced",
+    "speedup_pectinate_rerooted",
+    "rerooted_speedup_interval",
+    "tree_theoretical_speedup",
+    "DeviceSpec",
+    "GP100",
+    "SimulatedDevice",
+    "simulated_speedup",
+    "TreeLikelihood",
+    "optimize_branch_lengths",
+    "run_mcmc",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""BEAGLE-work-alike likelihood engine: buffers, operations, kernels."""
+
+from .operations import Operation, operations_independent, validate_operation_order
+from .kernels import (
+    child_contribution,
+    edge_site_likelihoods,
+    operation_flops,
+    rescale_partials,
+    root_site_likelihoods,
+    update_partials,
+    update_partials_batch,
+)
+from .scaling import ScaleBufferBank
+from .instance import BeagleInstance, InstanceStats
+from .reference import brute_force_log_likelihood, pruning_log_likelihood
+
+__all__ = [
+    "Operation",
+    "operations_independent",
+    "validate_operation_order",
+    "child_contribution",
+    "update_partials",
+    "update_partials_batch",
+    "rescale_partials",
+    "root_site_likelihoods",
+    "edge_site_likelihoods",
+    "operation_flops",
+    "ScaleBufferBank",
+    "BeagleInstance",
+    "InstanceStats",
+    "brute_force_log_likelihood",
+    "pruning_log_likelihood",
+]

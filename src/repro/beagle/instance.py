@@ -1,0 +1,543 @@
+"""The BEAGLE-work-alike likelihood instance.
+
+:class:`BeagleInstance` mirrors the buffer-indexed API of the BEAGLE
+library (§III of the paper): tips and internal nodes are *partials
+buffers*, branches are *transition-matrix buffers*, and likelihood
+evaluation is driven by submitting :class:`~repro.beagle.operations.Operation`
+lists. The instance does not know about trees — exactly as in BEAGLE, the
+calling code (here :mod:`repro.core.planner`) maps a tree traversal onto
+buffer indices.
+
+Execution instrumentation (``stats``) records kernel launches, operations
+and effective FLOPs so the GPU device model (:mod:`repro.gpu`) and the
+benchmarks can account throughput the way the paper does (§VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.eigen import EigenDecomposition, transition_matrices
+from .kernels import (
+    child_contribution,
+    edge_site_likelihoods,
+    operation_flops,
+    rescale_partials,
+    root_site_likelihoods,
+    update_partials,
+    update_partials_batch,
+)
+from .operations import Operation, operations_independent
+from .scaling import ScaleBufferBank
+
+__all__ = ["BeagleInstance", "InstanceStats"]
+
+
+@dataclass
+class InstanceStats:
+    """Execution counters since construction or the last ``reset``."""
+
+    kernel_launches: int = 0
+    operations: int = 0
+    flops: int = 0
+
+    def reset(self) -> None:
+        self.kernel_launches = 0
+        self.operations = 0
+        self.flops = 0
+
+
+class BeagleInstance:
+    """A likelihood-computation instance over fixed-size buffers.
+
+    Class attributes
+    ----------------
+    MIN_BATCH_OPERATIONS:
+        Sets smaller than this run through the single-operation kernel in
+        a loop (one logical launch): the batched path's fixed dispatch
+        cost only pays for itself on larger sets. This is the library's
+        "implementation class" selection in the sense of the paper's
+        §VI-A.
+
+    Parameters
+    ----------
+    tip_count:
+        Number of tip buffers (indices ``0 .. tip_count-1``).
+    partials_buffer_count:
+        Number of internal partials buffers (indices ``tip_count ..``).
+    matrix_count:
+        Number of transition-matrix buffers.
+    pattern_count, state_count:
+        Data dimensions ``p`` and ``s``.
+    category_count:
+        Rate categories ``c`` (default 1).
+    scale_buffer_count:
+        Scale buffers for manual rescaling (0 disables).
+    dtype:
+        Floating-point precision of partials and matrices:
+        ``numpy.float64`` (default) or ``numpy.float32``. Single
+        precision is the GPU-typical configuration whose underflow on
+        large trees motivates the paper's ``--manualscale`` option
+        (§VI-F); scale buffers always stay in double precision, exactly
+        as BEAGLE keeps log scalers at higher precision.
+    """
+
+    MIN_BATCH_OPERATIONS = 4
+
+    def __init__(
+        self,
+        tip_count: int,
+        partials_buffer_count: int,
+        matrix_count: int,
+        pattern_count: int,
+        state_count: int,
+        category_count: int = 1,
+        scale_buffer_count: int = 0,
+        dtype=np.float64,
+    ) -> None:
+        if min(tip_count, partials_buffer_count, matrix_count) < 1:
+            raise ValueError("buffer counts must be positive")
+        if min(pattern_count, state_count, category_count) < 1:
+            raise ValueError("data dimensions must be positive")
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("dtype must be float32 or float64")
+        self.dtype = dtype
+        self.tip_count = tip_count
+        self.partials_buffer_count = partials_buffer_count
+        self.pattern_count = pattern_count
+        self.state_count = state_count
+        self.category_count = category_count
+
+        # Tip storage: compact codes or explicit partials, per tip index.
+        self._tip_codes: Dict[int, np.ndarray] = {}
+        self._tip_partials: Dict[int, np.ndarray] = {}
+        # Dense mirror of tip codes for vectorised multi-operation gathers.
+        self._tip_codes_dense = np.zeros((tip_count, pattern_count), dtype=np.int64)
+        # Internal partials: one dense block, views handed to kernels.
+        self._partials = np.zeros(
+            (partials_buffer_count, category_count, pattern_count, state_count),
+            dtype=dtype,
+        )
+        self._partials_valid = np.zeros(partials_buffer_count, dtype=bool)
+        self._matrices = np.zeros(
+            (matrix_count, category_count, state_count, state_count), dtype=dtype
+        )
+        self.scale = ScaleBufferBank(scale_buffer_count, pattern_count)
+
+        self._weights = np.ones(pattern_count)
+        self._frequencies = np.full(state_count, 1.0 / state_count)
+        self._category_rates = np.ones(category_count)
+        self._category_weights = np.full(category_count, 1.0 / category_count)
+        self._eigens: Dict[int, EigenDecomposition] = {}
+
+        self.stats = InstanceStats()
+
+    # ------------------------------------------------------------------
+    # Data setters (the beagleSet* family)
+    # ------------------------------------------------------------------
+    def set_tip_states(self, tip_index: int, codes: Sequence[int]) -> None:
+        """Compact observed states for a tip (``state_count`` = unknown)."""
+        self._check_tip(tip_index)
+        arr = np.asarray(codes, dtype=np.int64)
+        if arr.shape != (self.pattern_count,):
+            raise ValueError("codes length must equal pattern count")
+        if arr.min() < 0 or arr.max() > self.state_count:
+            raise ValueError("tip codes out of range")
+        self._tip_codes[tip_index] = arr
+        self._tip_codes_dense[tip_index] = arr
+        self._tip_partials.pop(tip_index, None)
+
+    def set_tip_partials(self, tip_index: int, partials: np.ndarray) -> None:
+        """Explicit tip partials ``(patterns, states)`` (ambiguity codes)."""
+        self._check_tip(tip_index)
+        arr = np.asarray(partials, dtype=self.dtype)
+        if arr.shape != (self.pattern_count, self.state_count):
+            raise ValueError("tip partials must be (patterns, states)")
+        # Broadcast across categories once; kernels then treat the tip
+        # exactly like an internal buffer.
+        self._tip_partials[tip_index] = np.broadcast_to(
+            arr, (self.category_count,) + arr.shape
+        ).copy()
+        self._tip_codes.pop(tip_index, None)
+
+    def set_pattern_weights(self, weights: Sequence[float]) -> None:
+        """Per-pattern multiplicities used by the likelihood reductions."""
+        arr = np.asarray(weights, dtype=np.float64)
+        if arr.shape != (self.pattern_count,):
+            raise ValueError("weights length must equal pattern count")
+        if np.any(arr < 0):
+            raise ValueError("pattern weights must be non-negative")
+        self._weights = arr
+
+    def set_state_frequencies(self, frequencies: Sequence[float]) -> None:
+        """Stationary state frequencies π (renormalised to sum to 1)."""
+        arr = np.asarray(frequencies, dtype=np.float64)
+        if arr.shape != (self.state_count,):
+            raise ValueError("frequency length must equal state count")
+        if np.any(arr < 0) or arr.sum() <= 0:
+            raise ValueError("frequencies must be non-negative and sum > 0")
+        self._frequencies = arr / arr.sum()
+
+    def set_category_rates(self, rates: Sequence[float]) -> None:
+        """Rate multiplier of each among-site rate category."""
+        arr = np.asarray(rates, dtype=np.float64)
+        if arr.shape != (self.category_count,):
+            raise ValueError("rates length must equal category count")
+        self._category_rates = arr
+
+    def set_category_weights(self, weights: Sequence[float]) -> None:
+        """Prior probability of each rate category (must sum to 1)."""
+        arr = np.asarray(weights, dtype=np.float64)
+        if arr.shape != (self.category_count,):
+            raise ValueError("weights length must equal category count")
+        if np.any(arr < 0) or not np.isclose(arr.sum(), 1.0):
+            raise ValueError("category weights must be a distribution")
+        self._category_weights = arr
+
+    def set_eigen_decomposition(self, index: int, eigen: EigenDecomposition) -> None:
+        """Install a model's eigendecomposition under a buffer index."""
+        if eigen.n_states != self.state_count:
+            raise ValueError("eigen decomposition has wrong state count")
+        self._eigens[index] = eigen
+
+    # ------------------------------------------------------------------
+    # Transition matrices
+    # ------------------------------------------------------------------
+    def update_transition_matrices(
+        self,
+        eigen_index: int,
+        matrix_indices: Sequence[int],
+        branch_lengths: Sequence[float],
+    ) -> None:
+        """Compute ``P(rate_c · t)`` for each (matrix, branch) pair.
+
+        All matrices for all categories are produced by one batched
+        eigen-multiply — the work BEAGLE performs in
+        ``beagleUpdateTransitionMatrices``.
+        """
+        if eigen_index not in self._eigens:
+            raise KeyError(f"eigen decomposition {eigen_index} not set")
+        idx = np.asarray(matrix_indices, dtype=np.int64)
+        t = np.asarray(branch_lengths, dtype=np.float64)
+        if idx.shape != t.shape:
+            raise ValueError("matrix indices and branch lengths must pair up")
+        if idx.size and (idx.min() < 0 or idx.max() >= self._matrices.shape[0]):
+            raise IndexError("matrix index out of range")
+        # (k·C,) scaled times -> (k, C, S, S)
+        scaled = (t[:, None] * self._category_rates[None, :]).reshape(-1)
+        P = transition_matrices(self._eigens[eigen_index], scaled)
+        P = P.reshape(
+            len(idx), self.category_count, self.state_count, self.state_count
+        )
+        self._matrices[idx] = P
+
+    def set_transition_matrix(self, matrix_index: int, matrix: np.ndarray) -> None:
+        """Directly install a ``(C, S, S)`` or ``(S, S)`` matrix buffer."""
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim == 2:
+            arr = np.broadcast_to(
+                arr, (self.category_count,) + arr.shape
+            )
+        if arr.shape != self._matrices.shape[1:]:
+            raise ValueError("matrix has wrong shape")
+        self._matrices[matrix_index] = arr
+
+    # ------------------------------------------------------------------
+    # Buffer access helpers
+    # ------------------------------------------------------------------
+    def _check_tip(self, tip_index: int) -> None:
+        if not 0 <= tip_index < self.tip_count:
+            raise IndexError(f"tip index {tip_index} out of range")
+
+    def _internal_slot(self, buffer_index: int) -> int:
+        slot = buffer_index - self.tip_count
+        if not 0 <= slot < self.partials_buffer_count:
+            raise IndexError(f"partials buffer {buffer_index} out of range")
+        return slot
+
+    def _child_arrays(self, buffer_index: int):
+        """Return ``(partials, codes)`` for a child buffer (one is None)."""
+        if buffer_index < self.tip_count:
+            if buffer_index in self._tip_codes:
+                return None, self._tip_codes[buffer_index]
+            if buffer_index in self._tip_partials:
+                return self._tip_partials[buffer_index], None
+            raise ValueError(f"tip buffer {buffer_index} has no data")
+        slot = self._internal_slot(buffer_index)
+        if not self._partials_valid[slot]:
+            raise ValueError(
+                f"partials buffer {buffer_index} read before being computed"
+            )
+        return self._partials[slot], None
+
+    def get_partials(self, buffer_index: int) -> np.ndarray:
+        """Copy of a computed partials buffer ``(C, P, S)``."""
+        partials, codes = self._child_arrays(buffer_index)
+        if partials is None:
+            # Expand tip codes for inspection convenience.
+            return child_contribution(
+                np.broadcast_to(
+                    np.eye(self.state_count),
+                    (self.category_count, self.state_count, self.state_count),
+                ),
+                codes=codes,
+            )
+        return np.array(partials, copy=True)
+
+    def invalidate_partials(self) -> None:
+        """Mark every internal buffer as not-yet-computed."""
+        self._partials_valid[:] = False
+
+    # ------------------------------------------------------------------
+    # Core execution (beagleUpdatePartials)
+    # ------------------------------------------------------------------
+    def update_partials_serial(self, operations: Sequence[Operation]) -> None:
+        """Execute operations one per kernel launch (the baseline mode;
+        the paper's modified BEAGLE with multi-operation launches
+        disabled, §VII-C)."""
+        for op in operations:
+            self._execute_single(op)
+
+    def update_partials_set(self, operations: Sequence[Operation]) -> None:
+        """Execute one *independent* operation set as a single launch.
+
+        Raises
+        ------
+        ValueError
+            If the operations are not mutually independent — the caller
+            (scheduler) must guarantee set independence, exactly as the
+            BEAGLE library requires.
+        """
+        ops = list(operations)
+        if not ops:
+            return
+        if not operations_independent(ops):
+            raise ValueError("operation set contains internal dependencies")
+        k = len(ops)
+        if k < self.MIN_BATCH_OPERATIONS:
+            # Implementation-class heuristic (paper §VI-A): for very small
+            # sets the fixed cost of the batched path exceeds its saving
+            # on a CPU, so the operations run through the single-op kernel
+            # — still as one *logical* launch for instrumentation.
+            for op in ops:
+                self._execute_single(op, count_launch=False)
+            self.stats.kernel_launches += 1
+            return
+
+        # One flat child list of length 2k: firsts then seconds. All the
+        # gathers below are single vectorised NumPy calls — the CPU
+        # realisation of BEAGLE's pointer-arithmetic multi-op kernel.
+        child_buffers = np.array(
+            [op.child1 for op in ops] + [op.child2 for op in ops], dtype=np.int64
+        )
+        matrix_idx = np.array(
+            [op.child1_matrix for op in ops] + [op.child2_matrix for op in ops],
+            dtype=np.int64,
+        )
+        self._validate_children(child_buffers)
+        matrices = self._matrices[matrix_idx]  # (2k, C, S, S)
+
+        C, P, S = self.category_count, self.pattern_count, self.state_count
+        contributions = np.empty((2 * k, C, P, S), dtype=self.dtype)
+
+        is_tip = child_buffers < self.tip_count
+        if self._tip_partials:
+            explicit = np.array(
+                [int(b) in self._tip_partials for b in child_buffers], dtype=bool
+            )
+        else:
+            explicit = np.zeros(2 * k, dtype=bool)
+        internal_sel = np.flatnonzero(~is_tip)
+        code_sel = np.flatnonzero(is_tip & ~explicit)
+        explicit_sel = np.flatnonzero(is_tip & explicit)
+
+        if internal_sel.size:
+            slots = child_buffers[internal_sel] - self.tip_count
+            gathered = self._partials[slots]  # (m, C, P, S)
+            contributions[internal_sel] = gathered @ matrices[
+                internal_sel
+            ].transpose(0, 1, 3, 2)
+        if code_sel.size:
+            codes = self._tip_codes_dense[child_buffers[code_sel]]  # (m, P)
+            padded = np.concatenate(
+                [
+                    matrices[code_sel],
+                    np.ones((code_sel.size, C, S, 1), dtype=self.dtype),
+                ],
+                axis=3,
+            )
+            gathered = np.take_along_axis(
+                padded, codes[:, None, None, :], axis=3
+            )  # (m, C, S, P)
+            contributions[code_sel] = gathered.transpose(0, 1, 3, 2)
+        for index in explicit_sel:  # rare: partial-ambiguity tips
+            partials = self._tip_partials[int(child_buffers[index])]
+            contributions[index] = partials @ matrices[index].transpose(0, 2, 1)
+
+        product = contributions[:k]
+        np.multiply(product, contributions[k:], out=product)
+        destinations = np.fromiter(
+            (op.destination for op in ops), dtype=np.int64, count=k
+        )
+        slots = destinations - self.tip_count
+        if slots.min() < 0 or slots.max() >= self.partials_buffer_count:
+            raise IndexError("destination buffer out of range")
+        scale_targets = [
+            (i, op.destination_scale)
+            for i, op in enumerate(ops)
+            if op.destination_scale >= 0
+        ]
+        if scale_targets:
+            # Batched rescale: one max-reduction over the scaled rows.
+            if len(scale_targets) == k:
+                rows = product
+            else:
+                rows = product[np.array([i for i, _ in scale_targets])]
+            factors = rows.max(axis=(1, 3))  # (m, P)
+            safe = np.where(factors > 0.0, factors, 1.0)
+            rows /= safe[:, None, :, None]
+            if len(scale_targets) != k:
+                product[np.array([i for i, _ in scale_targets])] = rows
+            logs = np.log(safe)
+            for j, (_, scale_index) in enumerate(scale_targets):
+                self.scale.write(scale_index, logs[j])
+        self._partials[slots] = product
+        self._partials_valid[slots] = True
+        self.stats.kernel_launches += 1
+        self.stats.operations += k
+        self.stats.flops += k * self.flops_per_operation
+
+    def _validate_children(self, buffers: np.ndarray) -> None:
+        """Check every child buffer is readable (tips loaded, internals
+        computed) before a vectorised gather touches them."""
+        for buffer_index in buffers:
+            b = int(buffer_index)
+            if b < self.tip_count:
+                if b not in self._tip_codes and b not in self._tip_partials:
+                    raise ValueError(f"tip buffer {b} has no data")
+            else:
+                slot = self._internal_slot(b)
+                if not self._partials_valid[slot]:
+                    raise ValueError(
+                        f"partials buffer {b} read before being computed"
+                    )
+
+    def _execute_single(self, op: Operation, count_launch: bool = True) -> None:
+        partials1, codes1 = self._child_arrays(op.child1)
+        partials2, codes2 = self._child_arrays(op.child2)
+        slot = self._internal_slot(op.destination)
+        update_partials(
+            self._matrices[op.child1_matrix],
+            self._matrices[op.child2_matrix],
+            partials1,
+            codes1,
+            partials2,
+            codes2,
+            out=self._partials[slot],
+        )
+        self._finish_operation(op)
+        if count_launch:
+            self.stats.kernel_launches += 1
+        self.stats.operations += 1
+        self.stats.flops += self.flops_per_operation
+
+    def _finish_operation(self, op: Operation) -> None:
+        slot = self._internal_slot(op.destination)
+        self._partials_valid[slot] = True
+        if op.destination_scale >= 0:
+            logs = rescale_partials(self._partials[slot])
+            self.scale.write(op.destination_scale, logs)
+
+    # ------------------------------------------------------------------
+    # Likelihood reductions
+    # ------------------------------------------------------------------
+    def calculate_root_log_likelihood(
+        self,
+        root_buffer: int,
+        cumulative_scale_index: int = -1,
+    ) -> float:
+        """Weighted log-likelihood at the root buffer.
+
+        ``Σ_p w_p · (log Σ_c w_c Σ_z π_z L_root[c,p,z] + scale_p)``.
+        """
+        partials, _ = self._child_arrays(root_buffer)
+        if partials is None:
+            raise ValueError("root buffer must hold partials, not tip codes")
+        site = root_site_likelihoods(
+            partials, self._frequencies, self._category_weights
+        )
+        with np.errstate(divide="ignore"):
+            logs = np.log(site)
+        if cumulative_scale_index >= 0:
+            logs = logs + self.scale.read(cumulative_scale_index)
+        return float(np.dot(self._weights, logs))
+
+    def calculate_edge_log_likelihood(
+        self,
+        parent_buffer: int,
+        child_buffer: int,
+        matrix_index: int,
+        cumulative_scale_index: int = -1,
+    ) -> float:
+        """Log-likelihood across one edge (beagleCalculateEdgeLogLikelihoods).
+
+        The tree is viewed as rooted on the edge between the two buffers;
+        both partials are combined through the edge's transition matrix.
+        """
+        parent, parent_codes = self._child_arrays(parent_buffer)
+        if parent is None:
+            raise ValueError("parent buffer must hold partials")
+        contribution = child_contribution(
+            self._matrices[matrix_index], *self._child_arrays(child_buffer)
+        )
+        site = edge_site_likelihoods(
+            parent, contribution, self._frequencies, self._category_weights
+        )
+        with np.errstate(divide="ignore"):
+            logs = np.log(site)
+        if cumulative_scale_index >= 0:
+            logs = logs + self.scale.read(cumulative_scale_index)
+        return float(np.dot(self._weights, logs))
+
+    # ------------------------------------------------------------------
+    def memory_footprint(self) -> dict:
+        """Bytes held by each buffer class (the device-memory budget).
+
+        The paper's device (Table I) pairs 3,584 cores with 16 GB of
+        HBM2; partials dominate the budget at ``(n−1)·C·P·S`` floats, so
+        this breakdown is what decides the largest tree×pattern problem a
+        card can hold.
+        """
+        tips = sum(a.nbytes for a in self._tip_codes.values())
+        tips += sum(a.nbytes for a in self._tip_partials.values())
+        tips += self._tip_codes_dense.nbytes
+        return {
+            "partials": int(self._partials.nbytes),
+            "matrices": int(self._matrices.nbytes),
+            "tips": int(tips),
+            "scale": int(self.scale._logs.nbytes),
+            "total": int(
+                self._partials.nbytes
+                + self._matrices.nbytes
+                + tips
+                + self.scale._logs.nbytes
+            ),
+        }
+
+    @property
+    def flops_per_operation(self) -> int:
+        """Effective FLOPs of one partial-likelihood operation."""
+        return operation_flops(
+            self.pattern_count, self.state_count, self.category_count
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BeagleInstance tips={self.tip_count} "
+            f"partials={self.partials_buffer_count} p={self.pattern_count} "
+            f"s={self.state_count} c={self.category_count}>"
+        )

@@ -1,0 +1,70 @@
+"""Scale-factor buffer management.
+
+Likelihood partials underflow single- and even double-precision floats on
+large trees: each level multiplies values < 1. BEAGLE's remedy is
+per-pattern rescaling — divide a freshly computed partials array by its
+per-pattern maximum and remember the logs. The ``--manualscale`` /
+``--rescale-frequency`` options of ``synthetictest`` (Table II) control
+when these factors are recomputed; this module provides the buffer bank
+backing that machinery in :class:`repro.beagle.instance.BeagleInstance`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ScaleBufferBank"]
+
+
+class ScaleBufferBank:
+    """A bank of per-pattern log scale-factor buffers.
+
+    Parameters
+    ----------
+    count:
+        Number of buffers (BEAGLE's ``scaleBufferCount``).
+    n_patterns:
+        Buffer length; one log factor per site pattern.
+    """
+
+    def __init__(self, count: int, n_patterns: int) -> None:
+        if count < 0 or n_patterns < 1:
+            raise ValueError("invalid scale buffer dimensions")
+        self._logs = np.zeros((count, n_patterns))
+
+    @property
+    def count(self) -> int:
+        return int(self._logs.shape[0])
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.count:
+            raise IndexError(f"scale buffer {index} out of range [0, {self.count})")
+
+    def write(self, index: int, log_factors: np.ndarray) -> None:
+        """Overwrite one buffer with fresh per-pattern log factors."""
+        self._check(index)
+        self._logs[index] = log_factors
+
+    def read(self, index: int) -> np.ndarray:
+        """Log factors of one buffer (copy)."""
+        self._check(index)
+        return self._logs[index].copy()
+
+    def reset(self, index: int) -> None:
+        """Zero one buffer (log factor 0 == factor 1)."""
+        self._check(index)
+        self._logs[index] = 0.0
+
+    def reset_all(self) -> None:
+        self._logs[:] = 0.0
+
+    def accumulate(self, source_indices, cumulative_index: int) -> None:
+        """Sum source buffers into the cumulative buffer (BEAGLE's
+        ``accumulateScaleFactors`` with log scalers)."""
+        self._check(cumulative_index)
+        for index in source_indices:
+            self._check(index)
+            if index == cumulative_index:
+                raise ValueError("cumulative buffer cannot be its own source")
+        for index in source_indices:
+            self._logs[cumulative_index] += self._logs[index]

@@ -1,0 +1,124 @@
+"""Terminal scatter/line plots for the benchmark figures.
+
+matplotlib is unavailable offline, so the figure benchmarks render their
+paper-style plots as ASCII: multiple series with distinct glyphs, linear
+or log axes, and a legend. Good enough to eyeball the shapes the paper's
+Figures 4–6 show (monotone trends, saturation bends, flat baselines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "ascii_plot"]
+
+
+@dataclass
+class Series:
+    """One plotted point set."""
+
+    xs: Sequence[float]
+    ys: Sequence[float]
+    glyph: str = "*"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+        if len(self.glyph) != 1:
+            raise ValueError("glyph must be a single character")
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scale axes need positive values")
+        return math.log10(value)
+    return value
+
+
+def _ticks(lo: float, hi: float, log: bool, count: int = 4) -> List[float]:
+    if hi <= lo:
+        return [lo]
+    raw = [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+    return [10**v for v in raw] if log else raw
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    if magnitude >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "",
+    ylabel: str = "",
+    title: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render point series into an ASCII grid with axes and a legend.
+
+    Points sharing a cell are drawn with the glyph of the *last* series
+    containing one (later series draw on top, like plotting libraries).
+    """
+    if not series or all(len(s.xs) == 0 for s in series):
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small")
+
+    xs_all = [_transform(x, logx) for s in series for x in s.xs]
+    ys_all = [_transform(y, logy) for s in series for y in s.ys]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            tx = (_transform(x, logx) - x_lo) / (x_hi - x_lo)
+            ty = (_transform(y, logy) - y_lo) / (y_hi - y_lo)
+            col = min(width - 1, int(round(tx * (width - 1))))
+            row = min(height - 1, int(round((1.0 - ty) * (height - 1))))
+            grid[row][col] = s.glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    y_ticks = _ticks(y_lo, y_hi, logy, count=3)
+    tick_rows = {0: y_ticks[-1], height // 2: y_ticks[len(y_ticks) // 2], height - 1: y_ticks[0]}
+    for row in range(height):
+        label = _format_tick(tick_rows[row]) if row in tick_rows else ""
+        lines.append(f"{label:>9s} |" + "".join(grid[row]))
+    lines.append(" " * 9 + " +" + "-" * width)
+    x_ticks = _ticks(x_lo, x_hi, logx, count=3)
+    tick_line = [" "] * (width + 11)
+    positions = [11, 11 + width // 2, 10 + width - 1]
+    for pos, value in zip(positions, x_ticks):
+        text = _format_tick(value)
+        start = min(pos, len(tick_line) - len(text))
+        for i, ch in enumerate(text):
+            tick_line[start + i] = ch
+    lines.append("".join(tick_line).rstrip())
+    if xlabel:
+        lines.append(xlabel.center(width + 10))
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    legend = "   ".join(f"{s.glyph} {s.label}" for s in series if s.label)
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)

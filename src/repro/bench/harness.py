@@ -1,0 +1,123 @@
+"""Benchmark harness: one entry point per paper-style benchmark case.
+
+Every figure and table in the paper reduces to sweeps over the same case
+definition: (topology type, taxa, sites, seed, reroot?) → launches,
+modelled device time, throughput, theoretical bounds. :func:`run_case`
+computes one such row; the per-figure modules in ``benchmarks/`` sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import (
+    count_operation_sets,
+    make_plan,
+    optimal_reroot_exhaustive,
+    optimal_reroot_fast,
+    tree_theoretical_speedup,
+)
+from ..gpu import GP100, DeviceSpec, SimulatedDevice, WorkloadDims
+from ..trees import Tree, balanced_tree, pectinate_tree, random_attachment_tree
+
+__all__ = ["CaseResult", "build_tree", "run_case", "sweep_random_trees"]
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One benchmark row (a point in a paper figure or table)."""
+
+    topology: str
+    taxa: int
+    sites: int
+    seed: Optional[int]
+    rerooted: bool
+    operation_sets: int
+    serial_launches: int
+    theoretical_speedup: float
+    model_seconds: float
+    model_speedup: float
+    gflops: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def build_tree(topology: str, taxa: int, seed: Optional[int] = None) -> Tree:
+    """Build a benchmark tree the way ``synthetictest`` does (§VI-D).
+
+    ``balanced`` (the default topology), ``pectinate`` (``--pectinate``)
+    or ``random`` (``--randomtree`` with ``--seed``).
+    """
+    if topology == "balanced":
+        return balanced_tree(taxa)
+    if topology == "pectinate":
+        return pectinate_tree(taxa)
+    if topology == "random":
+        return random_attachment_tree(taxa, np.random.default_rng(seed))
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def run_case(
+    topology: str,
+    taxa: int,
+    sites: int = 512,
+    *,
+    seed: Optional[int] = None,
+    reroot: bool = False,
+    reroot_algorithm: str = "fast",
+    states: int = 4,
+    categories: int = 1,
+    spec: DeviceSpec = GP100,
+) -> CaseResult:
+    """Evaluate one benchmark case under the device model."""
+    tree = build_tree(topology, taxa, seed)
+    if reroot:
+        if reroot_algorithm == "fast":
+            tree = optimal_reroot_fast(tree).tree
+        elif reroot_algorithm == "exhaustive":
+            tree = optimal_reroot_exhaustive(tree).tree
+        else:
+            raise ValueError(f"unknown reroot algorithm {reroot_algorithm!r}")
+    dims = WorkloadDims(patterns=sites, states=states, categories=categories)
+    device = SimulatedDevice(spec)
+    timing = device.time_tree(tree, dims, "concurrent")
+    return CaseResult(
+        topology=topology,
+        taxa=taxa,
+        sites=sites,
+        seed=seed,
+        rerooted=reroot,
+        operation_sets=timing.n_launches,
+        serial_launches=taxa - 1,
+        theoretical_speedup=tree_theoretical_speedup(tree),
+        model_seconds=timing.seconds,
+        model_speedup=device.speedup(tree, dims),
+        gflops=timing.gflops,
+    )
+
+
+def sweep_random_trees(
+    taxa: int,
+    n_trees: int,
+    sites: int = 512,
+    *,
+    reroot: bool = False,
+    first_seed: int = 1,
+    spec: DeviceSpec = GP100,
+) -> List[CaseResult]:
+    """The paper's random-tree samples: seeds ``first_seed ..`` (§VI-F)."""
+    return [
+        run_case(
+            "random",
+            taxa,
+            sites,
+            seed=seed,
+            reroot=reroot,
+            spec=spec,
+        )
+        for seed in range(first_seed, first_seed + n_trees)
+    ]

@@ -1,0 +1,115 @@
+"""Profiling helpers — "no optimisation without measuring".
+
+Thin wrappers over :mod:`cProfile` that answer the two questions the
+hpc-parallel workflow starts with: *where does one likelihood evaluation
+spend its time*, and *how does kernel time scale with the problem
+dimensions*. Used by the ``profile_likelihood`` entry point below and
+handy in notebooks/REPLs while extending the engine.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core import create_instance, execute_plan, make_plan
+from ..data import random_patterns
+from ..models.ratematrix import SubstitutionModel
+from ..trees import Tree
+
+__all__ = ["ProfileReport", "profile_callable", "profile_likelihood", "kernel_scaling"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Top-of-profile summary for one profiled call."""
+
+    total_seconds: float
+    top_functions: List[Tuple[str, float]]
+    raw: str
+
+    def dominant(self) -> str:
+        """Qualified name of the most expensive function."""
+        return self.top_functions[0][0] if self.top_functions else ""
+
+
+def profile_callable(fn: Callable[[], object], *, top: int = 10) -> ProfileReport:
+    """Run ``fn`` under cProfile and summarise cumulative hot spots."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    stats.print_stats(top)
+    raw = stream.getvalue()
+
+    entries: List[Tuple[str, float]] = []
+    for (filename, line, name), row in stats.stats.items():  # type: ignore[attr-defined]
+        cumulative = row[3]
+        label = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        entries.append((label, cumulative))
+    entries.sort(key=lambda e: -e[1])
+    total = stats.total_tt  # type: ignore[attr-defined]
+    return ProfileReport(
+        total_seconds=float(total), top_functions=entries[:top], raw=raw
+    )
+
+
+def profile_likelihood(
+    tree: Tree,
+    model: SubstitutionModel,
+    *,
+    sites: int = 512,
+    repetitions: int = 10,
+    top: int = 10,
+) -> ProfileReport:
+    """Profile repeated likelihood evaluations of a tree.
+
+    Mirrors the workload of one ``synthetictest`` run so the hot spots
+    seen here are the ones the paper optimises (the partials kernel
+    should dominate, matching the >0.9 run-time share of §VIII).
+    """
+    patterns = random_patterns(sorted(tree.tip_names()), sites, seed=0)
+    instance = create_instance(tree, model, patterns)
+    plan = make_plan(tree)
+    execute_plan(instance, plan)  # warm-up outside the profile
+
+    def work() -> None:
+        for _ in range(repetitions):
+            execute_plan(instance, plan, update_matrices=False)
+
+    return profile_callable(work, top=top)
+
+
+def kernel_scaling(
+    tree: Tree,
+    model: SubstitutionModel,
+    site_grid: Sequence[int],
+    *,
+    repetitions: int = 5,
+) -> Dict[int, float]:
+    """Measured seconds per evaluation across a pattern-count grid.
+
+    The empirical counterpart of the device model's saturation curve:
+    on a CPU, time grows roughly linearly in the pattern count once the
+    arrays outgrow dispatch overhead.
+    """
+    results: Dict[int, float] = {}
+    for sites in site_grid:
+        patterns = random_patterns(sorted(tree.tip_names()), sites, seed=0)
+        instance = create_instance(tree, model, patterns)
+        plan = make_plan(tree)
+        execute_plan(instance, plan)
+        best = float("inf")
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            execute_plan(instance, plan, update_matrices=False)
+            best = min(best, time.perf_counter() - start)
+        results[sites] = best
+    return results

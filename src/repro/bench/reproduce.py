@@ -1,0 +1,167 @@
+"""One-shot reproduction runner.
+
+``python -m repro.bench.reproduce [--full] [--out DIR]`` regenerates the
+paper's headline tables and figures without pytest — the quickest way for
+a reader to see the reproduction end to end. The pytest benchmarks in
+``benchmarks/`` remain the canonical, asserted versions; this runner
+reuses the same harness functions and writes the same artefact formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import count_operation_sets, optimal_reroot_fast
+from ..gpu import GP100, SimulatedDevice, WorkloadDims
+from ..trees import random_attachment_tree
+from .harness import run_case, sweep_random_trees
+from .asciiplot import Series, ascii_plot
+from .tables import format_table, summarize_interval, write_table
+
+__all__ = ["main", "run"]
+
+
+def _emit(out_dir: Path, name: str, text: str, stream) -> None:
+    (out_dir / name).write_text(text)
+    print(text, file=stream)
+
+
+def reproduce_fig4(out_dir: Path, n_trees: int, stream) -> None:
+    pairs = []
+    for seed in range(1, n_trees + 1):
+        tree = random_attachment_tree(256, seed)
+        before = count_operation_sets(tree)
+        after = optimal_reroot_fast(tree).operation_sets
+        pairs.append((before, after))
+    before = np.array([b for b, _ in pairs])
+    after = np.array([a for _, a in pairs])
+    rows = [
+        {"statistic": "trees", "value": n_trees},
+        {"statistic": "launches before", "value": summarize_interval(before.tolist())},
+        {"statistic": "launches after", "value": summarize_interval(after.tolist())},
+        {"statistic": "mean reduction", "value": f"{float(np.mean(before / after)):.2f}x"},
+    ]
+    text = format_table(rows, title="Figure 4: launches before/after rerooting")
+    diag = list(range(int(before.min()), int(before.max()) + 1, 2))
+    text += "\n" + ascii_plot(
+        [Series(diag, diag, ".", "no change"), Series(before.tolist(), after.tolist(), "o", "tree")],
+        xlabel="launches, original rooting",
+        ylabel="launches, rerooted",
+    )
+    _emit(out_dir, "reproduce_fig4.md", text, stream)
+
+
+def reproduce_table3(out_dir: Path, n_random: int, stream) -> None:
+    balanced = run_case("balanced", 64, 512)
+    pectinate = run_case("pectinate", 64, 512)
+    rerooted = run_case("pectinate", 64, 512, reroot=True)
+    random_plain = sweep_random_trees(64, n_random, 512)
+    random_reroot = sweep_random_trees(64, n_random, 512, reroot=True)
+    rows = []
+    for label, cases in [
+        ("balanced", [balanced]),
+        ("pectinate", [pectinate]),
+        ("pectinate rerooted", [rerooted]),
+        ("random", random_plain),
+        ("random rerooted", random_reroot),
+    ]:
+        theory = [c.theoretical_speedup for c in cases]
+        model = [c.model_speedup for c in cases]
+        rows.append(
+            {
+                "topology type": label,
+                "theoretical": summarize_interval(theory)
+                if len(cases) > 1
+                else f"{theory[0]:.2f}",
+                "GP100 model": summarize_interval(model)
+                if len(cases) > 1
+                else f"{model[0]:.2f}",
+            }
+        )
+    _emit(
+        out_dir,
+        "reproduce_table3.md",
+        format_table(rows, title="Table III: speedups, 64 OTUs, 512 patterns"),
+        stream,
+    )
+
+
+def reproduce_fig6(out_dir: Path, sizes: List[int], n_random: int, stream) -> None:
+    device = SimulatedDevice(GP100)
+    dims = WorkloadDims(patterns=512, states=4)
+    rows = []
+    lines = {"balanced": [], "pectinate": [], "pectinate rerooted": [], "random": []}
+    for n in sizes:
+        balanced = run_case("balanced", n, 512)
+        pectinate = run_case("pectinate", n, 512)
+        rerooted = run_case("pectinate", n, 512, reroot=True)
+        sample = sweep_random_trees(n, n_random, 512)
+        median_random = float(np.median([c.gflops for c in sample]))
+        lines["balanced"].append(balanced.gflops)
+        lines["pectinate"].append(pectinate.gflops)
+        lines["pectinate rerooted"].append(rerooted.gflops)
+        lines["random"].append(median_random)
+        rows.append(
+            {
+                "otus": n,
+                "balanced": f"{balanced.gflops:.2f}",
+                "pectinate": f"{pectinate.gflops:.2f}",
+                "pectinate rerooted": f"{rerooted.gflops:.2f}",
+                "random median": f"{median_random:.2f}",
+            }
+        )
+    text = format_table(rows, title="Figure 6: throughput vs tree size")
+    text += "\n" + ascii_plot(
+        [
+            Series(sizes, lines["balanced"], "B", "balanced"),
+            Series(sizes, lines["random"], "r", "random"),
+            Series(sizes, lines["pectinate rerooted"], "P", "pect rerooted"),
+            Series(sizes, lines["pectinate"], "p", "pectinate"),
+        ],
+        xlabel="tips (log)",
+        ylabel="GFLOPS",
+        logx=True,
+    )
+    _emit(out_dir, "reproduce_fig6.md", text, stream)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-reproduce",
+        description="Regenerate the paper's headline tables and figures.",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale sample sizes (slower)"
+    )
+    parser.add_argument(
+        "--out", default="bench_results", help="output directory for artefacts"
+    )
+    return parser
+
+
+def run(argv: Optional[List[str]] = None, stream=None) -> int:
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    n_trees = 100 if args.full else 30
+    sizes = [16, 64, 256, 1024, 4096] if args.full else [16, 64, 256, 1024]
+    print("Reproducing headline results (see benchmarks/ for the full set)\n", file=stream)
+    reproduce_fig4(out_dir, n_trees, stream)
+    reproduce_table3(out_dir, n_trees, stream)
+    reproduce_fig6(out_dir, sizes, max(n_trees // 3, 5), stream)
+    print(f"\nartefacts written to {out_dir}/", file=stream)
+    return 0
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    raise SystemExit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,289 @@
+"""``synthetictest`` — a work-alike of BEAGLE's benchmark program.
+
+The paper's entire evaluation is driven by the ``synthetictest`` program
+shipped with BEAGLE, extended with ``--pectinate``, ``--randomtree`` and
+``--reroot`` options (Table II). This module reproduces that command-line
+surface so the paper's example invocation runs verbatim (modulo the
+program name)::
+
+    synthetictest --rsrc 1 --taxa 64 --sites 512 --reps 1000 \\
+        --full-timing --manualscale --rescale-frequency 1000 \\
+        --randomtree --reroot --seed 1
+
+Resources (``--rsrc``):
+
+* ``0`` — CPU: the NumPy engine actually computes the likelihood
+  ``--reps`` times and reports measured wall-clock throughput.
+* ``1`` — GP100 device model (the paper's System 1): the engine computes
+  the likelihood once for validation; timing comes from the analytical
+  device model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import (
+    count_operation_sets,
+    create_instance,
+    execute_plan,
+    make_plan,
+    optimal_reroot_fast,
+    tree_theoretical_speedup,
+)
+from ..data import random_patterns
+from ..gpu import GP100, SimulatedDevice, WorkloadDims
+from ..models import random_gtr
+from ..trees import tree_height
+from .harness import build_tree
+
+__all__ = ["build_parser", "run", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="synthetictest",
+        description="Benchmark the phylogenetic partial-likelihoods kernel "
+        "on synthetic data (Python work-alike of BEAGLE's synthetictest).",
+    )
+    # --- Always-used options (Table II, upper half) -------------------
+    parser.add_argument(
+        "--rsrc",
+        type=int,
+        default=0,
+        help="hardware resource: 0 = CPU (measured), 1 = GP100 model",
+    )
+    parser.add_argument("--taxa", type=int, default=16, help="number of OTUs")
+    parser.add_argument(
+        "--sites", type=int, default=512, help="number of unique site patterns"
+    )
+    parser.add_argument(
+        "--reps", type=int, default=10, help="calculation repetitions"
+    )
+    parser.add_argument(
+        "--full-timing",
+        action="store_true",
+        help="output detailed per-launch timing information",
+    )
+    parser.add_argument(
+        "--manualscale",
+        action="store_true",
+        help="enable application-managed floating-point rescaling",
+    )
+    parser.add_argument(
+        "--rescale-frequency",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compute new rescaling factors every N repetitions",
+    )
+    # --- Benchmark-dependent options (Table II, lower half) -----------
+    parser.add_argument(
+        "--pectinate", action="store_true", help="use a pectinate tree topology"
+    )
+    parser.add_argument(
+        "--randomtree", action="store_true", help="use an arbitrary tree topology"
+    )
+    parser.add_argument(
+        "--reroot", action="store_true", help="optimally reroot the tree"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="random seed for data, model parameters and topology",
+    )
+    # --- Extensions beyond the paper's table --------------------------
+    parser.add_argument(
+        "--states", type=int, default=4, help="character states (4/20/61)"
+    )
+    parser.add_argument(
+        "--categories", type=int, default=1, help="rate categories"
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="disable multi-operation launches (sequential baseline)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split the sites into N equal partitions with independent "
+        "random models (pattern-partition concurrency, paper §IV-A)",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=0,
+        metavar="S",
+        help="model stream-based scheduling with S streams instead of the "
+        "multi-operation kernel (GP100 resource only)",
+    )
+    return parser
+
+
+def run(argv: Optional[List[str]] = None, out=None) -> int:
+    """Run the benchmark; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.pectinate and args.randomtree:
+        print("error: --pectinate and --randomtree are exclusive", file=out)
+        return 2
+    if args.taxa < 2:
+        print("error: --taxa must be at least 2", file=out)
+        return 2
+    if args.rsrc not in (0, 1):
+        print("error: --rsrc must be 0 (CPU) or 1 (GP100 model)", file=out)
+        return 2
+    if args.partitions < 1:
+        print("error: --partitions must be at least 1", file=out)
+        return 2
+    if args.streams < 0:
+        print("error: --streams must be non-negative", file=out)
+        return 2
+    if args.streams and args.rsrc != 1:
+        print("error: --streams requires --rsrc 1 (device model)", file=out)
+        return 2
+
+    topology = "pectinate" if args.pectinate else (
+        "random" if args.randomtree else "balanced"
+    )
+    rng = np.random.default_rng(args.seed)
+    tree = build_tree(topology, args.taxa, args.seed)
+    for edge in tree.edges():
+        edge.length = float(rng.exponential(0.1))
+    original_sets = count_operation_sets(tree)
+    if args.reroot:
+        tree = optimal_reroot_fast(tree).tree
+
+    model = random_gtr(rng)
+    patterns = random_patterns(tree.tip_names(), args.sites, rng=rng)
+    mode = "serial" if args.serial else "concurrent"
+    scaling = args.manualscale
+    plan = make_plan(tree, mode, scaling=scaling)
+    instance = create_instance(tree, model, patterns, scaling=scaling)
+
+    print("synthetictest (repro work-alike)", file=out)
+    print(
+        f"tree: type={topology}, taxa={args.taxa}, height={tree_height(tree)}, "
+        f"rerooted={'yes' if args.reroot else 'no'}",
+        file=out,
+    )
+    print(
+        f"operation sets: {plan.n_launches} "
+        f"(before rerooting: {original_sets}, serial: {args.taxa - 1})",
+        file=out,
+    )
+    print(
+        f"theoretical speedup vs serial: {tree_theoretical_speedup(tree):.2f}",
+        file=out,
+    )
+
+    # One validated evaluation (both resources).
+    loglik = execute_plan(instance, plan)
+    print(f"logL: {loglik:.6f}", file=out)
+
+    if args.partitions > 1:
+        _report_partitions(args, tree, mode, scaling, out)
+
+    dims = WorkloadDims(args.sites, args.states, args.categories)
+    flops_per_eval = (args.taxa - 1) * dims.flops_per_operation
+
+    if args.rsrc == 0:
+        # Measured CPU timing. Rescale factors recomputed every
+        # --rescale-frequency reps: other reps run without scaling ops.
+        cheap_plan = make_plan(tree, mode, scaling=False)
+        start = time.perf_counter()
+        for rep in range(args.reps):
+            use_scaling = scaling and rep % max(args.rescale_frequency, 1) == 0
+            execute_plan(instance, plan if use_scaling else cheap_plan)
+        elapsed = time.perf_counter() - start
+        per_eval = elapsed / args.reps
+        print(f"resource: CPU (NumPy engine), reps={args.reps}", file=out)
+        print(f"time per evaluation: {per_eval * 1e3:.3f} ms", file=out)
+        print(
+            f"effective throughput: {flops_per_eval / per_eval / 1e9:.3f} GFLOPS",
+            file=out,
+        )
+        if args.full_timing:
+            print(f"kernel launches per evaluation: {plan.n_launches}", file=out)
+            print(f"total wall time: {elapsed:.3f} s", file=out)
+    else:
+        device = SimulatedDevice(GP100)
+        if args.streams:
+            from ..gpu.streams import streams_time_set_sizes
+
+            timing = streams_time_set_sizes(
+                GP100, dims, plan.set_sizes, args.streams
+            )
+            mechanism = f"streams (S={args.streams})"
+        else:
+            timing = device.time_plan(plan, dims)
+            mechanism = "multi-operation kernel"
+        serial_seconds = device.time_tree(tree, dims, "serial").seconds
+        print(f"resource: {GP100.name} (analytical model)", file=out)
+        print(f"concurrency mechanism: {mechanism}", file=out)
+        print(f"time per evaluation: {timing.seconds * 1e6:.2f} us (modelled)", file=out)
+        print(f"effective throughput: {timing.gflops:.2f} GFLOPS (modelled)", file=out)
+        print(
+            f"speedup vs serial launches: {serial_seconds / timing.seconds:.2f}",
+            file=out,
+        )
+        if args.full_timing:
+            print("per-launch breakdown (ops, waves, us):", file=out)
+            for i, launch in enumerate(timing.launches):
+                print(
+                    f"  launch {i:3d}: {launch.n_operations:4d} ops, "
+                    f"{launch.n_waves:3d} waves, {launch.seconds * 1e6:7.2f} us",
+                    file=out,
+                )
+    return 0
+
+
+def _report_partitions(args, tree, mode, scaling, out) -> None:
+    """Evaluate the dataset split into equal partitions (§IV-A)."""
+    from ..data import random_patterns
+    from ..partition import DataPartition, PartitionedDataset, PartitionedLikelihood
+
+    rng = np.random.default_rng(args.seed + 1)
+    per_partition = max(args.sites // args.partitions, 1)
+    taxa = sorted(tree.tip_names())
+    partitions = [
+        DataPartition(
+            name=f"part{i + 1}",
+            patterns=random_patterns(taxa, per_partition, rng=rng),
+            model=random_gtr(rng),
+        )
+        for i in range(args.partitions)
+    ]
+    pl = PartitionedLikelihood(
+        tree, PartitionedDataset(partitions), scaling=scaling, mode=mode
+    )
+    print(
+        f"partitions: {args.partitions} x {per_partition} patterns, "
+        f"joint logL: {pl.log_likelihood():.6f}",
+        file=out,
+    )
+    sequential = pl.device_timing(concurrent_partitions=False)
+    merged = pl.device_timing(concurrent_partitions=True)
+    print(
+        f"partition launches: {sequential.n_launches} sequential -> "
+        f"{merged.n_launches} merged "
+        f"(modelled speedup {sequential.seconds / merged.seconds:.2f})",
+        file=out,
+    )
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    raise SystemExit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

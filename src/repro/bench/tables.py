@@ -1,0 +1,81 @@
+"""Result-table formatting for the benchmark harness.
+
+All benchmarks emit GitHub-flavoured markdown tables, both to stdout and
+into ``bench_results/`` so EXPERIMENTS.md can reference stable artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "write_table", "summarize_interval"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def _render(value: Cell) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: str = "",
+) -> str:
+    """Render rows of dicts as a markdown table.
+
+    Parameters
+    ----------
+    rows:
+        Mappings sharing (a superset of) the chosen columns.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading emitted above the table.
+    """
+    if not rows:
+        return (f"### {title}\n\n" if title else "") + "*(no rows)*\n"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_render(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(cols, widths)) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for r in rendered:
+        lines.append("| " + " | ".join(v.ljust(w) for v, w in zip(r, widths)) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def write_table(
+    path: Union[str, Path],
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: str = "",
+) -> str:
+    """Format a table, write it to ``path``, and return the text."""
+    text = format_table(rows, columns, title=title)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text)
+    return text
+
+
+def summarize_interval(values: Sequence[float]) -> str:
+    """The paper's ``[low, high]`` interval notation for random samples."""
+    if not values:
+        return "[]"
+    return f"[{min(values):.2f}, {max(values):.2f}]"

@@ -1,0 +1,95 @@
+"""Theoretical speedup expectations (paper §V).
+
+Concurrent evaluation replaces ``n − 1`` serial kernel launches with one
+launch per operation set, so — ignoring launch-size effects — the best
+possible speedup from subtree concurrency for a given rooting is::
+
+    speedup = (n − 1) / operation_sets
+
+The paper derives the topology-family expectations reproduced here:
+
+* perfectly balanced tree: sets = ``ceil(log2 n)`` → speedup
+  ``(n − 1)/ceil(log2 n)`` (the global upper bound),
+* pectinate tree, unrerooted: sets = ``n − 1`` → speedup 1 (the serial
+  worst case),
+* pectinate tree, optimally rerooted: sets = ``ceil(n/2)`` → speedup
+  ``(n − 1)/ceil(n/2) → 2 − ε`` as ``n`` grows,
+* any optimally rerooted tree: sets ≤ ``ceil(n/2)``, hence speedup in
+  ``[(n − 1)/ceil(n/2), (n − 1)/ceil(log2 n)]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..trees import Tree
+from .opsets import count_operation_sets
+
+__all__ = [
+    "balanced_sets",
+    "pectinate_sets",
+    "rerooted_pectinate_sets",
+    "theoretical_speedup",
+    "speedup_balanced",
+    "speedup_pectinate_rerooted",
+    "rerooted_speedup_interval",
+    "tree_theoretical_speedup",
+]
+
+
+def balanced_sets(n_tips: int) -> int:
+    """Operation sets of a perfectly balanced tree: ``ceil(log2 n)``."""
+    if n_tips < 2:
+        return 0
+    return math.ceil(math.log2(n_tips))
+
+
+def pectinate_sets(n_tips: int) -> int:
+    """Operation sets of an unrerooted pectinate tree: ``n − 1``."""
+    if n_tips < 2:
+        return 0
+    return n_tips - 1
+
+
+def rerooted_pectinate_sets(n_tips: int) -> int:
+    """Operation sets of an optimally rerooted pectinate tree: ``ceil(n/2)``."""
+    if n_tips < 2:
+        return 0
+    return math.ceil(n_tips / 2)
+
+
+def theoretical_speedup(n_tips: int, operation_sets: int) -> float:
+    """Best-case speedup of concurrent over serial: ``(n−1)/sets``."""
+    if n_tips < 2 or operation_sets < 1:
+        return 1.0
+    return (n_tips - 1) / operation_sets
+
+
+def speedup_balanced(n_tips: int) -> float:
+    """Theoretical concurrent speedup of a perfectly balanced tree."""
+    return theoretical_speedup(n_tips, balanced_sets(n_tips))
+
+
+def speedup_pectinate_rerooted(n_tips: int) -> float:
+    """Theoretical speedup of an optimally rerooted pectinate tree.
+
+    Approaches 2 from below as ``n → ∞`` (paper §V-A).
+    """
+    return theoretical_speedup(n_tips, rerooted_pectinate_sets(n_tips))
+
+
+def rerooted_speedup_interval(n_tips: int) -> tuple[float, float]:
+    """The paper's §V-B interval for any optimally rerooted tree:
+    ``[(n−1)/ceil(n/2), (n−1)/ceil(log2 n)]``."""
+    return (speedup_pectinate_rerooted(n_tips), speedup_balanced(n_tips))
+
+
+def tree_theoretical_speedup(tree: Tree) -> float:
+    """Tree-specific theoretical speedup: ``(n−1)/sets(tree)``.
+
+    This is how the paper obtains the per-tree bounds for its random
+    samples in Table III (§VII-C): count the tree's actual operation sets
+    and divide into the serial launch count.
+    """
+    return theoretical_speedup(tree.n_tips, count_operation_sets(tree))

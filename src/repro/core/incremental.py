@@ -1,0 +1,157 @@
+"""Incremental (dirty-path) likelihood updates — paper §VIII, factor 2.
+
+Modern inference programs do not recompute the whole tree after every
+move: changing one branch length only invalidates the partials of that
+branch's *ancestors* (the path up to the root), and programs recompute
+exactly that path. The paper's Discussion asks how its concurrency gains
+interact with such partial updates; this module implements them and
+exposes the quantitative link to rerooting:
+
+* the update path from a random branch to the root has expected length
+  O(n) in a pectinate tree but O(log n)–O(ceil(n/2)) after balanced
+  rerooting — so **rerooting also shrinks incremental updates**, not just
+  full traversals (measured in ``benchmarks/bench_incremental_updates.py``);
+* when several branches change at once (e.g. an NNI plus a multiplier),
+  the union of their dirty paths still forms independent operation sets
+  that batch into few launches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..beagle.instance import BeagleInstance
+from ..beagle.operations import Operation
+from ..data.patterns import PatternData
+from ..models.ratematrix import SubstitutionModel
+from ..models.siterates import RateCategories
+from ..trees import Tree
+from ..trees.node import Node
+from ..trees.traversal import node_depths
+from .opsets import build_operation_sets
+from .planner import create_instance, execute_plan, make_plan
+from .schedule import operation_for_node
+
+__all__ = [
+    "dirty_nodes",
+    "incremental_operation_sets",
+    "IncrementalLikelihood",
+]
+
+
+def dirty_nodes(tree: Tree, changed: Iterable[Node]) -> List[Node]:
+    """Internal nodes whose partials a set of branch changes invalidates.
+
+    Changing the branch above ``node`` invalidates ``node.parent`` and all
+    its ancestors. The union over all changed nodes is returned in
+    reverse level-order (deepest first) so the greedy set builder can
+    batch updates from disjoint paths.
+    """
+    marked: Dict[int, Node] = {}
+    for node in changed:
+        ancestor = node.parent
+        while ancestor is not None:
+            if id(ancestor) in marked:
+                break  # everything above is already marked
+            marked[id(ancestor)] = ancestor
+            ancestor = ancestor.parent
+    depths = node_depths(tree)
+    ordered = sorted(marked.values(), key=lambda n: -depths[id(n)])
+    return ordered
+
+
+def incremental_operation_sets(
+    tree: Tree,
+    changed: Iterable[Node],
+    *,
+    scaling: bool = False,
+) -> List[List[Operation]]:
+    """Greedy operation sets recomputing only the dirty ancestors."""
+    ops = [
+        operation_for_node(tree, node, scaling=scaling)
+        for node in dirty_nodes(tree, changed)
+    ]
+    return build_operation_sets(ops)
+
+
+class IncrementalLikelihood:
+    """A likelihood evaluator with cheap single-branch updates.
+
+    After one full evaluation, :meth:`set_branch_length` recomputes only
+    the changed branch's transition matrix and the partials on the path
+    to the root — the access pattern of a real inference loop. Launch
+    counts are tracked by the underlying instance's ``stats``.
+
+    Parameters
+    ----------
+    tree:
+        The working tree. Branch lengths are mutated in place by
+        :meth:`set_branch_length`; topology must not change (build a new
+        evaluator for topology moves).
+    model, patterns, rates, scaling:
+        As for :func:`repro.core.planner.create_instance`.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        model: SubstitutionModel,
+        patterns: PatternData,
+        *,
+        rates: Optional[RateCategories] = None,
+        scaling: bool = False,
+    ) -> None:
+        if scaling:
+            # Incremental updates would need to re-accumulate scale
+            # factors along the dirty path only; for clarity this
+            # implementation recomputes factors with full evaluations.
+            raise NotImplementedError(
+                "incremental updates do not support manual scaling"
+            )
+        self.tree = tree
+        self.model = model
+        self.patterns = patterns
+        self.rates = rates
+        self.instance: BeagleInstance = create_instance(
+            tree, model, patterns, rates=rates
+        )
+        self.plan = make_plan(tree, "concurrent")
+        self._evaluated = False
+
+    # ------------------------------------------------------------------
+    def full_log_likelihood(self) -> float:
+        """Evaluate everything (also refreshes all cached partials)."""
+        value = execute_plan(self.instance, self.plan)
+        self._evaluated = True
+        return value
+
+    def set_branch_length(self, node: Node, length: float) -> float:
+        """Change one branch and return the updated log-likelihood.
+
+        Only the branch's transition matrix and the partials of the
+        node's ancestors are recomputed.
+        """
+        if node.parent is None:
+            raise ValueError("the root has no branch")
+        if length < 0:
+            raise ValueError("branch lengths must be non-negative")
+        if not self._evaluated:
+            self.full_log_likelihood()
+        node.length = float(length)
+        matrix_index = self.tree.index_of(node)
+        self.instance.update_transition_matrices(0, [matrix_index], [length])
+        for op_set in incremental_operation_sets(self.tree, [node]):
+            self.instance.update_partials_set(op_set)
+        return self.instance.calculate_root_log_likelihood(self.plan.root_buffer)
+
+    def update_cost(self, node: Node) -> int:
+        """Operations a change to this branch will recompute (path length)."""
+        if node.parent is None:
+            raise ValueError("the root has no branch")
+        return len(dirty_nodes(self.tree, [node]))
+
+    def update_launches(self, node: Node) -> int:
+        """Operation sets (kernel launches) one branch update needs."""
+        if node.parent is None:
+            raise ValueError("the root has no branch")
+        return len(incremental_operation_sets(self.tree, [node]))

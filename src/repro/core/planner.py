@@ -1,0 +1,208 @@
+"""Execution planning: from a tree to engine calls.
+
+An :class:`ExecutionPlan` fixes everything the engine needs to evaluate a
+tree's likelihood: the operation sets (serial or concurrent), the matrix
+updates, the root buffer, and the scaling configuration mirroring
+``synthetictest``'s ``--manualscale`` / ``--rescale-frequency`` options.
+:func:`execute_plan` drives a :class:`~repro.beagle.instance.BeagleInstance`
+through the plan and returns the log-likelihood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..beagle.instance import BeagleInstance
+from ..beagle.operations import Operation
+from ..data.patterns import PatternData
+from ..models.ratematrix import SubstitutionModel
+from ..models.siterates import RateCategories, single_rate
+from ..trees import Tree
+from .opsets import build_operation_sets, level_schedule
+from .schedule import (
+    matrix_updates,
+    postorder_operations,
+    reverse_levelorder_operations,
+)
+
+__all__ = ["ExecutionPlan", "make_plan", "create_instance", "execute_plan"]
+
+#: Scale buffer reserved for the accumulated (cumulative) log factors.
+CUMULATIVE_SCALE = 0
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A fully resolved schedule for one tree evaluation.
+
+    Attributes
+    ----------
+    tree:
+        The tree the plan was built from (indices assigned).
+    operation_sets:
+        Groups of independent operations; each inner list is one kernel
+        launch. Serial plans have one operation per set.
+    matrix_indices, branch_lengths:
+        Arguments for ``update_transition_matrices``.
+    root_buffer:
+        Buffer index holding the root partials after execution.
+    scaling:
+        Whether operations write per-node scale factors.
+    mode:
+        ``"serial"``, ``"concurrent"`` (greedy reverse level-order sets)
+        or ``"level"`` (optimal height grouping).
+    """
+
+    tree: Tree
+    operation_sets: List[List[Operation]]
+    matrix_indices: List[int]
+    branch_lengths: List[float]
+    root_buffer: int
+    scaling: bool
+    mode: str
+
+    @property
+    def n_launches(self) -> int:
+        """Kernel launches this plan will issue."""
+        return len(self.operation_sets)
+
+    @property
+    def n_operations(self) -> int:
+        return sum(len(s) for s in self.operation_sets)
+
+    @property
+    def set_sizes(self) -> List[int]:
+        return [len(s) for s in self.operation_sets]
+
+
+def make_plan(
+    tree: Tree,
+    mode: str = "concurrent",
+    *,
+    scaling: bool = False,
+) -> ExecutionPlan:
+    """Build an :class:`ExecutionPlan` for a bifurcating tree.
+
+    Parameters
+    ----------
+    mode:
+        ``"serial"`` — post-order, one operation per launch (the paper's
+        sequential baseline, §VII-C); ``"concurrent"`` — reverse
+        level-order with greedy BEAGLE batching; ``"level"`` — optimal
+        height-grouped batching (scheduling ablation).
+    scaling:
+        Enable per-operation rescaling (manual-scaling style).
+    """
+    if not tree.is_bifurcating():
+        raise ValueError("execution plans require a bifurcating tree")
+    if tree.n_tips < 2:
+        raise ValueError("need at least two tips")
+    tree.assign_indices()
+    if mode == "serial":
+        sets = [[op] for op in postorder_operations(tree, scaling=scaling)]
+    elif mode == "concurrent":
+        ops = reverse_levelorder_operations(tree, scaling=scaling)
+        sets = build_operation_sets(ops)
+    elif mode == "level":
+        sets = level_schedule(tree, scaling=scaling)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    indices, lengths = matrix_updates(tree)
+    return ExecutionPlan(
+        tree=tree,
+        operation_sets=sets,
+        matrix_indices=indices,
+        branch_lengths=lengths,
+        root_buffer=tree.index_of(tree.root),
+        scaling=scaling,
+        mode=mode,
+    )
+
+
+def create_instance(
+    tree: Tree,
+    model: SubstitutionModel,
+    patterns: PatternData,
+    *,
+    rates: Optional[RateCategories] = None,
+    scaling: bool = False,
+    dtype=np.float64,
+) -> BeagleInstance:
+    """Create and populate an engine instance for a (tree, model, data) triple.
+
+    Tips are matched to pattern taxa by name; taxa with partial-ambiguity
+    characters are loaded as tip partials, the rest as compact states
+    (exactly the ``setTipStates``/``setTipPartials`` split in BEAGLE).
+    """
+    rates = rates or single_rate()
+    names = set(patterns.taxa)
+    tips = {t.name for t in tree.tips()}
+    if tips != names:
+        raise ValueError("tree tips and pattern taxa must match by name")
+    # Use the tree's canonical (left-to-right) indexing so instance and
+    # plan agree no matter which is created first; data rows are matched
+    # to tip buffers by taxon name.
+    tree.assign_indices()
+
+    n = tree.n_tips
+    instance = BeagleInstance(
+        tip_count=n,
+        partials_buffer_count=n - 1,
+        matrix_count=2 * n - 1,
+        pattern_count=patterns.n_patterns,
+        state_count=model.n_states,
+        category_count=rates.n_categories,
+        scale_buffer_count=n if scaling else 0,
+        dtype=dtype,
+    )
+    for tip in tree.tips():
+        index = tree.index_of(tip)
+        if tip.name in patterns.partials:
+            instance.set_tip_partials(index, patterns.tip_partials(tip.name))
+        else:
+            instance.set_tip_states(index, patterns.tip_codes(tip.name))
+    instance.set_pattern_weights(patterns.weights)
+    instance.set_state_frequencies(model.frequencies)
+    instance.set_category_rates(rates.rates)
+    instance.set_category_weights(rates.probabilities)
+    instance.set_eigen_decomposition(0, model.eigen)
+    return instance
+
+
+def execute_plan(
+    instance: BeagleInstance,
+    plan: ExecutionPlan,
+    *,
+    update_matrices: bool = True,
+) -> float:
+    """Run a plan on an instance and return the root log-likelihood.
+
+    When the plan has scaling enabled, per-node scale factors written by
+    the operations are accumulated into the cumulative buffer (the last
+    slot of the scale bank — internal nodes use slots ``0 .. n−2``, so
+    slot ``n−1`` is reserved) before the root reduction: BEAGLE's
+    ``accumulateScaleFactors`` + ``calculateRootLogLikelihoods`` sequence.
+    """
+    instance.invalidate_partials()
+    if update_matrices:
+        instance.update_transition_matrices(
+            0, plan.matrix_indices, plan.branch_lengths
+        )
+    for op_set in plan.operation_sets:
+        instance.update_partials_set(op_set)
+
+    if not plan.scaling:
+        return instance.calculate_root_log_likelihood(plan.root_buffer)
+    scale_indices = [
+        op.destination_scale
+        for op_set in plan.operation_sets
+        for op in op_set
+        if op.destination_scale >= 0
+    ]
+    cumulative = instance.scale.count - 1
+    instance.scale.reset(cumulative)
+    instance.scale.accumulate(scale_indices, cumulative)
+    return instance.calculate_root_log_likelihood(plan.root_buffer, cumulative)

@@ -1,0 +1,86 @@
+"""Mapping trees onto operation schedules.
+
+The likelihood of a tree requires one operation per internal node
+(``n - 1`` for ``n`` tips, paper §IV-B). *Which order* those operations
+are submitted in determines how much concurrency the engine can discover:
+
+* :func:`postorder_operations` — the prevailing serial order (paper
+  Fig. 2 upper / Fig. 3 upper).
+* :func:`reverse_levelorder_operations` — deepest-level-first, the order
+  BEAGLE requires for its dependency-aware batching (Fig. 2 lower).
+
+Buffer-index conventions follow :meth:`repro.trees.tree.Tree.assign_indices`:
+tip buffers ``0..n-1``, internal partials buffers ``n..2n-2``, and the
+transition matrix of a branch shares the buffer index of its child node.
+Scale-buffer index of an internal node is ``buffer − n`` when manual
+scaling is on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..beagle.operations import Operation
+from ..trees import Tree
+from ..trees.traversal import reverse_levelorder
+
+__all__ = [
+    "operation_for_node",
+    "postorder_operations",
+    "reverse_levelorder_operations",
+    "matrix_updates",
+]
+
+
+def operation_for_node(tree: Tree, node, *, scaling: bool = False) -> Operation:
+    """The :class:`Operation` computing one internal node's partials."""
+    if node.is_tip:
+        raise ValueError("tips have no partial-likelihood operation")
+    if len(node.children) != 2:
+        raise ValueError("operations require a bifurcating tree")
+    left, right = node.children
+    dest = tree.index_of(node)
+    return Operation(
+        destination=dest,
+        child1=tree.index_of(left),
+        child1_matrix=tree.index_of(left),
+        child2=tree.index_of(right),
+        child2_matrix=tree.index_of(right),
+        destination_scale=(dest - tree.n_tips) if scaling else -1,
+    )
+
+
+def postorder_operations(tree: Tree, *, scaling: bool = False) -> List[Operation]:
+    """Operations in post-order: strictly serial dependencies."""
+    return [
+        operation_for_node(tree, node, scaling=scaling)
+        for node in tree.root.traverse_postorder()
+        if not node.is_tip
+    ]
+
+
+def reverse_levelorder_operations(
+    tree: Tree, *, scaling: bool = False
+) -> List[Operation]:
+    """Operations in reverse level-order (BEAGLE's required order)."""
+    return [
+        operation_for_node(tree, node, scaling=scaling)
+        for node in reverse_levelorder(tree)
+        if not node.is_tip
+    ]
+
+
+def matrix_updates(tree: Tree) -> tuple[List[int], List[float]]:
+    """The (matrix index, branch length) pairs for every non-root node.
+
+    Feed directly to
+    :meth:`repro.beagle.instance.BeagleInstance.update_transition_matrices`.
+    """
+    indices: List[int] = []
+    lengths: List[float] = []
+    for node in tree.root.traverse_postorder():
+        if node.parent is None:
+            continue
+        indices.append(tree.index_of(node))
+        lengths.append(node.length)
+    return indices, lengths

@@ -1,0 +1,54 @@
+"""Sequence-data substrate: alphabets, alignments, patterns, simulation, IO."""
+
+from .alphabet import AMINO_ACID, DNA, Alphabet
+from .alignment import (
+    Alignment,
+    concatenate,
+    proportion_variable_sites,
+    site_variability,
+)
+from .patterns import PatternData, compress, random_patterns
+from .simulate import simulate_alignment, simulate_states
+from .io_fasta import format_fasta, parse_fasta, read_fasta, write_fasta
+from .io_phylip import format_phylip, parse_phylip, read_phylip, write_phylip
+from .io_nexus import (
+    format_nexus_alignment,
+    format_nexus_trees,
+    parse_nexus_alignment,
+    parse_nexus_trees,
+    read_nexus_alignment,
+    read_nexus_trees,
+    write_nexus_alignment,
+    write_nexus_trees,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "AMINO_ACID",
+    "Alignment",
+    "concatenate",
+    "site_variability",
+    "proportion_variable_sites",
+    "PatternData",
+    "compress",
+    "random_patterns",
+    "simulate_alignment",
+    "simulate_states",
+    "read_fasta",
+    "write_fasta",
+    "parse_fasta",
+    "format_fasta",
+    "read_phylip",
+    "write_phylip",
+    "parse_phylip",
+    "format_phylip",
+    "parse_nexus_alignment",
+    "parse_nexus_trees",
+    "format_nexus_alignment",
+    "format_nexus_trees",
+    "read_nexus_alignment",
+    "read_nexus_trees",
+    "write_nexus_alignment",
+    "write_nexus_trees",
+]

@@ -1,0 +1,172 @@
+"""Multiple sequence alignments.
+
+An :class:`Alignment` is an ordered mapping from taxon name to a symbol
+sequence over a shared :class:`~repro.data.alphabet.Alphabet`. Sequences
+for codon alphabets are stored as tuples of 3-letter codon symbols; DNA and
+protein sequences as plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .alphabet import DNA, Alphabet
+
+__all__ = [
+    "Alignment",
+    "concatenate",
+    "site_variability",
+    "proportion_variable_sites",
+]
+
+
+class Alignment:
+    """An aligned set of equal-length sequences.
+
+    Parameters
+    ----------
+    sequences:
+        Mapping from taxon name to sequence. Every sequence must have the
+        same length and contain only symbols of ``alphabet``.
+    alphabet:
+        Shared alphabet; defaults to DNA.
+    """
+
+    def __init__(
+        self,
+        sequences: Mapping[str, Sequence[str]],
+        alphabet: Alphabet = DNA,
+    ) -> None:
+        if not sequences:
+            raise ValueError("alignment needs at least one sequence")
+        self.alphabet = alphabet
+        self._names: List[str] = list(sequences)
+        self._rows: List[Tuple[str, ...]] = []
+        length = None
+        for name in self._names:
+            row = tuple(sequences[name])
+            if length is None:
+                length = len(row)
+            elif len(row) != length:
+                raise ValueError(
+                    f"sequence {name!r} has length {len(row)}, expected {length}"
+                )
+            for symbol in row:
+                if symbol not in alphabet:
+                    raise ValueError(
+                        f"symbol {symbol!r} in sequence {name!r} is not in "
+                        f"alphabet {alphabet.name}"
+                    )
+            self._rows.append(row)
+        assert length is not None
+        self._length = length
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        """Taxon names in insertion order."""
+        return list(self._names)
+
+    @property
+    def n_taxa(self) -> int:
+        return len(self._names)
+
+    @property
+    def n_sites(self) -> int:
+        return self._length
+
+    def sequence(self, name: str) -> Tuple[str, ...]:
+        """The symbol tuple for one taxon."""
+        try:
+            return self._rows[self._names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple[str, ...]]]:
+        return iter(zip(self._names, self._rows))
+
+    def column(self, site: int) -> Tuple[str, ...]:
+        """Symbols of every taxon at one site."""
+        if not 0 <= site < self._length:
+            raise IndexError(site)
+        return tuple(row[site] for row in self._rows)
+
+    def columns(self) -> Iterator[Tuple[str, ...]]:
+        for site in range(self._length):
+            yield self.column(site)
+
+    # ------------------------------------------------------------------
+    def encoded(self) -> np.ndarray:
+        """``(n_taxa, n_sites)`` compact integer codes (ambiguity -> s)."""
+        return np.stack([self.alphabet.encode(row) for row in self._rows])
+
+    def has_ambiguity(self) -> bool:
+        """True when any sequence contains an ambiguity code or gap."""
+        return any(
+            self.alphabet.is_ambiguous(symbol) for row in self._rows for symbol in row
+        )
+
+    def taxon_subset(self, names: Sequence[str]) -> "Alignment":
+        """A new alignment restricted to (and reordered by) ``names``."""
+        data: Dict[str, Tuple[str, ...]] = {}
+        for name in names:
+            data[name] = self.sequence(name)
+        return Alignment(data, self.alphabet)
+
+    def site_subset(self, sites: Sequence[int]) -> "Alignment":
+        """A new alignment keeping only the given site indices, in order."""
+        data = {
+            name: tuple(row[i] for i in sites) for name, row in zip(self._names, self._rows)
+        }
+        return Alignment(data, self.alphabet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Alignment taxa={self.n_taxa} sites={self.n_sites} "
+            f"alphabet={self.alphabet.name}>"
+        )
+
+
+def concatenate(alignments: "Sequence[Alignment]") -> "Alignment":
+    """Concatenate alignments sharing one taxon set (a supermatrix).
+
+    The usual multi-gene workflow: per-gene alignments joined site-wise.
+    Taxon order follows the first alignment; all inputs must share the
+    same alphabet and taxon set.
+    """
+    if not alignments:
+        raise ValueError("need at least one alignment")
+    first = alignments[0]
+    taxa = first.names
+    for other in alignments[1:]:
+        if set(other.names) != set(taxa):
+            raise ValueError("all alignments must share the same taxon set")
+        if other.alphabet is not first.alphabet:
+            raise ValueError("all alignments must share one alphabet")
+    data = {
+        name: tuple(
+            symbol for aln in alignments for symbol in aln.sequence(name)
+        )
+        for name in taxa
+    }
+    return Alignment(data, first.alphabet)
+
+
+def site_variability(alignment: "Alignment") -> "np.ndarray":
+    """Per-site count of distinct unambiguous states (1 = constant site)."""
+    counts = []
+    alphabet = alignment.alphabet
+    for column in alignment.columns():
+        observed = {
+            symbol for symbol in column if not alphabet.is_ambiguous(symbol)
+        }
+        counts.append(len(observed))
+    return np.asarray(counts)
+
+
+def proportion_variable_sites(alignment: "Alignment") -> float:
+    """Fraction of sites with more than one unambiguous state observed."""
+    variability = site_variability(alignment)
+    return float(np.mean(variability > 1))

@@ -1,0 +1,161 @@
+"""Character-state alphabets.
+
+An :class:`Alphabet` maps sequence symbols to state indices and resolves
+ambiguity codes into partial-likelihood vectors. The library ships the two
+fixed alphabets the paper's models need (nucleotide ``s = 4`` and amino
+acid ``s = 20``); the 61-state codon alphabet is built dynamically from the
+genetic code in :mod:`repro.models.genetic_code` because its state set
+depends on which codons are stop codons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Alphabet", "DNA", "AMINO_ACID"]
+
+
+class Alphabet:
+    """A finite character-state alphabet with ambiguity codes.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name ("dna", "amino_acid", "codon").
+    states:
+        The canonical, unambiguous states in index order.
+    ambiguities:
+        Mapping from ambiguity symbol to the tuple of states it may
+        represent; e.g. IUPAC ``R -> (A, G)``. A full-gap/unknown symbol
+        mapping to every state is added automatically for ``-``, ``?`` and
+        the explicit ``unknown`` symbol.
+    unknown:
+        Symbol treated as fully ambiguous (``N`` for DNA, ``X`` for amino
+        acids).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[str],
+        ambiguities: Mapping[str, Tuple[str, ...]] = (),
+        unknown: str = "?",
+    ) -> None:
+        self.name = name
+        self.states: Tuple[str, ...] = tuple(states)
+        if len(set(self.states)) != len(self.states):
+            raise ValueError("duplicate states")
+        self._index: Dict[str, int] = {s: i for i, s in enumerate(self.states)}
+
+        self._partials: Dict[str, np.ndarray] = {}
+        for i, s in enumerate(self.states):
+            vec = np.zeros(len(self.states))
+            vec[i] = 1.0
+            self._partials[s] = vec
+        full = np.ones(len(self.states))
+        for symbol in {unknown, "-", "?"}:
+            self._partials[symbol] = full
+        self.unknown = unknown
+        for symbol, members in dict(ambiguities).items():
+            vec = np.zeros(len(self.states))
+            for member in members:
+                vec[self._index[member]] = 1.0
+            self._partials[symbol] = vec
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def index(self, symbol: str) -> int:
+        """State index of an unambiguous symbol.
+
+        Raises
+        ------
+        KeyError
+            For ambiguity codes or unknown symbols — use :meth:`code` or
+            :meth:`partial` for those.
+        """
+        return self._index[symbol]
+
+    def code(self, symbol: str) -> int:
+        """Integer code for the engine's compact tip representation.
+
+        Unambiguous states map to their index; any recognised ambiguity
+        (including gaps) maps to ``n_states``, the BEAGLE convention for
+        "unknown" in ``setTipStates``-style buffers.
+        """
+        if symbol in self._index:
+            return self._index[symbol]
+        if symbol in self._partials:
+            return self.n_states
+        raise KeyError(f"symbol {symbol!r} not in alphabet {self.name}")
+
+    def partial(self, symbol: str) -> np.ndarray:
+        """Partial-likelihood row vector (copy) for a symbol."""
+        try:
+            return self._partials[symbol].copy()
+        except KeyError:
+            raise KeyError(f"symbol {symbol!r} not in alphabet {self.name}") from None
+
+    def is_ambiguous(self, symbol: str) -> bool:
+        """True for ambiguity codes, gaps and unknowns."""
+        if symbol in self._index:
+            return False
+        if symbol in self._partials:
+            return True
+        raise KeyError(f"symbol {symbol!r} not in alphabet {self.name}")
+
+    def symbols(self) -> Tuple[str, ...]:
+        """Every recognised symbol (states first, then ambiguity codes)."""
+        rest = tuple(s for s in self._partials if s not in self._index)
+        return self.states + rest
+
+    def encode(self, sequence: Sequence[str]) -> np.ndarray:
+        """Vector of compact integer codes (see :meth:`code`)."""
+        return np.array([self.code(s) for s in sequence], dtype=np.int32)
+
+    def encode_partials(self, sequence: Sequence[str]) -> np.ndarray:
+        """``(len(sequence), n_states)`` matrix of partial vectors."""
+        return np.stack([self._partials[s] for s in sequence])
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._partials
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Alphabet {self.name} s={self.n_states}>"
+
+
+#: IUPAC nucleotide alphabet (state order A, C, G, T as used by BEAGLE).
+DNA = Alphabet(
+    "dna",
+    "ACGT",
+    ambiguities={
+        "U": ("T",),
+        "R": ("A", "G"),
+        "Y": ("C", "T"),
+        "S": ("C", "G"),
+        "W": ("A", "T"),
+        "K": ("G", "T"),
+        "M": ("A", "C"),
+        "B": ("C", "G", "T"),
+        "D": ("A", "G", "T"),
+        "H": ("A", "C", "T"),
+        "V": ("A", "C", "G"),
+    },
+    unknown="N",
+)
+
+#: The 20 amino acids in the conventional alphabetical one-letter order.
+AMINO_ACID = Alphabet(
+    "amino_acid",
+    "ACDEFGHIKLMNPQRSTVWY",
+    ambiguities={
+        "B": ("D", "N"),
+        "Z": ("E", "Q"),
+        "J": ("I", "L"),
+    },
+    unknown="X",
+)

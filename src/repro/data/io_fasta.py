@@ -1,0 +1,68 @@
+"""FASTA reading and writing."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Union
+
+from .alignment import Alignment
+from .alphabet import DNA, Alphabet
+
+__all__ = ["read_fasta", "write_fasta", "parse_fasta", "format_fasta"]
+
+PathLike = Union[str, Path]
+
+
+def parse_fasta(text: str, alphabet: Alphabet = DNA) -> Alignment:
+    """Parse FASTA-formatted text into an :class:`Alignment`.
+
+    Sequence symbols are upper-cased; the header is everything after
+    ``>`` up to the first whitespace.
+    """
+    sequences: Dict[str, str] = {}
+    name = None
+    chunks: list[str] = []
+    for raw in io.StringIO(text):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                sequences[name] = "".join(chunks)
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            if not name:
+                raise ValueError("FASTA record with empty name")
+            if name in sequences:
+                raise ValueError(f"duplicate FASTA record {name!r}")
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("sequence data before first FASTA header")
+            chunks.append(line.upper())
+    if name is not None:
+        sequences[name] = "".join(chunks)
+    if not sequences:
+        raise ValueError("no FASTA records found")
+    return Alignment(sequences, alphabet)
+
+
+def format_fasta(alignment: Alignment, *, width: int = 70) -> str:
+    """Serialise an alignment as FASTA text with wrapped lines."""
+    out: list[str] = []
+    for name, row in alignment:
+        out.append(f">{name}")
+        seq = "".join(row)
+        for start in range(0, len(seq), width):
+            out.append(seq[start : start + width])
+    return "\n".join(out) + "\n"
+
+
+def read_fasta(path: PathLike, alphabet: Alphabet = DNA) -> Alignment:
+    """Read a FASTA file into an :class:`Alignment`."""
+    return parse_fasta(Path(path).read_text(), alphabet)
+
+
+def write_fasta(alignment: Alignment, path: PathLike, *, width: int = 70) -> None:
+    """Write an alignment to a FASTA file."""
+    Path(path).write_text(format_fasta(alignment, width=width))

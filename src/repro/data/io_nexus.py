@@ -1,0 +1,227 @@
+"""Minimal NEXUS reading and writing.
+
+NEXUS is the interchange format of the MrBayes/BEAST ecosystem the paper
+targets. This module supports the common core a likelihood library needs:
+
+* ``DATA``/``CHARACTERS`` blocks — aligned sequence matrices with
+  ``ntax``/``nchar`` dimensions and a ``datatype`` declaration;
+* ``TREES`` blocks — named Newick trees with an optional ``TRANSLATE``
+  table mapping numeric labels to taxon names.
+
+Comments in square brackets are ignored everywhere; keywords are
+case-insensitive, as the format specifies.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..trees import Tree, parse_newick, write_newick
+from .alignment import Alignment
+from .alphabet import AMINO_ACID, DNA, Alphabet
+
+__all__ = [
+    "parse_nexus_alignment",
+    "parse_nexus_trees",
+    "format_nexus_alignment",
+    "format_nexus_trees",
+    "read_nexus_alignment",
+    "read_nexus_trees",
+    "write_nexus_alignment",
+    "write_nexus_trees",
+]
+
+PathLike = Union[str, Path]
+
+
+def _strip_comments(text: str) -> str:
+    out: List[str] = []
+    depth = 0
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            if depth == 0:
+                raise ValueError("unbalanced ']' in NEXUS input")
+            depth -= 1
+        elif depth == 0:
+            out.append(ch)
+    if depth != 0:
+        raise ValueError("unterminated comment in NEXUS input")
+    return "".join(out)
+
+
+def _check_header(text: str) -> str:
+    stripped = _strip_comments(text).strip()
+    if not stripped[:6].upper() == "#NEXUS":
+        raise ValueError("missing #NEXUS header")
+    return stripped[6:]
+
+
+def _blocks(text: str) -> List[Tuple[str, str]]:
+    """Extract (name, body) for every BEGIN ... END; block."""
+    pattern = re.compile(
+        r"BEGIN\s+(\w+)\s*;(.*?)END\s*;", re.IGNORECASE | re.DOTALL
+    )
+    return [(m.group(1).upper(), m.group(2)) for m in pattern.finditer(text)]
+
+
+def _alphabet_for(datatype: str) -> Alphabet:
+    datatype = datatype.lower()
+    if datatype in ("dna", "nucleotide", "rna"):
+        return DNA
+    if datatype == "protein":
+        return AMINO_ACID
+    raise ValueError(f"unsupported NEXUS datatype {datatype!r}")
+
+
+def parse_nexus_alignment(text: str) -> Alignment:
+    """Parse the first DATA/CHARACTERS block into an :class:`Alignment`."""
+    body = None
+    for name, block in _blocks(_check_header(text)):
+        if name in ("DATA", "CHARACTERS"):
+            body = block
+            break
+    if body is None:
+        raise ValueError("no DATA or CHARACTERS block found")
+
+    dims = re.search(
+        r"DIMENSIONS\s+(.*?);", body, re.IGNORECASE | re.DOTALL
+    )
+    if not dims:
+        raise ValueError("DATA block missing DIMENSIONS")
+    dim_text = dims.group(1)
+    ntax_m = re.search(r"NTAX\s*=\s*(\d+)", dim_text, re.IGNORECASE)
+    nchar_m = re.search(r"NCHAR\s*=\s*(\d+)", dim_text, re.IGNORECASE)
+    if not ntax_m or not nchar_m:
+        raise ValueError("DIMENSIONS must declare ntax and nchar")
+    ntax, nchar = int(ntax_m.group(1)), int(nchar_m.group(1))
+
+    fmt = re.search(r"FORMAT\s+(.*?);", body, re.IGNORECASE | re.DOTALL)
+    datatype = "dna"
+    if fmt:
+        dt = re.search(r"DATATYPE\s*=\s*(\w+)", fmt.group(1), re.IGNORECASE)
+        if dt:
+            datatype = dt.group(1)
+    alphabet = _alphabet_for(datatype)
+
+    matrix = re.search(
+        r"MATRIX\s+(.*?);", body, re.IGNORECASE | re.DOTALL
+    )
+    if not matrix:
+        raise ValueError("DATA block missing MATRIX")
+    sequences: Dict[str, str] = {}
+    for line in matrix.group(1).splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed MATRIX row: {line!r}")
+        name = parts[0].strip("'\"")
+        seq = parts[1].replace(" ", "").upper()
+        sequences[name] = sequences.get(name, "") + seq  # interleaved OK
+    if len(sequences) != ntax:
+        raise ValueError(f"expected {ntax} taxa, found {len(sequences)}")
+    for name, seq in sequences.items():
+        if len(seq) != nchar:
+            raise ValueError(
+                f"taxon {name!r} has {len(seq)} characters, expected {nchar}"
+            )
+    return Alignment(sequences, alphabet)
+
+
+def parse_nexus_trees(text: str) -> Dict[str, Tree]:
+    """Parse the first TREES block into ``{tree name: Tree}``.
+
+    A TRANSLATE table, when present, is applied to tip labels.
+    """
+    body = None
+    for name, block in _blocks(_check_header(text)):
+        if name == "TREES":
+            body = block
+            break
+    if body is None:
+        raise ValueError("no TREES block found")
+
+    translate: Dict[str, str] = {}
+    tr = re.search(r"TRANSLATE\s+(.*?);", body, re.IGNORECASE | re.DOTALL)
+    if tr:
+        for entry in tr.group(1).split(","):
+            parts = entry.split()
+            if len(parts) >= 2:
+                translate[parts[0]] = parts[1].strip("'\"")
+
+    trees: Dict[str, Tree] = {}
+    for m in re.finditer(
+        r"TREE\s+\*?\s*([\w.\-]+)\s*=\s*(?:\[[^\]]*\]\s*)?([^;]+);",
+        body,
+        re.IGNORECASE,
+    ):
+        name, newick = m.group(1), m.group(2).strip() + ";"
+        tree = parse_newick(newick)
+        if translate:
+            for tip in tree.tips():
+                if tip.name in translate:
+                    tip.name = translate[tip.name]
+        trees[name] = tree
+    if not trees:
+        raise ValueError("TREES block contains no TREE statements")
+    return trees
+
+
+def format_nexus_alignment(alignment: Alignment) -> str:
+    """Serialise an alignment as a NEXUS DATA block."""
+    datatype = {"dna": "dna", "amino_acid": "protein"}.get(
+        alignment.alphabet.name
+    )
+    if datatype is None:
+        raise ValueError(
+            f"cannot write alphabet {alignment.alphabet.name!r} to NEXUS"
+        )
+    width = max(len(name) for name in alignment.names) + 2
+    lines = [
+        "#NEXUS",
+        "",
+        "BEGIN DATA;",
+        f"    DIMENSIONS ntax={alignment.n_taxa} nchar={alignment.n_sites};",
+        f"    FORMAT datatype={datatype} missing=? gap=-;",
+        "    MATRIX",
+    ]
+    for name, row in alignment:
+        lines.append(f"        {name:<{width}}{''.join(row)}")
+    lines += ["    ;", "END;", ""]
+    return "\n".join(lines)
+
+
+def format_nexus_trees(trees: Dict[str, Tree]) -> str:
+    """Serialise named trees as a NEXUS TREES block (no translate table)."""
+    if not trees:
+        raise ValueError("need at least one tree")
+    lines = ["#NEXUS", "", "BEGIN TREES;"]
+    for name, tree in trees.items():
+        lines.append(f"    TREE {name} = {write_newick(tree)}")
+    lines += ["END;", ""]
+    return "\n".join(lines)
+
+
+def read_nexus_alignment(path: PathLike) -> Alignment:
+    """Read the first DATA/CHARACTERS block of a NEXUS file."""
+    return parse_nexus_alignment(Path(path).read_text())
+
+
+def read_nexus_trees(path: PathLike) -> Dict[str, Tree]:
+    """Read the first TREES block of a NEXUS file."""
+    return parse_nexus_trees(Path(path).read_text())
+
+
+def write_nexus_alignment(alignment: Alignment, path: PathLike) -> None:
+    """Write an alignment to a NEXUS file (DATA block)."""
+    Path(path).write_text(format_nexus_alignment(alignment))
+
+
+def write_nexus_trees(trees: Dict[str, Tree], path: PathLike) -> None:
+    """Write named trees to a NEXUS file (TREES block)."""
+    Path(path).write_text(format_nexus_trees(trees))

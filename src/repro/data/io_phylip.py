@@ -1,0 +1,68 @@
+"""Relaxed PHYLIP reading and writing.
+
+Supports the sequential relaxed-PHYLIP dialect used by RAxML and friends:
+a header line with taxon and site counts, then one ``name sequence`` line
+per taxon (whitespace-separated, names of any length).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from .alignment import Alignment
+from .alphabet import DNA, Alphabet
+
+__all__ = ["read_phylip", "write_phylip", "parse_phylip", "format_phylip"]
+
+PathLike = Union[str, Path]
+
+
+def parse_phylip(text: str, alphabet: Alphabet = DNA) -> Alignment:
+    """Parse relaxed sequential PHYLIP text into an :class:`Alignment`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty PHYLIP input")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise ValueError("PHYLIP header must be '<n_taxa> <n_sites>'")
+    try:
+        n_taxa, n_sites = int(header[0]), int(header[1])
+    except ValueError:
+        raise ValueError("PHYLIP header must contain two integers") from None
+    records = lines[1:]
+    if len(records) != n_taxa:
+        raise ValueError(f"expected {n_taxa} records, found {len(records)}")
+    sequences: Dict[str, str] = {}
+    for line in records:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed PHYLIP record: {line!r}")
+        name, seq = parts[0], parts[1].replace(" ", "").upper()
+        if len(seq) != n_sites:
+            raise ValueError(
+                f"record {name!r} has {len(seq)} sites, header says {n_sites}"
+            )
+        if name in sequences:
+            raise ValueError(f"duplicate taxon {name!r}")
+        sequences[name] = seq
+    return Alignment(sequences, alphabet)
+
+
+def format_phylip(alignment: Alignment) -> str:
+    """Serialise an alignment as relaxed sequential PHYLIP."""
+    name_width = max(len(name) for name in alignment.names) + 2
+    out = [f"{alignment.n_taxa} {alignment.n_sites}"]
+    for name, row in alignment:
+        out.append(f"{name:<{name_width}}{''.join(row)}")
+    return "\n".join(out) + "\n"
+
+
+def read_phylip(path: PathLike, alphabet: Alphabet = DNA) -> Alignment:
+    """Read a relaxed PHYLIP file into an :class:`Alignment`."""
+    return parse_phylip(Path(path).read_text(), alphabet)
+
+
+def write_phylip(alignment: Alignment, path: PathLike) -> None:
+    """Write an alignment to a relaxed PHYLIP file."""
+    Path(path).write_text(format_phylip(alignment))

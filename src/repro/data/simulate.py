@@ -1,0 +1,116 @@
+"""Sequence simulation along a tree.
+
+Evolves characters down a tree under any substitution model that provides
+``frequencies`` (stationary distribution) and ``transition_matrix(t)``
+(see :mod:`repro.models`): the root state of each site is drawn from the
+stationary distribution and each branch applies a draw from the relevant
+row of ``P(t)``. Supports per-site rate multipliers (discrete-Γ rate
+heterogeneity) by scaling branch lengths per site class.
+
+This is the principled counterpart of ``synthetictest``'s uniform random
+data (:func:`repro.data.patterns.random_patterns`): simulated alignments
+carry real phylogenetic signal, which the inference examples need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..trees import Tree
+from .alignment import Alignment
+from .alphabet import Alphabet
+
+__all__ = ["SubstitutionProcess", "simulate_alignment", "simulate_states"]
+
+
+class SubstitutionProcess(Protocol):
+    """Duck type required of models used for simulation."""
+
+    alphabet: Alphabet
+
+    @property
+    def frequencies(self) -> np.ndarray: ...
+
+    def transition_matrix(self, t: float) -> np.ndarray: ...
+
+
+def simulate_states(
+    tree: Tree,
+    model: SubstitutionProcess,
+    n_sites: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    site_rates: Optional[Sequence[float]] = None,
+) -> Dict[str, np.ndarray]:
+    """Simulate integer state sequences for every tip.
+
+    Parameters
+    ----------
+    site_rates:
+        Optional per-site rate multipliers (length ``n_sites``). A branch
+        of length ``t`` uses ``P(rate * t)`` at each site, which is how
+        discrete-Γ heterogeneity enters simulation.
+
+    Returns
+    -------
+    dict
+        ``tip name -> (n_sites,) int array`` of state indices.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if n_sites < 1:
+        raise ValueError("need at least one site")
+    rates = np.ones(n_sites) if site_rates is None else np.asarray(site_rates, float)
+    if rates.shape != (n_sites,):
+        raise ValueError("site_rates must have length n_sites")
+    if np.any(rates < 0):
+        raise ValueError("site rates must be non-negative")
+
+    freqs = np.asarray(model.frequencies, float)
+    s = freqs.shape[0]
+    states: Dict[int, np.ndarray] = {}
+    root_states = rng.choice(s, size=n_sites, p=freqs / freqs.sum())
+    states[id(tree.root)] = root_states
+
+    unique_rates = np.unique(rates)
+    rate_sites = {r: np.flatnonzero(rates == r) for r in unique_rates}
+
+    for node in tree.root.traverse_preorder():
+        if node.parent is None:
+            continue
+        parent_states = states[id(node.parent)]
+        child_states = np.empty(n_sites, dtype=np.int64)
+        for rate, sites in rate_sites.items():
+            matrix = model.transition_matrix(rate * node.length)
+            # Vectorised categorical draw per site: compare a uniform
+            # against the CDF of the parent-state row.
+            rows = matrix[parent_states[sites]]
+            cdf = np.cumsum(rows, axis=1)
+            u = rng.random(len(sites))[:, None]
+            child_states[sites] = (u > cdf).sum(axis=1)
+        states[id(node)] = child_states
+
+    return {tip.name: states[id(tip)] for tip in tree.tips()}
+
+
+def simulate_alignment(
+    tree: Tree,
+    model: SubstitutionProcess,
+    n_sites: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    site_rates: Optional[Sequence[float]] = None,
+) -> Alignment:
+    """Simulate an :class:`Alignment` of symbol sequences for every tip."""
+    tip_states = simulate_states(
+        tree, model, n_sites, rng=rng, seed=seed, site_rates=site_rates
+    )
+    alphabet = model.alphabet
+    sequences = {
+        name: tuple(alphabet.states[i] for i in row) for name, row in tip_states.items()
+    }
+    return Alignment(sequences, alphabet)

@@ -1,0 +1,95 @@
+"""GPU device specifications for the timing model.
+
+The paper's empirical results come from an NVIDIA Quadro GP100 (Table I:
+3,584 CUDA cores, HBM2 at 720 GB/s). No GPU is available offline, so the
+library substitutes an *analytical device model* (see
+:mod:`repro.gpu.perfmodel`) whose knobs live here. The defaults are
+calibrated so that the 64-OTU/512-pattern benchmark of the paper's
+Table III lands in the same regime (balanced trees realise roughly 0.4 of
+their theoretical speedup; rerooted pectinate trees realise most of
+theirs); absolute GFLOPS are *not* matched — per the reproduction ground
+rules only the shape of the results is claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "GP100", "QUADRO_P5000", "SMALL_GPU"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of the analytical kernel-timing model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    cuda_cores:
+        Parallel lanes; with ``threads_per_core`` determines how many
+        fine-grained threads (one per ``pattern × state × category``
+        element) execute concurrently in one *wave*.
+    threads_per_core:
+        Resident threads a core interleaves per wave at full efficiency.
+    launch_overhead_s:
+        Fixed host-side cost of one kernel launch — the quantity rerooting
+        minimises. Dominates undersaturated workloads.
+    wave_time_s:
+        Time for one full wave of ``cuda_cores × threads_per_core``
+        threads (memory-latency bound for this kernel).
+    per_op_overhead_s:
+        Extra cost per operation inside a multi-operation launch (pointer
+        arithmetic, divergent block setup — §VI-A).
+    memory_bandwidth_gbs:
+        Reported for completeness (Table I); not used by the timing model
+        directly but kept so specs read like real datasheets.
+    """
+
+    name: str
+    cuda_cores: int
+    threads_per_core: int = 2
+    launch_overhead_s: float = 4.0e-6
+    wave_time_s: float = 2.5e-6
+    per_op_overhead_s: float = 5.0e-7
+    memory_bandwidth_gbs: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores < 1 or self.threads_per_core < 1:
+            raise ValueError("core/thread counts must be positive")
+        if min(self.launch_overhead_s, self.wave_time_s) <= 0:
+            raise ValueError("time constants must be positive")
+        if self.per_op_overhead_s < 0:
+            raise ValueError("per-op overhead must be non-negative")
+
+    @property
+    def concurrent_threads(self) -> int:
+        """Threads resident per wave: the device's saturation point."""
+        return self.cuda_cores * self.threads_per_core
+
+
+#: The paper's benchmark device (Table I): Pascal GP100 chip.
+GP100 = DeviceSpec(
+    name="NVIDIA Quadro GP100",
+    cuda_cores=3584,
+    threads_per_core=2,
+    memory_bandwidth_gbs=720.0,
+)
+
+#: The device of the paper's §VIII MrBayes anecdote.
+QUADRO_P5000 = DeviceSpec(
+    name="NVIDIA Quadro P5000",
+    cuda_cores=2560,
+    threads_per_core=2,
+    memory_bandwidth_gbs=288.0,
+)
+
+#: A deliberately small device: saturates quickly, so concurrency gains
+#: vanish early — useful in the ablation benchmarks to show the
+#: capacity-dependence the paper's introduction discusses.
+SMALL_GPU = DeviceSpec(
+    name="small-gpu",
+    cuda_cores=256,
+    threads_per_core=2,
+    memory_bandwidth_gbs=50.0,
+)

@@ -1,0 +1,180 @@
+"""Analytical kernel-timing model.
+
+The model captures the three effects that determine the paper's results
+— and nothing more:
+
+1. **Kernel-launch overhead.** Every operation set costs a fixed
+   ``launch_overhead_s``. Serial evaluation pays it ``n − 1`` times;
+   concurrent evaluation once per set. This is the term rerooting
+   attacks.
+2. **Wave-quantised execution.** A launch with ``k`` operations runs
+   ``k · categories · patterns · states`` fine-grained threads. The device
+   executes ``concurrent_threads`` of them per wave; a launch takes
+   ``ceil(threads / concurrent_threads)`` waves of ``wave_time_s`` each.
+   Undersaturated launches (the paper's regime: 512 patterns × 4 states =
+   2,048 threads on a 7,168-thread device) take one wave regardless of
+   size — which is precisely why batching independent operations is free
+   until saturation, and why gains flatten for very large sets (paper
+   §VII-D's observation that device saturation hits balanced trees
+   hardest).
+3. **Per-operation scheduling cost** inside a multi-operation launch
+   (pointer arithmetic, block setup — §VI-A), which is why realised
+   speedups stay below the theoretical ``(n−1)/sets`` bound.
+
+Time of one launch with ``k`` operations::
+
+    t(k) = launch_overhead + k · per_op_overhead
+           + wave_time · ceil(k·C·P·S / concurrent_threads)
+
+Throughput is reported as effective GFLOPS over the whole evaluation,
+using the same FLOP accounting as the real kernels
+(:func:`repro.beagle.kernels.operation_flops`) — the paper's §VI-C metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..beagle.kernels import operation_flops
+from .device import DeviceSpec
+
+__all__ = [
+    "WorkloadDims",
+    "launch_time",
+    "launch_time_mixed",
+    "LaunchTiming",
+    "EvaluationTiming",
+    "time_set_sizes",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadDims:
+    """Problem dimensions of one likelihood evaluation."""
+
+    patterns: int
+    states: int = 4
+    categories: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.patterns, self.states, self.categories) < 1:
+            raise ValueError("workload dimensions must be positive")
+
+    @property
+    def threads_per_operation(self) -> int:
+        """Fine-grained threads per operation: one per grid element."""
+        return self.patterns * self.states * self.categories
+
+    @property
+    def flops_per_operation(self) -> int:
+        return operation_flops(self.patterns, self.states, self.categories)
+
+
+@dataclass(frozen=True)
+class LaunchTiming:
+    """Breakdown of one simulated kernel launch."""
+
+    n_operations: int
+    n_waves: int
+    seconds: float
+    flops: int = 0
+    occupancy: float = 0.0
+
+
+@dataclass(frozen=True)
+class EvaluationTiming:
+    """Timing of a full tree evaluation (a sequence of launches)."""
+
+    launches: List[LaunchTiming]
+    dims: Optional[WorkloadDims] = None
+
+    @property
+    def n_launches(self) -> int:
+        return len(self.launches)
+
+    @property
+    def n_operations(self) -> int:
+        return sum(l.n_operations for l in self.launches)
+
+    @property
+    def seconds(self) -> float:
+        return sum(l.seconds for l in self.launches)
+
+    @property
+    def flops(self) -> int:
+        return sum(l.flops for l in self.launches)
+
+    @property
+    def gflops(self) -> float:
+        """Effective throughput of the partials kernel (paper §VI-C)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-weighted achieved occupancy over the evaluation.
+
+        The paper's §I frames the whole optimisation as raising *achieved*
+        occupancy toward the theoretical limit: serial schedules leave the
+        device mostly idle, rerooting fills it. 1.0 means every wave of
+        every launch ran with a full complement of threads.
+        """
+        if self.seconds <= 0:
+            return 0.0
+        weighted = sum(l.occupancy * l.seconds for l in self.launches)
+        return weighted / self.seconds
+
+
+def launch_time(spec: DeviceSpec, dims: WorkloadDims, n_operations: int) -> LaunchTiming:
+    """Simulated time of one launch computing ``n_operations`` partials."""
+    if n_operations < 1:
+        raise ValueError("a launch needs at least one operation")
+    return launch_time_mixed(
+        spec,
+        n_operations,
+        n_operations * dims.threads_per_operation,
+        n_operations * dims.flops_per_operation,
+    )
+
+
+def launch_time_mixed(
+    spec: DeviceSpec, n_operations: int, total_threads: int, total_flops: int
+) -> LaunchTiming:
+    """Launch timing for heterogeneous operations (partitioned analyses).
+
+    A multi-operation launch may mix operations of different partitions —
+    different pattern counts, states, even categories (paper §IV-A). Only
+    the totals matter to the model: thread count sets the wave count,
+    operation count sets the scheduling overhead.
+    """
+    if n_operations < 1:
+        raise ValueError("a launch needs at least one operation")
+    if total_threads < 1 or total_flops < 0:
+        raise ValueError("invalid launch totals")
+    waves = math.ceil(total_threads / spec.concurrent_threads)
+    seconds = (
+        spec.launch_overhead_s
+        + n_operations * spec.per_op_overhead_s
+        + waves * spec.wave_time_s
+    )
+    # Achieved occupancy: fraction of the device's thread slots used over
+    # the launch's waves.
+    occupancy = total_threads / (waves * spec.concurrent_threads)
+    return LaunchTiming(
+        n_operations=n_operations,
+        n_waves=waves,
+        seconds=seconds,
+        flops=total_flops,
+        occupancy=occupancy,
+    )
+
+
+def time_set_sizes(
+    spec: DeviceSpec, dims: WorkloadDims, set_sizes: Sequence[int]
+) -> EvaluationTiming:
+    """Simulated timing of an evaluation given its operation-set sizes."""
+    launches = [launch_time(spec, dims, k) for k in set_sizes]
+    return EvaluationTiming(launches=launches, dims=dims)

@@ -1,0 +1,104 @@
+"""Simulated device execution of tree-evaluation plans.
+
+:class:`SimulatedDevice` plays the role of the GP100 in the paper's
+benchmarks: given an :class:`~repro.core.planner.ExecutionPlan` (or just a
+tree) and the workload dimensions, it produces launch-by-launch timings,
+total time, and effective GFLOPS. It can optionally drive a real
+:class:`~repro.beagle.instance.BeagleInstance` alongside the model so
+every simulated number corresponds to an actually computed likelihood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.opsets import count_operation_sets
+from ..core.planner import ExecutionPlan, make_plan
+from ..trees import Tree
+from .device import GP100, DeviceSpec
+from .perfmodel import EvaluationTiming, WorkloadDims, time_set_sizes
+
+__all__ = ["SimulatedDevice", "BenchmarkPoint", "simulate_tree", "simulated_speedup"]
+
+
+@dataclass(frozen=True)
+class BenchmarkPoint:
+    """One row of a paper-style benchmark table."""
+
+    label: str
+    n_tips: int
+    n_launches: int
+    seconds: float
+    gflops: float
+    speedup_vs_serial: float
+
+
+class SimulatedDevice:
+    """A device executing plans under the analytical timing model."""
+
+    def __init__(self, spec: DeviceSpec = GP100) -> None:
+        self.spec = spec
+
+    def time_plan(self, plan: ExecutionPlan, dims: WorkloadDims) -> EvaluationTiming:
+        """Simulated timing of one plan execution."""
+        return time_set_sizes(self.spec, dims, plan.set_sizes)
+
+    def time_tree(
+        self, tree: Tree, dims: WorkloadDims, mode: str = "concurrent"
+    ) -> EvaluationTiming:
+        """Simulated timing of a tree under a scheduling mode."""
+        return self.time_plan(make_plan(tree, mode), dims)
+
+    def speedup(self, tree: Tree, dims: WorkloadDims, mode: str = "concurrent") -> float:
+        """Simulated concurrent-over-serial speedup for one tree.
+
+        This is the quantity the paper's Table III reports in the
+        "NVIDIA GP100" column (there measured, here modelled).
+        """
+        serial = self.time_tree(tree, dims, "serial").seconds
+        concurrent = self.time_tree(tree, dims, mode).seconds
+        return serial / concurrent
+
+    def benchmark(
+        self,
+        tree: Tree,
+        dims: WorkloadDims,
+        label: str = "",
+        mode: str = "concurrent",
+    ) -> BenchmarkPoint:
+        """A complete benchmark row for one tree."""
+        timing = self.time_tree(tree, dims, mode)
+        return BenchmarkPoint(
+            label=label or f"{tree.n_tips}-tip",
+            n_tips=tree.n_tips,
+            n_launches=timing.n_launches,
+            seconds=timing.seconds,
+            gflops=timing.gflops,
+            speedup_vs_serial=self.speedup(tree, dims, mode),
+        )
+
+
+def simulate_tree(
+    tree: Tree,
+    patterns: int = 512,
+    states: int = 4,
+    categories: int = 1,
+    spec: DeviceSpec = GP100,
+    mode: str = "concurrent",
+) -> EvaluationTiming:
+    """One-call convenience: simulated timing of a tree evaluation."""
+    dims = WorkloadDims(patterns=patterns, states=states, categories=categories)
+    return SimulatedDevice(spec).time_tree(tree, dims, mode)
+
+
+def simulated_speedup(
+    tree: Tree,
+    patterns: int = 512,
+    states: int = 4,
+    categories: int = 1,
+    spec: DeviceSpec = GP100,
+) -> float:
+    """Concurrent-over-serial simulated speedup (Table III style)."""
+    dims = WorkloadDims(patterns=patterns, states=states, categories=categories)
+    return SimulatedDevice(spec).speedup(tree, dims)

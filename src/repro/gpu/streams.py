@@ -1,0 +1,81 @@
+"""Streams-based concurrent execution model (paper §IV-B alternative).
+
+BEAGLE can exploit subtree concurrency two ways: the *multi-operation
+kernel* (one launch per operation set — the mechanism modelled in
+:mod:`repro.gpu.perfmodel`) or a set of CUDA *streams* / OpenCL queues,
+where each operation is launched separately but launches into different
+streams overlap on the device. The paper's reference [2] found the
+multi-operation kernel the most efficient for CUDA; this module models
+the streams alternative so the comparison can be reproduced as an
+ablation.
+
+Model of one operation set of ``k`` independent operations over ``S``
+streams:
+
+* the host issues ``k`` asynchronous launches; issuing is cheaper than a
+  synchronous launch by ``ASYNC_ISSUE_FRACTION`` but still serial, so the
+  host-side floor is ``k · launch_overhead · fraction`` — for the small
+  kernels of this domain the host is the bottleneck, which is exactly why
+  reference [2] found the multi-operation kernel superior;
+* the device executes up to ``S`` operations concurrently; total device
+  time is wave-quantised over all threads but at least one wave per
+  ``ceil(k / S)`` round;
+* host issue and device execution overlap; the set completes when both
+  are done, plus one synchronisation of ``launch_overhead``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .device import DeviceSpec
+from .perfmodel import EvaluationTiming, LaunchTiming, WorkloadDims
+
+__all__ = ["ASYNC_ISSUE_FRACTION", "streams_set_time", "streams_time_set_sizes"]
+
+#: Relative cost of issuing an asynchronous (stream) launch compared to a
+#: synchronous kernel launch.
+ASYNC_ISSUE_FRACTION = 0.75
+
+
+def streams_set_time(
+    spec: DeviceSpec,
+    dims: WorkloadDims,
+    n_operations: int,
+    n_streams: int,
+) -> LaunchTiming:
+    """Simulated time of one operation set executed via streams."""
+    if n_operations < 1:
+        raise ValueError("a set needs at least one operation")
+    if n_streams < 1:
+        raise ValueError("need at least one stream")
+    rounds = math.ceil(n_operations / n_streams)
+    total_waves = max(
+        rounds,
+        math.ceil(
+            n_operations * dims.threads_per_operation / spec.concurrent_threads
+        ),
+    )
+    execution = total_waves * spec.wave_time_s
+    host = n_operations * spec.launch_overhead_s * ASYNC_ISSUE_FRACTION
+    seconds = max(host, execution) + spec.launch_overhead_s
+    return LaunchTiming(
+        n_operations=n_operations,
+        n_waves=total_waves,
+        seconds=seconds,
+        flops=n_operations * dims.flops_per_operation,
+    )
+
+
+def streams_time_set_sizes(
+    spec: DeviceSpec,
+    dims: WorkloadDims,
+    set_sizes: Sequence[int],
+    n_streams: int = 4,
+) -> EvaluationTiming:
+    """Simulated timing of a whole evaluation under stream scheduling."""
+    launches = [
+        streams_set_time(spec, dims, k, n_streams) for k in set_sizes
+    ]
+    return EvaluationTiming(launches=launches, dims=dims)

@@ -1,0 +1,69 @@
+"""Inference layer: likelihood facade, optimisation and MCMC."""
+
+from .likelihood import TreeLikelihood
+from .optimize import (
+    BranchOptimizationResult,
+    newton_optimize_branch_lengths,
+    optimize_branch_lengths,
+)
+from .derivatives import EdgeDerivatives, edge_log_likelihood_derivatives
+from .ancestral import ancestral_state_probabilities, most_probable_states
+from .proposals import (
+    Proposal,
+    random_spr,
+    internal_edges,
+    multiply_branch,
+    nni_candidates,
+    random_nni,
+)
+from .mcmc import MCMCResult, run_mcmc
+from .search import SearchResult, ml_search, nni_neighbors
+from .consensus import majority_rule_consensus, split_frequencies
+from .modelfit import (
+    ModelFit,
+    ParameterFit,
+    fit_gamma_alpha,
+    fit_kappa,
+    model_selection,
+    optimize_parameter,
+)
+from .bootstrap import (
+    bootstrap_alignments,
+    bootstrap_consensus,
+    bootstrap_support,
+    bootstrap_trees,
+)
+
+__all__ = [
+    "TreeLikelihood",
+    "BranchOptimizationResult",
+    "optimize_branch_lengths",
+    "newton_optimize_branch_lengths",
+    "EdgeDerivatives",
+    "edge_log_likelihood_derivatives",
+    "ancestral_state_probabilities",
+    "most_probable_states",
+    "Proposal",
+    "nni_candidates",
+    "random_nni",
+    "multiply_branch",
+    "internal_edges",
+    "MCMCResult",
+    "run_mcmc",
+    "SearchResult",
+    "ml_search",
+    "nni_neighbors",
+    "majority_rule_consensus",
+    "split_frequencies",
+    "bootstrap_alignments",
+    "bootstrap_trees",
+    "bootstrap_support",
+    "bootstrap_consensus",
+    "ParameterFit",
+    "optimize_parameter",
+    "fit_kappa",
+    "fit_gamma_alpha",
+    "ModelFit",
+    "model_selection",
+    "random_spr",
+]

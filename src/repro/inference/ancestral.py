@@ -1,0 +1,108 @@
+"""Marginal ancestral state reconstruction.
+
+The posterior probability of internal node ``z`` being in state ``a`` at
+pattern ``p`` is::
+
+    Pr(z = a | data) = π_a · L_root[p, a] / Σ_b π_b L_root[p, b]
+
+*when the evaluation is rooted at ``z``* — so reconstruction at an
+arbitrary internal node is one rerooting away, the same pulley-principle
+move the paper uses for concurrency. This module reconstructs states at
+any internal node by rerooting the evaluation onto one of the node's
+child branches (placing the root at the node itself, fraction 0 of the
+branch) and reading the posterior off the root partials.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.planner import create_instance, execute_plan, make_plan
+from ..data.patterns import PatternData
+from ..models.ratematrix import SubstitutionModel
+from ..models.siterates import RateCategories, single_rate
+from ..trees import Tree
+from ..trees.node import Node
+from ..trees.reroot import reroot_above
+
+__all__ = ["ancestral_state_probabilities", "most_probable_states"]
+
+
+def _root_posterior(
+    tree: Tree,
+    model: SubstitutionModel,
+    patterns: PatternData,
+    rates: RateCategories,
+) -> np.ndarray:
+    """Posterior state probabilities at the root: ``(patterns, states)``."""
+    instance = create_instance(tree, model, patterns, rates=rates)
+    plan = make_plan(tree, "concurrent")
+    execute_plan(instance, plan)
+    partials = instance.get_partials(plan.root_buffer)  # (C, P, S)
+    pi = model.frequencies
+    weights = rates.probabilities
+    # Mixture over categories of π ∘ partials.
+    weighted = np.einsum("c,cps->ps", weights, partials) * pi[None, :]
+    total = weighted.sum(axis=1, keepdims=True)
+    safe = np.where(total > 0, total, 1.0)
+    return weighted / safe
+
+
+def ancestral_state_probabilities(
+    tree: Tree,
+    model: SubstitutionModel,
+    patterns: PatternData,
+    node: Node,
+    *,
+    rates: Optional[RateCategories] = None,
+) -> np.ndarray:
+    """Marginal posterior state probabilities at an internal node.
+
+    Parameters
+    ----------
+    node:
+        An internal node of ``tree`` (tips have observed states; asking
+        for a tip raises).
+
+    Returns
+    -------
+    ndarray
+        ``(n_patterns, n_states)`` posterior probabilities, rows summing
+        to 1 (rows of all-impossible data return zeros).
+    """
+    if node.is_tip:
+        raise ValueError("tips are observed; reconstruct internal nodes only")
+    rates = rates or single_rate()
+    if node.parent is None:
+        return _root_posterior(tree, model, patterns, rates)
+    # Reroot at the node: place the new root at fraction 0 of the branch
+    # above the node, i.e. exactly at the node itself. The node's subtree
+    # hangs off one side with a zero-length branch, so the root posterior
+    # of the rerooted tree *is* the node's posterior.
+    rerooted = reroot_above(tree, node, fraction=0.0)
+    return _root_posterior(rerooted, model, patterns, rates)
+
+
+def most_probable_states(
+    tree: Tree,
+    model: SubstitutionModel,
+    patterns: PatternData,
+    node: Node,
+    *,
+    rates: Optional[RateCategories] = None,
+) -> Tuple[List[str], np.ndarray]:
+    """MAP ancestral states and their posterior probabilities.
+
+    Returns
+    -------
+    (symbols, probabilities)
+        Per pattern: the most probable state's symbol and its posterior.
+    """
+    posterior = ancestral_state_probabilities(
+        tree, model, patterns, node, rates=rates
+    )
+    best = posterior.argmax(axis=1)
+    symbols = [model.alphabet.states[i] for i in best]
+    return symbols, posterior[np.arange(posterior.shape[0]), best]

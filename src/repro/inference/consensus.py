@@ -1,0 +1,118 @@
+"""Consensus trees from topology samples.
+
+Summarises a set of sampled trees (e.g. the post-burn-in trees of an MCMC
+run) as a majority-rule consensus: every split occurring in more than
+``min_frequency`` of the samples appears as a clade, annotated with its
+support. Splits above 0.5 frequency are pairwise compatible, so the
+construction is well defined; the result may be multifurcating where
+support is weak.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..trees import Tree
+from ..trees.node import Node
+
+__all__ = ["split_frequencies", "majority_rule_consensus"]
+
+
+def split_frequencies(trees: Sequence[Tree]) -> Dict[FrozenSet[str], float]:
+    """Frequency of every non-trivial clade across the samples.
+
+    Clades are expressed relative to a fixed reference taxon (the
+    lexicographically smallest tip name): each unrooted split is recorded
+    as the side *not* containing the reference, making splits from
+    different rootings directly comparable.
+    """
+    if not trees:
+        raise ValueError("need at least one tree")
+    taxa = frozenset(t.name for t in trees[0].tips())
+    if len(taxa) < 2:
+        raise ValueError("trees must have at least two tips")
+    reference = min(taxa)
+    counts: Counter = Counter()
+    for tree in trees:
+        if frozenset(t.name for t in tree.tips()) != taxa:
+            raise ValueError("all trees must share the same tip set")
+        below: Dict[int, FrozenSet[str]] = {}
+        seen: set = set()
+        for node in tree.root.traverse_postorder():
+            if node.is_tip:
+                below[id(node)] = frozenset((node.name,))
+                continue
+            clade = frozenset().union(*(below[id(c)] for c in node.children))
+            below[id(node)] = clade
+            canonical = clade if reference not in clade else taxa - clade
+            # Non-trivial unrooted split: both sides hold >= 2 taxa.
+            if 2 <= len(canonical) <= len(taxa) - 2:
+                seen.add(canonical)
+        counts.update(seen)
+    n = len(trees)
+    return {clade: count / n for clade, count in counts.items()}
+
+
+def majority_rule_consensus(
+    trees: Sequence[Tree], min_frequency: float = 0.5
+) -> Tree:
+    """Majority-rule consensus of sampled topologies.
+
+    Parameters
+    ----------
+    min_frequency:
+        Keep clades occurring in strictly more than this fraction of the
+        samples. Values ≥ 0.5 guarantee the retained clades are mutually
+        compatible. Internal nodes of the result are labelled with their
+        support (e.g. ``"0.87"``).
+
+    Returns
+    -------
+    Tree
+        A rooted (possibly multifurcating) tree whose root is anchored at
+        the reference taxon's side; use
+        :meth:`~repro.trees.tree.Tree.resolve_multifurcations` if a
+        bifurcating tree is required downstream.
+    """
+    if min_frequency < 0.5:
+        raise ValueError("min_frequency below 0.5 can yield incompatible clades")
+    frequencies = split_frequencies(trees)
+    taxa = sorted(t.name for t in trees[0].tips())
+    kept: List[Tuple[FrozenSet[str], float]] = [
+        (clade, freq)
+        for clade, freq in frequencies.items()
+        if freq > min_frequency
+    ]
+    # Nest by size: larger clades higher in the tree.
+    kept.sort(key=lambda item: -len(item[0]))
+
+    root = Node(None)
+    tips = {name: Node(name, 1.0) for name in taxa}
+    # owner[frozenset] -> the Node representing that clade.
+    clade_nodes: List[Tuple[FrozenSet[str], Node]] = []
+
+    def smallest_container(target: FrozenSet[str]) -> Node:
+        best: Tuple[int, Node] = (len(taxa) + 1, root)
+        for clade, node in clade_nodes:
+            if target < clade and len(clade) < best[0]:
+                best = (len(clade), node)
+        return best[1]
+
+    for clade, freq in kept:
+        node = Node(f"{freq:.2f}", 1.0)
+        parent = smallest_container(clade)
+        parent.add_child(node)
+        clade_nodes.append((clade, node))
+
+    for name in taxa:
+        target = frozenset((name,))
+        parent = root
+        best_size = len(taxa) + 1
+        for clade, node in clade_nodes:
+            if name in clade and len(clade) < best_size:
+                best_size = len(clade)
+                parent = node
+        parent.add_child(tips[name])
+
+    return Tree(root)

@@ -1,0 +1,146 @@
+"""Analytic branch-length derivatives via rerooting.
+
+To differentiate the log-likelihood with respect to one branch length,
+view the tree as rooted *on that branch* — free for reversible models
+(the same pulley principle the paper's whole approach rests on). The
+likelihood then factors through the branch's transition matrix alone::
+
+    L_p(t) = Σ_c w_c Σ_{a,b} π_a · U_p[c,a] · P_c(t)[a,b] · V_p[c,b]
+
+with ``U`` and ``V`` the partials of the two half-trees, so
+
+    dL_p/dt  = Σ_c w_c r_c · π (U ∘ (Q P V)),
+    d²L_p/dt² = Σ_c w_c r_c² · π (U ∘ (Q² P V)),
+
+and the log-likelihood derivatives follow from ``(L' / L)`` per pattern.
+This is BEAGLE's ``calculateEdgeLogLikelihoods``-with-derivatives
+capability, and it powers the Newton branch optimiser in
+:mod:`repro.inference.optimize` — quadratically convergent, a fraction
+of Brent's likelihood evaluations per branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..beagle.instance import BeagleInstance
+from ..core.planner import create_instance, make_plan
+from ..data.patterns import PatternData
+from ..models.eigen import transition_derivatives, transition_matrices
+from ..models.ratematrix import SubstitutionModel
+from ..models.siterates import RateCategories, single_rate
+from ..trees import Tree
+from ..trees.node import Node
+from ..trees.reroot import reroot_above
+
+__all__ = ["EdgeDerivatives", "edge_log_likelihood_derivatives"]
+
+
+@dataclass(frozen=True)
+class EdgeDerivatives:
+    """Log-likelihood and its first two branch-length derivatives."""
+
+    log_likelihood: float
+    first: float
+    second: float
+
+
+def _half_tree_partials(
+    tree: Tree,
+    model: SubstitutionModel,
+    patterns: PatternData,
+    rates: RateCategories,
+) -> Tuple[np.ndarray, np.ndarray, BeagleInstance]:
+    """Raw subtree partials of the root's two children, plus the instance.
+
+    The returned ``(U, V, instance)`` carry the children's own subtree
+    partials of shape ``(C, P, S)`` — *excluding* their root branches.
+    The caller recombines them through ``P(t)`` itself, which is what
+    makes the branch length ``t`` a free variable for differentiation.
+    """
+    instance = create_instance(tree, model, patterns, rates=rates)
+    plan = make_plan(tree, "concurrent")
+    instance.invalidate_partials()
+    instance.update_transition_matrices(0, plan.matrix_indices, plan.branch_lengths)
+    for op_set in plan.operation_sets:
+        instance.update_partials_set(op_set)
+    left, right = tree.root.children
+    return (
+        instance.get_partials(tree.index_of(left)),
+        instance.get_partials(tree.index_of(right)),
+        instance,
+    )
+
+
+def edge_log_likelihood_derivatives(
+    tree: Tree,
+    model: SubstitutionModel,
+    patterns: PatternData,
+    edge: Node,
+    *,
+    rates: Optional[RateCategories] = None,
+    at_length: Optional[float] = None,
+) -> EdgeDerivatives:
+    """Analytic ``(logL, dlogL/dt, d²logL/dt²)`` for one branch.
+
+    Parameters
+    ----------
+    edge:
+        The branch, identified by its child node in ``tree``. When the
+        edge's parent is the root, the derivative refers to the *merged*
+        pulley branch of the unrooted tree (child length + sibling
+        length) — the only length the likelihood actually depends on for
+        a reversible model.
+    at_length:
+        Evaluate at this branch length (defaults to the branch's current
+        unrooted length). The input tree is never modified.
+    """
+    if edge.parent is None:
+        raise ValueError("the root has no branch")
+    rates = rates or single_rate()
+    if at_length is None:
+        t = float(edge.length)
+        if edge.parent is tree.root and len(tree.root.children) == 2:
+            sibling = edge.sibling()
+            assert sibling is not None
+            t += float(sibling.length)
+    else:
+        t = float(at_length)
+    if t < 0:
+        raise ValueError("branch length must be non-negative")
+
+    # Root the evaluation on the focal branch, fraction 0 from the child:
+    # child keeps length 0, the other side carries the full length t.
+    # `fraction=0` puts the zero-length side (the clone of `edge`) first,
+    # so U below is the focal subtree's raw partials and V the far side's.
+    rerooted = reroot_above(tree, edge, fraction=0.0)
+    U, V, instance = _half_tree_partials(rerooted, model, patterns, rates)
+
+    eigen = model.eigen
+    pi = model.frequencies
+    weights = patterns.weights
+    category_weights = rates.probabilities
+
+    site_L = np.zeros(patterns.n_patterns)
+    site_d1 = np.zeros(patterns.n_patterns)
+    site_d2 = np.zeros(patterns.n_patterns)
+    for c, (rate, cat_weight) in enumerate(zip(rates.rates, category_weights)):
+        scaled_t = rate * t
+        P = transition_matrices(eigen, [scaled_t])[0]
+        dP = transition_derivatives(eigen, [scaled_t], order=1)[0] * rate
+        d2P = transition_derivatives(eigen, [scaled_t], order=2)[0] * rate**2
+        Uc, Vc = U[c], V[c]
+        for matrix, accumulator in ((P, site_L), (dP, site_d1), (d2P, site_d2)):
+            joint = Uc * (Vc @ matrix.T)
+            accumulator += cat_weight * (joint @ pi)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_likelihood = float(np.dot(weights, np.log(site_L)))
+        ratio1 = site_d1 / site_L
+        ratio2 = site_d2 / site_L
+    first = float(np.dot(weights, ratio1))
+    second = float(np.dot(weights, ratio2 - ratio1**2))
+    return EdgeDerivatives(log_likelihood=log_likelihood, first=first, second=second)

@@ -1,0 +1,180 @@
+"""High-level tree-likelihood facade.
+
+:class:`TreeLikelihood` wires together the substrates — tree, model,
+pattern data, rate categories, engine instance and execution plan — behind
+one object with a ``log_likelihood()`` method, the way BEAST/MrBayes wrap
+BEAGLE. It also exposes the paper's knobs: scheduling mode (serial vs
+concurrent), manual scaling, and concurrency-optimal rerooting of the
+working tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..beagle.instance import BeagleInstance
+from ..core.opsets import count_operation_sets
+from ..core.planner import ExecutionPlan, create_instance, execute_plan, make_plan
+from ..core.reroot_opt import optimal_reroot_exhaustive, optimal_reroot_fast
+from ..data.alignment import Alignment
+from ..data.patterns import PatternData, compress
+from ..models.ratematrix import SubstitutionModel
+from ..models.siterates import RateCategories
+from ..trees import Tree
+
+__all__ = ["TreeLikelihood"]
+
+
+class TreeLikelihood:
+    """Likelihood of an alignment on a tree under a reversible model.
+
+    Parameters
+    ----------
+    tree:
+        Rooted bifurcating tree whose tip names match the data.
+    model:
+        A reversible substitution model.
+    data:
+        An :class:`~repro.data.alignment.Alignment` (compressed
+        automatically) or ready-made
+        :class:`~repro.data.patterns.PatternData`.
+    rates:
+        Optional among-site rate categories.
+    scaling:
+        Enable per-node rescaling (needed for large/deep trees).
+    mode:
+        ``"concurrent"`` (default), ``"serial"`` or ``"level"`` — see
+        :func:`repro.core.planner.make_plan`.
+    reroot:
+        ``"none"`` (default), ``"fast"`` or ``"exhaustive"`` — reroot the
+        working tree for maximal concurrency before planning. Likelihood
+        is unchanged (pulley principle); only the launch count drops.
+    precision:
+        ``"double"`` (default) or ``"single"``. Single precision mirrors
+        the GPU configuration of the paper; enable ``scaling`` with it on
+        deep trees or the partials underflow (§VI-F).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        model: SubstitutionModel,
+        data: Union[Alignment, PatternData],
+        *,
+        rates: Optional[RateCategories] = None,
+        scaling: bool = False,
+        mode: str = "concurrent",
+        reroot: str = "none",
+        precision: str = "double",
+    ) -> None:
+        import numpy as np
+
+        if isinstance(data, Alignment):
+            data = compress(data)
+        if precision not in ("double", "single"):
+            raise ValueError("precision must be 'double' or 'single'")
+        self.model = model
+        self.patterns = data
+        self.rates = rates
+        self.scaling = scaling
+        self.mode = mode
+        self.precision = precision
+        self._dtype = np.float64 if precision == "double" else np.float32
+        if reroot == "fast":
+            tree = optimal_reroot_fast(tree).tree
+        elif reroot == "exhaustive":
+            tree = optimal_reroot_exhaustive(tree).tree
+        elif reroot != "none":
+            raise ValueError(f"unknown reroot option {reroot!r}")
+        self.tree = tree
+        self._instance: Optional[BeagleInstance] = None
+        self._plan: Optional[ExecutionPlan] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def instance(self) -> BeagleInstance:
+        """The lazily created engine instance."""
+        if self._instance is None:
+            self._instance = create_instance(
+                self.tree,
+                self.model,
+                self.patterns,
+                rates=self.rates,
+                scaling=self.scaling,
+                dtype=self._dtype,
+            )
+        return self._instance
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        if self._plan is None:
+            self._plan = make_plan(self.tree, self.mode, scaling=self.scaling)
+        return self._plan
+
+    @property
+    def n_launches(self) -> int:
+        """Kernel launches per evaluation under the current plan."""
+        return self.plan.n_launches
+
+    def operation_sets(self) -> int:
+        """Concurrent operation sets of the current tree."""
+        return count_operation_sets(self.tree)
+
+    def modelled_seconds(self, spec) -> float:
+        """Device-model time of one evaluation under the current plan."""
+        from ..gpu.perfmodel import WorkloadDims, time_set_sizes
+
+        dims = WorkloadDims(
+            patterns=self.patterns.n_patterns,
+            states=self.model.n_states,
+            categories=self.rates.n_categories if self.rates else 1,
+        )
+        return time_set_sizes(spec, dims, self.plan.set_sizes).seconds
+
+    # ------------------------------------------------------------------
+    def log_likelihood(self) -> float:
+        """Evaluate the tree's log-likelihood (full traversal)."""
+        return execute_plan(self.instance, self.plan)
+
+    def with_tree(self, tree: Tree) -> "TreeLikelihood":
+        """A new evaluator for a different tree, sharing model and data.
+
+        The engine instance is rebuilt lazily because buffer/tip index
+        assignments depend on the tree shape.
+        """
+        return TreeLikelihood(
+            tree,
+            self.model,
+            self.patterns,
+            rates=self.rates,
+            scaling=self.scaling,
+            mode=self.mode,
+            precision=self.precision,
+        )
+
+    def rerooted_for_concurrency(self, algorithm: str = "fast") -> "TreeLikelihood":
+        """A new evaluator on the concurrency-optimal rerooting."""
+        if algorithm not in ("fast", "exhaustive"):
+            raise ValueError("algorithm must be 'fast' or 'exhaustive'")
+        return TreeLikelihood(
+            self.tree,
+            self.model,
+            self.patterns,
+            rates=self.rates,
+            scaling=self.scaling,
+            mode=self.mode,
+            reroot=algorithm,
+            precision=self.precision,
+        )
+
+    def invalidate(self) -> None:
+        """Drop cached instance/plan after mutating the tree in place."""
+        self._instance = None
+        self._plan = None
+        self.tree.invalidate_indices()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TreeLikelihood tips={self.tree.n_tips} model={self.model.name} "
+            f"patterns={self.patterns.n_patterns} mode={self.mode}>"
+        )

@@ -1,0 +1,193 @@
+"""Model-parameter estimation and information-criterion model selection.
+
+Branch lengths are not the only continuous parameters a likelihood
+search iterates over (paper §VIII: "search iterations that change a
+non-topology parameter will often require recomputation of the entire
+tree" — exactly the full-traversal case where rerooting pays off
+most). This module fits substitution-model parameters by bounded scalar
+optimisation and compares fitted models with AIC/BIC:
+
+* :func:`optimize_parameter` — generic 1-D ML fit over any model-builder
+  callable (used for κ of K80/HKY85, α of discrete-Γ, ω of GY94 …).
+* :func:`fit_kappa`, :func:`fit_gamma_alpha` — the common cases, ready
+  made.
+* :func:`model_selection` — fit a candidate set and rank by AIC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from scipy.optimize import minimize_scalar
+
+from ..models.nucleotide import HKY85, JC69, K80
+from ..models.ratematrix import SubstitutionModel
+from ..models.siterates import RateCategories, discrete_gamma
+from .likelihood import TreeLikelihood
+
+__all__ = [
+    "ParameterFit",
+    "optimize_parameter",
+    "fit_kappa",
+    "fit_gamma_alpha",
+    "ModelFit",
+    "model_selection",
+]
+
+
+@dataclass(frozen=True)
+class ParameterFit:
+    """Outcome of a one-parameter ML fit."""
+
+    value: float
+    log_likelihood: float
+    evaluations: int
+
+
+def optimize_parameter(
+    evaluator: TreeLikelihood,
+    rebuild: Callable[[float], TreeLikelihood],
+    bounds: Tuple[float, float],
+    *,
+    tolerance: float = 1e-4,
+) -> ParameterFit:
+    """Maximise the likelihood over one scalar parameter.
+
+    Parameters
+    ----------
+    evaluator:
+        Defines the data/tree context (used only for its bounds sanity;
+        the fresh evaluators come from ``rebuild``).
+    rebuild:
+        Callable mapping a parameter value to a ready
+        :class:`TreeLikelihood` (typically a new model over the shared
+        tree and data).
+    bounds:
+        Search interval for the parameter.
+    """
+    lo, hi = bounds
+    if not lo < hi:
+        raise ValueError("bounds must satisfy lo < hi")
+    evaluations = 0
+
+    def negative(value: float) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return -rebuild(float(value)).log_likelihood()
+
+    result = minimize_scalar(
+        negative, bounds=(lo, hi), method="bounded", options={"xatol": tolerance}
+    )
+    return ParameterFit(
+        value=float(result.x),
+        log_likelihood=-float(result.fun),
+        evaluations=evaluations,
+    )
+
+
+def fit_kappa(
+    evaluator: TreeLikelihood, *, bounds: Tuple[float, float] = (0.05, 50.0)
+) -> ParameterFit:
+    """ML transition/transversion ratio for an HKY85-shaped model.
+
+    The fitted model keeps the evaluator's model frequencies.
+    """
+    frequencies = evaluator.model.frequencies
+
+    def rebuild(kappa: float) -> TreeLikelihood:
+        return TreeLikelihood(
+            evaluator.tree,
+            HKY85(kappa, frequencies),
+            evaluator.patterns,
+            rates=evaluator.rates,
+            scaling=evaluator.scaling,
+            mode=evaluator.mode,
+        )
+
+    return optimize_parameter(evaluator, rebuild, bounds)
+
+
+def fit_gamma_alpha(
+    evaluator: TreeLikelihood,
+    *,
+    n_categories: int = 4,
+    bounds: Tuple[float, float] = (0.02, 50.0),
+) -> ParameterFit:
+    """ML shape parameter α of discrete-Γ rate heterogeneity."""
+
+    def rebuild(alpha: float) -> TreeLikelihood:
+        return TreeLikelihood(
+            evaluator.tree,
+            evaluator.model,
+            evaluator.patterns,
+            rates=discrete_gamma(alpha, n_categories),
+            scaling=evaluator.scaling,
+            mode=evaluator.mode,
+        )
+
+    return optimize_parameter(evaluator, rebuild, bounds)
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """One candidate in a model-selection comparison."""
+
+    name: str
+    log_likelihood: float
+    n_parameters: int
+    aic: float
+    bic: float
+
+
+def model_selection(
+    tree,
+    data,
+    candidates: Optional[Sequence[Tuple[str, SubstitutionModel, int]]] = None,
+    *,
+    rates: Optional[RateCategories] = None,
+) -> List[ModelFit]:
+    """Rank substitution models by AIC (ties broken by BIC).
+
+    Parameters
+    ----------
+    candidates:
+        ``(name, model, free_parameter_count)`` triples. Defaults to the
+        nested nucleotide trio JC69 (0), K80 (1), HKY85 with empirical-ish
+        frequencies (4). Branch lengths are held fixed across candidates
+        so the comparison isolates the substitution process, which keeps
+        the parameter counts honest relative to each other.
+
+    Returns
+    -------
+    list
+        :class:`ModelFit` entries sorted best (lowest AIC) first.
+    """
+    evaluator = TreeLikelihood(tree, JC69(), data, rates=rates)
+    n_sites = float(evaluator.patterns.weights.sum())
+    if candidates is None:
+        kappa = fit_kappa(
+            TreeLikelihood(tree, HKY85(2.0), data, rates=rates)
+        ).value
+        candidates = [
+            ("JC69", JC69(), 0),
+            ("K80", K80(kappa), 1),
+            ("HKY85", HKY85(kappa, [0.3, 0.2, 0.2, 0.3]), 4),
+        ]
+    fits: List[ModelFit] = []
+    for name, model, n_params in candidates:
+        ll = TreeLikelihood(tree, model, data, rates=rates).log_likelihood()
+        aic = 2.0 * n_params - 2.0 * ll
+        bic = n_params * math.log(max(n_sites, 1.0)) - 2.0 * ll
+        fits.append(
+            ModelFit(
+                name=name,
+                log_likelihood=ll,
+                n_parameters=n_params,
+                aic=aic,
+                bic=bic,
+            )
+        )
+    fits.sort(key=lambda f: (f.aic, f.bic))
+    return fits

@@ -1,0 +1,203 @@
+"""Branch-length optimisation by coordinate-wise Brent search.
+
+Maximum-likelihood branch lengths are fitted one edge at a time with
+bounded scalar optimisation, sweeping the tree until the log-likelihood
+improvement falls below a tolerance. This is the GARLI/PhyML-style inner
+loop whose cost profile motivates the paper (§II-A: >94% of run time in
+the likelihood function) — every Brent iteration is a full likelihood
+evaluation, so launch-count reductions translate directly into
+wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from scipy.optimize import minimize_scalar
+
+from .likelihood import TreeLikelihood
+
+__all__ = [
+    "BranchOptimizationResult",
+    "optimize_branch_lengths",
+    "newton_optimize_branch_lengths",
+]
+
+
+@dataclass(frozen=True)
+class BranchOptimizationResult:
+    """Outcome of a branch-length optimisation run."""
+
+    tree: "object"
+    log_likelihood: float
+    initial_log_likelihood: float
+    sweeps: int
+    evaluations: int
+
+    @property
+    def improvement(self) -> float:
+        return self.log_likelihood - self.initial_log_likelihood
+
+
+def optimize_branch_lengths(
+    evaluator: TreeLikelihood,
+    *,
+    max_sweeps: int = 5,
+    tolerance: float = 1e-4,
+    max_length: float = 20.0,
+    min_length: float = 1e-9,
+) -> BranchOptimizationResult:
+    """Fit branch lengths by repeated one-dimensional Brent searches.
+
+    Parameters
+    ----------
+    evaluator:
+        A :class:`TreeLikelihood`; its tree is copied, never mutated.
+    max_sweeps:
+        Maximum passes over all edges.
+    tolerance:
+        Stop when a full sweep improves the log-likelihood by less.
+
+    Returns
+    -------
+    BranchOptimizationResult
+        Optimised tree copy, final and initial log-likelihoods, and the
+        number of likelihood evaluations spent (the paper's currency).
+    """
+    tree = evaluator.tree.copy()
+    working = evaluator.with_tree(tree)
+    evaluations = 0
+
+    def loglik() -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return working.log_likelihood()
+
+    initial = current = loglik()
+
+    sweeps = 0
+    for sweep in range(max_sweeps):
+        sweeps = sweep + 1
+        before = current
+        for edge in tree.edges():
+            original = edge.length
+
+            def negative(t: float, edge=edge) -> float:
+                edge.length = float(t)
+                working.invalidate()
+                return -loglik()
+
+            result = minimize_scalar(
+                negative,
+                bounds=(min_length, max_length),
+                method="bounded",
+                options={"xatol": 1e-6},
+            )
+            best_t = float(result.x)
+            if -result.fun > current:
+                edge.length = best_t
+                current = -float(result.fun)
+            else:  # keep the original length when no improvement
+                edge.length = original
+            working.invalidate()
+        if current - before < tolerance:
+            break
+
+    working.invalidate()
+    final = working.log_likelihood()
+    return BranchOptimizationResult(
+        tree=tree,
+        log_likelihood=final,
+        initial_log_likelihood=initial,
+        sweeps=sweeps,
+        evaluations=evaluations,
+    )
+
+
+def newton_optimize_branch_lengths(
+    evaluator: TreeLikelihood,
+    *,
+    max_sweeps: int = 5,
+    tolerance: float = 1e-4,
+    max_length: float = 20.0,
+    min_length: float = 1e-8,
+    newton_steps: int = 8,
+) -> BranchOptimizationResult:
+    """Fit branch lengths by per-branch Newton–Raphson iterations.
+
+    Uses the analytic first and second log-likelihood derivatives of
+    :func:`repro.inference.derivatives.edge_log_likelihood_derivatives`
+    (enabled by rerooting the evaluation onto each focal branch), giving
+    quadratic convergence: typically a handful of derivative evaluations
+    per branch versus Brent's dozens of function evaluations.
+
+    Steps that leave the concave region (non-negative second derivative)
+    or overshoot the bounds fall back to safeguarded bisection toward the
+    gradient direction.
+    """
+    from .derivatives import edge_log_likelihood_derivatives
+
+    tree = evaluator.tree.copy()
+    working = evaluator.with_tree(tree)
+    evaluations = 0
+
+    initial = working.log_likelihood()
+    evaluations += 1
+    current = initial
+
+    sweeps = 0
+    root = tree.root
+    # The two root children share one unrooted branch: optimise it once
+    # (via the first child) and park its whole length on that child.
+    skip = root.children[1] if len(root.children) == 2 else None
+    for sweep in range(max_sweeps):
+        sweeps = sweep + 1
+        before = current
+        for edge in tree.edges():
+            if edge is skip:
+                continue
+            if edge.parent is root and skip is not None:
+                t = max(edge.length + skip.length, min_length)
+            else:
+                t = max(edge.length, min_length)
+            best_t, best_ll = t, None
+            for _ in range(newton_steps):
+                d = edge_log_likelihood_derivatives(
+                    tree, working.model, working.patterns, edge,
+                    rates=working.rates, at_length=t,
+                )
+                evaluations += 1
+                if best_ll is None or d.log_likelihood > best_ll:
+                    best_ll, best_t = d.log_likelihood, t
+                if abs(d.first) < 1e-9:
+                    break
+                if d.second < 0:
+                    step = -d.first / d.second
+                else:  # non-concave: move along the gradient, damped
+                    step = 0.5 * (1.0 if d.first > 0 else -1.0) * max(t, 1e-3)
+                new_t = min(max(t + step, min_length), max_length)
+                if abs(new_t - t) < 1e-9:
+                    t = new_t
+                    break
+                t = new_t
+            # Keep the best point actually visited — an unconverged Newton
+            # meander must never leave the branch worse than it started.
+            edge.length = best_t
+            if edge.parent is root and skip is not None:
+                skip.length = 0.0
+            working.invalidate()
+        current = working.log_likelihood()
+        evaluations += 1
+        if current - before < tolerance:
+            break
+
+    working.invalidate()
+    final = working.log_likelihood()
+    return BranchOptimizationResult(
+        tree=tree,
+        log_likelihood=final,
+        initial_log_likelihood=initial,
+        sweeps=sweeps,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,224 @@
+"""MCMC proposal moves over trees.
+
+The two classic moves a MrBayes-style sampler needs:
+
+* :func:`random_nni` — nearest-neighbour interchange around a random
+  *unrooted-internal* edge (topology move). Symmetric, Hastings ratio 1.
+* :func:`multiply_branch` — multiplier (log-uniform scaling) of one random
+  branch length. Hastings ratio equals the multiplier.
+
+Both return *new* trees; inputs are never mutated, so a rejected proposal
+needs no undo bookkeeping.
+
+A subtlety worth documenting: in a rooted representation of an unrooted
+tree the root is a "pulley" — the edge between the root's two children is
+a single edge of the unrooted topology. Swapping a subtree across the
+root (child of root-child A with root-child B itself) does **not** change
+the unrooted topology, so a correct NNI around the pulley edge swaps a
+child of A with a child of B instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..trees import Tree
+from ..trees.node import Node
+
+__all__ = [
+    "Proposal",
+    "random_nni",
+    "random_spr",
+    "multiply_branch",
+    "internal_edges",
+    "nni_candidates",
+]
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A proposed tree plus the log Hastings ratio of the move."""
+
+    tree: Tree
+    log_hastings: float
+    kind: str
+
+
+def internal_edges(tree: Tree) -> List[Node]:
+    """Regular internal edges: internal child with an internal, non-root
+    parent. The root's pulley edge is reported separately by
+    :func:`nni_candidates`."""
+    root = tree.root
+    return [
+        node
+        for node in root.traverse_postorder()
+        if not node.is_tip and node.parent is not None and node.parent is not root
+    ]
+
+
+def nni_candidates(tree: Tree) -> Tuple[List[Node], bool]:
+    """NNI-eligible edges of the unrooted topology.
+
+    Returns
+    -------
+    (regular, has_pulley)
+        ``regular`` are internal children below internal non-root parents;
+        ``has_pulley`` is True when the edge through the root (both root
+        children internal) is itself an internal edge. Together they
+        number ``n − 3`` for a bifurcating tree of ``n ≥ 4`` tips — the
+        internal-edge count of the unrooted topology.
+    """
+    regular = internal_edges(tree)
+    root = tree.root
+    has_pulley = len(root.children) == 2 and all(
+        not c.is_tip for c in root.children
+    )
+    return regular, has_pulley
+
+
+def _swap(parent_a: Node, child_a: Node, parent_b: Node, child_b: Node) -> None:
+    """Exchange two subtrees between their parents (branch lengths travel
+    with their subtree, keeping the move symmetric)."""
+    pos_a = parent_a.children.index(child_a)
+    pos_b = parent_b.children.index(child_b)
+    parent_a.remove_child(child_a)
+    parent_b.remove_child(child_b)
+    child_b.parent = parent_a
+    parent_a.children.insert(pos_a, child_b)
+    child_a.parent = parent_b
+    parent_b.children.insert(pos_b, child_a)
+
+
+def random_nni(tree: Tree, rng: np.random.Generator) -> Optional[Proposal]:
+    """Nearest-neighbour interchange around a uniform random internal edge.
+
+    Returns ``None`` when the tree has no internal edge (n ≤ 3), mirroring
+    how samplers skip topology moves on tiny trees.
+    """
+    duplicate = tree.copy()
+    regular, has_pulley = nni_candidates(duplicate)
+    total = len(regular) + (1 if has_pulley else 0)
+    if total == 0:
+        return None
+    pick = int(rng.integers(total))
+    if pick < len(regular):
+        v = regular[pick]
+        u = v.parent
+        assert u is not None
+        sibling = v.sibling()
+        assert sibling is not None
+        child = v.children[int(rng.integers(2))]
+        _swap(v, child, u, sibling)
+    else:
+        a, b = duplicate.root.children
+        child_a = a.children[int(rng.integers(2))]
+        child_b = b.children[int(rng.integers(2))]
+        _swap(a, child_a, b, child_b)
+    duplicate.invalidate_indices()
+    return Proposal(tree=duplicate, log_hastings=0.0, kind="nni")
+
+
+def multiply_branch(
+    tree: Tree, rng: np.random.Generator, *, tuning: float = 2.0 * math.log(1.2)
+) -> Proposal:
+    """Scale one random branch by ``exp(tuning · (u − ½))``.
+
+    The classic multiplier proposal; its Hastings ratio is the multiplier
+    ``m`` itself (log-Hastings ``log m``).
+    """
+    duplicate = tree.copy()
+    edges = duplicate.edges()
+    edge = edges[int(rng.integers(len(edges)))]
+    m = math.exp(tuning * (float(rng.random()) - 0.5))
+    edge.length = max(edge.length * m, 1e-12)
+    duplicate.invalidate_indices()
+    return Proposal(tree=duplicate, log_hastings=math.log(m), kind="branch")
+
+
+def _subtree_node_ids(node: Node) -> set:
+    return {id(n) for n in node.traverse_preorder()}
+
+
+def random_spr(tree: Tree, rng: np.random.Generator) -> Optional[Proposal]:
+    """Subtree prune-and-regraft with a uniform reattachment point.
+
+    A non-root subtree is pruned (its parent spliced out, the sibling
+    absorbing the parent's branch), then regrafted onto a uniformly
+    chosen remaining branch at a uniform position along it. The forward
+    proposal density includes ``1 / L_target`` for the uniform attachment
+    point, so the log Hastings ratio is
+    ``log(L_target / L_merged_source)`` — the standard correction for
+    uniform-reattachment SPR.
+
+    Returns ``None`` for trees too small to admit a non-trivial SPR
+    (fewer than 4 tips).
+    """
+    if tree.n_tips < 4:
+        return None
+    duplicate = tree.copy()
+    root = duplicate.root
+
+    # Prune candidates: any non-root node whose parent is not the root
+    # with a tip sibling... in fact any non-root node works as long as
+    # the remainder keeps >= 2 nodes and an edge to regraft onto.
+    candidates = [n for n in root.traverse_postorder() if n.parent is not None]
+    prune = candidates[int(rng.integers(len(candidates)))]
+    parent = prune.parent
+    assert parent is not None
+    sibling = prune.sibling()
+    if sibling is None:
+        return None
+
+    # Detach: splice parent out; sibling absorbs the parent's branch.
+    merged_length = sibling.length + (parent.length if parent.parent else 0.0)
+    grandparent = parent.parent
+    parent.remove_child(prune)
+    parent.remove_child(sibling)
+    if grandparent is None:
+        # Parent was the root: the sibling becomes the new root.
+        sibling.length = 0.0
+        merged_length = max(sibling.length, 1e-12)
+        duplicate.root = sibling
+        new_root_case = True
+    else:
+        position = grandparent.children.index(parent)
+        grandparent.remove_child(parent)
+        sibling.length = merged_length
+        sibling.parent = grandparent
+        grandparent.children.insert(position, sibling)
+        new_root_case = False
+
+    # Regraft target: any branch of the remaining tree.
+    forbidden = _subtree_node_ids(prune)
+    targets = [
+        n
+        for n in duplicate.root.traverse_postorder()
+        if n.parent is not None and id(n) not in forbidden
+    ]
+    if not targets:
+        return None
+    target = targets[int(rng.integers(len(targets)))]
+    target_length = max(target.length, 1e-12)
+    split = float(rng.random())
+
+    target_parent = target.parent
+    assert target_parent is not None
+    position = target_parent.children.index(target)
+    target_parent.remove_child(target)
+    junction = Node(None, target_length * (1.0 - split))
+    target.length = target_length * split
+    junction.add_child(target)
+    junction.add_child(prune)
+    junction.parent = target_parent
+    target_parent.children.insert(position, junction)
+
+    duplicate.invalidate_indices()
+    if not new_root_case:
+        log_hastings = math.log(target_length / max(merged_length, 1e-12))
+    else:
+        log_hastings = 0.0
+    return Proposal(tree=duplicate, log_hastings=log_hastings, kind="spr")

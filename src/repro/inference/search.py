@@ -1,0 +1,124 @@
+"""Greedy maximum-likelihood tree search (GARLI-lite).
+
+A hill-climbing search over NNI neighbourhoods: evaluate every
+nearest-neighbour interchange of the current tree, move to the best
+improving neighbour, optionally re-fit branch lengths, repeat until no
+neighbour improves. This is the search loop whose cost profile the paper
+describes (§II-A: "a very great number of likelihood calculations"), so
+the result records the launch accounting that rerooted scheduling
+improves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..trees import Tree
+from .likelihood import TreeLikelihood
+from .optimize import optimize_branch_lengths
+from .proposals import _swap, nni_candidates
+
+__all__ = ["SearchResult", "nni_neighbors", "ml_search"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a greedy ML search."""
+
+    tree: Tree
+    log_likelihood: float
+    start_log_likelihood: float
+    rounds: int
+    evaluations: int
+    kernel_launches: int
+
+    @property
+    def improvement(self) -> float:
+        return self.log_likelihood - self.start_log_likelihood
+
+
+def nni_neighbors(tree: Tree) -> List[Tree]:
+    """All distinct NNI rearrangements of a bifurcating tree.
+
+    Each of the ``n − 3`` internal (unrooted) edges yields two
+    interchanges, so the neighbourhood has ``2(n − 3)`` trees.
+    """
+    neighbors: List[Tree] = []
+    regular, has_pulley = nni_candidates(tree)
+    n_regular = len(regular)
+    for index in range(n_regular):
+        for which in range(2):
+            duplicate = tree.copy()
+            dup_regular, _ = nni_candidates(duplicate)
+            v = dup_regular[index]
+            u = v.parent
+            sibling = v.sibling()
+            assert u is not None and sibling is not None
+            _swap(v, v.children[which], u, sibling)
+            duplicate.invalidate_indices()
+            neighbors.append(duplicate)
+    if has_pulley:
+        for which in range(2):
+            duplicate = tree.copy()
+            a, b = duplicate.root.children
+            _swap(a, a.children[which], b, b.children[0])
+            duplicate.invalidate_indices()
+            neighbors.append(duplicate)
+    return neighbors
+
+
+def ml_search(
+    evaluator: TreeLikelihood,
+    *,
+    max_rounds: int = 20,
+    optimize_lengths: bool = False,
+    tolerance: float = 1e-6,
+) -> SearchResult:
+    """Greedy NNI hill climbing from the evaluator's tree.
+
+    Parameters
+    ----------
+    optimize_lengths:
+        Re-fit branch lengths (one sweep) after each accepted topology
+        move; slower but climbs further.
+    tolerance:
+        Minimum log-likelihood gain to accept a move.
+    """
+    current = evaluator
+    current_ll = start_ll = current.log_likelihood()
+    evaluations = 1
+    launches = current.n_launches
+    rounds = 0
+
+    for _ in range(max_rounds):
+        rounds += 1
+        best_neighbor: Optional[TreeLikelihood] = None
+        best_ll = current_ll
+        for neighbor_tree in nni_neighbors(current.tree):
+            neighbor = current.with_tree(neighbor_tree)
+            ll = neighbor.log_likelihood()
+            evaluations += 1
+            launches += neighbor.n_launches
+            if ll > best_ll + tolerance:
+                best_ll = ll
+                best_neighbor = neighbor
+        if best_neighbor is None:
+            break
+        current = best_neighbor
+        current_ll = best_ll
+        if optimize_lengths:
+            fitted = optimize_branch_lengths(current, max_sweeps=1)
+            evaluations += fitted.evaluations
+            launches += fitted.evaluations * current.n_launches
+            current = current.with_tree(fitted.tree)
+            current_ll = fitted.log_likelihood
+
+    return SearchResult(
+        tree=current.tree,
+        log_likelihood=current_ll,
+        start_log_likelihood=start_ll,
+        rounds=rounds,
+        evaluations=evaluations,
+        kernel_launches=launches,
+    )

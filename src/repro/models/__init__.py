@@ -1,0 +1,54 @@
+"""Substitution-model substrate: reversible models over DNA/AA/codon states."""
+
+from .eigen import EigenDecomposition, decompose_reversible, transition_matrices
+from .ratematrix import SubstitutionModel, build_reversible_q, normalize_rate
+from .nucleotide import F81, GTR, HKY85, JC69, K80, TN93, random_gtr
+from .amino import AminoAcidModel, Poisson, synthetic_empirical
+from .codon import GY94, codon_frequencies_f1x4
+from .genetic_code import (
+    STANDARD_CODE,
+    STOP,
+    codon_alphabet,
+    is_transition,
+    sense_codons,
+    translate,
+)
+from .siterates import (
+    draw_site_rates,
+    RateCategories,
+    discrete_gamma,
+    invariant_plus_gamma,
+    single_rate,
+)
+
+__all__ = [
+    "EigenDecomposition",
+    "decompose_reversible",
+    "transition_matrices",
+    "SubstitutionModel",
+    "build_reversible_q",
+    "normalize_rate",
+    "JC69",
+    "K80",
+    "F81",
+    "HKY85",
+    "TN93",
+    "GTR",
+    "random_gtr",
+    "AminoAcidModel",
+    "Poisson",
+    "synthetic_empirical",
+    "GY94",
+    "codon_frequencies_f1x4",
+    "STANDARD_CODE",
+    "STOP",
+    "codon_alphabet",
+    "sense_codons",
+    "translate",
+    "is_transition",
+    "RateCategories",
+    "discrete_gamma",
+    "invariant_plus_gamma",
+    "single_rate",
+    "draw_site_rates",
+]

@@ -1,0 +1,104 @@
+"""Codon substitution models (s = 61).
+
+Implements the Goldman–Yang (1994) / Muse–Gaut style codon process over
+the 61 sense codons of the standard genetic code. One-step rates:
+
+* 0 for codon pairs differing at more than one position (instantaneous
+  double changes excluded),
+* ``κ`` multiplier when the single-base change is a transition,
+* ``ω`` multiplier when the change is non-synonymous,
+* times the target codon's stationary frequency (GTR factorisation), so
+  the process is time-reversible and rerooting-safe like every other model
+  in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .genetic_code import codon_alphabet, is_transition, sense_codons, translate
+from .ratematrix import SubstitutionModel
+
+__all__ = ["GY94", "codon_frequencies_f1x4"]
+
+
+def _codon_exchangeabilities(kappa: float, omega: float) -> np.ndarray:
+    codons = sense_codons()
+    s = len(codons)
+    r = np.zeros((s, s))
+    for i in range(s):
+        for j in range(i + 1, s):
+            a, b = codons[i], codons[j]
+            diffs = [(x, y) for x, y in zip(a, b) if x != y]
+            if len(diffs) != 1:
+                continue
+            rate = 1.0
+            if is_transition(*diffs[0]):
+                rate *= kappa
+            if translate(a) != translate(b):
+                rate *= omega
+            r[i, j] = r[j, i] = rate
+    return r
+
+
+def codon_frequencies_f1x4(base_frequencies: Sequence[float]) -> np.ndarray:
+    """F1x4 codon frequencies: product of per-base frequencies, renormalised.
+
+    Parameters
+    ----------
+    base_frequencies:
+        ``(π_A, π_C, π_G, π_T)`` as in the nucleotide models.
+    """
+    pi = np.asarray(base_frequencies, dtype=np.float64)
+    if pi.shape != (4,):
+        raise ValueError("need 4 base frequencies")
+    if np.any(pi <= 0):
+        raise ValueError("base frequencies must be positive")
+    pi = pi / pi.sum()
+    base_index = {"A": 0, "C": 1, "G": 2, "T": 3}
+    freqs = np.array(
+        [pi[base_index[c[0]]] * pi[base_index[c[1]]] * pi[base_index[c[2]]] for c in sense_codons()]
+    )
+    return freqs / freqs.sum()
+
+
+class GY94(SubstitutionModel):
+    """Goldman–Yang codon model with transition bias κ and dN/dS ω.
+
+    Parameters
+    ----------
+    kappa:
+        Transition/transversion rate ratio (> 0).
+    omega:
+        Non-synonymous/synonymous rate ratio (> 0); ω < 1 purifying
+        selection, ω > 1 positive selection.
+    codon_freqs:
+        Stationary codon frequencies (61 values); defaults to equal. Use
+        :func:`codon_frequencies_f1x4` to build them from base
+        composition.
+    """
+
+    def __init__(
+        self,
+        kappa: float = 2.0,
+        omega: float = 0.2,
+        codon_freqs: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kappa <= 0 or omega <= 0:
+            raise ValueError("kappa and omega must be positive")
+        self.kappa = float(kappa)
+        self.omega = float(omega)
+        alphabet = codon_alphabet()
+        freqs = (
+            np.full(alphabet.n_states, 1.0 / alphabet.n_states)
+            if codon_freqs is None
+            else np.asarray(codon_freqs, dtype=np.float64)
+        )
+        super().__init__(
+            f"GY94(kappa={kappa:g}, omega={omega:g})",
+            alphabet,
+            _codon_exchangeabilities(self.kappa, self.omega),
+            freqs,
+        )

@@ -1,0 +1,76 @@
+"""The standard genetic code and the 61-state codon alphabet.
+
+The codon model of :mod:`repro.models.codon` needs to know which of the 64
+codons are stop codons (excluded from the state space, leaving 61 *sense*
+codons for the standard code), which pairs of codons differ at exactly one
+position, and whether a one-step substitution is synonymous.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..data.alphabet import Alphabet
+
+__all__ = [
+    "STANDARD_CODE",
+    "STOP",
+    "sense_codons",
+    "codon_alphabet",
+    "translate",
+    "is_transition",
+]
+
+STOP = "*"
+
+_BASES = "TCAG"
+_AMINO_BY_BLOCK = (
+    # The canonical TCAG-ordered translation string for the standard code.
+    "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG"
+)
+
+#: Standard genetic code: codon (DNA alphabet, e.g. "ATG") -> one-letter
+#: amino acid, with ``*`` for stop codons.
+STANDARD_CODE: Dict[str, str] = {}
+_i = 0
+for _b1 in _BASES:
+    for _b2 in _BASES:
+        for _b3 in _BASES:
+            STANDARD_CODE[_b1 + _b2 + _b3] = _AMINO_BY_BLOCK[_i]
+            _i += 1
+del _i, _b1, _b2, _b3
+
+
+def translate(codon: str) -> str:
+    """One-letter amino acid for a codon (``*`` for stop).
+
+    Accepts T or U; case-insensitive.
+    """
+    key = codon.upper().replace("U", "T")
+    try:
+        return STANDARD_CODE[key]
+    except KeyError:
+        raise KeyError(f"not a codon: {codon!r}") from None
+
+
+@lru_cache(maxsize=1)
+def sense_codons() -> Tuple[str, ...]:
+    """The 61 sense codons of the standard code, in alphabetical order."""
+    return tuple(sorted(c for c, aa in STANDARD_CODE.items() if aa != STOP))
+
+
+@lru_cache(maxsize=1)
+def codon_alphabet() -> Alphabet:
+    """A 61-state alphabet whose symbols are codon triplets."""
+    return Alphabet("codon", sense_codons(), unknown="???")
+
+
+_PURINES = frozenset("AG")
+_PYRIMIDINES = frozenset("CT")
+
+
+def is_transition(base_a: str, base_b: str) -> bool:
+    """True when the single-base change ``a → b`` is a transition."""
+    pair = {base_a, base_b}
+    return pair <= _PURINES or pair <= _PYRIMIDINES

@@ -1,0 +1,149 @@
+"""Nucleotide substitution models (s = 4).
+
+The classic reversible DNA model hierarchy, each a special case of GTR:
+
+========  ==========================  ===========================
+Model     Exchangeabilities           Frequencies
+========  ==========================  ===========================
+JC69      all equal                   equal
+K80       transition/transversion κ   equal
+F81       all equal                   free
+HKY85     transition/transversion κ   free
+TN93      two transition rates        free
+GTR       six free rates              free
+========  ==========================  ===========================
+
+State order is ``A, C, G, T`` (matching :data:`repro.data.alphabet.DNA`
+and BEAGLE). Transitions are A↔G and C↔T.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.alphabet import DNA
+from .ratematrix import SubstitutionModel
+
+__all__ = ["JC69", "K80", "F81", "HKY85", "TN93", "GTR", "random_gtr"]
+
+_A, _C, _G, _T = 0, 1, 2, 3
+
+
+def _exchange_from_six(rates: Sequence[float]) -> np.ndarray:
+    """Build the symmetric 4×4 exchangeability matrix from GTR's six rates.
+
+    Rate order follows the usual convention:
+    ``(AC, AG, AT, CG, CT, GT)``.
+    """
+    ac, ag, at, cg, ct, gt = (float(x) for x in rates)
+    r = np.zeros((4, 4))
+    r[_A, _C] = r[_C, _A] = ac
+    r[_A, _G] = r[_G, _A] = ag
+    r[_A, _T] = r[_T, _A] = at
+    r[_C, _G] = r[_G, _C] = cg
+    r[_C, _T] = r[_T, _C] = ct
+    r[_G, _T] = r[_T, _G] = gt
+    return r
+
+
+def _validate_freqs(frequencies: Optional[Sequence[float]]) -> np.ndarray:
+    if frequencies is None:
+        return np.full(4, 0.25)
+    pi = np.asarray(frequencies, dtype=np.float64)
+    if pi.shape != (4,):
+        raise ValueError("nucleotide models need exactly 4 frequencies")
+    return pi
+
+
+class GTR(SubstitutionModel):
+    """General time-reversible model with six exchangeabilities.
+
+    Parameters
+    ----------
+    rates:
+        ``(AC, AG, AT, CG, CT, GT)``, any positive scale (only ratios
+        matter after normalisation).
+    frequencies:
+        ``(π_A, π_C, π_G, π_T)``; defaults to equal.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[float] = (1, 1, 1, 1, 1, 1),
+        frequencies: Optional[Sequence[float]] = None,
+        name: str = "GTR",
+    ) -> None:
+        rates = tuple(float(x) for x in rates)
+        if len(rates) != 6:
+            raise ValueError("GTR needs six exchangeability rates")
+        if any(x <= 0 for x in rates):
+            raise ValueError("GTR rates must be positive")
+        self.rates = rates
+        super().__init__(name, DNA, _exchange_from_six(rates), _validate_freqs(frequencies))
+
+
+class JC69(GTR):
+    """Jukes–Cantor 1969: equal rates, equal frequencies."""
+
+    def __init__(self) -> None:
+        super().__init__((1, 1, 1, 1, 1, 1), None, name="JC69")
+
+
+class F81(GTR):
+    """Felsenstein 1981: equal exchangeabilities, free frequencies."""
+
+    def __init__(self, frequencies: Sequence[float]) -> None:
+        super().__init__((1, 1, 1, 1, 1, 1), frequencies, name="F81")
+
+
+class K80(GTR):
+    """Kimura 1980: transition/transversion ratio κ, equal frequencies."""
+
+    def __init__(self, kappa: float = 2.0) -> None:
+        if kappa <= 0:
+            raise ValueError("kappa must be positive")
+        self.kappa = float(kappa)
+        super().__init__((1, kappa, 1, 1, kappa, 1), None, name="K80")
+
+
+class HKY85(GTR):
+    """Hasegawa–Kishino–Yano 1985: κ plus free frequencies."""
+
+    def __init__(self, kappa: float = 2.0, frequencies: Optional[Sequence[float]] = None) -> None:
+        if kappa <= 0:
+            raise ValueError("kappa must be positive")
+        self.kappa = float(kappa)
+        super().__init__((1, kappa, 1, 1, kappa, 1), frequencies, name="HKY85")
+
+
+class TN93(GTR):
+    """Tamura–Nei 1993: separate purine/pyrimidine transition rates."""
+
+    def __init__(
+        self,
+        kappa_purine: float = 2.0,
+        kappa_pyrimidine: float = 2.0,
+        frequencies: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kappa_purine <= 0 or kappa_pyrimidine <= 0:
+            raise ValueError("kappa parameters must be positive")
+        self.kappa_purine = float(kappa_purine)
+        self.kappa_pyrimidine = float(kappa_pyrimidine)
+        super().__init__(
+            (1, kappa_purine, 1, 1, kappa_pyrimidine, 1),
+            frequencies,
+            name="TN93",
+        )
+
+
+def random_gtr(rng: np.random.Generator) -> GTR:
+    """A random GTR model, used by ``synthetictest``-style benchmarks.
+
+    Exchangeabilities are log-uniform in roughly [0.3, 3] and frequencies
+    Dirichlet(5,5,5,5), giving realistic but well-conditioned matrices.
+    """
+    rates = np.exp(rng.uniform(np.log(0.3), np.log(3.0), size=6))
+    freqs = rng.dirichlet(np.full(4, 5.0))
+    return GTR(rates.tolist(), freqs.tolist(), name="GTR(random)")

@@ -1,0 +1,154 @@
+"""Reversible rate-matrix construction and the model base class.
+
+Every model in this package is a *general time-reversible* (GTR-family)
+process: off-diagonal rates factor as ``q_ij = r_ij · π_j`` with a
+symmetric exchangeability matrix ``r`` and stationary frequencies ``π``.
+Time reversibility is what licenses the paper's entire approach — the
+likelihood of a tree under such a model is invariant to root placement
+(Felsenstein's pulley principle), so the tree may be rerooted freely to
+maximise concurrency (§V).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.alphabet import Alphabet
+from .eigen import EigenDecomposition, decompose_reversible, transition_matrices
+
+__all__ = [
+    "build_reversible_q",
+    "normalize_rate",
+    "SubstitutionModel",
+]
+
+
+def build_reversible_q(
+    exchangeabilities: np.ndarray,
+    frequencies: np.ndarray,
+    *,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Construct ``Q`` from exchangeabilities and frequencies.
+
+    Parameters
+    ----------
+    exchangeabilities:
+        Symmetric non-negative ``(s, s)`` matrix ``r`` (diagonal ignored).
+    frequencies:
+        Stationary distribution ``π`` (positive, sums to 1 after
+        renormalisation here).
+    normalize:
+        Rescale so the expected substitution rate at stationarity,
+        ``-Σ_i π_i q_ii``, equals 1 — the convention that makes branch
+        lengths read as expected substitutions per site.
+    """
+    r = np.asarray(exchangeabilities, dtype=np.float64)
+    pi = np.asarray(frequencies, dtype=np.float64)
+    if r.ndim != 2 or r.shape[0] != r.shape[1]:
+        raise ValueError("exchangeabilities must be square")
+    if np.max(np.abs(r - r.T)) > 1e-12 * max(1.0, np.max(np.abs(r))):
+        raise ValueError("exchangeabilities must be symmetric")
+    if np.any(r < 0):
+        raise ValueError("exchangeabilities must be non-negative")
+    if pi.shape != (r.shape[0],):
+        raise ValueError("frequencies length must match matrix size")
+    if np.any(pi <= 0):
+        raise ValueError("frequencies must be strictly positive")
+    pi = pi / pi.sum()
+
+    Q = r * pi[None, :]
+    np.fill_diagonal(Q, 0.0)
+    Q[np.diag_indices_from(Q)] = -Q.sum(axis=1)
+    if normalize:
+        Q = normalize_rate(Q, pi)
+    return Q
+
+
+def normalize_rate(Q: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
+    """Scale ``Q`` so the stationary substitution rate is exactly 1."""
+    pi = np.asarray(frequencies, dtype=np.float64)
+    mu = -float(np.dot(pi, np.diag(Q)))
+    if mu <= 0:
+        raise ValueError("rate matrix has non-positive total rate")
+    return Q / mu
+
+
+class SubstitutionModel:
+    """A reversible substitution model over a fixed alphabet.
+
+    Concrete models (JC69, HKY85, GTR, Poisson, GY94 …) construct the
+    exchangeabilities/frequencies and delegate everything else here:
+    eigendecomposition, single and batched transition matrices, and the
+    reversibility checks the engine relies on.
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"HKY85"``.
+    alphabet:
+        The state alphabet; ``alphabet.n_states`` fixes ``s``.
+    exchangeabilities, frequencies:
+        Parameters of the reversible factorisation ``q_ij = r_ij π_j``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        alphabet: Alphabet,
+        exchangeabilities: np.ndarray,
+        frequencies: Sequence[float],
+    ) -> None:
+        self.name = name
+        self.alphabet = alphabet
+        pi = np.asarray(frequencies, dtype=np.float64)
+        if pi.shape != (alphabet.n_states,):
+            raise ValueError(
+                f"{name}: expected {alphabet.n_states} frequencies, got {pi.shape}"
+            )
+        self._frequencies = pi / pi.sum()
+        self._Q = build_reversible_q(exchangeabilities, self._frequencies)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return self.alphabet.n_states
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Stationary distribution ``π`` (copy)."""
+        return self._frequencies.copy()
+
+    @property
+    def rate_matrix(self) -> np.ndarray:
+        """Normalised rate matrix ``Q`` (copy)."""
+        return self._Q.copy()
+
+    @cached_property
+    def eigen(self) -> EigenDecomposition:
+        """Cached eigendecomposition used for all ``P(t)`` requests."""
+        return decompose_reversible(self._Q, self._frequencies)
+
+    # ------------------------------------------------------------------
+    def transition_matrix(self, t: float) -> np.ndarray:
+        """``P(t) = exp(Qt)`` for one branch length."""
+        return transition_matrices(self.eigen, [float(t)])[0]
+
+    def transition_matrices(self, times: Sequence[float]) -> np.ndarray:
+        """Batched ``P(t)`` for many branch lengths at once."""
+        return transition_matrices(self.eigen, times)
+
+    def is_reversible(self, tolerance: float = 1e-10) -> bool:
+        """Verify detailed balance ``π_i q_ij == π_j q_ji`` numerically."""
+        flux = self._frequencies[:, None] * self._Q
+        return bool(np.max(np.abs(flux - flux.T)) <= tolerance)
+
+    def expected_rate(self) -> float:
+        """Expected substitutions per unit time at stationarity (≈ 1)."""
+        return -float(np.dot(self._frequencies, np.diag(self._Q)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name} s={self.n_states}>"

@@ -1,0 +1,17 @@
+"""Partitioned-analysis substrate (paper §IV-A)."""
+
+from .dataset import (
+    DataPartition,
+    PartitionedDataset,
+    partition_by_codon_position,
+    partition_by_ranges,
+)
+from .engine import PartitionedLikelihood
+
+__all__ = [
+    "DataPartition",
+    "PartitionedDataset",
+    "partition_by_ranges",
+    "partition_by_codon_position",
+    "PartitionedLikelihood",
+]

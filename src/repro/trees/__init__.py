@@ -1,0 +1,120 @@
+"""Tree substrate: structures, IO, generation, traversal, and rerooting.
+
+This package is the library's replacement for ete3/dendropy-style tree
+handling (neither is available offline): a rooted bifurcating
+:class:`~repro.trees.tree.Tree` of :class:`~repro.trees.node.Node` objects,
+Newick IO, the paper's topology generators, the traversal orders that
+govern subtree concurrency, shape metrics, and mechanical rerooting.
+"""
+
+from .node import Node
+from .tree import Tree
+from .newick import NewickError, parse_newick, write_newick
+from .generate import (
+    birth_death_tree,
+    balanced_tree,
+    coalescent_tree,
+    pectinate_tree,
+    random_attachment_tree,
+    tip_labels,
+    yule_tree,
+)
+from .traversal import (
+    levelorder,
+    levels,
+    node_depths,
+    node_heights,
+    postorder,
+    preorder,
+    reverse_levelorder,
+)
+from .metrics import (
+    colless_index,
+    is_pectinate,
+    is_perfectly_balanced,
+    n_cherries,
+    normalized_colless,
+    root_tip_split,
+    sackin_index,
+    shape_summary,
+    tree_height,
+)
+from .reroot import reroot_above, reroot_on_edge, unrooted_adjacency, unrooted_edges
+from .distance import (
+    bipartitions,
+    branch_score_distance,
+    robinson_foulds,
+    same_unrooted_topology,
+)
+from .render import render_ascii, render_schedule
+from .distances_seq import (
+    distance_matrix,
+    gamma_jc_distance,
+    jc_distance,
+    p_distance,
+)
+from .nj import neighbor_joining
+from .manipulate import (
+    common_ancestor,
+    extract_clade,
+    ladderize,
+    prune_to_taxa,
+)
+from .enumerate import (
+    all_unrooted_topologies,
+    n_rooted_topologies,
+    n_unrooted_topologies,
+)
+
+__all__ = [
+    "Node",
+    "Tree",
+    "NewickError",
+    "parse_newick",
+    "write_newick",
+    "balanced_tree",
+    "pectinate_tree",
+    "random_attachment_tree",
+    "yule_tree",
+    "coalescent_tree",
+    "birth_death_tree",
+    "tip_labels",
+    "postorder",
+    "preorder",
+    "levelorder",
+    "reverse_levelorder",
+    "levels",
+    "node_depths",
+    "node_heights",
+    "tree_height",
+    "colless_index",
+    "normalized_colless",
+    "sackin_index",
+    "n_cherries",
+    "is_pectinate",
+    "is_perfectly_balanced",
+    "root_tip_split",
+    "shape_summary",
+    "reroot_on_edge",
+    "reroot_above",
+    "unrooted_adjacency",
+    "unrooted_edges",
+    "bipartitions",
+    "robinson_foulds",
+    "branch_score_distance",
+    "same_unrooted_topology",
+    "render_ascii",
+    "p_distance",
+    "jc_distance",
+    "gamma_jc_distance",
+    "distance_matrix",
+    "neighbor_joining",
+    "prune_to_taxa",
+    "extract_clade",
+    "ladderize",
+    "common_ancestor",
+    "n_unrooted_topologies",
+    "n_rooted_topologies",
+    "all_unrooted_topologies",
+    "render_schedule",
+]

@@ -1,0 +1,108 @@
+"""Tree comparison utilities.
+
+Used by the tests to confirm that rerooting preserves the *unrooted*
+topology (only the orientation changes), and by the MCMC example to track
+topology moves.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from .tree import Tree
+
+__all__ = [
+    "bipartitions",
+    "robinson_foulds",
+    "same_unrooted_topology",
+    "branch_score_distance",
+]
+
+
+def bipartitions(tree: Tree) -> Set[FrozenSet[str]]:
+    """Non-trivial bipartitions of the unrooted topology.
+
+    Each internal edge splits the tip set in two; the split is recorded as
+    the frozenset of tip names on the *smaller-or-lexicographically-first*
+    side, canonicalised so that rootings of the same unrooted tree produce
+    identical sets.
+    """
+    all_tips = frozenset(t.name for t in tree.tips())
+    n = len(all_tips)
+    splits: Set[FrozenSet[str]] = set()
+    below: dict[int, FrozenSet[str]] = {}
+    for node in tree.root.traverse_postorder():
+        if node.is_tip:
+            below[id(node)] = frozenset((node.name,))
+            continue
+        clade = frozenset().union(*(below[id(c)] for c in node.children))
+        below[id(node)] = clade
+        if node.parent is None:
+            continue
+        # Trivial splits (single tip or all-but-one) carry no information.
+        if 1 < len(clade) < n - 1:
+            other = all_tips - clade
+            canon = min(clade, other, key=lambda s: (len(s), sorted(s)))
+            splits.add(canon)
+    return splits
+
+
+def robinson_foulds(a: Tree, b: Tree) -> int:
+    """Symmetric-difference (Robinson–Foulds) distance between topologies.
+
+    Raises
+    ------
+    ValueError
+        When the two trees do not share the same tip-name set.
+    """
+    if {t.name for t in a.tips()} != {t.name for t in b.tips()}:
+        raise ValueError("trees must share an identical tip set")
+    sa, sb = bipartitions(a), bipartitions(b)
+    return len(sa ^ sb)
+
+
+def same_unrooted_topology(a: Tree, b: Tree) -> bool:
+    """True when the two trees are the same unrooted labelled topology."""
+    return robinson_foulds(a, b) == 0
+
+
+def branch_score_distance(a: Tree, b: Tree) -> float:
+    """Kuhner–Felsenstein branch-score distance between two trees.
+
+    The square root of the sum of squared branch-length differences over
+    the union of splits: splits present in both trees contribute the
+    difference of their branch lengths, splits unique to one tree
+    contribute that branch's full length. Sensitive to both topology and
+    branch lengths (Robinson–Foulds ignores the latter).
+    """
+    if {t.name for t in a.tips()} != {t.name for t in b.tips()}:
+        raise ValueError("trees must share an identical tip set")
+
+    def split_lengths(tree: Tree):
+        all_tips = frozenset(t.name for t in tree.tips())
+        n = len(all_tips)
+        below: dict[int, FrozenSet[str]] = {}
+        lengths: dict[FrozenSet[str], float] = {}
+        for node in tree.root.traverse_postorder():
+            if node.is_tip:
+                below[id(node)] = frozenset((node.name,))
+            else:
+                below[id(node)] = frozenset().union(
+                    *(below[id(c)] for c in node.children)
+                )
+            if node.parent is None:
+                continue
+            clade = below[id(node)]
+            if len(clade) < 1 or len(clade) >= n:
+                continue
+            other = all_tips - clade
+            canon = min(clade, other, key=lambda s: (len(s), sorted(s)))
+            # The two root branches form one unrooted edge: sum them.
+            lengths[canon] = lengths.get(canon, 0.0) + node.length
+        return lengths
+
+    la, lb = split_lengths(a), split_lengths(b)
+    total = 0.0
+    for split in la.keys() | lb.keys():
+        total += (la.get(split, 0.0) - lb.get(split, 0.0)) ** 2
+    return total ** 0.5

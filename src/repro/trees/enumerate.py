@@ -1,0 +1,144 @@
+"""Tree-space counting and exhaustive enumeration.
+
+The paper motivates heuristic search with the size of tree space: the
+number of unrooted topologies for ``n`` OTUs is the double factorial
+``(2n − 5)!!`` (§II-A, citing Felsenstein 1978). This module provides
+those counts and, for small ``n``, an exhaustive generator of all
+unrooted topologies — which turns the likelihood engine into an *exact*
+maximum-likelihood method usable as a test oracle for the heuristic
+search.
+
+Enumeration uses the classic stepwise-addition bijection: every unrooted
+topology on ``k + 1`` taxa arises exactly once by inserting the new taxon
+into one of the ``2k − 3`` branches of a topology on ``k`` taxa.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from .node import Node
+from .tree import Tree
+
+__all__ = [
+    "n_unrooted_topologies",
+    "n_rooted_topologies",
+    "all_unrooted_topologies",
+]
+
+
+def _double_factorial(k: int) -> int:
+    result = 1
+    while k > 1:
+        result *= k
+        k -= 2
+    return result
+
+
+def n_unrooted_topologies(n_tips: int) -> int:
+    """Number of unrooted bifurcating topologies: ``(2n − 5)!!``."""
+    if n_tips < 1:
+        raise ValueError("need at least one tip")
+    if n_tips <= 3:
+        return 1
+    return _double_factorial(2 * n_tips - 5)
+
+
+def n_rooted_topologies(n_tips: int) -> int:
+    """Number of rooted bifurcating topologies: ``(2n − 3)!!``."""
+    if n_tips < 1:
+        raise ValueError("need at least one tip")
+    if n_tips <= 2:
+        return 1
+    return _double_factorial(2 * n_tips - 3)
+
+
+def _insert_on_branch(tree: Tree, branch_child: Node, label: str) -> Tree:
+    """A copy of ``tree`` with a new tip grafted onto one branch."""
+    duplicate = tree.copy()
+    # Locate the corresponding node in the copy by traversal position.
+    originals = list(tree.root.traverse_postorder())
+    copies = list(duplicate.root.traverse_postorder())
+    target = copies[originals.index(branch_child)]
+    parent = target.parent
+    assert parent is not None
+    position = parent.children.index(target)
+    parent.remove_child(target)
+    junction = Node(None, target.length / 2)
+    target.length = target.length / 2
+    junction.add_child(target)
+    junction.add_child(Node(label, 0.1))
+    junction.parent = parent
+    parent.children.insert(position, junction)
+    duplicate.invalidate_indices()
+    return duplicate
+
+
+def all_unrooted_topologies(
+    names: Sequence[str],
+    *,
+    branch_length: float = 0.1,
+    limit: Optional[int] = None,
+) -> Iterator[Tree]:
+    """Yield every unrooted topology over the given taxa exactly once.
+
+    Trees are emitted as rooted bifurcating representations (arbitrary
+    rooting), ready for the likelihood engine. The count of emitted trees
+    is ``(2n − 5)!!``; a guard refuses ``n > 9`` (2,027,025 topologies)
+    unless ``limit`` bounds the enumeration.
+
+    Parameters
+    ----------
+    limit:
+        Stop after this many topologies (useful for sampling the start of
+        the enumeration in tests).
+    """
+    names = list(names)
+    if len(names) < 3:
+        raise ValueError("enumeration needs at least three taxa")
+    if len(set(names)) != len(names):
+        raise ValueError("taxon names must be unique")
+    if len(names) > 9 and limit is None:
+        raise ValueError(
+            f"{n_unrooted_topologies(len(names)):,} topologies for "
+            f"{len(names)} taxa; pass limit= to bound the enumeration"
+        )
+
+    # Base: the single topology on the first three taxa.
+    root = Node()
+    inner = Node(None, branch_length)
+    inner.add_child(Node(names[1], branch_length))
+    inner.add_child(Node(names[2], branch_length))
+    root.add_child(Node(names[0], branch_length))
+    root.add_child(inner)
+    current: List[Tree] = [Tree(root)]
+
+    emitted = 0
+    if len(names) == 3:
+        for tree in current:
+            yield tree
+        return
+
+    for index in range(3, len(names)):
+        label = names[index]
+        extended: List[Tree] = []
+        last_round = index == len(names) - 1
+        for tree in current:
+            # Branch set of the unrooted view: every non-root node except
+            # one of the two root children (the pulley edge is a single
+            # unrooted branch; skip the second root child to avoid
+            # generating the same insertion twice).
+            root_children = tree.root.children
+            skip = id(root_children[1]) if len(root_children) == 2 else None
+            for node in tree.root.traverse_postorder():
+                if node.parent is None or id(node) == skip:
+                    continue
+                candidate = _insert_on_branch(tree, node, label)
+                if last_round:
+                    yield candidate
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
+                else:
+                    extended.append(candidate)
+        current = extended

@@ -1,0 +1,337 @@
+"""Tree topology generators.
+
+These mirror (and extend) the topology options the paper added to the
+BEAGLE ``synthetictest`` program (§VI-D):
+
+* :func:`balanced_tree` — the default ``synthetictest`` topology; optimal
+  for subtree concurrency, needs no rerooting.
+* :func:`pectinate_tree` — ``--pectinate``; the worst case, fully serial.
+* :func:`random_attachment_tree` — ``--randomtree``; the paper's random
+  construction: each new tip is attached to a uniformly chosen existing
+  node (tip *or* internal), gaining a fresh parent spliced into the
+  sibling's old parent edge.
+
+Additional generators used by the examples and extended benchmarks:
+
+* :func:`yule_tree` — pure-birth process (split a random *tip*), the
+  classic null model; produces more balanced shapes than uniform
+  attachment.
+* :func:`coalescent_tree` — Kingman coalescent gene genealogy with
+  exponential waiting times (microevolution setting, paper §II).
+
+All generators take a :class:`numpy.random.Generator` (or a seed) so every
+benchmark is reproducible from a ``--seed`` value, as in Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .node import Node
+from .tree import Tree
+
+__all__ = [
+    "balanced_tree",
+    "pectinate_tree",
+    "random_attachment_tree",
+    "yule_tree",
+    "coalescent_tree",
+    "birth_death_tree",
+    "tip_labels",
+    "as_rng",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce a seed / Generator / None into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def tip_labels(n: int) -> list[str]:
+    """Labels ``t0001 .. tNNNN`` (stable, sortable, Newick-safe)."""
+    width = max(4, len(str(n)))
+    return [f"t{i + 1:0{width}d}" for i in range(n)]
+
+
+def _default_lengths(tree: Tree, rng: Optional[np.random.Generator], mean: float) -> Tree:
+    """Assign exponential branch lengths (or the constant mean if rng is None)."""
+    for node in tree.root.traverse_postorder():
+        if node.parent is not None:
+            node.length = float(rng.exponential(mean)) if rng is not None else mean
+    return tree
+
+
+def balanced_tree(
+    n: int,
+    *,
+    names: Optional[Sequence[str]] = None,
+    branch_length: float = 0.1,
+    rng: RngLike = None,
+    random_lengths: bool = False,
+) -> Tree:
+    """A maximally balanced rooted tree of ``n`` tips.
+
+    For ``n`` a power of two the tree is perfectly balanced with
+    ``log2 n`` levels of internal nodes; otherwise each split divides the
+    remaining tips as evenly as possible (``ceil``/``floor``).
+    """
+    if n < 1:
+        raise ValueError("need at least one tip")
+    labels = list(names) if names is not None else tip_labels(n)
+    if len(labels) != n:
+        raise ValueError("names must have length n")
+
+    def build(lo: int, hi: int) -> Node:
+        count = hi - lo
+        if count == 1:
+            return Node(labels[lo])
+        mid = lo + (count + 1) // 2
+        parent = Node()
+        parent.add_child(build(lo, mid))
+        parent.add_child(build(mid, hi))
+        return parent
+
+    tree = Tree(build(0, n))
+    gen = as_rng(rng) if random_lengths else None
+    return _default_lengths(tree, gen, branch_length)
+
+
+def pectinate_tree(
+    n: int,
+    *,
+    names: Optional[Sequence[str]] = None,
+    branch_length: float = 0.1,
+    rng: RngLike = None,
+    random_lengths: bool = False,
+) -> Tree:
+    """A fully pectinate (caterpillar / ladder) rooted tree of ``n`` tips.
+
+    Built exactly as in the paper (§VI-D): the random-attachment procedure
+    with the current root always chosen as the sibling — each new tip
+    becomes a child of a fresh root.
+    """
+    if n < 1:
+        raise ValueError("need at least one tip")
+    labels = list(names) if names is not None else tip_labels(n)
+    if len(labels) != n:
+        raise ValueError("names must have length n")
+    root = Node(labels[0])
+    for label in labels[1:]:
+        new_root = Node()
+        new_root.add_child(root)
+        new_root.add_child(Node(label))
+        root = new_root
+    tree = Tree(root)
+    gen = as_rng(rng) if random_lengths else None
+    return _default_lengths(tree, gen, branch_length)
+
+
+def random_attachment_tree(
+    n: int,
+    rng: RngLike = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+    branch_length: float = 0.1,
+    random_lengths: bool = False,
+) -> Tree:
+    """The paper's arbitrary-topology generator (§VI-D).
+
+    Trees are grown one tip at a time. Each new tip is connected to a
+    uniformly chosen *sibling* among all existing nodes — tips and
+    internal nodes alike, the current root included. The new tip and its
+    sibling gain a fresh parent, which replaces the sibling in the
+    sibling's old parent (or becomes the new root when the sibling was the
+    root).
+
+    This places substantial mass on unbalanced shapes, which is why the
+    paper's random trees benefit from rerooting.
+    """
+    if n < 1:
+        raise ValueError("need at least one tip")
+    gen = as_rng(rng)
+    labels = list(names) if names is not None else tip_labels(n)
+    if len(labels) != n:
+        raise ValueError("names must have length n")
+
+    root = Node(labels[0])
+    all_nodes = [root]
+    for label in labels[1:]:
+        sibling = all_nodes[int(gen.integers(len(all_nodes)))]
+        tip = Node(label)
+        new_parent = Node()
+        old_parent = sibling.parent
+        if old_parent is None:
+            new_parent.add_child(sibling)
+            new_parent.add_child(tip)
+            root = new_parent
+        else:
+            pos = old_parent.children.index(sibling)
+            old_parent.remove_child(sibling)
+            new_parent.add_child(sibling)
+            new_parent.add_child(tip)
+            new_parent.parent = old_parent
+            old_parent.children.insert(pos, new_parent)
+        all_nodes.append(tip)
+        all_nodes.append(new_parent)
+    tree = Tree(root)
+    return _default_lengths(tree, gen if random_lengths else None, branch_length)
+
+
+def yule_tree(
+    n: int,
+    rng: RngLike = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+    branch_length: float = 0.1,
+    random_lengths: bool = False,
+) -> Tree:
+    """A pure-birth (Yule) topology: each step splits a uniformly chosen tip."""
+    if n < 1:
+        raise ValueError("need at least one tip")
+    gen = as_rng(rng)
+    labels = list(names) if names is not None else tip_labels(n)
+    if len(labels) != n:
+        raise ValueError("names must have length n")
+
+    root = Node(labels[0])
+    tips = [root]
+    next_label = 1
+    while len(tips) < n:
+        idx = int(gen.integers(len(tips)))
+        splitting = tips[idx]
+        left = Node(splitting.name)
+        right = Node(labels[next_label])
+        next_label += 1
+        splitting.name = None
+        splitting.add_child(left)
+        splitting.add_child(right)
+        tips[idx] = left
+        tips.append(right)
+    tree = Tree(root)
+    return _default_lengths(tree, gen if random_lengths else None, branch_length)
+
+
+def coalescent_tree(
+    n: int,
+    rng: RngLike = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+    theta: float = 1.0,
+) -> Tree:
+    """A Kingman-coalescent gene genealogy of ``n`` sampled alleles.
+
+    While ``k`` lineages remain, a uniformly chosen pair coalesces after an
+    ``Exp(k(k-1)/theta)`` waiting time; branch lengths record the elapsed
+    coalescent time, so the tree is ultrametric.
+    """
+    if n < 1:
+        raise ValueError("need at least one allele")
+    gen = as_rng(rng)
+    labels = list(names) if names is not None else tip_labels(n)
+    if len(labels) != n:
+        raise ValueError("names must have length n")
+
+    lineages = [(Node(label), 0.0) for label in labels]
+    time = 0.0
+    while len(lineages) > 1:
+        k = len(lineages)
+        rate = k * (k - 1) / theta
+        time += float(gen.exponential(1.0 / rate))
+        i, j = sorted(gen.choice(k, size=2, replace=False).tolist())
+        node_j, t_j = lineages.pop(j)
+        node_i, t_i = lineages.pop(i)
+        parent = Node()
+        node_i.length = time - t_i
+        node_j.length = time - t_j
+        parent.add_child(node_i)
+        parent.add_child(node_j)
+        lineages.append((parent, time))
+    return Tree(lineages[0][0])
+
+
+def birth_death_tree(
+    n: int,
+    rng: RngLike = None,
+    *,
+    birth_rate: float = 1.0,
+    death_rate: float = 0.3,
+    names: Optional[Sequence[str]] = None,
+    max_attempts: int = 1000,
+) -> Tree:
+    """A birth–death tree conditioned on ``n`` surviving tips.
+
+    Lineages split at rate ``birth_rate`` and die at rate ``death_rate``;
+    simulation runs forward until ``n`` lineages are simultaneously alive,
+    then stops and prunes all extinct lineages. Runs that go extinct are
+    restarted (up to ``max_attempts``). With ``death_rate = 0`` this is
+    the Yule process with true exponential branch lengths.
+    """
+    if n < 1:
+        raise ValueError("need at least one tip")
+    if birth_rate <= 0 or death_rate < 0:
+        raise ValueError("need birth_rate > 0 and death_rate >= 0")
+    if death_rate >= birth_rate:
+        raise ValueError("death_rate must be below birth_rate to condition on survival")
+    gen = as_rng(rng)
+    labels = list(names) if names is not None else tip_labels(n)
+    if len(labels) != n:
+        raise ValueError("names must have length n")
+
+    for _ in range(max_attempts):
+        root = Node()
+        # alive: (node, birth_time); the tree grows by splitting leaves.
+        alive = [(root, 0.0)]
+        time = 0.0
+        dead: set = set()
+        failed = False
+        while len(alive) < n:
+            k = len(alive)
+            if k == 0:
+                failed = True
+                break
+            total_rate = k * (birth_rate + death_rate)
+            time += float(gen.exponential(1.0 / total_rate))
+            index = int(gen.integers(k))
+            node, born = alive.pop(index)
+            node.length = time - born
+            if gen.random() < birth_rate / (birth_rate + death_rate):
+                left, right = Node(), Node()
+                node.add_child(left)
+                node.add_child(right)
+                alive.append((left, time))
+                alive.append((right, time))
+            else:
+                dead.add(id(node))
+        if failed:
+            continue
+        # Close surviving lineages at the stopping time.
+        for node, born in alive:
+            node.length = time - born
+        tree = Tree(root)
+        # Prune extinct lineages: repeatedly drop dead leaves, then
+        # splice unary nodes (their lengths merge).
+        changed = True
+        while changed:
+            changed = False
+            for leaf in [x for x in tree.root.traverse_postorder() if x.is_tip]:
+                if id(leaf) in dead and leaf.parent is not None:
+                    leaf.parent.remove_child(leaf)
+                    changed = True
+        tree.suppress_unary()
+        survivors = [t for t in tree.tips()]
+        if len(survivors) != n or not tree.is_bifurcating():
+            continue
+        for label, tip in zip(labels, survivors):
+            tip.name = label
+        tree.invalidate_indices()
+        return tree
+    raise RuntimeError(
+        f"birth-death simulation failed to yield {n} survivors in "
+        f"{max_attempts} attempts"
+    )

@@ -1,0 +1,107 @@
+"""Tree manipulation utilities.
+
+The editing operations real workflows need around the core analyses:
+restricting a tree to a taxon subset (:func:`prune_to_taxa`), lifting a
+clade out as its own tree (:func:`extract_clade`), and canonical display
+ordering (:func:`ladderize`). All three return new trees; inputs are
+never mutated — the same no-undo discipline as the proposal moves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .node import Node
+from .tree import Tree
+
+__all__ = ["prune_to_taxa", "extract_clade", "ladderize", "common_ancestor"]
+
+
+def prune_to_taxa(tree: Tree, keep: Iterable[str]) -> Tree:
+    """A copy of the tree restricted to the given tip names.
+
+    Internal nodes left with one child are spliced out with their branch
+    lengths merged, so path lengths among the kept taxa — and therefore
+    reversible-model likelihoods on the restricted data — are preserved.
+
+    Raises
+    ------
+    KeyError
+        If a requested name is not a tip of the tree.
+    ValueError
+        If fewer than two names are kept.
+    """
+    names = set(keep)
+    present = {t.name for t in tree.tips()}
+    missing = names - present
+    if missing:
+        raise KeyError(f"tips not in tree: {sorted(missing)}")
+    if len(names) < 2:
+        raise ValueError("keep at least two taxa")
+
+    duplicate = tree.copy()
+    # Iteratively drop unwanted tips, then clean up unary nodes.
+    changed = True
+    while changed:
+        changed = False
+        for leaf in [n for n in duplicate.root.traverse_postorder() if n.is_tip]:
+            if leaf.name not in names and leaf.parent is not None:
+                leaf.parent.remove_child(leaf)
+                changed = True
+    duplicate.suppress_unary()
+    duplicate.invalidate_indices()
+    return duplicate
+
+
+def common_ancestor(tree: Tree, names: Sequence[str]) -> Node:
+    """The most recent common ancestor of the named tips."""
+    if not names:
+        raise ValueError("need at least one name")
+    paths = []
+    for name in names:
+        node = tree.find(name)
+        path = [node] + list(node.ancestors())
+        paths.append({id(x) for x in path})
+    shared = set.intersection(*paths)
+    # The MRCA is the deepest shared node: walk up from the first tip.
+    node = tree.find(names[0])
+    while node is not None:
+        if id(node) in shared:
+            return node
+        node = node.parent
+    raise RuntimeError("no common ancestor found (corrupt tree)")  # pragma: no cover
+
+
+def extract_clade(tree: Tree, names: Sequence[str]) -> Tree:
+    """The subtree rooted at the MRCA of ``names``, as a new tree.
+
+    The extracted root keeps its subtree branch lengths; its own branch
+    (to the removed parent) is dropped.
+    """
+    ancestor = common_ancestor(tree, names)
+    scratch = Tree(ancestor)
+    duplicate = scratch.copy()
+    duplicate.root.length = 0.0
+    return duplicate
+
+
+def ladderize(tree: Tree, *, ascending: bool = True) -> Tree:
+    """A copy with children ordered by subtree size (display canonical).
+
+    ``ascending`` puts smaller subtrees first — the familiar staircase
+    look; the unrooted topology and all branch lengths are untouched.
+    """
+    duplicate = tree.copy()
+    sizes = {}
+    for node in duplicate.root.traverse_postorder():
+        sizes[id(node)] = (
+            1 if node.is_tip else sum(sizes[id(c)] for c in node.children)
+        )
+    for node in duplicate.root.traverse_postorder():
+        if not node.is_tip:
+            node.children.sort(
+                key=lambda c: (sizes[id(c)], c.name or ""),
+                reverse=not ascending,
+            )
+    duplicate.invalidate_indices()
+    return duplicate

@@ -1,0 +1,133 @@
+"""Tree shape statistics.
+
+The paper's effect sizes are governed entirely by topology, so the
+benchmarks and tests lean on these statistics to characterise how
+balanced or pectinate a tree is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .node import Node
+from .tree import Tree
+from .traversal import node_depths, node_heights
+
+__all__ = [
+    "tree_height",
+    "colless_index",
+    "normalized_colless",
+    "sackin_index",
+    "n_cherries",
+    "is_pectinate",
+    "is_perfectly_balanced",
+    "root_tip_split",
+    "shape_summary",
+]
+
+
+def tree_height(tree: Tree) -> int:
+    """Maximum edge-count depth of any node (0 for a single tip)."""
+    return max(node_depths(tree).values())
+
+
+def _subtree_tip_counts(tree: Tree) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for node in tree.root.traverse_postorder():
+        if node.is_tip:
+            counts[id(node)] = 1
+        else:
+            counts[id(node)] = sum(counts[id(c)] for c in node.children)
+    return counts
+
+
+def colless_index(tree: Tree) -> int:
+    """Colless imbalance: sum over internal nodes of |tips(left) − tips(right)|.
+
+    0 for a perfectly balanced tree with 2^k tips; maximal,
+    ``(n−1)(n−2)/2``, for a pectinate tree.
+    """
+    counts = _subtree_tip_counts(tree)
+    total = 0
+    for node in tree.root.traverse_postorder():
+        if not node.is_tip:
+            if len(node.children) != 2:
+                raise ValueError("Colless index requires a bifurcating tree")
+            a, b = (counts[id(c)] for c in node.children)
+            total += abs(a - b)
+    return total
+
+
+def normalized_colless(tree: Tree) -> float:
+    """Colless index scaled to [0, 1] by the pectinate maximum."""
+    n = tree.n_tips
+    if n < 3:
+        return 0.0
+    return colless_index(tree) / ((n - 1) * (n - 2) / 2)
+
+
+def sackin_index(tree: Tree) -> int:
+    """Sackin imbalance: sum of tip depths."""
+    depths = node_depths(tree)
+    return sum(depths[id(t)] for t in tree.tips())
+
+
+def n_cherries(tree: Tree) -> int:
+    """Number of internal nodes whose two children are both tips."""
+    return sum(
+        1
+        for node in tree.root.traverse_postorder()
+        if not node.is_tip and all(c.is_tip for c in node.children)
+    )
+
+
+def is_pectinate(tree: Tree) -> bool:
+    """True for a caterpillar: every internal node has at least one tip child."""
+    if tree.n_tips <= 2:
+        return True
+    return all(
+        any(c.is_tip for c in node.children)
+        for node in tree.root.traverse_postorder()
+        if not node.is_tip
+    ) and n_cherries(tree) == 1
+
+
+def is_perfectly_balanced(tree: Tree) -> bool:
+    """True when all tips sit at equal depth and every split is even."""
+    counts = _subtree_tip_counts(tree)
+    for node in tree.root.traverse_postorder():
+        if node.is_tip:
+            continue
+        child_counts = [counts[id(c)] for c in node.children]
+        if max(child_counts) - min(child_counts) > 0:
+            return False
+    return True
+
+
+def root_tip_split(tree: Tree) -> tuple[int, int]:
+    """Number of tips on each side of the root (sorted ascending).
+
+    The paper's rerooting criterion (§V-B): an optimally rerooted tree has
+    ``floor(n/2)`` tips on one side.
+    """
+    if tree.root.is_tip:
+        return (0, 1)
+    counts = _subtree_tip_counts(tree)
+    sides = sorted(counts[id(c)] for c in tree.root.children)
+    if len(sides) != 2:
+        raise ValueError("root_tip_split requires a bifurcating root")
+    return (sides[0], sides[1])
+
+
+def shape_summary(tree: Tree) -> Dict[str, float]:
+    """A dict of the shape statistics used in benchmark tables."""
+    heights = node_heights(tree)
+    return {
+        "n_tips": tree.n_tips,
+        "height": tree_height(tree),
+        "root_height": heights[id(tree.root)],
+        "colless": colless_index(tree),
+        "normalized_colless": normalized_colless(tree),
+        "sackin": sackin_index(tree),
+        "cherries": n_cherries(tree),
+    }

@@ -1,0 +1,190 @@
+"""Newick parsing and writing.
+
+Supports the common Newick dialect: nested parentheses, node labels
+(optionally single-quoted with ``''`` escaping), branch lengths after a
+colon, bracketed comments (skipped), and a trailing semicolon. Parsing is
+iterative so deeply nested (pectinate) trees of thousands of tips do not
+overflow the recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .node import Node
+from .tree import Tree
+
+__all__ = ["parse_newick", "write_newick", "NewickError"]
+
+
+class NewickError(ValueError):
+    """Raised for malformed Newick input."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    """Split a Newick string into ``(kind, value)`` tokens.
+
+    Kinds: ``(`` ``)`` ``,`` ``;`` ``:`` and ``label``.
+    """
+    tokens: List[Tuple[str, str]] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "(),;:":
+            tokens.append((ch, ch))
+            i += 1
+        elif ch == "[":  # comment: skip to matching bracket
+            end = text.find("]", i + 1)
+            if end == -1:
+                raise NewickError("unterminated comment")
+            i = end + 1
+        elif ch == "'":
+            parts: List[str] = []
+            i += 1
+            while True:
+                if i >= n:
+                    raise NewickError("unterminated quoted label")
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                    else:
+                        i += 1
+                        break
+                else:
+                    parts.append(text[i])
+                    i += 1
+            tokens.append(("label", "".join(parts)))
+        else:
+            j = i
+            while j < n and text[j] not in "(),;:[" and not text[j].isspace():
+                j += 1
+            tokens.append(("label", text[i:j]))
+            i = j
+    return tokens
+
+
+def parse_newick(text: str) -> Tree:
+    """Parse a Newick string into a :class:`Tree`.
+
+    Raises
+    ------
+    NewickError
+        On unbalanced parentheses, misplaced tokens, or empty input.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise NewickError("empty Newick string")
+
+    root = Node()
+    current = root
+    depth = 0
+    # `fresh` marks that the next label/length applies to a just-closed or
+    # just-created node rather than a new sibling.
+    awaiting_length = False
+    saw_content = False
+
+    i = 0
+    while i < len(tokens):
+        kind, value = tokens[i]
+        if kind == "(":
+            child = Node()
+            current.add_child(child)
+            current = child
+            depth += 1
+            saw_content = True
+        elif kind == ",":
+            if current.parent is None:
+                raise NewickError("comma outside parentheses")
+            sibling = Node()
+            current.parent.add_child(sibling)
+            current = sibling
+        elif kind == ")":
+            depth -= 1
+            if depth < 0 or current.parent is None:
+                raise NewickError("unbalanced ')'")
+            current = current.parent
+        elif kind == "label":
+            if awaiting_length:
+                try:
+                    current.length = float(value)
+                except ValueError:
+                    raise NewickError(f"bad branch length {value!r}") from None
+                awaiting_length = False
+            else:
+                current.name = value
+                saw_content = True
+        elif kind == ":":
+            awaiting_length = True
+        elif kind == ";":
+            break
+        i += 1
+
+    if depth != 0:
+        raise NewickError("unbalanced parentheses")
+    if not saw_content:
+        raise NewickError("no tree content before ';'")
+
+    # The scaffold root node wraps the actual top-level node when the input
+    # was a single leaf like "A;"; when the input was "(...)..." the
+    # scaffold *is* the parsed top-level node's container. Unwrap:
+    if len(root.children) == 1 and root.name is None and not root.length:
+        only = root.children[0]
+        root.remove_child(only)
+        return Tree(only)
+    return Tree(root)
+
+
+def _format_length(length: float, precision: int) -> str:
+    text = f"{length:.{precision}g}"
+    return text
+
+
+def _quote_if_needed(name: str) -> str:
+    if name == "":
+        # An empty label must stay visible ('' parses back to the empty
+        # name); writing nothing would make a bare tip vanish entirely.
+        return "''"
+    specials = set("(),;:[]' \t\n")
+    if any(c in specials for c in name):
+        return "'" + name.replace("'", "''") + "'"
+    return name
+
+
+def write_newick(
+    tree: Tree,
+    *,
+    lengths: bool = True,
+    internal_names: bool = False,
+    precision: int = 10,
+) -> str:
+    """Serialise a tree to Newick.
+
+    Parameters
+    ----------
+    lengths:
+        Include ``:length`` suffixes.
+    internal_names:
+        Include labels on internal nodes (when present).
+    precision:
+        Significant digits for branch lengths.
+    """
+    pieces: List[str] = []
+    # Iterative post-order construction of the string for stack safety.
+    rendered: dict[int, str] = {}
+    for node in tree.root.traverse_postorder():
+        if node.is_tip:
+            text = _quote_if_needed(node.name or "")
+        else:
+            inner = ",".join(rendered[id(c)] for c in node.children)
+            label = ""
+            if internal_names and node.name:
+                label = _quote_if_needed(node.name)
+            text = f"({inner}){label}"
+        if lengths and node.parent is not None:
+            text += ":" + _format_length(node.length, precision)
+        rendered[id(node)] = text
+    return rendered[id(tree.root)] + ";"

@@ -1,0 +1,124 @@
+"""Neighbor joining (Saitou & Nei 1987).
+
+The standard distance-based tree construction: repeatedly join the pair
+minimising the Q criterion
+
+    Q(i, j) = (r − 2) d(i, j) − Σ_k d(i, k) − Σ_k d(j, k)
+
+until three clusters remain, then close the star. NJ is consistent (it
+recovers the true topology from additive distances) and is the usual
+source of starting trees for likelihood searches — which is how the
+examples here use it.
+
+The classic algorithm yields an *unrooted* (trifurcating-center) tree;
+this implementation roots it at the final join so the result plugs
+directly into the bifurcating likelihood machinery after
+:meth:`~repro.trees.tree.Tree.resolve_multifurcations` (the center node
+is resolved with a zero-length branch, which is likelihood-neutral).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .node import Node
+from .tree import Tree
+
+__all__ = ["neighbor_joining"]
+
+
+def neighbor_joining(
+    names: Sequence[str],
+    distances: np.ndarray,
+    *,
+    bifurcating: bool = True,
+) -> Tree:
+    """Build a tree from a distance matrix by neighbor joining.
+
+    Parameters
+    ----------
+    names:
+        Taxon labels, one per matrix row.
+    distances:
+        Symmetric non-negative ``(n, n)`` matrix with zero diagonal.
+    bifurcating:
+        Resolve the central trifurcation with a zero-length branch so the
+        result is strictly bifurcating (default True).
+
+    Notes
+    -----
+    Negative branch-length estimates (possible for noisy data, as in the
+    original algorithm) are clamped to zero, the common practice.
+    """
+    D = np.array(distances, dtype=float)
+    n = len(names)
+    if D.shape != (n, n):
+        raise ValueError("distance matrix shape must match the name count")
+    if n < 2:
+        raise ValueError("need at least two taxa")
+    if np.any(np.abs(D - D.T) > 1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    if np.any(np.diag(D) != 0):
+        raise ValueError("distance matrix diagonal must be zero")
+    if np.any(D < 0):
+        raise ValueError("distances must be non-negative")
+
+    nodes: List[Node] = [Node(name) for name in names]
+    if n == 2:
+        root = Node()
+        nodes[0].length = D[0, 1] / 2
+        nodes[1].length = D[0, 1] / 2
+        root.add_child(nodes[0])
+        root.add_child(nodes[1])
+        return Tree(root)
+
+    active = list(range(n))
+    while len(active) > 3:
+        r = len(active)
+        sub = D[np.ix_(active, active)]
+        sums = sub.sum(axis=1)
+        Q = (r - 2) * sub - sums[:, None] - sums[None, :]
+        np.fill_diagonal(Q, np.inf)
+        flat = int(np.argmin(Q))
+        ai, aj = divmod(flat, r)
+        if ai > aj:
+            ai, aj = aj, ai
+        i, j = active[ai], active[aj]
+
+        dij = D[i, j]
+        limb_i = 0.5 * dij + (sums[ai] - sums[aj]) / (2 * (r - 2))
+        limb_j = dij - limb_i
+        limb_i = max(limb_i, 0.0)
+        limb_j = max(limb_j, 0.0)
+
+        parent = Node()
+        nodes[i].length = limb_i
+        nodes[j].length = limb_j
+        parent.add_child(nodes[i])
+        parent.add_child(nodes[j])
+
+        # New cluster distances: d(u, k) = (d(i,k) + d(j,k) − d(i,j)) / 2.
+        new_row = 0.5 * (D[i] + D[j] - dij)
+        D = np.vstack([D, new_row])
+        new_col = np.append(new_row, 0.0)
+        D = np.column_stack([D, new_col])
+        nodes.append(parent)
+        active.remove(i)
+        active.remove(j)
+        active.append(len(nodes) - 1)
+
+    # Close the star over the last three clusters.
+    i, j, k = active
+    root = Node()
+    li = 0.5 * (D[i, j] + D[i, k] - D[j, k])
+    lj = 0.5 * (D[i, j] + D[j, k] - D[i, k])
+    lk = 0.5 * (D[i, k] + D[j, k] - D[i, j])
+    for index, limb in ((i, li), (j, lj), (k, lk)):
+        nodes[index].length = max(limb, 0.0)
+        root.add_child(nodes[index])
+    tree = Tree(root)
+    if bifurcating:
+        tree.resolve_multifurcations()
+    return tree

@@ -1,0 +1,158 @@
+"""Tree node for rooted bifurcating phylogenies.
+
+The node is deliberately minimal: identity, parent/child wiring, a branch
+length to the parent, and an optional label. Buffer indices used by the
+likelihood engine (see :mod:`repro.beagle`) are assigned by
+:class:`repro.trees.tree.Tree`, not stored ad hoc on nodes, so a node can be
+shared between analyses without hidden state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A node in a rooted tree.
+
+    Parameters
+    ----------
+    name:
+        Label for the node. Tips must be named; internal nodes may be
+        anonymous (``None``).
+    length:
+        Length of the branch connecting this node to its parent. The root's
+        ``length`` is ignored by all algorithms but kept for round-tripping
+        Newick strings that carry a root branch length.
+
+    Attributes
+    ----------
+    parent:
+        The parent node, or ``None`` for the root.
+    children:
+        Child nodes, in a stable left-to-right order. For the bifurcating
+        trees used throughout this library every internal node has exactly
+        two children; the parser tolerates multifurcations so that
+        arbitrary Newick input can be loaded and then resolved.
+    """
+
+    __slots__ = ("name", "length", "parent", "children")
+
+    def __init__(self, name: Optional[str] = None, length: float = 0.0) -> None:
+        self.name = name
+        self.length = float(length)
+        self.parent: Optional[Node] = None
+        self.children: List[Node] = []
+
+    # ------------------------------------------------------------------
+    # Structure editing
+    # ------------------------------------------------------------------
+    def add_child(self, child: "Node") -> "Node":
+        """Attach ``child`` as the rightmost child and return it."""
+        if child.parent is not None:
+            raise ValueError("node already has a parent; detach it first")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def remove_child(self, child: "Node") -> "Node":
+        """Detach ``child`` from this node and return it."""
+        try:
+            self.children.remove(child)
+        except ValueError:
+            raise ValueError("node is not a child of this node") from None
+        child.parent = None
+        return child
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_tip(self) -> bool:
+        """True when the node has no children (an OTU / leaf)."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """True when the node has no parent."""
+        return self.parent is None
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the node is a tip or has exactly two children."""
+        return len(self.children) in (0, 2)
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    @property
+    def left(self) -> "Node":
+        """First child (raises for tips)."""
+        return self.children[0]
+
+    @property
+    def right(self) -> "Node":
+        """Second child (raises for tips or unary nodes)."""
+        return self.children[1]
+
+    def sibling(self) -> Optional["Node"]:
+        """The other child of this node's parent, if the parent is binary."""
+        if self.parent is None:
+            return None
+        others = [c for c in self.parent.children if c is not self]
+        return others[0] if len(others) == 1 else None
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield parent, grandparent, ... up to and including the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def depth(self) -> int:
+        """Number of edges between this node and the root."""
+        return sum(1 for _ in self.ancestors())
+
+    def traverse_postorder(self) -> Iterator["Node"]:
+        """Yield the subtree rooted here in post-order (children first).
+
+        Iterative to stay safe for pectinate trees of thousands of tips,
+        where recursion would exceed the interpreter stack limit.
+        """
+        stack = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded or node.is_tip:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+
+    def traverse_preorder(self) -> Iterator["Node"]:
+        """Yield the subtree rooted here in pre-order (parents first)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(node.children):
+                stack.append(child)
+
+    def tips(self) -> Iterator["Node"]:
+        """Yield the tips of the subtree rooted here, left to right."""
+        for node in self.traverse_preorder():
+            if node.is_tip:
+                yield node
+
+    def n_tips(self) -> int:
+        """Number of tips below (and including, if a tip) this node."""
+        return sum(1 for _ in self.tips())
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "tip" if self.is_tip else f"internal({len(self.children)})"
+        return f"<Node {self.name or '?'} {kind} len={self.length:g}>"

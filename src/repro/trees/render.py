@@ -1,0 +1,123 @@
+"""ASCII tree rendering for examples and debugging.
+
+Draws rooted trees in the familiar left-to-right style::
+
+         /-a
+      /-|
+     |   \\-b
+   --|
+     |   /-c
+      \\-|
+         \\-d
+
+and can annotate nodes with their operation-set assignment so that the
+Figure 2/3 traversal diagrams from the paper can be reproduced in a
+terminal (see :func:`render_schedule`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .node import Node
+from .tree import Tree
+
+__all__ = ["render_ascii", "render_schedule"]
+
+_PAD = 3  # width of one tree level in characters
+
+
+def _compose(
+    child_blocks: List[Tuple[List[str], int]],
+    connector: str,
+    label: str,
+) -> Tuple[List[str], int]:
+    """Stack child blocks and attach them with a vertical spine."""
+    lines: List[str] = []
+    mids: List[int] = []
+    for i, (block, mid) in enumerate(child_blocks):
+        mids.append(mid + len(lines))
+        lines.extend(block)
+        if i != len(child_blocks) - 1:
+            lines.append("")
+    lo, hi = mids[0], mids[-1]
+    mid = (lo + hi) // 2
+    prefixed: List[str] = []
+    for row, line in enumerate(lines):
+        if row == mid:
+            stem = connector + "-" * max(0, _PAD - 1 - len(label)) + label
+            if lo <= row <= hi and lo != hi:
+                stem += "|"
+            else:
+                stem += "-"
+            prefix = stem
+        elif lo < row < hi:
+            prefix = " " * _PAD + "|"
+        else:
+            prefix = " " * (_PAD + 1)
+        prefixed.append(prefix + line)
+    return prefixed, mid
+
+
+def render_ascii(
+    tree: Tree,
+    *,
+    label: Optional[Callable[[Node], str]] = None,
+) -> str:
+    """Render the tree as ASCII art.
+
+    Parameters
+    ----------
+    label:
+        Callable producing the text shown at each node: the node name for
+        tips, empty for internal nodes by default.
+    """
+
+    def default_label(node: Node) -> str:
+        return node.name or ""
+
+    fn = label or default_label
+    blocks: Dict[int, Tuple[List[str], int]] = {}
+    for node in tree.root.traverse_postorder():
+        if node.is_tip:
+            blocks[id(node)] = ([f"-{fn(node)}"], 0)
+            continue
+        children = []
+        for i, child in enumerate(node.children):
+            block, mid = blocks[id(child)]
+            if i == 0:
+                corner = "/"
+            elif i == len(node.children) - 1:
+                corner = "\\"
+            else:
+                corner = "+"
+            # Re-prefix the child's first column with its corner glyph.
+            rows = []
+            for r, line in enumerate(block):
+                glyph = corner if r == mid else " "
+                rows.append(glyph + line)
+            children.append((rows, mid))
+        blocks[id(node)] = _compose(children, "-", fn(node))
+    lines, _ = blocks[id(tree.root)]
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def render_schedule(tree: Tree, set_of_node: Dict[int, int]) -> str:
+    """Render the tree annotating each internal node with its operation set.
+
+    Parameters
+    ----------
+    set_of_node:
+        Mapping ``id(node) -> operation-set index`` as produced by
+        :func:`repro.core.opsets.build_operation_sets`. The rendering shows
+        ``[k]`` at each internal node: all nodes sharing a ``k`` are
+        computed in the same (concurrent) kernel launch.
+    """
+
+    def label(node: Node) -> str:
+        if node.is_tip:
+            return node.name or ""
+        s = set_of_node.get(id(node))
+        return f"[{s}]" if s is not None else ""
+
+    return render_ascii(tree, label=label)

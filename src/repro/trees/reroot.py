@@ -1,0 +1,156 @@
+"""Mechanical rerooting of trees.
+
+For time-reversible substitution models the tree likelihood does not
+depend on the root position (Felsenstein's pulley principle), which is the
+property the paper exploits (§V). This module implements the *mechanics*
+of rerooting: viewing the rooted tree as an unrooted one (the old
+degree-two root is suppressed, its two incident branches merged) and
+re-orienting it from a new root placed on any chosen edge.
+
+The *choice* of the optimal edge lives in :mod:`repro.core.reroot_opt`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from .node import Node
+from .tree import Tree
+
+__all__ = [
+    "unrooted_adjacency",
+    "unrooted_edges",
+    "reroot_on_edge",
+    "reroot_above",
+]
+
+
+Adjacency = Dict[int, List[Tuple[Node, float]]]
+
+
+def unrooted_adjacency(tree: Tree) -> Tuple[Adjacency, Dict[int, Node]]:
+    """Undirected adjacency of the tree with the root suppressed.
+
+    Returns
+    -------
+    adjacency:
+        ``id(node) -> [(neighbor, branch_length), ...]``. When the root has
+        exactly two children the root itself does not appear; its children
+        are joined directly by an edge whose length is the sum of the two
+        root branches (the "pulley" edge).
+    nodes:
+        ``id(node) -> node`` for every node present in the adjacency.
+    """
+    adjacency: Adjacency = {}
+    nodes: Dict[int, Node] = {}
+
+    def add_edge(a: Node, b: Node, length: float) -> None:
+        adjacency.setdefault(id(a), []).append((b, length))
+        adjacency.setdefault(id(b), []).append((a, length))
+        nodes[id(a)] = a
+        nodes[id(b)] = b
+
+    root = tree.root
+    suppress = len(root.children) == 2
+    for node in root.traverse_postorder():
+        if node.parent is None:
+            continue
+        if suppress and node.parent is root:
+            continue  # handled by the merged pulley edge below
+        add_edge(node, node.parent, node.length)
+    if suppress:
+        a, b = root.children
+        add_edge(a, b, a.length + b.length)
+    elif not root.children:
+        nodes[id(root)] = root
+        adjacency[id(root)] = []
+    return adjacency, nodes
+
+
+def unrooted_edges(tree: Tree) -> List[Tuple[Node, Node, float]]:
+    """Every undirected edge of the unrooted view, once each.
+
+    For a bifurcating tree of ``n`` tips this has ``2n - 3`` entries — the
+    number of distinct rootings the paper's exhaustive search evaluates.
+    """
+    adjacency, _ = unrooted_adjacency(tree)
+    seen = set()
+    edges: List[Tuple[Node, Node, float]] = []
+    # Walk deterministically in post-order for stable edge enumeration.
+    for node in tree.root.traverse_postorder():
+        for neighbor, length in adjacency.get(id(node), ()):  # type: ignore[arg-type]
+            key = frozenset((id(node), id(neighbor)))
+            if key in seen:
+                continue
+            seen.add(key)
+            edges.append((node, neighbor, length))
+    return edges
+
+
+def reroot_on_edge(tree: Tree, u: Node, v: Node, fraction: float = 0.5) -> Tree:
+    """Return a new tree rooted on the unrooted edge ``{u, v}``.
+
+    The new root splits the edge at ``fraction`` of its length measured
+    from ``u``. The input tree is left untouched; all nodes in the result
+    are fresh copies carrying the same names and branch lengths, so the
+    unrooted branch-length multiset (and therefore any reversible-model
+    likelihood) is preserved.
+
+    Parameters
+    ----------
+    u, v:
+        Endpoint nodes of an edge of the *unrooted* view of ``tree``
+        (see :func:`unrooted_edges`).
+    fraction:
+        Position of the root along the edge, in ``[0, 1]``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    adjacency, _ = unrooted_adjacency(tree)
+    neighbor_ids = {id(n) for n, _ in adjacency.get(id(u), ())}
+    if id(v) not in neighbor_ids:
+        raise ValueError("u and v are not adjacent in the unrooted tree")
+    edge_length = next(L for n, L in adjacency[id(u)] if n is v)
+
+    root = Node()
+    clones: Dict[int, Node] = {}
+
+    def clone(node: Node, length: float) -> Node:
+        fresh = Node(node.name, length)
+        clones[id(node)] = fresh
+        return fresh
+
+    root.add_child(clone(u, edge_length * fraction))
+    root.add_child(clone(v, edge_length * (1.0 - fraction)))
+
+    # Orient all remaining edges away from the new root with a BFS.
+    queue = deque([u, v])
+    visited = {id(u), id(v)}
+    while queue:
+        node = queue.popleft()
+        parent_clone = clones[id(node)]
+        for neighbor, length in adjacency[id(node)]:
+            if id(neighbor) in visited:
+                continue
+            visited.add(id(neighbor))
+            parent_clone.add_child(clone(neighbor, length))
+            queue.append(neighbor)
+    return Tree(root)
+
+
+def reroot_above(tree: Tree, child: Node, fraction: float = 0.5) -> Tree:
+    """Reroot on the branch directly above ``child`` in the rooted tree.
+
+    When ``child`` is a child of the (suppressed) root the branch in the
+    unrooted view is the merged pulley edge, and ``fraction`` is measured
+    from ``child`` along that merged edge.
+    """
+    if child.parent is None:
+        raise ValueError("the root has no branch above it")
+    parent = child.parent
+    if parent is tree.root and len(tree.root.children) == 2:
+        other = child.sibling()
+        assert other is not None
+        return reroot_on_edge(tree, child, other, fraction)
+    return reroot_on_edge(tree, child, parent, fraction)

@@ -1,0 +1,105 @@
+"""Tree traversal orders.
+
+The likelihood engine consumes internal-node operations in a specific
+order; the order determines how much subtree concurrency is available
+(paper §IV-B):
+
+* **post-order** — the prevailing serial order: each internal node right
+  after its children. Yields ``n - 1`` dependent operations for ``n`` tips.
+* **reverse level-order** (breadth-first from the deepest level upward) —
+  the order BEAGLE requires to discover independent operations; nodes of
+  equal depth are adjacent, so the greedy operation-set builder
+  (:mod:`repro.core.opsets`) can batch them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List
+
+from .node import Node
+from .tree import Tree
+
+__all__ = [
+    "postorder",
+    "preorder",
+    "levelorder",
+    "reverse_levelorder",
+    "levels",
+    "node_depths",
+    "node_heights",
+]
+
+
+def postorder(tree: Tree) -> Iterator[Node]:
+    """Children-before-parents order over all nodes."""
+    return tree.root.traverse_postorder()
+
+
+def preorder(tree: Tree) -> Iterator[Node]:
+    """Parents-before-children order over all nodes."""
+    return tree.root.traverse_preorder()
+
+
+def levelorder(tree: Tree) -> Iterator[Node]:
+    """Breadth-first order from the root downward."""
+    queue = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        yield node
+        queue.extend(node.children)
+
+
+def reverse_levelorder(tree: Tree) -> List[Node]:
+    """Breadth-first order from the deepest level upward.
+
+    Nodes within one level keep the left-to-right order of a forward
+    breadth-first pass. This is the submission order the BEAGLE library
+    requires for its dependency-aware operation batching.
+    """
+    ordered = list(levelorder(tree))
+    depths = node_depths(tree)
+    # Stable sort by decreasing depth preserves within-level order.
+    ordered.sort(key=lambda n: -depths[id(n)])
+    return ordered
+
+
+def levels(tree: Tree) -> List[List[Node]]:
+    """Nodes grouped by depth: ``levels(t)[d]`` is every node at depth d."""
+    grouped: List[List[Node]] = []
+    queue = deque([(tree.root, 0)])
+    while queue:
+        node, d = queue.popleft()
+        while len(grouped) <= d:
+            grouped.append([])
+        grouped[d].append(node)
+        queue.extend((c, d + 1) for c in node.children)
+    return grouped
+
+
+def node_depths(tree: Tree) -> Dict[int, int]:
+    """Edge-count depth of every node, keyed by ``id(node)``."""
+    depths: Dict[int, int] = {id(tree.root): 0}
+    for node in levelorder(tree):
+        d = depths[id(node)]
+        for child in node.children:
+            depths[id(child)] = d + 1
+    return depths
+
+
+def node_heights(tree: Tree) -> Dict[int, int]:
+    """Topological height of every node, keyed by ``id(node)``.
+
+    Tips have height 0; an internal node has height
+    ``1 + max(child heights)``. The root's height is the minimum possible
+    number of dependent computation rounds for the tree — the lower bound
+    on the number of operation sets for this rooting (see
+    :func:`repro.core.opsets.build_operation_sets`).
+    """
+    heights: Dict[int, int] = {}
+    for node in tree.root.traverse_postorder():
+        if node.is_tip:
+            heights[id(node)] = 0
+        else:
+            heights[id(node)] = 1 + max(heights[id(c)] for c in node.children)
+    return heights

@@ -1,0 +1,229 @@
+"""Rooted bifurcating tree container with BEAGLE-style buffer indexing.
+
+A :class:`Tree` owns a root :class:`~repro.trees.node.Node` and provides the
+index maps the likelihood engine needs: tips are numbered ``0 .. n-1`` (in
+left-to-right order unless explicit names are mapped) and internal nodes
+``n .. 2n-2``, matching the partials-buffer layout used by the BEAGLE
+library. The root always receives the highest index of its subtree ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .node import Node
+
+__all__ = ["Tree", "Edge"]
+
+#: An edge is identified by its child endpoint: the branch from
+#: ``node.parent`` down to ``node``. The root has no edge.
+Edge = Node
+
+
+class Tree:
+    """A rooted tree of :class:`Node` objects.
+
+    Parameters
+    ----------
+    root:
+        The root node. For likelihood evaluation the tree must be strictly
+        bifurcating (every internal node has two children); use
+        :meth:`is_bifurcating` to check and
+        :meth:`resolve_multifurcations` to repair parsed input.
+    """
+
+    def __init__(self, root: Node) -> None:
+        if root is None:
+            raise ValueError("tree requires a root node")
+        self.root = root
+        self._index: Optional[Dict[int, int]] = None  # id(node) -> buffer index
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Node]:
+        """All nodes in post-order."""
+        return list(self.root.traverse_postorder())
+
+    def tips(self) -> List[Node]:
+        """Tips in stable left-to-right order."""
+        return list(self.root.tips())
+
+    def internals(self) -> List[Node]:
+        """Internal nodes in post-order (children before parents)."""
+        return [n for n in self.root.traverse_postorder() if not n.is_tip]
+
+    def edges(self) -> List[Node]:
+        """Every edge, identified by its child node (root excluded)."""
+        return [n for n in self.root.traverse_postorder() if n.parent is not None]
+
+    @property
+    def n_tips(self) -> int:
+        return sum(1 for _ in self.root.tips())
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.root.traverse_postorder())
+
+    def is_bifurcating(self) -> bool:
+        """True when every internal node has exactly two children."""
+        return all(n.is_binary for n in self.root.traverse_postorder())
+
+    def tip_names(self) -> List[str]:
+        """Tip labels in left-to-right order."""
+        return [t.name or "" for t in self.tips()]
+
+    def find(self, name: str) -> Node:
+        """Return the first node with the given name.
+
+        Raises
+        ------
+        KeyError
+            If no node carries the name.
+        """
+        for node in self.root.traverse_preorder():
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def total_branch_length(self) -> float:
+        """Sum of branch lengths over all edges."""
+        return sum(e.length for e in self.edges())
+
+    # ------------------------------------------------------------------
+    # Buffer indexing (BEAGLE layout)
+    # ------------------------------------------------------------------
+    def assign_indices(self, tip_order: Optional[Sequence[str]] = None) -> Dict[int, int]:
+        """Assign buffer indices: tips first, then internals in post-order.
+
+        Parameters
+        ----------
+        tip_order:
+            Optional explicit tip-name ordering; tip ``tip_order[i]`` gets
+            index ``i``. Defaults to left-to-right tree order. Internal
+            nodes are numbered ``n_tips ..`` following post-order, so every
+            child index is smaller than its parent's index — the property
+            the engine's dependency analysis relies on.
+
+        Returns
+        -------
+        dict
+            Mapping from ``id(node)`` to buffer index. The same mapping is
+            cached and reused by :meth:`index_of`.
+        """
+        tips = self.tips()
+        if tip_order is not None:
+            by_name = {t.name: t for t in tips}
+            if set(by_name) != set(tip_order) or len(tip_order) != len(tips):
+                raise ValueError("tip_order must be a permutation of tip names")
+            tips = [by_name[name] for name in tip_order]
+        index: Dict[int, int] = {}
+        for i, tip in enumerate(tips):
+            index[id(tip)] = i
+        next_idx = len(tips)
+        for node in self.root.traverse_postorder():
+            if not node.is_tip:
+                index[id(node)] = next_idx
+                next_idx += 1
+        self._index = index
+        return index
+
+    def index_of(self, node: Node) -> int:
+        """Buffer index of ``node`` (assigns defaults on first use)."""
+        if self._index is None:
+            self.assign_indices()
+        assert self._index is not None
+        return self._index[id(node)]
+
+    def invalidate_indices(self) -> None:
+        """Drop cached indices after structural edits."""
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self) -> "Tree":
+        """Deep copy of the tree topology, names and branch lengths."""
+        mapping: Dict[int, Node] = {}
+        for node in self.root.traverse_postorder():
+            clone = Node(node.name, node.length)
+            mapping[id(node)] = clone
+            for child in node.children:
+                clone_child = mapping[id(child)]
+                clone_child.parent = clone
+                clone.children.append(clone_child)
+        return Tree(mapping[id(self.root)])
+
+    # ------------------------------------------------------------------
+    # Repair helpers
+    # ------------------------------------------------------------------
+    def resolve_multifurcations(self) -> None:
+        """Resolve every multifurcation into a ladder of binary nodes.
+
+        New internal nodes are inserted with zero-length branches, which
+        leaves the likelihood of reversible models unchanged (a zero-length
+        branch contributes an identity transition matrix).
+        """
+        for node in list(self.root.traverse_postorder()):
+            while len(node.children) > 2:
+                a = node.children.pop()
+                b = node.children.pop()
+                a.parent = None
+                b.parent = None
+                joint = Node(None, 0.0)
+                joint.add_child(b)
+                joint.add_child(a)
+                node.add_child(joint)
+        self.invalidate_indices()
+
+    def suppress_unary(self) -> None:
+        """Splice out internal nodes with a single child.
+
+        The child's branch length absorbs the removed node's branch length,
+        preserving path lengths (and hence reversible-model likelihoods).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for node in list(self.root.traverse_postorder()):
+                if node.is_tip or len(node.children) != 1:
+                    continue
+                child = node.children[0]
+                if node.parent is None:
+                    # unary root: child becomes the new root
+                    node.remove_child(child)
+                    child.length = 0.0
+                    self.root = child
+                else:
+                    parent = node.parent
+                    pos = parent.children.index(node)
+                    parent.remove_child(node)
+                    node.remove_child(child)
+                    child.length += node.length
+                    child.parent = parent
+                    parent.children.insert(pos, child)
+                changed = True
+        self.invalidate_indices()
+
+    # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+    def topology_key(self) -> Tuple:
+        """A hashable canonical key for the *rooted* topology with names.
+
+        Two trees compare equal under this key iff they have the same
+        rooted shape and tip labelling (branch lengths ignored). Children
+        are sorted by key, so left/right order does not matter.
+        """
+
+        keys: Dict[int, Tuple] = {}
+        for node in self.root.traverse_postorder():
+            if node.is_tip:
+                keys[id(node)] = ("tip", node.name)
+            else:
+                child_keys = sorted(keys[id(c)] for c in node.children)
+                keys[id(node)] = ("int", tuple(child_keys))
+        return keys[id(self.root)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tree n_tips={self.n_tips} n_nodes={self.n_nodes}>"

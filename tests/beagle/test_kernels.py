@@ -1,0 +1,213 @@
+"""Unit tests for the vectorised likelihood kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beagle import (
+    child_contribution,
+    operation_flops,
+    rescale_partials,
+    root_site_likelihoods,
+    update_partials,
+    update_partials_batch,
+)
+from repro.models import HKY85, JC69
+
+
+@pytest.fixture
+def matrices():
+    """(C=2, S=4, S=4) transition matrices for two rate categories."""
+    model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+    return np.stack([model.transition_matrix(0.1), model.transition_matrix(0.4)])
+
+
+def naive_contribution(matrices, child_partials):
+    C, P, S = child_partials.shape
+    out = np.zeros((C, P, S))
+    for c in range(C):
+        for p in range(P):
+            for z in range(S):
+                out[c, p, z] = sum(
+                    matrices[c, z, x] * child_partials[c, p, x] for x in range(S)
+                )
+    return out
+
+
+class TestChildContribution:
+    def test_matches_naive_loops(self, matrices):
+        rng = np.random.default_rng(0)
+        partials = rng.random((2, 5, 4))
+        fast = child_contribution(matrices, partials=partials)
+        slow = naive_contribution(matrices, partials)
+        assert np.allclose(fast, slow, atol=1e-14)
+
+    def test_codes_equal_onehot_partials(self, matrices):
+        codes = np.array([0, 3, 1, 2, 0])
+        onehot = np.zeros((2, 5, 4))
+        for p, s in enumerate(codes):
+            onehot[:, p, s] = 1.0
+        assert np.allclose(
+            child_contribution(matrices, codes=codes),
+            child_contribution(matrices, partials=onehot),
+            atol=1e-14,
+        )
+
+    def test_unknown_code_gives_ones(self, matrices):
+        codes = np.array([4, 4])  # unknown
+        out = child_contribution(matrices, codes=codes)
+        assert np.allclose(out, 1.0)
+
+    def test_requires_exactly_one_source(self, matrices):
+        with pytest.raises(ValueError):
+            child_contribution(matrices)
+        with pytest.raises(ValueError):
+            child_contribution(
+                matrices, partials=np.ones((2, 1, 4)), codes=np.array([0])
+            )
+
+
+class TestUpdatePartials:
+    def test_product_of_contributions(self, matrices):
+        rng = np.random.default_rng(1)
+        p1 = rng.random((2, 6, 4))
+        p2 = rng.random((2, 6, 4))
+        dest = update_partials(matrices, matrices, partials1=p1, partials2=p2)
+        expected = child_contribution(matrices, partials=p1) * child_contribution(
+            matrices, partials=p2
+        )
+        assert np.allclose(dest, expected, atol=1e-14)
+
+    def test_out_parameter_in_place(self, matrices):
+        rng = np.random.default_rng(2)
+        p1 = rng.random((2, 3, 4))
+        p2 = rng.random((2, 3, 4))
+        out = np.empty((2, 3, 4))
+        result = update_partials(matrices, matrices, partials1=p1, partials2=p2, out=out)
+        assert result is out
+        assert np.allclose(out, update_partials(matrices, matrices, partials1=p1, partials2=p2))
+
+    def test_mixed_tip_and_partials(self, matrices):
+        rng = np.random.default_rng(3)
+        p2 = rng.random((2, 4, 4))
+        codes = np.array([0, 1, 2, 4])
+        dest = update_partials(matrices, matrices, codes1=codes, partials2=p2)
+        assert dest.shape == (2, 4, 4)
+        assert np.all(dest >= 0)
+
+
+class TestBatchedKernel:
+    def test_batch_equals_singles(self, matrices):
+        rng = np.random.default_rng(4)
+        k, C, P, S = 5, 2, 7, 4
+        mats1 = np.stack([matrices] * k)
+        mats2 = np.stack([matrices[::-1]] * k)
+        kids1 = [(rng.random((C, P, S)), None) for _ in range(k)]
+        kids2 = [(rng.random((C, P, S)), None) for _ in range(k)]
+        outs = [np.empty((C, P, S)) for _ in range(k)]
+        update_partials_batch(mats1, mats2, kids1, kids2, outs)
+        for i in range(k):
+            single = update_partials(
+                mats1[i], mats2[i], partials1=kids1[i][0], partials2=kids2[i][0]
+            )
+            assert np.allclose(outs[i], single, atol=1e-14)
+
+    def test_batch_with_mixed_children(self, matrices):
+        rng = np.random.default_rng(5)
+        k, C, P, S = 4, 2, 6, 4
+        mats = np.stack([matrices] * k)
+        kids1 = [
+            (rng.random((C, P, S)), None),
+            (None, rng.integers(0, 5, size=P)),
+            (None, rng.integers(0, 5, size=P)),
+            (rng.random((C, P, S)), None),
+        ]
+        kids2 = [
+            (None, rng.integers(0, 5, size=P)),
+            (rng.random((C, P, S)), None),
+            (None, rng.integers(0, 5, size=P)),
+            (rng.random((C, P, S)), None),
+        ]
+        outs = [np.empty((C, P, S)) for _ in range(k)]
+        update_partials_batch(mats, mats, kids1, kids2, outs)
+        for i in range(k):
+            single = update_partials(
+                mats[i],
+                mats[i],
+                partials1=kids1[i][0],
+                codes1=kids1[i][1],
+                partials2=kids2[i][0],
+                codes2=kids2[i][1],
+            )
+            assert np.allclose(outs[i], single, atol=1e-14)
+
+    def test_all_code_children(self, matrices):
+        rng = np.random.default_rng(6)
+        k, P = 3, 5
+        mats = np.stack([matrices] * k)
+        kids1 = [(None, rng.integers(0, 5, size=P)) for _ in range(k)]
+        kids2 = [(None, rng.integers(0, 5, size=P)) for _ in range(k)]
+        outs = [np.empty((2, P, 4)) for _ in range(k)]
+        update_partials_batch(mats, mats, kids1, kids2, outs)
+        for i in range(k):
+            single = update_partials(
+                mats[i], mats[i], codes1=kids1[i][1], codes2=kids2[i][1]
+            )
+            assert np.allclose(outs[i], single, atol=1e-14)
+
+    def test_shape_validation(self, matrices):
+        mats = np.stack([matrices])
+        with pytest.raises(ValueError):
+            update_partials_batch(mats, mats, [], [(None, None)], [np.empty((2, 1, 4))])
+
+
+class TestRescale:
+    def test_scales_to_max_one(self):
+        rng = np.random.default_rng(7)
+        partials = rng.random((2, 5, 4)) * 1e-20
+        logs = rescale_partials(partials)
+        assert partials.max(axis=(0, 2)) == pytest.approx(1.0)
+        assert logs.shape == (5,)
+        assert np.all(logs < 0)  # tiny values -> negative log factors
+
+    def test_reconstruction(self):
+        rng = np.random.default_rng(8)
+        original = rng.random((1, 4, 4))
+        partials = original.copy()
+        logs = rescale_partials(partials)
+        assert np.allclose(partials * np.exp(logs)[None, :, None], original)
+
+    def test_zero_pattern_kept_visible(self):
+        partials = np.zeros((1, 2, 4))
+        partials[0, 0, :] = 0.5
+        logs = rescale_partials(partials)
+        assert logs[1] == 0.0
+        assert np.all(partials[0, 1] == 0.0)
+
+
+class TestRootReduction:
+    def test_uniform_case(self):
+        # Root partials all ones with uniform frequencies -> site lik 1.
+        partials = np.ones((2, 3, 4))
+        site = root_site_likelihoods(
+            partials, np.full(4, 0.25), np.array([0.5, 0.5])
+        )
+        assert np.allclose(site, 1.0)
+
+    def test_category_weighting(self):
+        partials = np.zeros((2, 1, 4))
+        partials[0] = 1.0  # category 0 likelihood 1, category 1 zero
+        site = root_site_likelihoods(
+            partials, np.full(4, 0.25), np.array([0.3, 0.7])
+        )
+        assert site[0] == pytest.approx(0.3)
+
+
+class TestFlops:
+    def test_formula(self):
+        assert operation_flops(512, 4, 1) == 512 * 4 * 17
+        assert operation_flops(100, 20, 4) == 4 * 100 * 20 * 81
+
+    def test_scales_linearly_in_patterns(self):
+        assert operation_flops(1000, 4) == 10 * operation_flops(100, 4)

@@ -1,0 +1,118 @@
+"""Cross-validation of the two reference likelihood implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.beagle import brute_force_log_likelihood, pruning_log_likelihood
+from repro.data import Alignment, compress, simulate_alignment
+from repro.models import GY94, HKY85, JC69, Poisson, discrete_gamma
+from repro.trees import balanced_tree, parse_newick, pectinate_tree
+from tests.strategies import small_tree_strategy
+
+
+class TestBruteForceVsPruning:
+    @given(small_tree_strategy(max_tips=5))
+    @settings(max_examples=15)
+    def test_agree_on_random_trees(self, tree):
+        model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+        aln = simulate_alignment(tree, model, 10, seed=0)
+        patterns = compress(aln)
+        bf = brute_force_log_likelihood(tree, model, patterns)
+        pr = pruning_log_likelihood(tree, model, patterns)
+        assert bf == pytest.approx(pr, abs=1e-9)
+
+    def test_agree_with_gamma_rates(self):
+        tree = balanced_tree(4, branch_length=0.3)
+        model = JC69()
+        aln = simulate_alignment(tree, model, 15, seed=1)
+        patterns = compress(aln)
+        rates = discrete_gamma(0.5, 3)
+        bf = brute_force_log_likelihood(tree, model, patterns, rates)
+        pr = pruning_log_likelihood(tree, model, patterns, rates)
+        assert bf == pytest.approx(pr, abs=1e-9)
+
+    def test_agree_with_ambiguity(self):
+        tree = parse_newick("((a:0.1,b:0.2):0.1,(c:0.3,d:0.1):0.2);")
+        aln = Alignment({"a": "ARN", "b": "ACC", "c": "GC-", "d": "TCW"})
+        patterns = compress(aln)
+        model = HKY85(2.0)
+        bf = brute_force_log_likelihood(tree, model, patterns)
+        pr = pruning_log_likelihood(tree, model, patterns)
+        assert bf == pytest.approx(pr, abs=1e-9)
+
+    def test_brute_force_size_guard(self):
+        tree = pectinate_tree(40, branch_length=0.1)
+        aln = simulate_alignment(tree, JC69(), 4, seed=2)
+        with pytest.raises(ValueError):
+            brute_force_log_likelihood(tree, JC69(), compress(aln))
+
+
+class TestAnalyticAnchors:
+    def test_two_tip_identical_sites(self):
+        # Two identical tips A joined by total length t under JC:
+        # L = sum_z pi_z P(A|z,t1) P(A|z,t2); for JC this is
+        # 0.25 * p_same(t1+t2) by Chapman-Kolmogorov symmetry.
+        tree = parse_newick("(a:0.1,b:0.2);")
+        aln = Alignment({"a": "A", "b": "A"})
+        patterns = compress(aln)
+        ll = pruning_log_likelihood(tree, JC69(), patterns)
+        t = 0.3
+        p_same = 0.25 + 0.75 * np.exp(-4 * t / 3)
+        assert ll == pytest.approx(np.log(0.25 * p_same), abs=1e-12)
+
+    def test_all_unknown_gives_zero_loglik(self):
+        tree = parse_newick("(a:0.1,b:0.2);")
+        aln = Alignment({"a": "N", "b": "N"})
+        ll = pruning_log_likelihood(tree, JC69(), compress(aln))
+        assert ll == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_length_star_equals_frequency(self):
+        # All branches zero: every tip must show the same state; the
+        # likelihood of the constant-A pattern is pi_A.
+        tree = parse_newick("((a:0,b:0):0,c:0);")
+        aln = Alignment({"a": "A", "b": "A", "c": "A"})
+        model = HKY85(2.0, [0.4, 0.2, 0.2, 0.2])
+        ll = pruning_log_likelihood(tree, model, compress(aln))
+        assert ll == pytest.approx(np.log(0.4), abs=1e-12)
+
+    def test_weighted_patterns(self):
+        tree = parse_newick("(a:0.1,b:0.1);")
+        aln_expanded = Alignment({"a": "AAAC", "b": "AAAG"})
+        aln_unique = Alignment({"a": "AC", "b": "AG"})
+        pd_e = compress(aln_expanded)
+        pd_u = compress(aln_unique)
+        assert pd_e.n_patterns == 2
+        ll_e = pruning_log_likelihood(tree, JC69(), pd_e)
+        # Manually: 3 * ll(AA) + 1 * ll(CG)
+        site = np.exp(
+            [
+                pruning_log_likelihood(
+                    tree, JC69(), compress(Alignment({"a": x, "b": y}))
+                )
+                for x, y in (("A", "A"), ("C", "G"))
+            ]
+        )
+        assert ll_e == pytest.approx(3 * np.log(site[0]) + np.log(site[1]), abs=1e-10)
+
+    def test_protein_model(self):
+        tree = parse_newick("(a:0.2,b:0.3);")
+        from repro.data import AMINO_ACID
+
+        aln = Alignment({"a": "MK", "b": "MR"}, AMINO_ACID)
+        ll = pruning_log_likelihood(tree, Poisson(), compress(aln))
+        # Site 1: same state M; site 2: K vs R.
+        t = 0.5
+        p_same = 1 / 20 + (19 / 20) * np.exp(-20 * t / 19)
+        p_diff = 1 / 20 - (1 / 20) * np.exp(-20 * t / 19)
+        expected = np.log(p_same / 20) + np.log(p_diff / 20)
+        assert ll == pytest.approx(expected, abs=1e-12)
+
+    def test_codon_model_runs(self):
+        tree = balanced_tree(4, branch_length=0.1)
+        model = GY94(2.0, 0.3)
+        aln = simulate_alignment(tree, model, 5, seed=3)
+        ll = pruning_log_likelihood(tree, model, compress(aln))
+        assert np.isfinite(ll) and ll < 0

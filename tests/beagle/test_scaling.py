@@ -1,0 +1,66 @@
+"""Unit tests for scale-buffer management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beagle import ScaleBufferBank
+
+
+class TestScaleBufferBank:
+    def test_construction(self):
+        bank = ScaleBufferBank(3, 10)
+        assert bank.count == 3
+        assert np.all(bank.read(0) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleBufferBank(-1, 10)
+        with pytest.raises(ValueError):
+            ScaleBufferBank(2, 0)
+
+    def test_write_read(self):
+        bank = ScaleBufferBank(2, 4)
+        logs = np.array([-1.0, -2.0, 0.0, -0.5])
+        bank.write(1, logs)
+        assert np.array_equal(bank.read(1), logs)
+        assert np.all(bank.read(0) == 0.0)
+
+    def test_read_returns_copy(self):
+        bank = ScaleBufferBank(1, 2)
+        out = bank.read(0)
+        out[:] = 99.0
+        assert np.all(bank.read(0) == 0.0)
+
+    def test_out_of_range(self):
+        bank = ScaleBufferBank(2, 4)
+        with pytest.raises(IndexError):
+            bank.read(2)
+        with pytest.raises(IndexError):
+            bank.write(-1, np.zeros(4))
+
+    def test_reset(self):
+        bank = ScaleBufferBank(2, 3)
+        bank.write(0, np.full(3, -1.0))
+        bank.reset(0)
+        assert np.all(bank.read(0) == 0.0)
+
+    def test_reset_all(self):
+        bank = ScaleBufferBank(3, 2)
+        for i in range(3):
+            bank.write(i, np.full(2, -float(i + 1)))
+        bank.reset_all()
+        assert all(np.all(bank.read(i) == 0.0) for i in range(3))
+
+    def test_accumulate(self):
+        bank = ScaleBufferBank(4, 2)
+        bank.write(0, np.array([-1.0, -2.0]))
+        bank.write(1, np.array([-3.0, -4.0]))
+        bank.accumulate([0, 1], 3)
+        assert np.array_equal(bank.read(3), [-4.0, -6.0])
+
+    def test_accumulate_self_rejected(self):
+        bank = ScaleBufferBank(2, 2)
+        with pytest.raises(ValueError):
+            bank.accumulate([0, 1], 1)

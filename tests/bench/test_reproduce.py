@@ -1,0 +1,47 @@
+"""Tests for the one-shot reproduce runner (reduced sizes)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.bench.reproduce import (
+    build_parser,
+    reproduce_fig4,
+    reproduce_fig6,
+    reproduce_table3,
+)
+
+
+class TestParser:
+    def test_options(self):
+        args = build_parser().parse_args(["--full", "--out", "somewhere"])
+        assert args.full and args.out == "somewhere"
+
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert not args.full
+        assert args.out == "bench_results"
+
+
+class TestSections:
+    def test_fig4(self, tmp_path):
+        stream = io.StringIO()
+        reproduce_fig4(tmp_path, 3, stream)
+        text = (tmp_path / "reproduce_fig4.md").read_text()
+        assert "Figure 4" in text
+        assert "mean reduction" in text
+        assert "no change" in text  # the diagonal series
+
+    def test_table3(self, tmp_path):
+        stream = io.StringIO()
+        reproduce_table3(tmp_path, 3, stream)
+        text = (tmp_path / "reproduce_table3.md").read_text()
+        assert "pectinate rerooted" in text
+        assert "random rerooted" in text
+
+    def test_fig6(self, tmp_path):
+        stream = io.StringIO()
+        reproduce_fig6(tmp_path, [16, 64], 3, stream)
+        text = (tmp_path / "reproduce_fig6.md").read_text()
+        assert "Figure 6" in text
+        assert "B balanced" in text

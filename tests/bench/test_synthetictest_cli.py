@@ -1,0 +1,159 @@
+"""Tests for the synthetictest CLI (Table II surface)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.bench.synthetictest import build_parser, run
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = run(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_table2_options_exist(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "--rsrc", "1",
+                "--taxa", "64",
+                "--sites", "512",
+                "--reps", "1000",
+                "--full-timing",
+                "--manualscale",
+                "--rescale-frequency", "1000",
+                "--randomtree",
+                "--reroot",
+                "--seed", "1",
+            ]
+        )
+        assert args.taxa == 64
+        assert args.sites == 512
+        assert args.reroot and args.randomtree and args.manualscale
+        assert args.rescale_frequency == 1000
+
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.rsrc == 0
+        assert not args.pectinate and not args.randomtree
+
+
+class TestRun:
+    def test_paper_example_invocation(self):
+        """The exact command from §VI-F (reduced reps for test speed)."""
+        code, text = run_cli(
+            "--rsrc", "1", "--taxa", "64", "--sites", "512", "--reps", "10",
+            "--full-timing", "--manualscale", "--rescale-frequency", "10",
+            "--randomtree", "--reroot", "--seed", "1",
+        )
+        assert code == 0
+        assert "type=random" in text
+        assert "rerooted=yes" in text
+        assert "GP100" in text
+        assert "logL:" in text
+        assert "per-launch breakdown" in text
+
+    def test_cpu_resource_measures(self):
+        code, text = run_cli(
+            "--rsrc", "0", "--taxa", "8", "--sites", "32", "--reps", "2"
+        )
+        assert code == 0
+        assert "CPU (NumPy engine)" in text
+        assert "GFLOPS" in text
+
+    def test_pectinate_counts(self):
+        code, text = run_cli(
+            "--rsrc", "1", "--taxa", "16", "--sites", "64", "--pectinate"
+        )
+        assert code == 0
+        assert "operation sets: 15" in text
+
+    def test_pectinate_rerooted_counts(self):
+        code, text = run_cli(
+            "--rsrc", "1", "--taxa", "16", "--sites", "64", "--pectinate",
+            "--reroot",
+        )
+        assert code == 0
+        assert "operation sets: 8" in text
+
+    def test_serial_flag(self):
+        code, text = run_cli(
+            "--rsrc", "1", "--taxa", "16", "--sites", "64", "--serial"
+        )
+        assert code == 0
+        assert "speedup vs serial launches: 1.00" in text
+
+    def test_seed_changes_tree(self):
+        _, a = run_cli("--rsrc", "1", "--taxa", "32", "--randomtree", "--seed", "1")
+        _, b = run_cli("--rsrc", "1", "--taxa", "32", "--randomtree", "--seed", "2")
+        assert a != b
+
+    def test_deterministic(self):
+        _, a = run_cli("--rsrc", "1", "--taxa", "32", "--randomtree", "--seed", "7")
+        _, b = run_cli("--rsrc", "1", "--taxa", "32", "--randomtree", "--seed", "7")
+        assert a == b
+
+    def test_exclusive_topologies(self):
+        code, text = run_cli("--pectinate", "--randomtree")
+        assert code == 2
+        assert "exclusive" in text
+
+    def test_taxa_validation(self):
+        code, text = run_cli("--taxa", "1")
+        assert code == 2
+
+    def test_rsrc_validation(self):
+        code, text = run_cli("--rsrc", "5")
+        assert code == 2
+
+    def test_manualscale_cpu_path(self):
+        code, text = run_cli(
+            "--rsrc", "0", "--taxa", "8", "--sites", "16", "--reps", "3",
+            "--manualscale", "--rescale-frequency", "2",
+        )
+        assert code == 0
+        assert "logL:" in text
+
+
+class TestExtensions:
+    def test_partitions(self):
+        code, text = run_cli(
+            "--rsrc", "1", "--taxa", "16", "--sites", "64", "--partitions", "4"
+        )
+        assert code == 0
+        assert "partitions: 4 x 16 patterns" in text
+        assert "merged" in text
+
+    def test_partitions_validation(self):
+        code, _ = run_cli("--partitions", "0")
+        assert code == 2
+
+    def test_streams(self):
+        code, text = run_cli(
+            "--rsrc", "1", "--taxa", "16", "--sites", "64", "--streams", "4"
+        )
+        assert code == 0
+        assert "streams (S=4)" in text
+
+    def test_streams_requires_device_model(self):
+        code, text = run_cli("--rsrc", "0", "--streams", "2")
+        assert code == 2
+        assert "requires" in text
+
+    def test_streams_slower_than_multiop(self):
+        _, multi = run_cli(
+            "--rsrc", "1", "--taxa", "64", "--sites", "128", "--seed", "3"
+        )
+        _, stream = run_cli(
+            "--rsrc", "1", "--taxa", "64", "--sites", "128", "--seed", "3",
+            "--streams", "4",
+        )
+        def eval_us(text):
+            line = [l for l in text.splitlines() if "time per evaluation" in l][0]
+            return float(line.split(":")[1].split("us")[0])
+        assert eval_us(stream) >= eval_us(multi)

@@ -1,0 +1,22 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A moderately sized default profile: the property tests exercise tree /
+# likelihood invariants whose individual examples are not trivially cheap.
+settings.register_profile(
+    "default",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20180521)

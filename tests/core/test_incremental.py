@@ -1,0 +1,204 @@
+"""Unit and property tests for incremental (dirty-path) updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IncrementalLikelihood,
+    count_operation_sets,
+    dirty_nodes,
+    incremental_operation_sets,
+    optimal_reroot_fast,
+)
+from repro.beagle import operations_independent
+from repro.data import compress, simulate_alignment
+from repro.models import HKY85, JC69, discrete_gamma
+from repro.trees import balanced_tree, node_depths, pectinate_tree
+from tests.strategies import tree_strategy
+
+
+class TestDirtyNodes:
+    def test_path_to_root(self):
+        t = pectinate_tree(6)
+        deepest_tip = max(t.tips(), key=lambda n: node_depths(t)[id(n)])
+        path = dirty_nodes(t, [deepest_tip])
+        # Every internal node is an ancestor of the deepest tip.
+        assert len(path) == 5
+
+    def test_balanced_path_is_logarithmic(self):
+        t = balanced_tree(64)
+        tip = t.tips()[0]
+        assert len(dirty_nodes(t, [tip])) == 6  # log2(64)
+
+    def test_union_of_paths(self):
+        t = balanced_tree(8)
+        tips = t.tips()
+        # Two tips in the same cherry share all ancestors.
+        same_cherry = dirty_nodes(t, [tips[0], tips[1]])
+        assert len(same_cherry) == 3
+        # Tips from opposite halves share only the root.
+        opposite = dirty_nodes(t, [tips[0], tips[7]])
+        assert len(opposite) == 5
+
+    def test_root_child(self):
+        t = balanced_tree(4)
+        child = t.root.children[0]
+        assert dirty_nodes(t, [child]) == [t.root]
+
+    @given(tree_strategy(min_tips=3, max_tips=30), st.integers(0, 10**6))
+    def test_order_deepest_first(self, tree, pick):
+        edges = tree.edges()
+        node = edges[pick % len(edges)]
+        path = dirty_nodes(tree, [node])
+        depths = node_depths(tree)
+        values = [depths[id(n)] for n in path]
+        assert values == sorted(values, reverse=True)
+        assert path[-1] is tree.root
+
+
+class TestIncrementalOperationSets:
+    @given(tree_strategy(min_tips=3, max_tips=30), st.integers(0, 10**6))
+    def test_sets_independent_and_cover_path(self, tree, pick):
+        tree.assign_indices()
+        edges = tree.edges()
+        node = edges[pick % len(edges)]
+        sets = incremental_operation_sets(tree, [node])
+        assert all(operations_independent(s) for s in sets)
+        n_ops = sum(len(s) for s in sets)
+        assert n_ops == len(dirty_nodes(tree, [node]))
+
+    def test_single_path_is_serial(self):
+        # A lone path has strictly chained dependencies: one op per set.
+        t = pectinate_tree(8)
+        t.assign_indices()
+        deepest = max(t.tips(), key=lambda n: node_depths(t)[id(n)])
+        sets = incremental_operation_sets(t, [deepest])
+        assert all(len(s) == 1 for s in sets)
+
+    def test_disjoint_paths_batch(self):
+        # Changes in opposite halves of a balanced tree produce paths
+        # whose same-depth nodes share launches.
+        t = balanced_tree(16)
+        t.assign_indices()
+        tips = t.tips()
+        sets = incremental_operation_sets(t, [tips[0], tips[15]])
+        n_ops = sum(len(s) for s in sets)
+        assert n_ops == 7  # 4 + 4 ancestors sharing the root
+        assert len(sets) == 4  # but only tree-height launches
+
+
+class TestIncrementalLikelihood:
+    MODEL = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+
+    def make(self, tree, patterns=None, sites=30):
+        if patterns is None:
+            aln = simulate_alignment(tree, self.MODEL, sites, seed=61)
+            patterns = compress(aln)
+        return IncrementalLikelihood(tree, self.MODEL, patterns), patterns
+
+    def test_matches_full_recompute(self):
+        tree = balanced_tree(12, branch_length=0.2)
+        inc, patterns = self.make(tree)
+        inc.full_log_likelihood()
+        edge = tree.edges()[3]
+        updated = inc.set_branch_length(edge, 0.7)
+        # Independent full evaluation on the mutated tree, same data:
+        fresh, _ = self.make(tree, patterns)
+        assert updated == pytest.approx(fresh.full_log_likelihood(), abs=1e-8)
+
+    def test_sequence_of_updates(self):
+        tree = balanced_tree(8, branch_length=0.1)
+        inc, patterns = self.make(tree)
+        inc.full_log_likelihood()
+        rng = np.random.default_rng(62)
+        for _ in range(5):
+            edge = tree.edges()[int(rng.integers(len(tree.edges())))]
+            value = inc.set_branch_length(edge, float(rng.uniform(0.01, 1.0)))
+        fresh, _ = self.make(tree, patterns)
+        assert value == pytest.approx(fresh.full_log_likelihood(), abs=1e-8)
+
+    def test_auto_initial_evaluation(self):
+        tree = balanced_tree(8, branch_length=0.1)
+        inc, patterns = self.make(tree)
+        # set_branch_length before any full evaluation must still work.
+        edge = tree.edges()[0]
+        value = inc.set_branch_length(edge, 0.4)
+        fresh, _ = self.make(tree, patterns)
+        assert value == pytest.approx(fresh.full_log_likelihood(), abs=1e-8)
+
+    def test_update_is_cheaper_than_full(self):
+        tree = balanced_tree(64, branch_length=0.1)
+        inc, _ = self.make(tree)
+        inc.full_log_likelihood()
+        inc.instance.stats.reset()
+        inc.set_branch_length(tree.tips()[0], 0.5)
+        # Only log2(64) = 6 operations, not 63.
+        assert inc.instance.stats.operations == 6
+
+    def test_update_cost_and_launches(self):
+        tree = pectinate_tree(16)
+        inc, _ = self.make(tree)
+        deepest = max(tree.tips(), key=lambda n: node_depths(tree)[id(n)])
+        assert inc.update_cost(deepest) == 15
+        assert inc.update_launches(deepest) == 15
+        shallow = tree.root.children[-1]
+        assert inc.update_cost(shallow) == 1
+
+    def test_gamma_rates(self):
+        tree = balanced_tree(8, branch_length=0.2)
+        model = JC69()
+        aln = simulate_alignment(tree, model, 20, seed=63)
+        inc = IncrementalLikelihood(
+            tree, model, compress(aln), rates=discrete_gamma(0.5, 4)
+        )
+        inc.full_log_likelihood()
+        edge = tree.edges()[2]
+        value = inc.set_branch_length(edge, 0.9)
+        fresh = IncrementalLikelihood(
+            tree, model, compress(aln), rates=discrete_gamma(0.5, 4)
+        )
+        assert value == pytest.approx(fresh.full_log_likelihood(), abs=1e-8)
+
+    def test_validation(self):
+        tree = balanced_tree(4, branch_length=0.1)
+        inc, _ = self.make(tree)
+        with pytest.raises(ValueError):
+            inc.set_branch_length(tree.root, 0.5)
+        with pytest.raises(ValueError):
+            inc.set_branch_length(tree.edges()[0], -1.0)
+        with pytest.raises(ValueError):
+            inc.update_cost(tree.root)
+        with pytest.raises(NotImplementedError):
+            model = JC69()
+            aln = simulate_alignment(tree, model, 10, seed=64)
+            IncrementalLikelihood(tree, model, compress(aln), scaling=True)
+
+
+class TestRerootingShrinksUpdates:
+    """The §VIII connection: rerooting shortens dirty paths too."""
+
+    def test_pectinate_mean_update_cost_halves(self):
+        tree = pectinate_tree(64)
+        rerooted = optimal_reroot_fast(tree).tree
+        def mean_cost(t):
+            return np.mean([len(dirty_nodes(t, [e])) for e in t.edges()])
+        assert mean_cost(rerooted) < 0.6 * mean_cost(tree)
+
+    @given(tree_strategy(min_tips=8, max_tips=40, kinds=("pectinate", "random")))
+    @settings(max_examples=15)
+    def test_worst_case_never_longer(self, tree):
+        # Rerooting minimises topological height = the worst-case dirty
+        # path, a theorem. (The *mean* path can tick up slightly on some
+        # shapes, so only a loose bound holds for it.)
+        rerooted = optimal_reroot_fast(tree).tree
+
+        def costs(t):
+            return [len(dirty_nodes(t, [e])) for e in t.edges()]
+
+        before, after = costs(tree), costs(rerooted)
+        assert max(after) <= max(before)
+        assert np.mean(after) <= np.mean(before) * 1.2

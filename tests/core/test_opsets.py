@@ -1,0 +1,133 @@
+"""Unit and property tests for operation-set construction.
+
+These tests pin down the combinatorial claims of the paper:
+Fig. 2 (balanced 8-OTU tree → 3 sets), Fig. 3 (pectinate → n−1 sets,
+optimally rerooted → ceil(n/2) sets), and the §V bounds
+``ceil(log2 n) ≤ sets ≤ n−1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.beagle import operations_independent
+from repro.core import (
+    build_operation_sets,
+    count_operation_sets,
+    level_schedule,
+    min_operation_sets,
+    reverse_levelorder_operations,
+    set_index_by_node,
+)
+from repro.trees import balanced_tree, parse_newick, pectinate_tree
+from tests.strategies import tree_strategy
+
+
+class TestGreedyBuilder:
+    def test_figure2_balanced_8(self):
+        """Paper Fig. 2: the 8-OTU balanced tree needs exactly 3 sets."""
+        t = balanced_tree(8)
+        sets = build_operation_sets(reverse_levelorder_operations(t))
+        assert [len(s) for s in sets] == [4, 2, 1]
+
+    def test_figure3_pectinate_8(self):
+        """Paper Fig. 3 upper: the 8-OTU pectinate tree is fully serial."""
+        t = pectinate_tree(8)
+        sets = build_operation_sets(reverse_levelorder_operations(t))
+        assert len(sets) == 7
+        assert all(len(s) == 1 for s in sets)
+
+    @given(tree_strategy(min_tips=2, max_tips=40))
+    def test_sets_partition_operations(self, tree):
+        ops = reverse_levelorder_operations(tree)
+        sets = build_operation_sets(ops)
+        flattened = [op for group in sets for op in group]
+        assert flattened == ops  # order preserved, nothing lost
+
+    @given(tree_strategy(min_tips=2, max_tips=40))
+    def test_every_set_independent(self, tree):
+        sets = build_operation_sets(reverse_levelorder_operations(tree))
+        assert all(operations_independent(group) for group in sets)
+
+    @given(tree_strategy(min_tips=2, max_tips=40))
+    def test_greedy_is_maximal(self, tree):
+        # The first op of each set (after the first) must depend on some
+        # member of the previous set — otherwise greedy would not have cut.
+        sets = build_operation_sets(reverse_levelorder_operations(tree))
+        for prev, cur in zip(sets, sets[1:]):
+            prev_dests = {op.destination for op in prev}
+            first = cur[0]
+            assert any(r in prev_dests for r in first.reads())
+
+    def test_empty(self):
+        assert build_operation_sets([]) == []
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n,expected", [(2, 1), (4, 2), (8, 3), (16, 4), (64, 6), (256, 8)])
+    def test_balanced_log2(self, n, expected):
+        assert count_operation_sets(balanced_tree(n)) == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 20, 100])
+    def test_pectinate_serial(self, n):
+        assert count_operation_sets(pectinate_tree(n)) == n - 1
+
+    @given(tree_strategy(min_tips=2, max_tips=60))
+    def test_paper_bounds(self, tree):
+        """§V: ceil(log2 n) ≤ sets ≤ n − 1 for any rooting."""
+        n = tree.n_tips
+        sets = count_operation_sets(tree)
+        assert math.ceil(math.log2(n)) <= sets <= n - 1
+
+    @given(tree_strategy(min_tips=2, max_tips=60))
+    def test_greedy_at_least_height(self, tree):
+        assert count_operation_sets(tree) >= min_operation_sets(tree)
+
+    def test_single_tip(self):
+        assert count_operation_sets(parse_newick("a;")) == 0
+
+
+class TestLevelSchedule:
+    @given(tree_strategy(min_tips=2, max_tips=40))
+    def test_set_count_is_root_height(self, tree):
+        assert len(level_schedule(tree)) == min_operation_sets(tree)
+
+    @given(tree_strategy(min_tips=2, max_tips=40))
+    def test_levels_independent_and_complete(self, tree):
+        sets = level_schedule(tree)
+        assert all(operations_independent(group) for group in sets)
+        assert sum(len(s) for s in sets) == tree.n_tips - 1
+
+    @given(tree_strategy(min_tips=2, max_tips=40))
+    def test_level_never_worse_than_greedy(self, tree):
+        assert len(level_schedule(tree)) <= count_operation_sets(tree)
+
+    @given(tree_strategy(min_tips=2, max_tips=40))
+    def test_level_schedule_executable_in_order(self, tree):
+        # Every read of a later set must be satisfied by tips or earlier sets.
+        sets = level_schedule(tree)
+        available = set(range(tree.n_tips))
+        for group in sets:
+            for op in group:
+                assert set(op.reads()) <= available
+            available |= {op.destination for op in group}
+
+
+class TestSetIndexByNode:
+    def test_balanced_assignment(self):
+        t = balanced_tree(8)
+        mapping = set_index_by_node(t)
+        assert len(mapping) == 7
+        # Cherries in set 0, mid-level in set 1, root in set 2.
+        assert mapping[id(t.root)] == 2
+        for node in t.internals():
+            if all(c.is_tip for c in node.children):
+                assert mapping[id(node)] == 0
+
+    def test_pectinate_distinct_sets(self):
+        t = pectinate_tree(5)
+        mapping = set_index_by_node(t)
+        assert sorted(mapping.values()) == [0, 1, 2, 3]

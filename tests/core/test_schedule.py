@@ -1,0 +1,90 @@
+"""Unit tests for tree-to-operation scheduling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.beagle import validate_operation_order
+from repro.core import (
+    matrix_updates,
+    operation_for_node,
+    postorder_operations,
+    reverse_levelorder_operations,
+)
+from repro.trees import balanced_tree, parse_newick, pectinate_tree
+from tests.strategies import tree_strategy
+
+
+class TestOperationForNode:
+    def test_indices(self):
+        t = parse_newick("((a:0.1,b:0.2):0.3,c:0.4);")
+        t.assign_indices()
+        inner = t.find("a").parent
+        op = operation_for_node(t, inner)
+        assert op.destination == t.index_of(inner)
+        assert {op.child1, op.child2} == {t.index_of(t.find("a")), t.index_of(t.find("b"))}
+        assert op.child1_matrix == op.child1
+        assert op.destination_scale == -1
+
+    def test_scaling_index(self):
+        t = balanced_tree(4)
+        t.assign_indices()
+        node = t.internals()[0]
+        op = operation_for_node(t, node, scaling=True)
+        assert op.destination_scale == op.destination - t.n_tips
+
+    def test_rejects_tips_and_multifurcations(self):
+        t = parse_newick("((a,b),c);")
+        t.assign_indices()
+        with pytest.raises(ValueError):
+            operation_for_node(t, t.find("a"))
+        m = parse_newick("(a,b,c);")
+        m.assign_indices()
+        with pytest.raises(ValueError):
+            operation_for_node(m, m.root)
+
+
+class TestSchedules:
+    @given(tree_strategy(min_tips=2, max_tips=30))
+    def test_counts(self, tree):
+        assert len(postorder_operations(tree)) == tree.n_tips - 1
+        assert len(reverse_levelorder_operations(tree)) == tree.n_tips - 1
+
+    @given(tree_strategy(min_tips=2, max_tips=30))
+    def test_both_orders_executable(self, tree):
+        validate_operation_order(postorder_operations(tree))
+        validate_operation_order(reverse_levelorder_operations(tree))
+
+    @given(tree_strategy(min_tips=2, max_tips=30))
+    def test_same_operation_multiset(self, tree):
+        post = {op.destination: op for op in postorder_operations(tree)}
+        rlo = {op.destination: op for op in reverse_levelorder_operations(tree)}
+        assert post == rlo
+
+    def test_postorder_root_last(self):
+        t = balanced_tree(8)
+        ops = postorder_operations(t)
+        assert ops[-1].destination == t.index_of(t.root)
+
+    def test_reverse_levelorder_deepest_first(self):
+        t = pectinate_tree(6)
+        ops = reverse_levelorder_operations(t)
+        # The deepest cherry comes first, the root last.
+        assert ops[-1].destination == t.index_of(t.root)
+
+
+class TestMatrixUpdates:
+    @given(tree_strategy(min_tips=2, max_tips=25))
+    def test_one_entry_per_edge(self, tree):
+        indices, lengths = matrix_updates(tree)
+        assert len(indices) == 2 * tree.n_tips - 2
+        assert len(indices) == len(set(indices))  # no duplicates
+
+    def test_lengths_match_nodes(self):
+        t = parse_newick("((a:0.1,b:0.2):0.3,c:0.4);")
+        t.assign_indices()
+        indices, lengths = matrix_updates(t)
+        by_index = dict(zip(indices, lengths))
+        assert by_index[t.index_of(t.find("a"))] == pytest.approx(0.1)
+        assert by_index[t.index_of(t.find("c"))] == pytest.approx(0.4)

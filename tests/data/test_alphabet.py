@@ -1,0 +1,90 @@
+"""Unit tests for alphabets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import AMINO_ACID, DNA, Alphabet
+
+
+class TestDNA:
+    def test_states(self):
+        assert DNA.states == ("A", "C", "G", "T")
+        assert DNA.n_states == 4
+
+    def test_index(self):
+        assert [DNA.index(s) for s in "ACGT"] == [0, 1, 2, 3]
+        with pytest.raises(KeyError):
+            DNA.index("N")  # ambiguous symbols have no single index
+
+    def test_codes(self):
+        assert DNA.code("A") == 0
+        assert DNA.code("N") == 4  # BEAGLE unknown convention
+        assert DNA.code("-") == 4
+        assert DNA.code("R") == 4
+        with pytest.raises(KeyError):
+            DNA.code("Q")
+
+    def test_partials_unambiguous(self):
+        assert np.array_equal(DNA.partial("C"), [0, 1, 0, 0])
+
+    def test_partials_iupac(self):
+        assert np.array_equal(DNA.partial("R"), [1, 0, 1, 0])  # A or G
+        assert np.array_equal(DNA.partial("Y"), [0, 1, 0, 1])  # C or T
+        assert np.array_equal(DNA.partial("N"), [1, 1, 1, 1])
+        assert np.array_equal(DNA.partial("U"), [0, 0, 0, 1])  # RNA T
+
+    def test_partial_returns_copy(self):
+        vec = DNA.partial("A")
+        vec[0] = 99.0
+        assert DNA.partial("A")[0] == 1.0
+
+    def test_is_ambiguous(self):
+        assert not DNA.is_ambiguous("A")
+        assert DNA.is_ambiguous("R")
+        assert DNA.is_ambiguous("-")
+        with pytest.raises(KeyError):
+            DNA.is_ambiguous("!")
+
+    def test_encode(self):
+        codes = DNA.encode("ACGTN")
+        assert codes.tolist() == [0, 1, 2, 3, 4]
+
+    def test_encode_partials_shape(self):
+        mat = DNA.encode_partials("ACR")
+        assert mat.shape == (3, 4)
+        assert np.array_equal(mat[2], [1, 0, 1, 0])
+
+    def test_contains(self):
+        assert "A" in DNA and "R" in DNA and "?" in DNA
+        assert "!" not in DNA
+
+
+class TestAminoAcid:
+    def test_twenty_states(self):
+        assert AMINO_ACID.n_states == 20
+        assert len(set(AMINO_ACID.states)) == 20
+
+    def test_ambiguities(self):
+        b = AMINO_ACID.partial("B")  # D or N
+        assert b.sum() == 2
+        assert b[AMINO_ACID.index("D")] == 1 and b[AMINO_ACID.index("N")] == 1
+        assert AMINO_ACID.partial("X").sum() == 20
+
+
+class TestCustomAlphabet:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("bad", "AAB")
+
+    def test_binary_alphabet(self):
+        binary = Alphabet("binary", "01")
+        assert binary.n_states == 2
+        assert binary.code("0") == 0
+        assert binary.code("?") == 2
+
+    def test_symbols_lists_everything(self):
+        symbols = DNA.symbols()
+        assert set("ACGT").issubset(symbols)
+        assert "R" in symbols and "N" in symbols

@@ -1,0 +1,115 @@
+"""Unit tests for FASTA and PHYLIP IO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    Alignment,
+    format_fasta,
+    format_phylip,
+    parse_fasta,
+    parse_phylip,
+    read_fasta,
+    read_phylip,
+    write_fasta,
+    write_phylip,
+)
+
+
+FASTA = """\
+>alpha some description
+ACGT
+ACGT
+>beta
+TTNN
+ACGT
+"""
+
+
+class TestFasta:
+    def test_parse(self):
+        a = parse_fasta(FASTA)
+        assert a.names == ["alpha", "beta"]
+        assert a.n_sites == 8
+        assert "".join(a.sequence("beta")) == "TTNNACGT"
+
+    def test_parse_lowercase(self):
+        a = parse_fasta(">x\nacgt\n")
+        assert "".join(a.sequence("x")) == "ACGT"
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            parse_fasta("ACGT\n")  # data before header
+        with pytest.raises(ValueError):
+            parse_fasta("")
+        with pytest.raises(ValueError):
+            parse_fasta(">x\nAC\n>x\nGT\n")  # duplicate name
+        with pytest.raises(ValueError):
+            parse_fasta(">\nACGT\n")  # empty name
+
+    def test_format_wraps(self):
+        a = Alignment({"x": "A" * 150})
+        text = format_fasta(a, width=70)
+        lines = text.strip().splitlines()
+        assert lines[0] == ">x"
+        assert [len(l) for l in lines[1:]] == [70, 70, 10]
+
+    def test_roundtrip(self):
+        a = parse_fasta(FASTA)
+        b = parse_fasta(format_fasta(a))
+        assert b.names == a.names
+        assert all("".join(b.sequence(n)) == "".join(a.sequence(n)) for n in a.names)
+
+    def test_file_roundtrip(self, tmp_path):
+        a = parse_fasta(FASTA)
+        path = tmp_path / "aln.fasta"
+        write_fasta(a, path)
+        b = read_fasta(path)
+        assert b.names == a.names
+
+
+PHYLIP = """\
+3 6
+alpha  ACGTAC
+beta   ACGTAA
+gamma  ACGTNN
+"""
+
+
+class TestPhylip:
+    def test_parse(self):
+        a = parse_phylip(PHYLIP)
+        assert a.n_taxa == 3
+        assert a.n_sites == 6
+        assert "".join(a.sequence("gamma")) == "ACGTNN"
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            parse_phylip("")
+        with pytest.raises(ValueError):
+            parse_phylip("notnumbers x\nfoo ACGT\n")
+        with pytest.raises(ValueError):
+            parse_phylip("2 4\nonlyone ACGT\n")
+        with pytest.raises(ValueError):
+            parse_phylip("1 4\nx ACG\n")  # wrong length
+        with pytest.raises(ValueError):
+            parse_phylip("2 4\nx ACGT\nx ACGT\n")  # duplicate
+
+    def test_roundtrip(self):
+        a = parse_phylip(PHYLIP)
+        b = parse_phylip(format_phylip(a))
+        assert b.names == a.names
+        assert all("".join(b.sequence(n)) == "".join(a.sequence(n)) for n in a.names)
+
+    def test_file_roundtrip(self, tmp_path):
+        a = parse_phylip(PHYLIP)
+        path = tmp_path / "aln.phy"
+        write_phylip(a, path)
+        b = read_phylip(path)
+        assert b.n_taxa == 3
+
+    def test_cross_format(self):
+        a = parse_phylip(PHYLIP)
+        b = parse_fasta(format_fasta(a))
+        assert b.names == a.names

@@ -1,0 +1,103 @@
+"""Unit and statistical tests for sequence simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import compress, simulate_alignment, simulate_states
+from repro.models import GY94, HKY85, JC69, discrete_gamma
+from repro.trees import balanced_tree, pectinate_tree
+
+
+class TestBasics:
+    def test_all_tips_present(self):
+        t = balanced_tree(8)
+        aln = simulate_alignment(t, JC69(), 50, seed=1)
+        assert sorted(aln.names) == sorted(t.tip_names())
+        assert aln.n_sites == 50
+
+    def test_deterministic_seed(self):
+        t = balanced_tree(4)
+        a = simulate_alignment(t, JC69(), 30, seed=9)
+        b = simulate_alignment(t, JC69(), 30, seed=9)
+        assert all(a.sequence(n) == b.sequence(n) for n in a.names)
+
+    def test_states_shape(self):
+        t = pectinate_tree(5)
+        states = simulate_states(t, JC69(), 20, seed=2)
+        assert set(states) == set(t.tip_names())
+        assert all(v.shape == (20,) for v in states.values())
+        assert all(v.min() >= 0 and v.max() < 4 for v in states.values())
+
+    def test_validation(self):
+        t = balanced_tree(4)
+        with pytest.raises(ValueError):
+            simulate_states(t, JC69(), 0)
+        with pytest.raises(ValueError):
+            simulate_states(t, JC69(), 10, site_rates=[1.0] * 5)
+        with pytest.raises(ValueError):
+            simulate_states(t, JC69(), 2, site_rates=[-1.0, 1.0])
+
+    def test_codon_simulation(self):
+        t = balanced_tree(4, branch_length=0.2)
+        model = GY94(2.0, 0.5)
+        aln = simulate_alignment(t, model, 30, seed=3)
+        assert aln.alphabet.name == "codon"
+        # every symbol is a codon triplet
+        assert all(len(sym) == 3 for sym in aln.sequence(aln.names[0]))
+
+
+class TestStatisticalBehaviour:
+    def test_zero_branch_lengths_copy_root(self):
+        t = balanced_tree(8, branch_length=0.0)
+        states = simulate_states(t, HKY85(), 40, seed=4)
+        rows = np.stack(list(states.values()))
+        assert np.all(rows == rows[0])  # no substitutions possible
+
+    def test_long_branches_decorrelate(self):
+        t = balanced_tree(2, branch_length=50.0)
+        states = simulate_states(t, JC69(), 4000, seed=5)
+        a, b = (states[k] for k in sorted(states))
+        agreement = float(np.mean(a == b))
+        # At saturation agreement -> 1/4.
+        assert abs(agreement - 0.25) < 0.05
+
+    def test_stationary_composition(self):
+        freqs = [0.4, 0.3, 0.2, 0.1]
+        model = HKY85(2.0, freqs)
+        t = balanced_tree(2, branch_length=0.01)
+        states = simulate_states(t, model, 20_000, seed=6)
+        counts = np.bincount(next(iter(states.values())), minlength=4)
+        observed = counts / counts.sum()
+        assert np.allclose(observed, freqs, atol=0.02)
+
+    def test_invariant_rate_class_freezes_sites(self):
+        t = balanced_tree(4, branch_length=1.0)
+        n = 60
+        rates = np.zeros(n)  # all sites invariant
+        states = simulate_states(t, JC69(), n, seed=7, site_rates=rates)
+        rows = np.stack(list(states.values()))
+        assert np.all(rows == rows[0])
+
+    def test_fast_sites_more_variable(self):
+        t = balanced_tree(8, branch_length=0.2)
+        n = 4000
+        cats = discrete_gamma(0.3, 4)
+        # half slowest category, half fastest
+        rates = np.concatenate(
+            [np.full(n // 2, cats.rates[0]), np.full(n // 2, cats.rates[-1])]
+        )
+        aln = simulate_alignment(t, JC69(), n, seed=8, site_rates=rates)
+        pd = compress(aln)
+        codes = pd.codes
+        # variability: fraction of polymorphic columns in each half
+        def poly_fraction(cols):
+            sub = aln.site_subset(cols)
+            return float(
+                np.mean([len(set(col)) > 1 for col in sub.columns()])
+            )
+
+        slow = poly_fraction(range(n // 2))
+        fast = poly_fraction(range(n // 2, n))
+        assert fast > slow + 0.2

@@ -1,0 +1,32 @@
+"""Unit tests for device specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import GP100, QUADRO_P5000, SMALL_GPU, DeviceSpec
+
+
+class TestDeviceSpec:
+    def test_gp100_matches_table1(self):
+        # Table I: Quadro GP100 with 3,584 CUDA cores, 720 GB/s HBM2.
+        assert GP100.cuda_cores == 3584
+        assert GP100.memory_bandwidth_gbs == 720.0
+
+    def test_concurrent_threads(self):
+        assert GP100.concurrent_threads == 3584 * GP100.threads_per_core
+
+    def test_presets_ordering(self):
+        assert GP100.cuda_cores > QUADRO_P5000.cuda_cores > SMALL_GPU.cuda_cores
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", cuda_cores=0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", cuda_cores=8, launch_overhead_s=0.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", cuda_cores=8, per_op_overhead_s=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GP100.cuda_cores = 1

@@ -1,0 +1,105 @@
+"""Tests for marginal ancestral state reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Alignment, compress, simulate_alignment
+from repro.inference import (
+    ancestral_state_probabilities,
+    most_probable_states,
+)
+from repro.models import HKY85, JC69, discrete_gamma
+from repro.trees import balanced_tree, parse_newick, yule_tree
+
+
+MODEL = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+
+
+class TestAncestralProbabilities:
+    def test_rows_sum_to_one(self):
+        tree = balanced_tree(8, branch_length=0.2)
+        patterns = compress(simulate_alignment(tree, MODEL, 30, seed=91))
+        for node in tree.internals():
+            posterior = ancestral_state_probabilities(tree, MODEL, patterns, node)
+            assert posterior.shape == (patterns.n_patterns, 4)
+            assert np.allclose(posterior.sum(axis=1), 1.0)
+            assert np.all(posterior >= 0)
+
+    def test_zero_branches_pin_the_state(self):
+        # With zero-length tip branches the parent must equal its tips.
+        tree = parse_newick("((a:0,b:0):0.5,(c:0.3,d:0.3):0.5);")
+        aln = Alignment({"a": "A", "b": "A", "c": "G", "d": "T"})
+        patterns = compress(aln)
+        parent = tree.find("a").parent
+        posterior = ancestral_state_probabilities(tree, JC69(), patterns, parent)
+        assert posterior[0, 0] == pytest.approx(1.0)  # state A certain
+
+    def test_long_branches_revert_to_prior(self):
+        tree = parse_newick("((a:50,b:50):50,(c:50,d:50):50);")
+        aln = Alignment({"a": "A", "b": "A", "c": "A", "d": "A"})
+        patterns = compress(aln)
+        node = tree.find("a").parent
+        posterior = ancestral_state_probabilities(tree, MODEL, patterns, node)
+        assert np.allclose(posterior[0], MODEL.frequencies, atol=1e-3)
+
+    def test_tip_rejected(self):
+        tree = balanced_tree(4, branch_length=0.1)
+        patterns = compress(simulate_alignment(tree, JC69(), 5, seed=92))
+        with pytest.raises(ValueError):
+            ancestral_state_probabilities(tree, JC69(), patterns, tree.tips()[0])
+
+    def test_root_node_direct_path(self):
+        tree = balanced_tree(6, branch_length=0.2)
+        patterns = compress(simulate_alignment(tree, MODEL, 20, seed=93))
+        posterior = ancestral_state_probabilities(tree, MODEL, patterns, tree.root)
+        assert posterior.shape == (patterns.n_patterns, 4)
+        assert np.allclose(posterior.sum(axis=1), 1.0)
+
+    def test_reconstruction_recovers_simulated_root(self):
+        # Simulate with known root states; reconstruction should beat
+        # chance substantially on short branches.
+        from repro.data import simulate_states
+
+        tree = balanced_tree(16, branch_length=0.05)
+        n = 300
+        rng_states = simulate_states(tree, JC69(), n, seed=94)
+        aln = Alignment(
+            {k: "".join("ACGT"[i] for i in v) for k, v in rng_states.items()}
+        )
+        patterns = compress(aln)
+        symbols, confidence = most_probable_states(
+            tree, JC69(), patterns, tree.root
+        )
+        assert np.mean(confidence) > 0.8
+
+    def test_gamma_rates_supported(self):
+        tree = yule_tree(6, 95, random_lengths=True)
+        rates = discrete_gamma(0.5, 3)
+        patterns = compress(simulate_alignment(tree, MODEL, 15, seed=96))
+        node = tree.internals()[0]
+        posterior = ancestral_state_probabilities(
+            tree, MODEL, patterns, node, rates=rates
+        )
+        assert np.allclose(posterior.sum(axis=1), 1.0)
+
+
+class TestMostProbableStates:
+    def test_symbols_and_probabilities(self):
+        tree = balanced_tree(4, branch_length=0.1)
+        patterns = compress(simulate_alignment(tree, JC69(), 12, seed=97))
+        symbols, probs = most_probable_states(tree, JC69(), patterns, tree.root)
+        assert len(symbols) == patterns.n_patterns
+        assert all(s in "ACGT" for s in symbols)
+        assert np.all((probs >= 0.25 - 1e-12) & (probs <= 1.0))
+
+    def test_consistency_with_probability_matrix(self):
+        tree = balanced_tree(6, branch_length=0.2)
+        patterns = compress(simulate_alignment(tree, MODEL, 10, seed=98))
+        node = tree.internals()[1]
+        posterior = ancestral_state_probabilities(tree, MODEL, patterns, node)
+        symbols, probs = most_probable_states(tree, MODEL, patterns, node)
+        for p in range(patterns.n_patterns):
+            assert probs[p] == pytest.approx(posterior[p].max())
+            assert symbols[p] == "ACGT"[posterior[p].argmax()]

@@ -1,0 +1,121 @@
+"""Unit tests for the TreeLikelihood facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.beagle import pruning_log_likelihood
+from repro.core import count_operation_sets
+from repro.data import compress, simulate_alignment
+from repro.inference import TreeLikelihood
+from repro.models import HKY85, JC69, discrete_gamma
+from repro.trees import balanced_tree, pectinate_tree, random_attachment_tree
+
+
+@pytest.fixture
+def setup():
+    model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+    tree = random_attachment_tree(10, 7, random_lengths=True)
+    aln = simulate_alignment(tree, model, 40, seed=31)
+    return tree, model, aln
+
+
+class TestBasics:
+    def test_accepts_alignment_or_patterns(self, setup):
+        tree, model, aln = setup
+        a = TreeLikelihood(tree, model, aln)
+        b = TreeLikelihood(tree, model, compress(aln))
+        assert a.log_likelihood() == pytest.approx(b.log_likelihood())
+
+    def test_matches_reference(self, setup):
+        tree, model, aln = setup
+        ev = TreeLikelihood(tree, model, aln)
+        assert ev.log_likelihood() == pytest.approx(
+            pruning_log_likelihood(tree, model, compress(aln)), abs=1e-8
+        )
+
+    def test_gamma_rates(self, setup):
+        tree, model, aln = setup
+        rates = discrete_gamma(0.6, 4)
+        ev = TreeLikelihood(tree, model, aln, rates=rates)
+        assert ev.log_likelihood() == pytest.approx(
+            pruning_log_likelihood(tree, model, compress(aln), rates), abs=1e-8
+        )
+
+    def test_n_launches(self, setup):
+        tree, model, aln = setup
+        assert TreeLikelihood(tree, model, aln, mode="serial").n_launches == 9
+        assert TreeLikelihood(tree, model, aln).n_launches == count_operation_sets(tree)
+
+    def test_operation_sets(self, setup):
+        tree, model, aln = setup
+        ev = TreeLikelihood(tree, model, aln)
+        assert ev.operation_sets() == count_operation_sets(tree)
+
+
+class TestRerooting:
+    def test_reroot_options(self, setup):
+        tree, model, aln = setup
+        base = TreeLikelihood(tree, model, aln)
+        fast = TreeLikelihood(tree, model, aln, reroot="fast")
+        exhaustive = TreeLikelihood(tree, model, aln, reroot="exhaustive")
+        assert fast.log_likelihood() == pytest.approx(base.log_likelihood(), abs=1e-8)
+        assert exhaustive.log_likelihood() == pytest.approx(
+            base.log_likelihood(), abs=1e-8
+        )
+        assert fast.n_launches <= base.n_launches
+        assert fast.n_launches == exhaustive.n_launches
+
+    def test_bad_reroot_option(self, setup):
+        tree, model, aln = setup
+        with pytest.raises(ValueError):
+            TreeLikelihood(tree, model, aln, reroot="maybe")
+
+    def test_rerooted_for_concurrency(self, setup):
+        tree, model, aln = setup
+        base = TreeLikelihood(tree, model, aln)
+        rr = base.rerooted_for_concurrency()
+        assert rr.log_likelihood() == pytest.approx(base.log_likelihood(), abs=1e-8)
+        assert rr.n_launches <= base.n_launches
+        with pytest.raises(ValueError):
+            base.rerooted_for_concurrency("nope")
+
+    def test_pectinate_headline(self):
+        """Pectinate 64-tip tree: 63 serial launches become 32."""
+        model = JC69()
+        tree = pectinate_tree(64, branch_length=0.1)
+        aln = simulate_alignment(tree, model, 16, seed=32)
+        serial = TreeLikelihood(tree, model, aln, mode="serial")
+        rerooted = TreeLikelihood(tree, model, aln, reroot="fast")
+        assert serial.n_launches == 63
+        assert rerooted.n_launches == 32
+        assert serial.log_likelihood() == pytest.approx(
+            rerooted.log_likelihood(), abs=1e-8
+        )
+
+
+class TestMutation:
+    def test_with_tree(self, setup):
+        tree, model, aln = setup
+        ev = TreeLikelihood(tree, model, aln)
+        other = balanced_tree(10, names=tree.tip_names())
+        ev2 = ev.with_tree(other)
+        assert ev2.log_likelihood() != pytest.approx(ev.log_likelihood())
+        assert ev2.patterns is ev.patterns  # data shared, not copied
+
+    def test_invalidate_after_in_place_edit(self, setup):
+        tree, model, aln = setup
+        ev = TreeLikelihood(tree, model, aln)
+        before = ev.log_likelihood()
+        tree.edges()[0].length *= 3.0
+        ev.invalidate()
+        after = ev.log_likelihood()
+        assert after != pytest.approx(before)
+
+    def test_scaling_mode(self, setup):
+        tree, model, aln = setup
+        plain = TreeLikelihood(tree, model, aln)
+        scaled = TreeLikelihood(tree, model, aln, scaling=True)
+        assert scaled.log_likelihood() == pytest.approx(
+            plain.log_likelihood(), abs=1e-9
+        )

@@ -1,0 +1,123 @@
+"""Tests for model-parameter estimation and model selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import simulate_alignment
+from repro.inference import (
+    TreeLikelihood,
+    fit_gamma_alpha,
+    fit_kappa,
+    model_selection,
+    optimize_parameter,
+)
+from repro.models import (
+    HKY85,
+    JC69,
+    K80,
+    discrete_gamma,
+    draw_site_rates,
+)
+from repro.trees import balanced_tree
+
+
+FREQS = [0.3, 0.2, 0.2, 0.3]
+
+
+@pytest.fixture(scope="module")
+def hky_data():
+    tree = balanced_tree(8, branch_length=0.25)
+    aln = simulate_alignment(tree, HKY85(4.0, FREQS), 3000, seed=71)
+    return tree, aln
+
+
+class TestOptimizeParameter:
+    def test_recovers_known_optimum(self, hky_data):
+        tree, aln = hky_data
+        ev = TreeLikelihood(tree, HKY85(2.0, FREQS), aln)
+
+        def rebuild(kappa):
+            return TreeLikelihood(tree, HKY85(kappa, FREQS), aln)
+
+        fit = optimize_parameter(ev, rebuild, (0.1, 20.0))
+        assert fit.value == pytest.approx(4.0, abs=0.5)
+        assert fit.evaluations > 3
+        # The fitted likelihood beats the starting model's.
+        assert fit.log_likelihood > ev.log_likelihood()
+
+    def test_bounds_validated(self, hky_data):
+        tree, aln = hky_data
+        ev = TreeLikelihood(tree, JC69(), aln)
+        with pytest.raises(ValueError):
+            optimize_parameter(ev, lambda v: ev, (2.0, 1.0))
+
+
+class TestFitKappa:
+    def test_recovery(self, hky_data):
+        tree, aln = hky_data
+        fit = fit_kappa(TreeLikelihood(tree, HKY85(1.5, FREQS), aln))
+        assert fit.value == pytest.approx(4.0, abs=0.5)
+
+    def test_kappa_one_for_jc_data(self):
+        tree = balanced_tree(8, branch_length=0.25)
+        aln = simulate_alignment(tree, JC69(), 4000, seed=72)
+        fit = fit_kappa(TreeLikelihood(tree, HKY85(3.0), aln))
+        assert fit.value == pytest.approx(1.0, abs=0.3)
+
+
+class TestFitGammaAlpha:
+    def test_recovery(self):
+        tree = balanced_tree(8, branch_length=0.25)
+        rates = discrete_gamma(0.4, 4)
+        rng = np.random.default_rng(73)
+        site_rates = draw_site_rates(rates, 4000, rng)
+        aln = simulate_alignment(
+            tree, HKY85(4.0, FREQS), 4000, seed=74, site_rates=site_rates
+        )
+        fit = fit_gamma_alpha(TreeLikelihood(tree, HKY85(4.0, FREQS), aln))
+        assert fit.value == pytest.approx(0.4, abs=0.15)
+
+    def test_homogeneous_data_drives_alpha_high(self):
+        tree = balanced_tree(6, branch_length=0.2)
+        aln = simulate_alignment(tree, JC69(), 2000, seed=75)
+        fit = fit_gamma_alpha(TreeLikelihood(tree, JC69(), aln))
+        assert fit.value > 2.0  # no heterogeneity -> alpha -> large
+
+
+class TestModelSelection:
+    def test_true_model_wins(self, hky_data):
+        tree, aln = hky_data
+        fits = model_selection(tree, aln)
+        assert fits[0].name == "HKY85"
+        assert [f.name for f in fits].index("JC69") == 2
+
+    def test_aic_ordering(self, hky_data):
+        tree, aln = hky_data
+        fits = model_selection(tree, aln)
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+
+    def test_jc_data_prefers_jc(self):
+        tree = balanced_tree(8, branch_length=0.2)
+        aln = simulate_alignment(tree, JC69(), 2000, seed=76)
+        fits = model_selection(tree, aln)
+        # AIC penalises the extra parameters of K80/HKY when κ ≈ 1.
+        assert fits[0].name == "JC69"
+
+    def test_custom_candidates(self, hky_data):
+        tree, aln = hky_data
+        fits = model_selection(
+            tree,
+            aln,
+            candidates=[("K2", K80(2.0), 1), ("K4", K80(4.0), 1)],
+        )
+        assert {f.name for f in fits} == {"K2", "K4"}
+        assert fits[0].name == "K4"  # closer to the generating kappa
+
+    def test_bic_reported(self, hky_data):
+        tree, aln = hky_data
+        fits = model_selection(tree, aln)
+        for f in fits:
+            assert f.bic >= f.aic  # log(n) > 2 for n > 7 sites

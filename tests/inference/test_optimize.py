@@ -1,0 +1,71 @@
+"""Unit tests for branch-length optimisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import simulate_alignment
+from repro.inference import TreeLikelihood, optimize_branch_lengths
+from repro.models import HKY85, JC69
+from repro.trees import balanced_tree, parse_newick
+
+
+class TestOptimizeBranchLengths:
+    def test_improves_likelihood(self):
+        model = HKY85(2.0)
+        truth = balanced_tree(6, branch_length=0.3)
+        aln = simulate_alignment(truth, model, 400, seed=41)
+        start = truth.copy()
+        for edge in start.edges():
+            edge.length = 0.02  # far from the truth
+        result = optimize_branch_lengths(
+            TreeLikelihood(start, model, aln), max_sweeps=2
+        )
+        assert result.improvement > 0
+        assert result.log_likelihood > result.initial_log_likelihood
+
+    def test_recovers_known_two_tip_distance(self):
+        # For two sequences the ML JC distance has a closed form:
+        # t = -3/4 ln(1 - 4/3 p) with p the mismatch fraction.
+        model = JC69()
+        tree = parse_newick("(a:0.05,b:0.05);")
+        aln = simulate_alignment(tree, model, 3000, seed=42)
+        a = aln.sequence("a")
+        b = aln.sequence("b")
+        p = np.mean([x != y for x, y in zip(a, b)])
+        expected_total = -0.75 * np.log(1 - 4 * p / 3)
+        start = parse_newick("(a:0.4,b:0.4);")
+        result = optimize_branch_lengths(
+            TreeLikelihood(start, model, aln), max_sweeps=3
+        )
+        fitted_total = result.tree.total_branch_length()
+        assert fitted_total == pytest.approx(expected_total, abs=0.01)
+
+    def test_input_tree_untouched(self):
+        model = JC69()
+        tree = balanced_tree(4, branch_length=0.3)
+        aln = simulate_alignment(tree, model, 60, seed=43)
+        lengths_before = [e.length for e in tree.edges()]
+        optimize_branch_lengths(TreeLikelihood(tree, model, aln), max_sweeps=1)
+        assert [e.length for e in tree.edges()] == lengths_before
+
+    def test_already_optimal_stops_early(self):
+        model = JC69()
+        truth = balanced_tree(4, branch_length=0.2)
+        aln = simulate_alignment(truth, model, 500, seed=44)
+        first = optimize_branch_lengths(TreeLikelihood(truth, model, aln), max_sweeps=4)
+        again = optimize_branch_lengths(
+            TreeLikelihood(first.tree, model, aln), max_sweeps=4
+        )
+        # Re-optimising an optimum converges in one sweep.
+        assert again.sweeps == 1
+        assert again.improvement < 0.05
+
+    def test_counts_evaluations(self):
+        model = JC69()
+        tree = balanced_tree(4, branch_length=0.2)
+        aln = simulate_alignment(tree, model, 30, seed=45)
+        result = optimize_branch_lengths(TreeLikelihood(tree, model, aln), max_sweeps=1)
+        # Brent spends many evaluations per branch: at least one per edge.
+        assert result.evaluations > len(tree.edges())

@@ -1,0 +1,78 @@
+"""Integration grid: engine vs reference across the full model matrix.
+
+Every combination of model family × rate heterogeneity × scaling ×
+scheduling mode must produce the same log-likelihood as the independent
+pruning reference. This is the broad-coverage safety net behind the
+narrower unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beagle import pruning_log_likelihood
+from repro.core import create_instance, execute_plan, make_plan
+from repro.data import compress, simulate_alignment
+from repro.models import (
+    GTR,
+    GY94,
+    HKY85,
+    JC69,
+    K80,
+    Poisson,
+    TN93,
+    discrete_gamma,
+    invariant_plus_gamma,
+    single_rate,
+    synthetic_empirical,
+)
+from repro.trees import random_attachment_tree
+
+MODELS = [
+    ("JC69", JC69(), 14),
+    ("K80", K80(3.0), 14),
+    ("HKY85", HKY85(2.0, [0.35, 0.15, 0.25, 0.25]), 14),
+    ("TN93", TN93(3.0, 1.5, [0.3, 0.2, 0.2, 0.3]), 14),
+    ("GTR", GTR([1.2, 2.1, 0.9, 1.4, 2.6, 1.0], [0.3, 0.2, 0.25, 0.25]), 14),
+    ("Poisson", Poisson(), 8),
+    ("SyntheticAA", synthetic_empirical(2), 8),
+    ("GY94", GY94(2.0, 0.3), 5),
+]
+
+RATE_MIXTURES = [
+    ("uniform", single_rate()),
+    ("gamma4", discrete_gamma(0.5, 4)),
+    ("gamma2+inv", invariant_plus_gamma(0.8, 0.2, 2)),
+]
+
+
+@pytest.mark.parametrize("model_name,model,n_tips", MODELS, ids=[m[0] for m in MODELS])
+@pytest.mark.parametrize("rates_name,rates", RATE_MIXTURES, ids=[r[0] for r in RATE_MIXTURES])
+def test_engine_matches_reference(model_name, model, n_tips, rates_name, rates):
+    tree = random_attachment_tree(n_tips, 17, random_lengths=True)
+    patterns = compress(simulate_alignment(tree, model, 8, seed=18))
+    reference = pruning_log_likelihood(tree, model, patterns, rates)
+    for mode in ("serial", "concurrent"):
+        for scaling in (False, True):
+            instance = create_instance(
+                tree, model, patterns, rates=rates, scaling=scaling
+            )
+            plan = make_plan(tree, mode, scaling=scaling)
+            value = execute_plan(instance, plan)
+            assert value == pytest.approx(reference, abs=1e-7), (
+                model_name,
+                rates_name,
+                mode,
+                scaling,
+            )
+
+
+@pytest.mark.parametrize("model_name,model,n_tips", MODELS[:5], ids=[m[0] for m in MODELS[:5]])
+def test_single_precision_grid(model_name, model, n_tips):
+    tree = random_attachment_tree(n_tips, 19, random_lengths=True)
+    patterns = compress(simulate_alignment(tree, model, 8, seed=20))
+    reference = pruning_log_likelihood(tree, model, patterns)
+    instance = create_instance(tree, model, patterns, dtype=np.float32)
+    value = execute_plan(instance, make_plan(tree))
+    assert value == pytest.approx(reference, rel=1e-4)

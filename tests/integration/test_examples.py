@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example must run cleanly."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    if script.name == "random_tree_survey.py":
+        args.append("5")  # keep the survey short in CI
+    result = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_output_shape():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    out = result.stdout
+    assert "serial (post-order)" in out
+    assert "concurrent + rerooted" in out
+    # Identical likelihood on every line with launches halved.
+    lines = [l for l in out.splitlines() if "-" in l and "." in l]
+    values = {l.split()[-1] for l in lines if l and l.split()[-1].startswith("-")}
+    assert len(values) == 1

@@ -1,0 +1,162 @@
+"""Unit tests for amino-acid and codon models and the genetic code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    GY94,
+    AminoAcidModel,
+    Poisson,
+    STANDARD_CODE,
+    codon_alphabet,
+    codon_frequencies_f1x4,
+    is_transition,
+    sense_codons,
+    synthetic_empirical,
+    translate,
+)
+
+
+class TestGeneticCode:
+    def test_code_size(self):
+        assert len(STANDARD_CODE) == 64
+        assert len(sense_codons()) == 61
+
+    def test_stop_codons(self):
+        stops = {c for c, aa in STANDARD_CODE.items() if aa == "*"}
+        assert stops == {"TAA", "TAG", "TGA"}
+
+    def test_known_translations(self):
+        assert translate("ATG") == "M"
+        assert translate("TGG") == "W"
+        assert translate("TTT") == "F"
+        assert translate("AAA") == "K"
+        assert translate("GGG") == "G"
+        assert translate("aug") == "M"  # RNA, lowercase
+
+    def test_translate_rejects_garbage(self):
+        with pytest.raises(KeyError):
+            translate("QQQ")
+
+    def test_amino_acid_coverage(self):
+        # All 20 amino acids appear in the code.
+        aas = {aa for aa in STANDARD_CODE.values() if aa != "*"}
+        assert len(aas) == 20
+
+    def test_is_transition(self):
+        assert is_transition("A", "G")
+        assert is_transition("C", "T")
+        assert not is_transition("A", "C")
+        assert not is_transition("G", "T")
+
+    def test_codon_alphabet(self):
+        alph = codon_alphabet()
+        assert alph.n_states == 61
+        assert "ATG" in alph
+        assert "TAA" not in alph  # stop codon excluded
+
+
+class TestPoisson:
+    def test_invariants(self):
+        m = Poisson()
+        assert m.n_states == 20
+        assert m.is_reversible()
+        assert m.expected_rate() == pytest.approx(1.0)
+
+    def test_uniform_offdiagonal(self):
+        Q = Poisson().rate_matrix
+        off = Q[~np.eye(20, dtype=bool)]
+        assert np.allclose(off, off[0])
+
+    def test_analytic_p_matrix(self):
+        # Poisson is the 20-state JC: p_same = 1/20 + 19/20 e^{-20t/19}.
+        t = 0.42
+        P = Poisson().transition_matrix(t)
+        same = 1 / 20 + (19 / 20) * np.exp(-20 * t / 19)
+        assert np.allclose(np.diag(P), same, atol=1e-12)
+
+
+class TestAminoAcidModel:
+    def test_synthetic_empirical_valid(self):
+        m = synthetic_empirical(3)
+        assert m.is_reversible()
+        assert m.expected_rate() == pytest.approx(1.0)
+        assert m.frequencies.min() > 0
+
+    def test_synthetic_empirical_deterministic(self):
+        assert np.allclose(
+            synthetic_empirical(5).rate_matrix, synthetic_empirical(5).rate_matrix
+        )
+
+    def test_rejects_asymmetric(self):
+        r = np.ones((20, 20))
+        r[0, 1] = 2.0
+        with pytest.raises(ValueError):
+            AminoAcidModel(r)
+
+
+class TestGY94:
+    def test_invariants(self):
+        m = GY94(2.0, 0.5)
+        assert m.n_states == 61
+        assert m.is_reversible()
+        assert m.expected_rate() == pytest.approx(1.0)
+
+    def test_single_step_only(self):
+        m = GY94(2.0, 1.0)
+        Q = m.rate_matrix
+        codons = sense_codons()
+        for i in range(0, 61, 7):
+            for j in range(0, 61, 11):
+                if i == j:
+                    continue
+                ndiff = sum(a != b for a, b in zip(codons[i], codons[j]))
+                if ndiff > 1:
+                    assert Q[i, j] == 0.0
+
+    def test_omega_scales_nonsynonymous(self):
+        codons = sense_codons()
+        # Find a non-synonymous single-step pair and a synonymous one.
+        m_low = GY94(2.0, 0.1)
+        m_high = GY94(2.0, 1.0)
+        i = codons.index("TTA")  # Leu
+        j = codons.index("TTG")  # Leu — synonymous transition
+        k = codons.index("TCA")  # Ser — non-synonymous transversion
+        ratio_low = m_low.rate_matrix[i, k] / m_low.rate_matrix[i, j]
+        ratio_high = m_high.rate_matrix[i, k] / m_high.rate_matrix[i, j]
+        assert ratio_high / ratio_low == pytest.approx(10.0, rel=1e-6)
+
+    def test_kappa_scales_transitions(self):
+        codons = sense_codons()
+        i = codons.index("TTA")
+        j = codons.index("TTG")  # A->G third position: transition, synonymous
+        m1 = GY94(1.0, 1.0)
+        m5 = GY94(5.0, 1.0)
+        # Compare against a transversion synonymous pair CGA->CGC (Arg).
+        a = codons.index("CGA")
+        b = codons.index("CGC")
+        r1 = m1.rate_matrix[i, j] / m1.rate_matrix[a, b]
+        r5 = m5.rate_matrix[i, j] / m5.rate_matrix[a, b]
+        assert r5 / r1 == pytest.approx(5.0, rel=1e-6)
+
+    def test_f1x4_frequencies(self):
+        freqs = codon_frequencies_f1x4([0.4, 0.2, 0.2, 0.2])
+        assert freqs.shape == (61,)
+        assert freqs.sum() == pytest.approx(1.0)
+        codons = sense_codons()
+        # AAA should be the most frequent codon given π_A dominant.
+        assert codons[int(np.argmax(freqs))] == "AAA"
+
+    def test_f1x4_validation(self):
+        with pytest.raises(ValueError):
+            codon_frequencies_f1x4([0.5, 0.5])
+        with pytest.raises(ValueError):
+            codon_frequencies_f1x4([1.0, 0.0, 0.0, 0.0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GY94(0.0, 1.0)
+        with pytest.raises(ValueError):
+            GY94(1.0, -0.5)

@@ -1,0 +1,114 @@
+"""Unit and property tests for the eigendecomposition machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models import (
+    HKY85,
+    JC69,
+    build_reversible_q,
+    decompose_reversible,
+    transition_matrices,
+)
+
+
+def random_reversible(seed: int, s: int = 4):
+    rng = np.random.default_rng(seed)
+    r = np.zeros((s, s))
+    upper = np.triu_indices(s, 1)
+    r[upper] = rng.uniform(0.2, 3.0, size=len(upper[0]))
+    r = r + r.T
+    pi = rng.dirichlet(np.full(s, 4.0))
+    Q = build_reversible_q(r, pi)
+    return Q, pi
+
+
+class TestDecompose:
+    def test_reconstructs_q(self):
+        Q, pi = random_reversible(0)
+        e = decompose_reversible(Q, pi)
+        rebuilt = e.vectors @ np.diag(e.values) @ e.inverse_vectors
+        assert np.allclose(rebuilt, Q, atol=1e-12)
+
+    def test_zero_eigenvalue_present(self):
+        Q, pi = random_reversible(1)
+        e = decompose_reversible(Q, pi)
+        assert np.isclose(e.values.max(), 0.0, atol=1e-10)
+        assert np.all(e.values <= 1e-10)
+
+    def test_inverse_really_inverse(self):
+        Q, pi = random_reversible(2)
+        e = decompose_reversible(Q, pi)
+        assert np.allclose(e.vectors @ e.inverse_vectors, np.eye(4), atol=1e-12)
+
+    def test_rejects_irreversible(self):
+        Q = np.array(
+            [[-1.0, 1.0, 0, 0], [0, -1.0, 1.0, 0], [0, 0, -1.0, 1.0], [1.0, 0, 0, -1.0]]
+        )
+        with pytest.raises(ValueError):
+            decompose_reversible(Q, np.full(4, 0.25))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            decompose_reversible(np.zeros((3, 4)), np.full(4, 0.25))
+        with pytest.raises(ValueError):
+            decompose_reversible(np.zeros((4, 4)), np.array([0.5, 0.5, 0.0, 0.0]))
+
+
+class TestTransitionMatrices:
+    @given(st.integers(0, 500), st.floats(0.0, 20.0))
+    def test_matches_expm(self, seed, t):
+        Q, pi = random_reversible(seed)
+        e = decompose_reversible(Q, pi)
+        P = transition_matrices(e, [t])[0]
+        assert np.allclose(P, scipy.linalg.expm(Q * t), atol=1e-9)
+
+    def test_rows_sum_to_one(self):
+        model = HKY85(3.0, [0.1, 0.2, 0.3, 0.4])
+        for t in (0.0, 0.01, 0.5, 4.0):
+            P = model.transition_matrix(t)
+            assert np.allclose(P.sum(axis=1), 1.0, atol=1e-12)
+            assert np.all(P >= 0)
+
+    def test_identity_at_zero(self):
+        P = JC69().transition_matrix(0.0)
+        assert np.allclose(P, np.eye(4), atol=1e-12)
+
+    def test_stationarity_at_infinity(self):
+        pi = [0.4, 0.1, 0.3, 0.2]
+        model = HKY85(2.0, pi)
+        P = model.transition_matrix(500.0)
+        assert np.allclose(P, np.tile(pi, (4, 1)), atol=1e-8)
+
+    def test_chapman_kolmogorov(self):
+        model = HKY85(2.0, [0.3, 0.2, 0.3, 0.2])
+        P1 = model.transition_matrix(0.3)
+        P2 = model.transition_matrix(0.7)
+        P12 = model.transition_matrix(1.0)
+        assert np.allclose(P1 @ P2, P12, atol=1e-10)
+
+    def test_batched_equals_individual(self):
+        model = HKY85()
+        times = [0.0, 0.1, 0.5, 2.0]
+        batch = model.transition_matrices(times)
+        for k, t in enumerate(times):
+            assert np.allclose(batch[k], model.transition_matrix(t), atol=1e-14)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            JC69().transition_matrices([-0.1])
+
+    def test_jc_analytic_form(self):
+        # JC69 has the closed form p_same = 1/4 + 3/4 e^{-4t/3}.
+        t = 0.37
+        P = JC69().transition_matrix(t)
+        same = 0.25 + 0.75 * np.exp(-4.0 * t / 3.0)
+        diff = 0.25 - 0.25 * np.exp(-4.0 * t / 3.0)
+        assert np.allclose(np.diag(P), same, atol=1e-12)
+        off = P[~np.eye(4, dtype=bool)]
+        assert np.allclose(off, diff, atol=1e-12)

@@ -1,0 +1,106 @@
+"""Unit tests for nucleotide models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import F81, GTR, HKY85, JC69, K80, TN93, random_gtr
+
+
+ALL_MODELS = [
+    JC69(),
+    K80(2.5),
+    F81([0.4, 0.3, 0.2, 0.1]),
+    HKY85(3.0, [0.35, 0.15, 0.2, 0.3]),
+    TN93(4.0, 2.0, [0.25, 0.25, 0.3, 0.2]),
+    GTR([1.2, 2.3, 0.8, 1.1, 3.0, 1.0], [0.3, 0.2, 0.2, 0.3]),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+class TestCommonInvariants:
+    def test_reversible(self, model):
+        assert model.is_reversible()
+
+    def test_q_rows_sum_to_zero(self, model):
+        assert np.allclose(model.rate_matrix.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_normalised_rate(self, model):
+        assert model.expected_rate() == pytest.approx(1.0)
+
+    def test_frequencies_sum_to_one(self, model):
+        assert model.frequencies.sum() == pytest.approx(1.0)
+
+    def test_stationarity(self, model):
+        # πᵀ Q = 0: the frequencies are the stationary distribution.
+        assert np.allclose(model.frequencies @ model.rate_matrix, 0.0, atol=1e-12)
+
+
+class TestSpecifics:
+    def test_jc_equal_offdiagonals(self):
+        Q = JC69().rate_matrix
+        off = Q[~np.eye(4, dtype=bool)]
+        assert np.allclose(off, off[0])
+
+    def test_k80_transition_bias(self):
+        Q = K80(5.0).rate_matrix
+        # A->G (transition) vs A->C (transversion)
+        assert Q[0, 2] / Q[0, 1] == pytest.approx(5.0)
+
+    def test_hky_reduces_to_k80(self):
+        assert np.allclose(HKY85(2.0).rate_matrix, K80(2.0).rate_matrix)
+
+    def test_hky_reduces_to_jc(self):
+        assert np.allclose(HKY85(1.0).rate_matrix, JC69().rate_matrix)
+
+    def test_tn93_reduces_to_hky(self):
+        f = [0.3, 0.2, 0.2, 0.3]
+        assert np.allclose(TN93(2.0, 2.0, f).rate_matrix, HKY85(2.0, f).rate_matrix)
+
+    def test_gtr_rate_order(self):
+        # Make a single exchangeability dominant and check its position.
+        m = GTR([1, 1, 1, 1, 50, 1])  # CT huge
+        Q = m.rate_matrix
+        off = {(i, j): Q[i, j] for i in range(4) for j in range(4) if i != j}
+        assert max(off, key=off.get) in [(1, 3), (3, 1)]  # C<->T
+
+    def test_frequency_effect(self):
+        m = F81([0.7, 0.1, 0.1, 0.1])
+        # Rates into A dominate since q_ij ∝ π_j.
+        Q = m.rate_matrix
+        assert Q[1, 0] > Q[1, 2]
+
+
+class TestValidation:
+    def test_bad_kappa(self):
+        with pytest.raises(ValueError):
+            K80(0.0)
+        with pytest.raises(ValueError):
+            HKY85(-1.0)
+        with pytest.raises(ValueError):
+            TN93(1.0, 0.0)
+
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            GTR([1, 2, 3])
+        with pytest.raises(ValueError):
+            GTR([1, 1, 1, 1, 1, 0])
+
+    def test_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            HKY85(2.0, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            HKY85(2.0, [0.5, 0.5, 0.0, 0.0])
+
+
+class TestRandomGTR:
+    def test_valid_model(self):
+        m = random_gtr(np.random.default_rng(0))
+        assert m.is_reversible()
+        assert m.expected_rate() == pytest.approx(1.0)
+
+    def test_varies_with_rng(self):
+        a = random_gtr(np.random.default_rng(1))
+        b = random_gtr(np.random.default_rng(2))
+        assert not np.allclose(a.rate_matrix, b.rate_matrix)

@@ -1,0 +1,114 @@
+"""Unit tests for partitioned datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Alignment, compress, simulate_alignment
+from repro.models import GTR, HKY85, JC69, discrete_gamma
+from repro.partition import (
+    DataPartition,
+    PartitionedDataset,
+    partition_by_codon_position,
+    partition_by_ranges,
+)
+from repro.trees import balanced_tree
+
+
+@pytest.fixture
+def alignment():
+    tree = balanced_tree(6, branch_length=0.2)
+    return simulate_alignment(tree, JC69(), 60, seed=71)
+
+
+def make_partition(alignment, name="p"):
+    return DataPartition(name=name, patterns=compress(alignment), model=JC69())
+
+
+class TestDataPartition:
+    def test_fields(self, alignment):
+        p = make_partition(alignment)
+        assert p.n_patterns == compress(alignment).n_patterns
+        assert set(p.taxa) == set(alignment.names)
+        assert p.rates.n_categories == 1
+
+
+class TestPartitionedDataset:
+    def test_basic(self, alignment):
+        ds = PartitionedDataset(
+            [make_partition(alignment, "a"), make_partition(alignment, "b")]
+        )
+        assert len(ds) == 2
+        assert ds.names == ["a", "b"]
+        assert ds.total_patterns == 2 * compress(alignment).n_patterns
+        assert ds[0].name == "a"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PartitionedDataset([])
+
+    def test_rejects_duplicate_names(self, alignment):
+        with pytest.raises(ValueError):
+            PartitionedDataset(
+                [make_partition(alignment, "x"), make_partition(alignment, "x")]
+            )
+
+    def test_rejects_mismatched_taxa(self, alignment):
+        other = Alignment({"odd": "ACGT"})
+        with pytest.raises(ValueError):
+            PartitionedDataset(
+                [make_partition(alignment, "a"), make_partition(other, "b")]
+            )
+
+
+class TestPartitionByRanges:
+    def test_split(self, alignment):
+        ds = partition_by_ranges(
+            alignment,
+            [(0, 20), (20, 60)],
+            [JC69(), HKY85(2.0)],
+            names=["gene1", "gene2"],
+        )
+        assert ds.names == ["gene1", "gene2"]
+        assert ds[0].patterns.n_sites == 20
+        assert ds[1].patterns.n_sites == 40
+        assert ds[1].model.name == "HKY85"
+
+    def test_default_names(self, alignment):
+        ds = partition_by_ranges(alignment, [(0, 30), (30, 60)], [JC69(), JC69()])
+        assert ds.names == ["part1", "part2"]
+
+    def test_rates(self, alignment):
+        rates = discrete_gamma(0.5, 4)
+        ds = partition_by_ranges(
+            alignment, [(0, 60)], [JC69()], rates=[rates]
+        )
+        assert ds[0].rates.n_categories == 4
+
+    def test_validation(self, alignment):
+        with pytest.raises(ValueError):
+            partition_by_ranges(alignment, [(0, 10)], [JC69(), JC69()])
+        with pytest.raises(ValueError):
+            partition_by_ranges(alignment, [(0, 70)], [JC69()])  # out of bounds
+        with pytest.raises(ValueError):
+            partition_by_ranges(
+                alignment, [(0, 30), (20, 60)], [JC69(), JC69()]
+            )  # overlap
+        with pytest.raises(ValueError):
+            partition_by_ranges(alignment, [(0, 60)], [JC69()], names=["a", "b"])
+
+
+class TestPartitionByCodonPosition:
+    def test_three_way(self, alignment):
+        models = [HKY85(2.0), HKY85(3.0), GTR([1, 2, 1, 1, 2, 1])]
+        ds = partition_by_codon_position(alignment, models)
+        assert len(ds) == 3
+        assert ds.names == ["codon_pos_1", "codon_pos_2", "codon_pos_3"]
+        assert all(p.patterns.n_sites == 20 for p in ds)
+
+    def test_validation(self, alignment):
+        with pytest.raises(ValueError):
+            partition_by_codon_position(alignment, [JC69()])
+        odd = alignment.site_subset(range(59))
+        with pytest.raises(ValueError):
+            partition_by_codon_position(odd, [JC69()] * 3)

@@ -1,0 +1,55 @@
+"""Hypothesis strategies shared across the property-based tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.trees import (
+    Tree,
+    balanced_tree,
+    coalescent_tree,
+    pectinate_tree,
+    random_attachment_tree,
+    yule_tree,
+)
+
+__all__ = ["tree_strategy", "topology_kinds", "small_tree_strategy"]
+
+topology_kinds = ("balanced", "pectinate", "random", "yule", "coalescent")
+
+
+def _build(kind: str, n: int, seed: int, random_lengths: bool) -> Tree:
+    rng = np.random.default_rng(seed)
+    if kind == "balanced":
+        return balanced_tree(n, rng=rng, random_lengths=random_lengths)
+    if kind == "pectinate":
+        return pectinate_tree(n, rng=rng, random_lengths=random_lengths)
+    if kind == "random":
+        return random_attachment_tree(n, rng, random_lengths=random_lengths)
+    if kind == "yule":
+        return yule_tree(n, rng, random_lengths=random_lengths)
+    if kind == "coalescent":
+        return coalescent_tree(n, rng)
+    raise ValueError(kind)
+
+
+@st.composite
+def tree_strategy(
+    draw,
+    min_tips: int = 2,
+    max_tips: int = 40,
+    kinds: tuple[str, ...] = topology_kinds,
+    random_lengths: bool = True,
+):
+    """Draw a reproducible tree across the library's topology generators."""
+    kind = draw(st.sampled_from(kinds))
+    n = draw(st.integers(min_tips, max_tips))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return _build(kind, n, seed, random_lengths)
+
+
+@st.composite
+def small_tree_strategy(draw, max_tips: int = 6):
+    """Trees small enough for brute-force likelihood enumeration."""
+    return draw(tree_strategy(min_tips=2, max_tips=max_tips))

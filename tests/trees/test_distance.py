@@ -1,0 +1,71 @@
+"""Unit and property tests for tree distances."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    balanced_tree,
+    bipartitions,
+    parse_newick,
+    pectinate_tree,
+    random_attachment_tree,
+    reroot_on_edge,
+    robinson_foulds,
+    same_unrooted_topology,
+    unrooted_edges,
+)
+from tests.strategies import tree_strategy
+
+
+class TestBipartitions:
+    def test_count_for_bifurcating(self):
+        # Unrooted bifurcating tree on n tips has n - 3 internal edges.
+        for n in (4, 8, 12):
+            t = balanced_tree(n)
+            assert len(bipartitions(t)) == n - 3
+
+    def test_quartet(self):
+        t = parse_newick("((a,b),(c,d));")
+        splits = bipartitions(t)
+        assert splits == {frozenset({"a", "b"})} or splits == {frozenset({"c", "d"})}
+
+    def test_rooted_position_invisible(self):
+        t = parse_newick("((a,b),(c,d));")
+        s = parse_newick("(a,(b,(c,d)));")
+        assert bipartitions(t) == bipartitions(s)
+
+
+class TestRobinsonFoulds:
+    def test_identical_zero(self):
+        t = balanced_tree(10)
+        assert robinson_foulds(t, t.copy()) == 0
+
+    def test_different_positive(self):
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("((a,c),(b,d));")
+        assert robinson_foulds(a, b) == 2
+
+    def test_requires_same_tips(self):
+        with pytest.raises(ValueError):
+            robinson_foulds(parse_newick("((a,b),c);"), parse_newick("((a,b),d);"))
+
+    def test_balanced_vs_pectinate(self):
+        a = balanced_tree(16)
+        b = pectinate_tree(16)
+        assert robinson_foulds(a, b) > 0
+
+    @given(tree_strategy(min_tips=4, max_tips=20), st.integers(0, 10**6))
+    def test_rerooting_never_changes_distance(self, tree, pick):
+        edges = unrooted_edges(tree)
+        u, v, _ = edges[pick % len(edges)]
+        rerooted = reroot_on_edge(tree, u, v)
+        assert robinson_foulds(tree, rerooted) == 0
+        assert same_unrooted_topology(tree, rerooted)
+
+    def test_symmetry(self):
+        a = random_attachment_tree(12, 1)
+        b = random_attachment_tree(12, 2)
+        assert robinson_foulds(a, b) == robinson_foulds(b, a)

@@ -1,0 +1,197 @@
+"""Unit and property tests for tree generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    balanced_tree,
+    coalescent_tree,
+    colless_index,
+    is_pectinate,
+    is_perfectly_balanced,
+    node_depths,
+    pectinate_tree,
+    random_attachment_tree,
+    tip_labels,
+    tree_height,
+    yule_tree,
+)
+
+
+class TestBalanced:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 16, 33, 64])
+    def test_counts_and_bifurcating(self, n):
+        t = balanced_tree(n)
+        assert t.n_tips == n
+        assert t.is_bifurcating()
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_power_of_two_height(self, k):
+        t = balanced_tree(2**k)
+        assert tree_height(t) == k
+        assert is_perfectly_balanced(t)
+        assert colless_index(t) == 0
+
+    def test_non_power_of_two_near_balanced(self):
+        t = balanced_tree(12)
+        # height is ceil(log2 n)
+        assert tree_height(t) == 4
+        # every split differs by at most one tip
+        from repro.trees.metrics import _subtree_tip_counts
+
+        counts = _subtree_tip_counts(t)
+        for node in t.internals():
+            a, b = (counts[id(c)] for c in node.children)
+            assert abs(a - b) <= 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0)
+
+    def test_custom_names(self):
+        t = balanced_tree(3, names=["x", "y", "z"])
+        assert sorted(t.tip_names()) == ["x", "y", "z"]
+        with pytest.raises(ValueError):
+            balanced_tree(3, names=["only", "two"])
+
+
+class TestPectinate:
+    @pytest.mark.parametrize("n", [2, 3, 8, 50])
+    def test_shape(self, n):
+        t = pectinate_tree(n)
+        assert t.n_tips == n
+        assert t.is_bifurcating()
+        assert is_pectinate(t)
+        assert tree_height(t) == n - 1
+
+    def test_max_colless(self):
+        n = 10
+        t = pectinate_tree(n)
+        assert colless_index(t) == (n - 1) * (n - 2) // 2
+
+    def test_tip_depth_structure(self):
+        t = pectinate_tree(5)
+        depths = sorted(node_depths(t)[id(tip)] for tip in t.tips())
+        # Caterpillar: depths 1, 2, 3, 4, 4.
+        assert depths == [1, 2, 3, 4, 4]
+
+
+class TestRandomAttachment:
+    @given(st.integers(1, 60), st.integers(0, 10_000))
+    def test_valid_bifurcating(self, n, seed):
+        t = random_attachment_tree(n, seed)
+        assert t.n_tips == n
+        assert t.is_bifurcating()
+        assert sorted(t.tip_names()) == tip_labels(n)
+
+    def test_deterministic_for_seed(self):
+        a = random_attachment_tree(25, 7)
+        b = random_attachment_tree(25, 7)
+        assert a.topology_key() == b.topology_key()
+
+    def test_different_seeds_differ(self):
+        keys = {random_attachment_tree(25, s).topology_key() for s in range(10)}
+        assert len(keys) > 1
+
+    def test_produces_unbalanced_shapes(self):
+        # The paper relies on random attachment producing topologies that
+        # benefit from rerooting; verify the ensemble is not all balanced.
+        heights = [tree_height(random_attachment_tree(32, s)) for s in range(50)]
+        assert max(heights) > 5  # strictly above perfect balance
+
+    def test_random_lengths(self):
+        t = random_attachment_tree(10, 3, random_lengths=True)
+        lengths = [e.length for e in t.edges()]
+        assert len(set(lengths)) > 1
+        assert all(l >= 0 for l in lengths)
+
+
+class TestYule:
+    @given(st.integers(1, 50), st.integers(0, 10_000))
+    def test_valid(self, n, seed):
+        t = yule_tree(n, seed)
+        assert t.n_tips == n
+        assert t.is_bifurcating()
+
+    def test_more_balanced_than_uniform_attachment(self):
+        # Yule trees are known to be more balanced on average than the
+        # paper's uniform-attachment trees.
+        rng = range(40)
+        yule_mean = np.mean([colless_index(yule_tree(32, s)) for s in rng])
+        unif_mean = np.mean([colless_index(random_attachment_tree(32, s)) for s in rng])
+        assert yule_mean < unif_mean
+
+
+class TestCoalescent:
+    @given(st.integers(2, 40), st.integers(0, 10_000))
+    def test_valid(self, n, seed):
+        t = coalescent_tree(n, seed)
+        assert t.n_tips == n
+        assert t.is_bifurcating()
+
+    def test_ultrametric(self):
+        t = coalescent_tree(12, 5)
+        # Root-to-tip path lengths must all be equal (coalescent time).
+        def path_length(tip):
+            total = tip.length
+            for anc in tip.ancestors():
+                if anc.parent is not None:
+                    total += anc.length
+            return total
+
+        lengths = [path_length(tip) for tip in t.tips()]
+        assert max(lengths) - min(lengths) < 1e-9
+
+    def test_theta_scales_depth(self):
+        deep = np.mean(
+            [coalescent_tree(10, s, theta=10.0).total_branch_length() for s in range(30)]
+        )
+        shallow = np.mean(
+            [coalescent_tree(10, s, theta=0.1).total_branch_length() for s in range(30)]
+        )
+        assert deep > shallow
+
+
+class TestBirthDeath:
+    def test_valid(self):
+        from repro.trees import birth_death_tree
+
+        for seed in range(5):
+            t = birth_death_tree(10, seed, birth_rate=1.0, death_rate=0.3)
+            assert t.n_tips == 10
+            assert t.is_bifurcating()
+            assert all(e.length >= 0 for e in t.edges())
+
+    def test_yule_limit(self):
+        from repro.trees import birth_death_tree
+
+        t = birth_death_tree(12, 3, birth_rate=1.0, death_rate=0.0)
+        assert t.n_tips == 12
+        assert t.is_bifurcating()
+
+    def test_deterministic(self):
+        from repro.trees import birth_death_tree
+
+        a = birth_death_tree(8, 7, death_rate=0.2)
+        b = birth_death_tree(8, 7, death_rate=0.2)
+        assert a.topology_key() == b.topology_key()
+
+    def test_validation(self):
+        from repro.trees import birth_death_tree
+
+        with pytest.raises(ValueError):
+            birth_death_tree(0, 1)
+        with pytest.raises(ValueError):
+            birth_death_tree(5, 1, birth_rate=0.5, death_rate=0.6)
+        with pytest.raises(ValueError):
+            birth_death_tree(5, 1, birth_rate=-1.0)
+
+    def test_named_tips(self):
+        from repro.trees import birth_death_tree
+
+        t = birth_death_tree(4, 2, names=["w", "x", "y", "z"])
+        assert sorted(t.tip_names()) == ["w", "x", "y", "z"]

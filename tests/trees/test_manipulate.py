@@ -1,0 +1,163 @@
+"""Tests for tree manipulation and alignment utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beagle import pruning_log_likelihood
+from repro.data import (
+    Alignment,
+    compress,
+    concatenate,
+    proportion_variable_sites,
+    simulate_alignment,
+    site_variability,
+)
+from repro.models import JC69
+from repro.trees import (
+    balanced_tree,
+    common_ancestor,
+    extract_clade,
+    ladderize,
+    parse_newick,
+    prune_to_taxa,
+    same_unrooted_topology,
+    yule_tree,
+)
+from tests.strategies import tree_strategy
+
+
+class TestPruneToTaxa:
+    def test_basic(self):
+        t = parse_newick("(((a:1,b:1):1,c:1):1,(d:1,e:1):1);")
+        pruned = prune_to_taxa(t, ["a", "c", "d"])
+        assert sorted(pruned.tip_names()) == ["a", "c", "d"]
+        assert pruned.is_bifurcating()
+
+    def test_path_lengths_preserved(self):
+        t = parse_newick("(((a:1,b:2):3,c:4):5,(d:6,e:7):8);")
+        pruned = prune_to_taxa(t, ["a", "c", "e"])
+        # a-to-c path: 1 + 3 + 4 = 8 in both trees.
+        a = pruned.find("a")
+        c = pruned.find("c")
+        mrca = common_ancestor(pruned, ["a", "c"])
+        def up(node, stop):
+            total = 0.0
+            while node is not stop:
+                total += node.length
+                node = node.parent
+            return total
+        assert up(a, mrca) + up(c, mrca) == pytest.approx(8.0)
+
+    def test_likelihood_on_restricted_data_matches(self):
+        # Likelihood of a pruned tree on the taxon-subset data must equal
+        # the... well, it equals the subset-likelihood only when the
+        # removed taxa carried all-unknown data; here we just assert the
+        # pruned tree is a valid evaluator on the subset.
+        tree = yule_tree(8, 3, random_lengths=True)
+        aln = simulate_alignment(tree, JC69(), 30, seed=1)
+        keep = sorted(tree.tip_names())[:5]
+        pruned = prune_to_taxa(tree, keep)
+        sub = aln.taxon_subset(keep)
+        ll = pruning_log_likelihood(pruned, JC69(), compress(sub))
+        assert np.isfinite(ll)
+
+    @given(tree_strategy(min_tips=5, max_tips=25), st.integers(2, 4))
+    @settings(max_examples=15)
+    def test_property_valid_result(self, tree, k):
+        keep = sorted(tree.tip_names())[:k]
+        pruned = prune_to_taxa(tree, keep)
+        assert sorted(pruned.tip_names()) == keep
+        assert pruned.is_bifurcating()
+
+    def test_validation(self):
+        t = balanced_tree(4)
+        with pytest.raises(KeyError):
+            prune_to_taxa(t, ["t0001", "ghost"])
+        with pytest.raises(ValueError):
+            prune_to_taxa(t, ["t0001"])
+
+    def test_input_untouched(self):
+        t = balanced_tree(8)
+        key = t.topology_key()
+        prune_to_taxa(t, ["t0001", "t0002", "t0005"])
+        assert t.topology_key() == key
+
+
+class TestCommonAncestorAndClade:
+    def test_mrca(self):
+        t = parse_newick("(((a,b),c),(d,e));")
+        mrca = common_ancestor(t, ["a", "b"])
+        assert sorted(x.name for x in mrca.tips()) == ["a", "b"]
+        assert common_ancestor(t, ["a", "d"]) is t.root
+
+    def test_extract_clade(self):
+        t = parse_newick("(((a:1,b:1):1,c:1):1,(d:1,e:1):1);")
+        clade = extract_clade(t, ["a", "b"])
+        assert sorted(clade.tip_names()) == ["a", "b"]
+        assert clade.root.length == 0.0
+
+    def test_validation(self):
+        t = balanced_tree(4)
+        with pytest.raises(ValueError):
+            common_ancestor(t, [])
+
+
+class TestLadderize:
+    def test_topology_preserved(self):
+        t = yule_tree(12, 5, random_lengths=True)
+        assert same_unrooted_topology(t, ladderize(t))
+
+    def test_sorted_by_size(self):
+        t = parse_newick("(((a,b),(c,(d,e))),f);")
+        ordered = ladderize(t)
+        for node in ordered.internals():
+            sizes = [len(list(c.tips())) for c in node.children]
+            assert sizes == sorted(sizes)
+
+    def test_descending(self):
+        t = parse_newick("(((a,b),(c,(d,e))),f);")
+        ordered = ladderize(t, ascending=False)
+        for node in ordered.internals():
+            sizes = [len(list(c.tips())) for c in node.children]
+            assert sizes == sorted(sizes, reverse=True)
+
+
+class TestAlignmentUtilities:
+    def test_concatenate(self):
+        a = Alignment({"x": "AC", "y": "GT"})
+        b = Alignment({"y": "TT", "x": "AA"})
+        joined = concatenate([a, b])
+        assert joined.n_sites == 4
+        assert "".join(joined.sequence("x")) == "ACAA"
+        assert "".join(joined.sequence("y")) == "GTTT"
+
+    def test_concatenate_validation(self):
+        a = Alignment({"x": "AC"})
+        b = Alignment({"z": "AC"})
+        with pytest.raises(ValueError):
+            concatenate([a, b])
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_concatenate_likelihood_additivity(self):
+        tree = balanced_tree(5, branch_length=0.2)
+        a = simulate_alignment(tree, JC69(), 20, seed=2)
+        b = simulate_alignment(tree, JC69(), 30, seed=3)
+        joined = concatenate([a, b])
+        ll = pruning_log_likelihood(tree, JC69(), compress(joined))
+        parts = pruning_log_likelihood(tree, JC69(), compress(a)) + (
+            pruning_log_likelihood(tree, JC69(), compress(b))
+        )
+        assert ll == pytest.approx(parts, abs=1e-9)
+
+    def test_site_variability(self):
+        a = Alignment({"x": "AAAN", "y": "AC-N", "z": "AGTN"})
+        assert site_variability(a).tolist() == [1, 3, 2, 0]
+
+    def test_proportion_variable(self):
+        a = Alignment({"x": "AAAA", "y": "AACG"})
+        assert proportion_variable_sites(a) == pytest.approx(0.5)

@@ -1,0 +1,112 @@
+"""Unit tests for tree shape metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.trees import (
+    balanced_tree,
+    colless_index,
+    is_pectinate,
+    is_perfectly_balanced,
+    n_cherries,
+    normalized_colless,
+    parse_newick,
+    pectinate_tree,
+    root_tip_split,
+    sackin_index,
+    shape_summary,
+    tree_height,
+)
+from tests.strategies import tree_strategy
+
+
+class TestColless:
+    def test_balanced_zero(self):
+        assert colless_index(balanced_tree(16)) == 0
+
+    def test_pectinate_maximum(self):
+        n = 12
+        assert colless_index(pectinate_tree(n)) == (n - 1) * (n - 2) // 2
+
+    def test_normalization_bounds(self):
+        assert normalized_colless(pectinate_tree(10)) == pytest.approx(1.0)
+        assert normalized_colless(balanced_tree(16)) == pytest.approx(0.0)
+
+    @given(tree_strategy(min_tips=3, max_tips=30))
+    def test_normalized_in_unit_interval(self, tree):
+        assert 0.0 <= normalized_colless(tree) <= 1.0
+
+    def test_requires_bifurcating(self):
+        t = parse_newick("(a,b,c);")
+        with pytest.raises(ValueError):
+            colless_index(t)
+
+
+class TestSackin:
+    def test_balanced(self):
+        # All 8 tips at depth 3.
+        assert sackin_index(balanced_tree(8)) == 24
+
+    def test_pectinate(self):
+        # Depths 1..n-1 plus one extra at n-1.
+        n = 6
+        expected = sum(range(1, n)) + (n - 1)
+        assert sackin_index(pectinate_tree(n)) == expected
+
+    @given(tree_strategy(min_tips=2, max_tips=30))
+    def test_pectinate_dominates(self, tree):
+        assert sackin_index(tree) <= sackin_index(pectinate_tree(tree.n_tips))
+
+
+class TestCherries:
+    def test_balanced(self):
+        assert n_cherries(balanced_tree(8)) == 4
+
+    def test_pectinate(self):
+        assert n_cherries(pectinate_tree(10)) == 1
+
+
+class TestClassifiers:
+    def test_is_pectinate(self):
+        assert is_pectinate(pectinate_tree(7))
+        assert not is_pectinate(balanced_tree(8))
+
+    def test_is_perfectly_balanced(self):
+        assert is_perfectly_balanced(balanced_tree(8))
+        assert not is_perfectly_balanced(pectinate_tree(8))
+        # Near-balanced (n not a power of two) counts only if every split
+        # is exactly even, which is impossible for odd subtree sizes.
+        assert not is_perfectly_balanced(balanced_tree(6))
+
+    def test_small_trees(self):
+        assert is_pectinate(pectinate_tree(2))
+        assert is_perfectly_balanced(balanced_tree(2))
+
+
+class TestRootSplit:
+    def test_balanced_even_split(self):
+        assert root_tip_split(balanced_tree(8)) == (4, 4)
+
+    def test_pectinate_worst_split(self):
+        assert root_tip_split(pectinate_tree(8)) == (1, 7)
+
+    @given(tree_strategy(min_tips=2, max_tips=30))
+    def test_split_sums_to_n(self, tree):
+        a, b = root_tip_split(tree)
+        assert a + b == tree.n_tips
+
+
+class TestHeightAndSummary:
+    def test_height_extremes(self):
+        assert tree_height(balanced_tree(16)) == 4
+        assert tree_height(pectinate_tree(16)) == 15
+
+    def test_summary_keys(self):
+        s = shape_summary(balanced_tree(8))
+        assert s["n_tips"] == 8
+        assert s["height"] == 3
+        assert s["root_height"] == 3
+        assert s["cherries"] == 4
+        assert s["colless"] == 0

@@ -1,0 +1,125 @@
+"""Unit and property tests for Newick parsing/writing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.trees import (
+    NewickError,
+    parse_newick,
+    pectinate_tree,
+    same_unrooted_topology,
+    write_newick,
+)
+from tests.strategies import tree_strategy
+
+
+class TestParse:
+    def test_simple(self):
+        t = parse_newick("((a,b),c);")
+        assert t.n_tips == 3
+        assert sorted(t.tip_names()) == ["a", "b", "c"]
+
+    def test_lengths(self):
+        t = parse_newick("((a:0.1,b:0.2):0.3,c:0.4);")
+        assert t.find("a").length == pytest.approx(0.1)
+        assert t.find("c").length == pytest.approx(0.4)
+        internal = t.find("a").parent
+        assert internal.length == pytest.approx(0.3)
+
+    def test_internal_labels(self):
+        t = parse_newick("((a,b)ab,c)root;")
+        assert t.root.name == "root"
+        assert t.find("a").parent.name == "ab"
+
+    def test_quoted_names(self):
+        t = parse_newick("('Homo sapiens':1,'it''s':2);")
+        assert sorted(t.tip_names()) == ["Homo sapiens", "it's"]
+
+    def test_comments_skipped(self):
+        t = parse_newick("((a[&rate=1],b):0.5[comment],c);")
+        assert sorted(t.tip_names()) == ["a", "b", "c"]
+
+    def test_whitespace_tolerated(self):
+        t = parse_newick("( (a , b) ,\n c ) ;")
+        assert t.n_tips == 3
+
+    def test_single_leaf(self):
+        t = parse_newick("onlyone;")
+        assert t.n_tips == 1
+        assert t.root.name == "onlyone"
+
+    def test_multifurcation(self):
+        t = parse_newick("(a,b,c,d);")
+        assert len(t.root.children) == 4
+
+    def test_scientific_notation_length(self):
+        t = parse_newick("(a:1e-3,b:2.5E2);")
+        assert t.find("a").length == pytest.approx(1e-3)
+        assert t.find("b").length == pytest.approx(250.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            ";",
+            "((a,b);",
+            "(a,b));",
+            "(a:xyz,b);",
+            "(a,'unterminated);",
+            "(a[no end,b);",
+            "a,b;",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(NewickError):
+            parse_newick(bad)
+
+    def test_deep_nesting_is_stack_safe(self):
+        text = write_newick(pectinate_tree(5000))
+        t = parse_newick(text)
+        assert t.n_tips == 5000
+
+
+class TestWrite:
+    def test_writes_lengths(self):
+        t = parse_newick("((a:0.1,b:0.2):0.3,c:0.4);")
+        out = write_newick(t)
+        assert ":0.1" in out and ":0.3" in out
+
+    def test_no_lengths_option(self):
+        t = parse_newick("((a:0.1,b:0.2):0.3,c:0.4);")
+        assert ":" not in write_newick(t, lengths=False)
+
+    def test_internal_names_option(self):
+        t = parse_newick("((a,b)ab,c)r;")
+        assert "ab" in write_newick(t, lengths=False, internal_names=True)
+        assert "ab" not in write_newick(t, lengths=False)
+
+    def test_quoting_roundtrip(self):
+        t = parse_newick("('Homo sapiens',\"x\");")
+        out = write_newick(t, lengths=False)
+        back = parse_newick(out)
+        assert sorted(back.tip_names()) == sorted(t.tip_names())
+
+    def test_precision(self):
+        t = parse_newick("(a:0.123456789,b:1);")
+        out = write_newick(t, precision=3)
+        assert ":0.123" in out and "0.1234" not in out
+
+
+class TestRoundTrip:
+    @given(tree_strategy(max_tips=30))
+    def test_roundtrip_topology_and_lengths(self, tree):
+        text = write_newick(tree)
+        back = parse_newick(text)
+        assert back.topology_key() == tree.topology_key()
+        assert back.total_branch_length() == pytest.approx(
+            tree.total_branch_length(), rel=1e-9
+        )
+
+    @given(tree_strategy(min_tips=4, max_tips=25))
+    def test_roundtrip_unrooted(self, tree):
+        back = parse_newick(write_newick(tree))
+        assert same_unrooted_topology(tree, back)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.trees.node."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import Node
+
+
+def make_cherry() -> Node:
+    root = Node("r")
+    root.add_child(Node("a", 1.0))
+    root.add_child(Node("b", 2.0))
+    return root
+
+
+class TestWiring:
+    def test_add_child_sets_parent(self):
+        root = make_cherry()
+        assert all(c.parent is root for c in root.children)
+
+    def test_add_child_rejects_attached_node(self):
+        root = make_cherry()
+        other = Node("x")
+        with pytest.raises(ValueError):
+            other.add_child(root.children[0])
+
+    def test_remove_child_detaches(self):
+        root = make_cherry()
+        a = root.children[0]
+        returned = root.remove_child(a)
+        assert returned is a
+        assert a.parent is None
+        assert len(root.children) == 1
+
+    def test_remove_child_rejects_stranger(self):
+        root = make_cherry()
+        with pytest.raises(ValueError):
+            root.remove_child(Node("zzz"))
+
+
+class TestPredicates:
+    def test_tip_and_root_flags(self):
+        root = make_cherry()
+        a = root.children[0]
+        assert root.is_root and not root.is_tip
+        assert a.is_tip and not a.is_root
+
+    def test_is_binary(self):
+        root = make_cherry()
+        assert root.is_binary
+        root.add_child(Node("c"))
+        assert not root.is_binary
+        assert Node("solo").is_binary  # a tip is fine
+
+    def test_left_right(self):
+        root = make_cherry()
+        assert root.left.name == "a"
+        assert root.right.name == "b"
+
+    def test_sibling(self):
+        root = make_cherry()
+        a, b = root.children
+        assert a.sibling() is b
+        assert b.sibling() is a
+        assert root.sibling() is None
+
+    def test_sibling_none_for_multifurcation(self):
+        root = make_cherry()
+        root.add_child(Node("c"))
+        assert root.children[0].sibling() is None
+
+
+class TestTraversal:
+    def test_postorder_children_first(self):
+        root = Node()
+        inner = root.add_child(Node())
+        inner.add_child(Node("a"))
+        inner.add_child(Node("b"))
+        root.add_child(Node("c"))
+        order = [n.name for n in root.traverse_postorder()]
+        assert order == ["a", "b", None, "c", None]
+
+    def test_preorder_parents_first(self):
+        root = Node("r")
+        inner = root.add_child(Node("i"))
+        inner.add_child(Node("a"))
+        inner.add_child(Node("b"))
+        root.add_child(Node("c"))
+        order = [n.name for n in root.traverse_preorder()]
+        assert order == ["r", "i", "a", "b", "c"]
+
+    def test_deep_tree_does_not_recurse(self):
+        # 10,000 nested nodes would blow the default recursion limit if
+        # traversal were recursive.
+        root = Node("0")
+        node = root
+        for i in range(10_000):
+            child = Node(str(i + 1))
+            node.add_child(child)
+            node = child
+        assert sum(1 for _ in root.traverse_postorder()) == 10_001
+        assert sum(1 for _ in root.traverse_preorder()) == 10_001
+
+    def test_ancestors_and_depth(self):
+        root = make_cherry()
+        a = root.children[0]
+        assert list(a.ancestors()) == [root]
+        assert a.depth() == 1
+        assert root.depth() == 0
+
+    def test_tips_and_counts(self):
+        root = make_cherry()
+        assert [t.name for t in root.tips()] == ["a", "b"]
+        assert root.n_tips() == 2
+        assert root.children[0].n_tips() == 1

@@ -1,0 +1,61 @@
+"""Tests for ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.trees import (
+    balanced_tree,
+    parse_newick,
+    pectinate_tree,
+    render_ascii,
+    render_schedule,
+)
+
+
+class TestRenderAscii:
+    def test_all_tip_names_present(self):
+        t = balanced_tree(8)
+        art = render_ascii(t)
+        for name in t.tip_names():
+            assert name in art
+
+    def test_line_count_reasonable(self):
+        t = balanced_tree(4)
+        art = render_ascii(t)
+        lines = art.splitlines()
+        # 4 tips plus connector rows.
+        assert 4 <= len(lines) <= 12
+
+    def test_pectinate_renders(self):
+        t = pectinate_tree(6)
+        art = render_ascii(t)
+        assert art.count("t000") == 6
+
+    def test_custom_labels(self):
+        t = parse_newick("((a,b),c);")
+        art = render_ascii(t, label=lambda n: (n.name or "").upper())
+        assert "A" in art and "C" in art
+
+    def test_single_tip(self):
+        t = parse_newick("solo;")
+        assert "solo" in render_ascii(t)
+
+
+class TestRenderSchedule:
+    def test_set_annotations_present(self):
+        t = parse_newick("(((a,b),(c,d)),((e,f),(g,h)));")
+        sets = {id(n): i for i, n in enumerate(t.internals())}
+        art = render_schedule(t, sets)
+        assert "[0]" in art and f"[{len(t.internals()) - 1}]" in art
+
+    def test_tips_unannotated(self):
+        t = parse_newick("((a,b),c);")
+        art = render_schedule(t, {id(n): 0 for n in t.internals()})
+        assert "a" in art and "[0]" in art
+
+
+class TestMultifurcation:
+    def test_trifurcating_root_renders(self):
+        t = parse_newick("(a,b,c,d);")
+        art = render_ascii(t)
+        for name in "abcd":
+            assert name in art

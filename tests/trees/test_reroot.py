@@ -1,0 +1,133 @@
+"""Unit and property tests for mechanical rerooting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import (
+    balanced_tree,
+    parse_newick,
+    pectinate_tree,
+    reroot_above,
+    reroot_on_edge,
+    root_tip_split,
+    same_unrooted_topology,
+    unrooted_adjacency,
+    unrooted_edges,
+)
+from tests.strategies import tree_strategy
+
+
+class TestUnrootedView:
+    def test_edge_count(self):
+        # A bifurcating tree of n tips has 2n - 3 unrooted edges.
+        for n in (3, 4, 8, 13):
+            t = balanced_tree(n)
+            assert len(unrooted_edges(t)) == 2 * n - 3
+
+    def test_root_suppressed(self):
+        t = parse_newick("((a:1,b:2):3,(c:4,d:5):6);")
+        adjacency, nodes = unrooted_adjacency(t)
+        assert id(t.root) not in adjacency
+        # The pulley edge merges the two root branches: 3 + 6 = 9.
+        left, right = t.root.children
+        pulley = [L for n, L in adjacency[id(left)] if n is right]
+        assert pulley == [pytest.approx(9.0)]
+
+    def test_degrees(self):
+        t = balanced_tree(8)
+        adjacency, _ = unrooted_adjacency(t)
+        degrees = sorted(len(v) for v in adjacency.values())
+        # 8 tips of degree 1, 6 internal nodes of degree 3.
+        assert degrees == [1] * 8 + [3] * 6
+
+    def test_two_tip_tree(self):
+        t = parse_newick("(a:1,b:2);")
+        assert len(unrooted_edges(t)) == 1
+        (u, v, length) = unrooted_edges(t)[0]
+        assert length == pytest.approx(3.0)
+
+
+class TestRerootOnEdge:
+    def test_preserves_unrooted_topology(self):
+        t = balanced_tree(8)
+        for u, v, _ in unrooted_edges(t):
+            r = reroot_on_edge(t, u, v)
+            assert r.is_bifurcating()
+            assert same_unrooted_topology(t, r)
+
+    def test_preserves_total_branch_length(self):
+        t = balanced_tree(8, branch_length=0.2)
+        for u, v, _ in unrooted_edges(t):
+            r = reroot_on_edge(t, u, v)
+            assert r.total_branch_length() == pytest.approx(t.total_branch_length())
+
+    def test_fraction_splits_edge(self):
+        t = parse_newick("((a:1,b:1):1,(c:1,d:1):1);")
+        a = t.find("a")
+        r = reroot_on_edge(t, a, a.parent, fraction=0.25)
+        new_a = r.find("a")
+        assert new_a.parent is r.root
+        assert new_a.length == pytest.approx(0.25)
+        sibling_side = [c for c in r.root.children if c is not new_a][0]
+        assert sibling_side.length == pytest.approx(0.75)
+
+    def test_rejects_non_adjacent(self):
+        t = balanced_tree(8)
+        a = t.find("t0001")
+        z = t.find("t0008")
+        with pytest.raises(ValueError):
+            reroot_on_edge(t, a, z)
+
+    def test_rejects_bad_fraction(self):
+        t = balanced_tree(4)
+        a = t.find("t0001")
+        with pytest.raises(ValueError):
+            reroot_on_edge(t, a, a.parent, fraction=1.5)
+
+    def test_input_untouched(self):
+        t = balanced_tree(8)
+        before = t.topology_key()
+        a = t.find("t0001")
+        reroot_on_edge(t, a, a.parent)
+        assert t.topology_key() == before
+
+    @given(tree_strategy(min_tips=3, max_tips=25), st.integers(0, 10**6))
+    def test_property_any_edge(self, tree, pick):
+        edges = unrooted_edges(tree)
+        u, v, _ = edges[pick % len(edges)]
+        r = reroot_on_edge(tree, u, v)
+        assert r.is_bifurcating()
+        assert same_unrooted_topology(tree, r)
+        assert r.total_branch_length() == pytest.approx(
+            tree.total_branch_length(), rel=1e-9, abs=1e-12
+        )
+
+
+class TestRerootAbove:
+    def test_pectinate_to_balanced_split(self):
+        # Rerooting a pectinate tree at the deep cherry's grandparent edge
+        # moves tips to the other side of the root.
+        t = pectinate_tree(8)
+        assert root_tip_split(t) == (1, 7)
+        # Walk down to an internal node about halfway.
+        node = t.root
+        for _ in range(4):
+            node = [c for c in node.children if not c.is_tip][0]
+        r = reroot_above(t, node)
+        a, b = root_tip_split(r)
+        assert a == 4 and b == 4
+
+    def test_root_branch_raises(self):
+        t = balanced_tree(4)
+        with pytest.raises(ValueError):
+            reroot_above(t, t.root)
+
+    def test_rerooting_child_of_root_is_identity_topology(self):
+        t = balanced_tree(8)
+        child = t.root.children[0]
+        r = reroot_above(t, child)
+        assert same_unrooted_topology(t, r)
+        assert r.topology_key() == t.topology_key()

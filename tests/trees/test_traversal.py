@@ -1,0 +1,117 @@
+"""Unit and property tests for traversal orders."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.trees import (
+    balanced_tree,
+    levelorder,
+    levels,
+    node_depths,
+    node_heights,
+    parse_newick,
+    pectinate_tree,
+    postorder,
+    preorder,
+    reverse_levelorder,
+    tree_height,
+)
+from tests.strategies import tree_strategy
+
+
+def figure2_tree():
+    """The eight-OTU balanced tree from Figure 2 of the paper."""
+    return parse_newick("(((a,b),(c,d)),((e,f),(g,h)));")
+
+
+class TestOrders:
+    def test_postorder_children_first_property(self):
+        t = figure2_tree()
+        seen = set()
+        for node in postorder(t):
+            for child in node.children:
+                assert id(child) in seen
+            seen.add(id(node))
+
+    def test_preorder_parents_first_property(self):
+        t = figure2_tree()
+        seen = {None}
+        for node in preorder(t):
+            assert (id(node.parent) if node.parent else None) in seen
+            seen.add(id(node))
+
+    def test_levelorder_nondecreasing_depth(self):
+        t = figure2_tree()
+        depths = node_depths(t)
+        order = [depths[id(n)] for n in levelorder(t)]
+        assert order == sorted(order)
+
+    def test_reverse_levelorder_nonincreasing_depth(self):
+        t = figure2_tree()
+        depths = node_depths(t)
+        order = [depths[id(n)] for n in reverse_levelorder(t)]
+        assert order == sorted(order, reverse=True)
+
+    @given(tree_strategy(max_tips=25))
+    def test_all_orders_cover_all_nodes(self, tree):
+        n = tree.n_nodes
+        assert len(list(postorder(tree))) == n
+        assert len(list(preorder(tree))) == n
+        assert len(list(levelorder(tree))) == n
+        assert len(reverse_levelorder(tree)) == n
+
+    @given(tree_strategy(max_tips=25))
+    def test_reverse_levelorder_children_precede_parents(self, tree):
+        # Deeper-first ordering guarantees every child is emitted before
+        # its parent — the property the BEAGLE scheduler relies on.
+        seen = set()
+        for node in reverse_levelorder(tree):
+            for child in node.children:
+                assert id(child) in seen
+            seen.add(id(node))
+
+
+class TestLevels:
+    def test_levels_grouping(self):
+        t = figure2_tree()
+        grouped = levels(t)
+        assert [len(level) for level in grouped] == [1, 2, 4, 8]
+
+    def test_pectinate_levels(self):
+        t = pectinate_tree(5)
+        grouped = levels(t)
+        # One internal + one tip per level except the deepest (two tips).
+        assert len(grouped) == 5
+        assert [len(level) for level in grouped] == [1, 2, 2, 2, 2]
+
+
+class TestDepthsAndHeights:
+    def test_depths_root_zero(self):
+        t = figure2_tree()
+        depths = node_depths(t)
+        assert depths[id(t.root)] == 0
+        assert all(
+            depths[id(c)] == depths[id(n)] + 1
+            for n in postorder(t)
+            for c in n.children
+        )
+
+    def test_heights_tips_zero(self):
+        t = figure2_tree()
+        heights = node_heights(t)
+        assert all(heights[id(tip)] == 0 for tip in t.tips())
+        assert heights[id(t.root)] == 3
+
+    def test_pectinate_heights(self):
+        n = 9
+        t = pectinate_tree(n)
+        assert node_heights(t)[id(t.root)] == n - 1
+
+    @given(tree_strategy(max_tips=30))
+    def test_root_height_at_most_tree_height(self, tree):
+        assert node_heights(tree)[id(tree.root)] <= tree_height(tree)
+
+    def test_balanced_height_log(self):
+        t = balanced_tree(64)
+        assert node_heights(t)[id(t.root)] == 6
