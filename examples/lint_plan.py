@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Static plan analysis: catch a scheduling bug without executing it.
+
+Build a valid concurrent execution plan, verify it clean, then corrupt
+it the way real scheduler bugs do — reorder a dependent pair across a
+set boundary, alias two destinations, drop a matrix update — and show
+the analyzer pinpointing each hazard with buffer-level diagnostics.
+
+Run:  python examples/lint_plan.py
+"""
+
+from repro.analysis import audit_plan, seed_mutations, verify_plan
+from repro.core import make_plan
+from repro.trees import pectinate_tree
+
+
+def main() -> None:
+    tree = pectinate_tree(8, branch_length=0.1)
+    plan = make_plan(tree, "concurrent")
+
+    print("=== a valid plan ===")
+    print(
+        f"{tree.n_tips}-tip pectinate tree: {plan.n_operations} operations "
+        f"in {plan.n_launches} sets"
+    )
+    report = verify_plan(plan)
+    print(f"verifier: {report.format()}\n")
+
+    print("=== schedule audit ===")
+    print(audit_plan(plan).format())
+    print()
+
+    print("=== seeded corruptions ===")
+    for mutation in seed_mutations(plan):
+        broken = verify_plan(mutation.plan)
+        print(f"--- {mutation.kind}: {mutation.description}")
+        for diagnostic in broken.errors[:2]:  # first two per corruption
+            print(f"    {diagnostic.format()}")
+        caught = {d.code for d in broken.errors} & mutation.expect_codes
+        assert caught, f"analyzer missed {mutation.kind}"
+    print("\nevery corruption was flagged before a single kernel launched")
+
+
+if __name__ == "__main__":
+    main()

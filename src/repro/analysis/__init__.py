@@ -1,0 +1,53 @@
+"""Static analysis of execution plans — prove schedules safe *before* running them.
+
+The subsystem has three layers:
+
+* :mod:`repro.analysis.dataflow` — a buffer def/use engine that detects
+  read-before-write, intra-set and cross-set hazards, index-range
+  violations, scale-buffer misuse and dead writes in any operation-set
+  schedule (the invariants of paper §VI-A, checked without execution);
+* :mod:`repro.analysis.verifier` — whole-plan verification
+  (:func:`verify_plan`) adding plan-level structure checks: root
+  reachability, operation counts, matrix-update coverage, branch-length
+  sanity;
+* :mod:`repro.analysis.audit` — schedule-quality auditing
+  (:func:`audit_plan`): actual launch count versus the rooting's height
+  bound and the post-reroot optimum, so scheduling regressions are
+  caught statically.
+
+:mod:`repro.analysis.mutate` seeds corrupted plans to mutation-test the
+analyzer itself, and ``python -m repro.analysis`` is the CLI front end
+(with ``--self-check`` as the CI gate).
+"""
+
+from .audit import ScheduleAudit, audit_plan, audit_tree
+from .config import BufferConfig
+from .diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    PlanVerificationError,
+    Severity,
+)
+from .dataflow import analyze_operation_sets, analyze_stream
+from .mutate import MUTATION_KINDS, Mutation, mutate_plan, seed_mutations
+from .verifier import verify_instance_compat, verify_operation_sets, verify_plan
+
+__all__ = [
+    "AnalysisReport",
+    "BufferConfig",
+    "Diagnostic",
+    "MUTATION_KINDS",
+    "Mutation",
+    "PlanVerificationError",
+    "ScheduleAudit",
+    "Severity",
+    "analyze_operation_sets",
+    "analyze_stream",
+    "audit_plan",
+    "audit_tree",
+    "mutate_plan",
+    "seed_mutations",
+    "verify_instance_compat",
+    "verify_operation_sets",
+    "verify_plan",
+]

@@ -1,0 +1,127 @@
+"""Schedule-quality auditing: how far is a plan from optimal?
+
+The paper's whole result is a *count*: how many concurrent operation
+sets (kernel launches) a schedule needs. The auditor reports that count
+against the two relevant lower bounds —
+
+* the **rooting bound**: the tree's topological height, the fewest sets
+  any grouping of this rooting can achieve (paper §IV-B);
+* the **reroot bound**: the minimum rooting bound over every edge the
+  tree could be rooted on (paper §V), computed in O(n) with
+  :func:`repro.core.reroot_opt.edge_rooting_heights`.
+
+A regression in scheduling quality (say, a planner change that stops
+batching a level) shows up as a nonzero ``gap_vs_rooting`` without any
+behavioural test having to execute a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.opsets import min_operation_sets
+from ..core.reroot_opt import edge_rooting_heights
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.planner import ExecutionPlan
+    from ..trees import Tree
+
+__all__ = ["ScheduleAudit", "audit_plan", "audit_tree"]
+
+
+@dataclass(frozen=True)
+class ScheduleAudit:
+    """Launch economics of one schedule versus its lower bounds.
+
+    Attributes
+    ----------
+    n_operations:
+        Partial-likelihood operations in the schedule (``n − 1``).
+    n_sets:
+        Concurrent operation sets the schedule actually uses — the
+        kernel-launch count, the paper's Figure 4 quantity.
+    rooting_bound:
+        Minimum sets achievable for the tree *as rooted* (its height).
+    reroot_bound:
+        Minimum over all rootings — what optimal rerooting would reach.
+    """
+
+    n_operations: int
+    n_sets: int
+    rooting_bound: int
+    reroot_bound: int
+
+    @property
+    def serial_sets(self) -> int:
+        """Launches of the serial baseline (one per operation)."""
+        return self.n_operations
+
+    @property
+    def gap_vs_rooting(self) -> int:
+        """Extra launches versus the optimal grouping of this rooting."""
+        return self.n_sets - self.rooting_bound
+
+    @property
+    def gap_vs_reroot(self) -> int:
+        """Extra launches versus the optimum over all rootings."""
+        return self.n_sets - self.reroot_bound
+
+    @property
+    def optimal_for_rooting(self) -> bool:
+        return self.gap_vs_rooting == 0
+
+    @property
+    def globally_optimal(self) -> bool:
+        return self.gap_vs_reroot == 0
+
+    @property
+    def concurrency_speedup(self) -> float:
+        """Launch-count speedup of this schedule over the serial order."""
+        if self.n_sets == 0:
+            return 1.0
+        return self.serial_sets / self.n_sets
+
+    def format(self) -> str:
+        lines = [
+            f"operations:            {self.n_operations}",
+            f"operation sets:        {self.n_sets} "
+            f"(serial baseline: {self.serial_sets})",
+            f"rooting lower bound:   {self.rooting_bound} "
+            f"(gap {self.gap_vs_rooting:+d})",
+            f"reroot lower bound:    {self.reroot_bound} "
+            f"(gap {self.gap_vs_reroot:+d})",
+            f"launch speedup:        {self.concurrency_speedup:.2f}x vs serial",
+        ]
+        if self.globally_optimal:
+            lines.append("verdict:               globally optimal")
+        elif self.optimal_for_rooting:
+            lines.append(
+                "verdict:               optimal for this rooting; rerooting "
+                f"would save {self.gap_vs_reroot} launch(es)"
+            )
+        else:
+            lines.append(
+                "verdict:               suboptimal grouping; "
+                f"{self.gap_vs_rooting} launch(es) above this rooting's bound"
+            )
+        return "\n".join(lines)
+
+
+def audit_tree(tree: "Tree", n_sets: int, n_operations: int) -> ScheduleAudit:
+    """Audit a set count achieved on ``tree`` against both bounds."""
+    rooting_bound = min_operation_sets(tree)
+    heights = edge_rooting_heights(tree)
+    candidates = [h for _, _, h in heights]
+    candidates.append(rooting_bound)  # the current rooting competes too
+    return ScheduleAudit(
+        n_operations=n_operations,
+        n_sets=n_sets,
+        rooting_bound=rooting_bound,
+        reroot_bound=min(candidates),
+    )
+
+
+def audit_plan(plan: "ExecutionPlan") -> ScheduleAudit:
+    """Audit an execution plan's launch count."""
+    return audit_tree(plan.tree, plan.n_launches, plan.n_operations)

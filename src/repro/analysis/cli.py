@@ -1,0 +1,210 @@
+"""``python -m repro.analysis`` — lint an execution plan statically.
+
+Builds a plan from either a Newick file or ``synthetictest``-style
+topology flags, runs the static verifier and the schedule auditor, and
+exits nonzero when any error-severity diagnostic is found::
+
+    python -m repro.analysis --newick tree.nwk
+    python -m repro.analysis --taxa 64 --pectinate --reroot --mode level
+    python -m repro.analysis --self-check
+
+``--self-check`` runs the analyzer's own acceptance gate: every plan the
+library's planners produce for a pectinate/balanced/random trio must
+verify clean, and every seeded corruption of those plans must be
+flagged. It is the CI entry point for the analyzer itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, TextIO
+
+import numpy as np
+
+from ..core.planner import ExecutionPlan, make_plan
+from ..trees.newick import parse_newick
+from .audit import audit_plan
+from .mutate import seed_mutations
+from .verifier import verify_plan
+
+__all__ = ["build_parser", "run", "main"]
+
+MODES = ("serial", "concurrent", "level")
+SELF_CHECK_TOPOLOGIES = ("pectinate", "balanced", "random")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Statically verify and audit a likelihood execution "
+        "plan without executing it.",
+    )
+    source = parser.add_argument_group("plan source")
+    source.add_argument(
+        "--newick", metavar="FILE", help="build the plan from a Newick tree file"
+    )
+    source.add_argument(
+        "--taxa", type=int, default=16, help="synthetic tree size (default 16)"
+    )
+    source.add_argument(
+        "--pectinate", action="store_true", help="synthetic pectinate topology"
+    )
+    source.add_argument(
+        "--randomtree", action="store_true", help="synthetic random topology"
+    )
+    source.add_argument(
+        "--seed", type=int, default=1, help="seed for --randomtree"
+    )
+    plan = parser.add_argument_group("plan construction")
+    plan.add_argument(
+        "--mode",
+        choices=MODES,
+        default="concurrent",
+        help="scheduling mode (default: concurrent)",
+    )
+    plan.add_argument(
+        "--reroot", action="store_true", help="optimally reroot before planning"
+    )
+    plan.add_argument(
+        "--manualscale",
+        action="store_true",
+        help="plan with per-operation rescaling",
+    )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the schedule-quality audit",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="verify the analyzer itself: planner plans clean, seeded "
+        "mutations flagged, on a pectinate/balanced/random trio",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="only print the verdict"
+    )
+    return parser
+
+
+def _build_plan(args: argparse.Namespace) -> ExecutionPlan:
+    if args.newick:
+        with open(args.newick) as handle:
+            tree = parse_newick(handle.read())
+        if not tree.is_bifurcating():
+            tree.resolve_multifurcations()
+    else:
+        from ..bench.harness import build_tree
+
+        topology = "pectinate" if args.pectinate else (
+            "random" if args.randomtree else "balanced"
+        )
+        tree = build_tree(topology, args.taxa, args.seed)
+        rng = np.random.default_rng(args.seed)
+        for edge in tree.edges():
+            edge.length = float(rng.exponential(0.1))
+    if args.reroot:
+        from ..core.reroot_opt import optimal_reroot_fast
+
+        tree = optimal_reroot_fast(tree).tree
+    return make_plan(tree, args.mode, scaling=args.manualscale)
+
+
+def _lint(args: argparse.Namespace, out: TextIO) -> int:
+    plan = _build_plan(args)
+    report = verify_plan(plan)
+    print(
+        f"plan: {plan.tree.n_tips} tips, mode={plan.mode}, "
+        f"{plan.n_operations} operations in {plan.n_launches} sets, "
+        f"scaling={'on' if plan.scaling else 'off'}",
+        file=out,
+    )
+    if not args.quiet and not report.clean:
+        print(report.format(), file=out)
+    n_err, n_warn = len(report.errors), len(report.warnings)
+    if not args.no_audit:
+        print(audit_plan(plan).format(), file=out)
+    if report.ok:
+        print(
+            f"verdict: plan verifies clean ({n_warn} warning(s))", file=out
+        )
+        return 0
+    print(f"verdict: {n_err} error(s), {n_warn} warning(s)", file=out)
+    return 1
+
+
+def _self_check(args: argparse.Namespace, out: TextIO) -> int:
+    failures: List[str] = []
+    checked_plans = 0
+    checked_mutations = 0
+    for topology in SELF_CHECK_TOPOLOGIES:
+        from ..bench.harness import build_tree
+
+        tree = build_tree(topology, args.taxa, args.seed)
+        rng = np.random.default_rng(args.seed)
+        for edge in tree.edges():
+            edge.length = float(rng.exponential(0.1))
+        for mode in MODES:
+            for scaling in (False, True):
+                plan = make_plan(tree, mode, scaling=scaling)
+                report = verify_plan(plan)
+                checked_plans += 1
+                if not report.clean:
+                    failures.append(
+                        f"{topology}/{mode}/scaling={scaling}: expected a "
+                        f"clean plan, got: {report.format()}"
+                    )
+                for mutation in seed_mutations(plan):
+                    checked_mutations += 1
+                    mutated = verify_plan(mutation.plan)
+                    flagged = {
+                        d.code
+                        for d in mutated.errors
+                        if d.code in mutation.expect_codes
+                    }
+                    if not flagged:
+                        failures.append(
+                            f"{topology}/{mode}/scaling={scaling}: mutation "
+                            f"{mutation.kind!r} not flagged "
+                            f"({mutation.description}); analyzer said: "
+                            f"{mutated.format()}"
+                        )
+    print(
+        f"self-check: {checked_plans} plans verified, "
+        f"{checked_mutations} mutations seeded "
+        f"({len(SELF_CHECK_TOPOLOGIES)} topologies x {len(MODES)} modes "
+        f"x 2 scaling settings, taxa={args.taxa})",
+        file=out,
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=out)
+        print(f"self-check FAILED ({len(failures)} failure(s))", file=out)
+        return 1
+    print("self-check passed: all plans clean, all mutations flagged", file=out)
+    return 0
+
+
+def run(argv: Optional[List[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Run the linter; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.pectinate and args.randomtree:
+        print("error: --pectinate and --randomtree are exclusive", file=out)
+        return 2
+    if args.taxa < 2:
+        print("error: --taxa must be at least 2", file=out)
+        return 2
+    try:
+        if args.self_check:
+            return _self_check(args, out)
+        return _lint(args, out)
+    except (OSError, ValueError) as exc:
+        # Unreadable file, unparseable Newick, or a degenerate tree.
+        print(f"error: {exc}", file=out)
+        return 2
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    raise SystemExit(run())

@@ -1,0 +1,88 @@
+"""Buffer-layout configuration the analyzer checks plans against.
+
+A :class:`BufferConfig` is the static shape of a
+:class:`~repro.beagle.instance.BeagleInstance` — how many tip, partials,
+matrix and scale buffers exist — without any of the data. The dataflow
+engine range-checks every operation against it, so a plan can be proven
+compatible with an instance *before* the instance is ever built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..beagle.instance import BeagleInstance
+    from ..trees import Tree
+
+__all__ = ["BufferConfig"]
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Static buffer layout of a likelihood instance.
+
+    Mirrors the constructor arguments of
+    :class:`~repro.beagle.instance.BeagleInstance`: tips occupy buffer
+    indices ``0 .. tip_count-1``, internal partials
+    ``tip_count .. tip_count+partials_buffer_count-1``. When manual
+    scaling is on, the last scale buffer is reserved for the cumulative
+    log factors (see :mod:`repro.core.planner`), so operations may only
+    write slots ``0 .. scale_buffer_count-2``.
+    """
+
+    tip_count: int
+    partials_buffer_count: int
+    matrix_count: int
+    scale_buffer_count: int = 0
+
+    @property
+    def n_buffers(self) -> int:
+        """Total partials-addressable buffers (tips + internals)."""
+        return self.tip_count + self.partials_buffer_count
+
+    @property
+    def cumulative_scale(self) -> Optional[int]:
+        """Reserved cumulative scale slot, or ``None`` without scaling."""
+        if self.scale_buffer_count <= 0:
+            return None
+        return self.scale_buffer_count - 1
+
+    def is_tip(self, buffer_index: int) -> bool:
+        return 0 <= buffer_index < self.tip_count
+
+    def is_internal(self, buffer_index: int) -> bool:
+        return self.tip_count <= buffer_index < self.n_buffers
+
+    def valid_read(self, buffer_index: int) -> bool:
+        return 0 <= buffer_index < self.n_buffers
+
+    def valid_matrix(self, matrix_index: int) -> bool:
+        return 0 <= matrix_index < self.matrix_count
+
+    @classmethod
+    def for_tree(cls, tree: "Tree", *, scaling: bool = False) -> "BufferConfig":
+        """The layout :func:`repro.core.planner.create_instance` builds.
+
+        ``n`` tips, ``n − 1`` internal partials, ``2n − 1`` matrices and
+        — with scaling — ``n`` scale buffers (``n − 1`` per-node slots
+        plus the reserved cumulative slot).
+        """
+        n = tree.n_tips
+        return cls(
+            tip_count=n,
+            partials_buffer_count=n - 1,
+            matrix_count=2 * n - 1,
+            scale_buffer_count=n if scaling else 0,
+        )
+
+    @classmethod
+    def from_instance(cls, instance: "BeagleInstance") -> "BufferConfig":
+        """The layout of an already-constructed engine instance."""
+        return cls(
+            tip_count=instance.tip_count,
+            partials_buffer_count=instance.partials_buffer_count,
+            matrix_count=instance.matrix_buffer_count,
+            scale_buffer_count=instance.scale.count,
+        )

@@ -1,0 +1,167 @@
+"""Typed diagnostics for the static plan analyzer.
+
+Every finding of the analyzer — a buffer hazard, an index out of range, a
+schedule-quality regression — is a :class:`Diagnostic`: a typed, stable
+``code``, a :class:`Severity`, the operation/set coordinates it anchors
+to, the buffer indices involved, and a fix hint. Diagnostics are pure
+data with no dependency on the rest of the library, so the lowest layers
+(:mod:`repro.beagle.operations`) can raise them without import cycles.
+
+:class:`AnalysisReport` is the ordered collection a verification pass
+returns; :class:`PlanVerificationError` (a ``ValueError``) carries a
+report across the raise boundary for callers that want hard failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "AnalysisReport",
+    "PlanVerificationError",
+]
+
+
+class Severity(enum.IntEnum):
+    """Importance of a diagnostic; ordered so ``max()`` works."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    Attributes
+    ----------
+    code:
+        Stable kebab-case identifier of the finding class (e.g.
+        ``"read-before-write"``); tests and tooling match on this, never
+        on the message text.
+    severity:
+        :data:`Severity.ERROR` findings make a plan unexecutable (or
+        numerically wrong); warnings flag waste or suspicious structure.
+    message:
+        Human-readable one-liner describing the concrete finding.
+    set_index, op_index:
+        Coordinates of the offending operation: the operation-set number
+        and the global position in the flattened operation stream
+        (either may be ``None`` for plan-level findings).
+    buffers:
+        Partials/matrix/scale buffer indices involved, for programmatic
+        consumers.
+    hint:
+        A suggested fix, when one is mechanical enough to state.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    set_index: Optional[int] = None
+    op_index: Optional[int] = None
+    buffers: Tuple[int, ...] = ()
+    hint: Optional[str] = None
+
+    def format(self) -> str:
+        """Render as a compiler-style single line."""
+        where = ""
+        if self.set_index is not None or self.op_index is not None:
+            coords = []
+            if self.set_index is not None:
+                coords.append(f"set {self.set_index}")
+            if self.op_index is not None:
+                coords.append(f"op {self.op_index}")
+            where = " at " + ", ".join(coords)
+        text = f"{self.severity.label}[{self.code}]{where}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class AnalysisReport:
+    """Ordered collection of diagnostics from one verification pass."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the plan is safe to execute (no errors)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when the analyzer found nothing at all."""
+        return not self.diagnostics
+
+    def codes(self) -> Dict[str, int]:
+        """Histogram of diagnostic codes."""
+        out: Dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.code] = out.get(d.code, 0) + 1
+        return out
+
+    def has_code(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def format(self) -> str:
+        """Multi-line report, one diagnostic per line."""
+        if self.clean:
+            return "no diagnostics"
+        return "\n".join(d.format() for d in self.diagnostics)
+
+    def raise_if_errors(self) -> "AnalysisReport":
+        """Raise :class:`PlanVerificationError` when any error is present.
+
+        Returns the report itself otherwise, so the call chains.
+        """
+        if not self.ok:
+            raise PlanVerificationError(self.errors)
+        return self
+
+
+class PlanVerificationError(ValueError):
+    """A plan failed static verification.
+
+    Subclasses ``ValueError`` so pre-analyzer call sites that caught the
+    old untyped errors keep working; carries the underlying diagnostics
+    in ``self.diagnostics``.
+    """
+
+    def __init__(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        summary = "; ".join(d.format() for d in self.diagnostics[:5])
+        extra = len(self.diagnostics) - 5
+        if extra > 0:
+            summary += f"; … and {extra} more"
+        super().__init__(f"plan verification failed: {summary}")

@@ -1,0 +1,300 @@
+"""Plan corruption for mutation-testing the analyzer.
+
+A static analyzer is only trustworthy if it *fails* on broken input, so
+this module manufactures broken input: :func:`seed_mutations` takes a
+valid :class:`~repro.core.planner.ExecutionPlan` and produces one
+corrupted copy per applicable corruption class — each annotated with the
+diagnostic codes the analyzer must emit for it. The test suite (and
+``python -m repro.analysis --self-check``) assert every seeded mutation
+is flagged; a mutation surviving verification is an analyzer bug.
+
+The corruption classes mirror real scheduling-bug modes: reordering
+across a set boundary, destination aliasing, dropped operations, dropped
+matrix updates, tip clobbering, and scale-buffer misuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional
+
+from ..beagle.operations import Operation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.planner import ExecutionPlan
+
+__all__ = ["Mutation", "seed_mutations", "MUTATION_KINDS", "mutate_plan"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One deliberately corrupted plan.
+
+    Attributes
+    ----------
+    kind:
+        Corruption class (one of :data:`MUTATION_KINDS`).
+    description:
+        What was done to the plan, concretely.
+    plan:
+        The corrupted plan (the input plan is never modified).
+    expect_codes:
+        The analyzer must report at least one diagnostic whose code is
+        in this set, at error severity.
+    """
+
+    kind: str
+    description: str
+    plan: "ExecutionPlan"
+    expect_codes: FrozenSet[str]
+
+
+def _copy_sets(plan: "ExecutionPlan") -> List[List[Operation]]:
+    return [list(op_set) for op_set in plan.operation_sets]
+
+
+def _swap_across_sets(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Swap a dependent pair of operations across a set boundary.
+
+    Afterwards the reader sits in an earlier set than its writer — the
+    classic stale-partials reordering bug.
+    """
+    sets = _copy_sets(plan)
+    for k in range(len(sets) - 1):
+        dests = {op.destination: a for a, op in enumerate(sets[k])}
+        for b, reader in enumerate(sets[k + 1]):
+            hits = [r for r in reader.reads() if r in dests]
+            if not hits:
+                continue
+            a = dests[hits[0]]
+            sets[k][a], sets[k + 1][b] = sets[k + 1][b], sets[k][a]
+            return Mutation(
+                kind="swap-across-sets",
+                description=(
+                    f"swapped the writer of buffer {hits[0]} (set {k}) with "
+                    f"its reader (set {k + 1})"
+                ),
+                plan=replace(plan, operation_sets=sets),
+                expect_codes=frozenset(
+                    {"cross-set-dependency", "intra-set-dependency"}
+                ),
+            )
+    return None
+
+
+def _merge_boundary(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Pull a dependent operation from the next set into the current one."""
+    sets = _copy_sets(plan)
+    for k in range(len(sets) - 1):
+        dests = {op.destination for op in sets[k]}
+        for b, reader in enumerate(sets[k + 1]):
+            if any(r in dests for r in reader.reads()):
+                sets[k].append(sets[k + 1].pop(b))
+                sets = [s for s in sets if s]
+                return Mutation(
+                    kind="merge-boundary",
+                    description=(
+                        f"moved a dependent operation from set {k + 1} into "
+                        f"set {k}, making the set internally dependent"
+                    ),
+                    plan=replace(plan, operation_sets=sets),
+                    expect_codes=frozenset({"intra-set-dependency"}),
+                )
+    return None
+
+
+def _alias_destination(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Redirect one operation's destination onto another's."""
+    sets = _copy_sets(plan)
+    flat = [(k, j) for k, s in enumerate(sets) for j in range(len(s))]
+    if len(flat) < 2:
+        return None
+    k0, j0 = flat[0]
+    k1, j1 = flat[-1]
+    victim = sets[k1][j1]
+    original = victim.destination
+    alias = sets[k0][j0].destination
+    sets[k1][j1] = replace(victim, destination=alias)
+    return Mutation(
+        kind="alias-destination",
+        description=(
+            f"redirected the operation writing buffer {original} to write "
+            f"buffer {alias} instead"
+        ),
+        plan=replace(plan, operation_sets=sets),
+        expect_codes=frozenset(
+            {
+                "read-before-write",
+                "root-not-written",
+                "write-write-hazard",
+                "operation-count",
+                "intra-set-dependency",
+                "cross-set-dependency",
+            }
+        ),
+    )
+
+
+def _drop_operation(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Delete the first operation; its destination is never computed."""
+    sets = _copy_sets(plan)
+    if not sets or not sets[0]:
+        return None
+    dropped = sets[0].pop(0)
+    sets = [s for s in sets if s]
+    return Mutation(
+        kind="drop-operation",
+        description=f"dropped the operation computing buffer {dropped.destination}",
+        plan=replace(plan, operation_sets=sets),
+        expect_codes=frozenset(
+            {"read-before-write", "operation-count", "root-not-written"}
+        ),
+    )
+
+
+def _drop_matrix_update(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Remove one entry from the matrix-update list."""
+    if not plan.matrix_indices:
+        return None
+    dropped = plan.matrix_indices[0]
+    return Mutation(
+        kind="drop-matrix-update",
+        description=f"dropped the update of transition matrix {dropped}",
+        plan=replace(
+            plan,
+            matrix_indices=plan.matrix_indices[1:],
+            branch_lengths=plan.branch_lengths[1:],
+        ),
+        expect_codes=frozenset({"matrix-not-updated"}),
+    )
+
+
+def _read_future(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Make an early operation read the root buffer (written last)."""
+    sets = _copy_sets(plan)
+    if len(sets) < 2 or not sets[0]:
+        return None
+    victim = sets[0][0]
+    sets[0][0] = replace(victim, child1=plan.root_buffer)
+    return Mutation(
+        kind="read-future",
+        description=(
+            f"pointed an operation in set 0 at root buffer "
+            f"{plan.root_buffer}, which is only written by the final set"
+        ),
+        plan=replace(plan, operation_sets=sets),
+        expect_codes=frozenset(
+            {"cross-set-dependency", "intra-set-dependency"}
+        ),
+    )
+
+
+def _tip_overwrite(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Target a tip buffer as a destination."""
+    sets = _copy_sets(plan)
+    if not sets or not sets[0]:
+        return None
+    victim = sets[0][0]
+    sets[0][0] = replace(victim, destination=0)
+    return Mutation(
+        kind="tip-overwrite",
+        description=(
+            f"redirected the operation writing buffer {victim.destination} "
+            f"onto tip buffer 0"
+        ),
+        plan=replace(plan, operation_sets=sets),
+        expect_codes=frozenset({"tip-overwrite"}),
+    )
+
+
+def _out_of_range(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Use a matrix index beyond the layout."""
+    sets = _copy_sets(plan)
+    if not sets or not sets[0]:
+        return None
+    victim = sets[0][0]
+    bogus = 2 * plan.tree.n_tips + 100
+    sets[0][0] = replace(victim, child1_matrix=bogus)
+    return Mutation(
+        kind="out-of-range",
+        description=f"pointed an operation at nonexistent matrix {bogus}",
+        plan=replace(plan, operation_sets=sets),
+        expect_codes=frozenset({"index-out-of-range", "matrix-not-updated"}),
+    )
+
+
+def _cumulative_scale_write(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Write per-node factors into the reserved cumulative slot."""
+    if not plan.scaling:
+        return None
+    sets = _copy_sets(plan)
+    victim = sets[0][0]
+    cumulative = plan.tree.n_tips - 1  # last slot of the n-slot bank
+    sets[0][0] = replace(victim, destination_scale=cumulative)
+    return Mutation(
+        kind="cumulative-scale-write",
+        description=(
+            f"redirected a scale write into the cumulative slot {cumulative}"
+        ),
+        plan=replace(plan, operation_sets=sets),
+        expect_codes=frozenset({"cumulative-scale-write", "scale-aliasing"}),
+    )
+
+
+def _alias_scale(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Two operations sharing one per-node scale slot."""
+    if not plan.scaling or plan.n_operations < 2:
+        return None
+    sets = _copy_sets(plan)
+    flat = [(k, j) for k, s in enumerate(sets) for j in range(len(s))]
+    k0, j0 = flat[0]
+    k1, j1 = flat[-1]
+    target = sets[k0][j0].destination_scale
+    if target < 0:
+        return None
+    victim = sets[k1][j1]
+    sets[k1][j1] = replace(victim, destination_scale=target)
+    return Mutation(
+        kind="alias-scale",
+        description=f"two operations now write scale slot {target}",
+        plan=replace(plan, operation_sets=sets),
+        expect_codes=frozenset({"scale-aliasing"}),
+    )
+
+
+_MUTATORS: Dict[str, Callable[["ExecutionPlan"], Optional[Mutation]]] = {
+    "swap-across-sets": _swap_across_sets,
+    "merge-boundary": _merge_boundary,
+    "alias-destination": _alias_destination,
+    "drop-operation": _drop_operation,
+    "drop-matrix-update": _drop_matrix_update,
+    "read-future": _read_future,
+    "tip-overwrite": _tip_overwrite,
+    "out-of-range": _out_of_range,
+    "cumulative-scale-write": _cumulative_scale_write,
+    "alias-scale": _alias_scale,
+}
+
+#: Every corruption class the seeder knows.
+MUTATION_KINDS = tuple(_MUTATORS)
+
+
+def mutate_plan(plan: "ExecutionPlan", kind: str) -> Optional[Mutation]:
+    """Apply one corruption class; ``None`` when it does not apply."""
+    try:
+        mutator = _MUTATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation kind {kind!r}; choose from {MUTATION_KINDS}"
+        ) from None
+    return mutator(plan)
+
+
+def seed_mutations(plan: "ExecutionPlan") -> List[Mutation]:
+    """Every applicable corruption of ``plan``, one per class."""
+    out: List[Mutation] = []
+    for kind in MUTATION_KINDS:
+        mutation = _MUTATORS[kind](plan)
+        if mutation is not None:
+            out.append(mutation)
+    return out

@@ -1,0 +1,202 @@
+"""Whole-plan static verification.
+
+:func:`verify_plan` proves an :class:`~repro.core.planner.ExecutionPlan`
+hazard-free without executing it: the buffer dataflow of every operation
+set (via :mod:`repro.analysis.dataflow`), the matrix-update table, the
+branch-length vector, and plan-level structure (root reachability,
+operation count). :func:`verify_operation_sets` exposes the same engine
+for bare schedules — incremental dirty-path updates, hand-built streams
+— where no full plan object exists.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from ..beagle.operations import Operation
+from .config import BufferConfig
+from .dataflow import analyze_operation_sets
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..beagle.instance import BeagleInstance
+    from ..core.planner import ExecutionPlan
+
+__all__ = ["verify_plan", "verify_operation_sets", "verify_instance_compat"]
+
+
+def verify_operation_sets(
+    operation_sets: Sequence[Sequence[Operation]],
+    config: BufferConfig,
+    *,
+    assume_valid: Iterable[int] = (),
+    root_buffer: Optional[int] = None,
+    matrix_updates: Optional[Sequence[int]] = None,
+    check_dead_writes: bool = True,
+) -> AnalysisReport:
+    """Dataflow-verify a bare operation-set schedule."""
+    return AnalysisReport(
+        analyze_operation_sets(
+            operation_sets,
+            config,
+            assume_valid=assume_valid,
+            root_buffer=root_buffer,
+            matrix_updates=matrix_updates,
+            check_dead_writes=check_dead_writes,
+        )
+    )
+
+
+def verify_plan(
+    plan: "ExecutionPlan",
+    *,
+    config: Optional[BufferConfig] = None,
+    instance: Optional["BeagleInstance"] = None,
+) -> AnalysisReport:
+    """Statically verify a full execution plan.
+
+    Parameters
+    ----------
+    plan:
+        The plan to check.
+    config:
+        Buffer layout to verify against; defaults to the layout
+        :func:`repro.core.planner.create_instance` would build for the
+        plan's tree (``BufferConfig.for_tree``).
+    instance:
+        Alternatively, an existing engine instance whose actual layout
+        should be used — catches plan/instance mismatches.
+
+    Returns
+    -------
+    AnalysisReport
+        Empty (``report.clean``) for every plan the library's planners
+        produce; ``report.ok`` is False when execution would fail or
+        silently compute a wrong likelihood.
+    """
+    if config is not None and instance is not None:
+        raise ValueError("pass either config or instance, not both")
+    if instance is not None:
+        config = BufferConfig.from_instance(instance)
+    if config is None:
+        config = BufferConfig.for_tree(plan.tree, scaling=plan.scaling)
+
+    report = AnalysisReport()
+    report.extend(_check_plan_structure(plan, config))
+    report.extend(
+        analyze_operation_sets(
+            plan.operation_sets,
+            config,
+            root_buffer=plan.root_buffer,
+            matrix_updates=plan.matrix_indices,
+        )
+    )
+    return report
+
+
+def verify_instance_compat(
+    plan: "ExecutionPlan", instance: "BeagleInstance"
+) -> AnalysisReport:
+    """Verify a plan against the layout of a concrete instance."""
+    return verify_plan(plan, instance=instance)
+
+
+def _check_plan_structure(
+    plan: "ExecutionPlan", config: BufferConfig
+) -> Iterable[Diagnostic]:
+    """Plan-level invariants that are not per-operation dataflow."""
+    out = []
+
+    destinations = {
+        op.destination for op_set in plan.operation_sets for op in op_set
+    }
+    if plan.root_buffer not in destinations:
+        if config.is_internal(plan.root_buffer):
+            out.append(
+                Diagnostic(
+                    code="root-not-written",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"root buffer {plan.root_buffer} is never written; "
+                        f"the root reduction would read stale or "
+                        f"uninitialized partials"
+                    ),
+                    buffers=(plan.root_buffer,),
+                    hint="the final operation set must compute the root",
+                )
+            )
+        else:
+            out.append(
+                Diagnostic(
+                    code="root-not-written",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"root buffer {plan.root_buffer} is not an internal "
+                        f"partials buffer"
+                    ),
+                    buffers=(plan.root_buffer,),
+                )
+            )
+
+    expected_ops = plan.tree.n_tips - 1
+    if plan.n_operations != expected_ops:
+        out.append(
+            Diagnostic(
+                code="operation-count",
+                severity=Severity.ERROR,
+                message=(
+                    f"plan has {plan.n_operations} operations but a "
+                    f"{plan.tree.n_tips}-tip tree needs exactly "
+                    f"{expected_ops} (one per internal node)"
+                ),
+                hint="an operation was dropped or duplicated",
+            )
+        )
+
+    if len(plan.matrix_indices) != len(plan.branch_lengths):
+        out.append(
+            Diagnostic(
+                code="matrix-update-shape",
+                severity=Severity.ERROR,
+                message=(
+                    f"{len(plan.matrix_indices)} matrix indices but "
+                    f"{len(plan.branch_lengths)} branch lengths"
+                ),
+            )
+        )
+    for m, t in zip(plan.matrix_indices, plan.branch_lengths):
+        if not isfinite(t) or t < 0:
+            out.append(
+                Diagnostic(
+                    code="invalid-branch-length",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"matrix {m} is updated with branch length {t!r}; "
+                        f"lengths must be finite and non-negative"
+                    ),
+                    buffers=(m,),
+                )
+            )
+
+    if plan.scaling:
+        missing = [
+            op.destination
+            for op_set in plan.operation_sets
+            for op in op_set
+            if op.destination_scale < 0
+        ]
+        if missing:
+            out.append(
+                Diagnostic(
+                    code="missing-scale-write",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"plan has scaling enabled but {len(missing)} "
+                        f"operation(s) write no scale factors (first: "
+                        f"buffer {missing[0]}); their levels can underflow"
+                    ),
+                    buffers=tuple(missing[:4]),
+                )
+            )
+    return out

@@ -15,8 +15,8 @@ benchmarks can account throughput the way the paper does (§VI-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -28,7 +28,6 @@ from .kernels import (
     rescale_partials,
     root_site_likelihoods,
     update_partials,
-    update_partials_batch,
 )
 from .operations import Operation, operations_independent
 from .scaling import ScaleBufferBank
@@ -108,6 +107,7 @@ class BeagleInstance:
         self.dtype = dtype
         self.tip_count = tip_count
         self.partials_buffer_count = partials_buffer_count
+        self.matrix_buffer_count = matrix_count
         self.pattern_count = pattern_count
         self.state_count = state_count
         self.category_count = category_count

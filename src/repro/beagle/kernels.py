@@ -23,7 +23,7 @@ FLOPS throughput metric (§VI-C).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

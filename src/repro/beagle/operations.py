@@ -12,7 +12,7 @@ kernel launches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, Sequence, Set
 
 __all__ = ["Operation", "operations_independent", "validate_operation_order"]
 
@@ -78,19 +78,46 @@ def validate_operation_order(operations: Iterable[Operation]) -> None:
 
     Raises
     ------
-    ValueError
-        If an operation reads a buffer that no earlier operation wrote and
-        that is not implicitly a tip/precomputed buffer (that is, if it
-        reads a *later* destination — a schedule that cannot execute).
+    repro.analysis.PlanVerificationError
+        (a ``ValueError`` subclass) if an operation reads a buffer that
+        no earlier operation wrote and that is not implicitly a
+        tip/precomputed buffer — a schedule that cannot execute. The
+        error carries one :class:`repro.analysis.Diagnostic` per
+        violation, naming the offending operation's position, its
+        destination, and the buffer it reads too early.
     """
     ops = list(operations)
     written: Set[int] = set()
     all_destinations = {op.destination for op in ops}
-    for op in ops:
+    writer_position = {op.destination: i for i, op in enumerate(ops)}
+    violations = []
+    for i, op in enumerate(ops):
         for r in op.reads():
             if r in all_destinations and r not in written:
-                raise ValueError(
-                    f"operation writing buffer {op.destination} reads buffer "
-                    f"{r} before it is written"
-                )
+                violations.append((i, op, r))
         written.add(op.destination)
+    if violations:
+        # Imported lazily: repro.analysis sits above this module.
+        from ..analysis.diagnostics import (
+            Diagnostic,
+            PlanVerificationError,
+            Severity,
+        )
+
+        raise PlanVerificationError(
+            Diagnostic(
+                code="cross-set-dependency",
+                severity=Severity.ERROR,
+                message=(
+                    f"operation {i} (writes buffer {op.destination}) reads "
+                    f"buffer {r} before operation "
+                    f"{writer_position[r]} writes it"
+                ),
+                op_index=i,
+                buffers=(r, op.destination),
+                hint=(
+                    f"submit the writer of buffer {r} before operation {i}"
+                ),
+            )
+            for i, op, r in violations
+        )

@@ -9,8 +9,8 @@ Figures 4–6 show (monotone trends, saturation bends, flat baselines).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 __all__ = ["Series", "ascii_plot"]
 

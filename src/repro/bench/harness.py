@@ -9,13 +9,11 @@ computes one such row; the per-figure modules in ``benchmarks/`` sweep it.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core import (
-    count_operation_sets,
-    make_plan,
     optimal_reroot_exhaustive,
     optimal_reroot_fast,
     tree_theoretical_speedup,

@@ -21,7 +21,7 @@ from ..gpu import GP100, SimulatedDevice, WorkloadDims
 from ..trees import random_attachment_tree
 from .harness import run_case, sweep_random_trees
 from .asciiplot import Series, ascii_plot
-from .tables import format_table, summarize_interval, write_table
+from .tables import format_table, summarize_interval
 
 __all__ = ["main", "run"]
 

@@ -126,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="model stream-based scheduling with S streams instead of the "
         "multi-operation kernel (GP100 resource only)",
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="statically verify the plan (repro.analysis) before running "
+        "and fail on any buffer hazard",
+    )
     return parser
 
 
@@ -169,6 +175,23 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     scaling = args.manualscale
     plan = make_plan(tree, mode, scaling=scaling)
     instance = create_instance(tree, model, patterns, scaling=scaling)
+
+    if args.lint:
+        from ..analysis import audit_plan, verify_plan
+
+        report = verify_plan(plan, instance=instance)
+        audit = audit_plan(plan)
+        print(
+            f"lint: {len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s); launch gap vs rooting "
+            f"bound {audit.gap_vs_rooting:+d}, vs reroot bound "
+            f"{audit.gap_vs_reroot:+d}",
+            file=out,
+        )
+        if not report.clean:
+            print(report.format(), file=out)
+        if not report.ok:
+            return 1
 
     print("synthetictest (repro work-alike)", file=out)
     print(

@@ -7,7 +7,7 @@ into ``bench_results/`` so EXPERIMENTS.md can reference stable artefacts.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 __all__ = ["format_table", "write_table", "summarize_interval"]
 

@@ -21,7 +21,6 @@ The paper derives the topology-family expectations reproduced here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from ..trees import Tree
 from .opsets import count_operation_sets

@@ -18,7 +18,7 @@ exposes the quantitative link to rerooting:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from ..beagle.instance import BeagleInstance
 from ..beagle.operations import Operation
@@ -65,13 +65,38 @@ def incremental_operation_sets(
     changed: Iterable[Node],
     *,
     scaling: bool = False,
+    verify: bool = False,
 ) -> List[List[Operation]]:
-    """Greedy operation sets recomputing only the dirty ancestors."""
+    """Greedy operation sets recomputing only the dirty ancestors.
+
+    With ``verify=True`` the sets are statically checked by
+    :func:`repro.analysis.verify_operation_sets` before being returned:
+    partials *outside* the dirty path are assumed live from the previous
+    full evaluation, so the analyzer proves exactly the incremental
+    contract — every dirty buffer is recomputed before any dirty reader
+    consumes it. Raises :class:`repro.analysis.PlanVerificationError` on
+    a hazard.
+    """
     ops = [
         operation_for_node(tree, node, scaling=scaling)
         for node in dirty_nodes(tree, changed)
     ]
-    return build_operation_sets(ops)
+    sets = build_operation_sets(ops)
+    if verify:
+        # Imported lazily: repro.analysis depends on repro.core.
+        from ..analysis.config import BufferConfig
+        from ..analysis.verifier import verify_operation_sets
+
+        config = BufferConfig.for_tree(tree, scaling=scaling)
+        clean = set(range(tree.n_tips, config.n_buffers))
+        clean -= {op.destination for op in ops}
+        verify_operation_sets(
+            sets,
+            config,
+            assume_valid=clean,
+            root_buffer=tree.index_of(tree.root),
+        ).raise_if_errors()
+    return sets
 
 
 class IncrementalLikelihood:
@@ -90,6 +115,9 @@ class IncrementalLikelihood:
         evaluator for topology moves).
     model, patterns, rates, scaling:
         As for :func:`repro.core.planner.create_instance`.
+    verify:
+        Statically verify the full plan and every incremental dirty-path
+        schedule before execution (see :mod:`repro.analysis`).
     """
 
     def __init__(
@@ -100,6 +128,7 @@ class IncrementalLikelihood:
         *,
         rates: Optional[RateCategories] = None,
         scaling: bool = False,
+        verify: bool = False,
     ) -> None:
         if scaling:
             # Incremental updates would need to re-accumulate scale
@@ -112,10 +141,11 @@ class IncrementalLikelihood:
         self.model = model
         self.patterns = patterns
         self.rates = rates
+        self.verify = verify
         self.instance: BeagleInstance = create_instance(
             tree, model, patterns, rates=rates
         )
-        self.plan = make_plan(tree, "concurrent")
+        self.plan = make_plan(tree, "concurrent", verify=verify)
         self._evaluated = False
 
     # ------------------------------------------------------------------
@@ -140,7 +170,9 @@ class IncrementalLikelihood:
         node.length = float(length)
         matrix_index = self.tree.index_of(node)
         self.instance.update_transition_matrices(0, [matrix_index], [length])
-        for op_set in incremental_operation_sets(self.tree, [node]):
+        for op_set in incremental_operation_sets(
+            self.tree, [node], verify=self.verify
+        ):
             self.instance.update_partials_set(op_set)
         return self.instance.calculate_root_log_likelihood(self.plan.root_buffer)
 

@@ -10,8 +10,8 @@ through the plan and returns the log-likelihood.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -83,6 +83,7 @@ def make_plan(
     mode: str = "concurrent",
     *,
     scaling: bool = False,
+    verify: bool = False,
 ) -> ExecutionPlan:
     """Build an :class:`ExecutionPlan` for a bifurcating tree.
 
@@ -95,6 +96,11 @@ def make_plan(
         height-grouped batching (scheduling ablation).
     scaling:
         Enable per-operation rescaling (manual-scaling style).
+    verify:
+        Run the static analyzer (:func:`repro.analysis.verify_plan`) on
+        the finished plan and raise
+        :class:`repro.analysis.PlanVerificationError` if it finds any
+        buffer hazard — a guard rail for schedule-generation changes.
     """
     if not tree.is_bifurcating():
         raise ValueError("execution plans require a bifurcating tree")
@@ -111,7 +117,7 @@ def make_plan(
     else:
         raise ValueError(f"unknown mode {mode!r}")
     indices, lengths = matrix_updates(tree)
-    return ExecutionPlan(
+    plan = ExecutionPlan(
         tree=tree,
         operation_sets=sets,
         matrix_indices=indices,
@@ -120,6 +126,12 @@ def make_plan(
         scaling=scaling,
         mode=mode,
     )
+    if verify:
+        # Imported lazily: repro.analysis depends on this module.
+        from ..analysis.verifier import verify_plan
+
+        verify_plan(plan).raise_if_errors()
+    return plan
 
 
 def create_instance(

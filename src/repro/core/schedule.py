@@ -18,7 +18,7 @@ scaling is on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List
 
 from ..beagle.operations import Operation
 from ..trees import Tree

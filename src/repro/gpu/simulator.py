@@ -11,9 +11,7 @@ every simulated number corresponds to an actually computed likelihood.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-from ..core.opsets import count_operation_sets
 from ..core.planner import ExecutionPlan, make_plan
 from ..trees import Tree
 from .device import GP100, DeviceSpec

@@ -15,7 +15,7 @@ branch) and reading the posterior off the root partials.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

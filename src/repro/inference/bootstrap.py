@@ -11,7 +11,7 @@ likelihood-based support.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Iterator, List
 
 import numpy as np
 

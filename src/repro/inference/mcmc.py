@@ -13,7 +13,7 @@ evaluation, and concurrent evaluation with a rerooted starting tree.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

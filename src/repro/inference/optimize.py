@@ -12,7 +12,6 @@ wall-clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from scipy.optimize import minimize_scalar
 

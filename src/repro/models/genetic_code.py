@@ -9,7 +9,7 @@ position, and whether a one-step substitution is synonymous.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..data.alphabet import Alphabet
 

@@ -12,7 +12,7 @@ maximise concurrency (§V).
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -54,6 +54,10 @@ class PartitionedLikelihood:
     reroot:
         ``"none"`` or ``"fast"`` — reroot once for all partitions (the
         tree is shared, so one rerooting benefits every subset).
+    verify:
+        Statically verify the shared plan (:mod:`repro.analysis`) before
+        any partition executes it; one verification covers all
+        partitions because the schedule depends only on the tree.
     """
 
     def __init__(
@@ -64,6 +68,7 @@ class PartitionedLikelihood:
         scaling: bool = False,
         mode: str = "concurrent",
         reroot: str = "none",
+        verify: bool = False,
     ) -> None:
         if reroot == "fast":
             tree = optimal_reroot_fast(tree).tree
@@ -73,8 +78,11 @@ class PartitionedLikelihood:
         self.dataset = dataset
         self.mode = mode
         self.scaling = scaling
+        self.verify = verify
         # One plan: the schedule depends only on the tree, not the data.
-        self.plan: ExecutionPlan = make_plan(tree, mode, scaling=scaling)
+        self.plan: ExecutionPlan = make_plan(
+            tree, mode, scaling=scaling, verify=verify
+        )
         self._instances: Optional[List[BeagleInstance]] = None
 
     # ------------------------------------------------------------------
@@ -172,7 +180,11 @@ class PartitionedLikelihood:
         drives, so partitioned analyses can be sampled directly.
         """
         return PartitionedLikelihood(
-            tree, self.dataset, scaling=self.scaling, mode=self.mode
+            tree,
+            self.dataset,
+            scaling=self.scaling,
+            mode=self.mode,
+            verify=self.verify,
         )
 
     def modelled_seconds(self, spec: DeviceSpec = GP100) -> float:

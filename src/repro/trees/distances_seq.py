@@ -20,7 +20,7 @@ canonical state) are excluded pairwise.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

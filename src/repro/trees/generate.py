@@ -25,7 +25,7 @@ benchmark is reproducible from a ``--seed`` value, as in Table II.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 

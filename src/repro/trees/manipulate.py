@@ -9,7 +9,7 @@ never mutated — the same no-undo discipline as the proposal moves.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from .node import Node
 from .tree import Tree

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .node import Node
 from .tree import Tree
 from .traversal import node_depths, node_heights
 

@@ -9,7 +9,7 @@ overflow the recursion limit.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .node import Node
 from .tree import Tree

@@ -19,7 +19,7 @@ is resolved with a zero-length branch, which is likelihood-neutral).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ library. The root always receives the highest index of its subtree ordering.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .node import Node
 

@@ -1,0 +1,85 @@
+"""Schedule auditor: launch counts versus the paper's lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ScheduleAudit, audit_plan, audit_tree
+from repro.core import make_plan, optimal_reroot_fast
+from repro.trees import balanced_tree, pectinate_tree, random_attachment_tree
+
+
+class TestBalanced:
+    def test_concurrent_plan_is_globally_optimal(self):
+        plan = make_plan(balanced_tree(8, branch_length=0.1), "concurrent")
+        audit = audit_plan(plan)
+        assert audit.n_operations == 7
+        assert audit.n_sets == 3
+        assert audit.rooting_bound == 3
+        assert audit.reroot_bound == 3
+        assert audit.optimal_for_rooting and audit.globally_optimal
+        assert audit.concurrency_speedup == pytest.approx(7 / 3)
+        assert "globally optimal" in audit.format()
+
+    def test_serial_plan_shows_grouping_gap(self):
+        plan = make_plan(balanced_tree(8, branch_length=0.1), "serial")
+        audit = audit_plan(plan)
+        assert audit.n_sets == 7 == audit.serial_sets
+        assert audit.gap_vs_rooting == 4
+        assert not audit.optimal_for_rooting
+        assert "suboptimal grouping" in audit.format()
+
+
+class TestPectinate:
+    """The paper's motivating case: optimal for the rooting, far from
+    the reroot bound."""
+
+    def test_rerooting_gap(self):
+        plan = make_plan(pectinate_tree(8, branch_length=0.1), "concurrent")
+        audit = audit_plan(plan)
+        assert audit.n_sets == 7
+        assert audit.rooting_bound == 7  # caterpillar height
+        assert audit.reroot_bound == 4  # ceil(n/2) after rerooting
+        assert audit.optimal_for_rooting
+        assert not audit.globally_optimal
+        assert audit.gap_vs_reroot == 3
+        assert "rerooting would save 3 launch(es)" in audit.format()
+
+    def test_rerooting_closes_the_gap(self):
+        tree = pectinate_tree(8, branch_length=0.1)
+        before = audit_plan(make_plan(tree, "concurrent"))
+        rerooted = optimal_reroot_fast(tree).tree
+        after = audit_plan(make_plan(rerooted, "concurrent"))
+        assert after.n_sets == before.reroot_bound
+        assert after.globally_optimal
+        # The bound is a property of the unrooted topology: unchanged.
+        assert after.reroot_bound == before.reroot_bound
+
+
+class TestAuditTree:
+    def test_matches_audit_plan(self):
+        tree = random_attachment_tree(12, 3, random_lengths=True)
+        plan = make_plan(tree, "level")
+        assert audit_tree(tree, plan.n_launches, plan.n_operations) == \
+            audit_plan(plan)
+
+    def test_reroot_bound_never_exceeds_rooting_bound(self):
+        for seed in range(5):
+            tree = random_attachment_tree(15, seed, random_lengths=True)
+            audit = audit_plan(make_plan(tree, "level"))
+            assert audit.reroot_bound <= audit.rooting_bound
+            assert audit.rooting_bound <= audit.n_sets
+
+
+class TestScheduleAudit:
+    def test_zero_sets_speedup_degenerate(self):
+        audit = ScheduleAudit(
+            n_operations=0, n_sets=0, rooting_bound=0, reroot_bound=0
+        )
+        assert audit.concurrency_speedup == 1.0
+
+    def test_format_optimal_for_rooting_verdict(self):
+        audit = ScheduleAudit(
+            n_operations=7, n_sets=7, rooting_bound=7, reroot_bound=4
+        )
+        assert "optimal for this rooting" in audit.format()

@@ -1,0 +1,98 @@
+"""Exit codes and output of ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import io
+
+from repro.analysis.cli import build_parser, run
+
+
+def invoke(argv):
+    out = io.StringIO()
+    code = run(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestLint:
+    def test_clean_plan_exits_zero(self):
+        code, text = invoke(["--taxa", "8"])
+        assert code == 0
+        assert "8 tips" in text
+        assert "plan verifies clean" in text
+
+    def test_quiet_and_no_audit(self):
+        code, text = invoke(["--taxa", "8", "-q", "--no-audit"])
+        assert code == 0
+        assert "lower bound" not in text
+
+    def test_audit_reports_bounds(self):
+        code, text = invoke(["--taxa", "8", "--pectinate"])
+        assert code == 0
+        assert "rooting lower bound:   7" in text
+        assert "reroot lower bound:    4" in text
+
+    def test_reroot_closes_the_gap(self):
+        code, text = invoke(["--taxa", "8", "--pectinate", "--reroot"])
+        assert code == 0
+        assert "globally optimal" in text
+
+    def test_all_modes_and_scaling(self):
+        for mode in ("serial", "concurrent", "level"):
+            code, _ = invoke(["--taxa", "6", "--mode", mode, "--manualscale"])
+            assert code == 0
+
+    def test_randomtree(self):
+        code, _ = invoke(["--taxa", "10", "--randomtree", "--seed", "7"])
+        assert code == 0
+
+
+class TestNewickSource:
+    def test_newick_file(self, tmp_path):
+        path = tmp_path / "tree.nwk"
+        path.write_text("((A:0.1,B:0.2):0.3,(C:0.1,D:0.4):0.2);")
+        code, text = invoke(["--newick", str(path)])
+        assert code == 0
+        assert "4 tips" in text
+
+    def test_multifurcating_newick_is_resolved(self, tmp_path):
+        path = tmp_path / "star.nwk"
+        path.write_text("(A:0.1,B:0.2,C:0.3,D:0.4);")
+        code, _ = invoke(["--newick", str(path)])
+        assert code == 0
+
+    def test_missing_file_is_usage_error(self):
+        code, text = invoke(["--newick", "/nonexistent/tree.nwk"])
+        assert code == 2
+        assert "error:" in text
+
+    def test_garbage_newick_is_usage_error(self, tmp_path):
+        path = tmp_path / "bad.nwk"
+        path.write_text("this is not a tree")
+        code, text = invoke(["--newick", str(path)])
+        assert code == 2
+        assert "error:" in text
+
+
+class TestUsageErrors:
+    def test_exclusive_topology_flags(self):
+        code, text = invoke(["--pectinate", "--randomtree"])
+        assert code == 2
+        assert "exclusive" in text
+
+    def test_taxa_too_small(self):
+        code, _ = invoke(["--taxa", "1"])
+        assert code == 2
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.mode == "concurrent"
+        assert args.taxa == 16
+        assert not args.self_check
+
+
+class TestSelfCheck:
+    def test_passes_on_small_trio(self):
+        code, text = invoke(["--self-check", "--taxa", "8"])
+        assert code == 0
+        assert "18 plans verified" in text
+        assert "self-check passed" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the diagnostics model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    PlanVerificationError,
+    Severity,
+)
+
+
+def diag(code="read-before-write", severity=Severity.ERROR, **kw):
+    return Diagnostic(code=code, severity=severity, message="msg", **kw)
+
+
+class TestDiagnostic:
+    def test_format_has_code_and_severity(self):
+        d = diag(set_index=2, op_index=5, hint="do the thing")
+        text = d.format()
+        assert "error[read-before-write]" in text
+        assert "set 2" in text and "op 5" in text
+        assert "do the thing" in text
+
+    def test_format_without_coordinates(self):
+        assert diag().format().startswith("error[read-before-write]: msg")
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            diag().code = "other"
+
+
+class TestAnalysisReport:
+    def test_empty_is_clean_and_ok(self):
+        report = AnalysisReport()
+        assert report.clean and report.ok
+        assert report.format() == "no diagnostics"
+        assert report.raise_if_errors() is report
+
+    def test_warnings_do_not_fail(self):
+        report = AnalysisReport([diag(severity=Severity.WARNING)])
+        assert report.ok and not report.clean
+        assert len(report.warnings) == 1
+        report.raise_if_errors()  # no raise
+
+    def test_errors_fail(self):
+        report = AnalysisReport([diag(), diag(severity=Severity.WARNING)])
+        assert not report.ok
+        assert len(report.errors) == 1
+        with pytest.raises(PlanVerificationError):
+            report.raise_if_errors()
+
+    def test_error_is_value_error(self):
+        # Pre-analyzer call sites catch ValueError; the contract holds.
+        with pytest.raises(ValueError):
+            AnalysisReport([diag()]).raise_if_errors()
+
+    def test_codes_histogram(self):
+        report = AnalysisReport([diag(), diag(), diag(code="dead-write")])
+        assert report.codes() == {"read-before-write": 2, "dead-write": 1}
+        assert report.has_code("dead-write")
+        assert len(report.by_code("read-before-write")) == 2
+
+    def test_error_carries_diagnostics(self):
+        try:
+            AnalysisReport([diag(op_index=3)]).raise_if_errors()
+        except PlanVerificationError as exc:
+            assert exc.diagnostics[0].op_index == 3
+        else:  # pragma: no cover
+            pytest.fail("expected PlanVerificationError")

@@ -1,0 +1,95 @@
+"""Mutation-testing the analyzer: every corruption class must be caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    MUTATION_KINDS,
+    mutate_plan,
+    seed_mutations,
+    verify_plan,
+)
+from repro.core import make_plan
+from repro.trees import balanced_tree, pectinate_tree, random_attachment_tree
+
+
+def plans():
+    out = []
+    for tree in (
+        balanced_tree(8, branch_length=0.1),
+        pectinate_tree(8, branch_length=0.1),
+        random_attachment_tree(11, 4, random_lengths=True),
+    ):
+        for mode in ("serial", "concurrent", "level"):
+            for scaling in (False, True):
+                out.append(make_plan(tree, mode, scaling=scaling))
+    return out
+
+
+@pytest.mark.parametrize(
+    "plan", plans(), ids=lambda p: f"{p.tree.n_tips}t-{p.mode}-"
+    f"{'scale' if p.scaling else 'noscale'}"
+)
+def test_every_seeded_mutation_is_flagged(plan):
+    assert verify_plan(plan).clean
+    mutations = seed_mutations(plan)
+    assert mutations  # the seeder always finds applicable corruptions
+    for mutation in mutations:
+        report = verify_plan(mutation.plan)
+        flagged = {d.code for d in report.errors} & mutation.expect_codes
+        assert flagged, (
+            f"mutation {mutation.kind!r} ({mutation.description}) "
+            f"survived verification: {report.format()}"
+        )
+
+
+class TestSeeder:
+    def test_original_plan_is_untouched(self):
+        plan = make_plan(balanced_tree(8, branch_length=0.1), "concurrent")
+        before = [list(s) for s in plan.operation_sets]
+        seed_mutations(plan)
+        assert [list(s) for s in plan.operation_sets] == before
+        assert verify_plan(plan).clean
+
+    def test_scale_mutations_need_scaling(self):
+        plan = make_plan(balanced_tree(8, branch_length=0.1), "concurrent")
+        kinds = {m.kind for m in seed_mutations(plan)}
+        assert "cumulative-scale-write" not in kinds
+        assert "alias-scale" not in kinds
+        scaled = make_plan(
+            balanced_tree(8, branch_length=0.1), "concurrent", scaling=True
+        )
+        scaled_kinds = {m.kind for m in seed_mutations(scaled)}
+        assert {"cumulative-scale-write", "alias-scale"} <= scaled_kinds
+
+    def test_all_kinds_applicable_on_scaled_plan(self):
+        plan = make_plan(
+            pectinate_tree(8, branch_length=0.1), "concurrent", scaling=True
+        )
+        assert {m.kind for m in seed_mutations(plan)} == set(MUTATION_KINDS)
+
+
+class TestMutatePlan:
+    def test_single_kind(self):
+        plan = make_plan(balanced_tree(8, branch_length=0.1), "concurrent")
+        mutation = mutate_plan(plan, "tip-overwrite")
+        assert mutation is not None and mutation.kind == "tip-overwrite"
+        assert verify_plan(mutation.plan).has_code("tip-overwrite")
+
+    def test_unknown_kind(self):
+        plan = make_plan(balanced_tree(4, branch_length=0.1), "serial")
+        with pytest.raises(ValueError, match="unknown mutation kind"):
+            mutate_plan(plan, "frobnicate")
+
+    def test_inapplicable_kind_returns_none(self):
+        plan = make_plan(balanced_tree(4, branch_length=0.1), "serial")
+        assert mutate_plan(plan, "alias-scale") is None
+
+    def test_swap_across_sets_targets_a_real_dependency(self):
+        plan = make_plan(pectinate_tree(8, branch_length=0.1), "concurrent")
+        mutation = mutate_plan(plan, "swap-across-sets")
+        assert mutation is not None
+        report = verify_plan(mutation.plan)
+        assert not report.ok
+        assert {d.code for d in report.errors} & mutation.expect_codes

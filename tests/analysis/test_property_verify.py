@@ -1,0 +1,97 @@
+"""Hypothesis properties: planners never emit a plan the verifier
+rejects, and the verifier never passes a seeded corruption."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    MUTATION_KINDS,
+    BufferConfig,
+    audit_plan,
+    mutate_plan,
+    seed_mutations,
+    verify_operation_sets,
+    verify_plan,
+)
+from repro.core import incremental_operation_sets, make_plan
+from tests.strategies import tree_strategy
+
+MODES = ("serial", "concurrent", "level")
+
+
+@given(
+    tree_strategy(min_tips=3, max_tips=24),
+    st.sampled_from(MODES),
+    st.booleans(),
+)
+def test_planner_output_always_verifies_clean(tree, mode, scaling):
+    plan = make_plan(tree, mode, scaling=scaling)
+    report = verify_plan(plan)
+    assert report.clean, report.format()
+
+
+@given(tree_strategy(min_tips=3, max_tips=24), st.sampled_from(MODES))
+def test_launch_count_respects_the_bounds(tree, mode):
+    audit = audit_plan(make_plan(tree, mode))
+    assert audit.reroot_bound <= audit.rooting_bound <= audit.n_sets
+    assert audit.n_sets <= audit.serial_sets
+    if mode == "level":
+        # Height grouping achieves the per-rooting lower bound exactly.
+        assert audit.optimal_for_rooting
+
+
+@settings(max_examples=25)
+@given(
+    tree_strategy(min_tips=4, max_tips=20),
+    st.sampled_from(MODES),
+    st.sampled_from(MUTATION_KINDS),
+    st.booleans(),
+)
+def test_no_seeded_mutation_survives(tree, mode, kind, scaling):
+    plan = make_plan(tree, mode, scaling=scaling)
+    mutation = mutate_plan(plan, kind)
+    if mutation is None:  # corruption class not applicable to this plan
+        return
+    report = verify_plan(mutation.plan)
+    flagged = {d.code for d in report.errors} & mutation.expect_codes
+    assert flagged, (
+        f"{mutation.kind}: {mutation.description} survived; "
+        f"analyzer said: {report.format()}"
+    )
+
+
+@settings(max_examples=25)
+@given(tree_strategy(min_tips=4, max_tips=20))
+def test_seeder_covers_core_kinds(tree):
+    plan = make_plan(tree, "concurrent", scaling=True)
+    kinds = {m.kind for m in seed_mutations(plan)}
+    # Classes applicable to every scaled multi-operation plan.
+    assert {
+        "alias-destination",
+        "drop-operation",
+        "drop-matrix-update",
+        "tip-overwrite",
+        "out-of-range",
+        "cumulative-scale-write",
+    } <= kinds
+
+
+@settings(max_examples=25)
+@given(tree_strategy(min_tips=3, max_tips=24), st.integers(0, 10**6))
+def test_incremental_dirty_paths_verify(tree, pick):
+    edges = tree.edges()
+    changed = [edges[pick % len(edges)]]
+    sets = incremental_operation_sets(tree, changed, verify=True)
+    # verify=True raised on any hazard; re-check the contract manually.
+    config = BufferConfig.for_tree(tree)
+    recomputed = {op.destination for s in sets for op in s}
+    clean = set(range(tree.n_tips, config.n_buffers)) - recomputed
+    report = verify_operation_sets(
+        sets,
+        config,
+        assume_valid=clean,
+        root_buffer=tree.index_of(tree.root),
+    )
+    assert report.clean, report.format()

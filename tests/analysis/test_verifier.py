@@ -1,0 +1,175 @@
+"""Whole-plan verification across every planner in the library."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import (
+    BufferConfig,
+    PlanVerificationError,
+    verify_instance_compat,
+    verify_operation_sets,
+    verify_plan,
+)
+from repro.core import incremental_operation_sets, make_plan
+from repro.core.planner import create_instance
+from repro.data import compress, simulate_alignment
+from repro.models import JC69
+from repro.partition import PartitionedLikelihood, partition_by_ranges
+from repro.trees import (
+    balanced_tree,
+    parse_newick,
+    pectinate_tree,
+    random_attachment_tree,
+)
+
+MODES = ("serial", "concurrent", "level")
+
+
+def trees():
+    return [
+        balanced_tree(8, branch_length=0.1),
+        pectinate_tree(9, branch_length=0.1),
+        random_attachment_tree(13, 5, random_lengths=True),
+        parse_newick("((A:0.1,B:0.2):0.3,(C:0.1,D:0.4):0.2);"),
+    ]
+
+
+class TestPlannerPlansVerifyClean:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("scaling", [False, True])
+    def test_all_modes_and_topologies(self, mode, scaling):
+        for tree in trees():
+            plan = make_plan(tree, mode, scaling=scaling)
+            report = verify_plan(plan)
+            assert report.clean, report.format()
+
+    def test_instance_layout_matches(self):
+        tree = balanced_tree(8, branch_length=0.1)
+        plan = make_plan(tree, "concurrent")
+        aln = simulate_alignment(tree, JC69(), 40, seed=3)
+        instance = create_instance(tree, JC69(), compress(aln))
+        assert verify_instance_compat(plan, instance).clean
+
+    def test_config_and_instance_are_exclusive(self):
+        tree = balanced_tree(4, branch_length=0.1)
+        plan = make_plan(tree, "serial")
+        aln = simulate_alignment(tree, JC69(), 20, seed=3)
+        instance = create_instance(tree, JC69(), compress(aln))
+        with pytest.raises(ValueError):
+            verify_plan(
+                plan,
+                config=BufferConfig.for_tree(tree),
+                instance=instance,
+            )
+
+    def test_undersized_instance_is_flagged(self):
+        # A plan for a 9-tip tree checked against an 8-tip layout must
+        # produce out-of-range reads, not pass silently.
+        plan = make_plan(pectinate_tree(9, branch_length=0.1), "concurrent")
+        small = BufferConfig.for_tree(balanced_tree(8, branch_length=0.1))
+        report = verify_plan(plan, config=small)
+        assert report.has_code("index-out-of-range")
+
+
+class TestVerifyFlag:
+    def test_make_plan_verify_true_passes(self):
+        plan = make_plan(
+            balanced_tree(8, branch_length=0.1), "concurrent", verify=True
+        )
+        assert plan.n_launches == 3
+
+    def test_partitioned_likelihood_verifies(self):
+        tree = random_attachment_tree(10, 7, random_lengths=True)
+        aln = simulate_alignment(tree, JC69(), 60, seed=11)
+        dataset = partition_by_ranges(
+            aln, [(0, 30), (30, 60)], [JC69(), JC69()]
+        )
+        pl = PartitionedLikelihood(tree, dataset, verify=True)
+        assert pl.verify
+        rerooted = pl.with_tree(pl.tree)
+        assert rerooted.verify
+
+
+class TestPlanStructure:
+    def test_negative_branch_length(self):
+        plan = make_plan(balanced_tree(4, branch_length=0.1), "serial")
+        broken = replace(
+            plan, branch_lengths=[-1.0] + list(plan.branch_lengths)[1:]
+        )
+        report = verify_plan(broken)
+        assert report.has_code("invalid-branch-length")
+
+    def test_matrix_update_shape(self):
+        plan = make_plan(balanced_tree(4, branch_length=0.1), "serial")
+        broken = replace(plan, branch_lengths=list(plan.branch_lengths)[:-1])
+        assert verify_plan(broken).has_code("matrix-update-shape")
+
+    def test_empty_plan_reports_structure(self):
+        plan = make_plan(balanced_tree(4, branch_length=0.1), "serial")
+        broken = replace(plan, operation_sets=[])
+        report = verify_plan(broken)
+        assert report.has_code("root-not-written")
+        assert report.has_code("operation-count")
+
+    def test_missing_scale_write_is_warning(self):
+        plan = make_plan(
+            balanced_tree(4, branch_length=0.1), "serial", scaling=True
+        )
+        stripped = [
+            [replace(op, destination_scale=-1) for op in op_set]
+            for op_set in plan.operation_sets
+        ]
+        report = verify_plan(replace(plan, operation_sets=stripped))
+        assert report.ok  # warning only
+        assert report.has_code("missing-scale-write")
+
+
+class TestIncrementalVerification:
+    def test_dirty_path_sets_verify(self):
+        tree = pectinate_tree(10, branch_length=0.1)
+        edge = tree.edges()[4]
+        sets = incremental_operation_sets(tree, [edge], verify=True)
+        assert sets  # a real dirty path exists
+
+    def test_manual_equivalent_of_incremental_contract(self):
+        tree = balanced_tree(8, branch_length=0.1)
+        tip = tree.tips()[0]
+        sets = incremental_operation_sets(tree, [tip])
+        config = BufferConfig.for_tree(tree)
+        recomputed = {op.destination for s in sets for op in s}
+        clean = set(range(tree.n_tips, config.n_buffers)) - recomputed
+        report = verify_operation_sets(
+            sets,
+            config,
+            assume_valid=clean,
+            root_buffer=tree.index_of(tree.root),
+        )
+        assert report.clean, report.format()
+        # Without the liveness assumption the same schedule is rejected:
+        # it reads partials it never computes.
+        bare = verify_operation_sets(
+            sets, config, root_buffer=tree.index_of(tree.root)
+        )
+        assert bare.has_code("read-before-write")
+
+    def test_verify_raises_on_corrupted_dirty_path(self):
+        tree = pectinate_tree(8, branch_length=0.1)
+        tip = tree.tips()[0]
+        sets = incremental_operation_sets(tree, [tip])
+        config = BufferConfig.for_tree(tree)
+        recomputed = {op.destination for s in sets for op in s}
+        clean = set(range(tree.n_tips, config.n_buffers)) - recomputed
+        reordered = list(reversed(sets))
+        report = verify_operation_sets(
+            reordered,
+            config,
+            assume_valid=clean,
+            root_buffer=tree.index_of(tree.root),
+        )
+        if len(sets) > 1:
+            assert not report.ok
+            with pytest.raises(PlanVerificationError):
+                report.raise_if_errors()
