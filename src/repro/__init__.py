@@ -23,6 +23,9 @@ Subpackages
 ``repro.gpu``
     Simulated GPU device model (launch overhead + wave-quantised
     saturation) standing in for the paper's Quadro GP100.
+``repro.exec``
+    Resilient execution: seeded fault injection, retry/degrade/rescale
+    policies, checkpointed MCMC.
 ``repro.inference``
     TreeLikelihood facade, branch-length optimisation, Metropolis MCMC.
 ``repro.bench``
@@ -66,6 +69,19 @@ from .core import (
     speedup_pectinate_rerooted,
     tree_theoretical_speedup,
 )
+from .errors import ParseError
+from .exec import (
+    AllocationError,
+    DeviceFault,
+    ExecutionError,
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    MCMCCheckpoint,
+    NumericalError,
+    ResilientInstance,
+    RetryPolicy,
+)
 from .gpu import GP100, DeviceSpec, SimulatedDevice, simulated_speedup
 from .inference import TreeLikelihood, optimize_branch_lengths, run_mcmc
 
@@ -101,6 +117,17 @@ __all__ = [
     "speedup_pectinate_rerooted",
     "rerooted_speedup_interval",
     "tree_theoretical_speedup",
+    "ParseError",
+    "ExecutionError",
+    "DeviceFault",
+    "AllocationError",
+    "NumericalError",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
+    "FaultStats",
+    "ResilientInstance",
+    "MCMCCheckpoint",
     "DeviceSpec",
     "GP100",
     "SimulatedDevice",

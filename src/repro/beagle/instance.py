@@ -292,6 +292,23 @@ class BeagleInstance:
         """Mark every internal buffer as not-yet-computed."""
         self._partials_valid[:] = False
 
+    def enable_scaling(self, count: int) -> None:
+        """Grow the scale bank to at least ``count`` buffers.
+
+        Rescaling escalation (:class:`repro.exec.resilient.ResilientInstance`)
+        upgrades an instance created without scale buffers when underflow
+        is detected mid-run; existing buffers keep their contents so the
+        call is idempotent and safe between evaluations.
+        """
+        if count < 0:
+            raise ValueError("scale buffer count must be non-negative")
+        if count <= self.scale.count:
+            return
+        bank = ScaleBufferBank(count, self.pattern_count)
+        if self.scale.count:
+            bank._logs[: self.scale.count] = self.scale._logs
+        self.scale = bank
+
     # ------------------------------------------------------------------
     # Core execution (beagleUpdatePartials)
     # ------------------------------------------------------------------

@@ -80,26 +80,68 @@ def pruning_log_likelihood(
     model: SubstitutionModel,
     patterns: PatternData,
     rates: Optional[RateCategories] = None,
+    *,
+    rescaled: bool = False,
 ) -> float:
-    """Plain Felsenstein pruning, independent of the buffer engine."""
+    """Plain Felsenstein pruning, independent of the buffer engine.
+
+    With ``rescaled=True`` every internal node's partials are divided by
+    their per-pattern maximum and the logs accumulated separately, so the
+    oracle stays finite on trees deep enough to underflow ``float64``
+    (the regime the engine needs scale buffers for). The two paths share
+    the same arithmetic; ``rescaled=True`` only re-normalises.
+    """
     rates = rates or single_rate()
     tips = _tip_partial_lookup(patterns)
     pi = model.frequencies
     n_patterns = patterns.n_patterns
 
-    site_likelihood = np.zeros(n_patterns)
+    if not rescaled:
+        site_likelihood = np.zeros(n_patterns)
+        for rate, weight in zip(rates.rates, rates.probabilities):
+            partials: Dict[int, np.ndarray] = {}
+            for node in tree.root.traverse_postorder():
+                if node.is_tip:
+                    partials[id(node)] = tips[node.name]
+                    continue
+                value = np.ones((n_patterns, model.n_states))
+                for child in node.children:
+                    P = model.transition_matrix(rate * child.length)
+                    value = value * (partials[id(child)] @ P.T)
+                partials[id(node)] = value
+            site_likelihood += weight * (partials[id(tree.root)] @ pi)
+
+        with np.errstate(divide="ignore"):
+            return float(np.dot(patterns.weights, np.log(site_likelihood)))
+
+    # Rescaled path: per-pattern log site likelihoods per category,
+    # combined with logaddexp so no intermediate ever leaves log space.
+    log_site_by_category = []
     for rate, weight in zip(rates.rates, rates.probabilities):
-        partials: Dict[int, np.ndarray] = {}
+        partials = {}
+        log_scale: Dict[int, np.ndarray] = {}
         for node in tree.root.traverse_postorder():
             if node.is_tip:
                 partials[id(node)] = tips[node.name]
+                log_scale[id(node)] = np.zeros(n_patterns)
                 continue
             value = np.ones((n_patterns, model.n_states))
+            scale = np.zeros(n_patterns)
             for child in node.children:
                 P = model.transition_matrix(rate * child.length)
                 value = value * (partials[id(child)] @ P.T)
+                scale = scale + log_scale[id(child)]
+            factors = value.max(axis=1)
+            nonzero = factors > 0.0
+            value[nonzero] /= factors[nonzero, None]
+            with np.errstate(divide="ignore"):
+                scale = scale + np.where(nonzero, np.log(factors), -np.inf)
             partials[id(node)] = value
-        site_likelihood += weight * (partials[id(tree.root)] @ pi)
-
-    with np.errstate(divide="ignore"):
-        return float(np.dot(patterns.weights, np.log(site_likelihood)))
+            log_scale[id(node)] = scale
+        root = tree.root
+        with np.errstate(divide="ignore"):
+            log_site_by_category.append(
+                np.log(weight) + np.log(partials[id(root)] @ pi) + log_scale[id(root)]
+            )
+    log_site = np.logaddexp.reduce(np.stack(log_site_by_category), axis=0)
+    return float(np.dot(patterns.weights, log_site))

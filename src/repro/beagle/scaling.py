@@ -36,14 +36,34 @@ class ScaleBufferBank:
     def count(self) -> int:
         return int(self._logs.shape[0])
 
+    @property
+    def n_patterns(self) -> int:
+        return int(self._logs.shape[1])
+
     def _check(self, index: int) -> None:
         if not 0 <= index < self.count:
             raise IndexError(f"scale buffer {index} out of range [0, {self.count})")
 
     def write(self, index: int, log_factors: np.ndarray) -> None:
-        """Overwrite one buffer with fresh per-pattern log factors."""
+        """Overwrite one buffer with fresh per-pattern log factors.
+
+        Raises
+        ------
+        ValueError
+            If ``log_factors`` is not exactly one log factor per pattern.
+            NumPy assignment would otherwise silently *broadcast* a
+            wrong-shaped array — a scalar, a short vector of a
+            compatible length-1 axis, or a ``(k, n_patterns)`` block —
+            corrupting every accumulated likelihood downstream.
+        """
         self._check(index)
-        self._logs[index] = log_factors
+        arr = np.asarray(log_factors, dtype=np.float64)
+        if arr.shape != (self.n_patterns,):
+            raise ValueError(
+                f"log factors must have shape ({self.n_patterns},) — one "
+                f"per pattern — got {arr.shape}"
+            )
+        self._logs[index] = arr
 
     def read(self, index: int) -> np.ndarray:
         """Log factors of one buffer (copy)."""

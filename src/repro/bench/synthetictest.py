@@ -22,6 +22,7 @@ Resources (``--rsrc``):
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import List, Optional
@@ -37,6 +38,13 @@ from ..core import (
     tree_theoretical_speedup,
 )
 from ..data import random_patterns
+from ..exec import (
+    ExecutionError,
+    FaultInjector,
+    FaultSpec,
+    ResilientInstance,
+    RetryPolicy,
+)
 from ..gpu import GP100, SimulatedDevice, WorkloadDims
 from ..models import random_gtr
 from ..trees import tree_height
@@ -132,7 +140,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="statically verify the plan (repro.analysis) before running "
         "and fail on any buffer hazard",
     )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject deterministic faults into P of launch attempts "
+        "(seeded chaos run; see repro.exec)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault-injection stream (independent of --seed)",
+    )
+    parser.add_argument(
+        "--resilience",
+        choices=("none", "retry", "degrade", "full"),
+        default="none",
+        help="recovery policy: none = fail fast, retry = per-launch "
+        "retries, degrade = retries + batched-to-per-op fallback, "
+        "full = retries + degradation + rescaling escalation",
+    )
     return parser
+
+
+def _resilience_policy(name: str) -> Optional[RetryPolicy]:
+    """Map the --resilience choice onto a RetryPolicy."""
+    if name == "none":
+        return None
+    if name == "retry":
+        return RetryPolicy(degrade=False, rescale=False)
+    if name == "degrade":
+        return RetryPolicy(rescale=False)
+    return RetryPolicy()
 
 
 def run(argv: Optional[List[str]] = None, out=None) -> int:
@@ -156,6 +197,12 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
         return 2
     if args.streams and args.rsrc != 1:
         print("error: --streams requires --rsrc 1 (device model)", file=out)
+        return 2
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print("error: --fault-rate must be within [0, 1]", file=out)
+        return 2
+    if args.resilience != "none" and args.fault_rate <= 0.0:
+        print("error: --resilience needs a positive --fault-rate", file=out)
         return 2
 
     topology = "pectinate" if args.pectinate else (
@@ -213,6 +260,11 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     loglik = execute_plan(instance, plan)
     print(f"logL: {loglik:.6f}", file=out)
 
+    if args.fault_rate > 0.0:
+        status = _run_with_faults(args, instance, plan, loglik, out)
+        if status != 0:
+            return status
+
     if args.partitions > 1:
         _report_partitions(args, tree, mode, scaling, out)
 
@@ -267,6 +319,62 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
                     f"{launch.n_waves:3d} waves, {launch.seconds * 1e6:7.2f} us",
                     file=out,
                 )
+        if args.fault_rate > 0.0 and args.resilience != "none":
+            spec = FaultSpec(rate=args.fault_rate, seed=args.fault_seed)
+            r_timing, r_stats = device.time_plan_resilient(
+                plan, dims, spec, _resilience_policy(args.resilience)
+            )
+            print(
+                f"modelled resilient time: {r_timing.seconds * 1e6:.2f} us "
+                f"({r_timing.n_launches} launches incl. retries, "
+                f"overhead {r_timing.seconds / timing.seconds - 1:+.1%})",
+                file=out,
+            )
+            print(f"modelled {r_stats.format()}", file=out)
+    return 0
+
+
+def _run_with_faults(args, instance, plan, reference_loglik, out) -> int:
+    """Re-run the evaluation under injected faults; verify recovery.
+
+    The fault-free likelihood is the oracle: a recovered run must
+    reproduce it (retries recompute the same arithmetic, so agreement is
+    expected to the last bit; the check allows rounding slack for the
+    degraded/rescued paths, which batch differently).
+    """
+    spec = FaultSpec(rate=args.fault_rate, seed=args.fault_seed)
+    engine = FaultInjector(instance, spec)
+    policy = _resilience_policy(args.resilience)
+    resilient = None
+    if policy is not None:
+        engine = resilient = ResilientInstance(engine, policy)
+    try:
+        if resilient is not None:
+            fault_loglik = resilient.execute(plan)
+        else:
+            fault_loglik = execute_plan(engine, plan)
+    except ExecutionError as exc:
+        print(
+            f"fault run failed: {type(exc).__name__}: {exc} "
+            f"(resilience={args.resilience})",
+            file=out,
+        )
+        return 1
+    print(
+        f"logL under faults: {fault_loglik:.6f} "
+        f"(rate={args.fault_rate}, fault-seed={args.fault_seed}, "
+        f"resilience={args.resilience})",
+        file=out,
+    )
+    if resilient is not None:
+        print(resilient.fault_stats.format(), file=out)
+    if not math.isclose(fault_loglik, reference_loglik, rel_tol=1e-9, abs_tol=1e-9):
+        print(
+            f"error: recovered logL {fault_loglik!r} does not match "
+            f"fault-free logL {reference_loglik!r}",
+            file=out,
+        )
+        return 1
     return 0
 
 

@@ -1,11 +1,17 @@
-"""FASTA reading and writing."""
+"""FASTA reading and writing.
+
+Malformed input raises :class:`~repro.errors.ParseError` (a
+``ValueError``) carrying the 1-based line number of the offending
+record.
+"""
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, NoReturn, Union
 
+from ..errors import ParseError
 from .alignment import Alignment
 from .alphabet import DNA, Alphabet
 
@@ -14,16 +20,28 @@ __all__ = ["read_fasta", "write_fasta", "parse_fasta", "format_fasta"]
 PathLike = Union[str, Path]
 
 
+def _fail(message: str, line: int) -> NoReturn:
+    raise ParseError(message, source="FASTA", line=line)
+
+
 def parse_fasta(text: str, alphabet: Alphabet = DNA) -> Alignment:
     """Parse FASTA-formatted text into an :class:`Alignment`.
 
     Sequence symbols are upper-cased; the header is everything after
     ``>`` up to the first whitespace.
+
+    Raises
+    ------
+    repro.errors.ParseError
+        On empty or duplicate record names, sequence data before the
+        first header, no records at all, or a ragged alignment — with
+        the line number of the offending record.
     """
     sequences: Dict[str, str] = {}
+    header_lines: Dict[str, int] = {}
     name = None
     chunks: list[str] = []
-    for raw in io.StringIO(text):
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
         line = raw.strip()
         if not line:
             continue
@@ -32,18 +50,32 @@ def parse_fasta(text: str, alphabet: Alphabet = DNA) -> Alignment:
                 sequences[name] = "".join(chunks)
             name = line[1:].split()[0] if len(line) > 1 else ""
             if not name:
-                raise ValueError("FASTA record with empty name")
+                _fail("FASTA record with empty name", lineno)
             if name in sequences:
-                raise ValueError(f"duplicate FASTA record {name!r}")
+                _fail(f"duplicate FASTA record {name!r}", lineno)
+            header_lines[name] = lineno
             chunks = []
         else:
             if name is None:
-                raise ValueError("sequence data before first FASTA header")
+                _fail("sequence data before first FASTA header", lineno)
             chunks.append(line.upper())
     if name is not None:
         sequences[name] = "".join(chunks)
     if not sequences:
-        raise ValueError("no FASTA records found")
+        raise ParseError("no FASTA records found", source="FASTA")
+    lengths = {name: len(seq) for name, seq in sequences.items()}
+    if len(set(lengths.values())) > 1:
+        first_name = next(iter(sequences))
+        offender = next(
+            name
+            for name, length in lengths.items()
+            if length != lengths[first_name]
+        )
+        _fail(
+            f"ragged alignment: record {offender!r} has {lengths[offender]} "
+            f"sites, {first_name!r} has {lengths[first_name]}",
+            header_lines[offender],
+        )
     return Alignment(sequences, alphabet)
 
 

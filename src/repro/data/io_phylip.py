@@ -8,8 +8,9 @@ per taxon (whitespace-separated, names of any length).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, NoReturn, Union
 
+from ..errors import ParseError
 from .alignment import Alignment
 from .alphabet import DNA, Alphabet
 
@@ -18,33 +19,55 @@ __all__ = ["read_phylip", "write_phylip", "parse_phylip", "format_phylip"]
 PathLike = Union[str, Path]
 
 
+def _fail(message: str, line: int) -> NoReturn:
+    raise ParseError(message, source="PHYLIP", line=line)
+
+
 def parse_phylip(text: str, alphabet: Alphabet = DNA) -> Alignment:
-    """Parse relaxed sequential PHYLIP text into an :class:`Alignment`."""
-    lines = [line for line in text.splitlines() if line.strip()]
+    """Parse relaxed sequential PHYLIP text into an :class:`Alignment`.
+
+    Raises
+    ------
+    repro.errors.ParseError
+        On a malformed header, wrong record count, malformed/duplicate
+        records, or ragged rows (a record whose length disagrees with
+        the header) — with the 1-based line number of the offender.
+    """
+    lines = [
+        (lineno, line)
+        for lineno, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
     if not lines:
-        raise ValueError("empty PHYLIP input")
-    header = lines[0].split()
+        raise ParseError("empty PHYLIP input", source="PHYLIP")
+    header_lineno, header_line = lines[0]
+    header = header_line.split()
     if len(header) != 2:
-        raise ValueError("PHYLIP header must be '<n_taxa> <n_sites>'")
+        _fail("PHYLIP header must be '<n_taxa> <n_sites>'", header_lineno)
     try:
         n_taxa, n_sites = int(header[0]), int(header[1])
     except ValueError:
-        raise ValueError("PHYLIP header must contain two integers") from None
+        _fail("PHYLIP header must contain two integers", header_lineno)
     records = lines[1:]
     if len(records) != n_taxa:
-        raise ValueError(f"expected {n_taxa} records, found {len(records)}")
+        _fail(
+            f"expected {n_taxa} records, found {len(records)}",
+            records[-1][0] if records else header_lineno,
+        )
     sequences: Dict[str, str] = {}
-    for line in records:
+    for lineno, line in records:
         parts = line.split(None, 1)
         if len(parts) != 2:
-            raise ValueError(f"malformed PHYLIP record: {line!r}")
+            _fail(f"malformed PHYLIP record: {line!r}", lineno)
         name, seq = parts[0], parts[1].replace(" ", "").upper()
         if len(seq) != n_sites:
-            raise ValueError(
-                f"record {name!r} has {len(seq)} sites, header says {n_sites}"
+            _fail(
+                f"ragged alignment: record {name!r} has {len(seq)} sites, "
+                f"header says {n_sites}",
+                lineno,
             )
         if name in sequences:
-            raise ValueError(f"duplicate taxon {name!r}")
+            _fail(f"duplicate taxon {name!r}", lineno)
         sequences[name] = seq
     return Alignment(sequences, alphabet)
 

@@ -1,0 +1,62 @@
+"""Shared typed error machinery for the text-format parsers.
+
+The parsers (Newick, FASTA, PHYLIP) used to surface malformed input as
+raw ``ValueError``/``IndexError`` with no indication of *where* the
+input broke. :class:`ParseError` is the common, position-carrying base:
+it is a ``ValueError`` (so existing ``except ValueError`` call sites
+keep working) that records the source format plus ``line``/``column``/
+``position`` when known and renders them into the message.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["ParseError", "location_of"]
+
+
+def location_of(text: str, position: int) -> Tuple[int, int]:
+    """1-based ``(line, column)`` of a character offset into ``text``."""
+    position = max(0, min(position, len(text)))
+    line = text.count("\n", 0, position) + 1
+    last_newline = text.rfind("\n", 0, position)
+    return line, position - last_newline
+
+
+class ParseError(ValueError):
+    """Malformed input to one of the text-format parsers.
+
+    Parameters
+    ----------
+    message:
+        What is wrong, without location (kept as :attr:`reason`).
+    source:
+        The format being parsed (``"Newick"``, ``"FASTA"``, ...).
+    line, column:
+        1-based location of the offending character, when known.
+    position:
+        0-based character offset into the input, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str = "input",
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        position: Optional[int] = None,
+    ) -> None:
+        self.reason = message
+        self.source = source
+        self.line = line
+        self.column = column
+        self.position = position
+        where = ""
+        if line is not None and column is not None:
+            where = f" at line {line}, column {column}"
+        elif line is not None:
+            where = f" at line {line}"
+        elif position is not None:
+            where = f" at offset {position}"
+        super().__init__(f"{source}: {message}{where}")

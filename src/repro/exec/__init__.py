@@ -1,0 +1,48 @@
+"""Resilient execution: fault injection, recovery policies, checkpoints.
+
+The paper's speedups only matter if long runs finish. This subpackage
+adds the dynamic-robustness layer around the likelihood engine:
+
+* :mod:`repro.exec.errors` — the typed failure hierarchy
+  (:class:`ExecutionError` → :class:`DeviceFault` /
+  :class:`AllocationError` / :class:`NumericalError`).
+* :mod:`repro.exec.faults` — deterministic, seed-driven
+  :class:`FaultInjector` over the engine's launch surface, with five
+  fault classes (kernel-launch failure, transient device error,
+  allocation failure, NaN poisoning, silent underflow).
+* :mod:`repro.exec.resilient` — :class:`ResilientInstance`, the
+  retry/degrade/rescale facade, with :class:`RetryPolicy` and
+  :class:`FaultStats`.
+* :mod:`repro.exec.checkpoint` — :class:`MCMCCheckpoint`, bit-identical
+  checkpoint/resume for :func:`repro.inference.mcmc.run_mcmc`.
+"""
+
+from .checkpoint import CheckpointError, MCMCCheckpoint
+from .errors import (
+    AllocationError,
+    DeviceFault,
+    ExecutionError,
+    KernelLaunchError,
+    NumericalError,
+    TransientDeviceError,
+)
+from .faults import FAULT_CLASSES, FaultInjector, FaultSchedule, FaultSpec
+from .resilient import FaultStats, ResilientInstance, RetryPolicy
+
+__all__ = [
+    "ExecutionError",
+    "DeviceFault",
+    "KernelLaunchError",
+    "TransientDeviceError",
+    "AllocationError",
+    "NumericalError",
+    "FAULT_CLASSES",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "RetryPolicy",
+    "FaultStats",
+    "ResilientInstance",
+    "CheckpointError",
+    "MCMCCheckpoint",
+]

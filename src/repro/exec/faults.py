@@ -1,0 +1,275 @@
+"""Deterministic, seed-driven fault injection.
+
+Long phylogenetic runs die in the partials kernel — the paper's §VIII
+measures >0.9 of MCMC time there — so that is where faults are injected:
+every kernel-launch *attempt* draws once from a seeded RNG stream and, at
+the configured rate, suffers one of five fault classes. The draw sequence
+depends only on the seed and the sequence of attempts, so a failing run
+replays exactly under the same seed, and a recovered run can be compared
+bit-for-bit against its fault-free twin (the property the test suite
+enforces).
+
+Fault classes
+-------------
+``launch``
+    :class:`~repro.exec.errors.KernelLaunchError` raised before any state
+    changes — the launch never started.
+``transient``
+    :class:`~repro.exec.errors.TransientDeviceError` raised before the
+    destination buffers are written (the engine recomputes destinations
+    wholesale, so pre-write is equivalent to mid-run for recovery).
+``alloc``
+    :class:`~repro.exec.errors.AllocationError` — simulated device OOM.
+``nan``
+    The launch "succeeds" but one destination partials buffer is poisoned
+    with NaN — the silent-corruption mode GPUs exhibit under ECC-less
+    memory faults. Only detectable by checking the buffers.
+``underflow``
+    One destination buffer is scaled down below the underflow detection
+    threshold (denormal range) — silently wrong results unless the
+    resilience layer checks magnitudes.
+
+:class:`FaultInjector` wraps a :class:`~repro.beagle.instance.BeagleInstance`
+(anything with its ``update_partials_*`` surface) and applies the schedule
+to each launch attempt; :class:`FaultSchedule` alone is shared with the
+device model (:meth:`repro.gpu.simulator.SimulatedDevice.time_plan_resilient`)
+so modelled timings see the same fault sequence the engine would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import (
+    AllocationError,
+    KernelLaunchError,
+    TransientDeviceError,
+)
+
+__all__ = ["FAULT_CLASSES", "FaultSpec", "FaultSchedule", "FaultInjector"]
+
+#: Every fault class the injector knows, in draw order.
+FAULT_CLASSES: Tuple[str, ...] = (
+    "launch",
+    "transient",
+    "alloc",
+    "nan",
+    "underflow",
+)
+
+#: Fault classes raised before the launch executes (state untouched).
+RAISED_BEFORE_EXECUTION = frozenset({"launch", "transient", "alloc"})
+
+
+def underflow_poison_factor(dtype: np.dtype) -> float:
+    """Scale factor that drags healthy partials under the detection
+    threshold of the matching dtype without leaving the representable
+    (denormal) range."""
+    if np.dtype(dtype) == np.dtype(np.float32):
+        return 1e-35
+    return 1e-250
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Configuration of one deterministic fault stream.
+
+    Parameters
+    ----------
+    rate:
+        Per-launch-attempt fault probability in ``[0, 1]``.
+    seed:
+        Seed of the injection RNG stream (independent of every other RNG
+        in the system).
+    classes:
+        Fault classes to draw from, uniformly. Defaults to all five.
+    batched_only:
+        Restrict injection to batched (multi-operation) launches — the
+        configuration that exercises graceful degradation: per-operation
+        fallback launches then always succeed.
+    max_faults:
+        Stop injecting after this many faults (``None`` = unlimited); a
+        bounded budget guarantees eventual success however small the
+        retry budget.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    classes: Tuple[str, ...] = FAULT_CLASSES
+    batched_only: bool = False
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("fault rate must be within [0, 1]")
+        unknown = set(self.classes) - set(FAULT_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown fault classes: {sorted(unknown)}")
+        if not self.classes and self.rate > 0.0:
+            raise ValueError("a positive fault rate needs at least one class")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+
+class FaultSchedule:
+    """The seeded draw stream: one decision per launch attempt.
+
+    Deterministic given ``spec``: attempt ``i`` of any run with the same
+    spec receives the same decision, regardless of what the engine does
+    with it.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(spec.seed)
+        self.attempts = 0
+        self.injected = 0
+        self.by_class: Dict[str, int] = {}
+
+    def draw(self, *, batched: bool = True) -> Optional[str]:
+        """Fault class for the next launch attempt, or ``None``."""
+        self.attempts += 1
+        if self.spec.rate <= 0.0:
+            return None
+        if (
+            self.spec.max_faults is not None
+            and self.injected >= self.spec.max_faults
+        ):
+            return None
+        # Draw both values unconditionally so the stream consumed per
+        # attempt has constant length: decisions for attempt i never
+        # depend on whether attempt i-1 targeted a batched launch.
+        hit = self._rng.random() < self.spec.rate
+        which = int(self._rng.integers(len(self.spec.classes)))
+        if not hit or (self.spec.batched_only and not batched):
+            return None
+        fault = self.spec.classes[which]
+        self.injected += 1
+        self.by_class[fault] = self.by_class.get(fault, 0) + 1
+        return fault
+
+
+@dataclass
+class InjectionLog:
+    """What the injector actually did, for accounting and debugging."""
+
+    injected: int = 0
+    by_class: Dict[str, int] = field(default_factory=dict)
+    poisoned_buffers: int = 0
+
+    def record(self, fault: str) -> None:
+        self.injected += 1
+        self.by_class[fault] = self.by_class.get(fault, 0) + 1
+
+
+class FaultInjector:
+    """Wrap an engine instance; inject scheduled faults into its launches.
+
+    Every attribute not intercepted here delegates to the wrapped
+    instance, so a ``FaultInjector`` drops into any code path that takes
+    a :class:`~repro.beagle.instance.BeagleInstance` — including
+    :func:`repro.core.planner.execute_plan` and
+    :class:`~repro.exec.resilient.ResilientInstance`.
+
+    Parameters
+    ----------
+    inner:
+        The instance to wrap.
+    spec:
+        Fault stream configuration (or pass ``schedule`` directly).
+    schedule:
+        Pre-built :class:`FaultSchedule`; overrides ``spec``.
+    """
+
+    def __init__(
+        self,
+        inner,
+        spec: Optional[FaultSpec] = None,
+        *,
+        schedule: Optional[FaultSchedule] = None,
+    ) -> None:
+        self._inner = inner
+        self.schedule = schedule or FaultSchedule(spec or FaultSpec())
+        self.log = InjectionLog()
+        self._launch_counter = 0
+
+    # -- delegation ----------------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    @property
+    def inner(self):
+        """The wrapped instance."""
+        return self._inner
+
+    # -- intercepted launch surface ------------------------------------
+    def update_partials_set(self, operations) -> None:
+        """One batched launch attempt, with scheduled fault injection."""
+        ops = list(operations)
+        if not ops:
+            return
+        self._attempt(ops, batched=len(ops) > 1)
+
+    def update_partials_serial(self, operations) -> None:
+        """Per-operation launches: one fault decision per operation."""
+        for op in operations:
+            self._attempt([op], batched=False)
+
+    # -- mechanics -----------------------------------------------------
+    def _attempt(self, ops, *, batched: bool) -> None:
+        index = self._launch_counter
+        self._launch_counter += 1
+        fault = self.schedule.draw(batched=batched)
+        if fault is not None:
+            self.log.record(fault)
+        if fault in RAISED_BEFORE_EXECUTION:
+            self._raise(fault, index, len(ops))
+        if batched:
+            self._inner.update_partials_set(ops)
+        else:
+            self._inner.update_partials_serial(ops)
+        if fault in ("nan", "underflow"):
+            self._poison(fault, ops)
+
+    def _raise(self, fault: str, index: int, n_ops: int) -> None:
+        if fault == "launch":
+            raise KernelLaunchError(
+                f"injected kernel-launch failure (launch {index})",
+                launch_index=index,
+                n_operations=n_ops,
+            )
+        if fault == "transient":
+            raise TransientDeviceError(
+                f"injected transient device error (launch {index})",
+                launch_index=index,
+                n_operations=n_ops,
+            )
+        raise AllocationError(
+            f"injected device allocation failure (launch {index})",
+            launch_index=index,
+            n_operations=n_ops,
+        )
+
+    def _poison(self, fault: str, ops) -> None:
+        """Corrupt one destination buffer of a completed launch."""
+        # Deterministic victim choice: first destination of the set. The
+        # stream already randomises *which launches* fault; randomising
+        # the victim as well would burn draws and buy no extra coverage.
+        destination = ops[0].destination
+        slot = destination - self._inner.tip_count
+        buffer = self._inner._partials[slot]
+        if fault == "nan":
+            buffer[0, ...] = np.nan
+        else:
+            buffer *= underflow_poison_factor(buffer.dtype)
+        self.log.poisoned_buffers += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.schedule.spec
+        return (
+            f"<FaultInjector rate={s.rate} seed={s.seed} "
+            f"injected={self.log.injected} around {self._inner!r}>"
+        )

@@ -1,0 +1,466 @@
+"""Resilient execution facade over the likelihood engine.
+
+:class:`ResilientInstance` wraps a :class:`~repro.beagle.instance.BeagleInstance`
+(optionally already wrapped in a
+:class:`~repro.exec.faults.FaultInjector`) and turns the engine's
+fail-fast launch surface into a detect/retry/degrade/rescue pipeline,
+mirroring the defensive layers BEAGLE and ExaML grew around their
+likelihood cores:
+
+* **Retry with bounded exponential backoff** — device faults and
+  allocation failures re-attempt the same launch up to
+  ``RetryPolicy.max_retries`` times; destination buffers are recomputed
+  wholesale, so a retry after a mid-run fault is always safe.
+* **Graceful degradation** — when a batched multi-operation launch keeps
+  faulting, the set is downgraded to per-operation launches (each with
+  its own retry budget), exactly the fallback from the paper's
+  multi-operation kernel to BEAGLE's classic one-launch-per-operation
+  mode.
+* **Numerical verification** — after each launch the destination buffers
+  are checked for NaN/Inf poisoning (cured by recomputation) and for
+  underflow (per-pattern maximum below a dtype-aware threshold).
+* **Rescaling escalation** — persistent underflow is deterministic, so
+  :meth:`ResilientInstance.execute` rescues the evaluation by enabling
+  scale buffers (:meth:`~repro.beagle.instance.BeagleInstance.enable_scaling`)
+  and re-planning with per-node rescaling; the escalated plan is cached
+  so subsequent evaluations pay no second detection round-trip.
+
+:class:`FaultStats` counts every event (injected / detected / retried /
+degraded / rescued / errors) and is surfaced next to the engine's
+:class:`~repro.beagle.instance.InstanceStats`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..beagle.operations import Operation
+from .errors import (
+    AllocationError,
+    DeviceFault,
+    ExecutionError,
+    KernelLaunchError,
+    NumericalError,
+    TransientDeviceError,
+)
+from .faults import FaultInjector
+
+__all__ = ["RetryPolicy", "FaultStats", "ResilientInstance"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the recovery pipeline.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-attempts per launch before degrading (batched sets) or giving
+        up (per-operation launches).
+    backoff_base, backoff_factor, max_backoff:
+        Bounded exponential backoff between re-attempts, in seconds:
+        attempt ``i`` sleeps ``min(base · factor^(i−1), max_backoff)``.
+        The default base of 0 disables sleeping — right for the CPU
+        engine and for tests; real device deployments set ~1–10 ms.
+    degrade:
+        Fall back from a faulting batched launch to per-operation
+        launches.
+    rescale:
+        Escalate persistent underflow to a rescaling plan
+        (:meth:`ResilientInstance.execute` only — launch-level calls
+        cannot re-plan).
+    verify:
+        Check destination buffers for NaN/Inf and underflow after every
+        launch. Costs one reduction pass per destination; disabling it
+        leaves only root-level detection.
+    underflow_retries:
+        Recomputations to attempt when underflow is detected before
+        concluding it is deterministic (one recomputation distinguishes
+        injected poisoning, which clears, from genuine underflow, which
+        recurs).
+    underflow_threshold:
+        Per-pattern partials maximum below which a buffer counts as
+        underflowed; ``None`` selects a dtype-aware default (1e-220 for
+        float64, 1e-30 for float32).
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    max_backoff: float = 1.0
+    degrade: bool = True
+    rescale: bool = True
+    verify: bool = True
+    underflow_retries: int = 1
+    underflow_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.underflow_retries < 0:
+            raise ValueError("retry counts must be non-negative")
+        if min(self.backoff_base, self.backoff_factor, self.max_backoff) < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Sleep before re-attempt ``attempt`` (1-based)."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        return min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.max_backoff,
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counters of the resilience pipeline, kept next to ``InstanceStats``.
+
+    Attributes
+    ----------
+    injected:
+        Faults a wrapped :class:`~repro.exec.faults.FaultInjector`
+        introduced (0 when running on real faults only).
+    detected:
+        Fault events the resilience layer observed — caught typed errors
+        plus buffer corruption found by verification.
+    retried:
+        Launch re-attempts performed.
+    degraded:
+        Batched sets downgraded to per-operation launches.
+    rescued:
+        Evaluations recovered through rescaling escalation.
+    errors:
+        Typed :class:`~repro.exec.errors.ExecutionError`\\ s surfaced to
+        the caller (recovery exhausted or disabled).
+    """
+
+    injected: int = 0
+    detected: int = 0
+    retried: int = 0
+    degraded: int = 0
+    rescued: int = 0
+    errors: int = 0
+    injected_by_class: Dict[str, int] = field(default_factory=dict)
+    detected_by_class: Dict[str, int] = field(default_factory=dict)
+
+    def note(self, exc: ExecutionError) -> None:
+        """Record one detected fault under its class label."""
+        self.detected += 1
+        label = _class_label(exc)
+        self.detected_by_class[label] = self.detected_by_class.get(label, 0) + 1
+
+    def reset(self) -> None:
+        self.injected = 0
+        self.detected = 0
+        self.retried = 0
+        self.degraded = 0
+        self.rescued = 0
+        self.errors = 0
+        self.injected_by_class = {}
+        self.detected_by_class = {}
+
+    def format(self) -> str:
+        """One-line summary for logs and the ``synthetictest`` output."""
+        return (
+            f"faults: injected={self.injected} detected={self.detected} "
+            f"retried={self.retried} degraded={self.degraded} "
+            f"rescued={self.rescued} errors={self.errors}"
+        )
+
+
+def _class_label(exc: ExecutionError) -> str:
+    if isinstance(exc, KernelLaunchError):
+        return "launch"
+    if isinstance(exc, TransientDeviceError):
+        return "transient"
+    if isinstance(exc, DeviceFault):
+        return "device"
+    if isinstance(exc, AllocationError):
+        return "alloc"
+    if isinstance(exc, NumericalError):
+        return exc.kind
+    return "other"
+
+
+def _default_threshold(dtype: np.dtype) -> float:
+    if np.dtype(dtype) == np.dtype(np.float32):
+        return 1e-30
+    return 1e-220
+
+
+class ResilientInstance:
+    """Retry/degrade/rescue wrapper around an engine instance.
+
+    Parameters
+    ----------
+    inner:
+        A :class:`~repro.beagle.instance.BeagleInstance` or a
+        :class:`~repro.exec.faults.FaultInjector` around one. Everything
+        except the launch surface delegates to it unchanged, so a
+        ``ResilientInstance`` drops into
+        :func:`repro.core.planner.execute_plan` and
+        :class:`~repro.inference.likelihood.TreeLikelihood` directly.
+    policy:
+        The :class:`RetryPolicy`; defaults cover retry + degrade +
+        rescale with verification on.
+    sleep:
+        Injection point for the backoff sleeper (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: Optional[RetryPolicy] = None,
+        *,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self._inner = inner
+        self.policy = policy or RetryPolicy()
+        self._sleep = sleep or time.sleep
+        self._stats = FaultStats()
+        self._in_execute = False
+        # plan -> escalated (scaling) plan, keyed by identity; the plan
+        # object itself is retained so the id cannot be recycled.
+        self._escalations: Dict[int, Tuple[object, object]] = {}
+        self._underflow_threshold = (
+            self.policy.underflow_threshold
+            if self.policy.underflow_threshold is not None
+            else _default_threshold(inner.dtype)
+        )
+
+    # -- delegation ----------------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    @property
+    def inner(self):
+        """The wrapped instance (injector or bare engine)."""
+        return self._inner
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Resilience counters, with injector counts synchronised in."""
+        injector = self._injector()
+        if injector is not None:
+            self._stats.injected = injector.log.injected
+            self._stats.injected_by_class = dict(injector.log.by_class)
+        return self._stats
+
+    def _injector(self) -> Optional[FaultInjector]:
+        if isinstance(self._inner, FaultInjector):
+            return self._inner
+        return None
+
+    # -- launch surface ------------------------------------------------
+    def update_partials_set(self, operations) -> None:
+        """Execute one operation set with the full recovery pipeline."""
+        ops = list(operations)
+        if not ops:
+            return
+        try:
+            self._launch(ops, batched=True)
+        except ExecutionError:
+            if not self._in_execute:
+                self._stats.errors += 1
+            raise
+
+    def update_partials_serial(self, operations) -> None:
+        """Per-operation launches, each with its own retry budget."""
+        try:
+            for op in operations:
+                self._launch([op], batched=False)
+        except ExecutionError:
+            if not self._in_execute:
+                self._stats.errors += 1
+            raise
+
+    # -- recovery pipeline ---------------------------------------------
+    def _launch(self, ops: List[Operation], *, batched: bool) -> None:
+        try:
+            self._launch_with_retries(ops, batched=batched)
+        except ExecutionError:
+            if not (batched and self.policy.degrade and len(ops) > 1):
+                raise
+            # Graceful degradation: the batched path keeps faulting, so
+            # run the set one operation per launch (§VII-C's baseline
+            # mode), each with a fresh retry budget.
+            self._stats.degraded += 1
+            for op in ops:
+                self._launch([op], batched=False)
+
+    def _launch_with_retries(self, ops: List[Operation], *, batched: bool) -> None:
+        failures = 0
+        underflows = 0
+        while True:
+            try:
+                self._attempt(ops, batched=batched)
+                return
+            except (DeviceFault, AllocationError, NumericalError) as exc:
+                self._stats.note(exc)
+                failures += 1
+                if isinstance(exc, NumericalError) and exc.kind == "underflow":
+                    underflows += 1
+                    if underflows > self.policy.underflow_retries:
+                        # Recomputation did not clear it: deterministic
+                        # underflow. Degrading cannot help; rescaling
+                        # escalation (execute()) is the only cure.
+                        raise
+                if failures > self.policy.max_retries:
+                    raise
+                self._stats.retried += 1
+                delay = self.policy.backoff_seconds(failures)
+                if delay > 0.0:
+                    self._sleep(delay)
+
+    def _attempt(self, ops: List[Operation], *, batched: bool) -> None:
+        if batched:
+            self._inner.update_partials_set(ops)
+        else:
+            self._inner.update_partials_serial(ops)
+        if self.policy.verify:
+            self._verify_destinations(ops)
+
+    def _verify_destinations(self, ops: List[Operation]) -> None:
+        """Detect NaN/Inf poisoning and underflow in fresh destinations."""
+        poisoned: List[int] = []
+        underflowed: List[int] = []
+        tip_count = self._inner.tip_count
+        partials = self._inner._partials
+        for op in ops:
+            per_pattern_max = partials[op.destination - tip_count].max(axis=(0, 2))
+            if not np.isfinite(per_pattern_max).all():
+                poisoned.append(op.destination)
+            elif float(per_pattern_max.min()) < self._underflow_threshold:
+                underflowed.append(op.destination)
+        if poisoned:
+            raise NumericalError(
+                f"non-finite partials in buffers {poisoned}",
+                kind="nan",
+                buffers=poisoned,
+                n_operations=len(ops),
+            )
+        if underflowed:
+            raise NumericalError(
+                f"partials underflow in buffers {underflowed}",
+                kind="underflow",
+                buffers=underflowed,
+                n_operations=len(ops),
+            )
+
+    # -- plan-level execution with rescaling escalation ----------------
+    def execute(self, plan, *, update_matrices: bool = True) -> float:
+        """Run an execution plan end to end, recovering what is
+        recoverable; returns the root log-likelihood.
+
+        Equivalent to :func:`repro.core.planner.execute_plan` on a
+        healthy device. On top of the per-launch pipeline it detects
+        underflow that reached the root (non-finite or vanishing
+        likelihood) and — when ``policy.rescale`` is set — escalates to
+        a rescaling plan built from the same tree. Escalations are
+        remembered, so later calls with the same plan object run the
+        scaled plan directly.
+        """
+        escalated = self._escalations.get(id(plan))
+        if escalated is not None:
+            plan = escalated[1]
+        self._in_execute = True
+        try:
+            return self._execute_guarded(plan, update_matrices)
+        finally:
+            self._in_execute = False
+
+    def _execute_guarded(self, plan, update_matrices: bool) -> float:
+        from ..core.planner import execute_plan
+
+        try:
+            ll = execute_plan(self, plan, update_matrices=update_matrices)
+        except NumericalError as exc:
+            if not self._escalatable(exc, plan):
+                self._stats.errors += 1
+                raise
+            return self._rescue(plan, update_matrices)
+        except ExecutionError:
+            # Retry/degradation exhausted on a device fault: it surfaces
+            # to the caller, counted exactly once.
+            self._stats.errors += 1
+            raise
+        if not self._suspicious(ll, plan):
+            return ll
+        # Root-level detection (covers verify=False and silent poisoning
+        # of the root buffer): one clean recomputation first — injected
+        # corruption clears, genuine underflow recurs.
+        self._stats.detected += 1
+        self._stats.detected_by_class["underflow"] = (
+            self._stats.detected_by_class.get("underflow", 0) + 1
+        )
+        self._stats.retried += 1
+        try:
+            ll = execute_plan(self, plan, update_matrices=update_matrices)
+        except NumericalError as exc:
+            if not self._escalatable(exc, plan):
+                self._stats.errors += 1
+                raise
+            return self._rescue(plan, update_matrices)
+        except ExecutionError:
+            self._stats.errors += 1
+            raise
+        if not self._suspicious(ll, plan):
+            return ll
+        if plan.scaling or not self.policy.rescale:
+            self._stats.errors += 1
+            raise NumericalError(
+                "likelihood underflow persists and rescaling escalation "
+                "is unavailable",
+                kind="underflow",
+            )
+        return self._rescue(plan, update_matrices)
+
+    def _escalatable(self, exc: NumericalError, plan) -> bool:
+        return (
+            self.policy.rescale
+            and exc.kind == "underflow"
+            and not plan.scaling
+        )
+
+    def _suspicious(self, ll: float, plan) -> bool:
+        """Did underflow reach the root reduction?"""
+        if not math.isfinite(ll):
+            return True
+        if plan.scaling:
+            return False
+        slot = plan.root_buffer - self._inner.tip_count
+        per_pattern_max = self._inner._partials[slot].max(axis=(0, 2))
+        return float(per_pattern_max.min()) < self._underflow_threshold
+
+    def _rescue(self, plan, update_matrices: bool) -> float:
+        """Rescaling escalation: enable scale buffers, re-plan, re-run."""
+        from ..core.planner import execute_plan, make_plan
+
+        tree = plan.tree
+        self._inner.enable_scaling(tree.n_tips)
+        scaled = make_plan(tree, plan.mode, scaling=True)
+        try:
+            ll = execute_plan(self, scaled, update_matrices=update_matrices)
+        except ExecutionError:
+            self._stats.errors += 1
+            raise
+        if not math.isfinite(ll):
+            self._stats.errors += 1
+            raise NumericalError(
+                "likelihood is non-finite even after rescaling escalation",
+                kind="underflow",
+            )
+        self._stats.rescued += 1
+        self._escalations[id(plan)] = (plan, scaled)
+        return ll
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResilientInstance retries={self.policy.max_retries} "
+            f"degrade={self.policy.degrade} rescale={self.policy.rescale} "
+            f"around {self._inner!r}>"
+        )

@@ -11,11 +11,22 @@ every simulated number corresponds to an actually computed likelihood.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.faults import FaultSchedule, FaultSpec
+    from ..exec.resilient import FaultStats, RetryPolicy
 
 from ..core.planner import ExecutionPlan, make_plan
 from ..trees import Tree
 from .device import GP100, DeviceSpec
-from .perfmodel import EvaluationTiming, WorkloadDims, time_set_sizes
+from .perfmodel import (
+    EvaluationTiming,
+    LaunchTiming,
+    WorkloadDims,
+    launch_time,
+    time_set_sizes,
+)
 
 __all__ = ["SimulatedDevice", "BenchmarkPoint", "simulate_tree", "simulated_speedup"]
 
@@ -41,6 +52,72 @@ class SimulatedDevice:
     def time_plan(self, plan: ExecutionPlan, dims: WorkloadDims) -> EvaluationTiming:
         """Simulated timing of one plan execution."""
         return time_set_sizes(self.spec, dims, plan.set_sizes)
+
+    def time_plan_resilient(
+        self,
+        plan: ExecutionPlan,
+        dims: WorkloadDims,
+        faults: Union["FaultSpec", "FaultSchedule"],
+        policy: Optional["RetryPolicy"] = None,
+    ) -> Tuple[EvaluationTiming, "FaultStats"]:
+        """Simulated timing of one plan under faults and recovery.
+
+        Replays the same seeded :class:`~repro.exec.faults.FaultSchedule`
+        the engine-side :class:`~repro.exec.faults.FaultInjector` would
+        consume — attempt ``i`` of the model faults exactly when attempt
+        ``i`` of a real run would — and charges every attempt (including
+        ones that fault) a full launch under the analytical model, the
+        pessimistic assumption that a fault is discovered only at launch
+        completion. Batched sets that exhaust their retry budget degrade
+        to per-operation launches when the policy allows, so the returned
+        timing quantifies what resilience costs in device time.
+
+        Returns the timing plus the modelled
+        :class:`~repro.exec.resilient.FaultStats` (detection is perfect
+        in the model: every injected fault is detected).
+        """
+        from ..exec.faults import FaultSchedule, FaultSpec
+        from ..exec.resilient import FaultStats, RetryPolicy
+
+        schedule = FaultSchedule(faults) if isinstance(faults, FaultSpec) else faults
+        policy = policy or RetryPolicy()
+        stats = FaultStats()
+        launches: List[LaunchTiming] = []
+
+        def run_launch(k: int, batched: bool) -> bool:
+            failures = 0
+            underflows = 0
+            while True:
+                launches.append(launch_time(self.spec, dims, k))
+                fault = schedule.draw(batched=batched)
+                if fault is None:
+                    return True
+                stats.detected += 1
+                stats.detected_by_class[fault] = (
+                    stats.detected_by_class.get(fault, 0) + 1
+                )
+                failures += 1
+                if fault == "underflow":
+                    underflows += 1
+                    if underflows > policy.underflow_retries:
+                        return False
+                if failures > policy.max_retries:
+                    return False
+                stats.retried += 1
+
+        for size in plan.set_sizes:
+            if run_launch(size, batched=size > 1):
+                continue
+            if policy.degrade and size > 1:
+                stats.degraded += 1
+                if not all(run_launch(1, batched=False) for _ in range(size)):
+                    stats.errors += 1
+            else:
+                stats.errors += 1
+
+        stats.injected = schedule.injected
+        stats.injected_by_class = dict(schedule.by_class)
+        return EvaluationTiming(launches=launches, dims=dims), stats
 
     def time_tree(
         self, tree: Tree, dims: WorkloadDims, mode: str = "concurrent"

@@ -18,6 +18,8 @@ from ..core.planner import ExecutionPlan, create_instance, execute_plan, make_pl
 from ..core.reroot_opt import optimal_reroot_exhaustive, optimal_reroot_fast
 from ..data.alignment import Alignment
 from ..data.patterns import PatternData, compress
+from ..exec.faults import FaultInjector, FaultSpec
+from ..exec.resilient import FaultStats, ResilientInstance, RetryPolicy
 from ..models.ratematrix import SubstitutionModel
 from ..models.siterates import RateCategories
 from ..trees import Tree
@@ -53,6 +55,17 @@ class TreeLikelihood:
         ``"double"`` (default) or ``"single"``. Single precision mirrors
         the GPU configuration of the paper; enable ``scaling`` with it on
         deep trees or the partials underflow (§VI-F).
+    resilience:
+        ``None``/``False`` (default) — the engine fails fast. ``True``
+        or a :class:`~repro.exec.resilient.RetryPolicy` — wrap the
+        instance in a :class:`~repro.exec.resilient.ResilientInstance`:
+        launches retry with backoff, persistently faulting batched sets
+        degrade to per-operation launches, and detected underflow
+        escalates to rescaling.
+    faults:
+        Optional :class:`~repro.exec.faults.FaultSpec` — wrap the
+        instance in a deterministic
+        :class:`~repro.exec.faults.FaultInjector` (testing/chaos runs).
     """
 
     def __init__(
@@ -66,6 +79,8 @@ class TreeLikelihood:
         mode: str = "concurrent",
         reroot: str = "none",
         precision: str = "double",
+        resilience: Union[RetryPolicy, bool, None] = None,
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         import numpy as np
 
@@ -79,6 +94,12 @@ class TreeLikelihood:
         self.scaling = scaling
         self.mode = mode
         self.precision = precision
+        if resilience is True:
+            resilience = RetryPolicy()
+        elif resilience is False:
+            resilience = None
+        self.resilience: Optional[RetryPolicy] = resilience
+        self.faults = faults
         self._dtype = np.float64 if precision == "double" else np.float32
         if reroot == "fast":
             tree = optimal_reroot_fast(tree).tree
@@ -93,9 +114,14 @@ class TreeLikelihood:
     # ------------------------------------------------------------------
     @property
     def instance(self) -> BeagleInstance:
-        """The lazily created engine instance."""
+        """The lazily created engine instance.
+
+        With ``faults``/``resilience`` configured, the returned object is
+        the wrapped stack (injector and/or resilient facade) — it exposes
+        the full ``BeagleInstance`` surface by delegation.
+        """
         if self._instance is None:
-            self._instance = create_instance(
+            instance = create_instance(
                 self.tree,
                 self.model,
                 self.patterns,
@@ -103,7 +129,19 @@ class TreeLikelihood:
                 scaling=self.scaling,
                 dtype=self._dtype,
             )
+            if self.faults is not None:
+                instance = FaultInjector(instance, self.faults)
+            if self.resilience is not None:
+                instance = ResilientInstance(instance, self.resilience)
+            self._instance = instance
         return self._instance
+
+    @property
+    def fault_stats(self) -> Optional[FaultStats]:
+        """Resilience counters, when resilience is enabled."""
+        if isinstance(self._instance, ResilientInstance):
+            return self._instance.fault_stats
+        return None
 
     @property
     def plan(self) -> ExecutionPlan:
@@ -133,8 +171,17 @@ class TreeLikelihood:
 
     # ------------------------------------------------------------------
     def log_likelihood(self) -> float:
-        """Evaluate the tree's log-likelihood (full traversal)."""
-        return execute_plan(self.instance, self.plan)
+        """Evaluate the tree's log-likelihood (full traversal).
+
+        Under ``resilience``, evaluation runs through
+        :meth:`~repro.exec.resilient.ResilientInstance.execute`, which
+        adds root-level underflow detection and rescaling escalation on
+        top of the per-launch retry pipeline.
+        """
+        instance = self.instance
+        if isinstance(instance, ResilientInstance):
+            return instance.execute(self.plan)
+        return execute_plan(instance, self.plan)
 
     def with_tree(self, tree: Tree) -> "TreeLikelihood":
         """A new evaluator for a different tree, sharing model and data.
@@ -150,6 +197,8 @@ class TreeLikelihood:
             scaling=self.scaling,
             mode=self.mode,
             precision=self.precision,
+            resilience=self.resilience,
+            faults=self.faults,
         )
 
     def rerooted_for_concurrency(self, algorithm: str = "fast") -> "TreeLikelihood":
@@ -165,6 +214,8 @@ class TreeLikelihood:
             mode=self.mode,
             reroot=algorithm,
             precision=self.precision,
+            resilience=self.resilience,
+            faults=self.faults,
         )
 
     def invalidate(self) -> None:

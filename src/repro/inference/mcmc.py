@@ -14,14 +14,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
 from ..core.reroot_opt import optimal_reroot_fast
+from ..exec.checkpoint import NEWICK_PRECISION, MCMCCheckpoint
 from ..gpu.device import DeviceSpec, GP100
 
 from ..trees import Tree
+from ..trees.newick import parse_newick, write_newick
 from .likelihood import TreeLikelihood
 from .proposals import multiply_branch, random_nni, random_spr
 
@@ -49,6 +52,10 @@ class MCMCResult:
         How many periodic concurrency rerootings were applied
         (``reroot_every`` option — the paper's §VIII "further balanced
         rerootings later in the search" future work).
+    resumed_at:
+        Iteration the run was resumed from (0 for a fresh run).
+    checkpoints_written:
+        Checkpoints saved during this run.
     """
 
     log_likelihoods: List[float]
@@ -59,6 +66,8 @@ class MCMCResult:
     kernel_launches: int
     device_seconds: float
     rerootings: int = 0
+    resumed_at: int = 0
+    checkpoints_written: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -83,6 +92,9 @@ def run_mcmc(
     prior_rate: float = 10.0,
     device: Optional[DeviceSpec] = GP100,
     reroot_every: int = 0,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> MCMCResult:
     """Metropolis sampling from the posterior over trees.
 
@@ -113,35 +125,102 @@ def run_mcmc(
         restores the launch economics at negligible host cost). The
         likelihood is invariant under rerooting, so the sampled
         distribution is untouched.
+    checkpoint_every:
+        When > 0, write an :class:`~repro.exec.checkpoint.MCMCCheckpoint`
+        to ``checkpoint_path`` every this many iterations (and once at
+        completion): tree, RNG state, trace and accounting — everything
+        a bit-identical resume needs.
+    checkpoint_path:
+        Destination of the checkpoint file (JSON, written atomically).
+    resume:
+        Continue from the checkpoint at ``checkpoint_path`` if one
+        exists (fresh start otherwise). The stored run parameters must
+        match this call's, or :class:`~repro.exec.checkpoint.CheckpointError`
+        is raised; the resumed chain reproduces the uninterrupted chain
+        exactly, draw for draw.
     """
     if iterations < 1:
         raise ValueError("need at least one iteration")
-    rng = np.random.default_rng(seed)
+    if nni_probability + spr_probability > 1.0:
+        raise ValueError("move probabilities exceed 1")
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be non-negative")
+    if (checkpoint_every > 0 or resume) and checkpoint_path is None:
+        raise ValueError("checkpointing requires a checkpoint_path")
+    config = {
+        "nni_probability": nni_probability,
+        "spr_probability": spr_probability,
+        "prior_rate": prior_rate,
+        "reroot_every": reroot_every,
+    }
 
     def modelled(ev) -> float:
         return ev.modelled_seconds(device) if device else 0.0
 
-    current = evaluator
-    current_ll = current.log_likelihood()
-    current_prior = _log_prior(current.tree, prior_rate)
-    launches = current.n_launches
-    device_seconds = modelled(current)
+    checkpoint = None
+    if resume and Path(checkpoint_path).exists():
+        checkpoint = MCMCCheckpoint.load(checkpoint_path)
+        checkpoint.check_matches(iterations=iterations, seed=seed, config=config)
 
-    best_tree = current.tree.copy()
-    best_ll = current_ll
-    trace: List[float] = []
-    accepted = 0
-    proposed = 0
-    rerootings = 0
+    if checkpoint is not None:
+        rng = checkpoint.restore_rng()
+        current = evaluator.with_tree(parse_newick(checkpoint.current_newick))
+        current_ll = checkpoint.current_log_likelihood
+        current_prior = checkpoint.current_log_prior
+        launches = checkpoint.kernel_launches
+        device_seconds = checkpoint.device_seconds
+        best_tree = parse_newick(checkpoint.best_newick)
+        best_ll = checkpoint.best_log_likelihood
+        trace = list(checkpoint.trace)
+        accepted = checkpoint.accepted
+        proposed = checkpoint.proposed
+        rerootings = checkpoint.rerootings
+        start_iteration = checkpoint.iteration
+    else:
+        rng = np.random.default_rng(seed)
+        current = evaluator
+        current_ll = current.log_likelihood()
+        current_prior = _log_prior(current.tree, prior_rate)
+        launches = current.n_launches
+        device_seconds = modelled(current)
+        best_tree = current.tree.copy()
+        best_ll = current_ll
+        trace = []
+        accepted = 0
+        proposed = 0
+        rerootings = 0
+        start_iteration = 0
+    resumed_at = start_iteration
+    checkpoints_written = 0
 
-    for iteration in range(iterations):
+    def write_checkpoint(completed: int) -> None:
+        MCMCCheckpoint(
+            iteration=completed,
+            iterations=iterations,
+            seed=seed,
+            rng_state=rng.bit_generator.state,
+            current_newick=write_newick(
+                current.tree, precision=NEWICK_PRECISION
+            ),
+            current_log_likelihood=current_ll,
+            current_log_prior=current_prior,
+            best_newick=write_newick(best_tree, precision=NEWICK_PRECISION),
+            best_log_likelihood=best_ll,
+            trace=list(trace),
+            accepted=accepted,
+            proposed=proposed,
+            rerootings=rerootings,
+            kernel_launches=launches,
+            device_seconds=device_seconds,
+            config=dict(config),
+        ).save(checkpoint_path)
+
+    for iteration in range(start_iteration, iterations):
         if reroot_every > 0 and iteration > 0 and iteration % reroot_every == 0:
             rerooted = optimal_reroot_fast(current.tree)
             if rerooted.improvement > 0:
                 current = current.with_tree(rerooted.tree)
                 rerootings += 1
-        if nni_probability + spr_probability > 1.0:
-            raise ValueError("move probabilities exceed 1")
         draw = rng.random()
         proposal = None
         if draw < nni_probability:
@@ -174,6 +253,14 @@ def run_mcmc(
                 best_ll = current_ll
                 best_tree = current.tree.copy()
         trace.append(current_ll)
+        if checkpoint_every > 0 and (iteration + 1) % checkpoint_every == 0:
+            write_checkpoint(iteration + 1)
+            checkpoints_written += 1
+
+    if checkpoint_every > 0 and iterations % checkpoint_every != 0:
+        # Final state, so a finished run can also be reloaded.
+        write_checkpoint(iterations)
+        checkpoints_written += 1
 
     return MCMCResult(
         log_likelihoods=trace,
@@ -184,4 +271,6 @@ def run_mcmc(
         kernel_launches=launches,
         device_seconds=device_seconds,
         rerootings=rerootings,
+        resumed_at=resumed_at,
+        checkpoints_written=checkpoints_written,
     )

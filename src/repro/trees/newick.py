@@ -9,24 +9,41 @@ overflow the recursion limit.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, NoReturn, Tuple
 
+from ..errors import ParseError, location_of
 from .node import Node
 from .tree import Tree
 
 __all__ = ["parse_newick", "write_newick", "NewickError"]
 
 
-class NewickError(ValueError):
-    """Raised for malformed Newick input."""
+class NewickError(ParseError):
+    """Raised for malformed Newick input.
 
-
-def _tokenize(text: str) -> List[Tuple[str, str]]:
-    """Split a Newick string into ``(kind, value)`` tokens.
-
-    Kinds: ``(`` ``)`` ``,`` ``;`` ``:`` and ``label``.
+    A position-carrying :class:`~repro.errors.ParseError` (and therefore
+    a ``ValueError``): when the parser knows where the input broke,
+    :attr:`line`/:attr:`column`/:attr:`position` locate the offending
+    character.
     """
-    tokens: List[Tuple[str, str]] = []
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("source", "Newick")
+        super().__init__(message, **kwargs)
+
+
+def _fail(message: str, text: str, position: int) -> NoReturn:
+    line, column = location_of(text, position)
+    raise NewickError(message, line=line, column=column, position=position)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    """Split a Newick string into ``(kind, value, position)`` tokens.
+
+    Kinds: ``(`` ``)`` ``,`` ``;`` ``:`` and ``label``; the position is
+    the 0-based offset of the token's first character.
+    """
+    tokens: List[Tuple[str, str, int]] = []
     i = 0
     n = len(text)
     while i < n:
@@ -34,19 +51,20 @@ def _tokenize(text: str) -> List[Tuple[str, str]]:
         if ch.isspace():
             i += 1
         elif ch in "(),;:":
-            tokens.append((ch, ch))
+            tokens.append((ch, ch, i))
             i += 1
         elif ch == "[":  # comment: skip to matching bracket
             end = text.find("]", i + 1)
             if end == -1:
-                raise NewickError("unterminated comment")
+                _fail("unterminated comment", text, i)
             i = end + 1
         elif ch == "'":
+            start = i
             parts: List[str] = []
             i += 1
             while True:
                 if i >= n:
-                    raise NewickError("unterminated quoted label")
+                    _fail("unterminated quoted label", text, start)
                 if text[i] == "'":
                     if i + 1 < n and text[i + 1] == "'":
                         parts.append("'")
@@ -57,12 +75,12 @@ def _tokenize(text: str) -> List[Tuple[str, str]]:
                 else:
                     parts.append(text[i])
                     i += 1
-            tokens.append(("label", "".join(parts)))
+            tokens.append(("label", "".join(parts), start))
         else:
             j = i
             while j < n and text[j] not in "(),;:[" and not text[j].isspace():
                 j += 1
-            tokens.append(("label", text[i:j]))
+            tokens.append(("label", text[i:j], i))
             i = j
     return tokens
 
@@ -73,7 +91,8 @@ def parse_newick(text: str) -> Tree:
     Raises
     ------
     NewickError
-        On unbalanced parentheses, misplaced tokens, or empty input.
+        On unbalanced parentheses, misplaced tokens, truncated input, or
+        empty input — with the line/column of the offending character.
     """
     tokens = _tokenize(text)
     if not tokens:
@@ -86,10 +105,11 @@ def parse_newick(text: str) -> Tree:
     # just-created node rather than a new sibling.
     awaiting_length = False
     saw_content = False
+    terminated = False
 
     i = 0
     while i < len(tokens):
-        kind, value = tokens[i]
+        kind, value, position = tokens[i]
         if kind == "(":
             child = Node()
             current.add_child(child)
@@ -98,21 +118,21 @@ def parse_newick(text: str) -> Tree:
             saw_content = True
         elif kind == ",":
             if current.parent is None:
-                raise NewickError("comma outside parentheses")
+                _fail("comma outside parentheses", text, position)
             sibling = Node()
             current.parent.add_child(sibling)
             current = sibling
         elif kind == ")":
             depth -= 1
             if depth < 0 or current.parent is None:
-                raise NewickError("unbalanced ')'")
+                _fail("unbalanced ')'", text, position)
             current = current.parent
         elif kind == "label":
             if awaiting_length:
                 try:
                     current.length = float(value)
                 except ValueError:
-                    raise NewickError(f"bad branch length {value!r}") from None
+                    _fail(f"bad branch length {value!r}", text, position)
                 awaiting_length = False
             else:
                 current.name = value
@@ -120,11 +140,18 @@ def parse_newick(text: str) -> Tree:
         elif kind == ":":
             awaiting_length = True
         elif kind == ";":
+            terminated = True
             break
         i += 1
 
     if depth != 0:
-        raise NewickError("unbalanced parentheses")
+        _fail(
+            f"truncated tree: {depth} unclosed '('"
+            if not terminated
+            else "unbalanced parentheses",
+            text,
+            len(text),
+        )
     if not saw_content:
         raise NewickError("no tree content before ';'")
 

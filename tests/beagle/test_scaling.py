@@ -64,3 +64,49 @@ class TestScaleBufferBank:
         bank = ScaleBufferBank(2, 2)
         with pytest.raises(ValueError):
             bank.accumulate([0, 1], 1)
+
+
+class TestWriteShapeValidation:
+    """Regression: ``write`` used to silently *broadcast* wrong shapes.
+
+    A scalar, a length-1 vector, or a ``(k, n_patterns)`` block all
+    broadcast into ``self._logs[index]`` without complaint, corrupting
+    every accumulated likelihood downstream. They must raise instead.
+    """
+
+    def test_scalar_rejected(self):
+        bank = ScaleBufferBank(2, 4)
+        with pytest.raises(ValueError):
+            bank.write(0, -1.0)
+
+    def test_short_vector_rejected(self):
+        bank = ScaleBufferBank(2, 4)
+        with pytest.raises(ValueError):
+            bank.write(0, np.array([-1.0]))
+
+    def test_long_vector_rejected(self):
+        bank = ScaleBufferBank(2, 4)
+        with pytest.raises(ValueError):
+            bank.write(0, np.zeros(5))
+
+    def test_2d_block_rejected(self):
+        bank = ScaleBufferBank(2, 4)
+        with pytest.raises(ValueError):
+            bank.write(0, np.zeros((1, 4)))
+
+    def test_error_names_expected_shape(self):
+        bank = ScaleBufferBank(2, 4)
+        with pytest.raises(ValueError, match=r"\(4,\)"):
+            bank.write(0, np.zeros(3))
+
+    def test_correct_shape_still_accepted(self):
+        bank = ScaleBufferBank(2, 4)
+        bank.write(0, [-1.0, -2.0, -3.0, -4.0])  # list coerces fine
+        assert np.array_equal(bank.read(0), [-1.0, -2.0, -3.0, -4.0])
+
+    def test_rejected_write_leaves_buffer_untouched(self):
+        bank = ScaleBufferBank(1, 3)
+        bank.write(0, np.array([-1.0, -2.0, -3.0]))
+        with pytest.raises(ValueError):
+            bank.write(0, np.zeros(2))
+        assert np.array_equal(bank.read(0), [-1.0, -2.0, -3.0])

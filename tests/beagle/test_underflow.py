@@ -1,0 +1,82 @@
+"""Deep-tree underflow: rescaling is correct, its absence is *detected*.
+
+The satellite of the paper's §VI-F: on a 512-tip tree the partials
+product underflows even ``float64``. With scale buffers the engine must
+agree with the independent (rescaled) pruning oracle to 1e-6; without
+them the failure must surface as a detection — never as a silently wrong
+finite number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beagle.reference import pruning_log_likelihood
+from repro.core.planner import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.exec import NumericalError, ResilientInstance, RetryPolicy
+from repro.models import JC69
+from repro.trees import pectinate_tree
+
+N_TIPS = 512
+
+
+@pytest.fixture(scope="module")
+def deep_case():
+    tree = pectinate_tree(N_TIPS, branch_length=0.05)
+    patterns = random_patterns(
+        tree.tip_names(), 16, rng=np.random.default_rng(42)
+    )
+    model = JC69()
+    reference = pruning_log_likelihood(tree, model, patterns, rescaled=True)
+    return tree, model, patterns, reference
+
+
+class TestRescaledAgainstOracle:
+    def test_float64_with_scaling_matches_reference_to_1e6(self, deep_case):
+        tree, model, patterns, reference = deep_case
+        instance = create_instance(tree, model, patterns, scaling=True)
+        plan = make_plan(tree, "concurrent", scaling=True)
+        ll = execute_plan(instance, plan)
+        assert np.isfinite(reference)
+        assert ll == pytest.approx(reference, abs=1e-6)
+
+    def test_serial_and_concurrent_scaled_plans_agree(self, deep_case):
+        tree, model, patterns, reference = deep_case
+        lls = []
+        for mode in ("serial", "concurrent"):
+            instance = create_instance(tree, model, patterns, scaling=True)
+            lls.append(
+                execute_plan(instance, make_plan(tree, mode, scaling=True))
+            )
+        assert lls[0] == pytest.approx(lls[1], abs=1e-9)
+        assert lls[0] == pytest.approx(reference, abs=1e-6)
+
+
+class TestUnscaledIsDetected:
+    def test_float64_without_scaling_is_not_silently_wrong(self, deep_case):
+        tree, model, patterns, reference = deep_case
+        instance = create_instance(tree, model, patterns)
+        ll = execute_plan(instance, make_plan(tree, "concurrent"))
+        # The failure mode is loud (-inf), not a plausible wrong number.
+        assert ll == -np.inf
+
+    def test_float32_resilient_detects_underflow(self, deep_case):
+        tree, model, patterns, reference = deep_case
+        instance = create_instance(tree, model, patterns, dtype=np.float32)
+        engine = ResilientInstance(instance, RetryPolicy(rescale=False))
+        with pytest.raises(NumericalError) as info:
+            engine.execute(make_plan(tree, "concurrent"))
+        assert info.value.kind == "underflow"
+        assert engine.fault_stats.detected > 0
+
+    def test_float32_rescue_recovers_to_reference(self, deep_case):
+        tree, model, patterns, reference = deep_case
+        instance = create_instance(tree, model, patterns, dtype=np.float32)
+        engine = ResilientInstance(instance)
+        ll = engine.execute(make_plan(tree, "concurrent"))
+        assert engine.fault_stats.rescued == 1
+        assert np.isfinite(ll)
+        # float32 arithmetic: looser agreement than the 1e-6 double bound.
+        assert ll == pytest.approx(reference, abs=1.0)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ParseError
 from repro.data import (
     Alignment,
     format_fasta,
@@ -113,3 +114,47 @@ class TestPhylip:
         a = parse_phylip(PHYLIP)
         b = parse_fasta(format_fasta(a))
         assert b.names == a.names
+
+
+class TestTypedParseErrors:
+    """Malformed input raises :class:`ParseError` carrying the line."""
+
+    def test_fasta_ragged_alignment_names_record_and_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_fasta(">a\nACGT\n>b\nAC\n")
+        assert info.value.line == 3  # header line of the short record
+        assert "ragged" in str(info.value)
+        assert "'b'" in str(info.value)
+
+    def test_fasta_data_before_header_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_fasta("\nACGT\n")
+        assert info.value.line == 2
+        assert info.value.source == "FASTA"
+
+    def test_fasta_duplicate_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_fasta(">x\nAC\n>x\nGT\n")
+        assert info.value.line == 3
+
+    def test_phylip_ragged_record_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_phylip("3 6\nalpha ACGTAC\nbeta ACGT\ngamma ACGTAC\n")
+        assert info.value.line == 3
+        assert "ragged" in str(info.value)
+        assert info.value.source == "PHYLIP"
+
+    def test_phylip_bad_header_is_line_one(self):
+        with pytest.raises(ParseError) as info:
+            parse_phylip("many sites\nx ACGT\n")
+        assert info.value.line == 1
+
+    def test_phylip_header_skips_leading_blank_lines(self):
+        with pytest.raises(ParseError) as info:
+            parse_phylip("\n\nmany sites\nx ACGT\n")
+        assert info.value.line == 3
+
+    def test_parse_errors_are_value_errors(self):
+        # Callers that caught ValueError before the typed errors existed
+        # keep working.
+        assert issubclass(ParseError, ValueError)

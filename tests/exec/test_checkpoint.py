@@ -1,0 +1,218 @@
+"""Checkpoint/resume tests: a killed MCMC run resumes bit-identically."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import simulate_alignment
+from repro.exec import CheckpointError, MCMCCheckpoint
+from repro.exec.checkpoint import CHECKPOINT_VERSION
+from repro.inference.likelihood import TreeLikelihood
+from repro.inference.mcmc import run_mcmc
+from repro.models import JC69
+from repro.trees import yule_tree
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    tree = yule_tree(10, np.random.default_rng(5))
+    aln = simulate_alignment(tree, JC69(), 80, seed=5)
+    return TreeLikelihood(tree, JC69(), aln)
+
+
+def make_checkpoint(**overrides) -> MCMCCheckpoint:
+    rng = np.random.default_rng(3)
+    rng.random(5)
+    fields = dict(
+        iteration=7,
+        iterations=20,
+        seed=3,
+        rng_state=rng.bit_generator.state,
+        current_newick="(A:0.1,B:0.2);",
+        current_log_likelihood=-12.5,
+        current_log_prior=-1.25,
+        best_newick="(A:0.1,B:0.2);",
+        best_log_likelihood=-12.0,
+        trace=[-13.0, -12.5],
+        accepted=3,
+        proposed=7,
+        rerootings=1,
+        kernel_launches=99,
+        device_seconds=0.5,
+        config={"nni_probability": 0.3},
+    )
+    fields.update(overrides)
+    return MCMCCheckpoint(**fields)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_every_field(self, tmp_path):
+        path = tmp_path / "ck.json"
+        original = make_checkpoint()
+        original.save(path)
+        loaded = MCMCCheckpoint.load(path)
+        assert loaded == original
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+    def test_restored_rng_continues_the_stream(self, tmp_path):
+        rng = np.random.default_rng(11)
+        rng.random(10)
+        checkpoint = make_checkpoint(rng_state=rng.bit_generator.state)
+        path = tmp_path / "ck.json"
+        checkpoint.save(path)
+        expected = rng.random(5)
+        resumed = MCMCCheckpoint.load(path).restore_rng()
+        assert np.array_equal(resumed.random(5), expected)
+
+
+class TestValidation:
+    def test_corrupt_json_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            MCMCCheckpoint.load(path)
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            MCMCCheckpoint.load(tmp_path / "absent.json")
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        payload = json.loads(path.read_text())
+        payload["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError):
+            MCMCCheckpoint.load(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        make_checkpoint().save(path)
+        payload = json.loads(path.read_text())
+        del payload["rng_state"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError):
+            MCMCCheckpoint.load(path)
+
+    def test_check_matches_guards_run_parameters(self):
+        checkpoint = make_checkpoint()
+        checkpoint.check_matches(
+            iterations=20, seed=3, config={"nni_probability": 0.3}
+        )
+        with pytest.raises(CheckpointError):
+            checkpoint.check_matches(iterations=21, seed=3, config={})
+        with pytest.raises(CheckpointError):
+            checkpoint.check_matches(iterations=20, seed=4, config={})
+        with pytest.raises(CheckpointError):
+            checkpoint.check_matches(
+                iterations=20, seed=3, config={"nni_probability": 0.5}
+            )
+
+
+class TestResume:
+    def test_killed_run_resumes_bit_identically(self, evaluator, tmp_path, monkeypatch):
+        full = run_mcmc(evaluator, 20, seed=7)
+
+        calls = {"n": 0}
+        original = TreeLikelihood.log_likelihood
+
+        def dying(self):
+            calls["n"] += 1
+            if calls["n"] > 12:
+                raise RuntimeError("simulated kill")
+            return original(self)
+
+        path = tmp_path / "ck.json"
+        monkeypatch.setattr(TreeLikelihood, "log_likelihood", dying)
+        with pytest.raises(RuntimeError):
+            run_mcmc(
+                evaluator, 20, seed=7, checkpoint_every=4, checkpoint_path=path
+            )
+        monkeypatch.setattr(TreeLikelihood, "log_likelihood", original)
+        assert path.exists()
+
+        resumed = run_mcmc(
+            evaluator,
+            20,
+            seed=7,
+            checkpoint_every=4,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert resumed.resumed_at > 0
+        assert resumed.log_likelihoods == full.log_likelihoods
+        assert resumed.best_log_likelihood == full.best_log_likelihood
+        assert resumed.accepted == full.accepted
+        assert resumed.kernel_launches == full.kernel_launches
+
+    def test_uninterrupted_checkpointed_run_matches_plain_run(
+        self, evaluator, tmp_path
+    ):
+        plain = run_mcmc(evaluator, 15, seed=2)
+        checkpointed = run_mcmc(
+            evaluator,
+            15,
+            seed=2,
+            checkpoint_every=4,
+            checkpoint_path=tmp_path / "ck.json",
+        )
+        assert checkpointed.log_likelihoods == plain.log_likelihoods
+        # 15 % 4 != 0: three periodic writes plus the final-state write.
+        assert checkpointed.checkpoints_written == 4
+
+    def test_resume_of_finished_run_is_a_no_op(self, evaluator, tmp_path):
+        path = tmp_path / "ck.json"
+        done = run_mcmc(
+            evaluator, 12, seed=2, checkpoint_every=3, checkpoint_path=path
+        )
+        again = run_mcmc(
+            evaluator,
+            12,
+            seed=2,
+            checkpoint_every=3,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert again.resumed_at == 12
+        assert again.log_likelihoods == done.log_likelihoods
+
+    def test_resume_with_mismatched_parameters_fails_loudly(
+        self, evaluator, tmp_path
+    ):
+        path = tmp_path / "ck.json"
+        run_mcmc(evaluator, 10, seed=2, checkpoint_every=5, checkpoint_path=path)
+        with pytest.raises(CheckpointError):
+            run_mcmc(
+                evaluator,
+                30,
+                seed=2,
+                checkpoint_every=5,
+                checkpoint_path=path,
+                resume=True,
+            )
+
+    def test_checkpointing_requires_a_path(self, evaluator):
+        with pytest.raises(ValueError):
+            run_mcmc(evaluator, 5, seed=1, checkpoint_every=2)
+
+    def test_resume_without_existing_checkpoint_starts_fresh(
+        self, evaluator, tmp_path
+    ):
+        plain = run_mcmc(evaluator, 8, seed=9)
+        fresh = run_mcmc(
+            evaluator,
+            8,
+            seed=9,
+            checkpoint_every=4,
+            checkpoint_path=tmp_path / "new.json",
+            resume=True,
+        )
+        assert fresh.resumed_at == 0
+        assert fresh.log_likelihoods == plain.log_likelihoods

@@ -1,0 +1,66 @@
+"""Unit tests for the typed execution-error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    AllocationError,
+    DeviceFault,
+    ExecutionError,
+    KernelLaunchError,
+    NumericalError,
+    TransientDeviceError,
+)
+
+
+class TestHierarchy:
+    def test_all_are_execution_errors(self):
+        for cls in (
+            DeviceFault,
+            KernelLaunchError,
+            TransientDeviceError,
+            AllocationError,
+            NumericalError,
+        ):
+            assert issubclass(cls, ExecutionError)
+        assert issubclass(ExecutionError, RuntimeError)
+
+    def test_device_fault_covers_launch_and_transient(self):
+        assert issubclass(KernelLaunchError, DeviceFault)
+        assert issubclass(TransientDeviceError, DeviceFault)
+        assert not issubclass(AllocationError, DeviceFault)
+        assert not issubclass(NumericalError, DeviceFault)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(ExecutionError):
+            raise NumericalError("boom", kind="underflow")
+        with pytest.raises(ExecutionError):
+            raise KernelLaunchError("boom")
+
+
+class TestContext:
+    def test_launch_context(self):
+        exc = TransientDeviceError("boom", launch_index=3, n_operations=8)
+        assert exc.launch_index == 3
+        assert exc.n_operations == 8
+        assert exc.context() == "launch=3 ops=8"
+
+    def test_context_omits_unknowns(self):
+        assert ExecutionError("boom").context() == ""
+        assert ExecutionError("boom", launch_index=1).context() == "launch=1"
+
+
+class TestNumericalError:
+    def test_kind_and_buffers(self):
+        exc = NumericalError("bad", kind="underflow", buffers=[7, 9])
+        assert exc.kind == "underflow"
+        assert exc.buffers == (7, 9)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NumericalError("bad", kind="overflow")
+
+    def test_retryable(self):
+        assert NumericalError("bad", kind="nan").retryable
+        assert KernelLaunchError("bad").retryable

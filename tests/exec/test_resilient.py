@@ -1,0 +1,223 @@
+"""Unit tests for the retry/degrade/rescale recovery pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beagle.reference import pruning_log_likelihood
+from repro.core.planner import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.exec import (
+    FaultInjector,
+    FaultSpec,
+    KernelLaunchError,
+    NumericalError,
+    ResilientInstance,
+    RetryPolicy,
+)
+from repro.models import JC69
+from repro.trees import balanced_tree, pectinate_tree
+
+
+def make_case(n_tips=16, n_patterns=32, seed=1, dtype=np.float64, topology="balanced"):
+    tree = (
+        pectinate_tree(n_tips) if topology == "pectinate" else balanced_tree(n_tips)
+    )
+    patterns = random_patterns(
+        tree.tip_names(), n_patterns, rng=np.random.default_rng(seed)
+    )
+    model = JC69()
+    instance = create_instance(tree, model, patterns, dtype=dtype)
+    plan = make_plan(tree, "concurrent")
+    return tree, model, patterns, instance, plan
+
+
+def clean_loglik(tree, model, patterns, dtype=np.float64):
+    instance = create_instance(tree, model, patterns, dtype=dtype)
+    return execute_plan(instance, make_plan(tree, "concurrent"))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.5)
+
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, max_backoff=0.35)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.35)  # clamped
+
+    def test_zero_base_disables_sleeping(self):
+        assert RetryPolicy().backoff_seconds(5) == 0.0
+
+
+class TestRetryRecovery:
+    def test_retries_reproduce_fault_free_result_exactly(self):
+        tree, model, patterns, instance, plan = make_case()
+        clean = clean_loglik(tree, model, patterns)
+        spec = FaultSpec(
+            rate=0.4, seed=5, classes=("launch", "transient", "alloc", "nan")
+        )
+        engine = ResilientInstance(
+            FaultInjector(instance, spec), RetryPolicy(max_retries=50)
+        )
+        assert engine.execute(plan) == clean
+        stats = engine.fault_stats
+        assert stats.injected > 0
+        assert stats.detected == stats.injected
+        assert stats.retried == stats.injected
+        assert stats.errors == 0
+
+    def test_single_injected_underflow_clears_on_recompute(self):
+        tree, model, patterns, instance, plan = make_case()
+        clean = clean_loglik(tree, model, patterns)
+        spec = FaultSpec(rate=1.0, seed=0, classes=("underflow",), max_faults=1)
+        engine = ResilientInstance(FaultInjector(instance, spec))
+        assert engine.execute(plan) == clean
+        stats = engine.fault_stats
+        assert stats.detected_by_class == {"underflow": 1}
+        assert stats.rescued == 0  # recompute sufficed; no escalation
+
+    def test_nan_detection_and_cure(self):
+        tree, model, patterns, instance, plan = make_case()
+        clean = clean_loglik(tree, model, patterns)
+        spec = FaultSpec(rate=1.0, seed=0, classes=("nan",), max_faults=2)
+        engine = ResilientInstance(FaultInjector(instance, spec))
+        assert engine.execute(plan) == clean
+        assert engine.fault_stats.detected_by_class == {"nan": 2}
+
+    def test_backoff_sleeps_are_recorded(self):
+        tree, model, patterns, instance, plan = make_case()
+        sleeps = []
+        spec = FaultSpec(rate=1.0, seed=0, classes=("transient",), max_faults=2)
+        engine = ResilientInstance(
+            FaultInjector(instance, spec),
+            RetryPolicy(backoff_base=0.01, backoff_factor=2.0, max_backoff=1.0),
+            sleep=sleeps.append,
+        )
+        engine.execute(plan)
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+
+class TestDegradation:
+    def test_persistent_batched_fault_degrades_to_per_op(self):
+        tree, model, patterns, instance, plan = make_case()
+        clean = clean_loglik(tree, model, patterns)
+        # Batched-only faults at rate 1: every batched attempt fails, the
+        # per-operation fallback is clean.
+        spec = FaultSpec(rate=1.0, seed=0, classes=("transient",), batched_only=True)
+        engine = ResilientInstance(
+            FaultInjector(instance, spec), RetryPolicy(max_retries=1)
+        )
+        assert engine.execute(plan) == clean
+        stats = engine.fault_stats
+        assert stats.degraded > 0
+        assert stats.errors == 0
+
+    def test_degradation_disabled_surfaces_the_error(self):
+        tree, model, patterns, instance, plan = make_case()
+        spec = FaultSpec(rate=1.0, seed=0, classes=("launch",), batched_only=True)
+        engine = ResilientInstance(
+            FaultInjector(instance, spec),
+            RetryPolicy(max_retries=1, degrade=False),
+        )
+        with pytest.raises(KernelLaunchError):
+            engine.execute(plan)
+        assert engine.fault_stats.errors == 1
+
+    def test_unrecoverable_fault_is_typed(self):
+        tree, model, patterns, instance, plan = make_case()
+        # Faults on every attempt, batched or not: nothing can recover.
+        spec = FaultSpec(rate=1.0, seed=0, classes=("launch",))
+        engine = ResilientInstance(
+            FaultInjector(instance, spec), RetryPolicy(max_retries=2)
+        )
+        with pytest.raises(KernelLaunchError):
+            engine.execute(plan)
+        stats = engine.fault_stats
+        assert stats.errors == 1
+        assert stats.retried > 0
+
+
+class TestRescalingEscalation:
+    def make_deep_case(self, dtype=np.float32):
+        tree = pectinate_tree(256, branch_length=0.05)
+        patterns = random_patterns(
+            tree.tip_names(), 8, rng=np.random.default_rng(2)
+        )
+        model = JC69()
+        instance = create_instance(tree, model, patterns, dtype=dtype)
+        plan = make_plan(tree, "concurrent")
+        return tree, model, patterns, instance, plan
+
+    def test_genuine_underflow_escalates_to_rescaling(self):
+        tree, model, patterns, instance, plan = self.make_deep_case()
+        reference = pruning_log_likelihood(tree, model, patterns, rescaled=True)
+        engine = ResilientInstance(instance)
+        ll = engine.execute(plan)
+        stats = engine.fault_stats
+        assert stats.rescued == 1
+        assert stats.errors == 0
+        assert ll == pytest.approx(reference, abs=0.5)  # float32 slack
+
+    def test_escalation_is_cached(self):
+        tree, model, patterns, instance, plan = self.make_deep_case()
+        engine = ResilientInstance(instance)
+        first = engine.execute(plan)
+        detected_after_first = engine.fault_stats.detected
+        second = engine.execute(plan)
+        assert second == first
+        # The cached scaled plan runs directly: no second detection pass.
+        assert engine.fault_stats.detected == detected_after_first
+        assert engine.fault_stats.rescued == 1
+
+    def test_rescale_disabled_surfaces_numerical_error(self):
+        tree, model, patterns, instance, plan = self.make_deep_case()
+        engine = ResilientInstance(instance, RetryPolicy(rescale=False))
+        with pytest.raises(NumericalError) as info:
+            engine.execute(plan)
+        assert info.value.kind == "underflow"
+        assert engine.fault_stats.errors == 1
+
+
+class TestDelegationAndStats:
+    def test_delegation(self):
+        tree, model, patterns, instance, plan = make_case()
+        engine = ResilientInstance(instance)
+        assert engine.tip_count == instance.tip_count
+        assert engine.inner is instance
+
+    def test_execute_matches_execute_plan_when_healthy(self):
+        tree, model, patterns, instance, plan = make_case()
+        engine = ResilientInstance(instance)
+        direct = clean_loglik(tree, model, patterns)
+        assert engine.execute(plan) == direct
+        stats = engine.fault_stats
+        assert (stats.detected, stats.retried, stats.errors) == (0, 0, 0)
+
+    def test_stats_format_and_reset(self):
+        tree, model, patterns, instance, plan = make_case()
+        spec = FaultSpec(rate=1.0, seed=0, classes=("transient",), max_faults=1)
+        engine = ResilientInstance(FaultInjector(instance, spec))
+        engine.execute(plan)
+        line = engine.fault_stats.format()
+        assert "injected=1" in line and "retried=1" in line
+        engine.fault_stats.reset()
+        assert engine.fault_stats.detected == 0
+
+    def test_launch_level_error_counter(self):
+        # Errors escaping the raw launch surface (not via execute()) are
+        # counted once at the surface.
+        tree, model, patterns, instance, plan = make_case()
+        spec = FaultSpec(rate=1.0, seed=0, classes=("launch",))
+        engine = ResilientInstance(
+            FaultInjector(instance, spec), RetryPolicy(max_retries=0, degrade=False)
+        )
+        ops = list(plan.operation_sets[0])
+        with pytest.raises(KernelLaunchError):
+            engine.update_partials_set(ops)
+        assert engine.fault_stats.errors == 1

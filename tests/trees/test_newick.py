@@ -82,6 +82,54 @@ class TestParse:
         assert t.n_tips == 5000
 
 
+class TestErrorPositions:
+    """NewickError carries the line/column of the offending character."""
+
+    def test_unbalanced_close_paren_position(self):
+        with pytest.raises(NewickError) as info:
+            parse_newick("(a,b));")
+        assert (info.value.line, info.value.column) == (1, 6)
+        assert info.value.position == 5
+
+    def test_truncated_tree_points_past_the_end(self):
+        with pytest.raises(NewickError) as info:
+            parse_newick("(a,(b,c)")
+        assert "truncated" in str(info.value)
+        assert info.value.position == 8
+
+    def test_bad_branch_length_position(self):
+        with pytest.raises(NewickError) as info:
+            parse_newick("(a:xyz,b);")
+        assert info.value.column == 4
+        assert "xyz" in str(info.value)
+
+    def test_multiline_input_reports_line_number(self):
+        with pytest.raises(NewickError) as info:
+            parse_newick("(a,\nb));")
+        assert info.value.line == 2
+        assert info.value.column == 3
+
+    def test_unterminated_quote_position(self):
+        with pytest.raises(NewickError) as info:
+            parse_newick("(a,'oops);")
+        assert info.value.column == 4
+
+    def test_unterminated_comment_position(self):
+        with pytest.raises(NewickError) as info:
+            parse_newick("(a[no end,b);")
+        assert info.value.column == 3
+
+    def test_newick_error_is_parse_error_and_value_error(self):
+        from repro.errors import ParseError
+
+        assert issubclass(NewickError, ParseError)
+        assert issubclass(NewickError, ValueError)
+
+    def test_message_renders_location(self):
+        with pytest.raises(NewickError, match="line 1, column 6"):
+            parse_newick("(a,b));")
+
+
 class TestWrite:
     def test_writes_lengths(self):
         t = parse_newick("((a:0.1,b:0.2):0.3,c:0.4);")
