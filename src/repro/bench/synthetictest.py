@@ -39,9 +39,13 @@ from ..core import (
 )
 from ..data import random_patterns
 from ..exec import (
+    Deadline,
+    DeadlineExceeded,
+    DeadlineGuard,
     ExecutionError,
     FaultInjector,
     FaultSpec,
+    LikelihoodPool,
     ResilientInstance,
     RetryPolicy,
 )
@@ -162,6 +166,47 @@ def build_parser() -> argparse.ArgumentParser:
         "retries, degrade = retries + batched-to-per-op fallback, "
         "full = retries + degradation + rescaling escalation",
     )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="X",
+        help="per-evaluation wall-clock budget in milliseconds; an "
+        "evaluation that runs over raises a typed DeadlineExceeded "
+        "(CPU resource; also the per-job budget under --pool)",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        metavar="N",
+        help="dispatch the repetitions as independent jobs across a "
+        "supervised pool of N likelihood workers (health checks, "
+        "circuit breakers, failover; see repro.exec.pool)",
+    )
+    parser.add_argument(
+        "--worker-fault-rates",
+        type=str,
+        default=None,
+        metavar="R0,R1,...",
+        help="comma-separated per-worker fault rates for --pool (shorter "
+        "lists pad with 0; worker i draws from an independent stream "
+        "seeded from --fault-seed)",
+    )
+    parser.add_argument(
+        "--pool-inline",
+        action="store_true",
+        help="use the deterministic inline pool executor instead of one "
+        "thread per worker (replayable chaos runs)",
+    )
+    parser.add_argument(
+        "--pool-health-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="run a sentinel health check on a worker after every K "
+        "completed jobs (0 = only half-open probes and the final audit)",
+    )
     return parser
 
 
@@ -174,6 +219,22 @@ def _resilience_policy(name: str) -> Optional[RetryPolicy]:
     if name == "degrade":
         return RetryPolicy(rescale=False)
     return RetryPolicy()
+
+
+def _worker_fault_specs(args) -> Optional[List[Optional[FaultSpec]]]:
+    """Per-worker fault specs from ``--worker-fault-rates``.
+
+    Worker ``i`` draws from its own stream seeded ``fault_seed + 7919*i``
+    so adding/removing workers never perturbs another worker's schedule.
+    """
+    if args.worker_fault_rates is None:
+        return None
+    rates = [float(tok) for tok in args.worker_fault_rates.split(",") if tok.strip()]
+    rates += [0.0] * (args.pool - len(rates))
+    return [
+        FaultSpec(rate=rate, seed=args.fault_seed + 7919 * i) if rate > 0 else None
+        for i, rate in enumerate(rates[: args.pool])
+    ]
 
 
 def run(argv: Optional[List[str]] = None, out=None) -> int:
@@ -201,9 +262,55 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     if not 0.0 <= args.fault_rate <= 1.0:
         print("error: --fault-rate must be within [0, 1]", file=out)
         return 2
-    if args.resilience != "none" and args.fault_rate <= 0.0:
-        print("error: --resilience needs a positive --fault-rate", file=out)
+    if (
+        args.resilience != "none"
+        and args.fault_rate <= 0.0
+        and args.worker_fault_rates is None
+    ):
+        print(
+            "error: --resilience needs a positive --fault-rate "
+            "or --worker-fault-rates",
+            file=out,
+        )
         return 2
+    if args.pool < 0:
+        print("error: --pool must be non-negative", file=out)
+        return 2
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print("error: --deadline-ms must be positive", file=out)
+        return 2
+    if args.deadline_ms is not None and args.rsrc != 0:
+        print("error: --deadline-ms requires --rsrc 0 (measured CPU)", file=out)
+        return 2
+    if (
+        args.worker_fault_rates is not None
+        or args.pool_inline
+        or args.pool_health_every
+    ) and not args.pool:
+        print(
+            "error: --worker-fault-rates/--pool-inline/--pool-health-every "
+            "require --pool",
+            file=out,
+        )
+        return 2
+    if args.pool_health_every < 0:
+        print("error: --pool-health-every must be non-negative", file=out)
+        return 2
+    if args.worker_fault_rates is not None:
+        try:
+            specs_check = _worker_fault_specs(args)
+        except ValueError:
+            print(
+                "error: --worker-fault-rates must be comma-separated floats",
+                file=out,
+            )
+            return 2
+        if any(
+            spec is not None and not 0.0 <= spec.rate <= 1.0
+            for spec in specs_check or []
+        ):
+            print("error: worker fault rates must be within [0, 1]", file=out)
+            return 2
 
     topology = "pectinate" if args.pectinate else (
         "random" if args.randomtree else "balanced"
@@ -272,13 +379,30 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     flops_per_eval = (args.taxa - 1) * dims.flops_per_operation
 
     if args.rsrc == 0:
+        if args.pool:
+            return _run_pool_cpu(
+                args, tree, model, patterns, plan, scaling, loglik,
+                flops_per_eval, out,
+            )
         # Measured CPU timing. Rescale factors recomputed every
         # --rescale-frequency reps: other reps run without scaling ops.
         cheap_plan = make_plan(tree, mode, scaling=False)
         start = time.perf_counter()
         for rep in range(args.reps):
             use_scaling = scaling and rep % max(args.rescale_frequency, 1) == 0
-            execute_plan(instance, plan if use_scaling else cheap_plan)
+            engine = instance
+            if args.deadline_ms is not None:
+                engine = DeadlineGuard(
+                    instance, Deadline(args.deadline_ms / 1e3)
+                )
+            try:
+                execute_plan(engine, plan if use_scaling else cheap_plan)
+            except DeadlineExceeded as exc:
+                print(
+                    f"error: {type(exc).__name__}: {exc} (rep {rep})",
+                    file=out,
+                )
+                return 1
         elapsed = time.perf_counter() - start
         per_eval = elapsed / args.reps
         print(f"resource: CPU (NumPy engine), reps={args.reps}", file=out)
@@ -331,7 +455,122 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
                 file=out,
             )
             print(f"modelled {r_stats.format()}", file=out)
+        if args.pool:
+            mech = "streams" if args.streams else "kernel"
+            p_timing = device.time_pool(
+                plan,
+                dims,
+                args.reps,
+                args.pool,
+                worker_fault_specs=_worker_fault_specs(args),
+                policy=_resilience_policy(args.resilience),
+                mechanism=mech,
+                n_streams=args.streams or 4,
+            )
+            print(
+                f"modelled pool: {args.pool} workers, {args.reps} jobs -> "
+                f"makespan {p_timing.seconds * 1e3:.3f} ms, "
+                f"{p_timing.throughput:.1f} jobs/s "
+                f"(completed {p_timing.completed}, surfaced "
+                f"{p_timing.surfaced}, rerouted {p_timing.rerouted}, "
+                f"evicted {list(p_timing.evicted)})",
+                file=out,
+            )
+            if args.full_timing:
+                print("modelled degraded-fleet curve (evicted, jobs/s):", file=out)
+                curve = device.degraded_fleet_curve(
+                    plan, dims, args.reps, args.pool,
+                    mechanism=mech, n_streams=args.streams or 4,
+                )
+                for evicted_count, throughput in curve:
+                    print(
+                        f"  {evicted_count:3d} evicted: {throughput:10.1f}",
+                        file=out,
+                    )
     return 0
+
+
+def _run_pool_cpu(
+    args, tree, model, patterns, plan, scaling, reference_loglik,
+    flops_per_eval, out,
+) -> int:
+    """Dispatch ``--reps`` evaluations across a supervised worker pool.
+
+    Each repetition is an independent job evaluating a fresh engine
+    instance (the shape of a bootstrap replicate or candidate tree). The
+    serial fault-free likelihood is the oracle: every completed job must
+    reproduce it bit-for-bit regardless of which workers faulted, were
+    circuit-broken, or were evicted along the way, and the pool's ledger
+    must balance. Any miss is a nonzero exit — this is the contract the
+    CI soak job gates on.
+    """
+
+    def make_case():
+        return create_instance(tree, model, patterns, scaling=scaling), plan
+
+    pool = LikelihoodPool(
+        args.pool,
+        policy=_resilience_policy(args.resilience),
+        worker_fault_specs=_worker_fault_specs(args),
+        deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        health_check_every=args.pool_health_every,
+        executor="inline" if args.pool_inline else "thread",
+    )
+    start = time.perf_counter()
+    for rep in range(args.reps):
+        pool.submit_case(make_case, label=f"rep-{rep}")
+    outcomes = pool.drain()
+    elapsed = time.perf_counter() - start
+    stats = pool.stats()
+
+    per_eval = elapsed / args.reps
+    print(
+        f"resource: CPU pool ({args.pool} workers, "
+        f"{'inline' if args.pool_inline else 'threaded'} executor), "
+        f"reps={args.reps}",
+        file=out,
+    )
+    print(f"time per evaluation: {per_eval * 1e3:.3f} ms", file=out)
+    print(
+        f"effective throughput: {flops_per_eval / per_eval / 1e9:.3f} GFLOPS",
+        file=out,
+    )
+    print(f"pool {stats.format()}", file=out)
+    if args.full_timing:
+        print(f"kernel launches per evaluation: {plan.n_launches}", file=out)
+        print(f"total wall time: {elapsed:.3f} s", file=out)
+
+    status = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            print(
+                f"error: job {outcome.label} {outcome.status} "
+                f"(cause={outcome.cause}, attempts={outcome.attempts}): "
+                f"{outcome.error}",
+                file=out,
+            )
+            status = 1
+        elif outcome.value != reference_loglik:
+            print(
+                f"error: job {outcome.label} logL {outcome.value!r} does "
+                f"not match serial fault-free logL {reference_loglik!r}",
+                file=out,
+            )
+            status = 1
+    imbalances = stats.imbalances()
+    if imbalances:
+        for imbalance in imbalances:
+            print(f"error: ledger imbalance: {imbalance}", file=out)
+        status = 1
+    if status == 0:
+        print(
+            f"pool verified: {stats.completed}/{args.reps} jobs "
+            f"bit-identical to serial, ledger balanced",
+            file=out,
+        )
+    return status
 
 
 def _run_with_faults(args, instance, plan, reference_loglik, out) -> int:

@@ -24,6 +24,26 @@ def _fail(message: str, line: int) -> NoReturn:
     raise ParseError(message, source="FASTA", line=line)
 
 
+def _check_symbols(
+    raw: str, stripped: str, lineno: int, alphabet: Alphabet
+) -> None:
+    """Reject out-of-alphabet symbols with the exact line and column.
+
+    ``stripped`` is the upper-cased, whitespace-stripped sequence chunk;
+    the column is computed against the raw input line so it points at the
+    offending character as typed.
+    """
+    offset = len(raw) - len(raw.lstrip())
+    for idx, symbol in enumerate(stripped):
+        if symbol not in alphabet:
+            raise ParseError(
+                f"symbol {symbol!r} is not in alphabet {alphabet.name}",
+                source="FASTA",
+                line=lineno,
+                column=offset + idx + 1,
+            )
+
+
 def parse_fasta(text: str, alphabet: Alphabet = DNA) -> Alignment:
     """Parse FASTA-formatted text into an :class:`Alignment`.
 
@@ -34,8 +54,9 @@ def parse_fasta(text: str, alphabet: Alphabet = DNA) -> Alignment:
     ------
     repro.errors.ParseError
         On empty or duplicate record names, sequence data before the
-        first header, no records at all, or a ragged alignment — with
-        the line number of the offending record.
+        first header, no records at all, out-of-alphabet symbols, or a
+        ragged alignment — with the line (and, for bad symbols, column)
+        of the offender.
     """
     sequences: Dict[str, str] = {}
     header_lines: Dict[str, int] = {}
@@ -58,7 +79,9 @@ def parse_fasta(text: str, alphabet: Alphabet = DNA) -> Alignment:
         else:
             if name is None:
                 _fail("sequence data before first FASTA header", lineno)
-            chunks.append(line.upper())
+            chunk = line.upper()
+            _check_symbols(raw, chunk, lineno, alphabet)
+            chunks.append(chunk)
     if name is not None:
         sequences[name] = "".join(chunks)
     if not sequences:

@@ -30,8 +30,9 @@ def parse_phylip(text: str, alphabet: Alphabet = DNA) -> Alignment:
     ------
     repro.errors.ParseError
         On a malformed header, wrong record count, malformed/duplicate
-        records, or ragged rows (a record whose length disagrees with
-        the header) — with the 1-based line number of the offender.
+        records, out-of-alphabet symbols, or ragged rows (a record whose
+        length disagrees with the header) — with the 1-based line (and,
+        for bad symbols, column) of the offender.
     """
     lines = [
         (lineno, line)
@@ -48,6 +49,10 @@ def parse_phylip(text: str, alphabet: Alphabet = DNA) -> Alignment:
         n_taxa, n_sites = int(header[0]), int(header[1])
     except ValueError:
         _fail("PHYLIP header must contain two integers", header_lineno)
+    if n_taxa < 1:
+        _fail("PHYLIP header needs at least one taxon", header_lineno)
+    if n_sites < 0:
+        _fail("PHYLIP header site count must be non-negative", header_lineno)
     records = lines[1:]
     if len(records) != n_taxa:
         _fail(
@@ -59,7 +64,22 @@ def parse_phylip(text: str, alphabet: Alphabet = DNA) -> Alignment:
         parts = line.split(None, 1)
         if len(parts) != 2:
             _fail(f"malformed PHYLIP record: {line!r}", lineno)
-        name, seq = parts[0], parts[1].replace(" ", "").upper()
+        name, raw_seq = parts[0], parts[1]
+        seq_start = line.find(raw_seq)
+        seq = ""
+        for idx, char in enumerate(raw_seq):
+            if char == " ":
+                continue
+            symbol = char.upper()
+            if symbol not in alphabet:
+                raise ParseError(
+                    f"symbol {char!r} in record {name!r} is not in "
+                    f"alphabet {alphabet.name}",
+                    source="PHYLIP",
+                    line=lineno,
+                    column=seq_start + idx + 1,
+                )
+            seq += symbol
         if len(seq) != n_sites:
             _fail(
                 f"ragged alignment: record {name!r} has {len(seq)} sites, "

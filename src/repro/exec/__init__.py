@@ -1,18 +1,31 @@
-"""Resilient execution: fault injection, recovery policies, checkpoints.
+"""Resilient execution: fault injection, recovery policies, checkpoints,
+and the supervised likelihood pool.
 
 The paper's speedups only matter if long runs finish. This subpackage
 adds the dynamic-robustness layer around the likelihood engine:
 
 * :mod:`repro.exec.errors` — the typed failure hierarchy
   (:class:`ExecutionError` → :class:`DeviceFault` /
-  :class:`AllocationError` / :class:`NumericalError`).
+  :class:`AllocationError` / :class:`NumericalError` /
+  :class:`DeadlineExceeded` / :class:`PoolSaturatedError` /
+  :class:`NoHealthyWorkersError`).
 * :mod:`repro.exec.faults` — deterministic, seed-driven
   :class:`FaultInjector` over the engine's launch surface, with five
   fault classes (kernel-launch failure, transient device error,
-  allocation failure, NaN poisoning, silent underflow).
+  allocation failure, NaN poisoning, silent underflow), plus the
+  silently-corrupting :class:`BiasInjector`.
 * :mod:`repro.exec.resilient` — :class:`ResilientInstance`, the
   retry/degrade/rescale facade, with :class:`RetryPolicy` and
   :class:`FaultStats`.
+* :mod:`repro.exec.health` — :class:`Deadline` budgets,
+  :class:`CircuitBreaker` state machines, and the known-answer
+  :class:`Sentinel` health probe.
+* :mod:`repro.exec.supervisor` — :class:`PoolWorker` engine slots and
+  the :class:`Supervisor` that probes and evicts them.
+* :mod:`repro.exec.pool` — :class:`LikelihoodPool`, dispatching
+  independent jobs (bootstrap replicates, partitions, candidate trees)
+  across supervised workers with deadlines, failover, and a balanced
+  fault ledger.
 * :mod:`repro.exec.checkpoint` — :class:`MCMCCheckpoint`, bit-identical
   checkpoint/resume for :func:`repro.inference.mcmc.run_mcmc`.
 """
@@ -20,14 +33,26 @@ adds the dynamic-robustness layer around the likelihood engine:
 from .checkpoint import CheckpointError, MCMCCheckpoint
 from .errors import (
     AllocationError,
+    DeadlineExceeded,
     DeviceFault,
     ExecutionError,
     KernelLaunchError,
+    NoHealthyWorkersError,
     NumericalError,
+    PoolSaturatedError,
     TransientDeviceError,
 )
-from .faults import FAULT_CLASSES, FaultInjector, FaultSchedule, FaultSpec
+from .faults import (
+    FAULT_CLASSES,
+    BiasInjector,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+)
+from .health import CircuitBreaker, Deadline, DeadlineGuard, Sentinel
+from .pool import JobContext, JobOutcome, LikelihoodPool, PoolStats
 from .resilient import FaultStats, ResilientInstance, RetryPolicy
+from .supervisor import PoolWorker, Supervisor
 
 __all__ = [
     "ExecutionError",
@@ -36,13 +61,27 @@ __all__ = [
     "TransientDeviceError",
     "AllocationError",
     "NumericalError",
+    "DeadlineExceeded",
+    "PoolSaturatedError",
+    "NoHealthyWorkersError",
     "FAULT_CLASSES",
     "FaultSpec",
     "FaultSchedule",
     "FaultInjector",
+    "BiasInjector",
     "RetryPolicy",
     "FaultStats",
     "ResilientInstance",
+    "Deadline",
+    "DeadlineGuard",
+    "CircuitBreaker",
+    "Sentinel",
+    "PoolWorker",
+    "Supervisor",
+    "JobContext",
+    "JobOutcome",
+    "PoolStats",
+    "LikelihoodPool",
     "CheckpointError",
     "MCMCCheckpoint",
 ]

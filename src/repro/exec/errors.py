@@ -24,6 +24,16 @@ policies instead of matching on exception messages:
     to (near) zero (``kind="underflow"``). NaN/Inf poisoning is cured by
     recomputation; genuine underflow is deterministic and needs
     rescaling escalation instead.
+``DeadlineExceeded``
+    A wall-clock budget ran out mid-evaluation. Not retryable: the
+    budget is spent, so retrying the same launch cannot help — the job
+    either reroutes with a fresh budget or surfaces.
+``PoolSaturatedError``
+    Admission control: the pool's bounded queue is full and the job was
+    rejected rather than buffered without bound (load shedding).
+``NoHealthyWorkersError``
+    Every worker of a pool has been circuit-broken and evicted; queued
+    jobs cannot be placed anywhere.
 
 Every error carries enough context (launch index, operation count,
 buffers) for :class:`~repro.exec.resilient.FaultStats` accounting and for
@@ -41,6 +51,9 @@ __all__ = [
     "TransientDeviceError",
     "AllocationError",
     "NumericalError",
+    "DeadlineExceeded",
+    "PoolSaturatedError",
+    "NoHealthyWorkersError",
 ]
 
 
@@ -136,3 +149,67 @@ class NumericalError(ExecutionError):
         # underflow recurs deterministically — but one recomputation is
         # still worthwhile because *injected* underflow also clears.
         return True
+
+
+class DeadlineExceeded(ExecutionError):
+    """A wall-clock budget expired before the evaluation finished.
+
+    Raised cooperatively at launch boundaries by
+    :class:`~repro.exec.health.DeadlineGuard` (and at dispatch time by
+    the pool when a job's budget expired while it was still queued).
+
+    Parameters
+    ----------
+    budget_s:
+        The budget that was exceeded, in seconds.
+    elapsed_s:
+        Wall-clock time actually consumed when the guard fired.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_s: Optional[float] = None,
+        elapsed_s: Optional[float] = None,
+        launch_index: Optional[int] = None,
+        n_operations: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            message, launch_index=launch_index, n_operations=n_operations
+        )
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class PoolSaturatedError(ExecutionError):
+    """The pool's bounded queue rejected a job (admission control).
+
+    Parameters
+    ----------
+    capacity:
+        The queue bound that was hit.
+    pending:
+        Jobs already queued when the submission was rejected.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        capacity: Optional[int] = None,
+        pending: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.capacity = capacity
+        self.pending = pending
+
+
+class NoHealthyWorkersError(ExecutionError):
+    """Every pool worker is circuit-broken; the job cannot be placed."""
+
+    retryable = False

@@ -49,7 +49,13 @@ from .errors import (
     TransientDeviceError,
 )
 
-__all__ = ["FAULT_CLASSES", "FaultSpec", "FaultSchedule", "FaultInjector"]
+__all__ = [
+    "FAULT_CLASSES",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "BiasInjector",
+]
 
 #: Every fault class the injector knows, in draw order.
 FAULT_CLASSES: Tuple[str, ...] = (
@@ -273,3 +279,57 @@ class FaultInjector:
             f"<FaultInjector rate={s.rate} seed={s.seed} "
             f"injected={self.log.injected} around {self._inner!r}>"
         )
+
+
+class BiasInjector:
+    """Silently corrupting engine wrapper: finite, plausible, wrong.
+
+    After every successful launch the destination partials are scaled by
+    a constant ``factor`` close to 1 — the failure mode of a device with
+    a sick multiplier or mis-clocked memory: results stay finite and
+    well-conditioned, so neither the NaN/Inf check nor the underflow
+    threshold of :class:`~repro.exec.resilient.ResilientInstance` can
+    see anything wrong. Only an *end-to-end* comparison against a known
+    answer — the pool's sentinel health check
+    (:class:`~repro.exec.health.Sentinel`) — exposes such a worker.
+
+    Deterministic by construction (no randomness), so a corrupted run
+    replays exactly.
+    """
+
+    def __init__(self, inner, factor: float = 1.05) -> None:
+        if not factor > 0.0:
+            raise ValueError("bias factor must be positive")
+        self._inner = inner
+        self.factor = float(factor)
+        self.corrupted_launches = 0
+
+    # -- delegation ----------------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    @property
+    def inner(self):
+        """The wrapped instance."""
+        return self._inner
+
+    # -- intercepted launch surface ------------------------------------
+    def update_partials_set(self, operations) -> None:
+        ops = list(operations)
+        self._inner.update_partials_set(ops)
+        self._corrupt(ops)
+
+    def update_partials_serial(self, operations) -> None:
+        ops = list(operations)
+        self._inner.update_partials_serial(ops)
+        self._corrupt(ops)
+
+    def _corrupt(self, ops) -> None:
+        tip_count = self._inner.tip_count
+        for op in ops:
+            self._inner._partials[op.destination - tip_count] *= self.factor
+        if ops:
+            self.corrupted_launches += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BiasInjector factor={self.factor} around {self._inner!r}>"

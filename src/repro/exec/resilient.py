@@ -67,6 +67,15 @@ class RetryPolicy:
         attempt ``i`` sleeps ``min(base · factor^(i−1), max_backoff)``.
         The default base of 0 disables sleeping — right for the CPU
         engine and for tests; real device deployments set ~1–10 ms.
+    jitter, jitter_seed:
+        Optional *seeded* jitter on the backoff, as a fraction in
+        ``[0, 1]``: attempt ``i`` sleeps the exponential delay scaled by
+        a factor drawn uniformly from ``[1 − jitter, 1 + jitter]``.
+        Jitter decorrelates retry storms when many pool workers back off
+        at once, and because the draw is a pure function of
+        ``(jitter_seed, key, attempt)`` — no shared RNG stream, no wall
+        clock — it keeps chaos runs with concurrent workers exactly
+        replayable; see :meth:`backoff_seconds` for the contract.
     degrade:
         Fall back from a faulting batched launch to per-operation
         launches.
@@ -93,6 +102,8 @@ class RetryPolicy:
     backoff_base: float = 0.0
     backoff_factor: float = 2.0
     max_backoff: float = 1.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
     degrade: bool = True
     rescale: bool = True
     verify: bool = True
@@ -104,15 +115,35 @@ class RetryPolicy:
             raise ValueError("retry counts must be non-negative")
         if min(self.backoff_base, self.backoff_factor, self.max_backoff) < 0:
             raise ValueError("backoff parameters must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
 
-    def backoff_seconds(self, attempt: int) -> float:
-        """Sleep before re-attempt ``attempt`` (1-based)."""
+    def backoff_seconds(self, attempt: int, *, key: int = 0) -> float:
+        """Sleep before re-attempt ``attempt`` (1-based).
+
+        Determinism contract: the returned delay is a pure function of
+        the policy's fields, ``key`` and ``attempt`` — it consumes no
+        shared random stream and reads no clock. Concurrent workers
+        therefore compute identical delays for identical
+        ``(key, attempt)`` pairs regardless of thread interleaving, and
+        a chaos run replays exactly under the same seeds. Pool workers
+        pass their worker id as ``key`` so each worker jitters along its
+        own (still deterministic) sequence.
+        """
         if self.backoff_base <= 0.0:
             return 0.0
-        return min(
+        delay = min(
             self.backoff_base * self.backoff_factor ** (attempt - 1),
             self.max_backoff,
         )
+        if self.jitter > 0.0:
+            # A throwaway generator seeded from (seed, key, attempt) is a
+            # pure hash of its arguments: no state survives the call.
+            unit = np.random.default_rng(
+                (self.jitter_seed, key, attempt)
+            ).random()
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return delay
 
 
 @dataclass
@@ -132,10 +163,21 @@ class FaultStats:
     degraded:
         Batched sets downgraded to per-operation launches.
     rescued:
-        Evaluations recovered through rescaling escalation.
+        Evaluations recovered through rescaling escalation — and, at the
+        pool level, jobs re-executed on a healthy worker after a sentinel
+        health check exposed the original worker as silently corrupting.
     errors:
         Typed :class:`~repro.exec.errors.ExecutionError`\\ s surfaced to
         the caller (recovery exhausted or disabled).
+    rerouted:
+        Pool level: jobs re-dispatched to a different worker after the
+        assigned worker failed them (failover).
+    shed:
+        Pool level: jobs rejected by admission control (bounded queue)
+        or dropped because their deadline expired while still queued.
+    surfaced:
+        Pool level: jobs whose typed error reached the caller — no
+        healthy worker left to reroute to, or a spent deadline.
     """
 
     injected: int = 0
@@ -144,6 +186,9 @@ class FaultStats:
     degraded: int = 0
     rescued: int = 0
     errors: int = 0
+    rerouted: int = 0
+    shed: int = 0
+    surfaced: int = 0
     injected_by_class: Dict[str, int] = field(default_factory=dict)
     detected_by_class: Dict[str, int] = field(default_factory=dict)
 
@@ -153,6 +198,26 @@ class FaultStats:
         label = _class_label(exc)
         self.detected_by_class[label] = self.detected_by_class.get(label, 0) + 1
 
+    def merge(self, other: "FaultStats") -> None:
+        """Fold another ledger into this one (pool aggregation)."""
+        self.injected += other.injected
+        self.detected += other.detected
+        self.retried += other.retried
+        self.degraded += other.degraded
+        self.rescued += other.rescued
+        self.errors += other.errors
+        self.rerouted += other.rerouted
+        self.shed += other.shed
+        self.surfaced += other.surfaced
+        for label, count in other.injected_by_class.items():
+            self.injected_by_class[label] = (
+                self.injected_by_class.get(label, 0) + count
+            )
+        for label, count in other.detected_by_class.items():
+            self.detected_by_class[label] = (
+                self.detected_by_class.get(label, 0) + count
+            )
+
     def reset(self) -> None:
         self.injected = 0
         self.detected = 0
@@ -160,16 +225,25 @@ class FaultStats:
         self.degraded = 0
         self.rescued = 0
         self.errors = 0
+        self.rerouted = 0
+        self.shed = 0
+        self.surfaced = 0
         self.injected_by_class = {}
         self.detected_by_class = {}
 
     def format(self) -> str:
         """One-line summary for logs and the ``synthetictest`` output."""
-        return (
+        line = (
             f"faults: injected={self.injected} detected={self.detected} "
             f"retried={self.retried} degraded={self.degraded} "
             f"rescued={self.rescued} errors={self.errors}"
         )
+        if self.rerouted or self.shed or self.surfaced:
+            line += (
+                f" rerouted={self.rerouted} shed={self.shed} "
+                f"surfaced={self.surfaced}"
+            )
+        return line
 
 
 def _class_label(exc: ExecutionError) -> str:
@@ -209,6 +283,14 @@ class ResilientInstance:
         rescale with verification on.
     sleep:
         Injection point for the backoff sleeper (tests pass a recorder).
+    stats:
+        Optional shared :class:`FaultStats` ledger. Pool workers pass
+        their per-worker ledger so counts accumulate across the many
+        short-lived facades a worker builds (one per job).
+    backoff_key:
+        Jitter key forwarded to :meth:`RetryPolicy.backoff_seconds`;
+        pool workers pass their worker id so concurrent workers jitter
+        along distinct deterministic sequences.
     """
 
     def __init__(
@@ -217,11 +299,14 @@ class ResilientInstance:
         policy: Optional[RetryPolicy] = None,
         *,
         sleep: Optional[Callable[[float], None]] = None,
+        stats: Optional[FaultStats] = None,
+        backoff_key: int = 0,
     ) -> None:
         self._inner = inner
         self.policy = policy or RetryPolicy()
         self._sleep = sleep or time.sleep
-        self._stats = FaultStats()
+        self._stats = stats if stats is not None else FaultStats()
+        self._backoff_key = backoff_key
         self._in_execute = False
         # plan -> escalated (scaling) plan, keyed by identity; the plan
         # object itself is retained so the id cannot be recycled.
@@ -282,7 +367,11 @@ class ResilientInstance:
     def _launch(self, ops: List[Operation], *, batched: bool) -> None:
         try:
             self._launch_with_retries(ops, batched=batched)
-        except ExecutionError:
+        except ExecutionError as exc:
+            if not exc.retryable:
+                # A spent deadline (or other terminal condition) cannot
+                # be cured by degradation — propagate immediately.
+                raise
             if not (batched and self.policy.degrade and len(ops) > 1):
                 raise
             # Graceful degradation: the batched path keeps faulting, so
@@ -312,7 +401,9 @@ class ResilientInstance:
                 if failures > self.policy.max_retries:
                     raise
                 self._stats.retried += 1
-                delay = self.policy.backoff_seconds(failures)
+                delay = self.policy.backoff_seconds(
+                    failures, key=self._backoff_key
+                )
                 if delay > 0.0:
                     self._sleep(delay)
 

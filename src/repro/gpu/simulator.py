@@ -10,8 +10,10 @@ every simulated number corresponds to an actually computed likelihood.
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.faults import FaultSchedule, FaultSpec
@@ -28,7 +30,13 @@ from .perfmodel import (
     time_set_sizes,
 )
 
-__all__ = ["SimulatedDevice", "BenchmarkPoint", "simulate_tree", "simulated_speedup"]
+__all__ = [
+    "SimulatedDevice",
+    "BenchmarkPoint",
+    "PoolTiming",
+    "simulate_tree",
+    "simulated_speedup",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +51,43 @@ class BenchmarkPoint:
     speedup_vs_serial: float
 
 
+@dataclass(frozen=True)
+class PoolTiming:
+    """Modelled execution of a job batch on a multi-worker pool.
+
+    Attributes
+    ----------
+    seconds:
+        Makespan — the time the last busy worker finishes.
+    completed / surfaced / rerouted:
+        Job accounting under the modelled fault streams.
+    evicted:
+        Workers removed after ``failure_threshold`` consecutive failed
+        jobs.
+    busy_seconds / jobs_per_worker:
+        Per-worker load, index-aligned with the pool's workers.
+    stats:
+        Modelled :class:`~repro.exec.resilient.FaultStats` (detection is
+        perfect in the model).
+    """
+
+    seconds: float
+    n_jobs: int
+    n_workers: int
+    completed: int
+    surfaced: int
+    rerouted: int
+    evicted: Tuple[int, ...]
+    busy_seconds: Tuple[float, ...]
+    jobs_per_worker: Tuple[int, ...]
+    stats: "FaultStats"
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per modelled second."""
+        return self.completed / self.seconds if self.seconds > 0.0 else 0.0
+
+
 class SimulatedDevice:
     """A device executing plans under the analytical timing model."""
 
@@ -53,12 +98,27 @@ class SimulatedDevice:
         """Simulated timing of one plan execution."""
         return time_set_sizes(self.spec, dims, plan.set_sizes)
 
+    def _set_cost(
+        self, dims: WorkloadDims, k: int, mechanism: str, n_streams: int
+    ) -> LaunchTiming:
+        """Modelled cost of one operation set under a launch mechanism."""
+        if mechanism == "streams":
+            from .streams import streams_set_time
+
+            return streams_set_time(self.spec, dims, k, n_streams)
+        if mechanism != "kernel":
+            raise ValueError(f"unknown launch mechanism {mechanism!r}")
+        return launch_time(self.spec, dims, k)
+
     def time_plan_resilient(
         self,
         plan: ExecutionPlan,
         dims: WorkloadDims,
         faults: Union["FaultSpec", "FaultSchedule"],
         policy: Optional["RetryPolicy"] = None,
+        *,
+        mechanism: str = "kernel",
+        n_streams: int = 4,
     ) -> Tuple[EvaluationTiming, "FaultStats"]:
         """Simulated timing of one plan under faults and recovery.
 
@@ -72,6 +132,12 @@ class SimulatedDevice:
         to per-operation launches when the policy allows, so the returned
         timing quantifies what resilience costs in device time.
 
+        ``mechanism`` selects the launch model: ``"kernel"`` is the
+        paper's multi-operation kernel; ``"streams"`` issues each set
+        through :func:`repro.gpu.streams.streams_set_time` (a faulting
+        attempt re-pays the whole stream round, which is why the streams
+        ablation degrades faster under faults).
+
         Returns the timing plus the modelled
         :class:`~repro.exec.resilient.FaultStats` (detection is perfect
         in the model: every injected fault is detected).
@@ -83,12 +149,31 @@ class SimulatedDevice:
         policy = policy or RetryPolicy()
         stats = FaultStats()
         launches: List[LaunchTiming] = []
+        self._model_plan(
+            plan, dims, schedule, policy, stats, launches, mechanism, n_streams
+        )
+        stats.injected = schedule.injected
+        stats.injected_by_class = dict(schedule.by_class)
+        return EvaluationTiming(launches=launches, dims=dims), stats
+
+    def _model_plan(
+        self,
+        plan: ExecutionPlan,
+        dims: WorkloadDims,
+        schedule: "FaultSchedule",
+        policy: "RetryPolicy",
+        stats: "FaultStats",
+        launches: List[LaunchTiming],
+        mechanism: str,
+        n_streams: int,
+    ) -> bool:
+        """Model one plan evaluation; returns False if any set errored."""
 
         def run_launch(k: int, batched: bool) -> bool:
             failures = 0
             underflows = 0
             while True:
-                launches.append(launch_time(self.spec, dims, k))
+                launches.append(self._set_cost(dims, k, mechanism, n_streams))
                 fault = schedule.draw(batched=batched)
                 if fault is None:
                     return True
@@ -105,6 +190,7 @@ class SimulatedDevice:
                     return False
                 stats.retried += 1
 
+        succeeded = True
         for size in plan.set_sizes:
             if run_launch(size, batched=size > 1):
                 continue
@@ -112,12 +198,176 @@ class SimulatedDevice:
                 stats.degraded += 1
                 if not all(run_launch(1, batched=False) for _ in range(size)):
                     stats.errors += 1
+                    succeeded = False
             else:
                 stats.errors += 1
+                succeeded = False
+        return succeeded
 
-        stats.injected = schedule.injected
-        stats.injected_by_class = dict(schedule.by_class)
-        return EvaluationTiming(launches=launches, dims=dims), stats
+    # ------------------------------------------------------------------
+    # Pool-level models (paper-style throughput of a degraded fleet)
+    # ------------------------------------------------------------------
+    def time_pool(
+        self,
+        plan: ExecutionPlan,
+        dims: WorkloadDims,
+        n_jobs: int,
+        n_workers: int,
+        *,
+        worker_fault_specs: Optional[Sequence[Optional["FaultSpec"]]] = None,
+        policy: Optional["RetryPolicy"] = None,
+        failure_threshold: int = 3,
+        mechanism: str = "kernel",
+        n_streams: int = 4,
+    ) -> PoolTiming:
+        """List-scheduled timing of ``n_jobs`` identical evaluations on a
+        pool of ``n_workers`` modelled devices.
+
+        Mirrors :class:`~repro.exec.pool.LikelihoodPool` semantics in the
+        analytical model: each job goes to the earliest-available worker
+        that has not already failed it; each worker consumes its own
+        persistent seeded :class:`~repro.exec.faults.FaultSchedule`; a
+        job whose recovery pipeline is exhausted fails the worker and
+        reroutes; ``failure_threshold`` consecutive failed jobs evict the
+        worker (the model folds the breaker's open → half-open → evicted
+        path into one step, since a modelled fault stream that exhausts
+        retries would also fail the probe). Attempt-level faulting and
+        recovery costs replay :meth:`time_plan_resilient` exactly.
+        """
+        from ..exec.faults import FaultSchedule
+        from ..exec.resilient import FaultStats, RetryPolicy
+
+        if n_jobs < 0:
+            raise ValueError("n_jobs must be non-negative")
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        specs: List[Optional["FaultSpec"]] = list(worker_fault_specs or [])
+        if len(specs) > n_workers:
+            raise ValueError(f"{len(specs)} fault specs for {n_workers} workers")
+        specs += [None] * (n_workers - len(specs))
+        policy = policy or RetryPolicy()
+        schedules = [
+            FaultSchedule(spec) if spec is not None and spec.rate > 0.0 else None
+            for spec in specs
+        ]
+        stats = FaultStats()
+        available = [0.0] * n_workers
+        busy = [0.0] * n_workers
+        jobs_done = [0] * n_workers
+        consecutive = [0] * n_workers
+        alive = [True] * n_workers
+        evicted: List[int] = []
+        tried: Dict[int, Set[int]] = {j: set() for j in range(n_jobs)}
+        completed = 0
+        surfaced = 0
+        rerouted = 0
+
+        queue = deque(range(n_jobs))
+        clean_seconds: Optional[float] = None
+        while queue:
+            job = queue.popleft()
+            candidates = [
+                i for i in range(n_workers) if alive[i] and i not in tried[job]
+            ]
+            if not candidates:
+                surfaced += 1
+                stats.surfaced += 1
+                continue
+            worker = min(candidates, key=lambda i: (available[i], i))
+            schedule = schedules[worker]
+            if schedule is None:
+                # Healthy worker: every job costs the clean plan time.
+                if clean_seconds is None:
+                    clean_seconds = self.time_plan(plan, dims).seconds
+                elapsed, ok = clean_seconds, True
+            else:
+                launches: List[LaunchTiming] = []
+                ok = self._model_plan(
+                    plan,
+                    dims,
+                    schedule,
+                    policy,
+                    stats,
+                    launches,
+                    mechanism,
+                    n_streams,
+                )
+                elapsed = sum(launch.seconds for launch in launches)
+            available[worker] += elapsed
+            busy[worker] += elapsed
+            if ok:
+                jobs_done[worker] += 1
+                consecutive[worker] = 0
+                completed += 1
+                continue
+            consecutive[worker] += 1
+            tried[job].add(worker)
+            if consecutive[worker] >= failure_threshold:
+                alive[worker] = False
+                evicted.append(worker)
+            if any(alive[i] and i not in tried[job] for i in range(n_workers)):
+                rerouted += 1
+                stats.rerouted += 1
+                queue.append(job)
+            else:
+                surfaced += 1
+                stats.surfaced += 1
+
+        for schedule in schedules:
+            if schedule is not None:
+                stats.injected += schedule.injected
+                for label, count in schedule.by_class.items():
+                    stats.injected_by_class[label] = (
+                        stats.injected_by_class.get(label, 0) + count
+                    )
+        return PoolTiming(
+            seconds=max(busy) if any(busy) else 0.0,
+            n_jobs=n_jobs,
+            n_workers=n_workers,
+            completed=completed,
+            surfaced=surfaced,
+            rerouted=rerouted,
+            evicted=tuple(evicted),
+            busy_seconds=tuple(busy),
+            jobs_per_worker=tuple(jobs_done),
+            stats=stats,
+        )
+
+    def degraded_fleet_curve(
+        self,
+        plan: ExecutionPlan,
+        dims: WorkloadDims,
+        n_jobs: int,
+        n_workers: int,
+        *,
+        mechanism: str = "kernel",
+        n_streams: int = 4,
+    ) -> List[Tuple[int, float]]:
+        """Throughput (jobs/s) of a clean pool as workers are evicted.
+
+        Returns ``(evicted_count, throughput)`` for 0 … ``n_workers − 1``
+        evictions. With identical jobs, list scheduling gives makespan
+        ``ceil(n_jobs / survivors) · job_seconds``, so the curve is
+        monotone non-increasing by construction — the reference shape the
+        real pool's degradation benchmark is compared against.
+        """
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if n_jobs < 1:
+            raise ValueError("need at least one job")
+        job_seconds = EvaluationTiming(
+            launches=[
+                self._set_cost(dims, k, mechanism, n_streams)
+                for k in plan.set_sizes
+            ],
+            dims=dims,
+        ).seconds
+        curve: List[Tuple[int, float]] = []
+        for evicted_count in range(n_workers):
+            survivors = n_workers - evicted_count
+            makespan = math.ceil(n_jobs / survivors) * job_seconds
+            curve.append((evicted_count, n_jobs / makespan))
+        return curve
 
     def time_tree(
         self, tree: Tree, dims: WorkloadDims, mode: str = "concurrent"

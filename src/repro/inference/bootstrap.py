@@ -11,13 +11,17 @@ likelihood-based support.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterator, List
+import inspect
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterator, List, Optional
 
 import numpy as np
 
 from ..data.alignment import Alignment
 from ..trees import Tree
 from .consensus import majority_rule_consensus, split_frequencies
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.pool import JobContext, LikelihoodPool
 
 __all__ = [
     "bootstrap_alignments",
@@ -27,6 +31,31 @@ __all__ = [
 ]
 
 TreeBuilder = Callable[[Alignment], Tree]
+
+
+def _accepts_context(builder: Callable) -> bool:
+    """Does the builder take a second (pool job context) argument?"""
+    try:
+        signature = inspect.signature(builder)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    positional = [
+        p
+        for p in signature.parameters.values()
+        if p.kind
+        in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
+    ]
+    if any(p.kind == p.VAR_POSITIONAL for p in positional):
+        return True
+    return len(positional) >= 2
+
+
+def _replicate_job(
+    builder: Callable, replicate: Alignment, pass_context: bool
+) -> Callable[["JobContext"], Tree]:
+    if pass_context:
+        return lambda ctx: builder(replicate, ctx)
+    return lambda ctx: builder(replicate)
 
 
 def bootstrap_alignments(
@@ -49,13 +78,32 @@ def bootstrap_trees(
     n_replicates: int,
     *,
     seed: int = 0,
+    pool: Optional["LikelihoodPool"] = None,
 ) -> List[Tree]:
-    """Build one tree per bootstrap replicate."""
+    """Build one tree per bootstrap replicate.
+
+    Replicate alignments are always drawn from one seeded RNG in order,
+    so the replicate set is identical with or without a pool. With a
+    ``pool``, replicates are independent jobs dispatched across the
+    supervised workers (deadlines, failover, health checks apply); a
+    builder that accepts a second argument receives its
+    :class:`~repro.exec.pool.JobContext` so likelihood-based builders
+    can evaluate through the worker's resilient stack.
+    """
     rng = np.random.default_rng(seed)
-    return [
-        builder(replicate)
-        for replicate in bootstrap_alignments(alignment, n_replicates, rng)
+    replicates = bootstrap_alignments(alignment, n_replicates, rng)
+    if pool is None:
+        return [builder(replicate) for replicate in replicates]
+    pass_context = _accepts_context(builder)
+    jobs = [
+        _replicate_job(builder, replicate, pass_context)
+        for replicate in replicates
     ]
+    return list(
+        pool.map(
+            jobs, labels=[f"replicate-{i}" for i in range(len(jobs))]
+        )
+    )
 
 
 def bootstrap_support(
@@ -64,9 +112,10 @@ def bootstrap_support(
     n_replicates: int,
     *,
     seed: int = 0,
+    pool: Optional["LikelihoodPool"] = None,
 ) -> Dict[FrozenSet[str], float]:
     """Split frequencies across bootstrap replicates (support values)."""
-    trees = bootstrap_trees(alignment, builder, n_replicates, seed=seed)
+    trees = bootstrap_trees(alignment, builder, n_replicates, seed=seed, pool=pool)
     return split_frequencies(trees)
 
 
@@ -77,7 +126,8 @@ def bootstrap_consensus(
     *,
     seed: int = 0,
     min_frequency: float = 0.5,
+    pool: Optional["LikelihoodPool"] = None,
 ) -> Tree:
     """Majority-rule consensus of bootstrap trees, labelled with support."""
-    trees = bootstrap_trees(alignment, builder, n_replicates, seed=seed)
+    trees = bootstrap_trees(alignment, builder, n_replicates, seed=seed, pool=pool)
     return majority_rule_consensus(trees, min_frequency=min_frequency)

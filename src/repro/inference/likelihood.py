@@ -136,6 +136,33 @@ class TreeLikelihood:
             self._instance = instance
         return self._instance
 
+    def bare_instance(self) -> BeagleInstance:
+        """A fresh, unwrapped engine instance for this evaluator's case.
+
+        Unlike :attr:`instance` this is never cached and never carries
+        the evaluator's own fault/resilience wrappers — it is the raw
+        engine a :class:`~repro.exec.pool.LikelihoodPool` worker wraps in
+        its *own* stack (per-worker fault stream, deadline guard,
+        resilient facade).
+        """
+        return create_instance(
+            self.tree,
+            self.model,
+            self.patterns,
+            rates=self.rates,
+            scaling=self.scaling,
+            dtype=self._dtype,
+        )
+
+    def make_case(self):
+        """``(instance, plan)`` factory for pool jobs.
+
+        Matches the ``make_case`` shape of
+        :meth:`repro.exec.pool.JobContext.evaluate` and
+        :class:`~repro.exec.health.Sentinel`.
+        """
+        return self.bare_instance(), self.plan
+
     @property
     def fault_stats(self) -> Optional[FaultStats]:
         """Resilience counters, when resilience is enabled."""

@@ -12,12 +12,15 @@ improves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..trees import Tree
 from .likelihood import TreeLikelihood
 from .optimize import optimize_branch_lengths
 from .proposals import _swap, nni_candidates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.pool import JobContext, LikelihoodPool
 
 __all__ = ["SearchResult", "nni_neighbors", "ml_search"]
 
@@ -68,12 +71,19 @@ def nni_neighbors(tree: Tree) -> List[Tree]:
     return neighbors
 
 
+def _neighbor_job(
+    neighbor: TreeLikelihood,
+) -> Callable[["JobContext"], float]:
+    return lambda ctx: ctx.evaluate(neighbor.make_case)
+
+
 def ml_search(
     evaluator: TreeLikelihood,
     *,
     max_rounds: int = 20,
     optimize_lengths: bool = False,
     tolerance: float = 1e-6,
+    pool: Optional["LikelihoodPool"] = None,
 ) -> SearchResult:
     """Greedy NNI hill climbing from the evaluator's tree.
 
@@ -84,6 +94,12 @@ def ml_search(
         move; slower but climbs further.
     tolerance:
         Minimum log-likelihood gain to accept a move.
+    pool:
+        Optional :class:`~repro.exec.pool.LikelihoodPool` — candidate
+        trees of each round are independent jobs dispatched across the
+        supervised workers. The accept decision replays the serial fold
+        over the collected values in neighbour order, so the search
+        visits exactly the same trees as the serial path.
     """
     current = evaluator
     current_ll = start_ll = current.log_likelihood()
@@ -95,9 +111,17 @@ def ml_search(
         rounds += 1
         best_neighbor: Optional[TreeLikelihood] = None
         best_ll = current_ll
-        for neighbor_tree in nni_neighbors(current.tree):
-            neighbor = current.with_tree(neighbor_tree)
-            ll = neighbor.log_likelihood()
+        neighbors = [
+            current.with_tree(tree) for tree in nni_neighbors(current.tree)
+        ]
+        if pool is not None:
+            values = pool.map(
+                [_neighbor_job(neighbor) for neighbor in neighbors],
+                labels=[f"nni-{i}" for i in range(len(neighbors))],
+            )
+        else:
+            values = [neighbor.log_likelihood() for neighbor in neighbors]
+        for neighbor, ll in zip(neighbors, values):
             evaluations += 1
             launches += neighbor.n_launches
             if ll > best_ll + tolerance:

@@ -20,7 +20,7 @@ themselves are always real.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..beagle.instance import BeagleInstance
 from ..core.planner import ExecutionPlan, create_instance, execute_plan, make_plan
@@ -34,6 +34,9 @@ from ..gpu.perfmodel import (
 )
 from ..trees import Tree
 from .dataset import PartitionedDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.pool import JobContext, LikelihoodPool
 
 __all__ = ["PartitionedLikelihood"]
 
@@ -58,6 +61,14 @@ class PartitionedLikelihood:
         Statically verify the shared plan (:mod:`repro.analysis`) before
         any partition executes it; one verification covers all
         partitions because the schedule depends only on the tree.
+    pool:
+        Optional :class:`~repro.exec.pool.LikelihoodPool`. With a pool,
+        partitions are *real concurrent jobs*: each partition evaluates
+        on its own supervised worker (partitions touch disjoint
+        instances, so they are embarrassingly parallel) with the pool's
+        deadlines, failover and health checks. Values are bit-identical
+        to the serial path — per-partition log-likelihoods are summed in
+        dataset order either way.
     """
 
     def __init__(
@@ -69,6 +80,7 @@ class PartitionedLikelihood:
         mode: str = "concurrent",
         reroot: str = "none",
         verify: bool = False,
+        pool: Optional["LikelihoodPool"] = None,
     ) -> None:
         if reroot == "fast":
             tree = optimal_reroot_fast(tree).tree
@@ -80,6 +92,7 @@ class PartitionedLikelihood:
         self.scaling = scaling
         self.verify = verify
         # One plan: the schedule depends only on the tree, not the data.
+        self.pool = pool
         self.plan: ExecutionPlan = make_plan(
             tree, mode, scaling=scaling, verify=verify
         )
@@ -102,14 +115,28 @@ class PartitionedLikelihood:
         return self._instances
 
     def log_likelihood(self) -> float:
-        """Sum of per-partition log-likelihoods (real computation)."""
-        return sum(
-            execute_plan(instance, self.plan) for instance in self.instances
-        )
+        """Sum of per-partition log-likelihoods (real computation).
+
+        The sum runs over partitions in dataset order whether the
+        evaluations were serial or pooled, so the float result is
+        bit-identical between the two paths.
+        """
+        return sum(self.partition_log_likelihoods())
 
     def partition_log_likelihoods(self) -> List[float]:
         """Per-partition log-likelihoods, in dataset order."""
+        if self.pool is not None:
+            instances = self.instances
+            return self.pool.map(
+                [self._partition_job(instance) for instance in instances],
+                labels=[f"partition-{i}" for i in range(len(instances))],
+            )
         return [execute_plan(instance, self.plan) for instance in self.instances]
+
+    def _partition_job(
+        self, instance: BeagleInstance
+    ) -> Callable[["JobContext"], float]:
+        return lambda ctx: ctx.execute(instance, self.plan)
 
     # ------------------------------------------------------------------
     # Launch accounting (paper §IV-A)
@@ -185,6 +212,7 @@ class PartitionedLikelihood:
             scaling=self.scaling,
             mode=self.mode,
             verify=self.verify,
+            pool=self.pool,
         )
 
     def modelled_seconds(self, spec: DeviceSpec = GP100) -> float:

@@ -1,0 +1,208 @@
+"""Unit tests for deadlines, circuit breakers and the sentinel probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.exec import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DeadlineGuard,
+    FaultInjector,
+    FaultSpec,
+    ResilientInstance,
+    RetryPolicy,
+    Sentinel,
+)
+from repro.exec.faults import BiasInjector
+from repro.exec.health import CLOSED, EVICTED, HALF_OPEN, OPEN
+from repro.models import JC69
+from repro.trees import balanced_tree
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def small_case(n_tips=8, n_patterns=16, seed=3):
+    tree = balanced_tree(n_tips)
+    patterns = random_patterns(
+        tree.tip_names(), n_patterns, rng=np.random.default_rng(seed)
+    )
+    instance = create_instance(tree, JC69(), patterns)
+    return instance, make_plan(tree, "concurrent")
+
+
+class TestDeadline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_unbounded_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert not deadline.expired
+        deadline.check()  # no raise
+
+    def test_expiry_and_typed_error(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(0.4)
+        assert not deadline.expired
+        deadline.check()
+        clock.advance(0.2)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("job")
+        assert info.value.budget_s == pytest.approx(0.5)
+        assert info.value.elapsed_s == pytest.approx(0.6)
+        assert not info.value.retryable
+
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(0.25)
+        assert deadline.remaining == pytest.approx(0.75)
+
+
+class TestDeadlineGuard:
+    def test_guard_raises_at_launch_boundary(self):
+        clock = FakeClock()
+        instance, plan = small_case()
+        guard = DeadlineGuard(instance, Deadline(1.0, clock=clock))
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded):
+            execute_plan(guard, plan)
+
+    def test_guard_transparent_within_budget(self):
+        instance, plan = small_case()
+        reference = execute_plan(instance, plan)
+        instance2, _ = small_case()
+        guard = DeadlineGuard(instance2, Deadline(60.0))
+        assert execute_plan(guard, plan) == reference
+
+    def test_deadline_punches_through_retries(self):
+        # Inside a resilient facade, an expired budget must not be
+        # retried away: DeadlineExceeded is non-retryable.
+        clock = FakeClock()
+        instance, plan = small_case()
+        guard = DeadlineGuard(instance, Deadline(1.0, clock=clock))
+        resilient = ResilientInstance(guard, RetryPolicy())
+        clock.advance(5.0)
+        with pytest.raises(DeadlineExceeded):
+            resilient.execute(plan)
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.available()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_promotes_to_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=0.5, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.cooldown_remaining() == pytest.approx(0.5)
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+        assert breaker.wants_probe()
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=0.1, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(0.2)
+        assert breaker.wants_probe()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.available()
+
+    def test_half_open_probe_failure_evicts_permanently(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=0.1, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(0.2)
+        breaker.record_failure()  # the one half-open probe fails
+        assert breaker.state == EVICTED
+        assert breaker.evicted
+        # Terminal: nothing reopens an evicted breaker.
+        breaker.record_success()
+        assert breaker.state == EVICTED
+        clock.advance(100.0)
+        assert not breaker.available()
+
+    def test_direct_eviction(self):
+        breaker = CircuitBreaker()
+        breaker.evict()
+        assert breaker.evicted
+
+
+class TestSentinel:
+    def test_expected_matches_reference_oracle(self):
+        sentinel = Sentinel()
+        instance, plan = sentinel.make_case()
+        assert sentinel.passes(execute_plan(instance, plan))
+
+    def test_wrong_value_fails(self):
+        sentinel = Sentinel()
+        assert not sentinel.passes(sentinel.expected * 1.05)
+        assert not sentinel.passes(float("nan"))
+        assert not sentinel.passes(float("-inf"))
+
+    def test_catches_silent_corruption(self):
+        sentinel = Sentinel()
+        instance, plan = sentinel.make_case()
+        value = execute_plan(BiasInjector(instance, 1.05), plan)
+        assert not sentinel.passes(value)
+
+    def test_recoverable_faults_do_not_move_the_value(self):
+        sentinel = Sentinel()
+        instance, plan = sentinel.make_case()
+        stack = ResilientInstance(
+            FaultInjector(instance, FaultSpec(rate=0.4, seed=9)),
+            RetryPolicy(),
+        )
+        assert sentinel.passes(stack.execute(plan))

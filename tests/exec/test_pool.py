@@ -1,0 +1,300 @@
+"""Integration tests for the supervised likelihood pool.
+
+The contract under test (ISSUE acceptance criteria): for any mix of
+worker fault rates — including a permanently circuit-broken worker — a
+drained pool produces log-likelihoods bit-identical to serial fault-free
+evaluation, and the extended ledger accounts for every job (nothing is
+silently dropped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.exec import (
+    DeadlineExceeded,
+    FaultSpec,
+    LikelihoodPool,
+    NoHealthyWorkersError,
+    PoolSaturatedError,
+)
+from repro.models import JC69
+from repro.trees import balanced_tree
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def case():
+    tree = balanced_tree(8)
+    patterns = random_patterns(
+        tree.tip_names(), 24, rng=np.random.default_rng(11)
+    )
+    model = JC69()
+    plan = make_plan(tree, "concurrent")
+
+    def make_case():
+        return create_instance(tree, model, patterns), plan
+
+    reference = execute_plan(*make_case())
+    return make_case, reference
+
+
+def submit_reps(pool, make_case, n):
+    for rep in range(n):
+        pool.submit_case(make_case, label=f"rep-{rep}")
+
+
+def assert_verified(outcomes, stats, reference, n):
+    assert len(outcomes) == n
+    assert [o.index for o in outcomes] == list(range(n))
+    assert all(o.ok for o in outcomes)
+    assert all(o.value == reference for o in outcomes)
+    assert stats.balances(), stats.imbalances()
+    assert stats.completed == n
+
+
+class TestFaultFreePool:
+    @pytest.mark.parametrize("executor", ["inline", "thread"])
+    def test_bit_identical_to_serial(self, case, executor):
+        make_case, reference = case
+        pool = LikelihoodPool(3, executor=executor)
+        submit_reps(pool, make_case, 9)
+        outcomes = pool.drain()
+        assert_verified(outcomes, pool.stats(), reference, 9)
+        assert pool.stats().faults.injected == 0
+
+    def test_map_returns_values_in_submission_order(self, case):
+        make_case, reference = case
+        pool = LikelihoodPool(2, executor="inline")
+        values = pool.map_cases([make_case] * 5)
+        assert values == [reference] * 5
+
+    def test_empty_drain(self):
+        assert LikelihoodPool(2).drain() == []
+
+
+class TestFaultyWorkers:
+    @pytest.mark.parametrize("executor", ["inline", "thread"])
+    def test_chaotic_workers_still_bit_identical(self, case, executor):
+        make_case, reference = case
+        pool = LikelihoodPool(
+            4,
+            worker_fault_specs=[
+                FaultSpec(rate=0.3, seed=101),
+                FaultSpec(rate=0.3, seed=202),
+                None,
+                FaultSpec(rate=1.0, seed=303),  # permanently dead
+            ],
+            executor=executor,
+            cooldown_s=0.0,
+        )
+        submit_reps(pool, make_case, 12)
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert_verified(outcomes, stats, reference, 12)
+        assert stats.faults.injected > 0
+
+    def test_dead_worker_jobs_reroute(self, case):
+        make_case, reference = case
+        # No retry policy: the dead worker fails every job it touches and
+        # the pool must reroute each one to the clean worker.
+        pool = LikelihoodPool(
+            2,
+            policy=None,
+            worker_fault_specs=[FaultSpec(rate=1.0, seed=5), None],
+            executor="inline",
+            cooldown_s=0.0,
+        )
+        submit_reps(pool, make_case, 6)
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert_verified(outcomes, stats, reference, 6)
+        assert stats.rerouted > 0
+        # Ledger identity: every typed worker error was rerouted,
+        # surfaced, or burned during a probe.
+        assert stats.balances(), stats.imbalances()
+
+    def test_silently_corrupt_worker_is_caught_and_rescued(self, case):
+        make_case, reference = case
+        pool = LikelihoodPool(
+            3,
+            worker_bias={2: 1.05},  # finite-but-wrong results
+            executor="inline",
+        )
+        submit_reps(pool, make_case, 9)
+        outcomes = pool.drain()
+        stats = pool.stats()
+        # The final audit's sentinel probe must unmask the corrupt
+        # worker, evict it, and re-run its completions on clean workers.
+        assert_verified(outcomes, stats, reference, 9)
+        assert 2 in stats.evicted
+        assert stats.rescued > 0
+        assert stats.probe_failures >= 1
+
+    def test_all_workers_dead_surfaces_every_job(self, case):
+        make_case, _reference = case
+        pool = LikelihoodPool(
+            2,
+            policy=None,
+            worker_fault_specs=[
+                FaultSpec(rate=1.0, seed=1),
+                FaultSpec(rate=1.0, seed=2),
+            ],
+            failure_threshold=1,
+            cooldown_s=0.0,
+            executor="inline",
+            audit=False,
+        )
+        submit_reps(pool, make_case, 3)
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert all(o.status == "surfaced" for o in outcomes)
+        causes = {o.cause for o in outcomes}
+        assert causes <= {"failure", "unplaced"}
+        unplaced = [o for o in outcomes if o.cause == "unplaced"]
+        assert all(
+            isinstance(o.error, NoHealthyWorkersError) for o in unplaced
+        )
+        assert stats.balances(), stats.imbalances()
+        assert stats.completed == 0
+        assert stats.surfaced == 3
+
+    def test_inline_chaos_run_is_replayable(self, case):
+        make_case, _reference = case
+
+        def run():
+            pool = LikelihoodPool(
+                3,
+                worker_fault_specs=[
+                    FaultSpec(rate=0.4, seed=41),
+                    FaultSpec(rate=0.4, seed=42),
+                    None,
+                ],
+                executor="inline",
+                cooldown_s=0.0,
+            )
+            submit_reps(pool, make_case, 8)
+            outcomes = pool.drain()
+            stats = pool.stats()
+            return (
+                [(o.status, o.worker_id, o.attempts, o.value) for o in outcomes],
+                stats.format(),
+            )
+
+        assert run() == run()
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_rejects_with_typed_error(self, case):
+        make_case, reference = case
+        pool = LikelihoodPool(2, max_pending=2, executor="inline")
+        submit_reps(pool, make_case, 2)
+        with pytest.raises(PoolSaturatedError) as info:
+            pool.submit_case(make_case, label="overflow")
+        assert info.value.capacity == 2
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert all(o.ok for o in outcomes)
+        # The rejection is part of the ledger: offered = completed + shed.
+        assert stats.offered == 3
+        assert stats.rejected == 1
+        assert stats.shed == 1
+        assert stats.balances(), stats.imbalances()
+
+
+class TestDeadlines:
+    def test_job_expired_in_queue_is_shed(self, case):
+        make_case, _reference = case
+        clock = FakeClock()
+        pool = LikelihoodPool(
+            1, deadline_s=0.5, executor="inline", clock=clock, audit=False
+        )
+        pool.submit_case(make_case, label="stale")
+        clock.advance(1.0)  # budget burns while queued
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert outcomes[0].status == "shed"
+        assert outcomes[0].cause == "expired"
+        assert isinstance(outcomes[0].error, DeadlineExceeded)
+        assert stats.shed == 1
+        assert stats.balances(), stats.imbalances()
+
+    def test_deadline_mid_job_is_surfaced_not_rerouted(self, case):
+        make_case, _reference = case
+        clock = FakeClock()
+        pool = LikelihoodPool(
+            2,
+            policy=None,
+            deadline_s=1.0,
+            executor="inline",
+            clock=clock,
+            audit=False,
+        )
+
+        def slow_job(ctx):
+            clock.advance(5.0)  # the evaluation overruns its budget
+            return ctx.evaluate(make_case)  # guard raises at first launch
+
+        pool.submit(slow_job, label="slow")
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert outcomes[0].status == "surfaced"
+        assert outcomes[0].cause == "failure"
+        assert isinstance(outcomes[0].error, DeadlineExceeded)
+        # The budget is spent — rerouting would just burn another worker.
+        assert stats.rerouted == 0
+        assert outcomes[0].attempts == 1
+        assert stats.balances(), stats.imbalances()
+
+    def test_generous_deadline_changes_nothing(self, case):
+        make_case, reference = case
+        pool = LikelihoodPool(2, deadline_s=60.0, executor="inline")
+        submit_reps(pool, make_case, 4)
+        outcomes = pool.drain()
+        assert_verified(outcomes, pool.stats(), reference, 4)
+
+
+class TestFatalErrors:
+    def test_programmer_errors_stay_loud(self, case):
+        make_case, _reference = case
+        pool = LikelihoodPool(2, executor="inline", audit=False)
+
+        def broken_job(ctx):
+            raise KeyError("bug in job function")
+
+        pool.submit(broken_job, label="broken")
+        with pytest.raises(KeyError):
+            pool.drain()
+        stats = pool.stats()
+        assert stats.surfaced == 1
+        assert stats.balances(), stats.imbalances()
+
+
+class TestPoolValidation:
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            LikelihoodPool(0)
+        with pytest.raises(ValueError):
+            LikelihoodPool(2, executor="fibers")
+
+    def test_stats_format_is_one_line(self, case):
+        make_case, _reference = case
+        pool = LikelihoodPool(2, executor="inline")
+        submit_reps(pool, make_case, 2)
+        pool.drain()
+        text = pool.stats().format()
+        assert "\n" not in text
+        assert "workers=2" in text

@@ -221,3 +221,58 @@ class TestDelegationAndStats:
         with pytest.raises(KernelLaunchError):
             engine.update_partials_set(ops)
         assert engine.fault_stats.errors == 1
+
+
+class TestBackoffJitter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff_seconds(2, key=7) == policy.backoff_seconds(2)
+
+    def test_jitter_is_pure_function_of_seed_key_attempt(self):
+        # Determinism contract: no shared RNG stream, no clock — the same
+        # (seed, key, attempt) triple always yields the same delay, in
+        # any call order, so threaded chaos runs replay exactly.
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=42)
+        forward = [policy.backoff_seconds(a, key=3) for a in (1, 2, 3)]
+        backward = [policy.backoff_seconds(a, key=3) for a in (3, 2, 1)]
+        assert forward == backward[::-1]
+        twin = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=42)
+        assert [twin.backoff_seconds(a, key=3) for a in (1, 2, 3)] == forward
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=1.0, jitter=0.25, jitter_seed=1
+        )
+        for key in range(8):
+            for attempt in range(1, 6):
+                delay = policy.backoff_seconds(attempt, key=key)
+                assert 0.075 <= delay <= 0.125
+
+    def test_workers_decorrelate_by_key(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=0)
+        delays = {policy.backoff_seconds(1, key=key) for key in range(16)}
+        assert len(delays) > 1
+
+    def test_seed_changes_the_sequence(self):
+        a = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=1)
+        b = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=2)
+        assert a.backoff_seconds(1) != b.backoff_seconds(1)
+
+    def test_jittered_sleeps_are_recorded_and_replayable(self):
+        tree, model, patterns, instance, plan = make_case()
+        spec = FaultSpec(rate=1.0, seed=0, classes=("transient",), max_faults=2)
+        policy = RetryPolicy(backoff_base=0.01, jitter=0.5, jitter_seed=7)
+        sleeps: list[float] = []
+        engine = ResilientInstance(
+            FaultInjector(instance, spec), policy, sleep=sleeps.append
+        )
+        engine.execute(plan)
+        assert sleeps  # backoff actually consulted the jittered delays
+        expected = [policy.backoff_seconds(i + 1) for i in range(len(sleeps))]
+        assert sleeps == expected

@@ -1,0 +1,154 @@
+"""Unit tests for pool workers and the health supervisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import execute_plan
+from repro.exec import (
+    FaultSpec,
+    PoolWorker,
+    ResilientInstance,
+    RetryPolicy,
+    Sentinel,
+    Supervisor,
+)
+from repro.exec.faults import BiasInjector, FaultInjector
+from repro.exec.health import Deadline, DeadlineGuard
+
+
+def clean_worker(worker_id=0, **kwargs):
+    kwargs.setdefault("policy", RetryPolicy())
+    kwargs.setdefault("sleep", lambda _s: None)
+    return PoolWorker(worker_id, **kwargs)
+
+
+class TestPoolWorkerStack:
+    def test_stack_ordering(self):
+        # resilient( deadline( injector( bias( engine )))) — retries must
+        # re-check the budget, injected faults must face both layers.
+        worker = clean_worker(
+            fault_spec=FaultSpec(rate=0.5, seed=1), bias=1.01
+        )
+        sentinel = Sentinel()
+        instance, _plan = sentinel.make_case()
+        stack = worker.build_stack(instance, Deadline(60.0))
+        assert isinstance(stack, ResilientInstance)
+        guard = stack.inner
+        assert isinstance(guard, DeadlineGuard)
+        injector = guard.inner
+        assert isinstance(injector, FaultInjector)
+        assert isinstance(injector.inner, BiasInjector)
+
+    def test_no_policy_runs_bare_engine(self):
+        worker = PoolWorker(0)
+        sentinel = Sentinel()
+        instance, plan = sentinel.make_case()
+        assert worker.build_stack(instance) is instance
+        assert sentinel.passes(worker.execute_stack(instance, plan))
+
+    def test_execute_is_bit_identical_to_clean_run(self):
+        sentinel = Sentinel()
+        instance, plan = sentinel.make_case()
+        reference = execute_plan(instance, plan)
+        worker = clean_worker(fault_spec=FaultSpec(rate=0.4, seed=7))
+        for _ in range(5):
+            assert worker.execute(sentinel.make_case) == reference
+
+    def test_fault_stream_persists_across_jobs(self):
+        worker = clean_worker(fault_spec=FaultSpec(rate=0.5, seed=3))
+        sentinel = Sentinel()
+        counts = []
+        for _ in range(4):
+            worker.execute(sentinel.make_case)
+            counts.append(worker.stats.injected)
+        # Monotone non-decreasing across jobs: one persistent schedule,
+        # not one reseeded per job.
+        assert counts == sorted(counts)
+        assert counts[-1] > 0
+
+    def test_bare_worker_counts_escaped_errors(self):
+        worker = PoolWorker(
+            0, fault_spec=FaultSpec(rate=1.0, seed=1, classes=("launch",))
+        )
+        sentinel = Sentinel()
+        with pytest.raises(Exception):
+            worker.execute(sentinel.make_case)
+        assert worker.stats.errors == 1
+
+
+class TestSupervisorProbes:
+    def test_probe_passes_on_clean_worker(self):
+        worker = clean_worker()
+        supervisor = Supervisor([worker])
+        worker.unaudited.extend([0, 1])
+        assert supervisor.probe(worker)
+        assert worker.unaudited == []
+        assert supervisor.probes == 1
+        assert supervisor.probe_failures == 0
+
+    def test_probe_evicts_silently_corrupting_worker(self):
+        worker = clean_worker(bias=1.05)
+        supervisor = Supervisor([worker])
+        worker.unaudited.extend([2, 5])
+        assert not supervisor.probe(worker)
+        assert worker.breaker.evicted
+        # The corrupt completions stay listed for the pool to rescue.
+        assert worker.unaudited == [2, 5]
+        assert supervisor.probe_failures == 1
+
+    def test_probe_counts_escaped_errors_separately(self):
+        worker = PoolWorker(0, fault_spec=FaultSpec(rate=1.0, seed=2))
+        supervisor = Supervisor([worker])
+        assert not supervisor.probe(worker)
+        assert supervisor.probe_errors == 1
+
+
+class TestSupervisorAcquire:
+    def test_evicted_worker_is_refused(self):
+        worker = clean_worker()
+        worker.breaker.evict()
+        supervisor = Supervisor([worker])
+        assert not supervisor.acquire(worker)
+
+    def test_half_open_worker_is_probed_on_acquire(self):
+        worker = clean_worker(failure_threshold=1, cooldown_s=0.0)
+        supervisor = Supervisor([worker])
+        supervisor.record_failure(worker)
+        # cooldown 0 -> immediately half-open; acquire runs the probe,
+        # the clean worker passes and closes the circuit.
+        assert supervisor.acquire(worker)
+        assert supervisor.probes == 1
+        assert worker.breaker.available()
+
+    def test_periodic_cadence_probes_after_k_jobs(self):
+        worker = clean_worker()
+        supervisor = Supervisor([worker], health_check_every=2)
+        for index in range(2):
+            assert supervisor.acquire(worker)
+            supervisor.record_success(worker, index)
+        assert supervisor.probes == 0
+        assert supervisor.acquire(worker)  # third acquire is the probe
+        assert supervisor.probes == 1
+        assert worker.unaudited == []  # passing probe vouched for both
+
+    def test_cadence_validation(self):
+        with pytest.raises(ValueError):
+            Supervisor([clean_worker()], health_check_every=-1)
+
+
+class TestSupervisorBookkeeping:
+    def test_alive_and_evicted_views(self):
+        workers = [clean_worker(i) for i in range(3)]
+        supervisor = Supervisor(workers)
+        workers[1].breaker.evict()
+        assert [w.id for w in supervisor.alive()] == [0, 2]
+        assert supervisor.evicted() == [1]
+
+    def test_audit_pending_lists_unvouched_workers(self):
+        workers = [clean_worker(i) for i in range(2)]
+        supervisor = Supervisor(workers)
+        supervisor.record_success(workers[0], 7)
+        assert supervisor.audit_pending() == [workers[0]]
+        workers[0].breaker.evict()
+        assert supervisor.audit_pending() == []

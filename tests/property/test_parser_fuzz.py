@@ -1,0 +1,120 @@
+"""Every parser rejection is a located ParseError — fuzzed.
+
+The contract (repro.errors): malformed Newick/FASTA/PHYLIP input must
+surface as :class:`~repro.errors.ParseError` — never a bare
+``ValueError``/``IndexError`` from deep inside the machinery — and any
+line/column the error carries must point inside the input text.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import parse_fasta, parse_phylip
+from repro.errors import ParseError
+from repro.trees import NewickError, parse_newick
+
+# Mix of valid DNA, ambiguity codes, junk symbols and structure chars so
+# the fuzzer reaches both the format machinery and symbol validation.
+_SOUP = st.text(alphabet="ACGTN-acgt>;() \n\t0123456789XZ@#.qé", max_size=120)
+
+
+def _assert_located(err: ParseError, text: str) -> None:
+    """The error's location, when present, is inside the input."""
+    assert isinstance(err, ParseError)
+    # split("\n") keeps the empty final line of newline-terminated text,
+    # so an error at end-of-input (line n+1, column 1) stays in bounds.
+    lines = text.split("\n")
+    if err.line is not None:
+        assert 1 <= err.line <= len(lines)
+        if err.column is not None:
+            assert 1 <= err.column <= len(lines[err.line - 1]) + 1
+    if err.position is not None:
+        assert 0 <= err.position <= len(text)
+
+
+class TestFastaRejections:
+    @given(_SOUP)
+    @settings(max_examples=300)
+    def test_fuzz_only_parse_error(self, text):
+        try:
+            parse_fasta(text)
+        except ParseError as err:
+            _assert_located(err, text)
+        # Any other exception type propagates and fails the test.
+
+    def test_bad_symbol_column_is_exact(self):
+        text = ">a\nACGT\n>b\nAC!T\n"
+        with pytest.raises(ParseError) as info:
+            parse_fasta(text)
+        assert info.value.line == 4
+        assert info.value.column == 3
+        assert "'!'" in str(info.value)
+
+    def test_bad_symbol_column_survives_indent(self):
+        with pytest.raises(ParseError) as info:
+            parse_fasta(">a\n  ACXT\n")
+        assert info.value.line == 2
+        assert info.value.column == 5
+
+    def test_lowercase_symbols_accepted(self):
+        alignment = parse_fasta(">a\nacgt\n>b\nACGT\n")
+        assert alignment.n_sites == 4
+
+
+class TestPhylipRejections:
+    @given(_SOUP)
+    @settings(max_examples=300)
+    def test_fuzz_only_parse_error(self, text):
+        try:
+            parse_phylip(text)
+        except ParseError as err:
+            _assert_located(err, text)
+
+    def test_bad_symbol_column_is_exact(self):
+        with pytest.raises(ParseError) as info:
+            parse_phylip("2 4\ntaxa ACGT\ntaxb AC!T\n")
+        assert info.value.line == 3
+        assert info.value.column == 8
+
+    def test_zero_taxa_header_is_parse_error(self):
+        with pytest.raises(ParseError) as info:
+            parse_phylip("0 5\n")
+        assert info.value.line == 1
+
+    def test_negative_sites_header_is_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_phylip("1 -3\ntaxa ACG\n")
+
+
+class TestNewickRejections:
+    @given(st.text(alphabet="(),;:ab0.123'[] \n", max_size=80))
+    @settings(max_examples=300)
+    def test_fuzz_only_newick_error(self, text):
+        try:
+            parse_newick(text)
+        except NewickError as err:
+            _assert_located(err, text)
+
+    def test_unbalanced_paren_location(self):
+        with pytest.raises(NewickError) as info:
+            parse_newick("(a,b));")
+        _assert_located(info.value, "(a,b));")
+        assert info.value.line == 1
+
+
+@given(
+    st.lists(
+        st.text(alphabet="ACGT", min_size=4, max_size=4),
+        min_size=2,
+        max_size=5,
+    )
+)
+@settings(max_examples=100)
+def test_valid_fasta_round_trips(rows):
+    text = "".join(f">t{i}\n{row}\n" for i, row in enumerate(rows))
+    alignment = parse_fasta(text)
+    assert alignment.n_taxa == len(rows)
+    assert alignment.n_sites == 4
