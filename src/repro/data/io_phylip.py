@@ -65,7 +65,13 @@ def parse_phylip(text: str, alphabet: Alphabet = DNA) -> Alignment:
         if len(parts) != 2:
             _fail(f"malformed PHYLIP record: {line!r}", lineno)
         name, raw_seq = parts[0], parts[1]
-        seq_start = line.find(raw_seq)
+        # Column of the first sequence character: skip leading
+        # whitespace, the name token, and the separator run.
+        # (str.find on the sequence text can land inside the name when
+        # the two share characters, shifting reported columns.)
+        seq_start = len(line) - len(line.lstrip()) + len(name)
+        while seq_start < len(line) and line[seq_start].isspace():
+            seq_start += 1
         seq = ""
         for idx, char in enumerate(raw_seq):
             if char == " ":

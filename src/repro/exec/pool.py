@@ -28,7 +28,9 @@ Dispatch semantics
   sentinel probe is audited; a failing probe evicts the worker and its
   completed jobs are **rescued** — re-executed on healthy workers with a
   fresh budget — so silently-corrupting workers cannot leak wrong
-  results into the final answer.
+  results into the final answer. Workers already evicted mid-drain get
+  no fresh probe; their unvouched completions are rescued
+  unconditionally.
 
 Every job submitted is accounted for in exactly one of ``completed``,
 ``shed`` or ``surfaced`` — no outcome is silently dropped — and job
@@ -467,17 +469,42 @@ class LikelihoodPool:
     ) -> List[Any]:
         """Submit ``fns``, drain, and return their values in order.
 
-        Raises the first non-ok outcome's error (jobs already completed
-        are not lost — their workers' ledgers retain the accounting).
+        Batches larger than ``max_pending`` are submitted and drained
+        incrementally, so admission control bounds *queued* work without
+        capping batch size. Raises the first non-ok outcome's error
+        (jobs already completed are not lost — their workers' ledgers
+        retain the accounting).
         """
-        for i, fn in enumerate(fns):
-            self.submit(fn, label=labels[i] if labels else None)
-        outcomes = self.drain()
-        for outcome in outcomes:
+        by_index: Dict[int, JobOutcome] = {}
+        submitted: List[int] = []
+        pos = 0
+        n = len(fns)
+        while pos < n:
+            room = (
+                n - pos
+                if self.max_pending is None
+                else self.max_pending - len(self._pending)
+            )
+            if room <= 0:
+                for outcome in self.drain():
+                    by_index[outcome.index] = outcome
+                continue
+            for k in range(min(room, n - pos)):
+                submitted.append(
+                    self.submit(
+                        fns[pos + k],
+                        label=labels[pos + k] if labels else None,
+                    )
+                )
+            pos += min(room, n - pos)
+        for outcome in self.drain():
+            by_index[outcome.index] = outcome
+        ordered = [by_index[index] for index in submitted]
+        for outcome in ordered:
             if not outcome.ok:
                 assert outcome.error is not None
                 raise outcome.error
-        return [outcome.value for outcome in outcomes]
+        return [outcome.value for outcome in ordered]
 
     def map_cases(
         self,
@@ -587,8 +614,20 @@ class LikelihoodPool:
             with self._lock:
                 if state["remaining"] <= 0 or worker.breaker.evicted:
                     return
-                admit = self.supervisor.acquire(worker)
+                decision = self.supervisor.admission(worker)
                 cooling = worker.breaker.cooldown_remaining()
+            if decision == Supervisor.PROBE:
+                # The sentinel runs through the worker's full stack and
+                # can sleep through retry backoff — evaluate it outside
+                # the pool lock (only this thread drives this worker),
+                # then record the verdict under it.
+                healthy, errors_delta = self.supervisor.run_probe(worker)
+                with self._lock:
+                    admit = self.supervisor.record_probe(
+                        worker, healthy, errors_delta
+                    )
+            else:
+                admit = decision == Supervisor.ADMIT
             if not admit:
                 if worker.breaker.evicted:
                     return
@@ -753,22 +792,52 @@ class LikelihoodPool:
         self, by_index: Dict[int, Job], outcomes: Dict[int, JobOutcome]
     ) -> None:
         """Probe every worker holding unvouched completions; evict the
-        liars and re-run their jobs on workers that pass."""
+        liars and re-run their jobs on workers that pass.
+
+        Workers evicted *mid-drain* (a half-open probe failed while jobs
+        were still flowing) can never be vouched for by a fresh probe,
+        yet may hold completions from before their eviction — a silently
+        corrupting worker that also trips its breaker would otherwise
+        leak wrong values as ``ok``. Their unaudited completions are
+        rescued unconditionally.
+        """
         while True:
+            swept = self._sweep_evicted(by_index, outcomes)
             suspects = self.supervisor.audit_pending()
             if not suspects:
-                return
+                if not swept:
+                    return
+                continue  # rescues may have evicted more workers
             for worker in suspects:
                 if self.supervisor.probe(worker):
                     continue  # probe passed: completions vouched for
-                to_rescue = [
-                    i
-                    for i in worker.unaudited
-                    if i in outcomes and outcomes[i].status == OK
-                ]
-                worker.unaudited.clear()
-                for index in to_rescue:
-                    self._rescue(by_index[index], outcomes)
+                self._rescue_unaudited(worker, by_index, outcomes)
+
+    def _sweep_evicted(
+        self, by_index: Dict[int, Job], outcomes: Dict[int, JobOutcome]
+    ) -> bool:
+        """Rescue completions stranded on already-evicted workers."""
+        swept = False
+        for worker in self.workers:
+            if worker.breaker.evicted and worker.unaudited:
+                self._rescue_unaudited(worker, by_index, outcomes)
+                swept = True
+        return swept
+
+    def _rescue_unaudited(
+        self,
+        worker: PoolWorker,
+        by_index: Dict[int, Job],
+        outcomes: Dict[int, JobOutcome],
+    ) -> None:
+        to_rescue = [
+            i
+            for i in worker.unaudited
+            if i in outcomes and outcomes[i].status == OK
+        ]
+        worker.unaudited.clear()
+        for index in to_rescue:
+            self._rescue(by_index[index], outcomes)
 
     def _rescue(self, job: Job, outcomes: Dict[int, JobOutcome]) -> None:
         """Re-run a job whose worker turned out to be corrupt."""

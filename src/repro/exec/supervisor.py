@@ -197,16 +197,34 @@ class Supervisor:
         probe evicts the worker (half-open failure or silent corruption)
         and leaves :attr:`PoolWorker.unaudited` for the pool to rescue.
         """
-        self.probes += 1
-        worker.probes += 1
-        worker.jobs_since_probe = 0
+        healthy, errors_delta = self.run_probe(worker)
+        return self.record_probe(worker, healthy, errors_delta)
+
+    def run_probe(self, worker: PoolWorker) -> Tuple[bool, int]:
+        """Evaluate the sentinel on the worker's stack.
+
+        Touches only the worker's own state (never shared supervisor
+        counters), so a pool thread may run it without holding the pool
+        lock — probes can sleep through retry backoff, and serialising
+        them would stall every other worker's dispatch. Returns
+        ``(healthy, escaped_error_count)`` for :meth:`record_probe`.
+        """
         errors_before = worker.stats.errors
         try:
             value = worker.execute(self.sentinel.make_case)
             healthy = self.sentinel.passes(value)
         except Exception:
             healthy = False
-        self.probe_errors += worker.stats.errors - errors_before
+        return healthy, worker.stats.errors - errors_before
+
+    def record_probe(
+        self, worker: PoolWorker, healthy: bool, errors_delta: int
+    ) -> bool:
+        """Fold a probe result into shared health state (pool-locked)."""
+        self.probes += 1
+        worker.probes += 1
+        worker.jobs_since_probe = 0
+        self.probe_errors += errors_delta
         if healthy:
             worker.breaker.record_success()
             worker.unaudited.clear()
@@ -219,21 +237,38 @@ class Supervisor:
         worker.breaker.evict()
         return False
 
-    def acquire(self, worker: PoolWorker) -> bool:
-        """May this worker take a job right now? Probes when one is due."""
+    #: Admission decisions (see :meth:`admission`).
+    REFUSE = "refuse"
+    PROBE = "probe"
+    ADMIT = "admit"
+
+    def admission(self, worker: PoolWorker) -> str:
+        """Dispatch decision for a worker, without side effects.
+
+        ``ADMIT`` — take a job now; ``REFUSE`` — evicted or cooling
+        down; ``PROBE`` — a sentinel probe is due (half-open circuit or
+        periodic cadence) and must pass before the worker takes a job.
+        """
         breaker = worker.breaker
         if breaker.evicted:
-            return False
+            return self.REFUSE
         if breaker.wants_probe():
-            return self.probe(worker)
+            return self.PROBE
         if not breaker.available():
-            return False  # open, still cooling down
+            return self.REFUSE  # open, still cooling down
         if (
             self.health_check_every > 0
             and worker.jobs_since_probe >= self.health_check_every
         ):
+            return self.PROBE
+        return self.ADMIT
+
+    def acquire(self, worker: PoolWorker) -> bool:
+        """May this worker take a job right now? Probes when one is due."""
+        decision = self.admission(worker)
+        if decision == self.PROBE:
             return self.probe(worker)
-        return True
+        return decision == self.ADMIT
 
     # ------------------------------------------------------------------
     def record_success(self, worker: PoolWorker, job_index: int) -> None:

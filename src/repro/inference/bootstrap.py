@@ -34,28 +34,37 @@ TreeBuilder = Callable[[Alignment], Tree]
 
 
 def _accepts_context(builder: Callable) -> bool:
-    """Does the builder take a second (pool job context) argument?"""
+    """Has the builder *explicitly* opted into receiving a JobContext?
+
+    Opt-in is a ``pool_context = True`` attribute on the callable or a
+    parameter literally named ``ctx`` — never inferred from arity, so a
+    builder with an unrelated optional second parameter (say
+    ``def build(aln, n_starts=3)``) is not silently handed a
+    :class:`~repro.exec.pool.JobContext` as ``n_starts``.
+    """
+    if getattr(builder, "pool_context", False):
+        return True
+    param = _ctx_parameter(builder)
+    return param is not None and param.kind is not param.VAR_KEYWORD
+
+
+def _ctx_parameter(builder: Callable):
     try:
         signature = inspect.signature(builder)
     except (TypeError, ValueError):  # pragma: no cover - builtins only
-        return False
-    positional = [
-        p
-        for p in signature.parameters.values()
-        if p.kind
-        in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
-    ]
-    if any(p.kind == p.VAR_POSITIONAL for p in positional):
-        return True
-    return len(positional) >= 2
+        return None
+    return signature.parameters.get("ctx")
 
 
 def _replicate_job(
     builder: Callable, replicate: Alignment, pass_context: bool
 ) -> Callable[["JobContext"], Tree]:
-    if pass_context:
-        return lambda ctx: builder(replicate, ctx)
-    return lambda ctx: builder(replicate)
+    if not pass_context:
+        return lambda ctx: builder(replicate)
+    param = _ctx_parameter(builder)
+    if param is not None and param.kind is param.KEYWORD_ONLY:
+        return lambda ctx: builder(replicate, ctx=ctx)
+    return lambda ctx: builder(replicate, ctx)
 
 
 def bootstrap_alignments(
@@ -79,22 +88,28 @@ def bootstrap_trees(
     *,
     seed: int = 0,
     pool: Optional["LikelihoodPool"] = None,
+    pass_context: Optional[bool] = None,
 ) -> List[Tree]:
     """Build one tree per bootstrap replicate.
 
     Replicate alignments are always drawn from one seeded RNG in order,
     so the replicate set is identical with or without a pool. With a
     ``pool``, replicates are independent jobs dispatched across the
-    supervised workers (deadlines, failover, health checks apply); a
-    builder that accepts a second argument receives its
-    :class:`~repro.exec.pool.JobContext` so likelihood-based builders
-    can evaluate through the worker's resilient stack.
+    supervised workers (deadlines, failover, health checks apply). A
+    builder receives its :class:`~repro.exec.pool.JobContext` — so
+    likelihood-based builders can evaluate through the worker's
+    resilient stack — only when it opts in explicitly: pass
+    ``pass_context=True``, name the extra parameter ``ctx``, or set a
+    ``pool_context = True`` attribute on the callable. Builders with
+    unrelated optional parameters are never handed a context
+    implicitly.
     """
     rng = np.random.default_rng(seed)
     replicates = bootstrap_alignments(alignment, n_replicates, rng)
     if pool is None:
         return [builder(replicate) for replicate in replicates]
-    pass_context = _accepts_context(builder)
+    if pass_context is None:
+        pass_context = _accepts_context(builder)
     jobs = [
         _replicate_job(builder, replicate, pass_context)
         for replicate in replicates
@@ -113,9 +128,17 @@ def bootstrap_support(
     *,
     seed: int = 0,
     pool: Optional["LikelihoodPool"] = None,
+    pass_context: Optional[bool] = None,
 ) -> Dict[FrozenSet[str], float]:
     """Split frequencies across bootstrap replicates (support values)."""
-    trees = bootstrap_trees(alignment, builder, n_replicates, seed=seed, pool=pool)
+    trees = bootstrap_trees(
+        alignment,
+        builder,
+        n_replicates,
+        seed=seed,
+        pool=pool,
+        pass_context=pass_context,
+    )
     return split_frequencies(trees)
 
 
@@ -127,7 +150,15 @@ def bootstrap_consensus(
     seed: int = 0,
     min_frequency: float = 0.5,
     pool: Optional["LikelihoodPool"] = None,
+    pass_context: Optional[bool] = None,
 ) -> Tree:
     """Majority-rule consensus of bootstrap trees, labelled with support."""
-    trees = bootstrap_trees(alignment, builder, n_replicates, seed=seed, pool=pool)
+    trees = bootstrap_trees(
+        alignment,
+        builder,
+        n_replicates,
+        seed=seed,
+        pool=pool,
+        pass_context=pass_context,
+    )
     return majority_rule_consensus(trees, min_frequency=min_frequency)

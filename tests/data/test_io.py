@@ -144,6 +144,15 @@ class TestTypedParseErrors:
         assert "ragged" in str(info.value)
         assert info.value.source == "PHYLIP"
 
+    def test_phylip_bad_symbol_column_not_fooled_by_name(self):
+        # The name 'ACGT!x' contains the full sequence text 'ACGT!';
+        # locating the sequence with str.find used to report a column
+        # inside the name. The real offender is the '!' at column 12.
+        with pytest.raises(ParseError) as info:
+            parse_phylip("1 4\nACGT!x ACGT!\n")
+        assert info.value.line == 2
+        assert info.value.column == 12
+
     def test_phylip_bad_header_is_line_one(self):
         with pytest.raises(ParseError) as info:
             parse_phylip("many sites\nx ACGT\n")

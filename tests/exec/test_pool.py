@@ -144,6 +144,50 @@ class TestFaultyWorkers:
         assert stats.rescued > 0
         assert stats.probe_failures >= 1
 
+    @pytest.mark.parametrize("executor", ["inline", "thread"])
+    def test_worker_evicted_mid_drain_completions_rescued(
+        self, case, executor
+    ):
+        make_case, reference = case
+        # Worker 0 silently corrupts AND faults: it completes jobs
+        # (finite but wrong, status=ok), then a fault trips its
+        # one-failure breaker and the half-open probe unmasks the bias,
+        # evicting it mid-drain. The final audit must rescue the
+        # completions stranded on the already-evicted worker — they can
+        # never be vouched for by a probe.
+        pool = LikelihoodPool(
+            2,
+            policy=None,
+            worker_bias={0: 1.05},
+            worker_fault_specs=[FaultSpec(rate=0.5, seed=9), None],
+            failure_threshold=1,
+            cooldown_s=0.0,
+            executor=executor,
+        )
+        submit_reps(pool, make_case, 8)
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert_verified(outcomes, stats, reference, 8)
+        assert 0 in stats.evicted
+        if executor == "inline":  # deterministic scheduler
+            assert stats.rescued > 0
+
+    def test_threaded_periodic_health_check_catches_bias(self, case):
+        make_case, reference = case
+        # Exercises the probe path of the threaded executor (sentinel
+        # evaluated outside the pool lock, verdict recorded under it).
+        pool = LikelihoodPool(
+            3,
+            worker_bias={1: 1.05},
+            health_check_every=1,
+            executor="thread",
+        )
+        submit_reps(pool, make_case, 9)
+        outcomes = pool.drain()
+        stats = pool.stats()
+        assert_verified(outcomes, stats, reference, 9)
+        assert 1 in stats.evicted
+
     def test_all_workers_dead_surfaces_every_job(self, case):
         make_case, _reference = case
         pool = LikelihoodPool(
@@ -212,6 +256,19 @@ class TestAdmissionControl:
         assert stats.offered == 3
         assert stats.rejected == 1
         assert stats.shed == 1
+        assert stats.balances(), stats.imbalances()
+
+    @pytest.mark.parametrize("executor", ["inline", "thread"])
+    def test_map_batches_larger_than_max_pending(self, case, executor):
+        make_case, reference = case
+        # Admission control bounds *queued* work; map drains in chunks,
+        # so the batch size is not capped by max_pending.
+        pool = LikelihoodPool(2, max_pending=2, executor=executor)
+        values = pool.map_cases([make_case] * 7)
+        assert values == [reference] * 7
+        stats = pool.stats()
+        assert stats.completed == 7
+        assert stats.rejected == 0
         assert stats.balances(), stats.imbalances()
 
 

@@ -125,3 +125,104 @@ class TestBranchScoreDistance:
             branch_score_distance(
                 parse_newick("((a,b),c);"), parse_newick("((a,b),d);")
             )
+
+
+class TestPoolContextOptIn:
+    """Builders receive a JobContext only when they explicitly opt in."""
+
+    @pytest.fixture()
+    def pool(self):
+        from repro.exec import LikelihoodPool
+
+        return LikelihoodPool(2, executor="inline")
+
+    def test_optional_second_parameter_is_not_a_context(
+        self, strong_signal, pool
+    ):
+        _, aln = strong_signal
+        seen = []
+
+        def builder(alignment, n_starts=3):
+            seen.append(n_starts)
+            return nj_builder(alignment)
+
+        serial = bootstrap_trees(aln, builder, 2, seed=7)
+        pooled = bootstrap_trees(aln, builder, 2, seed=7, pool=pool)
+        # Arity never implies opt-in: the default must survive pooling.
+        assert seen == [3] * 4
+        for a, b in zip(serial, pooled):
+            assert same_unrooted_topology(a, b)
+
+    def test_ctx_parameter_name_opts_in(self, strong_signal, pool):
+        from repro.exec import JobContext
+
+        _, aln = strong_signal
+        contexts = []
+
+        def builder(alignment, ctx):
+            contexts.append(ctx)
+            return nj_builder(alignment)
+
+        trees = bootstrap_trees(aln, builder, 2, seed=7, pool=pool)
+        assert len(trees) == 2
+        assert len(contexts) == 2
+        assert all(isinstance(c, JobContext) for c in contexts)
+
+    def test_keyword_only_ctx_opts_in(self, strong_signal, pool):
+        from repro.exec import JobContext
+
+        _, aln = strong_signal
+        contexts = []
+
+        def builder(alignment, *, ctx):
+            contexts.append(ctx)
+            return nj_builder(alignment)
+
+        trees = bootstrap_trees(aln, builder, 2, seed=7, pool=pool)
+        assert len(trees) == 2
+        assert all(isinstance(c, JobContext) for c in contexts)
+
+    def test_pool_context_marker_opts_in(self, strong_signal, pool):
+        from repro.exec import JobContext
+
+        _, aln = strong_signal
+        contexts = []
+
+        def builder(alignment, job):
+            contexts.append(job)
+            return nj_builder(alignment)
+
+        builder.pool_context = True
+        trees = bootstrap_trees(aln, builder, 2, seed=7, pool=pool)
+        assert len(trees) == 2
+        assert all(isinstance(c, JobContext) for c in contexts)
+
+    def test_pass_context_flag_overrides(self, strong_signal, pool):
+        from repro.exec import JobContext
+
+        _, aln = strong_signal
+        contexts = []
+
+        def builder(alignment, extra):
+            contexts.append(extra)
+            return nj_builder(alignment)
+
+        trees = bootstrap_trees(
+            aln, builder, 2, seed=7, pool=pool, pass_context=True
+        )
+        assert len(trees) == 2
+        assert all(isinstance(c, JobContext) for c in contexts)
+
+    def test_pass_context_false_suppresses_ctx_builder(
+        self, strong_signal, pool
+    ):
+        _, aln = strong_signal
+
+        def builder(alignment, ctx=None):
+            assert ctx is None
+            return nj_builder(alignment)
+
+        trees = bootstrap_trees(
+            aln, builder, 2, seed=7, pool=pool, pass_context=False
+        )
+        assert len(trees) == 2
