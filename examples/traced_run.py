@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Observability tour: trace, meter and profile a real inference run.
+
+``repro.obs`` is off by default — the likelihood stack talks to a null
+recorder that costs one predicted branch per instrumented site. This
+example installs a real :class:`~repro.obs.Recorder` around a short MCMC
+run (plus a rerooted plan build and a greedy search round), then shows
+the three signals it collected:
+
+1. **Trace** — every kernel launch, plan execution, rerooting search and
+   MCMC step as a nestable span, written as Chrome ``trace_event`` JSON.
+   Drop ``traced_run_trace.json`` on https://ui.perfetto.dev to see the
+   run as a timeline.
+2. **Metrics** — counters/gauges/histograms (operations evaluated, sets
+   per plan, MCMC accepts, ...) printed in Prometheus text exposition
+   format.
+3. **Profile** — per-phase wall-clock shares inside the CPU engine:
+   transition matrices vs partials vs scaling vs root reduction.
+
+Run:  python examples/traced_run.py
+"""
+
+from pathlib import Path
+
+from repro.data import simulate_alignment
+from repro.inference import TreeLikelihood, run_mcmc
+from repro.models import HKY85
+from repro.obs import recording
+from repro.trees import yule_tree
+
+TRACE_PATH = Path("traced_run_trace.json")
+
+
+def main() -> None:
+    model = HKY85(kappa=2.0, frequencies=[0.3, 0.2, 0.2, 0.3])
+    tree = yule_tree(24, 7)
+    alignment = simulate_alignment(tree, model, 128, seed=7)
+
+    with recording() as obs:
+        evaluator = TreeLikelihood(
+            tree, model, alignment, mode="concurrent", reroot="fast"
+        )
+        result = run_mcmc(evaluator, 40, seed=11, device=None)
+
+    print("=== run ===")
+    print(f"best log-likelihood : {result.best_log_likelihood:.4f}")
+    print(f"acceptance rate     : {result.acceptance_rate:.2f}")
+    print(f"kernel launches     : {result.kernel_launches}")
+
+    obs.tracer.write(TRACE_PATH)
+    categories = ", ".join(sorted(obs.tracer.categories()))
+    print("\n=== trace ===")
+    print(f"{len(obs.tracer.records())} spans ({categories})")
+    print(f"written to {TRACE_PATH} — open in https://ui.perfetto.dev")
+
+    print("\n=== metrics (Prometheus text format, excerpt) ===")
+    exposition = obs.metrics.to_prometheus()
+    shown = 0
+    for line in exposition.splitlines():
+        if line.startswith("repro_") and not line.startswith("repro_pool"):
+            print(line)
+            shown += 1
+            if shown >= 12:
+                break
+
+    print("\n=== per-phase profile ===")
+    print(obs.profiler.report())
+
+
+if __name__ == "__main__":
+    main()

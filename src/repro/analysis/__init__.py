@@ -22,6 +22,7 @@ analyzer itself, and ``python -m repro.analysis`` is the CLI front end
 
 from .audit import ScheduleAudit, audit_plan, audit_tree
 from .config import BufferConfig
+from .docstrings import DocstringReport, MissingDocstring, check_package
 from .diagnostics import (
     AnalysisReport,
     Diagnostic,
@@ -36,6 +37,9 @@ __all__ = [
     "AnalysisReport",
     "BufferConfig",
     "Diagnostic",
+    "DocstringReport",
+    "MissingDocstring",
+    "check_package",
     "MUTATION_KINDS",
     "Mutation",
     "PlanVerificationError",

@@ -35,6 +35,7 @@ SELF_CHECK_TOPOLOGIES = ("pectinate", "balanced", "random")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the static-analysis CLI."""
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description="Statically verify and audit a likelihood execution "
@@ -81,6 +82,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify the analyzer itself: planner plans clean, seeded "
         "mutations flagged, on a pectinate/balanced/random trio",
+    )
+    parser.add_argument(
+        "--docstrings",
+        action="store_true",
+        help="docstring-coverage gate: every public function/class/method "
+        "in src/repro must have a docstring or an allowlist entry",
+    )
+    parser.add_argument(
+        "--docstrings-root",
+        metavar="DIR",
+        default=None,
+        help="package root to scan with --docstrings "
+        "(default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        metavar="FILE",
+        default=None,
+        help="allowlist file for --docstrings "
+        "(default: docstring_allowlist.txt next to the repo's src/)",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="only print the verdict"
@@ -186,6 +207,37 @@ def _self_check(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _docstrings(args: argparse.Namespace, out: TextIO) -> int:
+    """Run the docstring-coverage gate (see :mod:`.docstrings`)."""
+    from pathlib import Path
+
+    from .docstrings import check_package
+
+    package_root = Path(
+        args.docstrings_root
+        if args.docstrings_root
+        else Path(__file__).resolve().parents[1]
+    )
+    if args.allowlist:
+        allowlist: Optional[Path] = Path(args.allowlist)
+    else:
+        # src/repro/analysis/cli.py -> repo root is three levels above
+        # the package; fall back to no allowlist when not in a checkout.
+        candidate = package_root.parents[1] / "docstring_allowlist.txt"
+        allowlist = candidate if candidate.exists() else None
+    report = check_package(package_root, allowlist)
+    print(report.format(), file=out)
+    if report.ok:
+        print("verdict: docstring coverage gate passed", file=out)
+        return 0
+    print(
+        f"verdict: {len(report.missing)} undocumented public definition(s), "
+        f"{len(report.stale_entries)} stale allowlist entr(y/ies)",
+        file=out,
+    )
+    return 1
+
+
 def run(argv: Optional[List[str]] = None, out: Optional[TextIO] = None) -> int:
     """Run the linter; returns a process exit code."""
     out = out or sys.stdout
@@ -197,6 +249,8 @@ def run(argv: Optional[List[str]] = None, out: Optional[TextIO] = None) -> int:
         print("error: --taxa must be at least 2", file=out)
         return 2
     try:
+        if args.docstrings:
+            return _docstrings(args, out)
         if args.self_check:
             return _self_check(args, out)
         return _lint(args, out)
@@ -207,4 +261,5 @@ def run(argv: Optional[List[str]] = None, out: Optional[TextIO] = None) -> int:
 
 
 def main() -> None:  # pragma: no cover - console entry point
+    """Console entry point."""
     raise SystemExit(run())

@@ -50,15 +50,19 @@ class BufferConfig:
         return self.scale_buffer_count - 1
 
     def is_tip(self, buffer_index: int) -> bool:
+        """Is ``buffer_index`` a tip buffer?"""
         return 0 <= buffer_index < self.tip_count
 
     def is_internal(self, buffer_index: int) -> bool:
+        """Is ``buffer_index`` an internal-partials buffer?"""
         return self.tip_count <= buffer_index < self.n_buffers
 
     def valid_read(self, buffer_index: int) -> bool:
+        """Is ``buffer_index`` readable at all?"""
         return 0 <= buffer_index < self.n_buffers
 
     def valid_matrix(self, matrix_index: int) -> bool:
+        """Is ``matrix_index`` within the matrix bank?"""
         return 0 <= matrix_index < self.matrix_count
 
     @classmethod

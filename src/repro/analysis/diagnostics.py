@@ -35,6 +35,7 @@ class Severity(enum.IntEnum):
 
     @property
     def label(self) -> str:
+        """Lower-case name of the severity level."""
         return self.name.lower()
 
 
@@ -101,14 +102,17 @@ class AnalysisReport:
         return len(self.diagnostics)
 
     def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append ``diagnostics`` to the report."""
         self.diagnostics.extend(diagnostics)
 
     @property
     def errors(self) -> List[Diagnostic]:
+        """Diagnostics of ERROR severity or higher."""
         return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
 
     @property
     def warnings(self) -> List[Diagnostic]:
+        """Diagnostics of WARNING severity."""
         return [d for d in self.diagnostics if d.severity == Severity.WARNING]
 
     @property
@@ -129,9 +133,11 @@ class AnalysisReport:
         return out
 
     def has_code(self, code: str) -> bool:
+        """Is any diagnostic tagged with ``code``?"""
         return any(d.code == code for d in self.diagnostics)
 
     def by_code(self, code: str) -> List[Diagnostic]:
+        """All diagnostics tagged with ``code``."""
         return [d for d in self.diagnostics if d.code == code]
 
     def format(self) -> str:

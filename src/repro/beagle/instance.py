@@ -16,11 +16,18 @@ benchmarks can account throughput the way the paper does (§VI-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..models.eigen import EigenDecomposition, transition_matrices
+from ..obs import get_recorder
+from ..obs.profile import (
+    PHASE_MATRICES,
+    PHASE_PARTIALS,
+    PHASE_ROOT,
+    PHASE_SCALING,
+)
 from .kernels import (
     child_contribution,
     edge_site_likelihoods,
@@ -44,6 +51,7 @@ class InstanceStats:
     flops: int = 0
 
     def reset(self) -> None:
+        """Zero every counter."""
         self.kernel_launches = 0
         self.operations = 0
         self.flops = 0
@@ -227,13 +235,17 @@ class BeagleInstance:
             raise ValueError("matrix indices and branch lengths must pair up")
         if idx.size and (idx.min() < 0 or idx.max() >= self._matrices.shape[0]):
             raise IndexError("matrix index out of range")
-        # (k·C,) scaled times -> (k, C, S, S)
-        scaled = (t[:, None] * self._category_rates[None, :]).reshape(-1)
-        P = transition_matrices(self._eigens[eigen_index], scaled)
-        P = P.reshape(
-            len(idx), self.category_count, self.state_count, self.state_count
-        )
-        self._matrices[idx] = P
+        obs = get_recorder()
+        with obs.span(
+            "kernel.matrices", category="kernel", matrices=int(idx.size)
+        ), obs.phase(PHASE_MATRICES):
+            # (k·C,) scaled times -> (k, C, S, S)
+            scaled = (t[:, None] * self._category_rates[None, :]).reshape(-1)
+            P = transition_matrices(self._eigens[eigen_index], scaled)
+            P = P.reshape(
+                len(idx), self.category_count, self.state_count, self.state_count
+            )
+            self._matrices[idx] = P
 
     def set_transition_matrix(self, matrix_index: int, matrix: np.ndarray) -> None:
         """Directly install a ``(C, S, S)`` or ``(S, S)`` matrix buffer."""
@@ -316,8 +328,19 @@ class BeagleInstance:
         """Execute operations one per kernel launch (the baseline mode;
         the paper's modified BEAGLE with multi-operation launches
         disabled, §VII-C)."""
-        for op in operations:
-            self._execute_single(op)
+        obs = get_recorder()
+        if obs.enabled:
+            n = len(operations)
+            obs.count("repro_kernel_launches_total", n)
+            obs.count("repro_operations_evaluated_total", n)
+            with obs.span(
+                "kernel.serial", category="kernel", operations=n
+            ), obs.phase(PHASE_PARTIALS):
+                for op in operations:
+                    self._execute_single(op)
+        else:
+            for op in operations:
+                self._execute_single(op)
 
     def update_partials_set(self, operations: Sequence[Operation]) -> None:
         """Execute one *independent* operation set as a single launch.
@@ -335,6 +358,20 @@ class BeagleInstance:
         if not operations_independent(ops):
             raise ValueError("operation set contains internal dependencies")
         k = len(ops)
+        obs = get_recorder()
+        if obs.enabled:
+            # Observability bookkeeping sits behind one branch so the
+            # disabled (null-recorder) path stays allocation-free.
+            obs.count("repro_kernel_launches_total")
+            obs.count("repro_operations_evaluated_total", k)
+            obs.observe("repro_operations_per_set", k)
+            with obs.span("kernel.batch", category="kernel", operations=k):
+                self._run_operation_set(ops, k)
+        else:
+            self._run_operation_set(ops, k)
+
+    def _run_operation_set(self, ops: List[Operation], k: int) -> None:
+        """Body of :meth:`update_partials_set` after validation."""
         if k < self.MIN_BATCH_OPERATIONS:
             # Implementation-class heuristic (paper §VI-A): for very small
             # sets the fixed cost of the batched path exceeds its saving
@@ -348,55 +385,61 @@ class BeagleInstance:
         # One flat child list of length 2k: firsts then seconds. All the
         # gathers below are single vectorised NumPy calls — the CPU
         # realisation of BEAGLE's pointer-arithmetic multi-op kernel.
-        child_buffers = np.array(
-            [op.child1 for op in ops] + [op.child2 for op in ops], dtype=np.int64
-        )
-        matrix_idx = np.array(
-            [op.child1_matrix for op in ops] + [op.child2_matrix for op in ops],
-            dtype=np.int64,
-        )
-        self._validate_children(child_buffers)
-        matrices = self._matrices[matrix_idx]  # (2k, C, S, S)
-
-        C, P, S = self.category_count, self.pattern_count, self.state_count
-        contributions = np.empty((2 * k, C, P, S), dtype=self.dtype)
-
-        is_tip = child_buffers < self.tip_count
-        if self._tip_partials:
-            explicit = np.array(
-                [int(b) in self._tip_partials for b in child_buffers], dtype=bool
+        with get_recorder().phase(PHASE_PARTIALS):
+            child_buffers = np.array(
+                [op.child1 for op in ops] + [op.child2 for op in ops],
+                dtype=np.int64,
             )
-        else:
-            explicit = np.zeros(2 * k, dtype=bool)
-        internal_sel = np.flatnonzero(~is_tip)
-        code_sel = np.flatnonzero(is_tip & ~explicit)
-        explicit_sel = np.flatnonzero(is_tip & explicit)
-
-        if internal_sel.size:
-            slots = child_buffers[internal_sel] - self.tip_count
-            gathered = self._partials[slots]  # (m, C, P, S)
-            contributions[internal_sel] = gathered @ matrices[
-                internal_sel
-            ].transpose(0, 1, 3, 2)
-        if code_sel.size:
-            codes = self._tip_codes_dense[child_buffers[code_sel]]  # (m, P)
-            padded = np.concatenate(
-                [
-                    matrices[code_sel],
-                    np.ones((code_sel.size, C, S, 1), dtype=self.dtype),
-                ],
-                axis=3,
+            matrix_idx = np.array(
+                [op.child1_matrix for op in ops]
+                + [op.child2_matrix for op in ops],
+                dtype=np.int64,
             )
-            gathered = np.take_along_axis(
-                padded, codes[:, None, None, :], axis=3
-            )  # (m, C, S, P)
-            contributions[code_sel] = gathered.transpose(0, 1, 3, 2)
-        for index in explicit_sel:  # rare: partial-ambiguity tips
-            partials = self._tip_partials[int(child_buffers[index])]
-            contributions[index] = partials @ matrices[index].transpose(0, 2, 1)
+            self._validate_children(child_buffers)
+            matrices = self._matrices[matrix_idx]  # (2k, C, S, S)
 
-        product = contributions[:k]
-        np.multiply(product, contributions[k:], out=product)
+            C, P, S = self.category_count, self.pattern_count, self.state_count
+            contributions = np.empty((2 * k, C, P, S), dtype=self.dtype)
+
+            is_tip = child_buffers < self.tip_count
+            if self._tip_partials:
+                explicit = np.array(
+                    [int(b) in self._tip_partials for b in child_buffers],
+                    dtype=bool,
+                )
+            else:
+                explicit = np.zeros(2 * k, dtype=bool)
+            internal_sel = np.flatnonzero(~is_tip)
+            code_sel = np.flatnonzero(is_tip & ~explicit)
+            explicit_sel = np.flatnonzero(is_tip & explicit)
+
+            if internal_sel.size:
+                slots = child_buffers[internal_sel] - self.tip_count
+                gathered = self._partials[slots]  # (m, C, P, S)
+                contributions[internal_sel] = gathered @ matrices[
+                    internal_sel
+                ].transpose(0, 1, 3, 2)
+            if code_sel.size:
+                codes = self._tip_codes_dense[child_buffers[code_sel]]  # (m, P)
+                padded = np.concatenate(
+                    [
+                        matrices[code_sel],
+                        np.ones((code_sel.size, C, S, 1), dtype=self.dtype),
+                    ],
+                    axis=3,
+                )
+                gathered = np.take_along_axis(
+                    padded, codes[:, None, None, :], axis=3
+                )  # (m, C, S, P)
+                contributions[code_sel] = gathered.transpose(0, 1, 3, 2)
+            for index in explicit_sel:  # rare: partial-ambiguity tips
+                partials = self._tip_partials[int(child_buffers[index])]
+                contributions[index] = partials @ matrices[index].transpose(
+                    0, 2, 1
+                )
+
+            product = contributions[:k]
+            np.multiply(product, contributions[k:], out=product)
         destinations = np.fromiter(
             (op.destination for op in ops), dtype=np.int64, count=k
         )
@@ -410,18 +453,19 @@ class BeagleInstance:
         ]
         if scale_targets:
             # Batched rescale: one max-reduction over the scaled rows.
-            if len(scale_targets) == k:
-                rows = product
-            else:
-                rows = product[np.array([i for i, _ in scale_targets])]
-            factors = rows.max(axis=(1, 3))  # (m, P)
-            safe = np.where(factors > 0.0, factors, 1.0)
-            rows /= safe[:, None, :, None]
-            if len(scale_targets) != k:
-                product[np.array([i for i, _ in scale_targets])] = rows
-            logs = np.log(safe)
-            for j, (_, scale_index) in enumerate(scale_targets):
-                self.scale.write(scale_index, logs[j])
+            with get_recorder().phase(PHASE_SCALING):
+                if len(scale_targets) == k:
+                    rows = product
+                else:
+                    rows = product[np.array([i for i, _ in scale_targets])]
+                factors = rows.max(axis=(1, 3))  # (m, P)
+                safe = np.where(factors > 0.0, factors, 1.0)
+                rows /= safe[:, None, :, None]
+                if len(scale_targets) != k:
+                    product[np.array([i for i, _ in scale_targets])] = rows
+                logs = np.log(safe)
+                for j, (_, scale_index) in enumerate(scale_targets):
+                    self.scale.write(scale_index, logs[j])
         self._partials[slots] = product
         self._partials_valid[slots] = True
         self.stats.kernel_launches += 1
@@ -484,14 +528,18 @@ class BeagleInstance:
         partials, _ = self._child_arrays(root_buffer)
         if partials is None:
             raise ValueError("root buffer must hold partials, not tip codes")
-        site = root_site_likelihoods(
-            partials, self._frequencies, self._category_weights
-        )
-        with np.errstate(divide="ignore"):
-            logs = np.log(site)
-        if cumulative_scale_index >= 0:
-            logs = logs + self.scale.read(cumulative_scale_index)
-        return float(np.dot(self._weights, logs))
+        obs = get_recorder()
+        with obs.span(
+            "kernel.root", category="kernel", root_buffer=root_buffer
+        ), obs.phase(PHASE_ROOT):
+            site = root_site_likelihoods(
+                partials, self._frequencies, self._category_weights
+            )
+            with np.errstate(divide="ignore"):
+                logs = np.log(site)
+            if cumulative_scale_index >= 0:
+                logs = logs + self.scale.read(cumulative_scale_index)
+            return float(np.dot(self._weights, logs))
 
     def calculate_edge_log_likelihood(
         self,

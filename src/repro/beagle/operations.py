@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Set
 
+from ..obs import get_recorder
+
 __all__ = ["Operation", "operations_independent", "validate_operation_order"]
 
 #: Sentinel for "no rescaling" (BEAGLE's BEAGLE_OP_NONE).
@@ -96,6 +98,11 @@ def validate_operation_order(operations: Iterable[Operation]) -> None:
             if r in all_destinations and r not in written:
                 violations.append((i, op, r))
         written.add(op.destination)
+    obs = get_recorder()
+    if obs.enabled:
+        obs.count("repro_schedule_validations_total")
+        if violations:
+            obs.count("repro_schedule_violations_total", len(violations))
     if violations:
         # Imported lazily: repro.analysis sits above this module.
         from ..analysis.diagnostics import (

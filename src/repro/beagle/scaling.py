@@ -34,10 +34,12 @@ class ScaleBufferBank:
 
     @property
     def count(self) -> int:
+        """Number of scale buffers in the bank."""
         return int(self._logs.shape[0])
 
     @property
     def n_patterns(self) -> int:
+        """Patterns per scale buffer."""
         return int(self._logs.shape[1])
 
     def _check(self, index: int) -> None:
@@ -76,6 +78,7 @@ class ScaleBufferBank:
         self._logs[index] = 0.0
 
     def reset_all(self) -> None:
+        """Zero every scale buffer."""
         self._logs[:] = 0.0
 
     def accumulate(self, source_indices, cumulative_index: int) -> None:

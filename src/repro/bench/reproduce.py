@@ -32,6 +32,7 @@ def _emit(out_dir: Path, name: str, text: str, stream) -> None:
 
 
 def reproduce_fig4(out_dir: Path, n_trees: int, stream) -> None:
+    """Figure 4: launch counts of 256-OTU random trees before/after rerooting."""
     pairs = []
     for seed in range(1, n_trees + 1):
         tree = random_attachment_tree(256, seed)
@@ -57,6 +58,7 @@ def reproduce_fig4(out_dir: Path, n_trees: int, stream) -> None:
 
 
 def reproduce_table3(out_dir: Path, n_random: int, stream) -> None:
+    """Table III: theoretical and modelled speedups at 64 OTUs, 512 patterns."""
     balanced = run_case("balanced", 64, 512)
     pectinate = run_case("pectinate", 64, 512)
     rerooted = run_case("pectinate", 64, 512, reroot=True)
@@ -92,6 +94,7 @@ def reproduce_table3(out_dir: Path, n_random: int, stream) -> None:
 
 
 def reproduce_fig6(out_dir: Path, sizes: List[int], n_random: int, stream) -> None:
+    """Figure 6: modelled speedup versus tree size for each topology class."""
     device = SimulatedDevice(GP100)
     dims = WorkloadDims(patterns=512, states=4)
     rows = []
@@ -131,6 +134,7 @@ def reproduce_fig6(out_dir: Path, sizes: List[int], n_random: int, stream) -> No
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the reproduce CLI."""
     parser = argparse.ArgumentParser(
         prog="repro-reproduce",
         description="Regenerate the paper's headline tables and figures.",
@@ -145,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run(argv: Optional[List[str]] = None, stream=None) -> int:
+    """Regenerate the requested artefacts; returns a process exit code."""
     stream = stream or sys.stdout
     args = build_parser().parse_args(argv)
     out_dir = Path(args.out)
@@ -160,6 +165,7 @@ def run(argv: Optional[List[str]] = None, stream=None) -> int:
 
 
 def main() -> None:  # pragma: no cover - console entry point
+    """Console entry point."""
     raise SystemExit(run())
 
 

@@ -51,6 +51,7 @@ from ..exec import (
 )
 from ..gpu import GP100, SimulatedDevice, WorkloadDims
 from ..models import random_gtr
+from ..obs import Recorder, record_pool_stats, set_recorder
 from ..trees import tree_height
 from .harness import build_tree
 
@@ -58,6 +59,7 @@ __all__ = ["build_parser", "run", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser mirroring BEAGLE's synthetictest options."""
     parser = argparse.ArgumentParser(
         prog="synthetictest",
         description="Benchmark the phylogenetic partial-likelihoods kernel "
@@ -207,6 +209,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a sentinel health check on a worker after every K "
         "completed jobs (0 = only half-open probes and the final audit)",
     )
+    # --- Observability (repro.obs) ------------------------------------
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="record spans and write a Chrome/Perfetto trace_event JSON "
+        "timeline of the run (open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="export counters/gauges/histograms after the run; JSON by "
+        "default, Prometheus text when FILE ends in .prom or .txt",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase time table (transition matrices, "
+        "partials, scaling, root reduction) after the run",
+    )
     return parser
 
 
@@ -241,6 +266,50 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     """Run the benchmark; returns a process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    status = _validate_args(args, out)
+    if status != 0:
+        return status
+    if not (args.trace or args.metrics or args.profile):
+        return _run_benchmark(args, out)
+    # Observability requested: install a live recorder for the duration
+    # of the run, then export whatever was asked for.
+    recorder = Recorder()
+    previous = set_recorder(recorder)
+    try:
+        with recorder.span(
+            "synthetictest.run",
+            category="bench",
+            taxa=args.taxa,
+            sites=args.sites,
+            reps=args.reps,
+        ):
+            status = _run_benchmark(args, out)
+    finally:
+        set_recorder(previous)
+    try:
+        if args.trace:
+            recorder.tracer.write(args.trace)
+            print(
+                f"trace: {len(recorder.tracer.records())} spans "
+                f"({', '.join(recorder.tracer.categories())}) -> {args.trace}",
+                file=out,
+            )
+        if args.metrics:
+            if args.metrics.endswith((".prom", ".txt")):
+                recorder.metrics.write_prometheus(args.metrics)
+            else:
+                recorder.metrics.write_json(args.metrics)
+            print(f"metrics: -> {args.metrics}", file=out)
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.profile:
+        print(recorder.profiler.report(), file=out)
+    return status
+
+
+def _validate_args(args, out) -> int:
+    """Reject inconsistent option combinations; 0 means valid."""
     if args.pectinate and args.randomtree:
         print("error: --pectinate and --randomtree are exclusive", file=out)
         return 2
@@ -311,7 +380,11 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
         ):
             print("error: worker fault rates must be within [0, 1]", file=out)
             return 2
+    return 0
 
+
+def _run_benchmark(args, out) -> int:
+    """The benchmark proper (arguments already validated)."""
     topology = "pectinate" if args.pectinate else (
         "random" if args.randomtree else "balanced"
     )
@@ -524,6 +597,12 @@ def _run_pool_cpu(
     outcomes = pool.drain()
     elapsed = time.perf_counter() - start
     stats = pool.stats()
+    from ..obs import get_recorder
+
+    if get_recorder().enabled:
+        # Ledger identities become gauges (repro_pool_*), including the
+        # imbalance count itself — see PoolStats.explain().
+        record_pool_stats(stats)
 
     per_eval = elapsed / args.reps
     print(
@@ -541,6 +620,7 @@ def _run_pool_cpu(
     if args.full_timing:
         print(f"kernel launches per evaluation: {plan.n_launches}", file=out)
         print(f"total wall time: {elapsed:.3f} s", file=out)
+        print(stats.explain(), file=out)
 
     status = 0
     for outcome in outcomes:
@@ -652,6 +732,7 @@ def _report_partitions(args, tree, mode, scaling, out) -> None:
 
 
 def main() -> None:  # pragma: no cover - console entry point
+    """Console entry point."""
     raise SystemExit(run())
 
 

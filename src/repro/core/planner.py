@@ -18,6 +18,7 @@ import numpy as np
 from ..beagle.instance import BeagleInstance
 from ..beagle.operations import Operation
 from ..data.patterns import PatternData
+from ..obs import get_recorder
 from ..models.ratematrix import SubstitutionModel
 from ..models.siterates import RateCategories, single_rate
 from ..trees import Tree
@@ -71,10 +72,12 @@ class ExecutionPlan:
 
     @property
     def n_operations(self) -> int:
+        """Operations summed over all sets."""
         return sum(len(s) for s in self.operation_sets)
 
     @property
     def set_sizes(self) -> List[int]:
+        """Operations per set, in launch order."""
         return [len(s) for s in self.operation_sets]
 
 
@@ -106,26 +109,31 @@ def make_plan(
         raise ValueError("execution plans require a bifurcating tree")
     if tree.n_tips < 2:
         raise ValueError("need at least two tips")
-    tree.assign_indices()
-    if mode == "serial":
-        sets = [[op] for op in postorder_operations(tree, scaling=scaling)]
-    elif mode == "concurrent":
-        ops = reverse_levelorder_operations(tree, scaling=scaling)
-        sets = build_operation_sets(ops)
-    elif mode == "level":
-        sets = level_schedule(tree, scaling=scaling)
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
-    indices, lengths = matrix_updates(tree)
-    plan = ExecutionPlan(
-        tree=tree,
-        operation_sets=sets,
-        matrix_indices=indices,
-        branch_lengths=lengths,
-        root_buffer=tree.index_of(tree.root),
-        scaling=scaling,
-        mode=mode,
-    )
+    obs = get_recorder()
+    with obs.span("plan.make", category="plan", mode=mode, tips=tree.n_tips):
+        tree.assign_indices()
+        if mode == "serial":
+            sets = [[op] for op in postorder_operations(tree, scaling=scaling)]
+        elif mode == "concurrent":
+            ops = reverse_levelorder_operations(tree, scaling=scaling)
+            sets = build_operation_sets(ops)
+        elif mode == "level":
+            sets = level_schedule(tree, scaling=scaling)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        indices, lengths = matrix_updates(tree)
+        plan = ExecutionPlan(
+            tree=tree,
+            operation_sets=sets,
+            matrix_indices=indices,
+            branch_lengths=lengths,
+            root_buffer=tree.index_of(tree.root),
+            scaling=scaling,
+            mode=mode,
+        )
+    if obs.enabled:
+        obs.count("repro_plans_built_total")
+        obs.observe("repro_sets_per_plan", plan.n_launches)
     if verify:
         # Imported lazily: repro.analysis depends on this module.
         from ..analysis.verifier import verify_plan
@@ -198,6 +206,23 @@ def execute_plan(
     slot ``n−1`` is reserved) before the root reduction: BEAGLE's
     ``accumulateScaleFactors`` + ``calculateRootLogLikelihoods`` sequence.
     """
+    obs = get_recorder()
+    if obs.enabled:
+        with obs.span(
+            "plan.execute",
+            category="plan",
+            mode=plan.mode,
+            launches=plan.n_launches,
+            operations=plan.n_operations,
+        ):
+            return _execute_plan_body(instance, plan, update_matrices)
+    return _execute_plan_body(instance, plan, update_matrices)
+
+
+def _execute_plan_body(
+    instance: BeagleInstance, plan: ExecutionPlan, update_matrices: bool
+) -> float:
+    """Body of :func:`execute_plan`, shared by the traced and plain paths."""
     instance.invalidate_partials()
     if update_matrices:
         instance.update_transition_matrices(

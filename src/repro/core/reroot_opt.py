@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
+from ..obs import get_recorder
 from ..trees import Tree
 from ..trees.node import Node
 from ..trees.reroot import reroot_on_edge, unrooted_adjacency, unrooted_edges
@@ -64,6 +65,18 @@ class RerootResult:
         return self.original_operation_sets - self.operation_sets
 
 
+def _record_search(result: RerootResult, span) -> RerootResult:
+    """Count the search (and a possible win) and annotate its span."""
+    obs = get_recorder()
+    if obs.enabled:
+        obs.count("repro_reroot_searches_total")
+        if result.improvement > 0:
+            obs.count("repro_reroot_wins_total")
+        span.set_attribute("improvement", result.improvement)
+        span.set_attribute("evaluated", result.evaluated_rootings)
+    return result
+
+
 _OBJECTIVES: Dict[str, Callable[[Tree], int]] = {
     "sets": count_operation_sets,
     "height": min_operation_sets,
@@ -92,26 +105,38 @@ def optimal_reroot_exhaustive(tree: Tree, objective: str = "sets") -> RerootResu
         score = _OBJECTIVES[objective]
     except KeyError:
         raise ValueError(f"unknown objective {objective!r}") from None
-    original_sets = count_operation_sets(tree)
-    if tree.n_tips < 3:
-        return RerootResult(tree.copy(), original_sets, original_sets, 1)
+    with get_recorder().span(
+        "reroot.search",
+        category="reroot",
+        algorithm="exhaustive",
+        tips=tree.n_tips,
+    ) as span:
+        original_sets = count_operation_sets(tree)
+        if tree.n_tips < 3:
+            return _record_search(
+                RerootResult(tree.copy(), original_sets, original_sets, 1),
+                span,
+            )
 
-    best_tree = tree.copy()
-    best_score = score(tree)
-    evaluated = 1
-    for u, v, _ in unrooted_edges(tree):
-        candidate = reroot_on_edge(tree, u, v)
-        candidate_score = score(candidate)
-        evaluated += 1
-        if candidate_score < best_score:
-            best_score = candidate_score
-            best_tree = candidate
-    return RerootResult(
-        tree=best_tree,
-        operation_sets=count_operation_sets(best_tree),
-        original_operation_sets=original_sets,
-        evaluated_rootings=evaluated,
-    )
+        best_tree = tree.copy()
+        best_score = score(tree)
+        evaluated = 1
+        for u, v, _ in unrooted_edges(tree):
+            candidate = reroot_on_edge(tree, u, v)
+            candidate_score = score(candidate)
+            evaluated += 1
+            if candidate_score < best_score:
+                best_score = candidate_score
+                best_tree = candidate
+        return _record_search(
+            RerootResult(
+                tree=best_tree,
+                operation_sets=count_operation_sets(best_tree),
+                original_operation_sets=original_sets,
+                evaluated_rootings=evaluated,
+            ),
+            span,
+        )
 
 
 def edge_rooting_heights(tree: Tree) -> List[Tuple[Node, Node, int]]:
@@ -184,19 +209,28 @@ def optimal_reroot_fast(tree: Tree) -> RerootResult:
     the chosen rooting, directly comparable with
     :func:`optimal_reroot_exhaustive`.
     """
-    original_sets = count_operation_sets(tree)
-    if tree.n_tips < 3:
-        return RerootResult(tree.copy(), original_sets, original_sets, 1)
-    heights = edge_rooting_heights(tree)
-    u, v, best_height = min(heights, key=lambda t: t[2])
-    # Keep the original rooting when it is already optimal.
-    if min_operation_sets(tree) <= best_height:
-        best_tree = tree.copy()
-    else:
-        best_tree = reroot_on_edge(tree, u, v)
-    return RerootResult(
-        tree=best_tree,
-        operation_sets=count_operation_sets(best_tree),
-        original_operation_sets=original_sets,
-        evaluated_rootings=len(heights) + 1,
-    )
+    with get_recorder().span(
+        "reroot.search", category="reroot", algorithm="fast", tips=tree.n_tips
+    ) as span:
+        original_sets = count_operation_sets(tree)
+        if tree.n_tips < 3:
+            return _record_search(
+                RerootResult(tree.copy(), original_sets, original_sets, 1),
+                span,
+            )
+        heights = edge_rooting_heights(tree)
+        u, v, best_height = min(heights, key=lambda t: t[2])
+        # Keep the original rooting when it is already optimal.
+        if min_operation_sets(tree) <= best_height:
+            best_tree = tree.copy()
+        else:
+            best_tree = reroot_on_edge(tree, u, v)
+        return _record_search(
+            RerootResult(
+                tree=best_tree,
+                operation_sets=count_operation_sets(best_tree),
+                original_operation_sets=original_sets,
+                evaluated_rootings=len(heights) + 1,
+            ),
+            span,
+        )

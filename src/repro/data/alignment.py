@@ -71,10 +71,12 @@ class Alignment:
 
     @property
     def n_taxa(self) -> int:
+        """Number of sequences."""
         return len(self._names)
 
     @property
     def n_sites(self) -> int:
+        """Alignment length in sites."""
         return self._length
 
     def sequence(self, name: str) -> Tuple[str, ...]:
@@ -94,6 +96,7 @@ class Alignment:
         return tuple(row[site] for row in self._rows)
 
     def columns(self) -> Iterator[Tuple[str, ...]]:
+        """Iterate over all alignment columns in site order."""
         for site in range(self._length):
             yield self.column(site)
 

@@ -53,14 +53,17 @@ class PatternData:
 
     @property
     def n_taxa(self) -> int:
+        """Number of taxa."""
         return len(self.taxa)
 
     @property
     def n_patterns(self) -> int:
+        """Number of unique site patterns."""
         return int(self.codes.shape[1])
 
     @property
     def n_sites(self) -> int:
+        """Total sites represented (sum of pattern weights)."""
         return int(self.weights.sum())
 
     def tip_partials(self, taxon: str) -> np.ndarray:

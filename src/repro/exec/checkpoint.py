@@ -31,6 +31,8 @@ from typing import Dict, List, Union
 
 import numpy as np
 
+from ..obs import get_recorder
+
 __all__ = ["CheckpointError", "MCMCCheckpoint"]
 
 PathLike = Union[str, Path]
@@ -91,10 +93,15 @@ class MCMCCheckpoint:
     def save(self, path: PathLike) -> None:
         """Atomically write the checkpoint as JSON."""
         path = Path(path)
-        payload = _jsonable(asdict(self))
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
+        obs = get_recorder()
+        with obs.span(
+            "checkpoint.save", category="checkpoint", iteration=self.iteration
+        ):
+            payload = _jsonable(asdict(self))
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        obs.count("repro_checkpoint_writes_total")
 
     @classmethod
     def load(cls, path: PathLike) -> "MCMCCheckpoint":

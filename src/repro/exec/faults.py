@@ -167,6 +167,7 @@ class InjectionLog:
     poisoned_buffers: int = 0
 
     def record(self, fault: str) -> None:
+        """Count one injected fault of class ``fault``."""
         self.injected += 1
         self.by_class[fault] = self.by_class.get(fault, 0) + 1
 
@@ -315,11 +316,13 @@ class BiasInjector:
 
     # -- intercepted launch surface ------------------------------------
     def update_partials_set(self, operations) -> None:
+        """Forward a batched launch, then corrupt the destinations."""
         ops = list(operations)
         self._inner.update_partials_set(ops)
         self._corrupt(ops)
 
     def update_partials_serial(self, operations) -> None:
+        """Forward per-operation launches, then corrupt the destinations."""
         ops = list(operations)
         self._inner.update_partials_serial(ops)
         self._corrupt(ops)

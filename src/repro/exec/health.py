@@ -84,6 +84,7 @@ class Deadline:
 
     @property
     def expired(self) -> bool:
+        """Has the wall-clock budget been spent?"""
         return self.remaining < 0.0
 
     def check(self, what: str = "evaluation") -> None:
@@ -132,10 +133,12 @@ class DeadlineGuard:
 
     # -- intercepted launch surface ------------------------------------
     def update_partials_set(self, operations) -> None:
+        """Forward one batched launch after checking the deadline."""
         self.deadline.check("launch")
         self._inner.update_partials_set(operations)
 
     def update_partials_serial(self, operations) -> None:
+        """Forward per-operation launches after checking the deadline."""
         self.deadline.check("launch")
         self._inner.update_partials_serial(operations)
 
@@ -209,6 +212,7 @@ class CircuitBreaker:
 
     @property
     def evicted(self) -> bool:
+        """Has the breaker permanently removed its worker?"""
         return self._state == EVICTED
 
     def available(self) -> bool:

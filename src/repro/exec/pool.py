@@ -79,6 +79,7 @@ from typing import (
     Tuple,
 )
 
+from ..obs import get_recorder
 from .errors import (
     DeadlineExceeded,
     ExecutionError,
@@ -124,6 +125,7 @@ class JobContext:
 
     @property
     def worker_id(self) -> int:
+        """Id of the worker running the job."""
         return self.worker.id
 
     def execute(self, instance, plan) -> float:
@@ -176,6 +178,7 @@ class JobOutcome:
 
     @property
     def ok(self) -> bool:
+        """Did the job complete successfully?"""
         return self.status == OK
 
 
@@ -248,6 +251,41 @@ class PoolStats:
     def balances(self) -> bool:
         """Does every ledger identity close?"""
         return not self.imbalances()
+
+    def explain(self) -> str:
+        """Account for every ledger identity with its current numbers.
+
+        One line per identity, each marked ``ok`` or ``VIOLATED``, with
+        the invariant it protects spelled out. The observability export
+        (:func:`repro.obs.record_pool_stats`) asserts the same
+        identities as the ``repro_pool_ledger_imbalances`` gauge, so a
+        drifting ledger is visible both here and on a dashboard.
+        """
+        checks = [
+            (
+                "offered == completed + shed + surfaced",
+                self.offered,
+                self.completed + self.shed + self.surfaced,
+                "every submitted job reaches exactly one terminal outcome",
+            ),
+            (
+                "failures == rerouted + surfaced_failures",
+                self.failures,
+                self.rerouted + self.surfaced_failures,
+                "every worker failure is rerouted or surfaced, never lost",
+            ),
+            (
+                "worker errors == failures + probe_errors",
+                self.faults.errors,
+                self.failures + self.probe_errors,
+                "every worker-stack error is attributed to a job or a probe",
+            ),
+        ]
+        lines = []
+        for identity, lhs, rhs, meaning in checks:
+            mark = "ok" if lhs == rhs else "VIOLATED"
+            lines.append(f"[{mark}] {identity} ({lhs} vs {rhs}): {meaning}")
+        return "\n".join(lines)
 
     def format(self) -> str:
         """One-line summary for logs and ``synthetictest`` output."""
@@ -395,6 +433,7 @@ class LikelihoodPool:
             and len(self._pending) >= self.max_pending
         ):
             self._rejected += 1
+            get_recorder().count("repro_pool_shed_total")
             raise PoolSaturatedError(
                 f"pool queue full ({self.max_pending} pending); "
                 "job rejected by admission control",
@@ -672,14 +711,35 @@ class LikelihoodPool:
         ``(status, payload)`` pair; ``payload`` is the value or error."""
         job.attempts += 1
         context = JobContext(worker=worker, deadline=job.deadline)
-        try:
-            return OK, job.fn(context)
-        except ExecutionError as exc:
-            job.last_error = exc
-            return "error", exc
-        except Exception as exc:  # noqa: BLE001 - programmer error
-            job.last_error = exc
-            return "fatal", exc
+        obs = get_recorder()
+        if not obs.enabled:
+            try:
+                return OK, job.fn(context)
+            except ExecutionError as exc:
+                job.last_error = exc
+                return "error", exc
+            except Exception as exc:  # noqa: BLE001 - programmer error
+                job.last_error = exc
+                return "fatal", exc
+        with obs.span(
+            "pool.job",
+            category="pool",
+            label=job.label,
+            worker=worker.id,
+            attempt=job.attempts,
+        ) as span:
+            try:
+                value = job.fn(context)
+            except ExecutionError as exc:
+                job.last_error = exc
+                span.set_attribute("outcome", "error")
+                return "error", exc
+            except Exception as exc:  # noqa: BLE001 - programmer error
+                job.last_error = exc
+                span.set_attribute("outcome", "fatal")
+                return "fatal", exc
+            span.set_attribute("outcome", OK)
+            return OK, value
 
     def _complete(
         self,
@@ -689,6 +749,7 @@ class LikelihoodPool:
         outcomes: Dict[int, JobOutcome],
     ) -> None:
         self.supervisor.record_success(worker, job.index)
+        get_recorder().count("repro_pool_jobs_completed_total")
         outcomes[job.index] = JobOutcome(
             index=job.index,
             label=job.label,
@@ -711,10 +772,12 @@ class LikelihoodPool:
         job.tried.add(worker.id)
         if isinstance(exc, DeadlineExceeded):
             # The budget is spent; a reroute would start from zero time.
+            get_recorder().count("repro_pool_deadline_exceeded_total")
             self._surface_failure(job, outcomes, exc)
             return False
         if self._eligible(job):
             self._rerouted += 1
+            get_recorder().count("repro_pool_reroutes_total")
             return True
         self._surface_failure(job, outcomes, exc)
         return False
@@ -728,6 +791,7 @@ class LikelihoodPool:
 
     def _shed(self, job: Job, outcomes: Dict[int, JobOutcome]) -> None:
         assert job.deadline is not None
+        get_recorder().count("repro_pool_shed_total")
         error = DeadlineExceeded(
             f"{job.label} expired while queued "
             f"({job.deadline.elapsed * 1e3:.0f} ms waiting, "
@@ -842,6 +906,7 @@ class LikelihoodPool:
     def _rescue(self, job: Job, outcomes: Dict[int, JobOutcome]) -> None:
         """Re-run a job whose worker turned out to be corrupt."""
         self._rescued += 1
+        get_recorder().count("repro_pool_rescued_total")
         job.tried = set()  # earlier failures were transient; start fresh
         job.last_error = None
         if job.budget_s is not None:

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..beagle.operations import Operation
+from ..obs import get_recorder
 from .errors import (
     AllocationError,
     DeviceFault,
@@ -219,6 +220,7 @@ class FaultStats:
             )
 
     def reset(self) -> None:
+        """Zero every counter."""
         self.injected = 0
         self.detected = 0
         self.retried = 0
@@ -378,6 +380,7 @@ class ResilientInstance:
             # run the set one operation per launch (§VII-C's baseline
             # mode), each with a fresh retry budget.
             self._stats.degraded += 1
+            get_recorder().count("repro_degraded_sets_total")
             for op in ops:
                 self._launch([op], batched=False)
 
@@ -401,6 +404,7 @@ class ResilientInstance:
                 if failures > self.policy.max_retries:
                     raise
                 self._stats.retried += 1
+                get_recorder().count("repro_retry_attempts_total")
                 delay = self.policy.backoff_seconds(
                     failures, key=self._backoff_key
                 )
@@ -489,6 +493,7 @@ class ResilientInstance:
             self._stats.detected_by_class.get("underflow", 0) + 1
         )
         self._stats.retried += 1
+        get_recorder().count("repro_retry_attempts_total")
         try:
             ll = execute_plan(self, plan, update_matrices=update_matrices)
         except NumericalError as exc:
@@ -546,6 +551,7 @@ class ResilientInstance:
                 kind="underflow",
             )
         self._stats.rescued += 1
+        get_recorder().count("repro_rescues_total")
         self._escalations[id(plan)] = (plan, scaled)
         return ll
 

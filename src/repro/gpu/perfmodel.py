@@ -69,6 +69,7 @@ class WorkloadDims:
 
     @property
     def flops_per_operation(self) -> int:
+        """Floating-point operations one partials operation costs."""
         return operation_flops(self.patterns, self.states, self.categories)
 
 
@@ -92,18 +93,22 @@ class EvaluationTiming:
 
     @property
     def n_launches(self) -> int:
+        """Kernel launches in the evaluation."""
         return len(self.launches)
 
     @property
     def n_operations(self) -> int:
+        """Operations summed over all launches."""
         return sum(l.n_operations for l in self.launches)
 
     @property
     def seconds(self) -> float:
+        """Modelled seconds summed over all launches."""
         return sum(l.seconds for l in self.launches)
 
     @property
     def flops(self) -> int:
+        """Floating-point operations summed over all launches."""
         return sum(l.flops for l in self.launches)
 
     @property

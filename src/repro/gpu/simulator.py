@@ -20,6 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.resilient import FaultStats, RetryPolicy
 
 from ..core.planner import ExecutionPlan, make_plan
+from ..obs import get_recorder
+from ..obs.profile import PHASE_MODELLED
 from ..trees import Tree
 from .device import GP100, DeviceSpec
 from .perfmodel import (
@@ -95,8 +97,19 @@ class SimulatedDevice:
         self.spec = spec
 
     def time_plan(self, plan: ExecutionPlan, dims: WorkloadDims) -> EvaluationTiming:
-        """Simulated timing of one plan execution."""
-        return time_set_sizes(self.spec, dims, plan.set_sizes)
+        """Simulated timing of one plan execution.
+
+        Modelled device seconds are credited to the profiler's
+        :data:`~repro.obs.profile.PHASE_MODELLED` phase, so simulated
+        runs fill the same profile table as measured ones.
+        """
+        timing = time_set_sizes(self.spec, dims, plan.set_sizes)
+        obs = get_recorder()
+        if obs.enabled:
+            obs.add_phase_seconds(
+                PHASE_MODELLED, timing.seconds, calls=timing.n_launches
+            )
+        return timing
 
     def _set_cost(
         self, dims: WorkloadDims, k: int, mechanism: str, n_streams: int

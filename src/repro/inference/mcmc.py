@@ -22,6 +22,7 @@ import numpy as np
 from ..core.reroot_opt import optimal_reroot_fast
 from ..exec.checkpoint import NEWICK_PRECISION, MCMCCheckpoint
 from ..gpu.device import DeviceSpec, GP100
+from ..obs import get_recorder
 
 from ..trees import Tree
 from ..trees.newick import parse_newick, write_newick
@@ -71,6 +72,7 @@ class MCMCResult:
 
     @property
     def acceptance_rate(self) -> float:
+        """Fraction of proposals accepted."""
         return self.accepted / self.proposed if self.proposed else 0.0
 
 
@@ -215,43 +217,51 @@ def run_mcmc(
             config=dict(config),
         ).save(checkpoint_path)
 
+    obs = get_recorder()
     for iteration in range(start_iteration, iterations):
         if reroot_every > 0 and iteration > 0 and iteration % reroot_every == 0:
             rerooted = optimal_reroot_fast(current.tree)
             if rerooted.improvement > 0:
                 current = current.with_tree(rerooted.tree)
                 rerootings += 1
-        draw = rng.random()
-        proposal = None
-        if draw < nni_probability:
-            proposal = random_nni(current.tree, rng)
-        elif draw < nni_probability + spr_probability:
-            proposal = random_spr(current.tree, rng)
-        if proposal is None:  # tiny tree or degenerate SPR: fall back
-            proposal = multiply_branch(current.tree, rng)
-        proposed += 1
+        with obs.span("mcmc.step", category="mcmc", iteration=iteration) as span:
+            draw = rng.random()
+            proposal = None
+            if draw < nni_probability:
+                proposal = random_nni(current.tree, rng)
+            elif draw < nni_probability + spr_probability:
+                proposal = random_spr(current.tree, rng)
+            if proposal is None:  # tiny tree or degenerate SPR: fall back
+                proposal = multiply_branch(current.tree, rng)
+            proposed += 1
 
-        candidate = current.with_tree(proposal.tree)
-        candidate_ll = candidate.log_likelihood()
-        launches += candidate.n_launches
-        device_seconds += modelled(candidate)
-        candidate_prior = _log_prior(proposal.tree, prior_rate)
+            candidate = current.with_tree(proposal.tree)
+            candidate_ll = candidate.log_likelihood()
+            launches += candidate.n_launches
+            device_seconds += modelled(candidate)
+            candidate_prior = _log_prior(proposal.tree, prior_rate)
 
-        log_ratio = (
-            candidate_ll
-            - current_ll
-            + candidate_prior
-            - current_prior
-            + proposal.log_hastings
-        )
-        if math.log(rng.random() + 1e-300) < log_ratio:
-            current = candidate
-            current_ll = candidate_ll
-            current_prior = candidate_prior
-            accepted += 1
-            if current_ll > best_ll:
-                best_ll = current_ll
-                best_tree = current.tree.copy()
+            log_ratio = (
+                candidate_ll
+                - current_ll
+                + candidate_prior
+                - current_prior
+                + proposal.log_hastings
+            )
+            took = math.log(rng.random() + 1e-300) < log_ratio
+            if took:
+                current = candidate
+                current_ll = candidate_ll
+                current_prior = candidate_prior
+                accepted += 1
+                if current_ll > best_ll:
+                    best_ll = current_ll
+                    best_tree = current.tree.copy()
+            if obs.enabled:
+                span.set_attribute("accepted", took)
+                obs.count("repro_mcmc_steps_total")
+                if took:
+                    obs.count("repro_mcmc_accepts_total")
         trace.append(current_ll)
         if checkpoint_every > 0 and (iteration + 1) % checkpoint_every == 0:
             write_checkpoint(iteration + 1)

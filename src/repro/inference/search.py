@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional
 
+from ..obs import get_recorder
 from ..trees import Tree
 from .likelihood import TreeLikelihood
 from .optimize import optimize_branch_lengths
@@ -38,6 +39,7 @@ class SearchResult:
 
     @property
     def improvement(self) -> float:
+        """Log-likelihood gain over the starting tree."""
         return self.log_likelihood - self.start_log_likelihood
 
 
@@ -107,26 +109,31 @@ def ml_search(
     launches = current.n_launches
     rounds = 0
 
+    obs = get_recorder()
     for _ in range(max_rounds):
         rounds += 1
-        best_neighbor: Optional[TreeLikelihood] = None
-        best_ll = current_ll
-        neighbors = [
-            current.with_tree(tree) for tree in nni_neighbors(current.tree)
-        ]
-        if pool is not None:
-            values = pool.map(
-                [_neighbor_job(neighbor) for neighbor in neighbors],
-                labels=[f"nni-{i}" for i in range(len(neighbors))],
-            )
-        else:
-            values = [neighbor.log_likelihood() for neighbor in neighbors]
-        for neighbor, ll in zip(neighbors, values):
-            evaluations += 1
-            launches += neighbor.n_launches
-            if ll > best_ll + tolerance:
-                best_ll = ll
-                best_neighbor = neighbor
+        with obs.span("search.round", category="search", round=rounds) as span:
+            best_neighbor: Optional[TreeLikelihood] = None
+            best_ll = current_ll
+            neighbors = [
+                current.with_tree(tree) for tree in nni_neighbors(current.tree)
+            ]
+            if pool is not None:
+                values = pool.map(
+                    [_neighbor_job(neighbor) for neighbor in neighbors],
+                    labels=[f"nni-{i}" for i in range(len(neighbors))],
+                )
+            else:
+                values = [neighbor.log_likelihood() for neighbor in neighbors]
+            for neighbor, ll in zip(neighbors, values):
+                evaluations += 1
+                launches += neighbor.n_launches
+                if ll > best_ll + tolerance:
+                    best_ll = ll
+                    best_neighbor = neighbor
+            if obs.enabled:
+                span.set_attribute("neighbors", len(neighbors))
+                span.set_attribute("improved", best_neighbor is not None)
         if best_neighbor is None:
             break
         current = best_neighbor

@@ -1,0 +1,129 @@
+"""``python -m repro.obs`` — validate emitted observability artefacts.
+
+The CI observability job runs ``synthetictest --trace/--metrics`` on a
+small case and then checks the artefacts with this entry point::
+
+    python -m repro.obs --trace out.json --require-categories plan,kernel
+    python -m repro.obs --metrics metrics.json
+    python -m repro.obs --trace out.json --metrics metrics.json
+
+Exit status is nonzero when a file fails its schema, a required span
+category is missing, or the trace holds no complete spans at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, TextIO
+
+from .metrics import validate_metrics
+from .tracing import validate_trace
+
+__all__ = ["build_parser", "run", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the validator CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Validate trace_event JSON and metrics JSON emitted "
+        "by the observability layer.",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="Chrome trace_event JSON to validate"
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", help="metrics JSON to validate"
+    )
+    parser.add_argument(
+        "--require-categories",
+        metavar="A,B,...",
+        default=None,
+        help="comma-separated span categories the trace must contain "
+        "(e.g. plan,kernel,pool,reroot)",
+    )
+    return parser
+
+
+def _load(path: str, out: TextIO):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {path}: {exc}", file=out)
+        return None
+
+
+def _check_trace(path: str, required: Optional[str], out: TextIO) -> int:
+    document = _load(path, out)
+    if document is None:
+        return 1
+    problems = validate_trace(document)
+    spans = [
+        e
+        for e in document.get("traceEvents", [])
+        if isinstance(e, dict) and e.get("ph") == "X"
+    ]
+    if not spans:
+        problems.append("trace contains no complete ('ph': 'X') spans")
+    categories = sorted({e.get("cat") for e in spans if e.get("cat")})
+    if required:
+        missing = sorted(
+            set(filter(None, required.split(","))) - set(categories)
+        )
+        if missing:
+            problems.append(
+                f"required span categories missing: {missing} "
+                f"(present: {categories})"
+            )
+    for problem in problems:
+        print(f"error: {path}: {problem}", file=out)
+    if not problems:
+        print(
+            f"{path}: valid trace, {len(spans)} spans across "
+            f"{len(categories)} categories ({', '.join(categories)})",
+            file=out,
+        )
+    return 1 if problems else 0
+
+
+def _check_metrics(path: str, out: TextIO) -> int:
+    document = _load(path, out)
+    if document is None:
+        return 1
+    problems = validate_metrics(document)
+    for problem in problems:
+        print(f"error: {path}: {problem}", file=out)
+    if not problems:
+        print(
+            f"{path}: valid metrics export, "
+            f"{len(document['metrics'])} series",
+            file=out,
+        )
+    return 1 if problems else 0
+
+
+def run(argv: Optional[List[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Run the validator; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if not args.trace and not args.metrics:
+        print("error: nothing to validate (pass --trace and/or --metrics)", file=out)
+        return 2
+    status = 0
+    if args.trace:
+        status |= _check_trace(args.trace, args.require_categories, out)
+    if args.metrics:
+        status |= _check_metrics(args.metrics, out)
+    return status
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    """Console entry point."""
+    raise SystemExit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,451 @@
+"""Typed metric instruments: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named instruments and exports them two
+ways: Prometheus text exposition (``to_prometheus``, with the format's
+escaping rules for help strings and label values) and a plain JSON
+document (``to_json``) that the CI observability job validates with
+:func:`validate_metrics`.
+
+Design points:
+
+* instruments are **typed** — re-requesting a name returns the existing
+  instrument, re-requesting it as a different type raises;
+* labels are **static per instrument** (frozen at registration), which
+  keeps the hot-path increment a plain ``+=`` under the instrument lock;
+* histograms use **fixed upper-bound buckets** chosen at registration
+  (cumulative counts, Prometheus ``le`` semantics: a value lands in the
+  first bucket whose bound is ``>= value``, boundary values inclusive).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "escape_help",
+    "escape_label_value",
+    "validate_metrics",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Latency-style bucket bounds, in seconds.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+    2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Power-of-two bounds for size-like observations (operations per set,
+#: sets per plan).
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def escape_help(text: str) -> str:
+    r"""Escape a ``# HELP`` string: ``\`` -> ``\\``, newline -> ``\n``."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    r"""Escape a label value: ``\`` -> ``\\``, ``"`` -> ``\"``,
+    newline -> ``\n`` (the exposition-format quoting rules)."""
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting (integers without a trailing .0)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_suffix(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared core: a name, frozen labels, a lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labels: LabelSet) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (events, operations, retries)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: LabelSet) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        with self._lock:
+            return self._value
+
+    def samples(self) -> List[Tuple[str, LabelSet, float]]:
+        """Exposition samples: one line for a counter."""
+        return [(self.name, self.labels, self.value)]
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, workers alive)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: LabelSet) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        """Adjust the gauge down by ``amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+    def samples(self) -> List[Tuple[str, LabelSet, float]]:
+        """Exposition samples: one line for a gauge."""
+        return [(self.name, self.labels, self.value)]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with Prometheus ``le`` semantics.
+
+    ``observe(v)`` increments every bucket whose upper bound is
+    ``>= v`` (cumulative counts; the implicit ``+Inf`` bucket counts
+    everything), plus the running ``sum`` and ``count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: LabelSet,
+        buckets: Sequence[float],
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * len(bounds)
+        self._inf = 0
+        self._sum = 0.0
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        v = float(value)
+        with self._lock:
+            self._sum += v
+            self._inf += 1
+            for i, bound in enumerate(self.bounds):
+                if v <= bound:
+                    self._counts[i] += 1
+                    break
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        with self._lock:
+            return self._inf
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at ``+Inf``."""
+        with self._lock:
+            out: List[Tuple[float, int]] = []
+            total = 0
+            for bound, count in zip(self.bounds, self._counts):
+                total += count
+                out.append((bound, total))
+            out.append((math.inf, self._inf))
+            return out
+
+    def samples(self) -> List[Tuple[str, LabelSet, float]]:
+        """Exposition samples: ``_bucket`` series plus ``_sum``/``_count``."""
+        lines: List[Tuple[str, LabelSet, float]] = []
+        for bound, cumulative in self.cumulative_counts():
+            le = "+Inf" if bound == math.inf else _format_value(bound)
+            lines.append(
+                (
+                    f"{self.name}_bucket",
+                    self.labels + (("le", le),),
+                    float(cumulative),
+                )
+            )
+        lines.append((f"{self.name}_sum", self.labels, self.sum))
+        lines.append((f"{self.name}_count", self.labels, float(self.count)))
+        return lines
+
+
+class MetricsRegistry:
+    """Typed, thread-safe home of every instrument in a run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelSet], _Instrument] = {}
+        self._helps: Dict[str, str] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------
+    def _get(
+        self,
+        cls,
+        name: str,
+        help: str,
+        labels: Optional[Mapping[str, str]],
+        **extra: Any,
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        label_set: LabelSet = tuple(sorted((labels or {}).items()))
+        for key, _ in label_set:
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind != cls.kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{existing_kind}, requested {cls.kind}"
+                )
+            instrument = self._instruments.get((name, label_set))
+            if instrument is None:
+                instrument = cls(name, help, label_set, **extra)
+                self._instruments[(name, label_set)] = instrument
+                self._kinds[name] = cls.kind
+                if help or name not in self._helps:
+                    self._helps[name] = help
+            return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` with fixed ``buckets``."""
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- inspection -----------------------------------------------------
+    def instruments(self) -> List[_Instrument]:
+        """Snapshot of every registered instrument."""
+        with self._lock:
+            return list(self._instruments.values())
+
+    def names(self) -> List[str]:
+        """Sorted distinct metric names."""
+        with self._lock:
+            return sorted(self._kinds)
+
+    # -- export ---------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            by_name: Dict[str, List[_Instrument]] = {}
+            for (name, _), instrument in sorted(self._instruments.items()):
+                by_name.setdefault(name, []).append(instrument)
+            helps = dict(self._helps)
+            kinds = dict(self._kinds)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            if helps.get(name):
+                lines.append(f"# HELP {name} {escape_help(helps[name])}")
+            lines.append(f"# TYPE {name} {kinds[name]}")
+            for instrument in by_name[name]:
+                for sample, labels, value in instrument.samples():
+                    lines.append(
+                        f"{sample}{_label_suffix(labels)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON document: ``{"metrics": [{name, type, help, labels, ...}]}``."""
+        out: List[Dict[str, Any]] = []
+        for instrument in self.instruments():
+            entry: Dict[str, Any] = {
+                "name": instrument.name,
+                "type": instrument.kind,
+                "help": instrument.help,
+                "labels": dict(instrument.labels),
+            }
+            if isinstance(instrument, Histogram):
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.sum
+                entry["buckets"] = [
+                    {"le": "+Inf" if bound == math.inf else bound,
+                     "count": cumulative}
+                    for bound, cumulative in instrument.cumulative_counts()
+                ]
+            else:
+                entry["value"] = instrument.value  # type: ignore[attr-defined]
+            out.append(entry)
+        out.sort(key=lambda e: (e["name"], sorted(e["labels"].items())))
+        return {"metrics": out}
+
+    def write_json(self, path) -> None:
+        """Serialise :meth:`to_json` to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+
+    def write_prometheus(self, path) -> None:
+        """Serialise :meth:`to_prometheus` to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_prometheus())
+
+
+def validate_metrics(document: Any) -> List[str]:
+    """Check a loaded metrics-JSON document against the export schema.
+
+    Returns human-readable problems (empty = valid): top level must be
+    ``{"metrics": [...]}``; every entry needs a valid name, a known
+    type, a labels object, and either a numeric ``value`` or — for
+    histograms — ``count``/``sum``/monotone cumulative ``buckets``
+    ending at ``+Inf``.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict) or "metrics" not in document:
+        return ["top level must be an object with a 'metrics' array"]
+    entries = document["metrics"]
+    if not isinstance(entries, list):
+        return ["'metrics' must be an array"]
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"metric {i}: not an object")
+            continue
+        name = entry.get("name")
+        label = f"metric {i} ({name!r})"
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            problems.append(f"metric {i}: invalid name {name!r}")
+        kind = entry.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"{label}: unknown type {kind!r}")
+            continue
+        if not isinstance(entry.get("labels"), dict):
+            problems.append(f"{label}: 'labels' must be an object")
+        if kind == "histogram":
+            problems.extend(_validate_histogram(label, entry))
+        elif not isinstance(entry.get("value"), (int, float)) or isinstance(
+            entry.get("value"), bool
+        ):
+            problems.append(f"{label}: 'value' must be a number")
+    return problems
+
+
+def _validate_histogram(label: str, entry: Mapping[str, Any]) -> Iterable[str]:
+    problems: List[str] = []
+    buckets = entry.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        return [f"{label}: histogram needs a non-empty 'buckets' array"]
+    previous = -1
+    for j, bucket in enumerate(buckets):
+        if not isinstance(bucket, dict) or "le" not in bucket or "count" not in bucket:
+            problems.append(f"{label}: bucket {j} needs 'le' and 'count'")
+            continue
+        count = bucket["count"]
+        if not isinstance(count, int) or count < previous:
+            problems.append(
+                f"{label}: bucket counts must be non-decreasing integers"
+            )
+        else:
+            previous = count
+    if buckets and isinstance(buckets[-1], dict) and buckets[-1].get("le") != "+Inf":
+        problems.append(f"{label}: last bucket must be '+Inf'")
+    total = entry.get("count")
+    if not isinstance(total, int):
+        problems.append(f"{label}: histogram 'count' must be an integer")
+    elif (
+        isinstance(buckets[-1], dict)
+        and isinstance(buckets[-1].get("count"), int)
+        and buckets[-1]["count"] != total
+    ):
+        problems.append(f"{label}: '+Inf' bucket must equal 'count'")
+    if not isinstance(entry.get("sum"), (int, float)):
+        problems.append(f"{label}: histogram 'sum' must be a number")
+    return problems

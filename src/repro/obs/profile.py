@@ -1,0 +1,170 @@
+"""Lightweight per-phase profiling hooks for the likelihood hot path.
+
+The paper's accounting splits an evaluation into a handful of phases —
+eigen-decomposition / transition matrices, partials kernels, rescaling,
+root reduction — and argues about where the time goes.
+:class:`PhaseProfiler` gives the reproduction the same split: the CPU
+engine times phases with a monotonic clock (``phase(...)`` context
+manager), while the GPU simulator *feeds modelled seconds* into the same
+table (:meth:`PhaseProfiler.add`), so measured and modelled runs render
+through one report.
+
+The disabled path (:class:`NullProfiler`) hands out a shared no-op
+context manager, keeping dormant hooks branch-cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+__all__ = ["PhaseStats", "PhaseProfiler", "NullProfiler", "NULL_PHASE"]
+
+Clock = Callable[[], float]
+
+#: Canonical phase names used by the built-in instrumentation.
+PHASE_MATRICES = "transition_matrices"
+PHASE_PARTIALS = "partials"
+PHASE_SCALING = "scaling"
+PHASE_ROOT = "root_reduction"
+#: Modelled (not measured) device time credited by the GPU simulator —
+#: kept distinct from the measured phases so shares stay honest.
+PHASE_MODELLED = "gpu_modelled"
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated time and call count of one phase."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average seconds per call (0 when never called)."""
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+class _PhaseTimer:
+    """Context manager measuring one phase entry."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = self._profiler._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = self._profiler._clock() - self._start
+        self._profiler.add(self._name, max(elapsed, 0.0))
+        return False
+
+
+class _NullPhase:
+    """Shared no-op phase timer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op timer every disabled profiler hands out.
+NULL_PHASE = _NullPhase()
+
+
+class PhaseProfiler:
+    """Thread-safe accumulator of per-phase wall-clock (or modelled) time."""
+
+    def __init__(self, clock: Clock = time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._phases: Dict[str, PhaseStats] = {}
+
+    def phase(self, name: str) -> _PhaseTimer:
+        """Context manager timing one entry of phase ``name``."""
+        return _PhaseTimer(self, name)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Accumulate ``seconds`` into phase ``name`` directly.
+
+        This is the entry point for *modelled* time: the GPU simulator
+        credits its analytical launch costs here so simulated runs fill
+        the same profile table as measured ones.
+        """
+        with self._lock:
+            stats = self._phases.get(name)
+            if stats is None:
+                stats = self._phases[name] = PhaseStats(name)
+            stats.seconds += seconds
+            stats.calls += calls
+
+    def stats(self) -> List[PhaseStats]:
+        """Snapshot of every phase, slowest first."""
+        with self._lock:
+            return sorted(
+                (PhaseStats(s.name, s.seconds, s.calls)
+                 for s in self._phases.values()),
+                key=lambda s: -s.seconds,
+            )
+
+    def total_seconds(self) -> float:
+        """Sum of all phase times."""
+        with self._lock:
+            return sum(s.seconds for s in self._phases.values())
+
+    def reset(self) -> None:
+        """Forget every accumulated phase."""
+        with self._lock:
+            self._phases = {}
+
+    def report(self) -> str:
+        """Human-readable table: phase, calls, total ms, mean us, share."""
+        stats = self.stats()
+        if not stats:
+            return "profile: no phases recorded"
+        total = sum(s.seconds for s in stats) or 1.0
+        lines = ["profile: phase                 calls   total ms   mean us  share"]
+        for s in stats:
+            lines.append(
+                f"profile: {s.name:<20} {s.calls:6d} {s.seconds * 1e3:10.3f} "
+                f"{s.mean_seconds * 1e6:9.2f} {s.seconds / total:6.1%}"
+            )
+        return "\n".join(lines)
+
+
+class NullProfiler:
+    """Profiler stand-in whose timers are the shared no-op singleton."""
+
+    def phase(self, name: str) -> _NullPhase:
+        """Return the shared no-op timer (no allocation)."""
+        return NULL_PHASE
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """No-op."""
+
+    def stats(self) -> List[PhaseStats]:
+        """Always empty."""
+        return []
+
+    def total_seconds(self) -> float:
+        """Always 0."""
+        return 0.0
+
+    def reset(self) -> None:
+        """No-op."""
+
+    def report(self) -> str:
+        """The empty-profile message."""
+        return "profile: no phases recorded"

@@ -1,0 +1,388 @@
+"""Nestable spans and Chrome/Perfetto ``trace_event`` export.
+
+A :class:`Span` measures one timed region — a kernel batch, a reroot
+search, a pool job, an MCMC step — with monotonic timestamps and
+structured attributes. Spans nest per thread (a thread-local depth
+stack), and a :class:`Tracer` collects finished spans thread-safely so a
+multi-worker pool drain produces one coherent timeline.
+
+The export format is the Chrome ``trace_event`` JSON that both
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+directly: each finished span becomes a complete-duration event
+(``"ph": "X"``) with microsecond ``ts``/``dur`` relative to the tracer's
+epoch, ``tid`` set to the recording thread, and the span attributes
+under ``args``. :func:`validate_trace` checks a loaded document against
+that schema — the same function the CI observability job runs on the
+artefact ``synthetictest --trace`` emits.
+
+The disabled path is :data:`NULL_SPAN` — a shared, stateless no-op
+context manager — so instrumentation left in hot code costs one call
+and no allocation when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "validate_trace",
+]
+
+Clock = Callable[[], float]
+
+#: Synthetic process id used in exported events (one trace = one run).
+TRACE_PID = 1
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, ready for export.
+
+    Timestamps are microseconds relative to the owning tracer's epoch
+    (monotonic clock), which is what the ``trace_event`` format wants.
+    """
+
+    name: str
+    category: str
+    start_us: float
+    duration_us: float
+    thread_id: int
+    depth: int
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_event(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` dictionary for this span."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "ts": self.start_us,
+            "dur": self.duration_us,
+            "pid": TRACE_PID,
+            "tid": self.thread_id,
+            "args": {k: _jsonable(v) for k, v in self.attributes.items()},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value to something ``json`` can serialise."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class Span:
+    """A timed region; use as a context manager or via explicit
+    :meth:`start` / :meth:`finish` for non-lexical lifetimes."""
+
+    __slots__ = ("_tracer", "name", "category", "attributes", "_start", "_done")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, category: str, attributes: Dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attributes = attributes
+        self._start: Optional[float] = None
+        self._done = False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one structured attribute."""
+        self.attributes[key] = value
+
+    def start(self) -> "Span":
+        """Begin timing; called automatically by ``with``."""
+        if self._start is not None:
+            raise RuntimeError(f"span {self.name!r} started twice")
+        self._start = self._tracer._enter()
+        return self
+
+    def finish(self) -> None:
+        """Stop timing and hand the finished record to the tracer."""
+        if self._start is None:
+            raise RuntimeError(f"span {self.name!r} finished before starting")
+        if self._done:
+            raise RuntimeError(f"span {self.name!r} finished twice")
+        self._done = True
+        self._tracer._exit(self)
+
+    def __enter__(self) -> "Span":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.finish()
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span: the branch-cheap disabled path."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def start(self) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span every disabled recorder hands out.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-safe span collector with a monotonic epoch.
+
+    Every span's timestamps come from one ``clock`` (default
+    ``time.perf_counter``) read relative to the tracer's construction,
+    so timelines from different threads line up. Finished spans are
+    appended under a lock; per-thread nesting depth is tracked with a
+    ``threading.local`` stack so the exported records can be validated
+    for balance.
+    """
+
+    def __init__(self, clock: Clock = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+        self._open = 0
+
+    # -- span lifecycle -------------------------------------------------
+    def span(self, name: str, category: str = "repro", **attributes: Any) -> Span:
+        """Create a (not yet started) span; use it as a context manager."""
+        return Span(self, name, category, dict(attributes))
+
+    def _stack(self) -> List[float]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _enter(self) -> float:
+        now = self._clock()
+        self._stack().append(now)
+        with self._lock:
+            self._open += 1
+        return now
+
+    def _exit(self, span: Span) -> None:
+        end = self._clock()
+        stack = self._stack()
+        stack.pop()
+        depth = len(stack)
+        assert span._start is not None
+        record = SpanRecord(
+            name=span.name,
+            category=span.category,
+            start_us=(span._start - self._epoch) * 1e6,
+            duration_us=max((end - span._start) * 1e6, 0.0),
+            thread_id=threading.get_ident(),
+            depth=depth,
+            attributes=span.attributes,
+        )
+        with self._lock:
+            self._open -= 1
+            self._records.append(record)
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        """Spans entered but not yet exited (0 when the trace is balanced)."""
+        with self._lock:
+            return self._open
+
+    def records(self) -> List[SpanRecord]:
+        """Snapshot of the finished spans (collection order)."""
+        with self._lock:
+            return list(self._records)
+
+    def categories(self) -> List[str]:
+        """Distinct span categories seen so far, sorted."""
+        with self._lock:
+            return sorted({r.category for r in self._records})
+
+    def reset(self) -> None:
+        """Drop every collected record (open spans keep their stacks)."""
+        with self._lock:
+            self._records = []
+
+    # -- export ---------------------------------------------------------
+    def export(self) -> Dict[str, Any]:
+        """The full trace as a Chrome ``trace_event`` document."""
+        with self._lock:
+            records = list(self._records)
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        for tid in sorted({r.thread_id for r in records}):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"name": f"thread-{tid}"},
+                }
+            )
+        events.extend(r.to_event() for r in sorted(records, key=lambda r: r.start_us))
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: Union[str, "object"]) -> None:
+        """Serialise :meth:`export` to ``path`` as JSON."""
+        with open(path, "w") as handle:  # type: ignore[arg-type]
+            json.dump(self.export(), handle, indent=1)
+
+
+class NullTracer:
+    """Tracer stand-in whose spans are the shared no-op singleton."""
+
+    def span(self, name: str, category: str = "repro", **attributes: Any) -> _NullSpan:
+        """Return the shared no-op span (no allocation)."""
+        return NULL_SPAN
+
+    @property
+    def open_spans(self) -> int:
+        """Always 0: nothing is ever recorded."""
+        return 0
+
+    def records(self) -> List[SpanRecord]:
+        """Always empty."""
+        return []
+
+    def categories(self) -> List[str]:
+        """Always empty."""
+        return []
+
+    def reset(self) -> None:
+        """No-op."""
+
+    def export(self) -> Dict[str, Any]:
+        """An empty, still-loadable trace document."""
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        """Write the empty trace document."""
+        with open(path, "w") as handle:
+            json.dump(self.export(), handle, indent=1)
+
+
+# ----------------------------------------------------------------------
+# Schema validation (used by the tests and the CI observability job)
+# ----------------------------------------------------------------------
+def validate_trace(document: Any) -> List[str]:
+    """Check a loaded trace document against the ``trace_event`` schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is a well-formed trace:
+
+    * top level is ``{"traceEvents": [...]}``;
+    * every event is a dict with a string ``name`` and ``ph``;
+    * complete events (``"ph": "X"``) carry finite, non-negative
+      numeric ``ts`` and ``dur``, integer ``pid``/``tid``, and a dict
+      ``args``;
+    * per ``tid``, events sorted by ``ts`` nest properly: a span either
+      fully contains or is disjoint from every other span on its thread
+      (the balanced-bracket property of a timeline).
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    by_tid: Dict[Any, List[Dict[str, Any]]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {i}: missing string 'name'")
+        ph = event.get("ph")
+        if not isinstance(ph, str):
+            problems.append(f"event {i}: missing string 'ph'")
+            continue
+        if ph != "X":
+            continue  # metadata and instants carry no duration
+        ok = True
+        for key in ("ts", "dur"):
+            value = value_or_none(event, key)
+            if value is None or value < 0:
+                problems.append(
+                    f"event {i} ({event.get('name')!r}): "
+                    f"'{key}' must be a non-negative number"
+                )
+                ok = False
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"event {i}: '{key}' must be an integer")
+                ok = False
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"event {i}: 'args' must be an object")
+            ok = False
+        if ok:
+            by_tid.setdefault(event["tid"], []).append(event)
+    for tid, spans in by_tid.items():
+        problems.extend(_check_nesting(tid, spans))
+    return problems
+
+
+def value_or_none(event: Dict[str, Any], key: str) -> Optional[float]:
+    """Numeric value of ``event[key]``, or None when absent/non-finite."""
+    value = event.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    return float(value)
+
+
+def _check_nesting(tid: Any, spans: List[Dict[str, Any]]) -> List[str]:
+    """Balanced-bracket check: spans on one thread contain or avoid
+    each other, never partially overlap."""
+    problems: List[str] = []
+    ordered = sorted(spans, key=lambda e: (e["ts"], -e["dur"]))
+    stack: List[Dict[str, Any]] = []
+    for event in ordered:
+        start, end = event["ts"], event["ts"] + event["dur"]
+        while stack and start >= stack[-1]["ts"] + stack[-1]["dur"]:
+            stack.pop()
+        if stack:
+            parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+            if end > parent_end + 1e-6:
+                problems.append(
+                    f"tid {tid}: span {event['name']!r} "
+                    f"[{start}, {end}] overlaps the end of enclosing "
+                    f"{stack[-1]['name']!r} [{stack[-1]['ts']}, {parent_end}]"
+                )
+                continue
+        stack.append(event)
+    return problems

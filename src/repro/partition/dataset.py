@@ -53,10 +53,12 @@ class DataPartition:
 
     @property
     def n_patterns(self) -> int:
+        """Unique site patterns in this partition."""
         return self.patterns.n_patterns
 
     @property
     def taxa(self) -> Tuple[str, ...]:
+        """Taxon names of this partition's pattern data."""
         return self.patterns.taxa
 
 
@@ -88,14 +90,17 @@ class PartitionedDataset:
 
     @property
     def names(self) -> List[str]:
+        """Partition names, in dataset order."""
         return [p.name for p in self._partitions]
 
     @property
     def taxa(self) -> Tuple[str, ...]:
+        """Taxon names shared by every partition."""
         return self._partitions[0].taxa
 
     @property
     def total_patterns(self) -> int:
+        """Unique site patterns summed over partitions."""
         return sum(p.n_patterns for p in self._partitions)
 
 

@@ -26,6 +26,7 @@ from ..beagle.instance import BeagleInstance
 from ..core.planner import ExecutionPlan, create_instance, execute_plan, make_plan
 from ..core.reroot_opt import optimal_reroot_fast
 from ..gpu.device import DeviceSpec, GP100
+from ..obs import get_recorder
 from ..gpu.perfmodel import (
     EvaluationTiming,
     LaunchTiming,
@@ -101,6 +102,7 @@ class PartitionedLikelihood:
     # ------------------------------------------------------------------
     @property
     def instances(self) -> List[BeagleInstance]:
+        """Per-partition engine instances (built lazily)."""
         if self._instances is None:
             self._instances = [
                 create_instance(
@@ -125,13 +127,23 @@ class PartitionedLikelihood:
 
     def partition_log_likelihoods(self) -> List[float]:
         """Per-partition log-likelihoods, in dataset order."""
-        if self.pool is not None:
-            instances = self.instances
-            return self.pool.map(
-                [self._partition_job(instance) for instance in instances],
-                labels=[f"partition-{i}" for i in range(len(instances))],
-            )
-        return [execute_plan(instance, self.plan) for instance in self.instances]
+        obs = get_recorder()
+        with obs.span(
+            "partition.evaluate",
+            category="partition",
+            partitions=len(self.dataset),
+            pooled=self.pool is not None,
+        ):
+            if self.pool is not None:
+                instances = self.instances
+                return self.pool.map(
+                    [self._partition_job(instance) for instance in instances],
+                    labels=[f"partition-{i}" for i in range(len(instances))],
+                )
+            return [
+                execute_plan(instance, self.plan)
+                for instance in self.instances
+            ]
 
     def _partition_job(
         self, instance: BeagleInstance

@@ -1,0 +1,127 @@
+"""The ast-based docstring-coverage checker and its allowlist gate."""
+
+from __future__ import annotations
+
+import io
+
+from repro.analysis.cli import run
+from repro.analysis.docstrings import (
+    check_package,
+    load_allowlist,
+    scan_package,
+    scan_source,
+)
+
+SOURCE = '''"""Module docstring."""
+
+def documented():
+    """Has one."""
+
+def missing():
+    pass
+
+def _private():
+    pass
+
+class Widget:
+    """Documented class."""
+
+    def method(self):
+        pass
+
+    def good(self):
+        """Fine."""
+
+    def _hidden(self):
+        pass
+
+class Bare:
+    pass
+
+def outer():
+    """Documented."""
+    def inner():  # nested in a function body: not part of the API
+        pass
+'''
+
+
+def test_scan_source_finds_public_gaps_only():
+    findings, total, documented = scan_source(SOURCE, "pkg/mod.py")
+    keys = {f.key for f in findings}
+    assert keys == {
+        "pkg/mod.py:missing",
+        "pkg/mod.py:Widget.method",
+        "pkg/mod.py:Bare",
+    }
+    assert total == 7  # documented, missing, Widget(+2 methods), Bare, outer
+    assert documented == 4
+    kinds = {f.qualname: f.kind for f in findings}
+    assert kinds["Bare"] == "class"
+    assert kinds["Widget.method"] == "method"
+
+
+def test_scan_source_reports_line_numbers():
+    findings, _, _ = scan_source("def f():\n    pass\n", "m.py")
+    (finding,) = findings
+    assert finding.lineno == 1
+    assert "m.py:1" in finding.format()
+
+
+def test_scan_package_walks_subpackages(tmp_path):
+    package = tmp_path / "pkg"
+    (package / "sub").mkdir(parents=True)
+    (package / "mod.py").write_text('"""Doc."""\n\ndef f():\n    pass\n')
+    (package / "sub" / "deep.py").write_text("def g():\n    pass\n")
+    report = scan_package(package)
+    assert {f.key for f in report.missing} == {"mod.py:f", "sub/deep.py:g"}
+    assert report.total_public == 2
+
+
+def test_allowlist_suppresses_and_stale_entries_fail(tmp_path):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "mod.py").write_text("def f():\n    pass\n")
+
+    allowlist = tmp_path / "allow.txt"
+    allowlist.write_text("# comment\n\nmod.py:f\n")
+    report = check_package(package, allowlist_path=allowlist)
+    assert report.ok
+    assert [f.key for f in report.suppressed] == ["mod.py:f"]
+    assert report.missing == []
+
+    # Fixing the gap without pruning the allowlist turns into a failure.
+    (package / "mod.py").write_text('def f():\n    """Doc."""\n')
+    report = check_package(package, allowlist_path=allowlist)
+    assert not report.ok
+    assert report.stale_entries == ["mod.py:f"]
+
+
+def test_load_allowlist_skips_blanks_and_comments(tmp_path):
+    path = tmp_path / "allow.txt"
+    path.write_text("# header\n\na.py:f\n  b.py:G.m  \n")
+    assert load_allowlist(path) == {"a.py:f", "b.py:G.m"}
+
+
+def test_finding_format_is_path_line_qualname():
+    findings, total, documented = scan_source(SOURCE, "m.py")
+    text_findings = [f.format() for f in findings]
+    assert all(":" in line for line in text_findings)
+    assert 0.0 < documented / total < 1.0
+
+
+def test_repo_gate_passes_via_cli():
+    out = io.StringIO()
+    code = run(["--docstrings"], out=out)
+    text = out.getvalue()
+    assert code == 0, text
+    assert "docstring coverage gate passed" in text
+
+
+def test_cli_fails_on_undocumented_package(tmp_path):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "mod.py").write_text("def f():\n    pass\n")
+    out = io.StringIO()
+    code = run(["--docstrings", "--docstrings-root", str(package)], out=out)
+    assert code == 1
+    assert "mod.py:1" in out.getvalue()

@@ -1,0 +1,138 @@
+"""End-to-end CLI coverage: synthetictest --trace/--metrics/--profile and
+the ``python -m repro.obs`` artifact validator."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.bench.synthetictest import run as run_synthetictest
+from repro.obs import get_recorder, NULL_RECORDER, validate_metrics, validate_trace
+from repro.obs.__main__ import run as run_validator
+
+
+def synthetictest(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = run_synthetictest(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def validator(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = run_validator(list(argv), out=out)
+    return code, out.getvalue()
+
+
+BASE = ("--taxa", "12", "--sites", "32", "--reps", "2", "--seed", "1")
+
+
+def test_trace_flag_writes_valid_trace_with_many_subsystems(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    code, text = synthetictest(
+        *BASE, "--randomtree", "--reroot", "--trace", str(trace_path)
+    )
+    assert code == 0
+    assert "trace:" in text
+    document = json.loads(trace_path.read_text())
+    assert validate_trace(document) == []
+    categories = {
+        e.get("cat") for e in document["traceEvents"] if e.get("ph") == "X"
+    }
+    assert {"bench", "plan", "kernel", "reroot"} <= categories
+
+
+def test_metrics_flag_json_and_prometheus(tmp_path):
+    json_path = tmp_path / "metrics.json"
+    code, _ = synthetictest(*BASE, "--metrics", str(json_path))
+    assert code == 0
+    document = json.loads(json_path.read_text())
+    assert validate_metrics(document) == []
+    names = {entry["name"] for entry in document["metrics"]}
+    assert "repro_kernel_launches_total" in names
+
+    prom_path = tmp_path / "metrics.prom"
+    code, _ = synthetictest(*BASE, "--metrics", str(prom_path))
+    assert code == 0
+    text = prom_path.read_text()
+    assert "# TYPE repro_kernel_launches_total counter" in text
+    assert "repro_operations_evaluated_total " in text
+
+
+def test_profile_flag_prints_phase_table():
+    code, text = synthetictest(*BASE, "--profile")
+    assert code == 0
+    assert "profile: phase" in text
+    assert "partials" in text
+
+
+def test_obs_flags_leave_global_recorder_restored(tmp_path):
+    code, _ = synthetictest(*BASE, "--trace", str(tmp_path / "t.json"))
+    assert code == 0
+    assert get_recorder() is NULL_RECORDER
+
+
+def test_pool_run_with_metrics_exports_ledger_gauges(tmp_path):
+    json_path = tmp_path / "metrics.json"
+    code, text = synthetictest(
+        "--taxa", "12", "--sites", "32", "--reps", "4", "--seed", "1",
+        "--pool", "2", "--pool-inline", "--full-timing",
+        "--metrics", str(json_path),
+    )
+    assert code == 0
+    assert "[ok] offered == completed + shed + surfaced" in text
+    names = {
+        entry["name"]: entry
+        for entry in json.loads(json_path.read_text())["metrics"]
+    }
+    assert names["repro_pool_offered"]["value"] == 4
+    assert names["repro_pool_ledger_imbalances"]["value"] == 0
+
+
+def test_unwritable_trace_path_is_a_clean_error(tmp_path):
+    code, text = synthetictest(
+        *BASE, "--trace", str(tmp_path / "no-such-dir" / "t.json")
+    )
+    assert code == 2
+    assert "error:" in text
+    assert "Traceback" not in text
+
+
+def test_validator_accepts_good_artifacts(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    code, _ = synthetictest(
+        *BASE, "--randomtree", "--reroot",
+        "--trace", str(trace_path), "--metrics", str(metrics_path),
+    )
+    assert code == 0
+    code, text = validator(
+        "--trace", str(trace_path),
+        "--metrics", str(metrics_path),
+        "--require-categories", "bench,plan,kernel,reroot",
+    )
+    assert code == 0, text
+    assert "valid trace" in text and "valid metrics" in text
+
+
+def test_validator_rejects_bad_trace(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"nope": []}))
+    code, text = validator("--trace", str(bad))
+    assert code == 1
+    assert "traceEvents" in text
+
+
+def test_validator_flags_missing_categories(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    code, _ = synthetictest(*BASE, "--trace", str(trace_path))
+    assert code == 0
+    code, text = validator(
+        "--trace", str(trace_path), "--require-categories", "pool,mcmc"
+    )
+    assert code == 1
+    assert "pool" in text and "mcmc" in text
+
+
+def test_validator_requires_something_to_validate():
+    code, _ = validator()
+    assert code == 2

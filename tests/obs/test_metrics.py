@@ -1,0 +1,231 @@
+"""Counters, gauges, histogram bucket edges, and the Prometheus export."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    validate_metrics,
+)
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_accumulates_and_rejects_negative():
+    counter = MetricsRegistry().counter("events_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("queue_depth")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(12)
+    assert gauge.value == 3.0
+
+
+def test_registry_returns_same_instrument_and_enforces_type():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total")
+    b = registry.counter("x_total")
+    assert a is b
+    with pytest.raises(TypeError):
+        registry.gauge("x_total")
+    with pytest.raises(ValueError):
+        registry.counter("0-bad-name")
+    with pytest.raises(ValueError):
+        registry.counter("ok_total", labels={"0bad": "v"})
+
+
+def test_labelled_instruments_are_distinct_series():
+    registry = MetricsRegistry()
+    a = registry.counter("jobs_total", labels={"worker": "0"})
+    b = registry.counter("jobs_total", labels={"worker": "1"})
+    assert a is not b
+    a.inc(3)
+    text = registry.to_prometheus()
+    assert 'jobs_total{worker="0"} 3' in text
+    assert 'jobs_total{worker="1"} 0' in text
+
+
+# ----------------------------------------------------------------------
+# Histogram bucket edges
+# ----------------------------------------------------------------------
+def test_histogram_boundary_values_are_inclusive():
+    hist = MetricsRegistry().histogram("sizes", buckets=[1, 2, 4])
+    for value in (1, 2, 4):  # each exactly on a bound -> its own bucket
+        hist.observe(value)
+    assert hist.cumulative_counts() == [
+        (1.0, 1),
+        (2.0, 2),
+        (4.0, 3),
+        (math.inf, 3),
+    ]
+
+
+def test_histogram_overflow_lands_only_in_inf_bucket():
+    hist = MetricsRegistry().histogram("sizes", buckets=[1, 2])
+    hist.observe(100)
+    assert hist.cumulative_counts() == [(1.0, 0), (2.0, 0), (math.inf, 1)]
+    assert hist.count == 1
+    assert hist.sum == 100.0
+
+
+def test_histogram_observation_counts_exactly_once():
+    hist = MetricsRegistry().histogram("sizes", buckets=[1, 2, 4, 8])
+    hist.observe(3)
+    # Cumulative counts: nothing <= 2, one <= 4, one <= 8, one total.
+    assert hist.cumulative_counts() == [
+        (1.0, 0),
+        (2.0, 0),
+        (4.0, 1),
+        (8.0, 1),
+        (math.inf, 1),
+    ]
+
+
+def test_histogram_negative_and_zero_values():
+    hist = MetricsRegistry().histogram("deltas", buckets=[0, 10])
+    hist.observe(-5)
+    hist.observe(0)
+    assert hist.cumulative_counts() == [(0.0, 2), (10.0, 2), (math.inf, 2)]
+    assert hist.sum == -5.0
+
+
+def test_histogram_rejects_bad_bucket_specs():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("a", buckets=[])
+    with pytest.raises(ValueError):
+        registry.histogram("b", buckets=[2, 1])
+    with pytest.raises(ValueError):
+        registry.histogram("c", buckets=[1, 1])
+    with pytest.raises(ValueError):
+        registry.histogram("d", buckets=[1, math.inf])
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        max_size=50,
+    )
+)
+def test_histogram_cumulative_counts_are_monotone_and_total(values):
+    hist = MetricsRegistry().histogram("h", buckets=[0.1, 1, 10, 100])
+    for value in values:
+        hist.observe(value)
+    cumulative = hist.cumulative_counts()
+    counts = [count for _, count in cumulative]
+    assert counts == sorted(counts)
+    assert cumulative[-1] == (math.inf, len(values))
+    assert hist.count == len(values)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def test_prometheus_export_shape():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", "Jobs processed").inc(5)
+    registry.gauge("depth", "Queue depth").set(2.5)
+    registry.histogram("sizes", "Set sizes", buckets=[1, 2]).observe(2)
+    text = registry.to_prometheus()
+    assert "# HELP jobs_total Jobs processed" in text
+    assert "# TYPE jobs_total counter" in text
+    assert "jobs_total 5" in text  # integer: no trailing .0
+    assert "depth 2.5" in text
+    assert "# TYPE sizes histogram" in text
+    assert 'sizes_bucket{le="1"} 0' in text
+    assert 'sizes_bucket{le="2"} 1' in text
+    assert 'sizes_bucket{le="+Inf"} 1' in text
+    assert "sizes_sum 2" in text
+    assert "sizes_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_escaping_of_help_and_label_values():
+    assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+    assert escape_label_value('say "hi"\n\\') == 'say \\"hi\\"\\n\\\\'
+    registry = MetricsRegistry()
+    registry.counter(
+        "weird_total",
+        'help with "quotes"\nand newline \\ backslash',
+        labels={"path": 'C:\\tmp\n"x"'},
+    ).inc()
+    text = registry.to_prometheus()
+    help_line = next(l for l in text.splitlines() if l.startswith("# HELP"))
+    # Newlines and backslashes must be escaped; quotes are legal in HELP.
+    assert "\n" not in help_line
+    assert "\\\\" in help_line and "\\n" in help_line
+    sample = next(l for l in text.splitlines() if l.startswith("weird_total{"))
+    assert '\\"x\\"' in sample and "\\n" in sample and "C:\\\\tmp" in sample
+
+
+def test_empty_registry_exports_empty_text():
+    assert MetricsRegistry().to_prometheus() == ""
+
+
+# ----------------------------------------------------------------------
+# JSON export + validator
+# ----------------------------------------------------------------------
+def test_json_export_round_trips_and_validates(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("jobs_total").inc(4)
+    registry.gauge("depth").set(-1)
+    registry.histogram("sizes", buckets=[1, 2]).observe(1.5)
+    path = tmp_path / "metrics.json"
+    registry.write_json(path)
+    document = json.loads(path.read_text())
+    assert validate_metrics(document) == []
+    by_name = {entry["name"]: entry for entry in document["metrics"]}
+    assert by_name["jobs_total"]["value"] == 4
+    assert by_name["sizes"]["buckets"][-1] == {"le": "+Inf", "count": 1}
+
+
+@pytest.mark.parametrize(
+    "document, fragment",
+    [
+        ([], "top level"),
+        ({"metrics": 3}, "must be an array"),
+        ({"metrics": ["x"]}, "not an object"),
+        ({"metrics": [{"name": "1bad", "type": "counter", "labels": {},
+                       "value": 1}]}, "invalid name"),
+        ({"metrics": [{"name": "a", "type": "summary", "labels": {},
+                       "value": 1}]}, "unknown type"),
+        ({"metrics": [{"name": "a", "type": "counter", "labels": {},
+                       "value": True}]}, "must be a number"),
+        ({"metrics": [{"name": "a", "type": "histogram", "labels": {},
+                       "count": 1, "sum": 1.0, "buckets": []}]},
+         "non-empty 'buckets'"),
+        ({"metrics": [{"name": "a", "type": "histogram", "labels": {},
+                       "count": 1, "sum": 1.0,
+                       "buckets": [{"le": 1, "count": 2},
+                                   {"le": "+Inf", "count": 1}]}]},
+         "non-decreasing"),
+        ({"metrics": [{"name": "a", "type": "histogram", "labels": {},
+                       "count": 2, "sum": 1.0,
+                       "buckets": [{"le": 1, "count": 1},
+                                   {"le": "+Inf", "count": 1}]}]},
+         "'+Inf' bucket must equal"),
+        ({"metrics": [{"name": "a", "type": "histogram", "labels": {},
+                       "count": 1, "sum": 1.0,
+                       "buckets": [{"le": 1, "count": 1}]}]},
+         "last bucket"),
+    ],
+)
+def test_validate_metrics_rejects_malformed_documents(document, fragment):
+    problems = validate_metrics(document)
+    assert problems and any(fragment in p for p in problems)

@@ -1,0 +1,74 @@
+"""Per-phase timer accumulation and reporting."""
+
+from __future__ import annotations
+
+from repro.obs.profile import (
+    PHASE_MODELLED,
+    PHASE_PARTIALS,
+    NullProfiler,
+    PhaseProfiler,
+)
+
+
+class FakeClock:
+    def __init__(self, step: float = 0.5) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_phase_timer_accumulates_calls_and_seconds():
+    profiler = PhaseProfiler(clock=FakeClock(step=0.5))
+    with profiler.phase(PHASE_PARTIALS):
+        pass
+    with profiler.phase(PHASE_PARTIALS):
+        pass
+    (stats,) = profiler.stats()
+    assert stats.name == PHASE_PARTIALS
+    assert stats.calls == 2
+    assert stats.seconds == 1.0  # two intervals of one clock step each
+    assert stats.mean_seconds == 0.5
+
+
+def test_add_credits_modelled_time_without_a_clock():
+    profiler = PhaseProfiler()
+    profiler.add(PHASE_MODELLED, 2.0, calls=10)
+    profiler.add(PHASE_MODELLED, 1.0, calls=5)
+    (stats,) = profiler.stats()
+    assert stats.seconds == 3.0
+    assert stats.calls == 15
+    assert profiler.total_seconds() == 3.0
+
+
+def test_stats_sorted_slowest_first_and_reset():
+    profiler = PhaseProfiler()
+    profiler.add("fast", 0.1)
+    profiler.add("slow", 9.0)
+    assert [s.name for s in profiler.stats()] == ["slow", "fast"]
+    report = profiler.report()
+    assert "slow" in report and "%" in report
+    profiler.reset()
+    assert profiler.stats() == []
+    assert profiler.report() == "profile: no phases recorded"
+
+
+def test_stats_are_snapshots():
+    profiler = PhaseProfiler()
+    profiler.add("p", 1.0)
+    snapshot = profiler.stats()[0]
+    profiler.add("p", 1.0)
+    assert snapshot.seconds == 1.0  # older snapshot untouched
+    assert profiler.stats()[0].seconds == 2.0
+
+
+def test_null_profiler_records_nothing():
+    profiler = NullProfiler()
+    with profiler.phase("anything"):
+        pass
+    profiler.add("anything", 5.0)
+    assert profiler.stats() == []
+    assert profiler.total_seconds() == 0.0
+    assert "no phases" in profiler.report()

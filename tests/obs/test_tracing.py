@@ -1,0 +1,217 @@
+"""Span lifecycle, trace export and the trace_event schema validator."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NullTracer,
+    Tracer,
+    validate_trace,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing a fixed step per read."""
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_span_records_name_category_and_attributes():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("kernel.batch", category="kernel", operations=7) as span:
+        span.set_attribute("outcome", "ok")
+    (record,) = tracer.records()
+    assert record.name == "kernel.batch"
+    assert record.category == "kernel"
+    assert record.attributes == {"operations": 7, "outcome": "ok"}
+    assert record.duration_us > 0
+    assert tracer.open_spans == 0
+
+
+def test_nested_spans_get_increasing_depth_and_containment():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+    by_name = {r.name: r for r in tracer.records()}
+    assert by_name["outer"].depth == 0
+    assert by_name["middle"].depth == 1
+    assert by_name["inner"].depth == 2
+    # Children lie fully inside their parents on the timeline.
+    for child, parent in (("inner", "middle"), ("middle", "outer")):
+        c, p = by_name[child], by_name[parent]
+        assert c.start_us >= p.start_us
+        assert c.start_us + c.duration_us <= p.start_us + p.duration_us
+
+
+def test_span_lifecycle_misuse_raises():
+    tracer = Tracer()
+    span = tracer.span("once")
+    span.start()
+    with pytest.raises(RuntimeError):
+        span.start()
+    span.finish()
+    with pytest.raises(RuntimeError):
+        span.finish()
+    with pytest.raises(RuntimeError):
+        tracer.span("never-started").finish()
+
+
+def test_exception_inside_span_is_tagged_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("failing"):
+            raise ValueError("boom")
+    (record,) = tracer.records()
+    assert record.attributes["error"] == "ValueError"
+
+
+def test_export_is_valid_and_json_serialisable(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer", category="plan", mode="concurrent"):
+        with tracer.span("inner", category="kernel", weird=object()):
+            pass
+    path = tmp_path / "trace.json"
+    tracer.write(path)
+    document = json.loads(path.read_text())
+    assert validate_trace(document) == []
+    names = [e["name"] for e in document["traceEvents"]]
+    assert "process_name" in names  # metadata events present
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"outer", "inner"}
+    # Non-JSON attribute values are coerced to strings.
+    inner = next(e for e in complete if e["name"] == "inner")
+    assert isinstance(inner["args"]["weird"], str)
+
+
+def test_categories_and_reset():
+    tracer = Tracer()
+    with tracer.span("a", category="kernel"):
+        pass
+    with tracer.span("b", category="plan"):
+        pass
+    assert tracer.categories() == ["kernel", "plan"]
+    tracer.reset()
+    assert tracer.records() == []
+
+
+def test_null_tracer_is_allocation_free_and_exports_empty(tmp_path):
+    tracer = NullTracer()
+    assert tracer.span("anything", category="x", k=1) is NULL_SPAN
+    with tracer.span("nested"):
+        with tracer.span("deeper") as span:
+            span.set_attribute("ignored", 1)
+    assert tracer.records() == []
+    assert tracer.open_spans == 0
+    path = tmp_path / "empty.json"
+    tracer.write(path)
+    assert validate_trace(json.loads(path.read_text())) == []
+
+
+@pytest.mark.parametrize(
+    "document, fragment",
+    [
+        ([], "top level"),
+        ({"events": []}, "top level"),
+        ({"traceEvents": {}}, "must be an array"),
+        ({"traceEvents": ["x"]}, "not an object"),
+        ({"traceEvents": [{"ph": "X"}]}, "missing string 'name'"),
+        ({"traceEvents": [{"name": "a"}]}, "missing string 'ph'"),
+        (
+            {"traceEvents": [{"name": "a", "ph": "X", "ts": -1, "dur": 1,
+                              "pid": 1, "tid": 1}]},
+            "non-negative",
+        ),
+        (
+            {"traceEvents": [{"name": "a", "ph": "X", "ts": float("nan"),
+                              "dur": 1, "pid": 1, "tid": 1}]},
+            "non-negative",
+        ),
+        (
+            {"traceEvents": [{"name": "a", "ph": "X", "ts": 0, "dur": 1,
+                              "pid": "p", "tid": 1}]},
+            "integer",
+        ),
+        (
+            {"traceEvents": [{"name": "a", "ph": "X", "ts": 0, "dur": 1,
+                              "pid": 1, "tid": 1, "args": []}]},
+            "'args' must be an object",
+        ),
+    ],
+)
+def test_validate_trace_rejects_malformed_documents(document, fragment):
+    problems = validate_trace(document)
+    assert problems and any(fragment in p for p in problems)
+
+
+def test_validate_trace_flags_partial_overlap_on_one_thread():
+    # [0, 10] and [5, 15] on the same tid partially overlap: not a
+    # well-formed timeline of nested spans.
+    document = {
+        "traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+        ]
+    }
+    problems = validate_trace(document)
+    assert problems and "overlaps" in problems[0]
+    # The same two spans on different threads are fine.
+    document["traceEvents"][1]["tid"] = 2
+    assert validate_trace(document) == []
+
+
+# ----------------------------------------------------------------------
+# Property: any nesting executed on any number of threads exports a
+# well-formed trace (balanced, contained, schema-valid).
+# ----------------------------------------------------------------------
+@given(
+    shapes=st.lists(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=8),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_threaded_span_sequences_export_well_formed_traces(shapes):
+    tracer = Tracer()
+
+    def run(thread_index: int, chains) -> None:
+        for chain_index, depth in enumerate(chains):
+            spans = [
+                tracer.span(
+                    f"t{thread_index}.c{chain_index}.d{level}",
+                    category=f"cat{thread_index}",
+                )
+                for level in range(depth)
+            ]
+            for span in spans:
+                span.start()
+            for span in reversed(spans):
+                span.finish()
+
+    threads = [
+        threading.Thread(target=run, args=(i, chains))
+        for i, chains in enumerate(shapes)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert tracer.open_spans == 0
+    assert len(tracer.records()) == sum(sum(c) for c in shapes)
+    document = json.loads(json.dumps(tracer.export()))
+    assert validate_trace(document) == []
