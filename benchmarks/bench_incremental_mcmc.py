@@ -1,0 +1,215 @@
+"""Incremental (dirty-path) MCMC vs full-traversal MCMC.
+
+A Metropolis sampler that only recomputes the dirty root-ward path of
+each proposal — plus a transition-matrix cache and rejection by
+snapshot-restore — should evaluate a small fraction of the operations a
+rebuild-everything sampler pays, while walking a bit-identical chain.
+This benchmark runs both samplers on the same data and seed and records
+operation counts, kernel launches, modelled device seconds and measured
+wall-clock throughput.
+
+Acceptance targets (256-tip tree, single-edge branch-length proposals):
+the incremental sampler executes at least 5x fewer partial-likelihood
+operations per iteration and at least 2x the wall-clock throughput.
+
+Run directly for the CI perf-smoke variant::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_mcmc.py --quick \
+        --metrics metrics.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.bench import format_table
+from repro.data import compress, simulate_alignment
+from repro.inference import TreeLikelihood, run_mcmc
+from repro.models import HKY85, discrete_gamma
+from repro.obs import recording
+from repro.trees import pectinate_tree, yule_tree
+
+MODEL = HKY85(2.0, np.array([0.3, 0.2, 0.2, 0.3]))
+
+
+def _chain_pair(tree, patterns, rates, iterations, seed):
+    """Run the full-traversal and incremental samplers on the same case.
+
+    Returns ``(full_result, incremental_result, full_wall, inc_wall)``;
+    the two chains consume identical RNG draws, so their traces must be
+    bit-identical and any difference in cost is pure evaluation strategy.
+    """
+    full_ev = TreeLikelihood(tree.copy(), MODEL, patterns, rates=rates)
+    inc_ev = TreeLikelihood(
+        tree.copy(), MODEL, patterns, rates=rates, matrix_cache=True
+    )
+    start = time.perf_counter()
+    full = run_mcmc(
+        full_ev, iterations, seed=seed, nni_probability=0.0, device=None
+    )
+    full_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    incremental = run_mcmc(
+        inc_ev,
+        iterations,
+        seed=seed,
+        nni_probability=0.0,
+        device=None,
+        incremental=True,
+    )
+    inc_wall = time.perf_counter() - start
+    return full, incremental, full_wall, inc_wall, inc_ev
+
+
+def test_incremental_mcmc_speedup(benchmark, results_dir, full_scale):
+    n_taxa = 256
+    n_sites = 512
+    iterations = 200 if full_scale else 60
+    seed = 41
+    rng = np.random.default_rng(7)
+    # Constant starting lengths (the usual "fixed starting tree" setup):
+    # the warm-up full evaluation then exercises the matrix cache, and
+    # the sampler diversifies lengths from there.
+    tree = yule_tree(n_taxa, rng)
+    rates = discrete_gamma(0.5, 4)
+    patterns = compress(simulate_alignment(tree, MODEL, n_sites, seed=11))
+
+    full, incremental, full_wall, inc_wall, inc_ev = _chain_pair(
+        tree, patterns, rates, iterations, seed
+    )
+
+    # Same chain, evaluated two ways.
+    assert full.log_likelihoods == incremental.log_likelihoods
+    assert full.accepted == incremental.accepted
+
+    ops_ratio = full.operations / incremental.operations
+    wall_ratio = full_wall / inc_wall
+    cache = inc_ev.matrix_cache.stats()
+
+    rows = []
+    for label, result, wall in [
+        ("full traversal", full, full_wall),
+        ("incremental", incremental, inc_wall),
+    ]:
+        rows.append(
+            {
+                "configuration": label,
+                "operations": result.operations,
+                "ops/iteration": f"{result.operations / iterations:.1f}",
+                "kernel launches": result.kernel_launches,
+                "wall seconds": f"{wall:.3f}",
+                "iterations/s": f"{iterations / wall:.1f}",
+            }
+        )
+    rows.append(
+        {
+            "configuration": "ratio (full / incremental)",
+            "operations": f"{ops_ratio:.1f}x",
+            "ops/iteration": "",
+            "kernel launches": (
+                f"{full.kernel_launches / incremental.kernel_launches:.1f}x"
+            ),
+            "wall seconds": f"{wall_ratio:.1f}x",
+            "iterations/s": "",
+        }
+    )
+    emit(
+        results_dir,
+        "incremental_mcmc.md",
+        format_table(
+            rows,
+            title=(
+                f"Incremental vs full-traversal MCMC ({n_taxa} taxa, "
+                f"{patterns.n_patterns} patterns, 4 rate categories, "
+                f"{iterations} iterations; matrix cache: "
+                f"{cache['hits']} hits / {cache['misses']} misses)"
+            ),
+        ),
+    )
+
+    # Acceptance targets: >=5x fewer partial-likelihood operations and
+    # >=2x wall-clock throughput on single-edge branch-length proposals.
+    assert ops_ratio >= 5.0, f"only {ops_ratio:.1f}x fewer operations"
+    assert wall_ratio >= 2.0, f"only {wall_ratio:.1f}x wall-clock speedup"
+    assert cache["hits"] > 0
+
+    # Kernel under measurement: a short incremental chain.
+    def short_chain():
+        ev = TreeLikelihood(
+            tree.copy(), MODEL, patterns, rates=rates, matrix_cache=True
+        )
+        return run_mcmc(
+            ev, 10, seed=43, nni_probability=0.0, device=None,
+            incremental=True,
+        )
+
+    result = benchmark.pedantic(short_chain, rounds=1, iterations=1)
+    assert result.proposed == 10
+
+
+def main(argv=None) -> int:
+    """CI perf-smoke entry point (no pytest-benchmark needed)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="64-tip pectinate chain, fewer iterations (CI smoke)",
+    )
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=41)
+    parser.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        help="write a Prometheus metrics dump of the incremental run here",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        tree = pectinate_tree(64, branch_length=0.15)
+        n_sites = 128
+        iterations = args.iterations or 40
+    else:
+        tree = yule_tree(256, np.random.default_rng(7))
+        n_sites = 512
+        iterations = args.iterations or 60
+    rates = discrete_gamma(0.5, 4)
+    patterns = compress(simulate_alignment(tree, MODEL, n_sites, seed=11))
+
+    with recording() as rec:
+        full, incremental, full_wall, inc_wall, inc_ev = _chain_pair(
+            tree, patterns, rates, iterations, args.seed
+        )
+    if args.metrics:
+        rec.metrics.write_prometheus(args.metrics)
+
+    assert full.log_likelihoods == incremental.log_likelihoods, (
+        "incremental chain diverged from the full-traversal chain"
+    )
+    assert incremental.operations < full.operations, (
+        f"incremental MCMC evaluated {incremental.operations} operations, "
+        f"full traversal {full.operations}"
+    )
+    print(
+        f"full traversal: {full.operations} ops, "
+        f"{full.kernel_launches} launches, {full_wall:.3f}s"
+    )
+    print(
+        f"incremental:    {incremental.operations} ops, "
+        f"{incremental.kernel_launches} launches, {inc_wall:.3f}s"
+    )
+    print(
+        f"ratios: {full.operations / incremental.operations:.1f}x ops, "
+        f"{full_wall / inc_wall:.1f}x wall"
+    )
+    print(f"matrix cache: {inc_ev.matrix_cache.stats()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,14 @@ def verify_plan(
         Empty (``report.clean``) for every plan the library's planners
         produce; ``report.ok`` is False when execution would fail or
         silently compute a wrong likelihood.
+
+    Notes
+    -----
+    Incremental plans (``plan.incremental``) are verified under the
+    dirty-path contract: buffers outside the plan's destinations are
+    assumed live from the preceding full evaluation, the full-traversal
+    operation-count invariant does not apply, and the root must be among
+    the dirty destinations (a dirty path always ends at the root).
     """
     if config is not None and instance is not None:
         raise ValueError("pass either config or instance, not both")
@@ -83,6 +91,26 @@ def verify_plan(
         config = BufferConfig.for_tree(plan.tree, scaling=plan.scaling)
 
     report = AnalysisReport()
+    if plan.incremental:
+        report.extend(_check_incremental_structure(plan, config))
+        destinations = {
+            op.destination for op_set in plan.operation_sets for op in op_set
+        }
+        clean = {
+            b
+            for b in range(config.n_buffers)
+            if config.is_internal(b) and b not in destinations
+        }
+        report.extend(
+            analyze_operation_sets(
+                plan.operation_sets,
+                config,
+                assume_valid=clean,
+                root_buffer=plan.root_buffer,
+                matrix_updates=None,
+            )
+        )
+        return report
     report.extend(_check_plan_structure(plan, config))
     report.extend(
         analyze_operation_sets(
@@ -102,12 +130,53 @@ def verify_instance_compat(
     return verify_plan(plan, instance=instance)
 
 
+def _check_incremental_structure(
+    plan: "ExecutionPlan", config: BufferConfig
+) -> Iterable[Diagnostic]:
+    """Plan-level invariants of a dirty-path (incremental) plan.
+
+    The full-traversal operation-count check does not apply — an
+    incremental plan covers only the dirty ancestors — but the root must
+    still be written (every dirty path ends at the root), and the matrix
+    table must be well-formed.
+    """
+    out = list(_check_root_written(plan, config))
+    out.extend(_check_matrix_table(plan))
+    out.extend(_check_scale_writes(plan))
+    return out
+
+
 def _check_plan_structure(
     plan: "ExecutionPlan", config: BufferConfig
 ) -> Iterable[Diagnostic]:
     """Plan-level invariants that are not per-operation dataflow."""
-    out = []
+    out = list(_check_root_written(plan, config))
 
+    expected_ops = plan.tree.n_tips - 1
+    if plan.n_operations != expected_ops:
+        out.append(
+            Diagnostic(
+                code="operation-count",
+                severity=Severity.ERROR,
+                message=(
+                    f"plan has {plan.n_operations} operations but a "
+                    f"{plan.tree.n_tips}-tip tree needs exactly "
+                    f"{expected_ops} (one per internal node)"
+                ),
+                hint="an operation was dropped or duplicated",
+            )
+        )
+
+    out.extend(_check_matrix_table(plan))
+    out.extend(_check_scale_writes(plan))
+    return out
+
+
+def _check_root_written(
+    plan: "ExecutionPlan", config: BufferConfig
+) -> Iterable[Diagnostic]:
+    """The root buffer must be an internal buffer some operation writes."""
+    out = []
     destinations = {
         op.destination for op_set in plan.operation_sets for op in op_set
     }
@@ -138,22 +207,12 @@ def _check_plan_structure(
                     buffers=(plan.root_buffer,),
                 )
             )
+    return out
 
-    expected_ops = plan.tree.n_tips - 1
-    if plan.n_operations != expected_ops:
-        out.append(
-            Diagnostic(
-                code="operation-count",
-                severity=Severity.ERROR,
-                message=(
-                    f"plan has {plan.n_operations} operations but a "
-                    f"{plan.tree.n_tips}-tip tree needs exactly "
-                    f"{expected_ops} (one per internal node)"
-                ),
-                hint="an operation was dropped or duplicated",
-            )
-        )
 
+def _check_matrix_table(plan: "ExecutionPlan") -> Iterable[Diagnostic]:
+    """The matrix-update table must pair up and hold finite lengths."""
+    out = []
     if len(plan.matrix_indices) != len(plan.branch_lengths):
         out.append(
             Diagnostic(
@@ -178,7 +237,12 @@ def _check_plan_structure(
                     buffers=(m,),
                 )
             )
+    return out
 
+
+def _check_scale_writes(plan: "ExecutionPlan") -> Iterable[Diagnostic]:
+    """Warn when a scaling plan has operations that skip scale writes."""
+    out = []
     if plan.scaling:
         missing = [
             op.destination

@@ -11,6 +11,7 @@ from .kernels import (
     update_partials_batch,
 )
 from .scaling import ScaleBufferBank
+from .workspace import TransitionMatrixCache, Workspace
 from .instance import BeagleInstance, InstanceStats
 from .reference import brute_force_log_likelihood, pruning_log_likelihood
 
@@ -26,6 +27,8 @@ __all__ = [
     "edge_site_likelihoods",
     "operation_flops",
     "ScaleBufferBank",
+    "TransitionMatrixCache",
+    "Workspace",
     "BeagleInstance",
     "InstanceStats",
     "brute_force_log_likelihood",

@@ -16,7 +16,7 @@ benchmarks can account throughput the way the paper does (§VI-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from .kernels import (
 )
 from .operations import Operation, operations_independent
 from .scaling import ScaleBufferBank
+from .workspace import TransitionMatrixCache, Workspace
 
 __all__ = ["BeagleInstance", "InstanceStats"]
 
@@ -60,14 +61,16 @@ class InstanceStats:
 class BeagleInstance:
     """A likelihood-computation instance over fixed-size buffers.
 
-    Class attributes
-    ----------------
-    MIN_BATCH_OPERATIONS:
-        Sets smaller than this run through the single-operation kernel in
-        a loop (one logical launch): the batched path's fixed dispatch
-        cost only pays for itself on larger sets. This is the library's
-        "implementation class" selection in the sense of the paper's
-        §VI-A.
+    Every operation set — regardless of size — executes through a
+    preallocated :class:`~repro.beagle.workspace.Workspace` arena, so
+    batched execution is allocation-free in steady state and per-
+    operation results are bit-identical however the scheduler groups
+    operations into sets (full traversals and incremental dirty paths
+    agree exactly). An optional
+    :class:`~repro.beagle.workspace.TransitionMatrixCache` can be
+    attached as :attr:`matrix_cache` to serve repeated
+    ``update_transition_matrices`` lengths from an LRU instead of
+    recomputing the eigen-multiply.
 
     Parameters
     ----------
@@ -91,8 +94,6 @@ class BeagleInstance:
         (§VI-F); scale buffers always stay in double precision, exactly
         as BEAGLE keeps log scalers at higher precision.
     """
-
-    MIN_BATCH_OPERATIONS = 4
 
     def __init__(
         self,
@@ -140,7 +141,13 @@ class BeagleInstance:
         self._frequencies = np.full(state_count, 1.0 / state_count)
         self._category_rates = np.ones(category_count)
         self._category_weights = np.full(category_count, 1.0 / category_count)
+        self._rates_key: bytes = self._category_rates.tobytes()
         self._eigens: Dict[int, EigenDecomposition] = {}
+
+        #: Optional LRU transition-matrix cache; ``None`` disables caching.
+        self.matrix_cache: Optional[TransitionMatrixCache] = None
+        # Scratch arena for batched set execution, created on first use.
+        self._workspace: Optional[Workspace] = None
 
         self.stats = InstanceStats()
 
@@ -191,11 +198,17 @@ class BeagleInstance:
         self._frequencies = arr / arr.sum()
 
     def set_category_rates(self, rates: Sequence[float]) -> None:
-        """Rate multiplier of each among-site rate category."""
+        """Rate multiplier of each among-site rate category.
+
+        Changing the rates also changes the rates version key, so any
+        attached :attr:`matrix_cache` entries computed under the old
+        rates can no longer be served (their keys stop matching).
+        """
         arr = np.asarray(rates, dtype=np.float64)
         if arr.shape != (self.category_count,):
             raise ValueError("rates length must equal category count")
         self._category_rates = arr
+        self._rates_key = arr.tobytes()
 
     def set_category_weights(self, weights: Sequence[float]) -> None:
         """Prior probability of each rate category (must sum to 1)."""
@@ -225,7 +238,13 @@ class BeagleInstance:
 
         All matrices for all categories are produced by one batched
         eigen-multiply — the work BEAGLE performs in
-        ``beagleUpdateTransitionMatrices``.
+        ``beagleUpdateTransitionMatrices``. When a
+        :attr:`matrix_cache` is attached, each pair is first looked up
+        in the LRU (keyed by eigen decomposition, rates version and
+        quantized branch length); only the misses are computed — still
+        in one batched call — and cached. Because the eigen-multiply is
+        batch-composition invariant, cached and freshly computed
+        matrices are bit-identical.
         """
         if eigen_index not in self._eigens:
             raise KeyError(f"eigen decomposition {eigen_index} not set")
@@ -239,6 +258,11 @@ class BeagleInstance:
         with obs.span(
             "kernel.matrices", category="kernel", matrices=int(idx.size)
         ), obs.phase(PHASE_MATRICES):
+            if self.matrix_cache is not None:
+                self._update_matrices_cached(
+                    self.matrix_cache, self._eigens[eigen_index], idx, t, obs
+                )
+                return
             # (k·C,) scaled times -> (k, C, S, S)
             scaled = (t[:, None] * self._category_rates[None, :]).reshape(-1)
             P = transition_matrices(self._eigens[eigen_index], scaled)
@@ -246,6 +270,57 @@ class BeagleInstance:
                 len(idx), self.category_count, self.state_count, self.state_count
             )
             self._matrices[idx] = P
+
+    def _update_matrices_cached(
+        self,
+        cache: TransitionMatrixCache,
+        eigen: EigenDecomposition,
+        idx: np.ndarray,
+        t: np.ndarray,
+        obs,
+    ) -> None:
+        """Serve matrix updates from the LRU; batch-compute the misses.
+
+        Duplicate branch lengths *within* one call are computed once and
+        counted as hits — a tree with tied lengths warms its own call.
+        """
+        resolved: List[Optional[np.ndarray]] = []
+        # key -> (effective length, positions awaiting the computed matrix)
+        pending: Dict[Hashable, Tuple[float, List[int]]] = {}
+        for i in range(idx.size):
+            length = float(t[i])
+            key = cache.key_for(eigen, self._rates_key, length)
+            cached = cache.lookup(key)
+            if cached is not None:
+                resolved.append(cached)
+            else:
+                entry = pending.get(key)
+                if entry is None:
+                    pending[key] = (cache.effective_length(length), [i])
+                else:
+                    entry[1].append(i)
+                resolved.append(None)
+        n_misses = len(pending)
+        n_hits = int(idx.size) - n_misses
+        if pending:
+            C, S = self.category_count, self.state_count
+            lengths = np.array([eff for eff, _ in pending.values()])
+            scaled = (lengths[:, None] * self._category_rates[None, :]).reshape(-1)
+            P = transition_matrices(eigen, scaled).reshape(n_misses, C, S, S)
+            for j, (key, (_, positions)) in enumerate(pending.items()):
+                matrix = np.ascontiguousarray(P[j])
+                cache.store(key, matrix, pin=eigen)
+                for position in positions:
+                    resolved[position] = matrix
+        for i in range(idx.size):
+            self._matrices[idx[i]] = resolved[i]
+        cache.hits += n_hits
+        cache.misses += n_misses
+        if obs.enabled:
+            if n_hits:
+                obs.count("repro_matrix_cache_hits_total", n_hits)
+            if n_misses:
+                obs.count("repro_matrix_cache_misses_total", n_misses)
 
     def set_transition_matrix(self, matrix_index: int, matrix: np.ndarray) -> None:
         """Directly install a ``(C, S, S)`` or ``(S, S)`` matrix buffer."""
@@ -370,122 +445,164 @@ class BeagleInstance:
         else:
             self._run_operation_set(ops, k)
 
+    @property
+    def workspace(self) -> Workspace:
+        """The instance's batched-execution arena (created on first use)."""
+        if self._workspace is None:
+            self._workspace = Workspace(
+                self.dtype,
+                self.category_count,
+                self.pattern_count,
+                self.state_count,
+            )
+        return self._workspace
+
     def _run_operation_set(self, ops: List[Operation], k: int) -> None:
-        """Body of :meth:`update_partials_set` after validation."""
-        if k < self.MIN_BATCH_OPERATIONS:
-            # Implementation-class heuristic (paper §VI-A): for very small
-            # sets the fixed cost of the batched path exceeds its saving
-            # on a CPU, so the operations run through the single-op kernel
-            # — still as one *logical* launch for instrumentation.
-            for op in ops:
-                self._execute_single(op, count_launch=False)
-            self.stats.kernel_launches += 1
-            return
+        """Body of :meth:`update_partials_set` after validation.
 
-        # One flat child list of length 2k: firsts then seconds. All the
-        # gathers below are single vectorised NumPy calls — the CPU
-        # realisation of BEAGLE's pointer-arithmetic multi-op kernel.
+        Every set — any size — runs through the :class:`Workspace`
+        arena: child gathers, the batched matmuls and the final scatter
+        all write into preallocated buffers (``out=`` everywhere), so
+        steady-state execution performs **zero per-set array
+        allocations** and results are bit-identical to the serial
+        kernel however operations are grouped. The flat child list has
+        length 2k: firsts occupy rows ``0..k-1``, seconds ``k..2k-1``.
+        """
+        ws = self.workspace
+        ws.ensure(k)
         with get_recorder().phase(PHASE_PARTIALS):
-            child_buffers = np.array(
-                [op.child1 for op in ops] + [op.child2 for op in ops],
-                dtype=np.int64,
-            )
-            matrix_idx = np.array(
-                [op.child1_matrix for op in ops]
-                + [op.child2_matrix for op in ops],
-                dtype=np.int64,
-            )
-            self._validate_children(child_buffers)
-            matrices = self._matrices[matrix_idx]  # (2k, C, S, S)
+            # Classification pass: validate children (firsts before
+            # seconds, matching the serial order) and bucket each row as
+            # internal partials, compact tip codes or explicit tip
+            # partials. Pure int bookkeeping into preallocated arrays.
+            n_int = n_code = n_exp = 0
+            for base, which in ((0, 0), (k, 1)):
+                for i, op in enumerate(ops):
+                    if which == 0:
+                        b, mat = op.child1, op.child1_matrix
+                    else:
+                        b, mat = op.child2, op.child2_matrix
+                    row = base + i
+                    ws.child_buffers[row] = b
+                    if b < self.tip_count:
+                        if b in self._tip_codes:
+                            ws.code_sel[n_code] = row
+                            ws.code_tips[n_code] = b
+                            ws.code_mats[n_code] = mat
+                            n_code += 1
+                        elif b in self._tip_partials:
+                            ws.explicit_sel[n_exp] = row
+                            ws.explicit_mats[n_exp] = mat
+                            n_exp += 1
+                        else:
+                            raise ValueError(f"tip buffer {b} has no data")
+                    else:
+                        slot = self._internal_slot(b)
+                        if not self._partials_valid[slot]:
+                            raise ValueError(
+                                f"partials buffer {b} read before being computed"
+                            )
+                        ws.internal_sel[n_int] = row
+                        ws.internal_slots[n_int] = slot
+                        ws.internal_mats[n_int] = mat
+                        n_int += 1
+            for i, op in enumerate(ops):
+                slot = op.destination - self.tip_count
+                if not 0 <= slot < self.partials_buffer_count:
+                    raise IndexError("destination buffer out of range")
+                ws.dest_slots[i] = slot
 
-            C, P, S = self.category_count, self.pattern_count, self.state_count
-            contributions = np.empty((2 * k, C, P, S), dtype=self.dtype)
-
-            is_tip = child_buffers < self.tip_count
-            if self._tip_partials:
-                explicit = np.array(
-                    [int(b) in self._tip_partials for b in child_buffers],
-                    dtype=bool,
+            C, S = self.category_count, self.state_count
+            if n_int:
+                # Internal children: gather partials and matrices into
+                # contiguous stacks, one batched L @ Pᵀ, scatter back.
+                np.take(
+                    self._partials,
+                    ws.internal_slots[:n_int],
+                    axis=0,
+                    out=ws.gathered[:n_int],
                 )
-            else:
-                explicit = np.zeros(2 * k, dtype=bool)
-            internal_sel = np.flatnonzero(~is_tip)
-            code_sel = np.flatnonzero(is_tip & ~explicit)
-            explicit_sel = np.flatnonzero(is_tip & explicit)
-
-            if internal_sel.size:
-                slots = child_buffers[internal_sel] - self.tip_count
-                gathered = self._partials[slots]  # (m, C, P, S)
-                contributions[internal_sel] = gathered @ matrices[
-                    internal_sel
-                ].transpose(0, 1, 3, 2)
-            if code_sel.size:
-                codes = self._tip_codes_dense[child_buffers[code_sel]]  # (m, P)
-                padded = np.concatenate(
-                    [
-                        matrices[code_sel],
-                        np.ones((code_sel.size, C, S, 1), dtype=self.dtype),
-                    ],
-                    axis=3,
+                np.take(
+                    self._matrices,
+                    ws.internal_mats[:n_int],
+                    axis=0,
+                    out=ws.mats[:n_int],
                 )
-                gathered = np.take_along_axis(
-                    padded, codes[:, None, None, :], axis=3
-                )  # (m, C, S, P)
-                contributions[code_sel] = gathered.transpose(0, 1, 3, 2)
-            for index in explicit_sel:  # rare: partial-ambiguity tips
-                partials = self._tip_partials[int(child_buffers[index])]
-                contributions[index] = partials @ matrices[index].transpose(
-                    0, 2, 1
+                np.copyto(
+                    ws.mats_T[:n_int], ws.mats[:n_int].transpose(0, 1, 3, 2)
+                )
+                np.matmul(
+                    ws.gathered[:n_int], ws.mats_T[:n_int], out=ws.scratch[:n_int]
+                )
+                ws.contributions[ws.internal_sel[:n_int]] = ws.scratch[:n_int]
+            if n_code:
+                # Compact tips: transpose matrices and pad a ones row at
+                # state index S (the "unknown" code), then resolve every
+                # (row, category, pattern) to one flat row gather.
+                np.take(
+                    self._matrices,
+                    ws.code_mats[:n_code],
+                    axis=0,
+                    out=ws.mats[:n_code],
+                )
+                np.copyto(
+                    ws.padded_T[:n_code, :, :S, :],
+                    ws.mats[:n_code].transpose(0, 1, 3, 2),
+                )
+                ws.padded_T[:n_code, :, S, :] = 1.0
+                np.take(
+                    self._tip_codes_dense,
+                    ws.code_tips[:n_code],
+                    axis=0,
+                    out=ws.codes[:n_code],
+                )
+                np.add(
+                    ws.row_base[:n_code, :, None],
+                    ws.codes[:n_code][:, None, :],
+                    out=ws.rowidx[:n_code],
+                )
+                rows2d = ws.padded_T[:n_code].reshape(n_code * C * (S + 1), S)
+                np.take(
+                    rows2d,
+                    ws.rowidx[:n_code],
+                    axis=0,
+                    out=ws.scratch[:n_code],
+                    mode="clip",
+                )
+                ws.contributions[ws.code_sel[:n_code]] = ws.scratch[:n_code]
+            for j in range(n_exp):  # rare: partial-ambiguity tips
+                row = int(ws.explicit_sel[j])
+                partials = self._tip_partials[int(ws.child_buffers[row])]
+                np.matmul(
+                    partials,
+                    self._matrices[int(ws.explicit_mats[j])].transpose(0, 2, 1),
+                    out=ws.contributions[row],
                 )
 
-            product = contributions[:k]
-            np.multiply(product, contributions[k:], out=product)
-        destinations = np.fromiter(
-            (op.destination for op in ops), dtype=np.int64, count=k
-        )
-        slots = destinations - self.tip_count
-        if slots.min() < 0 or slots.max() >= self.partials_buffer_count:
-            raise IndexError("destination buffer out of range")
-        scale_targets = [
-            (i, op.destination_scale)
-            for i, op in enumerate(ops)
-            if op.destination_scale >= 0
-        ]
-        if scale_targets:
-            # Batched rescale: one max-reduction over the scaled rows.
+            product = ws.contributions[:k]
+            np.multiply(product, ws.contributions[k : 2 * k], out=product)
+        if any(op.destination_scale >= 0 for op in ops):
             with get_recorder().phase(PHASE_SCALING):
-                if len(scale_targets) == k:
-                    rows = product
-                else:
-                    rows = product[np.array([i for i, _ in scale_targets])]
-                factors = rows.max(axis=(1, 3))  # (m, P)
-                safe = np.where(factors > 0.0, factors, 1.0)
-                rows /= safe[:, None, :, None]
-                if len(scale_targets) != k:
-                    product[np.array([i for i, _ in scale_targets])] = rows
-                logs = np.log(safe)
-                for j, (_, scale_index) in enumerate(scale_targets):
-                    self.scale.write(scale_index, logs[j])
-        self._partials[slots] = product
-        self._partials_valid[slots] = True
+                factors = ws.scale_factors
+                safe = ws.scale_safe
+                mask = ws.scale_mask
+                logs = ws.scale_logs
+                for i, op in enumerate(ops):
+                    if op.destination_scale < 0:
+                        continue
+                    rows = product[i]  # (C, P, S) view
+                    np.amax(rows, axis=(0, 2), out=factors)
+                    np.less_equal(factors, 0.0, out=mask)
+                    np.copyto(safe, factors)
+                    safe[mask] = 1.0
+                    rows /= safe[None, :, None]
+                    np.log(safe, out=logs)
+                    self.scale.write(op.destination_scale, logs)
+        self._partials[ws.dest_slots[:k]] = product
+        self._partials_valid[ws.dest_slots[:k]] = True
         self.stats.kernel_launches += 1
         self.stats.operations += k
         self.stats.flops += k * self.flops_per_operation
-
-    def _validate_children(self, buffers: np.ndarray) -> None:
-        """Check every child buffer is readable (tips loaded, internals
-        computed) before a vectorised gather touches them."""
-        for buffer_index in buffers:
-            b = int(buffer_index)
-            if b < self.tip_count:
-                if b not in self._tip_codes and b not in self._tip_partials:
-                    raise ValueError(f"tip buffer {b} has no data")
-            else:
-                slot = self._internal_slot(b)
-                if not self._partials_valid[slot]:
-                    raise ValueError(
-                        f"partials buffer {b} read before being computed"
-                    )
 
     def _execute_single(self, op: Operation, count_launch: bool = True) -> None:
         partials1, codes1 = self._child_arrays(op.child1)

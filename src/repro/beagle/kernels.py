@@ -42,6 +42,7 @@ def child_contribution(
     matrices: np.ndarray,
     partials: Optional[np.ndarray] = None,
     codes: Optional[np.ndarray] = None,
+    dtype: Optional[np.dtype] = None,
 ) -> np.ndarray:
     """One child's factor of Eq. 1: ``Σ_x P(x|z,t) L(x)``.
 
@@ -56,6 +57,10 @@ def child_contribution(
         ``(P,)`` compact tip states; the value ``S`` means "unknown"
         (contribution 1 for every parent state). Exactly one of
         ``partials``/``codes`` must be given.
+    dtype:
+        Dtype of the code-gather scratch (and hence the result on the
+        codes path); defaults to ``matrices.dtype`` so float32 inputs
+        yield float32 contributions instead of silently widening.
 
     Returns
     -------
@@ -69,9 +74,13 @@ def child_contribution(
         return partials @ matrices.transpose(0, 2, 1)
     C, S, _ = matrices.shape
     codes = np.asarray(codes)
+    if dtype is None:
+        dtype = matrices.dtype
     # Gather columns of P by observed state; pad with a ones column so the
     # unknown code S yields a contribution of 1 for every parent state.
-    padded = np.concatenate([matrices, np.ones((C, S, 1))], axis=2)
+    padded = np.concatenate(
+        [matrices, np.ones((C, S, 1), dtype=dtype)], axis=2
+    )
     return padded[:, :, codes].transpose(0, 2, 1)
 
 
@@ -104,7 +113,7 @@ def update_partials_batch(
     matrices2: np.ndarray,
     children1: Sequence[Tuple[Optional[np.ndarray], Optional[np.ndarray]]],
     children2: Sequence[Tuple[Optional[np.ndarray], Optional[np.ndarray]]],
-    outs: Sequence[np.ndarray],
+    outs: np.ndarray,
 ) -> None:
     """Multi-operation kernel: k independent operations in stacked calls.
 
@@ -117,36 +126,50 @@ def update_partials_batch(
         Per operation a ``(partials, codes)`` pair (exactly one non-None),
         matching :func:`child_contribution`.
     outs:
-        ``k`` destination views of shape ``(C, P, S)``; written in place.
+        ``(k, C, P, S)`` stacked destination array; written in place by
+        a single vectorised multiply (slice views of the instance's
+        partials storage stack into one such array without copying when
+        the destinations are contiguous).
 
     Notes
     -----
     Children given as *partials* across the whole batch are evaluated with
     a single ``(k, C, P, S) @ (k, C, S, S)`` batched ``matmul``; children
-    given as tip *codes* use one fused gather. This is the library's
-    analogue of BEAGLE's pointer-arithmetic multi-operation kernel: the
-    number of NumPy dispatches is O(1) in the operation count.
+    given as tip *codes* use one fused gather; the final product lands in
+    ``outs`` through one ``np.multiply``. This is the library's analogue
+    of BEAGLE's pointer-arithmetic multi-operation kernel: the number of
+    NumPy dispatches is O(1) in the operation count.
     """
-    k = len(outs)
+    if not isinstance(outs, np.ndarray) or outs.ndim != 4:
+        raise TypeError(
+            "outs must be a stacked (k, C, P, S) ndarray; stack per-"
+            "operation destination views with np.stack before calling"
+        )
+    k = outs.shape[0]
     if not (len(children1) == len(children2) == k):
         raise ValueError("children and outs must have equal lengths")
     if matrices1.shape[0] != k or matrices2.shape[0] != k:
         raise ValueError("stacked matrices must have one entry per operation")
 
-    left = _batched_contribution(matrices1, children1)
-    right = _batched_contribution(matrices2, children2)
-    product = left
-    np.multiply(left, right, out=product)
-    for i, out in enumerate(outs):
-        out[...] = product[i]
+    dtype = outs.dtype
+    left = _batched_contribution(matrices1, children1, dtype=dtype)
+    right = _batched_contribution(matrices2, children2, dtype=dtype)
+    np.multiply(left, right, out=outs)
 
 
 def _batched_contribution(
     matrices: np.ndarray,
     children: Sequence[Tuple[Optional[np.ndarray], Optional[np.ndarray]]],
+    dtype: Optional[np.dtype] = None,
 ) -> np.ndarray:
-    """Stacked child contributions: (k, C, P, S)."""
+    """Stacked child contributions ``(k, C, P, S)``.
+
+    ``dtype`` fixes the result dtype (defaulting to ``matrices.dtype``)
+    so float32 batches are not silently widened to float64.
+    """
     k, C, S, _ = matrices.shape
+    if dtype is None:
+        dtype = matrices.dtype
     partial_idx = [i for i, (p, c) in enumerate(children) if p is not None]
     code_idx = [i for i, (p, c) in enumerate(children) if p is None]
     if code_idx and not partial_idx:
@@ -155,7 +178,7 @@ def _batched_contribution(
         P = children[partial_idx[0]][0].shape[1]
     else:
         raise ValueError("empty operation batch")
-    result = np.empty((k, C, P, S))
+    result = np.empty((k, C, P, S), dtype=dtype)
 
     if partial_idx:
         stacked = np.stack([children[i][0] for i in partial_idx])
@@ -164,7 +187,9 @@ def _batched_contribution(
     if code_idx:
         codes = np.stack([children[i][1] for i in code_idx])  # (m, P)
         mats = matrices[code_idx]  # (m, C, S, S)
-        padded = np.concatenate([mats, np.ones((len(code_idx), C, S, 1))], axis=3)
+        padded = np.concatenate(
+            [mats, np.ones((len(code_idx), C, S, 1), dtype=dtype)], axis=3
+        )
         # Gather per batch entry: padded[i, :, :, codes[i]] -> (m, C, S, P)
         gathered = np.take_along_axis(
             padded, codes[:, None, None, :], axis=3

@@ -34,6 +34,7 @@ from .incremental import (
     IncrementalLikelihood,
     dirty_nodes,
     incremental_operation_sets,
+    incremental_plan,
 )
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "IncrementalLikelihood",
     "dirty_nodes",
     "incremental_operation_sets",
+    "incremental_plan",
     "make_plan",
     "create_instance",
     "execute_plan",

@@ -29,12 +29,13 @@ from ..trees import Tree
 from ..trees.node import Node
 from ..trees.traversal import node_depths
 from .opsets import build_operation_sets
-from .planner import create_instance, execute_plan, make_plan
+from .planner import ExecutionPlan, create_instance, execute_plan, make_plan
 from .schedule import operation_for_node
 
 __all__ = [
     "dirty_nodes",
     "incremental_operation_sets",
+    "incremental_plan",
     "IncrementalLikelihood",
 ]
 
@@ -97,6 +98,57 @@ def incremental_operation_sets(
             root_buffer=tree.index_of(tree.root),
         ).raise_if_errors()
     return sets
+
+
+def incremental_plan(
+    tree: Tree,
+    changed: Iterable[Node],
+    *,
+    matrices_for: Optional[Iterable[Node]] = None,
+    scaling: bool = False,
+    verify: bool = False,
+) -> ExecutionPlan:
+    """A first-class :class:`~repro.core.planner.ExecutionPlan` covering
+    only the dirty root-ward path of a set of changed nodes.
+
+    The plan's operation sets recompute exactly the ancestors invalidated
+    by ``changed`` (reverse level-order, greedily batched — the same
+    reroot-aware scheduling as full plans, so a rerooted tree yields a
+    shorter, wider dirty path). Its matrix updates cover ``matrices_for``
+    (default: the changed nodes themselves), and ``incremental=True``
+    tells :func:`~repro.core.planner.execute_plan` to reuse the partials
+    left by the previous full evaluation instead of invalidating them.
+
+    Indices must already be assigned (by the full plan that preceded this
+    one); this function never reassigns them, so buffer numbering stays
+    stable across the full/incremental sequence.
+
+    With ``verify=True`` the dirty-path schedule is proven safe by the
+    static analyzer under the incremental contract (clean buffers assumed
+    live); see :func:`incremental_operation_sets`.
+    """
+    changed = list(changed)
+    sets = incremental_operation_sets(
+        tree, changed, scaling=scaling, verify=verify
+    )
+    targets = changed if matrices_for is None else list(matrices_for)
+    indices: List[int] = []
+    lengths: List[float] = []
+    for node in targets:
+        if node.parent is None:
+            raise ValueError("the root has no branch to update")
+        indices.append(tree.index_of(node))
+        lengths.append(float(node.length))
+    return ExecutionPlan(
+        tree=tree,
+        operation_sets=sets,
+        matrix_indices=indices,
+        branch_lengths=lengths,
+        root_buffer=tree.index_of(tree.root),
+        scaling=scaling,
+        mode="incremental",
+        incremental=True,
+    )
 
 
 class IncrementalLikelihood:
@@ -168,13 +220,8 @@ class IncrementalLikelihood:
         if not self._evaluated:
             self.full_log_likelihood()
         node.length = float(length)
-        matrix_index = self.tree.index_of(node)
-        self.instance.update_transition_matrices(0, [matrix_index], [length])
-        for op_set in incremental_operation_sets(
-            self.tree, [node], verify=self.verify
-        ):
-            self.instance.update_partials_set(op_set)
-        return self.instance.calculate_root_log_likelihood(self.plan.root_buffer)
+        plan = incremental_plan(self.tree, [node], verify=self.verify)
+        return execute_plan(self.instance, plan)
 
     def update_cost(self, node: Node) -> int:
         """Operations a change to this branch will recompute (path length)."""

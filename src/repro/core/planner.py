@@ -53,8 +53,13 @@ class ExecutionPlan:
     scaling:
         Whether operations write per-node scale factors.
     mode:
-        ``"serial"``, ``"concurrent"`` (greedy reverse level-order sets)
-        or ``"level"`` (optimal height grouping).
+        ``"serial"``, ``"concurrent"`` (greedy reverse level-order sets),
+        ``"level"`` (optimal height grouping) or ``"incremental"``
+        (dirty-path sets from :func:`repro.core.incremental.incremental_plan`).
+    incremental:
+        True for dirty-path plans: execution reuses the partials left by
+        a previous full evaluation instead of invalidating them, and the
+        operation sets cover only the dirty root-ward path.
     """
 
     tree: Tree
@@ -64,6 +69,7 @@ class ExecutionPlan:
     root_buffer: int
     scaling: bool
     mode: str
+    incremental: bool = False
 
     @property
     def n_launches(self) -> int:
@@ -223,7 +229,8 @@ def _execute_plan_body(
     instance: BeagleInstance, plan: ExecutionPlan, update_matrices: bool
 ) -> float:
     """Body of :func:`execute_plan`, shared by the traced and plain paths."""
-    instance.invalidate_partials()
+    if not plan.incremental:
+        instance.invalidate_partials()
     if update_matrices:
         instance.update_transition_matrices(
             0, plan.matrix_indices, plan.branch_lengths

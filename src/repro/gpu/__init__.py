@@ -16,6 +16,7 @@ from .streams import (
 )
 from .simulator import (
     BenchmarkPoint,
+    IncrementalTiming,
     SimulatedDevice,
     simulate_tree,
     simulated_speedup,
@@ -37,6 +38,7 @@ __all__ = [
     "streams_time_set_sizes",
     "SimulatedDevice",
     "BenchmarkPoint",
+    "IncrementalTiming",
     "simulate_tree",
     "simulated_speedup",
 ]

@@ -9,11 +9,16 @@ from .optimize import (
 from .derivatives import EdgeDerivatives, edge_log_likelihood_derivatives
 from .ancestral import ancestral_state_probabilities, most_probable_states
 from .proposals import (
+    Move,
     Proposal,
+    branch_length_move,
     random_spr,
     internal_edges,
     multiply_branch,
     nni_candidates,
+    nni_move,
+    nni_move_at,
+    nni_move_count,
     random_nni,
 )
 from .mcmc import MCMCResult, run_mcmc
@@ -43,8 +48,13 @@ __all__ = [
     "edge_log_likelihood_derivatives",
     "ancestral_state_probabilities",
     "most_probable_states",
+    "Move",
     "Proposal",
+    "branch_length_move",
     "nni_candidates",
+    "nni_move",
+    "nni_move_at",
+    "nni_move_count",
     "random_nni",
     "multiply_branch",
     "internal_edges",

@@ -10,9 +10,13 @@ working tree.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
 
 from ..beagle.instance import BeagleInstance
+from ..beagle.workspace import TransitionMatrixCache
+from ..core.incremental import incremental_plan
 from ..core.opsets import count_operation_sets
 from ..core.planner import ExecutionPlan, create_instance, execute_plan, make_plan
 from ..core.reroot_opt import optimal_reroot_exhaustive, optimal_reroot_fast
@@ -24,7 +28,69 @@ from ..models.ratematrix import SubstitutionModel
 from ..models.siterates import RateCategories
 from ..trees import Tree
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .proposals import Move
+
 __all__ = ["TreeLikelihood"]
+
+
+class _SnapshotArena:
+    """Preallocated save/restore storage for dirty buffers.
+
+    One proposal snapshots the partials slots its dirty path will
+    overwrite and the transition matrices it will recompute; a rejection
+    copies them straight back. Buffers grow on demand to the deepest
+    dirty path seen and are then reused, so steady-state propose/reject
+    cycles allocate nothing.
+    """
+
+    def __init__(self, instance: BeagleInstance) -> None:
+        self._instance = instance
+        shape = instance._partials.shape[1:]
+        mshape = instance._matrices.shape[1:]
+        self._partials = np.empty((0,) + shape, dtype=instance.dtype)
+        self._matrices = np.empty((0,) + mshape, dtype=instance.dtype)
+        self._slots = np.empty(0, dtype=np.int64)
+        self._matrix_indices = np.empty(0, dtype=np.int64)
+        self._n_slots = 0
+        self._n_matrices = 0
+
+    def save(self, slots, matrix_indices) -> None:
+        """Copy the named partials slots and matrix buffers aside."""
+        inst = self._instance
+        n, m = len(slots), len(matrix_indices)
+        if n > self._partials.shape[0]:
+            self._partials = np.empty(
+                (n,) + inst._partials.shape[1:], dtype=inst.dtype
+            )
+            self._slots = np.empty(n, dtype=np.int64)
+        if m > self._matrices.shape[0]:
+            self._matrices = np.empty(
+                (m,) + inst._matrices.shape[1:], dtype=inst.dtype
+            )
+            self._matrix_indices = np.empty(m, dtype=np.int64)
+        self._slots[:n] = slots
+        self._matrix_indices[:m] = matrix_indices
+        np.take(inst._partials, self._slots[:n], axis=0, out=self._partials[:n])
+        np.take(
+            inst._matrices,
+            self._matrix_indices[:m],
+            axis=0,
+            out=self._matrices[:m],
+        )
+        self._n_slots = n
+        self._n_matrices = m
+
+    def restore(self) -> None:
+        """Write the saved buffers back into the instance."""
+        inst = self._instance
+        n, m = self._n_slots, self._n_matrices
+        if n:
+            inst._partials[self._slots[:n]] = self._partials[:n]
+        if m:
+            inst._matrices[self._matrix_indices[:m]] = self._matrices[:m]
+        self._n_slots = 0
+        self._n_matrices = 0
 
 
 class TreeLikelihood:
@@ -66,6 +132,14 @@ class TreeLikelihood:
         Optional :class:`~repro.exec.faults.FaultSpec` — wrap the
         instance in a deterministic
         :class:`~repro.exec.faults.FaultInjector` (testing/chaos runs).
+    matrix_cache:
+        ``None``/``False`` (default) — transition matrices are always
+        recomputed. ``True`` — attach a fresh
+        :class:`~repro.beagle.workspace.TransitionMatrixCache` to the
+        engine instance. An existing cache object — share it (e.g.
+        between the evaluators an MCMC chain creates via
+        :meth:`with_tree`, so unchanged branch lengths hit across
+        iterations).
     """
 
     def __init__(
@@ -81,9 +155,8 @@ class TreeLikelihood:
         precision: str = "double",
         resilience: Union[RetryPolicy, bool, None] = None,
         faults: Optional[FaultSpec] = None,
+        matrix_cache: Union[TransitionMatrixCache, bool, None] = None,
     ) -> None:
-        import numpy as np
-
         if isinstance(data, Alignment):
             data = compress(data)
         if precision not in ("double", "single"):
@@ -100,6 +173,11 @@ class TreeLikelihood:
             resilience = None
         self.resilience: Optional[RetryPolicy] = resilience
         self.faults = faults
+        if matrix_cache is True:
+            matrix_cache = TransitionMatrixCache()
+        elif matrix_cache is False:
+            matrix_cache = None
+        self.matrix_cache: Optional[TransitionMatrixCache] = matrix_cache
         self._dtype = np.float64 if precision == "double" else np.float32
         if reroot == "fast":
             tree = optimal_reroot_fast(tree).tree
@@ -110,6 +188,10 @@ class TreeLikelihood:
         self.tree = tree
         self._instance: Optional[BeagleInstance] = None
         self._plan: Optional[ExecutionPlan] = None
+        self._incremental_ready = False
+        self._pending: Optional["Move"] = None
+        self._snapshot: Optional[_SnapshotArena] = None
+        self._last_incremental_plan: Optional[ExecutionPlan] = None
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +211,8 @@ class TreeLikelihood:
                 scaling=self.scaling,
                 dtype=self._dtype,
             )
+            if self.matrix_cache is not None:
+                instance.matrix_cache = self.matrix_cache
             if self.faults is not None:
                 instance = FaultInjector(instance, self.faults)
             if self.resilience is not None:
@@ -173,8 +257,31 @@ class TreeLikelihood:
     @property
     def plan(self) -> ExecutionPlan:
         if self._plan is None:
-            self._plan = make_plan(self.tree, self.mode, scaling=self.scaling)
+            if self._incremental_ready and self._instance is not None:
+                # An accepted in-place topology move dropped the cached
+                # full plan but kept the warm engine instance, whose
+                # buffer indices are frozen. make_plan would reassign
+                # indices from the new topology and desynchronize the
+                # instance's tip rows, so rebuild full coverage on the
+                # frozen index map instead.
+                self._plan = self._frozen_full_plan()
+            else:
+                self._plan = make_plan(
+                    self.tree, self.mode, scaling=self.scaling
+                )
         return self._plan
+
+    def _frozen_full_plan(self) -> ExecutionPlan:
+        """A full-traversal plan on the instance's frozen index map.
+
+        Marking every tip as changed dirties every internal node, and
+        listing every edge refreshes every transition matrix — a complete
+        evaluation scheduled exactly like a full plan, but without the
+        index reassignment :func:`~repro.core.planner.make_plan` performs.
+        """
+        return incremental_plan(
+            self.tree, self.tree.tips(), matrices_for=self.tree.edges()
+        )
 
     @property
     def n_launches(self) -> int:
@@ -205,10 +312,156 @@ class TreeLikelihood:
         adds root-level underflow detection and rescaling escalation on
         top of the per-launch retry pipeline.
         """
+        if self._pending is not None:
+            raise RuntimeError(
+                "a proposal is pending; accept() or reject() it first"
+            )
         instance = self.instance
         if isinstance(instance, ResilientInstance):
             return instance.execute(self.plan)
-        return execute_plan(instance, self.plan)
+        value = execute_plan(instance, self.plan)
+        self._incremental_ready = True
+        return value
+
+    # ------------------------------------------------------------------
+    @property
+    def proposal_pending(self) -> bool:
+        """True between :meth:`propose` and :meth:`accept`/:meth:`reject`."""
+        return self._pending is not None
+
+    @property
+    def incremental_ready(self) -> bool:
+        """True once a full evaluation has populated every partial."""
+        return self._incremental_ready
+
+    @property
+    def last_incremental_plan(self) -> Optional[ExecutionPlan]:
+        """The dirty-path plan of the most recent :meth:`propose`."""
+        return self._last_incremental_plan
+
+    def _check_incremental_supported(self) -> None:
+        """Raise unless this configuration supports dirty-path proposals."""
+        if self.scaling:
+            raise ValueError(
+                "incremental proposals do not support manual scaling; "
+                "rejected proposals would need scale-factor snapshots"
+            )
+        if self.faults is not None or self.resilience is not None:
+            raise ValueError(
+                "incremental proposals need a bare engine instance; "
+                "disable faults/resilience"
+            )
+
+    def propose(self, move: "Move") -> float:
+        """Evaluate an already-applied in-place move along its dirty path.
+
+        ``move`` comes from :func:`~repro.inference.proposals.branch_length_move`,
+        :func:`~repro.inference.proposals.nni_move` or
+        :func:`~repro.inference.proposals.nni_move_at`, which mutate
+        :attr:`tree` in place and return the touched nodes. This method
+        snapshots the partials slots and transition matrices the dirty
+        path will overwrite, executes an
+        :func:`~repro.core.incremental.incremental_plan` covering only
+        that path, and returns the new log-likelihood. Exactly one of
+        :meth:`accept` or :meth:`reject` must follow.
+
+        When no full evaluation has populated the partials yet (first
+        call, after :meth:`invalidate`, or after rejecting a cold
+        proposal), the move is evaluated by one full traversal instead —
+        :attr:`last_incremental_plan` is then ``None``, and rejecting it
+        drops :attr:`incremental_ready` because every buffer was
+        computed with the move applied.
+        """
+        self._check_incremental_supported()
+        if self._pending is not None:
+            raise RuntimeError(
+                "a proposal is pending; accept() or reject() it first"
+            )
+        if not self._incremental_ready:
+            # A full traversal with the move already applied IS the
+            # proposal's evaluation. Rebuild instance and plan together:
+            # make_plan/create_instance reassign buffer indices from the
+            # current topology, so reusing one with a fresh copy of the
+            # other would desynchronize tip rows. No snapshot could save
+            # us on rejection — the move is baked into every buffer — so
+            # reject() falls back to the cold state.
+            self._instance = None
+            self._plan = None
+            self._snapshot = None
+            value = execute_plan(self.instance, self.plan)
+            self._pending = move
+            self._last_incremental_plan = None
+            return value
+        instance = self.instance
+        plan = incremental_plan(
+            self.tree, move.touched, matrices_for=move.changed_edges
+        )
+        if self._snapshot is None:
+            self._snapshot = _SnapshotArena(instance)
+        slots = sorted(
+            {
+                instance._internal_slot(op.destination)
+                for op_set in plan.operation_sets
+                for op in op_set
+            }
+        )
+        self._snapshot.save(slots, plan.matrix_indices)
+        self._pending = move
+        self._last_incremental_plan = plan
+        return execute_plan(instance, plan)
+
+    def accept(self) -> None:
+        """Keep the pending proposal's tree and buffers."""
+        if self._pending is None:
+            raise RuntimeError("no proposal is pending")
+        self._pending = None
+        if self._last_incremental_plan is None:
+            # Cold proposal: the full traversal just populated every
+            # buffer for the accepted tree, and the cached full plan
+            # already matches it.
+            self._incremental_ready = True
+            return
+        if self._snapshot is not None:
+            self._snapshot._n_slots = 0
+            self._snapshot._n_matrices = 0
+        # Topology may have changed; the cached full plan is rebuilt from
+        # the current tree on the next full evaluation (buffer indices are
+        # frozen, so the engine instance itself stays valid).
+        self._plan = None
+
+    def reject(self) -> None:
+        """Undo the pending proposal: restore buffers, then the tree."""
+        if self._pending is None:
+            raise RuntimeError("no proposal is pending")
+        move = self._pending
+        self._pending = None
+        if self._last_incremental_plan is None:
+            # Cold proposal: every buffer holds the rejected state, and
+            # both instance and plan were built for the rejected
+            # topology — drop them so the next evaluation rebuilds a
+            # consistent pair for the restored tree.
+            self._incremental_ready = False
+            self._instance = None
+            self._plan = None
+            self._snapshot = None
+        elif self._snapshot is not None:
+            self._snapshot.restore()
+        move.undo()
+
+    def modelled_incremental_seconds(self, spec) -> float:
+        """Device-model time of the most recent dirty-path evaluation."""
+        from ..gpu.perfmodel import WorkloadDims, time_set_sizes
+
+        if self._last_incremental_plan is None:
+            raise RuntimeError("no incremental plan has been executed yet")
+        dims = WorkloadDims(
+            patterns=self.patterns.n_patterns,
+            states=self.model.n_states,
+            categories=self.rates.n_categories if self.rates else 1,
+        )
+        return time_set_sizes(
+            spec, dims, self._last_incremental_plan.set_sizes
+        ).seconds
 
     def with_tree(self, tree: Tree) -> "TreeLikelihood":
         """A new evaluator for a different tree, sharing model and data.
@@ -226,6 +479,7 @@ class TreeLikelihood:
             precision=self.precision,
             resilience=self.resilience,
             faults=self.faults,
+            matrix_cache=self.matrix_cache,
         )
 
     def rerooted_for_concurrency(self, algorithm: str = "fast") -> "TreeLikelihood":
@@ -243,12 +497,17 @@ class TreeLikelihood:
             precision=self.precision,
             resilience=self.resilience,
             faults=self.faults,
+            matrix_cache=self.matrix_cache,
         )
 
     def invalidate(self) -> None:
         """Drop cached instance/plan after mutating the tree in place."""
         self._instance = None
         self._plan = None
+        self._incremental_ready = False
+        self._pending = None
+        self._snapshot = None
+        self._last_incremental_plan = None
         self.tree.invalidate_indices()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -27,7 +27,13 @@ from ..obs import get_recorder
 from ..trees import Tree
 from ..trees.newick import parse_newick, write_newick
 from .likelihood import TreeLikelihood
-from .proposals import multiply_branch, random_nni, random_spr
+from .proposals import (
+    branch_length_move,
+    multiply_branch,
+    nni_move,
+    random_nni,
+    random_spr,
+)
 
 __all__ = ["MCMCResult", "run_mcmc"]
 
@@ -57,6 +63,10 @@ class MCMCResult:
         Iteration the run was resumed from (0 for a fresh run).
     checkpoints_written:
         Checkpoints saved during this run.
+    operations:
+        Total partial-likelihood operations executed across the run —
+        the quantity incremental (dirty-path) evaluation reduces. Not
+        checkpointed: a resumed run counts only its own operations.
     """
 
     log_likelihoods: List[float]
@@ -69,6 +79,7 @@ class MCMCResult:
     rerootings: int = 0
     resumed_at: int = 0
     checkpoints_written: int = 0
+    operations: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -97,6 +108,7 @@ def run_mcmc(
     checkpoint_every: int = 0,
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    incremental: bool = False,
 ) -> MCMCResult:
     """Metropolis sampling from the posterior over trees.
 
@@ -140,11 +152,24 @@ def run_mcmc(
         match this call's, or :class:`~repro.exec.checkpoint.CheckpointError`
         is raised; the resumed chain reproduces the uninterrupted chain
         exactly, draw for draw.
+    incremental:
+        Evaluate proposals along their dirty path only
+        (:meth:`TreeLikelihood.propose` / ``accept`` / ``reject``)
+        instead of rebuilding an evaluator and re-traversing the whole
+        tree each iteration. Moves mutate the working tree in place and
+        consume the same RNG draws as the full-traversal path, so both
+        modes walk bit-identical chains. Requires
+        ``spr_probability == 0`` (SPR dirty paths are not implemented)
+        and an evaluator without scaling/faults/resilience.
     """
     if iterations < 1:
         raise ValueError("need at least one iteration")
     if nni_probability + spr_probability > 1.0:
         raise ValueError("move probabilities exceed 1")
+    if incremental and spr_probability > 0:
+        raise ValueError(
+            "incremental evaluation does not support SPR proposals"
+        )
     if checkpoint_every < 0:
         raise ValueError("checkpoint_every must be non-negative")
     if (checkpoint_every > 0 or resume) and checkpoint_path is None:
@@ -154,10 +179,14 @@ def run_mcmc(
         "spr_probability": spr_probability,
         "prior_rate": prior_rate,
         "reroot_every": reroot_every,
+        "incremental": incremental,
     }
 
     def modelled(ev) -> float:
         return ev.modelled_seconds(device) if device else 0.0
+
+    def modelled_incremental(ev) -> float:
+        return ev.modelled_incremental_seconds(device) if device else 0.0
 
     checkpoint = None
     if resume and Path(checkpoint_path).exists():
@@ -194,6 +223,7 @@ def run_mcmc(
         start_iteration = 0
     resumed_at = start_iteration
     checkpoints_written = 0
+    operations = 0 if checkpoint is not None else current.plan.n_operations
 
     def write_checkpoint(completed: int) -> None:
         MCMCCheckpoint(
@@ -225,38 +255,79 @@ def run_mcmc(
                 current = current.with_tree(rerooted.tree)
                 rerootings += 1
         with obs.span("mcmc.step", category="mcmc", iteration=iteration) as span:
-            draw = rng.random()
-            proposal = None
-            if draw < nni_probability:
-                proposal = random_nni(current.tree, rng)
-            elif draw < nni_probability + spr_probability:
-                proposal = random_spr(current.tree, rng)
-            if proposal is None:  # tiny tree or degenerate SPR: fall back
-                proposal = multiply_branch(current.tree, rng)
-            proposed += 1
+            if incremental:
+                draw = rng.random()
+                move = None
+                if draw < nni_probability:
+                    move = nni_move(current.tree, rng)
+                if move is None:  # tiny tree: fall back, same as full path
+                    move = branch_length_move(current.tree, rng)
+                proposed += 1
 
-            candidate = current.with_tree(proposal.tree)
-            candidate_ll = candidate.log_likelihood()
-            launches += candidate.n_launches
-            device_seconds += modelled(candidate)
-            candidate_prior = _log_prior(proposal.tree, prior_rate)
+                candidate_ll = current.propose(move)
+                inc_plan = current.last_incremental_plan
+                if inc_plan is None:  # cold evaluator: one full traversal
+                    launches += current.n_launches
+                    operations += current.plan.n_operations
+                    device_seconds += modelled(current)
+                else:
+                    launches += inc_plan.n_launches
+                    operations += inc_plan.n_operations
+                    device_seconds += modelled_incremental(current)
+                candidate_prior = _log_prior(current.tree, prior_rate)
 
-            log_ratio = (
-                candidate_ll
-                - current_ll
-                + candidate_prior
-                - current_prior
-                + proposal.log_hastings
-            )
-            took = math.log(rng.random() + 1e-300) < log_ratio
-            if took:
-                current = candidate
-                current_ll = candidate_ll
-                current_prior = candidate_prior
-                accepted += 1
-                if current_ll > best_ll:
-                    best_ll = current_ll
-                    best_tree = current.tree.copy()
+                log_ratio = (
+                    candidate_ll
+                    - current_ll
+                    + candidate_prior
+                    - current_prior
+                    + move.log_hastings
+                )
+                took = math.log(rng.random() + 1e-300) < log_ratio
+                if took:
+                    current.accept()
+                    current_ll = candidate_ll
+                    current_prior = candidate_prior
+                    accepted += 1
+                    if current_ll > best_ll:
+                        best_ll = current_ll
+                        best_tree = current.tree.copy()
+                else:
+                    current.reject()
+            else:
+                draw = rng.random()
+                proposal = None
+                if draw < nni_probability:
+                    proposal = random_nni(current.tree, rng)
+                elif draw < nni_probability + spr_probability:
+                    proposal = random_spr(current.tree, rng)
+                if proposal is None:  # tiny tree or degenerate SPR: fall back
+                    proposal = multiply_branch(current.tree, rng)
+                proposed += 1
+
+                candidate = current.with_tree(proposal.tree)
+                candidate_ll = candidate.log_likelihood()
+                launches += candidate.n_launches
+                operations += candidate.plan.n_operations
+                device_seconds += modelled(candidate)
+                candidate_prior = _log_prior(proposal.tree, prior_rate)
+
+                log_ratio = (
+                    candidate_ll
+                    - current_ll
+                    + candidate_prior
+                    - current_prior
+                    + proposal.log_hastings
+                )
+                took = math.log(rng.random() + 1e-300) < log_ratio
+                if took:
+                    current = candidate
+                    current_ll = candidate_ll
+                    current_prior = candidate_prior
+                    accepted += 1
+                    if current_ll > best_ll:
+                        best_ll = current_ll
+                        best_tree = current.tree.copy()
             if obs.enabled:
                 span.set_attribute("accepted", took)
                 obs.count("repro_mcmc_steps_total")
@@ -283,4 +354,5 @@ def run_mcmc(
         rerootings=rerootings,
         resumed_at=resumed_at,
         checkpoints_written=checkpoints_written,
+        operations=operations,
     )

@@ -21,8 +21,8 @@ child of A with a child of B instead.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,9 +31,14 @@ from ..trees.node import Node
 
 __all__ = [
     "Proposal",
+    "Move",
     "random_nni",
     "random_spr",
     "multiply_branch",
+    "branch_length_move",
+    "nni_move",
+    "nni_move_count",
+    "nni_move_at",
     "internal_edges",
     "nni_candidates",
 ]
@@ -91,6 +96,164 @@ def _swap(parent_a: Node, child_a: Node, parent_b: Node, child_b: Node) -> None:
     parent_a.children.insert(pos_a, child_b)
     child_a.parent = parent_b
     parent_b.children.insert(pos_b, child_a)
+
+
+@dataclass(frozen=True)
+class Move:
+    """An **in-place** tree move that declares exactly what it touched.
+
+    Unlike :class:`Proposal` (which copies the tree), a move mutates the
+    working tree directly and carries everything the incremental
+    evaluation path needs:
+
+    Attributes
+    ----------
+    kind:
+        ``"branch"`` or ``"nni"``.
+    log_hastings:
+        Log Hastings ratio of the move.
+    touched:
+        Nodes whose root-ward paths are dirtied — the input to
+        :func:`repro.core.incremental.dirty_nodes`. For an NNI these are
+        the two exchanged subtrees (in their *new* positions); for a
+        branch-length change, the node below the scaled branch.
+    changed_edges:
+        Nodes whose branch (the edge above them) changed length — the
+        transition matrices to recompute. NNI moves change no lengths
+        (lengths travel with their subtree), so this is empty for them.
+    undo:
+        Zero-argument callable restoring the tree exactly (topology,
+        child positions and branch lengths), so a rejected proposal
+        leaves no trace.
+    """
+
+    kind: str
+    log_hastings: float
+    touched: List[Node] = field(default_factory=list)
+    changed_edges: List[Node] = field(default_factory=list)
+    undo: Callable[[], None] = lambda: None
+
+
+def branch_length_move(
+    tree: Tree,
+    rng: np.random.Generator,
+    *,
+    tuning: float = 2.0 * math.log(1.2),
+) -> Move:
+    """In-place multiplier proposal on one random branch.
+
+    Draws exactly the same random variates as :func:`multiply_branch`
+    (edge pick, then multiplier), so a sampler switching between the
+    copy-based and in-place proposals follows the same trajectory.
+    """
+    edges = tree.edges()
+    edge = edges[int(rng.integers(len(edges)))]
+    m = math.exp(tuning * (float(rng.random()) - 0.5))
+    old_length = edge.length
+    edge.length = max(edge.length * m, 1e-12)
+
+    def undo() -> None:
+        edge.length = old_length
+
+    return Move(
+        kind="branch",
+        log_hastings=math.log(m),
+        touched=[edge],
+        changed_edges=[edge],
+        undo=undo,
+    )
+
+
+def nni_move(tree: Tree, rng: np.random.Generator) -> Optional[Move]:
+    """In-place nearest-neighbour interchange around a random internal edge.
+
+    Mutates the tree with the position-preserving subtree exchange of
+    :func:`random_nni` (same random variates, same resulting topology)
+    but keeps node identities intact, so a frozen node→buffer index map
+    stays valid and only the exchanged subtrees' root-ward paths need
+    recomputation. Returns ``None`` when the tree has no internal edge.
+    """
+    regular, has_pulley = nni_candidates(tree)
+    total = len(regular) + (1 if has_pulley else 0)
+    if total == 0:
+        return None
+    pick = int(rng.integers(total))
+    if pick < len(regular):
+        v = regular[pick]
+        u = v.parent
+        assert u is not None
+        sibling = v.sibling()
+        assert sibling is not None
+        child = v.children[int(rng.integers(2))]
+        _swap(v, child, u, sibling)
+
+        def undo() -> None:
+            _swap(v, sibling, u, child)
+
+        touched = [child, sibling]
+    else:
+        a, b = tree.root.children
+        child_a = a.children[int(rng.integers(2))]
+        child_b = b.children[int(rng.integers(2))]
+        _swap(a, child_a, b, child_b)
+
+        def undo() -> None:
+            _swap(a, child_b, b, child_a)
+
+        touched = [child_a, child_b]
+    return Move(kind="nni", log_hastings=0.0, touched=touched, undo=undo)
+
+
+def nni_move_count(tree: Tree) -> int:
+    """Number of in-place NNI moves :func:`nni_move_at` can produce.
+
+    Equals the size of the :func:`repro.inference.search.nni_neighbors`
+    neighbourhood: two interchanges per regular internal edge plus two
+    across the root pulley when that edge is internal.
+    """
+    regular, has_pulley = nni_candidates(tree)
+    return 2 * len(regular) + (2 if has_pulley else 0)
+
+
+def nni_move_at(tree: Tree, index: int) -> Move:
+    """The ``index``-th in-place NNI move, in the exact order of
+    :func:`repro.inference.search.nni_neighbors`.
+
+    Regular edges come first (two interchanges each: the edge's flat
+    index is ``index // 2``, the exchanged child ``index % 2``), then the
+    two pulley interchanges. Applying the move and copying the tree
+    yields the same topology as ``nni_neighbors(tree)[index]``, which is
+    what lets the incremental hill-climb visit the same trees as the
+    copy-based one.
+    """
+    regular, has_pulley = nni_candidates(tree)
+    n_regular = 2 * len(regular)
+    if not 0 <= index < n_regular + (2 if has_pulley else 0):
+        raise IndexError(f"NNI move index {index} out of range")
+    if index < n_regular:
+        v = regular[index // 2]
+        u = v.parent
+        assert u is not None
+        sibling = v.sibling()
+        assert sibling is not None
+        child = v.children[index % 2]
+        _swap(v, child, u, sibling)
+
+        def undo() -> None:
+            _swap(v, sibling, u, child)
+
+        touched = [child, sibling]
+    else:
+        a, b = tree.root.children
+        child_a = a.children[index - n_regular]
+        child_b = b.children[0]
+        _swap(a, child_a, b, child_b)
+
+        def undo() -> None:
+            _swap(a, child_b, b, child_a)
+
+        touched = [child_a, child_b]
+    return Move(kind="nni", log_hastings=0.0, touched=touched, undo=undo)
 
 
 def random_nni(tree: Tree, rng: np.random.Generator) -> Optional[Proposal]:

@@ -18,7 +18,7 @@ from ..obs import get_recorder
 from ..trees import Tree
 from .likelihood import TreeLikelihood
 from .optimize import optimize_branch_lengths
-from .proposals import _swap, nni_candidates
+from .proposals import _swap, nni_candidates, nni_move_at, nni_move_count
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.pool import JobContext, LikelihoodPool
@@ -86,6 +86,7 @@ def ml_search(
     optimize_lengths: bool = False,
     tolerance: float = 1e-6,
     pool: Optional["LikelihoodPool"] = None,
+    incremental: bool = False,
 ) -> SearchResult:
     """Greedy NNI hill climbing from the evaluator's tree.
 
@@ -102,7 +103,18 @@ def ml_search(
         supervised workers. The accept decision replays the serial fold
         over the collected values in neighbour order, so the search
         visits exactly the same trees as the serial path.
+    incremental:
+        Evaluate each NNI candidate along its dirty path only
+        (:meth:`TreeLikelihood.propose` / ``reject``, then re-apply and
+        ``accept`` the winner) instead of building a fresh evaluator per
+        neighbour. Candidates are enumerated in the same order as
+        :func:`nni_neighbors` and their log-likelihoods are bit-identical
+        to full traversals, so the search visits exactly the same trees.
+        Mutually exclusive with ``pool``; the evaluator must not use
+        scaling/faults/resilience.
     """
+    if incremental and pool is not None:
+        raise ValueError("incremental search cannot dispatch to a pool")
     current = evaluator
     current_ll = start_ll = current.log_likelihood()
     evaluations = 1
@@ -113,31 +125,74 @@ def ml_search(
     for _ in range(max_rounds):
         rounds += 1
         with obs.span("search.round", category="search", round=rounds) as span:
-            best_neighbor: Optional[TreeLikelihood] = None
-            best_ll = current_ll
-            neighbors = [
-                current.with_tree(tree) for tree in nni_neighbors(current.tree)
-            ]
-            if pool is not None:
-                values = pool.map(
-                    [_neighbor_job(neighbor) for neighbor in neighbors],
-                    labels=[f"nni-{i}" for i in range(len(neighbors))],
-                )
-            else:
-                values = [neighbor.log_likelihood() for neighbor in neighbors]
-            for neighbor, ll in zip(neighbors, values):
+            if incremental:
+                if not current.incremental_ready:
+                    current.log_likelihood()  # warm the partials
+                    launches += current.n_launches
+                best_index = -1
+                best_ll = current_ll
+                n_moves = nni_move_count(current.tree)
+                for index in range(n_moves):
+                    move = nni_move_at(current.tree, index)
+                    ll = current.propose(move)
+                    current.reject()
+                    evaluations += 1
+                    inc_plan = current.last_incremental_plan
+                    launches += (
+                        inc_plan.n_launches
+                        if inc_plan is not None
+                        else current.n_launches
+                    )
+                    if ll > best_ll + tolerance:
+                        best_ll = ll
+                        best_index = index
+                improved = best_index >= 0
+                if obs.enabled:
+                    span.set_attribute("neighbors", n_moves)
+                    span.set_attribute("improved", improved)
+                if not improved:
+                    break
+                # Re-apply the winning move and keep its buffers; the
+                # dirty-path re-evaluation reproduces best_ll bitwise.
+                current.propose(nni_move_at(current.tree, best_index))
+                current.accept()
                 evaluations += 1
-                launches += neighbor.n_launches
-                if ll > best_ll + tolerance:
-                    best_ll = ll
-                    best_neighbor = neighbor
-            if obs.enabled:
-                span.set_attribute("neighbors", len(neighbors))
-                span.set_attribute("improved", best_neighbor is not None)
-        if best_neighbor is None:
-            break
-        current = best_neighbor
-        current_ll = best_ll
+                inc_plan = current.last_incremental_plan
+                launches += (
+                    inc_plan.n_launches
+                    if inc_plan is not None
+                    else current.n_launches
+                )
+                current_ll = best_ll
+            else:
+                best_neighbor: Optional[TreeLikelihood] = None
+                best_ll = current_ll
+                neighbors = [
+                    current.with_tree(tree)
+                    for tree in nni_neighbors(current.tree)
+                ]
+                if pool is not None:
+                    values = pool.map(
+                        [_neighbor_job(neighbor) for neighbor in neighbors],
+                        labels=[f"nni-{i}" for i in range(len(neighbors))],
+                    )
+                else:
+                    values = [
+                        neighbor.log_likelihood() for neighbor in neighbors
+                    ]
+                for neighbor, ll in zip(neighbors, values):
+                    evaluations += 1
+                    launches += neighbor.n_launches
+                    if ll > best_ll + tolerance:
+                        best_ll = ll
+                        best_neighbor = neighbor
+                if obs.enabled:
+                    span.set_attribute("neighbors", len(neighbors))
+                    span.set_attribute("improved", best_neighbor is not None)
+                if best_neighbor is None:
+                    break
+                current = best_neighbor
+                current_ll = best_ll
         if optimize_lengths:
             fitted = optimize_branch_lengths(current, max_sweeps=1)
             evaluations += fitted.evaluations

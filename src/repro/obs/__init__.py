@@ -226,6 +226,14 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
         buckets=DEFAULT_COUNT_BUCKETS,
     )
     registry.counter(
+        "repro_matrix_cache_hits_total",
+        "Transition matrices served from the LRU matrix cache",
+    )
+    registry.counter(
+        "repro_matrix_cache_misses_total",
+        "Transition matrices computed on an LRU matrix-cache miss",
+    )
+    registry.counter(
         "repro_schedule_validations_total",
         "Operation-order validations run on built schedules",
     )

@@ -105,7 +105,7 @@ class TestBatchedKernel:
         mats2 = np.stack([matrices[::-1]] * k)
         kids1 = [(rng.random((C, P, S)), None) for _ in range(k)]
         kids2 = [(rng.random((C, P, S)), None) for _ in range(k)]
-        outs = [np.empty((C, P, S)) for _ in range(k)]
+        outs = np.empty((k, C, P, S))
         update_partials_batch(mats1, mats2, kids1, kids2, outs)
         for i in range(k):
             single = update_partials(
@@ -129,7 +129,7 @@ class TestBatchedKernel:
             (None, rng.integers(0, 5, size=P)),
             (rng.random((C, P, S)), None),
         ]
-        outs = [np.empty((C, P, S)) for _ in range(k)]
+        outs = np.empty((k, C, P, S))
         update_partials_batch(mats, mats, kids1, kids2, outs)
         for i in range(k):
             single = update_partials(
@@ -148,7 +148,7 @@ class TestBatchedKernel:
         mats = np.stack([matrices] * k)
         kids1 = [(None, rng.integers(0, 5, size=P)) for _ in range(k)]
         kids2 = [(None, rng.integers(0, 5, size=P)) for _ in range(k)]
-        outs = [np.empty((2, P, 4)) for _ in range(k)]
+        outs = np.empty((k, 2, P, 4))
         update_partials_batch(mats, mats, kids1, kids2, outs)
         for i in range(k):
             single = update_partials(
@@ -159,7 +159,24 @@ class TestBatchedKernel:
     def test_shape_validation(self, matrices):
         mats = np.stack([matrices])
         with pytest.raises(ValueError):
-            update_partials_batch(mats, mats, [], [(None, None)], [np.empty((2, 1, 4))])
+            update_partials_batch(mats, mats, [], [(None, None)], np.empty((1, 2, 1, 4)))
+
+    def test_rejects_sequence_outs(self, matrices):
+        mats = np.stack([matrices])
+        kids = [(np.ones((2, 1, 4)), None)]
+        with pytest.raises(TypeError, match="stacked"):
+            update_partials_batch(mats, mats, kids, kids, [np.empty((2, 1, 4))])
+
+    def test_preserves_float32(self, matrices):
+        rng = np.random.default_rng(9)
+        k, C, P, S = 2, 2, 3, 4
+        mats = np.stack([matrices] * k).astype(np.float32)
+        kids1 = [(rng.random((C, P, S), dtype=np.float32), None) for _ in range(k)]
+        kids2 = [(None, rng.integers(0, 5, size=P)) for _ in range(k)]
+        outs = np.empty((k, C, P, S), dtype=np.float32)
+        update_partials_batch(mats, mats, kids1, kids2, outs)
+        assert outs.dtype == np.float32
+        assert np.all(np.isfinite(outs))
 
 
 class TestRescale:

@@ -57,6 +57,34 @@ class TestDtypePlumbing:
         assert single.rerooted_for_concurrency().precision == "single"
         assert single.with_tree(tree.copy()).precision == "single"
 
+    def test_kernels_preserve_instance_dtype(self):
+        """The batched kernel path must never silently widen float32:
+        every working buffer, workspace scratch array and stored partial
+        keeps the instance dtype end to end."""
+        tree = balanced_tree(8, branch_length=0.1)
+        patterns = random_patterns(tree.tip_names(), 16, seed=7)
+        for dtype in (np.float32, np.float64):
+            inst = create_instance(tree, MODEL, patterns, dtype=dtype)
+            execute_plan(inst, make_plan(tree))
+            assert inst._partials.dtype == dtype
+            assert inst._matrices.dtype == dtype
+            ws = inst.workspace
+            assert ws.contributions.dtype == dtype
+            assert ws.scratch.dtype == dtype
+            assert ws.gathered.dtype == dtype
+            assert ws.mats.dtype == dtype
+            assert ws.padded_T.dtype == dtype
+
+    def test_child_contribution_dtype_follows_matrices(self):
+        from repro.beagle.kernels import child_contribution
+
+        mats = np.eye(4, dtype=np.float32)[None].repeat(2, axis=0)
+        part = np.full((2, 8, 4), 0.25, dtype=np.float32)
+        out = child_contribution(mats, partials=part)
+        assert out.dtype == np.float32
+        codes = np.zeros(8, dtype=np.int64)
+        assert child_contribution(mats, codes=codes).dtype == np.float32
+
 
 class TestAccuracy:
     def test_small_tree_agreement(self):

@@ -202,3 +202,58 @@ class TestRerootingShrinksUpdates:
         before, after = costs(tree), costs(rerooted)
         assert max(after) <= max(before)
         assert np.mean(after) <= np.mean(before) * 1.2
+
+
+class TestIncrementalPlan:
+    """`incremental_plan` as a first-class ExecutionPlan producer."""
+
+    def _warm(self, tree, sites=24):
+        model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+        patterns = compress(simulate_alignment(tree, model, sites, seed=3))
+        from repro.core import create_instance, execute_plan, make_plan
+
+        inst = create_instance(tree, model, patterns)
+        full = make_plan(tree)
+        baseline = execute_plan(inst, full)
+        return inst, full, baseline, model, patterns
+
+    def test_plan_is_marked_incremental_and_smaller(self):
+        from repro.core import incremental_plan
+
+        tree = balanced_tree(16)
+        inst, full, _, _, _ = self._warm(tree)
+        tip = tree.tips()[0]
+        plan = incremental_plan(tree, [tip])
+        assert plan.incremental
+        assert not full.incremental
+        assert plan.n_operations < full.n_operations
+        assert plan.matrix_indices == [tree.index_of(tip)]
+
+    def test_execution_matches_fresh_full_traversal(self):
+        from repro.core import create_instance, execute_plan, incremental_plan, make_plan
+
+        tree = balanced_tree(16)
+        inst, full, baseline, model, patterns = self._warm(tree)
+        edge = tree.tips()[3]
+        edge.length = 0.37
+        value = execute_plan(inst, incremental_plan(tree, [edge]))
+        fresh = create_instance(tree, model, patterns)
+        assert value == execute_plan(fresh, make_plan(tree))
+        assert value != baseline
+
+    def test_matrices_for_root_raises(self):
+        from repro.core import incremental_plan
+
+        tree = balanced_tree(8)
+        tree.assign_indices()
+        with pytest.raises(ValueError, match="root"):
+            incremental_plan(tree, [tree.tips()[0]], matrices_for=[tree.root])
+
+    def test_verifier_accepts_dirty_path_schedules(self):
+        from repro.core import incremental_plan
+
+        tree = optimal_reroot_fast(pectinate_tree(16)).tree
+        tree.assign_indices()
+        for tip in tree.tips():
+            plan = incremental_plan(tree, [tip], verify=True)
+            assert plan.n_operations >= 1
