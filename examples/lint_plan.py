@@ -3,13 +3,16 @@
 
 Build a valid concurrent execution plan, verify it clean, then corrupt
 it the way real scheduler bugs do — reorder a dependent pair across a
-set boundary, alias two destinations, drop a matrix update — and show
-the analyzer pinpointing each hazard with buffer-level diagnostics.
+set boundary, alias two destinations, drop a matrix update, share a
+written buffer across streams, stale a cache key, forget half of an
+undo — and show the analyzer pinpointing each hazard with buffer-level
+diagnostics.
 
 Run:  python examples/lint_plan.py
 """
 
 from repro.analysis import audit_plan, seed_mutations, verify_plan
+from repro.analysis.mutate import analyze_mutation
 from repro.core import make_plan
 from repro.trees import pectinate_tree
 
@@ -32,7 +35,7 @@ def main() -> None:
 
     print("=== seeded corruptions ===")
     for mutation in seed_mutations(plan):
-        broken = verify_plan(mutation.plan)
+        broken = analyze_mutation(mutation)
         print(f"--- {mutation.kind}: {mutation.description}")
         for diagnostic in broken.errors[:2]:  # first two per corruption
             print(f"    {diagnostic.format()}")

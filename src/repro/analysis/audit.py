@@ -69,10 +69,12 @@ class ScheduleAudit:
 
     @property
     def optimal_for_rooting(self) -> bool:
+        """Does the schedule meet this rooting's launch lower bound?"""
         return self.gap_vs_rooting == 0
 
     @property
     def globally_optimal(self) -> bool:
+        """Does the schedule meet the bound over *all* rootings?"""
         return self.gap_vs_reroot == 0
 
     @property
@@ -83,6 +85,7 @@ class ScheduleAudit:
         return self.serial_sets / self.n_sets
 
     def format(self) -> str:
+        """Multi-line human-readable audit table with a verdict line."""
         lines = [
             f"operations:            {self.n_operations}",
             f"operation sets:        {self.n_sets} "

@@ -6,12 +6,19 @@ exits nonzero when any error-severity diagnostic is found::
 
     python -m repro.analysis --newick tree.nwk
     python -m repro.analysis --taxa 64 --pectinate --reroot --mode level
+    python -m repro.analysis --taxa 64 --races --streams 4
+    python -m repro.analysis --taxa 32 --sanitize
     python -m repro.analysis --self-check
 
-``--self-check`` runs the analyzer's own acceptance gate: every plan the
-library's planners produce for a pectinate/balanced/random trio must
-verify clean, and every seeded corruption of those plans must be
-flagged. It is the CI entry point for the analyzer itself.
+``--races`` adds the concurrency-hazard prover (intra-set WAW/WAR/RAW
+races plus the round-robin stream schedule); ``--sanitize`` executes the
+plan once under the shadow-state sanitizer and reports its access count
+and race verdict. ``--self-check`` runs the analyzer's own acceptance
+gate: every plan the library's planners produce for a
+pectinate/balanced/random trio must verify clean, every seeded
+corruption of those plans (including the stream/cache/undo corruption
+classes) must be flagged, and the library's real in-place moves must
+lint undo-complete. It is the CI entry point for the analyzer itself.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ import numpy as np
 from ..core.planner import ExecutionPlan, make_plan
 from ..trees.newick import parse_newick
 from .audit import audit_plan
-from .mutate import seed_mutations
+from .mutate import analyze_mutation, seed_mutations
+from .races import check_move_undo, round_robin_streams, verify_races
 from .verifier import verify_plan
 
 __all__ = ["build_parser", "run", "main"]
@@ -76,6 +84,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-audit",
         action="store_true",
         help="skip the schedule-quality audit",
+    )
+    races = parser.add_argument_group("concurrency checking")
+    races.add_argument(
+        "--races",
+        action="store_true",
+        help="prove the plan free of intra-set WAW/WAR/RAW races and "
+        "verify its round-robin stream schedule",
+    )
+    races.add_argument(
+        "--streams",
+        type=int,
+        default=4,
+        metavar="N",
+        help="streams for the --races schedule check (default 4; 0 "
+        "skips the stream check)",
+    )
+    races.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="execute the plan once under the shadow-state sanitizer "
+        "and report the dynamic race verdict",
     )
     parser.add_argument(
         "--self-check",
@@ -141,6 +170,29 @@ def _lint(args: argparse.Namespace, out: TextIO) -> int:
         f"scaling={'on' if plan.scaling else 'off'}",
         file=out,
     )
+    if args.races:
+        race_report = verify_races(plan, n_streams=args.streams)
+        report.extend(race_report)
+        print(
+            f"races: {plan.n_launches} sets proven WAW/WAR/RAW-free"
+            + (
+                f"; stream schedule verified over {args.streams} streams"
+                if args.streams > 0
+                else ""
+            )
+            if race_report.clean
+            else f"races: {len(race_report.errors)} hazard(s) found",
+            file=out,
+        )
+    if args.sanitize:
+        clean, accesses = _sanitize_once(plan, args.seed, out)
+        if not clean:
+            return 1
+        print(
+            f"sanitizer: clean ({accesses} buffer accesses recorded, "
+            f"single-threaded execution)",
+            file=out,
+        )
     if not args.quiet and not report.clean:
         print(report.format(), file=out)
     n_err, n_warn = len(report.errors), len(report.warnings)
@@ -155,10 +207,39 @@ def _lint(args: argparse.Namespace, out: TextIO) -> int:
     return 1
 
 
+def _sanitize_once(
+    plan: ExecutionPlan, seed: int, out: TextIO
+) -> tuple[bool, int]:
+    """Execute ``plan`` once under the shadow-state sanitizer.
+
+    Random patterns under JC69 stand in for real data — the sanitizer
+    watches buffer traffic, not likelihood values. Returns the verdict
+    and the number of accesses recorded.
+    """
+    from ..core.planner import create_instance, execute_plan
+    from ..data.patterns import random_patterns
+    from ..models.nucleotide import JC69
+    from .sanitizer import RaceDetector, SanitizedInstance
+
+    patterns = random_patterns(
+        [t.name for t in plan.tree.tips()], 16, seed=seed
+    )
+    instance = create_instance(
+        plan.tree, JC69(), patterns, scaling=plan.scaling
+    )
+    detector = RaceDetector()
+    execute_plan(SanitizedInstance(instance, detector), plan)
+    if not detector.clean:
+        print(detector.format(), file=out)
+        return False, detector.accesses_recorded
+    return True, detector.accesses_recorded
+
+
 def _self_check(args: argparse.Namespace, out: TextIO) -> int:
     failures: List[str] = []
     checked_plans = 0
     checked_mutations = 0
+    mutation_kinds_flagged: set = set()
     for topology in SELF_CHECK_TOPOLOGIES:
         from ..bench.harness import build_tree
 
@@ -170,6 +251,9 @@ def _self_check(args: argparse.Namespace, out: TextIO) -> int:
             for scaling in (False, True):
                 plan = make_plan(tree, mode, scaling=scaling)
                 report = verify_plan(plan)
+                report.extend(
+                    verify_races(plan, n_streams=max(args.streams, 0))
+                )
                 checked_plans += 1
                 if not report.clean:
                     failures.append(
@@ -178,7 +262,7 @@ def _self_check(args: argparse.Namespace, out: TextIO) -> int:
                     )
                 for mutation in seed_mutations(plan):
                     checked_mutations += 1
-                    mutated = verify_plan(mutation.plan)
+                    mutated = analyze_mutation(mutation)
                     flagged = {
                         d.code
                         for d in mutated.errors
@@ -191,11 +275,21 @@ def _self_check(args: argparse.Namespace, out: TextIO) -> int:
                             f"({mutation.description}); analyzer said: "
                             f"{mutated.format()}"
                         )
+                    else:
+                        mutation_kinds_flagged.add(mutation.kind)
+    checked_moves = _self_check_moves(args, failures)
     print(
         f"self-check: {checked_plans} plans verified, "
         f"{checked_mutations} mutations seeded "
         f"({len(SELF_CHECK_TOPOLOGIES)} topologies x {len(MODES)} modes "
         f"x 2 scaling settings, taxa={args.taxa})",
+        file=out,
+    )
+    print(
+        f"self-check: {len(mutation_kinds_flagged)} corruption classes "
+        f"flagged, {checked_moves} in-place moves linted undo-complete, "
+        f"stream schedules proven over "
+        f"{max(args.streams, 0)} stream(s)",
         file=out,
     )
     if failures:
@@ -205,6 +299,51 @@ def _self_check(args: argparse.Namespace, out: TextIO) -> int:
         return 1
     print("self-check passed: all plans clean, all mutations flagged", file=out)
     return 0
+
+
+def _self_check_moves(args: argparse.Namespace, failures: List[str]) -> int:
+    """Lint the library's real in-place moves for undo-completeness.
+
+    The corrupted-move mutation class proves the lint *fires*; this
+    pass proves it stays quiet on every genuine proposal — branch
+    multipliers and the full NNI neighbourhood.
+    """
+    from ..bench.harness import build_tree
+    from ..inference.proposals import (
+        branch_length_move,
+        nni_move,
+        nni_move_at,
+        nni_move_count,
+    )
+
+    checked = 0
+    tree = build_tree("random", min(args.taxa, 16), args.seed)
+    rng = np.random.default_rng(args.seed)
+    for edge in tree.edges():
+        edge.length = float(rng.exponential(0.1))
+    for seed in range(3):
+        for factory in (
+            lambda t, s=seed: branch_length_move(t, np.random.default_rng(s)),
+            lambda t, s=seed: nni_move(t, np.random.default_rng(s)),
+        ):
+            diagnostics = check_move_undo(tree.copy(), factory)
+            checked += 1
+            if diagnostics:
+                failures.append(
+                    "undo lint flagged a genuine move: "
+                    + "; ".join(d.format() for d in diagnostics)
+                )
+    for index in range(nni_move_count(tree)):
+        diagnostics = check_move_undo(
+            tree.copy(), lambda t, i=index: nni_move_at(t, i)
+        )
+        checked += 1
+        if diagnostics:
+            failures.append(
+                f"undo lint flagged nni_move_at({index}): "
+                + "; ".join(d.format() for d in diagnostics)
+            )
+    return checked
 
 
 def _docstrings(args: argparse.Namespace, out: TextIO) -> int:

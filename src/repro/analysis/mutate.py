@@ -9,26 +9,41 @@ diagnostic codes the analyzer must emit for it. The test suite (and
 is flagged; a mutation surviving verification is an analyzer bug.
 
 The corruption classes mirror real scheduling-bug modes: reordering
-across a set boundary, destination aliasing, dropped operations, dropped
-matrix updates, tip clobbering, and scale-buffer misuse.
+across a set boundary, destination aliasing (across and *within* sets),
+dropped operations, dropped matrix updates, tip clobbering, scale-buffer
+misuse, unsynchronized cross-stream sharing, stale cache keys and
+incomplete move undos. :func:`analyze_mutation` routes each mutation to
+every analyzer that should see it — the whole-plan verifier, the race
+prover, and the stream/cache/undo lints — so one flagged-codes check
+covers the full detector surface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional
 
 from ..beagle.operations import Operation
+from .diagnostics import AnalysisReport
+from .races import CacheEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.planner import ExecutionPlan
+    from ..inference.proposals import Move
+    from ..trees import Tree
 
-__all__ = ["Mutation", "seed_mutations", "MUTATION_KINDS", "mutate_plan"]
+__all__ = [
+    "Mutation",
+    "seed_mutations",
+    "MUTATION_KINDS",
+    "mutate_plan",
+    "analyze_mutation",
+]
 
 
 @dataclass(frozen=True)
 class Mutation:
-    """One deliberately corrupted plan.
+    """One deliberately corrupted plan (or schedule / cache trace / move).
 
     Attributes
     ----------
@@ -37,16 +52,39 @@ class Mutation:
     description:
         What was done to the plan, concretely.
     plan:
-        The corrupted plan (the input plan is never modified).
+        The corrupted plan (the input plan is never modified). Mutations
+        that corrupt a side structure instead — a stream assignment, a
+        cache event trace, a move — carry the *valid* plan plus the
+        corrupted payload below.
     expect_codes:
         The analyzer must report at least one diagnostic whose code is
         in this set, at error severity.
+    streams:
+        Stream assignment (one lane per operation, per set) for
+        :func:`~repro.analysis.races.check_stream_schedule`; ``None``
+        for mutations without a stream payload.
+    sync_between_sets:
+        Whether the stream schedule has a device-wide join after every
+        set (only meaningful with ``streams``).
+    cache_events:
+        Matrix-cache event trace for
+        :func:`~repro.analysis.races.check_cache_freshness`.
+    move_factory:
+        In-place move applier for
+        :func:`~repro.analysis.races.check_move_undo`; receives a
+        scratch copy of the plan's tree.
     """
 
     kind: str
     description: str
     plan: "ExecutionPlan"
     expect_codes: FrozenSet[str]
+    streams: Optional[List[List[int]]] = None
+    sync_between_sets: bool = True
+    cache_events: Optional[List[CacheEvent]] = None
+    move_factory: Optional[Callable[["Tree"], Optional["Move"]]] = field(
+        default=None, compare=False
+    )
 
 
 def _copy_sets(plan: "ExecutionPlan") -> List[List[Operation]]:
@@ -262,6 +300,123 @@ def _alias_scale(plan: "ExecutionPlan") -> Optional[Mutation]:
     )
 
 
+def _intra_set_alias(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """Two operations in the *same* set writing one destination.
+
+    The canonical intra-set WAW race: whichever operation the device
+    retires last wins, so the buffer's content is schedule-dependent.
+    Needs a set with at least two operations (serial plans have none).
+    """
+    sets = _copy_sets(plan)
+    for k, op_set in enumerate(sets):
+        if len(op_set) < 2:
+            continue
+        alias = op_set[0].destination
+        victim = op_set[-1]
+        op_set[-1] = replace(victim, destination=alias)
+        return Mutation(
+            kind="intra-set-alias",
+            description=(
+                f"operations 0 and {len(op_set) - 1} of set {k} now both "
+                f"write buffer {alias} inside one launch"
+            ),
+            plan=replace(plan, operation_sets=sets),
+            expect_codes=frozenset({"race-waw", "write-write-hazard"}),
+        )
+    return None
+
+
+def _cross_stream_share(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """A writer and its reader in different streams with no sync between.
+
+    The plan itself stays valid — the corruption is the *launch
+    schedule*: dropping the per-set synchronization while issuing a
+    dependent pair into different streams shares the buffer across
+    streams with nothing ordering the accesses.
+    """
+    sets = plan.operation_sets
+    for k in range(len(sets) - 1):
+        dests = {op.destination for op in sets[k]}
+        for j, reader in enumerate(sets[k + 1]):
+            hits = [r for r in reader.reads() if r in dests]
+            if not hits:
+                continue
+            streams = [[0] * len(s) for s in sets]
+            streams[k + 1][j] = 1
+            return Mutation(
+                kind="cross-stream-share",
+                description=(
+                    f"buffer {hits[0]} is written in stream 0 (set {k}) "
+                    f"and read in stream 1 (set {k + 1}) with inter-set "
+                    f"synchronization removed"
+                ),
+                plan=plan,
+                expect_codes=frozenset(
+                    {"cross-stream-dependency", "cross-stream-write-sharing"}
+                ),
+                streams=streams,
+                sync_between_sets=False,
+            )
+    return None
+
+
+def _stale_cache_key(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """A plan consuming cached matrices keyed before a model mutation.
+
+    Models the cache-poisoning bug the freshness lint exists for: the
+    rates (or eigensystem) change on the inference path, but a later
+    evaluation still consumes ``P(t)`` entries keyed under the old
+    model version.
+    """
+    return Mutation(
+        kind="stale-cache-key",
+        description=(
+            "re-evaluation consumes transition matrices keyed at model "
+            "version 0 after set_category_rates advanced the path to "
+            "version 1"
+        ),
+        plan=plan,
+        expect_codes=frozenset({"stale-matrix-cache"}),
+        cache_events=[
+            CacheEvent("consume", 0, "initial evaluation"),
+            CacheEvent("mutate", 1, "set_category_rates"),
+            CacheEvent("consume", 0, "re-evaluation with stale key"),
+        ],
+    )
+
+
+def _incomplete_undo(plan: "ExecutionPlan") -> Optional[Mutation]:
+    """An in-place branch move whose undo restores nothing.
+
+    The undo lint must notice that rejecting this move leaves the
+    branch at its proposed length — silent chain-state corruption.
+    """
+
+    def factory(tree: "Tree") -> Optional["Move"]:
+        from ..inference.proposals import Move
+
+        edge = tree.edges()[0]
+        edge.length = edge.length * 1.5 + 0.25
+        return Move(
+            kind="branch",
+            log_hastings=0.0,
+            touched=[edge],
+            changed_edges=[edge],
+            undo=lambda: None,
+        )
+
+    return Mutation(
+        kind="incomplete-undo",
+        description=(
+            "a branch-length move declares its edge but its undo is a "
+            "no-op, so rejection leaves the proposed length in place"
+        ),
+        plan=plan,
+        expect_codes=frozenset({"undo-incomplete"}),
+        move_factory=factory,
+    )
+
+
 _MUTATORS: Dict[str, Callable[["ExecutionPlan"], Optional[Mutation]]] = {
     "swap-across-sets": _swap_across_sets,
     "merge-boundary": _merge_boundary,
@@ -273,6 +428,10 @@ _MUTATORS: Dict[str, Callable[["ExecutionPlan"], Optional[Mutation]]] = {
     "out-of-range": _out_of_range,
     "cumulative-scale-write": _cumulative_scale_write,
     "alias-scale": _alias_scale,
+    "intra-set-alias": _intra_set_alias,
+    "cross-stream-share": _cross_stream_share,
+    "stale-cache-key": _stale_cache_key,
+    "incomplete-undo": _incomplete_undo,
 }
 
 #: Every corruption class the seeder knows.
@@ -298,3 +457,37 @@ def seed_mutations(plan: "ExecutionPlan") -> List[Mutation]:
         if mutation is not None:
             out.append(mutation)
     return out
+
+
+def analyze_mutation(mutation: Mutation) -> AnalysisReport:
+    """Run every analyzer a mutation targets and pool the diagnostics.
+
+    The whole-plan verifier (which now embeds the intra-set race
+    prover) always runs; the stream-schedule, cache-freshness and
+    move-undo lints run when the mutation carries their payload. The
+    self-check gate asserts at least one :attr:`Mutation.expect_codes`
+    code appears among the pooled *errors*.
+    """
+    from .races import (
+        check_cache_freshness,
+        check_move_undo,
+        check_stream_schedule,
+    )
+    from .verifier import verify_plan
+
+    report = verify_plan(mutation.plan)
+    if mutation.streams is not None:
+        report.extend(
+            check_stream_schedule(
+                mutation.plan.operation_sets,
+                mutation.streams,
+                sync_between_sets=mutation.sync_between_sets,
+            )
+        )
+    if mutation.cache_events is not None:
+        report.extend(check_cache_freshness(mutation.cache_events))
+    if mutation.move_factory is not None:
+        report.extend(
+            check_move_undo(mutation.plan.tree.copy(), mutation.move_factory)
+        )
+    return report

@@ -2,7 +2,8 @@
 
 :func:`verify_plan` proves an :class:`~repro.core.planner.ExecutionPlan`
 hazard-free without executing it: the buffer dataflow of every operation
-set (via :mod:`repro.analysis.dataflow`), the matrix-update table, the
+set (via :mod:`repro.analysis.dataflow`), the intra-set race proofs
+(via :mod:`repro.analysis.races`), the matrix-update table, the
 branch-length vector, and plan-level structure (root reachability,
 operation count). :func:`verify_operation_sets` exposes the same engine
 for bare schedules — incremental dirty-path updates, hand-built streams
@@ -18,6 +19,7 @@ from ..beagle.operations import Operation
 from .config import BufferConfig
 from .dataflow import analyze_operation_sets
 from .diagnostics import AnalysisReport, Diagnostic, Severity
+from .races import check_matrix_update_races, check_set_races
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..beagle.instance import BeagleInstance
@@ -34,9 +36,17 @@ def verify_operation_sets(
     root_buffer: Optional[int] = None,
     matrix_updates: Optional[Sequence[int]] = None,
     check_dead_writes: bool = True,
+    races: bool = True,
 ) -> AnalysisReport:
-    """Dataflow-verify a bare operation-set schedule."""
-    return AnalysisReport(
+    """Dataflow-verify a bare operation-set schedule.
+
+    ``races`` (default on) additionally runs the footprint-based
+    intra-set WAW/WAR/RAW race prover
+    (:func:`repro.analysis.races.check_set_races`) over the same sets —
+    this is how ``incremental_plan(verify=True)`` dirty paths get their
+    concurrency proof.
+    """
+    report = AnalysisReport(
         analyze_operation_sets(
             operation_sets,
             config,
@@ -46,6 +56,9 @@ def verify_operation_sets(
             check_dead_writes=check_dead_writes,
         )
     )
+    if races:
+        report.extend(check_set_races(operation_sets))
+    return report
 
 
 def verify_plan(
@@ -110,6 +123,10 @@ def verify_plan(
                 matrix_updates=None,
             )
         )
+        report.extend(check_set_races(plan.operation_sets))
+        report.extend(
+            check_matrix_update_races(plan.matrix_indices, plan.branch_lengths)
+        )
         return report
     report.extend(_check_plan_structure(plan, config))
     report.extend(
@@ -119,6 +136,10 @@ def verify_plan(
             root_buffer=plan.root_buffer,
             matrix_updates=plan.matrix_indices,
         )
+    )
+    report.extend(check_set_races(plan.operation_sets))
+    report.extend(
+        check_matrix_update_races(plan.matrix_indices, plan.branch_lengths)
     )
     return report
 

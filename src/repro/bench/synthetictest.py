@@ -147,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
         "and fail on any buffer hazard",
     )
     parser.add_argument(
+        "--races",
+        action="store_true",
+        help="statically prove every operation set free of intra-set "
+        "WAW/WAR/RAW hazards (and, with --streams, the stream schedule "
+        "free of cross-stream sharing) before running",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="wrap every pool worker's engine in the shadow-state buffer "
+        "sanitizer; any unsynchronized cross-thread buffer access fails "
+        "the run (requires --pool)",
+    )
+    parser.add_argument(
         "--fault-rate",
         type=float,
         default=0.0,
@@ -365,6 +379,9 @@ def _validate_args(args, out) -> int:
     if args.pool_health_every < 0:
         print("error: --pool-health-every must be non-negative", file=out)
         return 2
+    if args.sanitize and not args.pool:
+        print("error: --sanitize requires --pool", file=out)
+        return 2
     if args.worker_fault_rates is not None:
         try:
             specs_check = _worker_fault_specs(args)
@@ -418,6 +435,23 @@ def _run_benchmark(args, out) -> int:
         if not report.clean:
             print(report.format(), file=out)
         if not report.ok:
+            return 1
+
+    if args.races:
+        from ..analysis import verify_races
+
+        race_report = verify_races(plan, n_streams=args.streams)
+        scope = "sets + matrix table"
+        if args.streams:
+            scope += f" + {args.streams}-stream schedule"
+        print(
+            f"races: {len(race_report.errors)} error(s) over "
+            f"{plan.n_launches} operation set(s) ({scope})",
+            file=out,
+        )
+        if not race_report.clean:
+            print(race_report.format(), file=out)
+        if not race_report.ok:
             return 1
 
     print("synthetictest (repro work-alike)", file=out)
@@ -590,6 +624,7 @@ def _run_pool_cpu(
         ),
         health_check_every=args.pool_health_every,
         executor="inline" if args.pool_inline else "thread",
+        sanitize=args.sanitize,
     )
     start = time.perf_counter()
     for rep in range(args.reps):
@@ -644,6 +679,10 @@ def _run_pool_cpu(
         for imbalance in imbalances:
             print(f"error: ledger imbalance: {imbalance}", file=out)
         status = 1
+    if args.sanitize and pool.detector is not None:
+        print(f"sanitizer: {pool.detector.format()}", file=out)
+        if not pool.sanitizer_clean:
+            status = 1
     if status == 0:
         print(
             f"pool verified: {stats.completed}/{args.reps} jobs "

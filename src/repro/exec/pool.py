@@ -332,6 +332,17 @@ class LikelihoodPool:
         completed by workers that fail it.
     sentinel:
         Known-answer probe; built with defaults if omitted.
+    sanitize:
+        Enable the shadow-state buffer sanitizer
+        (:class:`~repro.analysis.sanitizer.RaceDetector`). Every worker
+        wraps its engine instances in a
+        :class:`~repro.analysis.sanitizer.SanitizedInstance`, so
+        unsynchronized cross-thread buffer accesses under the threaded
+        executor are detected and reported as offender pairs. Each
+        :meth:`drain` is a synchronization barrier (the detector's epoch
+        advances), so accesses in different drains never pair. Off by
+        default: when off, nothing wraps the engine and overhead is
+        zero.
     clock, sleep:
         Injectable time sources for replayable tests.
     """
@@ -351,6 +362,7 @@ class LikelihoodPool:
         executor: str = "thread",
         audit: bool = True,
         sentinel: Optional[Sentinel] = None,
+        sanitize: bool = False,
         clock: Clock = time.monotonic,
         sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
@@ -377,6 +389,11 @@ class LikelihoodPool:
         self.audit = audit
         self._clock = clock
         self._sleep = sleep or time.sleep
+        self.detector = None
+        if sanitize:
+            from ..analysis.sanitizer import RaceDetector
+
+            self.detector = RaceDetector()
         self.workers = [
             PoolWorker(
                 i,
@@ -387,6 +404,7 @@ class LikelihoodPool:
                 cooldown_s=cooldown_s,
                 clock=clock,
                 sleep=sleep,
+                detector=self.detector,
             )
             for i in range(n_workers)
         ]
@@ -481,6 +499,10 @@ class LikelihoodPool:
         self._pending = []
         if not jobs:
             return []
+        if self.detector is not None:
+            # Each drain is a synchronization barrier for the sanitizer:
+            # accesses from different drains are ordered and never race.
+            self.detector.advance_epoch()
         outcomes: Dict[int, JobOutcome] = {}
         by_index = {job.index: job for job in jobs}
         if self.executor == "inline":
@@ -928,6 +950,21 @@ class LikelihoodPool:
                 self._surfaced += 1
                 if outcome.cause == "failure":
                     self._surfaced_failures += 1
+
+    @property
+    def sanitizer_clean(self) -> bool:
+        """True when the sanitizer is off or has recorded no race."""
+        return self.detector is None or self.detector.clean
+
+    def race_report(self):
+        """The sanitizer's findings as an
+        :class:`~repro.analysis.diagnostics.AnalysisReport` (empty when
+        the sanitizer is off or clean)."""
+        if self.detector is None:
+            from ..analysis.diagnostics import AnalysisReport
+
+            return AnalysisReport()
+        return self.detector.to_report()
 
     def stats(self) -> PoolStats:
         """Snapshot of the aggregate ledger (see :class:`PoolStats`)."""

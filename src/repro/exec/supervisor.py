@@ -23,12 +23,15 @@ into it, so it needs no locking of its own.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from ..core.planner import execute_plan
 from .faults import BiasInjector, FaultInjector, FaultSchedule, FaultSpec
 from .health import CircuitBreaker, Deadline, DeadlineGuard, Sentinel
 from .resilient import FaultStats, ResilientInstance, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer import RaceDetector
 
 __all__ = ["PoolWorker", "Supervisor"]
 
@@ -59,6 +62,13 @@ class PoolWorker:
         Circuit-breaker configuration.
     sleep:
         Backoff sleeper forwarded to the resilient facade.
+    detector:
+        Optional shared shadow-state race detector
+        (:class:`~repro.analysis.sanitizer.RaceDetector`). When set,
+        every instance this worker executes is wrapped in a
+        :class:`~repro.analysis.sanitizer.SanitizedInstance` —
+        *innermost* in the stack, so the fault and recovery layers above
+        still drive the recorded engine.
     """
 
     def __init__(
@@ -72,10 +82,12 @@ class PoolWorker:
         cooldown_s: float = 0.05,
         clock: Clock = time.monotonic,
         sleep: Optional[Callable[[float], None]] = None,
+        detector: Optional["RaceDetector"] = None,
     ) -> None:
         self.id = worker_id
         self.policy = policy
         self.bias = bias
+        self.detector = detector
         self.schedule: Optional[FaultSchedule] = (
             FaultSchedule(fault_spec)
             if fault_spec is not None and fault_spec.rate > 0.0
@@ -126,6 +138,10 @@ class PoolWorker:
         self, instance, plan, deadline: Optional[Deadline] = None
     ) -> float:
         """Run one evaluation through this worker's full engine stack."""
+        if self.detector is not None:
+            from ..analysis.sanitizer import SanitizedInstance
+
+            instance = SanitizedInstance(instance, self.detector)
         stack = self.build_stack(instance, deadline)
         try:
             if isinstance(stack, ResilientInstance):

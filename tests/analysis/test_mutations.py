@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis import (
     MUTATION_KINDS,
+    analyze_mutation,
     mutate_plan,
     seed_mutations,
     verify_plan,
@@ -36,7 +37,7 @@ def test_every_seeded_mutation_is_flagged(plan):
     mutations = seed_mutations(plan)
     assert mutations  # the seeder always finds applicable corruptions
     for mutation in mutations:
-        report = verify_plan(mutation.plan)
+        report = analyze_mutation(mutation)
         flagged = {d.code for d in report.errors} & mutation.expect_codes
         assert flagged, (
             f"mutation {mutation.kind!r} ({mutation.description}) "
@@ -64,10 +65,24 @@ class TestSeeder:
         assert {"cumulative-scale-write", "alias-scale"} <= scaled_kinds
 
     def test_all_kinds_applicable_on_scaled_plan(self):
+        # Balanced: its concurrent schedule has multi-operation sets, so
+        # even the intra-set corruption classes apply.
         plan = make_plan(
-            pectinate_tree(8, branch_length=0.1), "concurrent", scaling=True
+            balanced_tree(8, branch_length=0.1), "concurrent", scaling=True
         )
         assert {m.kind for m in seed_mutations(plan)} == set(MUTATION_KINDS)
+
+    def test_intra_set_alias_needs_a_multi_op_set(self):
+        # Pectinate serial/concurrent schedules are one-op-per-set, so
+        # the intra-set WAW corruption cannot apply there.
+        plan = make_plan(pectinate_tree(8, branch_length=0.1), "concurrent")
+        assert mutate_plan(plan, "intra-set-alias") is None
+        wide = make_plan(balanced_tree(8, branch_length=0.1), "concurrent")
+        mutation = mutate_plan(wide, "intra-set-alias")
+        assert mutation is not None
+        report = analyze_mutation(mutation)
+        assert report.has_code("race-waw")
+        assert report.has_code("write-write-hazard")
 
 
 class TestMutatePlan:

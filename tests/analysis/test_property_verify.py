@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.analysis import (
     MUTATION_KINDS,
     BufferConfig,
+    analyze_mutation,
     audit_plan,
     mutate_plan,
     seed_mutations,
@@ -54,7 +55,7 @@ def test_no_seeded_mutation_survives(tree, mode, kind, scaling):
     mutation = mutate_plan(plan, kind)
     if mutation is None:  # corruption class not applicable to this plan
         return
-    report = verify_plan(mutation.plan)
+    report = analyze_mutation(mutation)
     flagged = {d.code for d in report.errors} & mutation.expect_codes
     assert flagged, (
         f"{mutation.kind}: {mutation.description} survived; "

@@ -1,0 +1,130 @@
+"""Key-collision audit of the transition-matrix cache under quantization.
+
+ISSUE satellite: when ``quantum > 0``, distinct branch lengths share a
+cache key on purpose. The audit's conclusion — encoded here as
+regression tests — is that every such collision is *benign*: the key's
+length component and the length the miss is computed at are the **same**
+value (``effective_length(t)``), so a colliding lookup is served a
+matrix computed at exactly the length its key names. A stale cache can
+therefore only arise from a rates-version bypass (mutating the category
+rates in place instead of through ``set_category_rates``), which the
+``check_cache_coherence`` lint detects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import check_cache_coherence
+from repro.beagle.workspace import TransitionMatrixCache
+from repro.core import create_instance, make_plan
+from repro.data import random_patterns
+from repro.models import HKY85
+from repro.trees import balanced_tree
+
+MODEL = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+
+lengths = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+quanta = st.sampled_from([0.0, 1e-4, 1e-3, 0.01, 0.1])
+
+
+def _instance(quantum=0.0):
+    tree = balanced_tree(8, branch_length=0.1)
+    patterns = random_patterns(tree.tip_names(), 12, seed=2)
+    inst = create_instance(tree, MODEL, patterns)
+    inst.matrix_cache = TransitionMatrixCache(quantum=quantum)
+    return inst
+
+
+class TestKeyCollisionAudit:
+    @given(lengths, lengths, quanta)
+    def test_keys_collide_iff_effective_lengths_agree(self, t1, t2, quantum):
+        # The invariant that makes every collision benign: the key is a
+        # pure function of effective_length, and effective_length is
+        # also what the miss computes at.
+        cache = TransitionMatrixCache(quantum=quantum)
+        eigen = object()
+        same_key = cache.key_for(eigen, b"r", t1) == cache.key_for(
+            eigen, b"r", t2
+        )
+        same_length = cache.effective_length(t1) == cache.effective_length(t2)
+        assert same_key == same_length
+
+    @given(lengths)
+    def test_exact_mode_never_merges_distinct_lengths(self, t):
+        cache = TransitionMatrixCache()  # quantum = 0
+        eigen = object()
+        if t + 1e-9 != t:
+            assert cache.key_for(eigen, b"r", t) != cache.key_for(
+                eigen, b"r", t + 1e-9
+            )
+
+    def test_colliding_lookup_serves_the_snapped_length_matrix(self):
+        # 0.1199 and 0.1201 share the 0.12 cell. The second update must
+        # be served the matrix computed at 0.12 — bit-identical to an
+        # uncached computation at the snapped length.
+        quantized = _instance(quantum=0.01)
+        quantized.update_transition_matrices(0, [0], [0.1199])
+        quantized.update_transition_matrices(0, [1], [0.1201])
+        assert quantized.matrix_cache.misses == 1
+        assert quantized.matrix_cache.hits == 1
+        np.testing.assert_array_equal(
+            quantized._matrices[0], quantized._matrices[1]
+        )
+        exact = _instance()  # no quantization, same model hence eigens
+        exact.update_transition_matrices(0, [0], [0.12])
+        np.testing.assert_array_equal(
+            quantized._matrices[1], exact._matrices[0]
+        )
+
+    def test_distinct_cells_never_collide(self):
+        cache = TransitionMatrixCache(quantum=0.01)
+        eigen = object()
+        assert cache.key_for(eigen, b"r", 0.12) != cache.key_for(
+            eigen, b"r", 0.13
+        )
+
+
+class TestRatesVersioning:
+    def test_rates_change_invalidates_without_stale_hits(self):
+        inst = _instance()
+        inst.update_transition_matrices(0, [0], [0.1])
+        assert inst.matrix_cache.misses == 1
+        before = inst._matrices[0].copy()
+        inst.set_category_rates([2.0])
+        inst.update_transition_matrices(0, [0], [0.1])
+        # New rates version -> new key -> a miss, never a stale hit.
+        assert inst.matrix_cache.misses == 2
+        assert inst.matrix_cache.hits == 0
+        assert not np.array_equal(inst._matrices[0], before)
+
+    def test_coherence_lint_passes_on_well_behaved_instance(self):
+        inst = _instance()
+        inst.update_transition_matrices(0, [0], [0.1])
+        inst.set_category_rates([2.0])
+        assert check_cache_coherence(inst) == []
+
+    def test_in_place_rates_mutation_is_flagged(self):
+        # The one real staleness hazard: bypassing set_category_rates
+        # leaves _rates_key describing the old rates, so cached entries
+        # keyed under it would be served for the *new* rates.
+        inst = _instance()
+        inst.update_transition_matrices(0, [0], [0.1])
+        inst._category_rates *= 2.0  # bypasses the version bump
+        diagnostics = check_cache_coherence(inst)
+        assert [d.code for d in diagnostics] == ["stale-rates-key"]
+
+    def test_executed_plans_stay_coherent(self):
+        from repro.core import execute_plan
+
+        tree = balanced_tree(8, branch_length=0.1)
+        patterns = random_patterns(tree.tip_names(), 12, seed=2)
+        inst = create_instance(tree, MODEL, patterns)
+        inst.matrix_cache = TransitionMatrixCache(quantum=0.01)
+        plan = make_plan(tree, "concurrent")
+        execute_plan(inst, plan)
+        assert check_cache_coherence(inst) == []

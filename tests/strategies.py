@@ -14,7 +14,12 @@ from repro.trees import (
     yule_tree,
 )
 
-__all__ = ["tree_strategy", "topology_kinds", "small_tree_strategy"]
+__all__ = [
+    "tree_strategy",
+    "topology_kinds",
+    "small_tree_strategy",
+    "operation_schedule_strategy",
+]
 
 topology_kinds = ("balanced", "pectinate", "random", "yule", "coalescent")
 
@@ -53,3 +58,38 @@ def tree_strategy(
 def small_tree_strategy(draw, max_tips: int = 6):
     """Trees small enough for brute-force likelihood enumeration."""
     return draw(tree_strategy(min_tips=2, max_tips=max_tips))
+
+
+@st.composite
+def operation_schedule_strategy(
+    draw,
+    min_tips: int = 4,
+    max_tips: int = 16,
+    allow_racy: bool = True,
+):
+    """Random concurrent operation-set schedules for the race prover.
+
+    Draws a tree and a multi-operation planning mode, builds the plan,
+    and — when ``allow_racy`` and the schedule has a multi-operation set
+    — sometimes corrupts it with an intra-set destination alias (a WAW
+    race). Returns ``(plan, racy)`` where ``racy`` says whether the
+    corruption was applied, so properties can check the static verdict
+    against an execution oracle in both directions.
+    """
+    from repro.analysis import mutate_plan
+    from repro.core import make_plan
+
+    tree = draw(
+        tree_strategy(
+            min_tips=min_tips,
+            max_tips=max_tips,
+            kinds=("balanced", "random", "yule"),
+        )
+    )
+    mode = draw(st.sampled_from(("concurrent", "level")))
+    plan = make_plan(tree, mode)
+    if allow_racy and draw(st.booleans()):
+        mutation = mutate_plan(plan, "intra-set-alias")
+        if mutation is not None:
+            return mutation.plan, True
+    return plan, False
