@@ -8,9 +8,9 @@ run (plus a rerooted plan build and a greedy search round), then shows
 the three signals it collected:
 
 1. **Trace** — every kernel launch, plan execution, rerooting search and
-   MCMC step as a nestable span, written as Chrome ``trace_event`` JSON.
-   Drop ``traced_run_trace.json`` on https://ui.perfetto.dev to see the
-   run as a timeline.
+   MCMC step as a nestable span, written as Chrome ``trace_event`` JSON
+   under the system temp dir. Drop ``traced_run_trace.json`` on
+   https://ui.perfetto.dev to see the run as a timeline.
 2. **Metrics** — counters/gauges/histograms (operations evaluated, sets
    per plan, MCMC accepts, ...) printed in Prometheus text exposition
    format.
@@ -20,6 +20,7 @@ the three signals it collected:
 Run:  python examples/traced_run.py
 """
 
+import tempfile
 from pathlib import Path
 
 from repro.data import simulate_alignment
@@ -28,7 +29,9 @@ from repro.models import HKY85
 from repro.obs import recording
 from repro.trees import yule_tree
 
-TRACE_PATH = Path("traced_run_trace.json")
+# Written under the system temp dir so running the example never drops
+# an artifact into the working tree (CI greps for stray *_trace.json).
+TRACE_PATH = Path(tempfile.gettempdir()) / "traced_run_trace.json"
 
 
 def main() -> None:

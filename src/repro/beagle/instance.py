@@ -633,6 +633,31 @@ class BeagleInstance:
     # ------------------------------------------------------------------
     # Likelihood reductions
     # ------------------------------------------------------------------
+    def site_log_likelihoods(
+        self,
+        root_buffer: int,
+        cumulative_scale_index: int = -1,
+    ) -> np.ndarray:
+        """Per-pattern log site likelihoods at the root buffer.
+
+        ``log Σ_c w_c Σ_z π_z L_root[c,p,z] (+ scale_p)`` for every
+        pattern ``p``, *without* the weight contraction — the surface the
+        sharded engine (:mod:`repro.exec.sharding`) reduces through its
+        deterministic summation tree. Always ``float64``, regardless of
+        the instance dtype (log scalers stay double, as in BEAGLE).
+        """
+        partials, _ = self._child_arrays(root_buffer)
+        if partials is None:
+            raise ValueError("root buffer must hold partials, not tip codes")
+        site = root_site_likelihoods(
+            partials, self._frequencies, self._category_weights
+        )
+        with np.errstate(divide="ignore"):
+            logs = np.log(site)
+        if cumulative_scale_index >= 0:
+            logs = logs + self.scale.read(cumulative_scale_index)
+        return np.asarray(logs, dtype=np.float64)
+
     def calculate_root_log_likelihood(
         self,
         root_buffer: int,
@@ -642,20 +667,13 @@ class BeagleInstance:
 
         ``Σ_p w_p · (log Σ_c w_c Σ_z π_z L_root[c,p,z] + scale_p)``.
         """
-        partials, _ = self._child_arrays(root_buffer)
-        if partials is None:
-            raise ValueError("root buffer must hold partials, not tip codes")
         obs = get_recorder()
         with obs.span(
             "kernel.root", category="kernel", root_buffer=root_buffer
         ), obs.phase(PHASE_ROOT):
-            site = root_site_likelihoods(
-                partials, self._frequencies, self._category_weights
+            logs = self.site_log_likelihoods(
+                root_buffer, cumulative_scale_index
             )
-            with np.errstate(divide="ignore"):
-                logs = np.log(site)
-            if cumulative_scale_index >= 0:
-                logs = logs + self.scale.read(cumulative_scale_index)
             return float(np.dot(self._weights, logs))
 
     def calculate_edge_log_likelihood(

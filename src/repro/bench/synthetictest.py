@@ -223,6 +223,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a sentinel health check on a worker after every K "
         "completed jobs (0 = only half-open probes and the final audit)",
     )
+    # --- Site-pattern sharding (repro.exec.sharding) ------------------
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="partition the site patterns into N shards and evaluate "
+        "them data-parallel through the worker pool, recombining with "
+        "the deterministic reduction tree; the run fails unless the "
+        "sharded logL is bit-identical to the single-instance "
+        "reference and both shard and pool ledgers balance. With "
+        "--shards, --fault-rate injects shard-scoped faults "
+        "(lost/stall/underflow) instead of launch-level ones",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        metavar="R",
+        help="bounded per-shard retry budget before the run surfaces "
+        "a ShardFailure",
+    )
+    parser.add_argument(
+        "--shard-speculate",
+        action="store_true",
+        help="submit a speculative duplicate of every pending shard; "
+        "first valid result wins, the loser is cancelled and "
+        "reconciled in the ledger",
+    )
+    parser.add_argument(
+        "--shard-fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="shard-scoped fault rate (defaults to --fault-rate when "
+        "--shards is set; seeded from --fault-seed)",
+    )
+    parser.add_argument(
+        "--shard-checkpoint",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="persist finished shards to FILE (atomic JSON) so a "
+        "crashed run resumes without recomputing them",
+    )
+    parser.add_argument(
+        "--shard-resume",
+        action="store_true",
+        help="resume from --shard-checkpoint if it exists; the run "
+        "fails if any already-completed shard is recomputed",
+    )
+    parser.add_argument(
+        "--shard-abort-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="abort the first sharded evaluation after K shards "
+        "complete (checkpoint crash drill), then resume it and gate "
+        "on zero recomputed shards and an exact logL match",
+    )
     # --- Observability (repro.obs) ------------------------------------
     parser.add_argument(
         "--trace",
@@ -382,6 +442,47 @@ def _validate_args(args, out) -> int:
     if args.sanitize and not args.pool:
         print("error: --sanitize requires --pool", file=out)
         return 2
+    if args.shards < 0:
+        print("error: --shards must be non-negative", file=out)
+        return 2
+    if args.shards and args.rsrc != 0:
+        print("error: --shards requires --rsrc 0 (measured CPU)", file=out)
+        return 2
+    if args.shards and args.manualscale:
+        print(
+            "error: --shards manages rescaling per shard; drop --manualscale",
+            file=out,
+        )
+        return 2
+    if not args.shards and (
+        args.shard_speculate
+        or args.shard_fault_rate is not None
+        or args.shard_checkpoint is not None
+        or args.shard_resume
+        or args.shard_abort_after is not None
+    ):
+        print("error: shard options require --shards", file=out)
+        return 2
+    if args.shard_retries < 0:
+        print("error: --shard-retries must be non-negative", file=out)
+        return 2
+    if args.shard_fault_rate is not None and not (
+        0.0 <= args.shard_fault_rate <= 1.0
+    ):
+        print("error: --shard-fault-rate must be within [0, 1]", file=out)
+        return 2
+    if (
+        args.shard_resume or args.shard_abort_after is not None
+    ) and args.shard_checkpoint is None:
+        print(
+            "error: --shard-resume/--shard-abort-after require "
+            "--shard-checkpoint",
+            file=out,
+        )
+        return 2
+    if args.shard_abort_after is not None and args.shard_abort_after < 1:
+        print("error: --shard-abort-after must be at least 1", file=out)
+        return 2
     if args.worker_fault_rates is not None:
         try:
             specs_check = _worker_fault_specs(args)
@@ -474,7 +575,9 @@ def _run_benchmark(args, out) -> int:
     loglik = execute_plan(instance, plan)
     print(f"logL: {loglik:.6f}", file=out)
 
-    if args.fault_rate > 0.0:
+    if args.fault_rate > 0.0 and not args.shards:
+        # With --shards, --fault-rate feeds the shard-scoped chaos
+        # stream inside _run_sharded_cpu instead of the launch injector.
         status = _run_with_faults(args, instance, plan, loglik, out)
         if status != 0:
             return status
@@ -486,6 +589,10 @@ def _run_benchmark(args, out) -> int:
     flops_per_eval = (args.taxa - 1) * dims.flops_per_operation
 
     if args.rsrc == 0:
+        if args.shards:
+            return _run_sharded_cpu(
+                args, tree, model, patterns, loglik, flops_per_eval, out
+            )
         if args.pool:
             return _run_pool_cpu(
                 args, tree, model, patterns, plan, scaling, loglik,
@@ -687,6 +794,170 @@ def _run_pool_cpu(
         print(
             f"pool verified: {stats.completed}/{args.reps} jobs "
             f"bit-identical to serial, ledger balanced",
+            file=out,
+        )
+    return status
+
+
+def _run_sharded_cpu(
+    args, tree, model, patterns, serial_loglik, flops_per_eval, out
+) -> int:
+    """Sharded data-parallel evaluation with hard correctness gates.
+
+    The site patterns are split into ``--shards`` weighted shards, fanned
+    through a supervised worker pool, and recombined with the
+    deterministic reduction tree. Gates (any miss is a nonzero exit —
+    the CI ``shard-soak`` job greps for the ``shard verified`` line):
+
+    * the sharded logL equals :meth:`reference_log_likelihood`
+      (single-instance oracle, same reduction) **bit-for-bit**, however
+      many shards faulted, retried, or speculated;
+    * it also matches the serial BLAS-reduced logL to 1e-9 (the two
+      reductions differ only by float-summation reassociation);
+    * the shard ledger and the pool ledger both balance;
+    * after a ``--shard-abort-after`` crash drill (or an explicit
+      ``--shard-resume``), ``recomputed_completed`` stays zero — no
+      finished shard is ever re-executed.
+    """
+    from ..exec.faults import ShardFaultSpec
+    from ..exec.sharding import ShardAborted, ShardedLikelihood
+
+    fault_rate = (
+        args.shard_fault_rate
+        if args.shard_fault_rate is not None
+        else args.fault_rate
+    )
+    spec = (
+        ShardFaultSpec(rate=fault_rate, seed=args.fault_seed)
+        if fault_rate > 0.0
+        else None
+    )
+    n_workers = args.pool or 2
+    pool = LikelihoodPool(
+        n_workers,
+        policy=_resilience_policy(args.resilience),
+        worker_fault_specs=_worker_fault_specs(args),
+        deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        health_check_every=args.pool_health_every,
+        executor="inline" if args.pool_inline else "thread",
+        sanitize=args.sanitize,
+    )
+
+    def make_engine(resume: bool, abort_after: Optional[int]):
+        return ShardedLikelihood(
+            tree,
+            model,
+            patterns,
+            n_shards=args.shards,
+            pool=pool,
+            retries=args.shard_retries,
+            speculate=args.shard_speculate,
+            checkpoint_path=args.shard_checkpoint,
+            resume=resume,
+            abort_after=abort_after,
+            fault_spec=spec,
+        )
+
+    resumed_run = args.shard_resume
+    if args.shard_abort_after is not None:
+        # Crash drill: run until --shard-abort-after shards are
+        # checkpointed, "crash", then resume the real run below.
+        drill = make_engine(resume=args.shard_resume, abort_after=args.shard_abort_after)
+        try:
+            drill.evaluate()
+        except ShardAborted as exc:
+            print(f"crash drill: {exc}", file=out)
+            resumed_run = True
+        except ExecutionError as exc:
+            print(f"error: crash drill failed: {type(exc).__name__}: {exc}", file=out)
+            return 1
+        else:
+            print(
+                "crash drill: note: all shards completed before the "
+                "abort point; resume gate still applies",
+                file=out,
+            )
+            resumed_run = True
+
+    engine = make_engine(resume=resumed_run, abort_after=None)
+    start = time.perf_counter()
+    try:
+        value = engine.log_likelihood()
+    except ExecutionError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
+        return 1
+    elapsed = time.perf_counter() - start
+    ledger = engine.ledger
+
+    print(
+        f"resource: CPU sharded ({engine.n_shards} shards over "
+        f"{n_workers} workers, "
+        f"{'inline' if args.pool_inline else 'threaded'} executor)",
+        file=out,
+    )
+    print(f"time per evaluation: {elapsed * 1e3:.3f} ms", file=out)
+    print(
+        f"effective throughput: {flops_per_eval / elapsed / 1e9:.3f} GFLOPS",
+        file=out,
+    )
+    print(
+        f"shard throughput: {patterns.n_patterns / elapsed / 1e3:.1f} "
+        f"kpatterns/s",
+        file=out,
+    )
+    print(ledger.format(), file=out)
+    if args.full_timing:
+        print(f"kernel launches per evaluation: {engine.n_launches}", file=out)
+        pool_stats = pool.stats()
+        print(f"pool {pool_stats.format()}", file=out)
+
+    status = 0
+    reference = engine.reference_log_likelihood()
+    if value != reference:
+        print(
+            f"error: sharded logL {value!r} is not bit-identical to the "
+            f"single-instance reference {reference!r}",
+            file=out,
+        )
+        status = 1
+    if not math.isclose(value, serial_loglik, rel_tol=0.0, abs_tol=1e-9):
+        print(
+            f"error: sharded logL {value!r} diverges from the serial "
+            f"logL {serial_loglik!r} beyond reassociation tolerance",
+            file=out,
+        )
+        status = 1
+    for imbalance in ledger.imbalances():
+        print(f"error: shard ledger imbalance: {imbalance}", file=out)
+        status = 1
+    for imbalance in pool.stats().imbalances():
+        print(f"error: pool ledger imbalance: {imbalance}", file=out)
+        status = 1
+    if resumed_run and ledger.recomputed_completed != 0:
+        print(
+            f"error: {ledger.recomputed_completed} checkpointed shard(s) "
+            f"were recomputed after resume",
+            file=out,
+        )
+        status = 1
+    if resumed_run and args.shard_abort_after is not None and ledger.resumed == 0:
+        print("error: resume restored no shards from the checkpoint", file=out)
+        status = 1
+    if args.sanitize and pool.detector is not None:
+        print(f"sanitizer: {pool.detector.format()}", file=out)
+        if not pool.sanitizer_clean:
+            status = 1
+    if status == 0:
+        resumed_note = (
+            f", resumed {ledger.resumed} shard(s) without recomputation"
+            if resumed_run
+            else ""
+        )
+        print(
+            f"shard verified: {engine.n_shards} shards bit-identical to "
+            f"reference, ledgers balanced{resumed_note}",
             file=out,
         )
     return status

@@ -7,10 +7,29 @@ from .alignment import (
     proportion_variable_sites,
     site_variability,
 )
-from .patterns import PatternData, compress, random_patterns
+from .patterns import (
+    PatternAccumulator,
+    PatternData,
+    compress,
+    random_patterns,
+    slice_patterns,
+)
 from .simulate import simulate_alignment, simulate_states
-from .io_fasta import format_fasta, parse_fasta, read_fasta, write_fasta
-from .io_phylip import format_phylip, parse_phylip, read_phylip, write_phylip
+from .streaming import SiteChunk, TextSource, iter_sites
+from .io_fasta import (
+    format_fasta,
+    iter_fasta_sites,
+    parse_fasta,
+    read_fasta,
+    write_fasta,
+)
+from .io_phylip import (
+    format_phylip,
+    iter_phylip_sites,
+    parse_phylip,
+    read_phylip,
+    write_phylip,
+)
 from .io_nexus import (
     format_nexus_alignment,
     format_nexus_trees,
@@ -31,8 +50,15 @@ __all__ = [
     "site_variability",
     "proportion_variable_sites",
     "PatternData",
+    "PatternAccumulator",
     "compress",
     "random_patterns",
+    "slice_patterns",
+    "SiteChunk",
+    "TextSource",
+    "iter_sites",
+    "iter_fasta_sites",
+    "iter_phylip_sites",
     "simulate_alignment",
     "simulate_states",
     "read_fasta",

@@ -15,7 +15,13 @@ from ..errors import ParseError
 from .alignment import Alignment
 from .alphabet import DNA, Alphabet
 
-__all__ = ["read_fasta", "write_fasta", "parse_fasta", "format_fasta"]
+__all__ = [
+    "read_fasta",
+    "write_fasta",
+    "parse_fasta",
+    "format_fasta",
+    "iter_fasta_sites",
+]
 
 PathLike = Union[str, Path]
 
@@ -121,3 +127,18 @@ def read_fasta(path: PathLike, alphabet: Alphabet = DNA) -> Alignment:
 def write_fasta(alignment: Alignment, path: PathLike, *, width: int = 70) -> None:
     """Write an alignment to a FASTA file."""
     Path(path).write_text(format_fasta(alignment, width=width))
+
+
+def iter_fasta_sites(source, **kwargs):
+    """Stream a FASTA alignment as site windows without materialising it.
+
+    A thin format-bound wrapper over :func:`repro.data.streaming.
+    iter_sites`: ``source`` is a path or a
+    :class:`~repro.data.streaming.TextSource`, keyword arguments
+    (``alphabet``, ``window``, ``read_size``) pass through. Malformed
+    input raises the same :class:`~repro.errors.ParseError` — same line
+    and column — as :func:`parse_fasta` would on the whole file.
+    """
+    from .streaming import iter_sites
+
+    return iter_sites(source, "fasta", **kwargs)

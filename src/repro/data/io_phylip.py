@@ -14,7 +14,13 @@ from ..errors import ParseError
 from .alignment import Alignment
 from .alphabet import DNA, Alphabet
 
-__all__ = ["read_phylip", "write_phylip", "parse_phylip", "format_phylip"]
+__all__ = [
+    "read_phylip",
+    "write_phylip",
+    "parse_phylip",
+    "format_phylip",
+    "iter_phylip_sites",
+]
 
 PathLike = Union[str, Path]
 
@@ -115,3 +121,18 @@ def read_phylip(path: PathLike, alphabet: Alphabet = DNA) -> Alignment:
 def write_phylip(alignment: Alignment, path: PathLike) -> None:
     """Write an alignment to a relaxed PHYLIP file."""
     Path(path).write_text(format_phylip(alignment))
+
+
+def iter_phylip_sites(source, **kwargs):
+    """Stream a PHYLIP alignment as site windows without materialising it.
+
+    A thin format-bound wrapper over :func:`repro.data.streaming.
+    iter_sites`: ``source`` is a path or a
+    :class:`~repro.data.streaming.TextSource`, keyword arguments
+    (``alphabet``, ``window``, ``read_size``) pass through. Malformed
+    input raises the same :class:`~repro.errors.ParseError` — same line
+    and column — as :func:`parse_phylip` would on the whole file.
+    """
+    from .streaming import iter_sites
+
+    return iter_sites(source, "phylip", **kwargs)

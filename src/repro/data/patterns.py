@@ -18,7 +18,13 @@ import numpy as np
 from .alignment import Alignment
 from .alphabet import DNA, Alphabet
 
-__all__ = ["PatternData", "compress", "random_patterns"]
+__all__ = [
+    "PatternData",
+    "PatternAccumulator",
+    "compress",
+    "random_patterns",
+    "slice_patterns",
+]
 
 
 @dataclass(frozen=True)
@@ -130,6 +136,128 @@ def compress(alignment: Alignment) -> PatternData:
         weights=np.asarray(weights, dtype=np.float64),
         alphabet=alphabet,
         partials=partials,
+    )
+
+
+class PatternAccumulator:
+    """Incremental site-pattern compression for streamed alignments.
+
+    Feed site columns chunk by chunk (e.g. :class:`~repro.data.streaming.
+    SiteChunk` windows from :func:`~repro.data.streaming.iter_sites`) and
+    call :meth:`finish` once. The result is *identical* to
+    ``compress(alignment)`` on the fully materialised alignment — same
+    first-occurrence pattern order, same weights, same codes, same
+    per-taxon partials — but peak memory is the compressed pattern table,
+    never the raw ``n_taxa × n_sites`` matrix.
+    """
+
+    def __init__(self, taxa: Sequence[str], alphabet: Alphabet = DNA) -> None:
+        if len(taxa) < 1:
+            raise ValueError("need at least one taxon")
+        if len(set(taxa)) != len(taxa):
+            raise ValueError("duplicate taxon names")
+        self.taxa = tuple(taxa)
+        self.alphabet = alphabet
+        self._seen: Dict[Tuple[str, ...], int] = {}
+        self._order: List[Tuple[str, ...]] = []
+        self._weights: List[int] = []
+
+    @property
+    def n_patterns(self) -> int:
+        """Unique patterns accumulated so far."""
+        return len(self._order)
+
+    @property
+    def n_sites(self) -> int:
+        """Total columns accumulated so far."""
+        return int(sum(self._weights))
+
+    def add_columns(self, columns) -> None:
+        """Fold an iterable of symbol-tuple columns into the table.
+
+        Each column must have one symbol per taxon, in ``self.taxa``
+        order (chunk rows are validated by :meth:`add_chunk`).
+        """
+        n_taxa = len(self.taxa)
+        for column in columns:
+            if len(column) != n_taxa:
+                raise ValueError(
+                    f"column has {len(column)} symbols, expected {n_taxa}"
+                )
+            idx = self._seen.get(column)
+            if idx is None:
+                self._seen[column] = len(self._order)
+                self._order.append(column)
+                self._weights.append(1)
+            else:
+                self._weights[idx] += 1
+
+    def add_chunk(self, chunk) -> None:
+        """Fold one :class:`~repro.data.streaming.SiteChunk` in."""
+        if chunk.taxa != self.taxa:
+            raise ValueError(
+                f"chunk taxa {chunk.taxa!r} do not match accumulator "
+                f"taxa {self.taxa!r}"
+            )
+        self.add_columns(chunk.columns())
+
+    def finish(self) -> PatternData:
+        """The accumulated table as :class:`PatternData`.
+
+        Exactly what ``compress`` would have produced for the same
+        columns in the same order. The accumulator stays usable — more
+        chunks may be added and ``finish`` called again.
+        """
+        if not self._order:
+            raise ValueError("no site columns accumulated")
+        alphabet = self.alphabet
+        n_patterns = len(self._order)
+        codes = np.empty((len(self.taxa), n_patterns), dtype=np.int32)
+        for p, column in enumerate(self._order):
+            for t, symbol in enumerate(column):
+                codes[t, p] = alphabet.code(symbol)
+        partials: Dict[str, np.ndarray] = {}
+        for t, name in enumerate(self.taxa):
+            symbols = [column[t] for column in self._order]
+            needs_partials = any(
+                alphabet.is_ambiguous(sym)
+                and not np.all(alphabet.partial(sym) == 1.0)
+                for sym in set(symbols)
+            )
+            if needs_partials:
+                partials[name] = np.stack(
+                    [alphabet.partial(sym) for sym in symbols]
+                )
+        return PatternData(
+            taxa=self.taxa,
+            codes=codes,
+            weights=np.asarray(self._weights, dtype=np.float64),
+            alphabet=alphabet,
+            partials=partials,
+        )
+
+
+def slice_patterns(patterns: PatternData, start: int, stop: int) -> PatternData:
+    """The contiguous pattern range ``[start, stop)`` as new ``PatternData``.
+
+    Rows (taxa), the alphabet, and per-pattern weights are preserved;
+    per-taxon partials matrices are sliced along the pattern axis. Arrays
+    are copied so the slice owns its memory — a sharded evaluation can
+    release the full matrix while shards are in flight.
+    """
+    if not 0 <= start < stop <= patterns.n_patterns:
+        raise ValueError(
+            f"invalid pattern slice [{start}, {stop}) of {patterns.n_patterns}"
+        )
+    return PatternData(
+        taxa=patterns.taxa,
+        codes=np.ascontiguousarray(patterns.codes[:, start:stop]),
+        weights=patterns.weights[start:stop].copy(),
+        alphabet=patterns.alphabet,
+        partials={
+            name: np.ascontiguousarray(arr[start:stop])
+            for name, arr in patterns.partials.items()
+        },
     )
 
 

@@ -30,7 +30,7 @@ adds the dynamic-robustness layer around the likelihood engine:
   checkpoint/resume for :func:`repro.inference.mcmc.run_mcmc`.
 """
 
-from .checkpoint import CheckpointError, MCMCCheckpoint
+from .checkpoint import CheckpointError, MCMCCheckpoint, ShardCheckpoint
 from .errors import (
     AllocationError,
     DeadlineExceeded,
@@ -44,14 +44,27 @@ from .errors import (
 )
 from .faults import (
     FAULT_CLASSES,
+    SHARD_FAULT_CLASSES,
     BiasInjector,
     FaultInjector,
     FaultSchedule,
     FaultSpec,
+    ShardFaultSchedule,
+    ShardFaultSpec,
 )
 from .health import CircuitBreaker, Deadline, DeadlineGuard, Sentinel
 from .pool import JobContext, JobOutcome, LikelihoodPool, PoolStats
 from .resilient import FaultStats, ResilientInstance, RetryPolicy
+from .sharding import (
+    MIN_SHARD_WIDTH,
+    Shard,
+    ShardAborted,
+    ShardedLikelihood,
+    ShardFailure,
+    ShardLedger,
+    deterministic_sum,
+    plan_shards,
+)
 from .supervisor import PoolWorker, Supervisor
 
 __all__ = [
@@ -84,4 +97,16 @@ __all__ = [
     "LikelihoodPool",
     "CheckpointError",
     "MCMCCheckpoint",
+    "ShardCheckpoint",
+    "SHARD_FAULT_CLASSES",
+    "ShardFaultSpec",
+    "ShardFaultSchedule",
+    "MIN_SHARD_WIDTH",
+    "Shard",
+    "ShardLedger",
+    "ShardAborted",
+    "ShardFailure",
+    "ShardedLikelihood",
+    "deterministic_sum",
+    "plan_shards",
 ]

@@ -33,12 +33,21 @@ import numpy as np
 
 from ..obs import get_recorder
 
-__all__ = ["CheckpointError", "MCMCCheckpoint"]
+__all__ = [
+    "CheckpointError",
+    "MCMCCheckpoint",
+    "ShardCheckpoint",
+    "atomic_write_json",
+    "load_json_checkpoint",
+]
 
 PathLike = Union[str, Path]
 
 #: Format version; bumped on any incompatible field change.
 CHECKPOINT_VERSION = 1
+
+#: Format version of shard checkpoints (independent of the MCMC format).
+SHARD_CHECKPOINT_VERSION = 1
 
 #: Significant digits that round-trip any float64 through decimal text.
 NEWICK_PRECISION = 17
@@ -60,6 +69,44 @@ def _jsonable(value):
     if isinstance(value, np.floating):
         return float(value)
     return value
+
+
+def atomic_write_json(path: PathLike, payload) -> None:
+    """Write ``payload`` as JSON via a temp file + rename.
+
+    A kill at any point leaves either the previous checkpoint or the new
+    one — never a truncated file. The payload is passed through
+    :func:`_jsonable` first, so NumPy scalars serialise; ``float64``
+    values round-trip exactly (``json`` emits ``repr`` shortest-form
+    decimals).
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(_jsonable(payload)))
+    os.replace(tmp, path)
+
+
+def load_json_checkpoint(path: PathLike, *, expected_version: int) -> Dict:
+    """Read a JSON checkpoint and validate its format version.
+
+    Raises
+    ------
+    CheckpointError
+        If the file is unreadable, truncated, or carries a different
+        ``version`` field than ``expected_version``.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    version = payload.get("version")
+    if version != expected_version:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version!r}; "
+            f"this build reads version {expected_version}"
+        )
+    return payload
 
 
 @dataclass
@@ -97,10 +144,7 @@ class MCMCCheckpoint:
         with obs.span(
             "checkpoint.save", category="checkpoint", iteration=self.iteration
         ):
-            payload = _jsonable(asdict(self))
-            tmp = path.with_name(path.name + ".tmp")
-            tmp.write_text(json.dumps(payload))
-            os.replace(tmp, path)
+            atomic_write_json(path, asdict(self))
         obs.count("repro_checkpoint_writes_total")
 
     @classmethod
@@ -113,17 +157,9 @@ class MCMCCheckpoint:
             If the file is unreadable, truncated, or from an
             incompatible format version.
         """
-        path = Path(path)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-        version = payload.get("version")
-        if version != CHECKPOINT_VERSION:
-            raise CheckpointError(
-                f"checkpoint {path} has format version {version!r}; "
-                f"this build reads version {CHECKPOINT_VERSION}"
-            )
+        payload = load_json_checkpoint(
+            path, expected_version=CHECKPOINT_VERSION
+        )
         try:
             return cls(**payload)
         except TypeError as exc:
@@ -159,3 +195,78 @@ class MCMCCheckpoint:
         state = dict(self.rng_state)
         rng.bit_generator.state = state
         return rng
+
+
+@dataclass
+class ShardCheckpoint:
+    """Durable record of completed shard results for one evaluation.
+
+    A sharded likelihood evaluation (:class:`repro.exec.sharding.
+    ShardedLikelihood`) saves one of these after every completed round so
+    a crashed run resumes without recomputing finished shards. The
+    ``completed`` map stores each finished shard's per-pattern weighted
+    log-likelihood terms keyed by the shard index (as a string — JSON
+    object keys are strings); ``float64`` values round-trip exactly
+    through JSON's shortest-form decimal repr, so a resumed evaluation
+    reduces to a bit-identical total.
+
+    ``fingerprint`` hashes the inputs (tree, patterns, model); resuming
+    against different inputs fails loudly instead of silently splicing
+    results from a different problem.
+    """
+
+    n_patterns: int
+    n_shards: int
+    fingerprint: str
+    completed: Dict[str, List[float]] = field(default_factory=dict)
+    version: int = SHARD_CHECKPOINT_VERSION
+
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Atomically write the shard checkpoint as JSON."""
+        obs = get_recorder()
+        with obs.span(
+            "shard.checkpoint.save",
+            category="checkpoint",
+            completed=len(self.completed),
+        ):
+            atomic_write_json(path, asdict(self))
+        obs.count("repro_shard_checkpoint_writes_total")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ShardCheckpoint":
+        """Read and validate a shard checkpoint.
+
+        Raises
+        ------
+        CheckpointError
+            If the file is unreadable, truncated, or from an
+            incompatible format version.
+        """
+        payload = load_json_checkpoint(
+            path, expected_version=SHARD_CHECKPOINT_VERSION
+        )
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise CheckpointError(
+                f"shard checkpoint {path} is missing required fields: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def check_matches(
+        self, *, n_patterns: int, n_shards: int, fingerprint: str
+    ) -> None:
+        """Refuse to resume against a different problem or shard plan."""
+        if self.n_patterns != n_patterns or self.n_shards != n_shards:
+            raise CheckpointError(
+                f"shard checkpoint is for n_patterns={self.n_patterns} "
+                f"n_shards={self.n_shards}, run requested "
+                f"n_patterns={n_patterns} n_shards={n_shards}"
+            )
+        if self.fingerprint != fingerprint:
+            raise CheckpointError(
+                "shard checkpoint fingerprint does not match the current "
+                "tree/patterns/model; refusing to splice results from a "
+                "different problem"
+            )

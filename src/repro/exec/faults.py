@@ -51,10 +51,13 @@ from .errors import (
 
 __all__ = [
     "FAULT_CLASSES",
+    "SHARD_FAULT_CLASSES",
     "FaultSpec",
     "FaultSchedule",
     "FaultInjector",
     "BiasInjector",
+    "ShardFaultSpec",
+    "ShardFaultSchedule",
 ]
 
 #: Every fault class the injector knows, in draw order.
@@ -64,6 +67,25 @@ FAULT_CLASSES: Tuple[str, ...] = (
     "alloc",
     "nan",
     "underflow",
+)
+
+#: Shard-scoped fault classes, drawn per (shard, attempt) rather than per
+#: kernel launch. Kept separate from :data:`FAULT_CLASSES` so existing
+#: seeded launch-level streams stay bit-identical.
+#:
+#: ``shard_lost``
+#:     The shard's worker dies mid-evaluation — the job surfaces a
+#:     transient device error and the shard must be retried elsewhere.
+#: ``shard_stall``
+#:     The shard becomes a straggler: its evaluation blocks until the
+#:     straggler deadline fires, exercising speculation/cancellation.
+#: ``shard_underflow``
+#:     The shard's partials are dragged into the denormal range, forcing
+#:     the per-shard rescaling escalation path.
+SHARD_FAULT_CLASSES: Tuple[str, ...] = (
+    "shard_lost",
+    "shard_stall",
+    "shard_underflow",
 )
 
 #: Fault classes raised before the launch executes (state untouched).
@@ -151,6 +173,70 @@ class FaultSchedule:
         hit = self._rng.random() < self.spec.rate
         which = int(self._rng.integers(len(self.spec.classes)))
         if not hit or (self.spec.batched_only and not batched):
+            return None
+        fault = self.spec.classes[which]
+        self.injected += 1
+        self.by_class[fault] = self.by_class.get(fault, 0) + 1
+        return fault
+
+
+@dataclass(frozen=True)
+class ShardFaultSpec:
+    """Configuration of a deterministic *shard-scoped* fault stream.
+
+    Unlike :class:`FaultSpec`, decisions are not drawn from a sequential
+    stream: each ``(shard_index, attempt)`` pair gets its own derived
+    seed, so the decision for a shard never depends on how many other
+    shards ran before it — retries, speculation, and completion order
+    cannot shift which shards fault.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    classes: Tuple[str, ...] = SHARD_FAULT_CLASSES
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("fault rate must be within [0, 1]")
+        unknown = set(self.classes) - set(SHARD_FAULT_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown shard fault classes: {sorted(unknown)}")
+        if not self.classes and self.rate > 0.0:
+            raise ValueError("a positive fault rate needs at least one class")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+
+class ShardFaultSchedule:
+    """Seeded per-(shard, attempt) fault decisions.
+
+    ``draw(shard_index, attempt)`` is a pure function of the spec and its
+    arguments (modulo the global ``max_faults`` budget): the same shard's
+    same attempt always receives the same decision, so a resumed or
+    replayed run reproduces the exact fault history.
+    """
+
+    def __init__(self, spec: ShardFaultSpec) -> None:
+        self.spec = spec
+        self.injected = 0
+        self.by_class: Dict[str, int] = {}
+
+    def draw(self, shard_index: int, attempt: int) -> Optional[str]:
+        """Fault class for this shard attempt, or ``None``."""
+        if self.spec.rate <= 0.0:
+            return None
+        if (
+            self.spec.max_faults is not None
+            and self.injected >= self.spec.max_faults
+        ):
+            return None
+        rng = np.random.default_rng(
+            (self.spec.seed, 0x5AD5, shard_index, attempt)
+        )
+        hit = rng.random() < self.spec.rate
+        which = int(rng.integers(len(self.spec.classes)))
+        if not hit:
             return None
         fault = self.spec.classes[which]
         self.injected += 1

@@ -17,6 +17,7 @@ from .streams import (
 from .simulator import (
     BenchmarkPoint,
     IncrementalTiming,
+    ShardTiming,
     SimulatedDevice,
     simulate_tree,
     simulated_speedup,
@@ -38,6 +39,7 @@ __all__ = [
     "streams_time_set_sizes",
     "SimulatedDevice",
     "BenchmarkPoint",
+    "ShardTiming",
     "IncrementalTiming",
     "simulate_tree",
     "simulated_speedup",

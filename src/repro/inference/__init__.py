@@ -35,6 +35,7 @@ from .modelfit import (
 from .bootstrap import (
     bootstrap_alignments,
     bootstrap_consensus,
+    bootstrap_log_likelihoods,
     bootstrap_support,
     bootstrap_trees,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "majority_rule_consensus",
     "split_frequencies",
     "bootstrap_alignments",
+    "bootstrap_log_likelihoods",
     "bootstrap_trees",
     "bootstrap_support",
     "bootstrap_consensus",

@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "bootstrap_alignments",
+    "bootstrap_log_likelihoods",
     "bootstrap_trees",
     "bootstrap_support",
     "bootstrap_consensus",
@@ -79,6 +80,59 @@ def bootstrap_alignments(
     for _ in range(n_replicates):
         sites = rng.integers(0, n_sites, size=n_sites)
         yield alignment.site_subset(sites.tolist())
+
+
+def bootstrap_log_likelihoods(
+    alignment: Alignment,
+    tree: Tree,
+    model,
+    n_replicates: int,
+    *,
+    seed: int = 0,
+    rates=None,
+    mode: str = "concurrent",
+    shards: int = 0,
+    pool=None,
+) -> List[float]:
+    """Per-replicate log-likelihoods of one tree (RELL-style bootstrap).
+
+    Resamples alignment columns with replacement (same seeded stream as
+    :func:`bootstrap_alignments`) and evaluates the *fixed* tree against
+    each pseudo-replicate — the likelihood side of the
+    resampling-estimated-log-likelihood bootstrap. With ``shards > 0``
+    each replicate's evaluation is sharded over its site patterns
+    through a :class:`~repro.exec.sharding.ShardedLikelihood` (sharing
+    ``pool`` across replicates), and because the shard layer's
+    deterministic reduction is bit-stable, the returned values are
+    bit-identical regardless of shard count, completion order, or
+    mid-run faults (they agree with the unsharded evaluation to
+    float-summation reassociation).
+    """
+    from ..data.patterns import compress
+    from .likelihood import TreeLikelihood
+
+    rng = np.random.default_rng(seed)
+    values: List[float] = []
+    for replicate in bootstrap_alignments(alignment, n_replicates, rng):
+        patterns = compress(replicate)
+        if shards > 0:
+            from ..exec.sharding import ShardedLikelihood
+
+            evaluator = ShardedLikelihood(
+                tree,
+                model,
+                patterns,
+                n_shards=shards,
+                rates=rates,
+                mode=mode,
+                pool=pool,
+            )
+        else:
+            evaluator = TreeLikelihood(
+                tree, model, patterns, rates=rates, mode=mode
+            )
+        values.append(evaluator.log_likelihood())
+    return values
 
 
 def bootstrap_trees(

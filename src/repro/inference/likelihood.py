@@ -482,6 +482,46 @@ class TreeLikelihood:
             matrix_cache=self.matrix_cache,
         )
 
+    def sharded(self, n_shards: int = 4, **kwargs):
+        """This evaluator's case as a data-parallel sharded evaluation.
+
+        Returns a :class:`~repro.exec.sharding.ShardedLikelihood` over
+        the same tree, model, patterns, rates and scheduling mode; extra
+        keyword arguments (``pool``, ``retries``, ``speculate``,
+        ``checkpoint_path``, ``fault_spec``, ...) pass through. The
+        sharded total is bit-identical to this evaluator's
+        ``log_likelihood()`` for the unscaled double-precision case —
+        the deterministic reduction contract DESIGN.md documents.
+
+        Not available for evaluators with manual ``scaling`` (a sharded
+        run starts unscaled and escalates underflowing shards on its
+        own) or with ``faults``/``resilience`` wrappers (the shard layer
+        brings its own fault machinery through the pool workers).
+        """
+        if self.scaling:
+            raise ValueError(
+                "sharded evaluation manages scaling per shard; "
+                "construct the evaluator with scaling=False"
+            )
+        if self.faults is not None or self.resilience is not None:
+            raise ValueError(
+                "sharded evaluation needs a bare engine case; "
+                "disable faults/resilience (the pool workers carry "
+                "their own fault and resilience stacks)"
+            )
+        from ..exec.sharding import ShardedLikelihood
+
+        return ShardedLikelihood(
+            self.tree,
+            self.model,
+            self.patterns,
+            n_shards=n_shards,
+            rates=self.rates,
+            mode=self.mode,
+            dtype=self._dtype,
+            **kwargs,
+        )
+
     def rerooted_for_concurrency(self, algorithm: str = "fast") -> "TreeLikelihood":
         """A new evaluator on the concurrency-optimal rerooting."""
         if algorithm not in ("fast", "exhaustive"):

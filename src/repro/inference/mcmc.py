@@ -109,6 +109,8 @@ def run_mcmc(
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
     incremental: bool = False,
+    shards: int = 0,
+    shard_pool=None,
 ) -> MCMCResult:
     """Metropolis sampling from the posterior over trees.
 
@@ -161,6 +163,24 @@ def run_mcmc(
         modes walk bit-identical chains. Requires
         ``spr_probability == 0`` (SPR dirty paths are not implemented)
         and an evaluator without scaling/faults/resilience.
+    shards:
+        When > 0, wrap the evaluator via its ``sharded(...)`` adapter
+        (see :meth:`TreeLikelihood.sharded`): every likelihood
+        evaluation partitions its site patterns into this many shards,
+        fans them out through a :class:`~repro.exec.pool.LikelihoodPool`
+        and recombines them through the deterministic reduction tree.
+        The chain is bit-identical across shard counts, pool sizes,
+        completion orders, faults and resume — any sharded
+        configuration walks the same chain. It matches the *unsharded*
+        run to float-summation reassociation (~1e-13 relative: the
+        unsharded engine reduces site terms with BLAS ``dot``, the
+        shard layer with the fixed pairwise tree). ``shards`` is not
+        part of the checkpoint config, so a run may be checkpointed and
+        resumed under a different shard count without a config
+        mismatch. Incompatible with ``incremental``.
+    shard_pool:
+        Optional pool for the sharded evaluations (a private two-worker
+        inline pool otherwise).
     """
     if iterations < 1:
         raise ValueError("need at least one iteration")
@@ -172,6 +192,20 @@ def run_mcmc(
         )
     if checkpoint_every < 0:
         raise ValueError("checkpoint_every must be non-negative")
+    if shards < 0:
+        raise ValueError("shards must be non-negative")
+    if shards > 0:
+        if incremental:
+            raise ValueError(
+                "sharded evaluation re-evaluates whole shards; it does "
+                "not compose with incremental dirty-path proposals"
+            )
+        if not hasattr(evaluator, "sharded"):
+            raise ValueError(
+                f"evaluator {type(evaluator).__name__} has no "
+                "sharded(...) adapter"
+            )
+        evaluator = evaluator.sharded(n_shards=shards, pool=shard_pool)
     if (checkpoint_every > 0 or resume) and checkpoint_path is None:
         raise ValueError("checkpointing requires a checkpoint_path")
     config = {

@@ -281,6 +281,38 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
     registry.counter(
         "repro_pool_rescued_total", "Pool jobs re-run after a failed audit"
     )
+    registry.counter(
+        "repro_shard_evaluations_total", "Sharded likelihood evaluations"
+    )
+    registry.counter(
+        "repro_shard_jobs_total", "Shard jobs submitted to the pool"
+    )
+    registry.counter(
+        "repro_shard_retries_total", "Shard attempts retried after a failure"
+    )
+    registry.counter(
+        "repro_shard_speculative_wasted_total",
+        "Speculative duplicate shard results discarded (loser copies)",
+    )
+    registry.counter(
+        "repro_shard_stragglers_total",
+        "Shard jobs cancelled by straggler deadlines",
+    )
+    registry.counter(
+        "repro_shard_escalations_total",
+        "Shards escalated to scaled arithmetic after underflow",
+    )
+    registry.counter(
+        "repro_shard_disagreements_total",
+        "Speculative shard copies that returned different bits",
+    )
+    registry.counter(
+        "repro_shard_resumed_total",
+        "Shards restored from a checkpoint instead of recomputed",
+    )
+    registry.counter(
+        "repro_shard_checkpoint_writes_total", "Shard checkpoints written"
+    )
 
 
 def record_pool_stats(stats, registry: Optional[MetricsRegistry] = None) -> None:

@@ -38,6 +38,7 @@ from .dataset import PartitionedDataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.pool import JobContext, LikelihoodPool
+    from ..exec.sharding import ShardedLikelihood
 
 __all__ = ["PartitionedLikelihood"]
 
@@ -70,6 +71,19 @@ class PartitionedLikelihood:
         deadlines, failover and health checks. Values are bit-identical
         to the serial path — per-partition log-likelihoods are summed in
         dataset order either way.
+    shards:
+        When > 0, shard *within* each partition: every partition's
+        site patterns are split into this many shards, evaluated
+        through a :class:`~repro.exec.sharding.ShardedLikelihood`
+        (sharing ``pool`` when one is configured) and recombined by the
+        deterministic reduction tree, so per-partition values — and the
+        dataset-order sum — are bit-identical across shard counts,
+        pool sizes, completion orders and faults (and agree with the
+        unsharded path to summation reassociation — BLAS ``dot`` there,
+        the fixed pairwise tree here). The two concurrency axes
+        compose: partitions in dataset order, shards inside each.
+        Incompatible with ``scaling`` (a sharded partition escalates
+        its own underflowing shards).
     """
 
     def __init__(
@@ -82,14 +96,24 @@ class PartitionedLikelihood:
         reroot: str = "none",
         verify: bool = False,
         pool: Optional["LikelihoodPool"] = None,
+        shards: int = 0,
     ) -> None:
         if reroot == "fast":
             tree = optimal_reroot_fast(tree).tree
         elif reroot != "none":
             raise ValueError(f"unknown reroot option {reroot!r}")
+        if shards < 0:
+            raise ValueError("shards must be non-negative")
+        if shards > 0 and scaling:
+            raise ValueError(
+                "sharded partitions manage scaling per shard; "
+                "use scaling=False"
+            )
         self.tree = tree
         self.dataset = dataset
         self.mode = mode
+        self.shards = shards
+        self._sharded: Optional[List["ShardedLikelihood"]] = None
         self.scaling = scaling
         self.verify = verify
         # One plan: the schedule depends only on the tree, not the data.
@@ -134,6 +158,11 @@ class PartitionedLikelihood:
             partitions=len(self.dataset),
             pooled=self.pool is not None,
         ):
+            if self.shards > 0:
+                return [
+                    sharded.log_likelihood()
+                    for sharded in self._sharded_evaluators()
+                ]
             if self.pool is not None:
                 instances = self.instances
                 return self.pool.map(
@@ -144,6 +173,25 @@ class PartitionedLikelihood:
                 execute_plan(instance, self.plan)
                 for instance in self.instances
             ]
+
+    def _sharded_evaluators(self) -> List["ShardedLikelihood"]:
+        """Per-partition sharded engines (built lazily, pool shared)."""
+        if self._sharded is None:
+            from ..exec.sharding import ShardedLikelihood
+
+            self._sharded = [
+                ShardedLikelihood(
+                    self.tree,
+                    p.model,
+                    p.patterns,
+                    n_shards=self.shards,
+                    rates=p.rates,
+                    mode=self.mode,
+                    pool=self.pool,
+                )
+                for p in self.dataset
+            ]
+        return self._sharded
 
     def _partition_job(
         self, instance: BeagleInstance
@@ -225,6 +273,7 @@ class PartitionedLikelihood:
             mode=self.mode,
             verify=self.verify,
             pool=self.pool,
+            shards=self.shards,
         )
 
     def modelled_seconds(self, spec: DeviceSpec = GP100) -> float:

@@ -157,3 +157,61 @@ class TestExtensions:
             line = [l for l in text.splitlines() if "time per evaluation" in l][0]
             return float(line.split(":")[1].split("us")[0])
         assert eval_us(stream) >= eval_us(multi)
+
+
+class TestShardedRuns:
+    def test_sharded_run_verifies_bitwise(self):
+        code, text = run_cli(
+            "--taxa", "10", "--sites", "256", "--shards", "4"
+        )
+        assert code == 0
+        assert "CPU sharded (4 shards" in text
+        assert "shard verified:" in text
+        assert "recomputed_completed=0" in text
+
+    def test_sharded_soak_with_faults_and_eviction(self):
+        code, text = run_cli(
+            "--taxa", "10", "--sites", "256", "--shards", "5",
+            "--fault-rate", "0.25", "--shard-speculate",
+            "--pool", "3", "--worker-fault-rates", "1.0",
+            "--resilience", "retry", "--full-timing",
+        )
+        assert code == 0
+        assert "shard verified:" in text
+        # Shard-scoped chaos actually fired and the dead worker was
+        # circuit-broken out of the fleet.
+        assert "injected={" in text and "injected={}" not in text
+        assert "evicted=[0]" in text
+
+    def test_crash_drill_resumes_without_recompute(self, tmp_path):
+        ckpt = str(tmp_path / "shards.json")
+        code, text = run_cli(
+            "--taxa", "10", "--sites", "256", "--shards", "4",
+            "--shard-checkpoint", ckpt, "--shard-abort-after", "2",
+        )
+        assert code == 0
+        assert "crash drill: aborted after 2 completed shards" in text
+        assert "resumed 2 shard(s) without recomputation" in text
+        assert "shard verified:" in text
+
+    def test_shard_validation(self):
+        for argv, message in [
+            (["--shards", "-1"], "--shards must be non-negative"),
+            (["--shards", "2", "--rsrc", "1"], "--shards requires --rsrc 0"),
+            (["--shard-speculate"], "shard options require --shards"),
+            (
+                ["--shards", "2", "--shard-resume"],
+                "require --shard-checkpoint",
+            ),
+            (
+                ["--shards", "2", "--manualscale"],
+                "drop --manualscale",
+            ),
+            (
+                ["--shards", "2", "--shard-fault-rate", "1.5"],
+                "--shard-fault-rate must be within",
+            ),
+        ]:
+            code, text = run_cli(*argv)
+            assert code == 2, argv
+            assert message in text

@@ -1,0 +1,203 @@
+"""Unit tests for streaming alignment IO (repro.data.streaming).
+
+The chunk-boundary *equivalence* contract is fuzzed in
+tests/property/test_parser_fuzz.py; these tests pin down the streaming
+API itself — windowed site chunks, the incremental pattern accumulator,
+file sources, and the flat-memory guarantee that motivates the layer.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PatternAccumulator,
+    TextSource,
+    compress,
+    iter_fasta_sites,
+    iter_phylip_sites,
+    iter_sites,
+    parse_fasta,
+    parse_phylip,
+)
+from repro.errors import ParseError
+
+FASTA = ">a\nACGTAC\nGT\n>b\nacgtTG\nCA\n"
+PHYLIP = "2 8\na ACGT ACGT\nb TGCA TGCA\n"
+
+
+def _rows(chunks):
+    rows = {}
+    for chunk in chunks:
+        for taxon, row in zip(chunk.taxa, chunk.rows):
+            rows[taxon] = rows.get(taxon, "") + row
+    return rows
+
+
+class TestIterSites:
+    def test_fasta_windows_roundtrip(self):
+        chunks = list(iter_sites(TextSource(FASTA), "fasta", window=3))
+        assert [c.n_sites for c in chunks] == [3, 3, 2]
+        assert chunks[0].taxa == ("a", "b")
+        assert (chunks[0].start, chunks[-1].stop) == (0, 8)
+        assert _rows(chunks) == {"a": "ACGTACGT", "b": "ACGTTGCA"}
+
+    def test_phylip_windows_roundtrip(self):
+        chunks = list(iter_sites(TextSource(PHYLIP), "phylip", window=5))
+        assert _rows(chunks) == {"a": "ACGTACGT", "b": "TGCATGCA"}
+
+    def test_columns_iterate_per_site(self):
+        (chunk,) = list(iter_sites(TextSource(FASTA), "fasta", window=100))
+        columns = list(chunk.columns())
+        assert len(columns) == 8
+        assert columns[0] == ("A", "A")
+        assert columns[5] == ("C", "G")
+
+    def test_wrapper_functions_delegate(self):
+        assert _rows(iter_fasta_sites(TextSource(FASTA))) == _rows(
+            iter_sites(TextSource(FASTA), "fasta")
+        )
+        assert _rows(iter_phylip_sites(TextSource(PHYLIP))) == _rows(
+            iter_sites(TextSource(PHYLIP), "phylip")
+        )
+
+    def test_file_source_roundtrip(self, tmp_path):
+        path = tmp_path / "aln.fasta"
+        path.write_text(FASTA)
+        chunks = list(iter_sites(path, "fasta", window=3, read_size=4))
+        assert _rows(chunks) == {"a": "ACGTACGT", "b": "ACGTTGCA"}
+
+    def test_file_source_closed_on_error(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">a\nAC!T\n")
+        with pytest.raises(ParseError) as info:
+            list(iter_sites(path, "fasta"))
+        assert (info.value.line, info.value.column) == (2, 3)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            list(iter_sites(TextSource(FASTA), "genbank"))
+        with pytest.raises(ValueError):
+            list(iter_sites(TextSource(FASTA), "fasta", window=0))
+
+    def test_error_matches_whole_file_parser(self):
+        bad = ">a\nACGT\n>a\nACGT\n"
+        with pytest.raises(ParseError) as whole:
+            parse_fasta(bad)
+        with pytest.raises(ParseError) as streamed:
+            list(iter_sites(TextSource(bad), "fasta", read_size=2))
+        assert str(streamed.value) == str(whole.value)
+        assert streamed.value.line == whole.value.line
+
+
+class TestPatternAccumulator:
+    def test_matches_compress_fasta(self):
+        alignment = parse_fasta(FASTA)
+        acc = PatternAccumulator(tuple(alignment.names))
+        for chunk in iter_sites(TextSource(FASTA), "fasta", window=3):
+            acc.add_chunk(chunk)
+        streamed = acc.finish()
+        whole = compress(alignment)
+        assert streamed.taxa == whole.taxa
+        np.testing.assert_array_equal(streamed.codes, whole.codes)
+        np.testing.assert_array_equal(streamed.weights, whole.weights)
+
+    def test_matches_compress_phylip(self):
+        alignment = parse_phylip(PHYLIP)
+        acc = PatternAccumulator(tuple(alignment.names))
+        for chunk in iter_sites(TextSource(PHYLIP), "phylip", window=2):
+            acc.add_chunk(chunk)
+        streamed = acc.finish()
+        whole = compress(alignment)
+        np.testing.assert_array_equal(streamed.codes, whole.codes)
+        np.testing.assert_array_equal(streamed.weights, whole.weights)
+
+    def test_ambiguity_partials_match_compress(self):
+        text = ">a\nACGRN\n>b\nACGTN\n"
+        acc = PatternAccumulator(("a", "b"))
+        for chunk in iter_sites(TextSource(text), "fasta"):
+            acc.add_chunk(chunk)
+        streamed = acc.finish()
+        whole = compress(parse_fasta(text))
+        assert set(streamed.partials) == set(whole.partials)
+        for key in streamed.partials:
+            np.testing.assert_array_equal(
+                streamed.partials[key], whole.partials[key]
+            )
+
+    def test_rejects_mismatched_taxa(self):
+        acc = PatternAccumulator(("a", "b"))
+        (chunk,) = iter_sites(TextSource(FASTA), "fasta", window=100)
+        acc.add_chunk(chunk)
+        with pytest.raises(ValueError):
+            acc.add_columns([("A",)])
+        with pytest.raises(ValueError):
+            PatternAccumulator(())
+        with pytest.raises(ValueError):
+            PatternAccumulator(("a", "a"))
+
+    def test_finish_requires_sites(self):
+        with pytest.raises(ValueError):
+            PatternAccumulator(("a", "b")).finish()
+
+
+class TestFlatMemory:
+    def test_streaming_peak_stays_far_below_whole_file_parse(self, tmp_path):
+        # 4 taxa x 240k sites wrapped at 1000 columns (~960 kB of
+        # sequence) but only 4 distinct site columns. The streaming scan
+        # holds one line, one read buffer and one window at a time —
+        # its Python-heap peak must stay well under the file size, while
+        # the whole-file parse materialises every site as a tuple entry
+        # and peaks at a large multiple of it. (CPython's tuple freelist
+        # keeps up to ~2000 freed column tuples alive under tracemalloc,
+        # a fixed ~140 kB floor independent of alignment length.)
+        n_sites = 240_000
+        row = "ACGT" * (n_sites // 4)
+        wrapped = "\n".join(row[i : i + 1000] for i in range(0, len(row), 1000))
+        taxa = ("t1", "t2", "t3", "t4")
+        text = "".join(f">{t}\n{wrapped}\n" for t in taxa)
+        path = tmp_path / "big.fasta"
+        path.write_text(text)
+        file_bytes = path.stat().st_size
+
+        # Warm first-call caches so the measurement below sees only the
+        # steady-state buffers: one read block, one line, one window.
+        warm = PatternAccumulator(("a", "b"))
+        for chunk in iter_sites(TextSource(FASTA), "fasta"):
+            warm.add_chunk(chunk)
+        warm.finish()
+
+        tracemalloc.start()
+        try:
+            acc = PatternAccumulator(taxa)
+            for chunk in iter_sites(path, "fasta", window=1024, read_size=8192):
+                acc.add_chunk(chunk)
+            patterns = acc.finish()
+            _, streaming_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        assert patterns.n_sites == n_sites
+        assert patterns.n_patterns == 4
+
+        tracemalloc.start()
+        try:
+            whole = compress(parse_fasta(text))
+            _, whole_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        np.testing.assert_array_equal(
+            np.sort(patterns.weights), np.sort(whole.weights)
+        )
+        assert streaming_peak < file_bytes / 3, (
+            f"streaming peak {streaming_peak} bytes is not flat relative "
+            f"to the {file_bytes}-byte alignment"
+        )
+        assert streaming_peak < whole_peak / 4, (
+            f"streaming peak {streaming_peak} should be far below the "
+            f"whole-file parse peak {whole_peak}"
+        )

@@ -163,3 +163,49 @@ class TestIncrementalTiming:
         )
         assert timing.speedup > 1.0
         assert timing.incremental.seconds > 0.0
+
+
+class TestShardModel:
+    def test_time_sharded_widths_match_plan_shards(self):
+        from repro.exec.sharding import plan_shards
+
+        tree = balanced_tree(16)
+        plan = make_plan(tree, "concurrent")
+        timing = SimulatedDevice(GP100).time_sharded(plan, DIMS, 4)
+        expected = tuple(s.width for s in plan_shards(DIMS.patterns, 4))
+        assert timing.shard_widths == expected
+        assert timing.n_shards == 4
+        assert sum(timing.shard_widths) == DIMS.patterns
+
+    def test_sharding_overhead_is_nonnegative(self):
+        # Each shard pays the fixed launch cost per operation set, so
+        # modelled total device time never undercuts the full-width run.
+        tree = balanced_tree(16)
+        plan = make_plan(tree, "concurrent")
+        device = SimulatedDevice(GP100)
+        for n in (1, 2, 4, 8):
+            timing = device.time_sharded(plan, DIMS, n)
+            assert timing.overhead >= -1e-12
+            assert timing.seconds <= sum(timing.shard_seconds) + 1e-12
+
+    def test_more_workers_shrink_makespan(self):
+        tree = balanced_tree(16)
+        plan = make_plan(tree, "concurrent")
+        device = SimulatedDevice(GP100)
+        one = device.time_sharded(plan, DIMS, 8, n_workers=1)
+        four = device.time_sharded(plan, DIMS, 8, n_workers=4)
+        assert four.seconds < one.seconds
+        assert four.speedup > one.speedup
+
+    def test_scaling_curve_monotone_through_width_floor(self):
+        tree = balanced_tree(16)
+        plan = make_plan(tree, "concurrent")
+        device = SimulatedDevice(GP100)
+        curve = device.shard_scaling_curve(plan, DIMS, [1, 2, 4, 8, 16])
+        counts = [n for n, _ in curve]
+        rates = [r for _, r in curve]
+        assert counts == [1, 2, 4, 8, 16]
+        assert all(r > 0 for r in rates)
+        # One worker per shard: throughput must not degrade as shards
+        # are added (launch overhead is hidden by parallel workers).
+        assert rates[-1] >= rates[0]

@@ -12,13 +12,24 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import parse_fasta, parse_phylip
+from repro.data import TextSource, iter_sites, parse_fasta, parse_phylip
 from repro.errors import ParseError
 from repro.trees import NewickError, parse_newick
 
 # Mix of valid DNA, ambiguity codes, junk symbols and structure chars so
 # the fuzzer reaches both the format machinery and symbol validation.
 _SOUP = st.text(alphabet="ACGTN-acgt>;() \n\t0123456789XZ@#.qé", max_size=120)
+
+# The chunk-boundary fuzzer additionally mixes in carriage returns:
+# PHYLIP's splitlines semantics treat \r and \r\n as breaks (FASTA does
+# not), and a \r\n straddling two read chunks is exactly the kind of
+# state the streaming scanner must carry.
+_CHUNK_SOUP = st.text(
+    alphabet="ACGTN-acgt>;() \r\n\t0123456789XZ@#.qé", max_size=120
+)
+_CHUNK_SIZES = st.lists(
+    st.integers(min_value=1, max_value=7), min_size=1, max_size=8
+)
 
 
 def _assert_located(err: ParseError, text: str) -> None:
@@ -103,6 +114,78 @@ class TestNewickRejections:
             parse_newick("(a,b));")
         _assert_located(info.value, "(a,b));")
         assert info.value.line == 1
+
+
+def _whole_file_error(parser, text):
+    try:
+        parser(text)
+    except ParseError as err:
+        return (str(err), err.line, err.column)
+    return None
+
+
+def _streamed(text, fmt, sizes, window):
+    """(chunks, error-triple) of the streaming scan under this chunking."""
+    try:
+        chunks = list(
+            iter_sites(
+                TextSource(text), fmt, read_size=sizes, window=window
+            )
+        )
+    except ParseError as err:
+        return None, (str(err), err.line, err.column)
+    return chunks, None
+
+
+def _assemble_rows(chunks):
+    rows = {}
+    for chunk in chunks:
+        for taxon, row in zip(chunk.taxa, chunk.rows):
+            rows[taxon] = rows.get(taxon, "") + row
+    return rows
+
+
+class TestChunkBoundaryEquivalence:
+    """Streaming scan == whole-file parse for every chunk schedule.
+
+    The contract behind ``iter_sites``: chunk boundaries are invisible.
+    The first rejection must be the *same* ParseError — message, line
+    and column — the whole-file parser raises, no matter how the bytes
+    arrive; and on valid input the reassembled rows must equal the
+    parsed alignment.
+    """
+
+    @given(_CHUNK_SOUP, _CHUNK_SIZES, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=250, deadline=None)
+    def test_fasta_identical_under_any_chunking(self, text, sizes, window):
+        whole = _whole_file_error(parse_fasta, text)
+        chunks, streamed = _streamed(text, "fasta", sizes, window)
+        assert streamed == whole
+        if whole is None:
+            alignment = parse_fasta(text)
+            for taxon, row in _assemble_rows(chunks).items():
+                assert row == "".join(alignment.sequence(taxon)).upper()
+
+    @given(_CHUNK_SOUP, _CHUNK_SIZES, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=250, deadline=None)
+    def test_phylip_identical_under_any_chunking(self, text, sizes, window):
+        whole = _whole_file_error(parse_phylip, text)
+        chunks, streamed = _streamed(text, "phylip", sizes, window)
+        assert streamed == whole
+        if whole is None:
+            alignment = parse_phylip(text)
+            for taxon, row in _assemble_rows(chunks).items():
+                assert row == "".join(alignment.sequence(taxon)).upper()
+
+    def test_crlf_straddling_chunk_boundary(self):
+        # One byte per read: the \r\n of every line straddles a chunk
+        # boundary, and the bad symbol is still reported at line 3,
+        # column 8 — identical to the whole-file parse.
+        text = "2 4\r\ntaxa ACGT\r\ntaxb AC!T\r\n"
+        whole = _whole_file_error(parse_phylip, text)
+        assert whole is not None and whole[1:] == (3, 8)
+        _, streamed = _streamed(text, "phylip", [1], 4)
+        assert streamed == whole
 
 
 @given(

@@ -1,0 +1,52 @@
+"""Guard against regenerated observability artifacts entering the tree.
+
+``examples/traced_run.py`` and ``synthetictest --trace`` write Chrome
+``trace_event`` JSON files. Those are run outputs, not sources: they must
+stay out of version control (``.gitignore`` blocks ``*_trace.json``) and
+the example must write to the temp dir, never the working tree. A
+regenerated ``traced_run_trace.json`` at the repo root has slipped into
+the tree before — this test is the tripwire.
+"""
+
+import re
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_files():
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("git unavailable")
+    return proc.stdout.splitlines()
+
+
+def test_no_trace_artifacts_tracked():
+    offenders = [f for f in _git_files() if f.endswith("_trace.json")]
+    assert not offenders, f"trace artifacts tracked in git: {offenders}"
+
+
+def test_gitignore_blocks_trace_artifacts():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "*_trace.json" in gitignore.splitlines()
+
+
+def test_traced_run_example_writes_to_tempdir():
+    source = (REPO_ROOT / "examples" / "traced_run.py").read_text()
+    match = re.search(r"TRACE_PATH\s*=\s*(.+)", source)
+    assert match, "traced_run.py no longer defines TRACE_PATH"
+    assert "tempfile.gettempdir()" in match.group(1), (
+        "traced_run.py must write its trace under the system temp dir, "
+        f"not {match.group(1)!r}"
+    )
