@@ -457,6 +457,40 @@ class BeagleInstance:
             )
         return self._workspace
 
+    def adopt_workspace(self, workspace: Workspace) -> None:
+        """Execute through a shared :class:`Workspace` arena.
+
+        The serving layer (:mod:`repro.serve.coalesce`) coalesces
+        same-shaped requests from different tenants onto one arena so a
+        batch of N instances allocates scratch once instead of N times.
+        Sharing is safe because the arena is pure per-launch scratch:
+        every launch first writes the rows it uses (gathers and matmuls
+        all take ``out=``) before reading them, so no state survives
+        between instances — results are bit-identical to running each
+        instance on a private arena. The caller must serialise launches
+        across adopters (one batch runs on one worker).
+
+        Raises
+        ------
+        ValueError
+            If the arena's dimensions do not match this instance's.
+        """
+        if not workspace.compatible_with(
+            self.dtype,
+            self.category_count,
+            self.pattern_count,
+            self.state_count,
+        ):
+            raise ValueError(
+                "workspace dimensions "
+                f"(dtype={workspace.dtype}, C={workspace.category_count}, "
+                f"P={workspace.pattern_count}, S={workspace.state_count}) "
+                "do not match instance "
+                f"(dtype={np.dtype(self.dtype)}, C={self.category_count}, "
+                f"P={self.pattern_count}, S={self.state_count})"
+            )
+        self._workspace = workspace
+
     def _run_operation_set(self, ops: List[Operation], k: int) -> None:
         """Body of :meth:`update_partials_set` after validation.
 

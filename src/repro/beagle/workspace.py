@@ -75,6 +75,24 @@ class Workspace:
         self._logs = np.empty(P, dtype=self.dtype)
         self._mask = np.empty(P, dtype=bool)
 
+    def compatible_with(
+        self,
+        dtype: np.dtype,
+        category_count: int,
+        pattern_count: int,
+        state_count: int,
+    ) -> bool:
+        """May an instance with these dimensions execute through this
+        arena? Exact dimension equality is required — the buffers' shapes
+        are baked in at allocation, and a mismatched ``out=`` target
+        would either fail or silently truncate."""
+        return (
+            np.dtype(dtype) == self.dtype
+            and category_count == self.category_count
+            and pattern_count == self.pattern_count
+            and state_count == self.state_count
+        )
+
     def ensure(self, k: int) -> None:
         """Grow every buffer to hold at least ``k`` operations."""
         if k <= self.capacity:

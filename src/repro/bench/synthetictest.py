@@ -283,6 +283,72 @@ def build_parser() -> argparse.ArgumentParser:
         "complete (checkpoint crash drill), then resume it and gate "
         "on zero recomputed shards and an exact logL match",
     )
+    # --- Likelihood-as-a-service (repro.serve) ------------------------
+    parser.add_argument(
+        "--serve",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay a seeded N-request multi-tenant arrival trace "
+        "through the likelihood server (admission, per-tenant fairness, "
+        "cross-request coalescing, brownout) in front of the --pool "
+        "workers; the run fails unless every served logL is "
+        "bit-identical to the serial reference, the serve ledger "
+        "balances, and every request is accounted (no silent drops)",
+    )
+    parser.add_argument(
+        "--serve-tenants",
+        type=int,
+        default=8,
+        metavar="T",
+        help="tenants in the generated arrival trace",
+    )
+    parser.add_argument(
+        "--serve-storm",
+        action="store_true",
+        help="use the hostile burst-storm trace (hot-tenant bursts over "
+        "background load) instead of steady arrivals",
+    )
+    parser.add_argument(
+        "--serve-width",
+        type=int,
+        default=8,
+        metavar="W",
+        help="max requests coalesced into one shared launch batch "
+        "(1 = coalescing off, the uncoalesced baseline)",
+    )
+    parser.add_argument(
+        "--serve-mode",
+        choices=["split", "pad"],
+        default="split",
+        help="coalescing compatibility: exact pattern-count match "
+        "(split) or power-of-two pattern buckets (pad)",
+    )
+    parser.add_argument(
+        "--serve-deadline-ms",
+        type=float,
+        default=None,
+        metavar="T",
+        help="per-request deadline budget; expired requests are shed "
+        "with a typed cause, values finishing late are delivered and "
+        "counted",
+    )
+    parser.add_argument(
+        "--serve-quota",
+        type=int,
+        default=None,
+        metavar="Q",
+        help="per-tenant queued-request quota (admission rejects above "
+        "it with the tenant-quota reason)",
+    )
+    parser.add_argument(
+        "--serve-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="server queue capacity (admission bound; brownout pressure "
+        "is measured against it)",
+    )
     # --- Observability (repro.obs) ------------------------------------
     parser.add_argument(
         "--trace",
@@ -483,6 +549,40 @@ def _validate_args(args, out) -> int:
     if args.shard_abort_after is not None and args.shard_abort_after < 1:
         print("error: --shard-abort-after must be at least 1", file=out)
         return 2
+    if args.serve < 0:
+        print("error: --serve must be non-negative", file=out)
+        return 2
+    if args.serve and not args.pool:
+        print("error: --serve requires --pool", file=out)
+        return 2
+    if args.serve and args.rsrc != 0:
+        print("error: --serve requires --rsrc 0 (measured CPU)", file=out)
+        return 2
+    if args.serve and args.shards:
+        print("error: --serve and --shards are exclusive", file=out)
+        return 2
+    if not args.serve and (
+        args.serve_storm
+        or args.serve_deadline_ms is not None
+        or args.serve_quota is not None
+    ):
+        print("error: serve options require --serve", file=out)
+        return 2
+    if args.serve_tenants < 1:
+        print("error: --serve-tenants must be at least 1", file=out)
+        return 2
+    if args.serve_width < 1:
+        print("error: --serve-width must be at least 1", file=out)
+        return 2
+    if args.serve_queue < 1:
+        print("error: --serve-queue must be at least 1", file=out)
+        return 2
+    if args.serve_deadline_ms is not None and args.serve_deadline_ms <= 0:
+        print("error: --serve-deadline-ms must be positive", file=out)
+        return 2
+    if args.serve_quota is not None and args.serve_quota < 1:
+        print("error: --serve-quota must be at least 1", file=out)
+        return 2
     if args.worker_fault_rates is not None:
         try:
             specs_check = _worker_fault_specs(args)
@@ -592,6 +692,10 @@ def _run_benchmark(args, out) -> int:
         if args.shards:
             return _run_sharded_cpu(
                 args, tree, model, patterns, loglik, flops_per_eval, out
+            )
+        if args.serve:
+            return _run_serve_cpu(
+                args, tree, model, patterns, plan, scaling, loglik, out
             )
         if args.pool:
             return _run_pool_cpu(
@@ -794,6 +898,173 @@ def _run_pool_cpu(
         print(
             f"pool verified: {stats.completed}/{args.reps} jobs "
             f"bit-identical to serial, ledger balanced",
+            file=out,
+        )
+    return status
+
+
+def _run_serve_cpu(
+    args, tree, model, patterns, plan, scaling, reference_loglik, out
+) -> int:
+    """Replay a seeded multi-tenant trace through the likelihood server.
+
+    The overload chaos soak: arrivals (optionally a hot-tenant burst
+    storm) flow through admission, deficit-round-robin fairness,
+    cross-request coalescing and brownout into the supervised pool,
+    with per-worker fault streams from ``--worker-fault-rates``. Three
+    gates, any miss a nonzero exit:
+
+    * every served logL bit-identical to the serial fault-free
+      reference (the server's ``verify`` gate recomputes each one);
+    * the serve ledger balances and is fully drained;
+    * every offered request is accounted: terminal outcomes plus typed
+      rejections equal offers — no silent drops.
+    """
+    from ..obs import record_serve_stats
+    from ..serve import (
+        AdmissionConfig,
+        CoalescePolicy,
+        FairnessConfig,
+        LikelihoodServer,
+        RequestDims,
+        burst_storm,
+        replay,
+        steady_trace,
+    )
+
+    def make_case():
+        return create_instance(tree, model, patterns, scaling=scaling), plan
+
+    pool = LikelihoodPool(
+        args.pool,
+        policy=_resilience_policy(args.resilience),
+        worker_fault_specs=_worker_fault_specs(args),
+        health_check_every=args.pool_health_every,
+        executor="inline" if args.pool_inline else "thread",
+        sanitize=args.sanitize,
+    )
+    server = LikelihoodServer(
+        pool,
+        admission=AdmissionConfig(
+            max_queued=args.serve_queue, tenant_quota=args.serve_quota
+        ),
+        fairness=FairnessConfig(in_flight_cap=4 * args.pool),
+        coalesce=CoalescePolicy(
+            mode=args.serve_mode,
+            max_width=args.serve_width,
+            enabled=args.serve_width > 1,
+        ),
+        verify=True,
+        jitter_seed=args.seed,
+    )
+    dims = RequestDims(
+        state_count=4,
+        pattern_count=patterns.n_patterns,
+        category_count=args.categories,
+    )
+    budget = (
+        args.serve_deadline_ms / 1e3
+        if args.serve_deadline_ms is not None
+        else None
+    )
+    if args.serve_storm:
+        arrivals = burst_storm(
+            args.seed,
+            n_tenants=args.serve_tenants,
+            n_requests=args.serve,
+            budget_s=budget,
+            hot_tenants=max(1, args.serve_tenants // 4),
+        )
+    else:
+        arrivals = steady_trace(
+            args.seed,
+            n_tenants=args.serve_tenants,
+            n_requests=args.serve,
+            budget_s=budget,
+        )
+    start = time.perf_counter()
+    outcomes, rejections = replay(
+        server,
+        arrivals,
+        lambda arrival: make_case,
+        dims=dims,
+        step_every=max(1, args.serve_queue // 4),
+    )
+    elapsed = time.perf_counter() - start
+    ledger = server.ledger
+    from ..obs import get_recorder
+
+    if get_recorder().enabled:
+        record_serve_stats(ledger)
+        record_pool_stats(pool.stats())
+
+    trace_kind = "burst-storm" if args.serve_storm else "steady"
+    print(
+        f"resource: CPU serve ({args.pool} workers, "
+        f"{'inline' if args.pool_inline else 'threaded'} executor), "
+        f"{args.serve} requests / {args.serve_tenants} tenants "
+        f"({trace_kind} trace)",
+        file=out,
+    )
+    served = [o for o in outcomes if o.ok]
+    if served:
+        waits = sorted(o.wait_s for o in served)
+        p50 = waits[len(waits) // 2]
+        p99 = waits[min(len(waits) - 1, int(len(waits) * 0.99))]
+        print(
+            f"served {len(served)} in {elapsed:.3f} s "
+            f"({len(served) / elapsed:.1f} req/s), latency "
+            f"p50 {p50 * 1e3:.2f} ms p99 {p99 * 1e3:.2f} ms",
+            file=out,
+        )
+    print(ledger.format(), file=out)
+    if ledger.rejected_by_reason:
+        print(f"rejections by reason: {ledger.rejected_by_reason}", file=out)
+    if ledger.shed_by_cause:
+        print(f"sheds by cause: {ledger.shed_by_cause}", file=out)
+    print(f"pool {pool.stats().format()}", file=out)
+    if args.full_timing:
+        print(ledger.explain(), file=out)
+
+    status = 0
+    for outcome in served:
+        if outcome.value != reference_loglik:
+            print(
+                f"error: request {outcome.label} logL {outcome.value!r} "
+                f"does not match serial logL {reference_loglik!r}",
+                file=out,
+            )
+            status = 1
+        if outcome.verified is False:
+            print(
+                f"error: request {outcome.label} failed the serial "
+                "bit-identity verify gate",
+                file=out,
+            )
+            status = 1
+    for imbalance in ledger.imbalances():
+        print(f"error: serve ledger imbalance: {imbalance}", file=out)
+        status = 1
+    if not ledger.drained():
+        print(
+            f"error: server not drained (queued={ledger.queued}, "
+            f"in_flight={ledger.in_flight})",
+            file=out,
+        )
+        status = 1
+    if len(outcomes) + len(rejections) != ledger.offered:
+        print(
+            f"error: silent drop: {ledger.offered} offered but "
+            f"{len(outcomes)} outcomes + {len(rejections)} rejections",
+            file=out,
+        )
+        status = 1
+    if status == 0:
+        print(
+            f"serve verified: {ledger.served}/{ledger.offered} served "
+            f"bit-identical to serial, ledger balanced, no silent drops "
+            f"(coalesced {ledger.coalesced_requests} requests into "
+            f"{ledger.coalesced_launches} shared launches)",
             file=out,
         )
     return status

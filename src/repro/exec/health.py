@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from ..obs import get_recorder
 from .errors import DeadlineExceeded
 
 __all__ = [
@@ -199,6 +200,28 @@ class CircuitBreaker:
         self.failures = 0
         self.successes = 0
         self.times_opened = 0
+        #: Every state change as ``(from, to)`` pairs, in order. The
+        #: half-open probe *outcome* (``half-open → closed`` or
+        #: ``half-open → evicted``) is therefore first-class data, not
+        #: something to be reconstructed from supervisor logs; each
+        #: transition is also exported to :mod:`repro.obs` as the typed
+        #: counter ``repro_breaker_transitions_total{from,to}``.
+        self.transitions: List[Tuple[str, str]] = []
+
+    def _set_state(self, new_state: str) -> None:
+        """Move to ``new_state``, recording and exporting the transition."""
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        self.transitions.append((old_state, new_state))
+        obs = get_recorder()
+        if obs.enabled:
+            obs.metrics.counter(
+                "repro_breaker_transitions_total",
+                "Circuit-breaker state transitions, by (from, to) edge",
+                labels={"from": old_state, "to": new_state},
+            ).inc()
 
     @property
     def state(self) -> str:
@@ -207,7 +230,7 @@ class CircuitBreaker:
             self._state == OPEN
             and self._clock() - self._opened_at >= self.cooldown_s
         ):
-            self._state = HALF_OPEN
+            self._set_state(HALF_OPEN)
         return self._state
 
     @property
@@ -236,7 +259,7 @@ class CircuitBreaker:
         self.successes += 1
         self.consecutive_failures = 0
         if self._state in (OPEN, HALF_OPEN):
-            self._state = CLOSED
+            self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         """A job (or probe) failed on this worker."""
@@ -246,15 +269,15 @@ class CircuitBreaker:
         self.consecutive_failures += 1
         if self.state == HALF_OPEN:
             # The one post-cooldown probe failed: the device is gone.
-            self._state = EVICTED
+            self._set_state(EVICTED)
         elif self.consecutive_failures >= self.failure_threshold:
-            self._state = OPEN
+            self._set_state(OPEN)
             self._opened_at = self._clock()
             self.times_opened += 1
 
     def evict(self) -> None:
         """Force the terminal state (sentinel caught silent corruption)."""
-        self._state = EVICTED
+        self._set_state(EVICTED)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

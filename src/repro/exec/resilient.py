@@ -51,7 +51,22 @@ from .errors import (
 )
 from .faults import FaultInjector
 
-__all__ = ["RetryPolicy", "FaultStats", "ResilientInstance"]
+__all__ = ["seeded_jitter", "RetryPolicy", "FaultStats", "ResilientInstance"]
+
+
+def seeded_jitter(seed: int, key: int, attempt: int) -> float:
+    """One deterministic jitter draw in ``[0, 1)``.
+
+    The single seeded jitter source shared by every backoff site in the
+    stack — :meth:`RetryPolicy.backoff_seconds` and the serving front
+    end's retry/shed scheduling (:mod:`repro.serve`). The draw is a pure
+    function of ``(seed, key, attempt)``: a throwaway generator seeded
+    from the triple acts as a hash, consuming no shared random stream
+    and reading no clock. Two components configured with the same seed
+    therefore jitter identically, and chaos runs with concurrent workers
+    replay exactly.
+    """
+    return float(np.random.default_rng((seed, key, attempt)).random())
 
 
 @dataclass(frozen=True)
@@ -138,11 +153,7 @@ class RetryPolicy:
             self.max_backoff,
         )
         if self.jitter > 0.0:
-            # A throwaway generator seeded from (seed, key, attempt) is a
-            # pure hash of its arguments: no state survives the call.
-            unit = np.random.default_rng(
-                (self.jitter_seed, key, attempt)
-            ).random()
+            unit = seeded_jitter(self.jitter_seed, key, attempt)
             delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
         return delay
 

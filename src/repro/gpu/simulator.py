@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from itertools import zip_longest
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -35,6 +36,7 @@ from .perfmodel import (
 __all__ = [
     "SimulatedDevice",
     "BenchmarkPoint",
+    "CoalesceTiming",
     "IncrementalTiming",
     "PoolTiming",
     "ShardTiming",
@@ -123,6 +125,51 @@ class PoolTiming:
     def throughput(self) -> float:
         """Completed jobs per modelled second."""
         return self.completed / self.seconds if self.seconds > 0.0 else 0.0
+
+
+@dataclass(frozen=True)
+class CoalesceTiming:
+    """Modelled cross-request coalescing economics of one batch.
+
+    Attributes
+    ----------
+    coalesced_seconds:
+        Device time of the lockstep schedule: round ``r`` fuses every
+        member's ``r``-th operation set into one launch of their summed
+        sizes, so the per-launch fixed cost is paid once per round
+        instead of once per member set.
+    solo_seconds:
+        The same members served one at a time on the same device (the
+        uncoalesced baseline).
+    coalesced_launches / solo_launches:
+        Launch counts of the two schedules.
+    width:
+        Members in the batch.
+
+    Per-request latency under coalescing is ``coalesced_seconds`` for
+    *every* member — nobody's value is ready before the batch finishes —
+    while the solo baseline's k-th member waits the cumulative time of
+    the members before it. That is the p99-versus-throughput trade the
+    serving bench reports.
+    """
+
+    coalesced_seconds: float
+    solo_seconds: float
+    coalesced_launches: int
+    solo_launches: int
+    width: int
+
+    @property
+    def speedup(self) -> float:
+        """Solo seconds over coalesced seconds (aggregate throughput gain)."""
+        if self.coalesced_seconds <= 0.0:
+            return float("inf") if self.solo_seconds > 0.0 else 1.0
+        return self.solo_seconds / self.coalesced_seconds
+
+    @property
+    def launches_saved(self) -> int:
+        """Kernel launches the lockstep schedule avoids."""
+        return self.solo_launches - self.coalesced_launches
 
 
 @dataclass(frozen=True)
@@ -500,6 +547,87 @@ class SimulatedDevice:
             survivors = n_workers - evicted_count
             makespan = math.ceil(n_jobs / survivors) * job_seconds
             curve.append((evicted_count, n_jobs / makespan))
+        return curve
+
+    # ------------------------------------------------------------------
+    # Cross-request coalescing (likelihood-as-a-service batches)
+    # ------------------------------------------------------------------
+    def time_coalesced(
+        self,
+        member_set_sizes: Sequence[Sequence[int]],
+        dims: WorkloadDims,
+        *,
+        mechanism: str = "kernel",
+        n_streams: int = 4,
+    ) -> CoalesceTiming:
+        """Modelled timing of one coalesced cross-request batch.
+
+        ``member_set_sizes`` holds each member's plan set sizes (the
+        shape :class:`~repro.serve.coalesce.CoalescedBatch` exposes).
+        The coalesced schedule runs members in lockstep — round ``r``
+        fuses every member's ``r``-th set into one launch of the summed
+        operation count, the BEAGLE 4.1 multi-client picture — while the
+        solo baseline launches every member's every set separately. All
+        members share ``dims``: the assembler only coalesces requests
+        whose dimensions agree (in ``"pad"`` mode callers pass the
+        bucket's padded pattern count, so the padding waste is priced
+        in).
+        """
+        members = [list(sizes) for sizes in member_set_sizes]
+        if not members or any(not sizes for sizes in members):
+            raise ValueError("every member needs a non-empty set-size list")
+        rounds: List[int] = []
+        for sizes in zip_longest(*members):
+            rounds.append(sum(k for k in sizes if k is not None))
+        coalesced = [
+            self._set_cost(dims, k, mechanism, n_streams) for k in rounds
+        ]
+        solo = [
+            self._set_cost(dims, k, mechanism, n_streams)
+            for sizes in members
+            for k in sizes
+        ]
+        return CoalesceTiming(
+            coalesced_seconds=sum(t.seconds for t in coalesced),
+            solo_seconds=sum(t.seconds for t in solo),
+            coalesced_launches=len(coalesced),
+            solo_launches=len(solo),
+            width=len(members),
+        )
+
+    def coalescing_curve(
+        self,
+        set_sizes: Sequence[int],
+        dims: WorkloadDims,
+        widths: Sequence[int],
+        *,
+        mechanism: str = "kernel",
+        n_streams: int = 4,
+    ) -> List[Tuple[int, float, float]]:
+        """Throughput and per-request latency as batch width grows.
+
+        Returns ``(width, requests_per_second, per_request_seconds)``
+        for homogeneous batches of ``width`` identical members with the
+        given ``set_sizes``. Throughput rises as the per-launch fixed
+        cost amortises across members; per-request latency *also* rises,
+        because every member waits for the whole batch — the curve the
+        serving bench plots and the brownout widen-first policy banks
+        on.
+        """
+        curve: List[Tuple[int, float, float]] = []
+        for width in widths:
+            if width < 1:
+                raise ValueError("widths must be positive")
+            timing = self.time_coalesced(
+                [list(set_sizes)] * width,
+                dims,
+                mechanism=mechanism,
+                n_streams=n_streams,
+            )
+            seconds = timing.coalesced_seconds
+            curve.append(
+                (width, width / seconds if seconds > 0.0 else 0.0, seconds)
+            )
         return curve
 
     # ------------------------------------------------------------------

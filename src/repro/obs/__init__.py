@@ -70,6 +70,7 @@ __all__ = [
     "set_recorder",
     "recording",
     "record_pool_stats",
+    "record_serve_stats",
     "validate_metrics",
     "validate_trace",
 ]
@@ -313,6 +314,33 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
     registry.counter(
         "repro_shard_checkpoint_writes_total", "Shard checkpoints written"
     )
+    registry.counter(
+        "repro_serve_served_total", "Server requests completed with a value"
+    )
+    registry.counter(
+        "repro_serve_rejected_total",
+        "Server submissions refused by admission control",
+    )
+    registry.counter(
+        "repro_serve_shed_total",
+        "Server requests shed (queue-expired or brownout)",
+    )
+    registry.counter(
+        "repro_serve_failed_total",
+        "Server requests exhausting their uncoalesced retry",
+    )
+    registry.counter(
+        "repro_serve_retries_total",
+        "Server requests re-dispatched uncoalesced after a batch failure",
+    )
+    registry.counter(
+        "repro_serve_late_total",
+        "Served values delivered after their request deadline",
+    )
+    registry.counter(
+        "repro_serve_verify_failures_total",
+        "Served values that failed the serial bit-identity gate",
+    )
 
 
 def record_pool_stats(stats, registry: Optional[MetricsRegistry] = None) -> None:
@@ -351,3 +379,53 @@ def record_pool_stats(stats, registry: Optional[MetricsRegistry] = None) -> None
         "repro_pool_ledger_imbalances",
         "Violated PoolStats ledger identities (0 = ledger closes)",
     ).set(len(stats.imbalances()))
+
+
+def record_serve_stats(ledger, registry: Optional[MetricsRegistry] = None) -> None:
+    """Export a :class:`~repro.serve.ledger.ServeLedger` as gauges.
+
+    Mirrors :func:`record_pool_stats`: every aggregate bucket becomes a
+    ``repro_serve_*`` gauge, rejection reasons and shed causes export as
+    labeled gauges, and the violated-identity count lands in
+    ``repro_serve_ledger_imbalances`` so a drifting request ledger is an
+    alertable signal, not a silent invariant.
+    """
+    registry = registry if registry is not None else get_recorder().metrics
+    fields = {
+        "offered": ledger.offered,
+        "rejected": ledger.rejected,
+        "admitted": ledger.admitted,
+        "served": ledger.served,
+        "shed": ledger.shed,
+        "failed": ledger.failed,
+        "queued": ledger.queued,
+        "in_flight": ledger.in_flight,
+        "retried": ledger.retried,
+        "late": ledger.late,
+        "coalesced_launches": ledger.coalesced_launches,
+        "coalesced_requests": ledger.coalesced_requests,
+        "verified": ledger.verified,
+        "verify_failures": ledger.verify_failures,
+        "tenants": len(ledger.tenants),
+    }
+    for field, value in fields.items():
+        registry.gauge(
+            f"repro_serve_{field}",
+            f"ServeLedger.{field} at the last export",
+        ).set(value)
+    for reason, count in sorted(ledger.rejected_by_reason.items()):
+        registry.gauge(
+            "repro_serve_rejected_by_reason",
+            "Server rejections, by typed admission reason",
+            labels={"reason": reason},
+        ).set(count)
+    for cause, count in sorted(ledger.shed_by_cause.items()):
+        registry.gauge(
+            "repro_serve_shed_by_cause",
+            "Server sheds, by typed cause",
+            labels={"cause": cause},
+        ).set(count)
+    registry.gauge(
+        "repro_serve_ledger_imbalances",
+        "Violated ServeLedger identities (0 = ledger closes)",
+    ).set(len(ledger.imbalances()))

@@ -1,0 +1,207 @@
+"""Deadline-aware admission control with typed reject reasons.
+
+The server never queues unboundedly: a submission that cannot be served
+acceptably is refused *now*, with a reason, as a
+:class:`ServerSaturatedError` — a subclass of the pool's
+:class:`~repro.exec.errors.PoolSaturatedError`, so callers that already
+handle pool saturation handle server saturation for free. Four reasons:
+
+``queue-full``
+    The server's bounded queue is at capacity (the direct analogue of
+    the pool's admission bound).
+``tenant-quota``
+    The submitting tenant alone is at its queued-request quota — one hot
+    tenant fills its own slice, not the shared queue.
+``infeasible-deadline``
+    The request carries a deadline the current backlog makes impossible:
+    the expected queue wait (estimated from an EWMA of observed service
+    times) already exceeds the budget. Rejecting at the door is strictly
+    kinder than queueing work that can only be shed later.
+``brownout-clamp``
+    The brownout controller has clamped per-tenant quotas below the
+    configured level (sustained overload; see
+    :mod:`repro.serve.brownout`).
+
+Every decision is pure bookkeeping over counts the server passes in, so
+admission is deterministic and unit-testable without a server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exec.errors import PoolSaturatedError
+from .ledger import (
+    REJECT_BROWNOUT,
+    REJECT_INFEASIBLE,
+    REJECT_QUEUE_FULL,
+    REJECT_TENANT_QUOTA,
+)
+
+__all__ = [
+    "ServerSaturatedError",
+    "AdmissionConfig",
+    "AdmissionDecision",
+    "AdmissionController",
+]
+
+
+class ServerSaturatedError(PoolSaturatedError):
+    """A request was refused by the server's admission control.
+
+    Parameters
+    ----------
+    reason:
+        One of the typed rejection reasons
+        (:data:`~repro.serve.ledger.REJECT_QUEUE_FULL` …).
+    tenant:
+        The submitting tenant.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str,
+        tenant: str,
+        capacity: Optional[int] = None,
+        pending: Optional[int] = None,
+    ) -> None:
+        super().__init__(message, capacity=capacity, pending=pending)
+        self.reason = reason
+        self.tenant = tenant
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the admission controller.
+
+    Parameters
+    ----------
+    max_queued:
+        Bound on requests queued across all tenants.
+    tenant_quota:
+        Bound on requests one tenant may have queued (``None`` = only
+        the global bound applies).
+    feasibility:
+        Reject requests whose deadline the estimated queue wait already
+        exceeds. Needs at least one observed service time to act.
+    service_ewma_alpha:
+        Smoothing factor of the service-time estimate.
+    """
+
+    max_queued: int = 1024
+    tenant_quota: Optional[int] = None
+    feasibility: bool = True
+    service_ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be positive")
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be positive (or None)")
+        if not 0.0 < self.service_ewma_alpha <= 1.0:
+            raise ValueError("service_ewma_alpha must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admit: bool
+    reason: Optional[str] = None
+    detail: str = ""
+
+
+class AdmissionController:
+    """Stateless-per-decision admission over server-supplied counts.
+
+    The only internal state is the service-time EWMA
+    (:meth:`observe_service`), which the feasibility check uses to
+    estimate how long a newly queued request would wait.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        #: EWMA of per-request service seconds (None until first sample).
+        self.service_estimate_s: Optional[float] = None
+
+    def observe_service(self, seconds: float) -> None:
+        """Fold one observed per-request service time into the EWMA."""
+        if seconds < 0.0:
+            return
+        if self.service_estimate_s is None:
+            self.service_estimate_s = seconds
+        else:
+            a = self.config.service_ewma_alpha
+            self.service_estimate_s = (
+                a * seconds + (1.0 - a) * self.service_estimate_s
+            )
+
+    def estimated_wait_s(self, queue_depth: int, workers: int) -> Optional[float]:
+        """Expected queue wait with ``queue_depth`` requests ahead."""
+        if self.service_estimate_s is None or workers < 1:
+            return None
+        return queue_depth * self.service_estimate_s / workers
+
+    def decide(
+        self,
+        *,
+        tenant: str,
+        queue_depth: int,
+        tenant_depth: int,
+        workers: int = 1,
+        budget_s: Optional[float] = None,
+        quota_scale: float = 1.0,
+    ) -> AdmissionDecision:
+        """Admit or reject one submission.
+
+        Parameters
+        ----------
+        tenant, queue_depth, tenant_depth, workers:
+            Who is asking and what the queue looks like.
+        budget_s:
+            The request's deadline budget, for the feasibility check.
+        quota_scale:
+            Brownout clamp in ``(0, 1]`` applied to the tenant quota; a
+            rejection that only occurs because ``quota_scale < 1``
+            carries the ``brownout-clamp`` reason.
+        """
+        cfg = self.config
+        if queue_depth >= cfg.max_queued:
+            return AdmissionDecision(
+                False,
+                REJECT_QUEUE_FULL,
+                f"queue at capacity ({cfg.max_queued})",
+            )
+        if cfg.tenant_quota is not None:
+            clamped = max(1, int(cfg.tenant_quota * quota_scale))
+            if tenant_depth >= clamped:
+                reason = (
+                    REJECT_BROWNOUT
+                    if clamped < cfg.tenant_quota
+                    else REJECT_TENANT_QUOTA
+                )
+                return AdmissionDecision(
+                    False,
+                    reason,
+                    f"tenant {tenant} at quota "
+                    f"({tenant_depth}/{clamped}"
+                    + (
+                        f", clamped from {cfg.tenant_quota}"
+                        if clamped < cfg.tenant_quota
+                        else ""
+                    )
+                    + ")",
+                )
+        if cfg.feasibility and budget_s is not None:
+            wait = self.estimated_wait_s(queue_depth, workers)
+            if wait is not None and wait > budget_s:
+                return AdmissionDecision(
+                    False,
+                    REJECT_INFEASIBLE,
+                    f"estimated wait {wait * 1e3:.0f} ms exceeds "
+                    f"{budget_s * 1e3:.0f} ms budget",
+                )
+        return AdmissionDecision(True)

@@ -1,0 +1,117 @@
+"""Graceful brownout: explicit, staged degradation under sustained load.
+
+An overloaded server must degrade by *policy*, not by accident. The
+:class:`BrownoutController` turns queue pressure (queued requests over
+queue capacity) into a small integer **level**, and each level arms one
+explicit mechanism — in escalating order of how much it hurts:
+
+====== ===================================================================
+level  effect
+====== ===================================================================
+0      normal operation
+1      **coalescing width grows** (``width_scale`` doubles per level):
+       more requests share each launch — aggregate throughput rises,
+       per-request p99 latency pays
+2      \\+ **per-tenant quota clamp** (``quota_scale`` halves): admission
+       tightens each tenant's queued-request quota, shedding load at the
+       door with the typed ``brownout-clamp`` reason
+3      \\+ **deadline-ascending shed**: queued requests beyond the
+       target backlog are dropped, soonest deadlines first (they are the
+       least likely to be served in time, so the feasible work lost is
+       minimal); every victim is a ledger-counted ``shed`` outcome
+====== ===================================================================
+
+The level is a pure function of observed pressure against fixed
+thresholds — no hysteresis state, no clock — so two servers observing
+the same queue sequence brown out identically (the determinism the
+serve-schedule regression test pins down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["BrownoutPolicy", "BrownoutController"]
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """Thresholds and effect strengths of the brownout stages.
+
+    Parameters
+    ----------
+    thresholds:
+        Pressure (queued / max_queued) at which levels 1, 2 and 3
+        engage; strictly increasing, in ``(0, 1]``.
+    widen_factor:
+        Coalescing-width multiplier applied per level (level ``L`` ⇒
+        ``widen_factor ** L``).
+    clamp_factor:
+        Per-tenant quota multiplier applied per level at or above 2
+        (level 2 ⇒ ``clamp_factor``, level 3 ⇒ ``clamp_factor**2``).
+    shed_target:
+        Fraction of queue capacity the level-3 shed trims the backlog
+        down to.
+    """
+
+    thresholds: Tuple[float, float, float] = (0.5, 0.75, 0.9)
+    widen_factor: float = 2.0
+    clamp_factor: float = 0.5
+    shed_target: float = 0.75
+
+    def __post_init__(self) -> None:
+        t1, t2, t3 = self.thresholds
+        if not 0.0 < t1 < t2 < t3 <= 1.0:
+            raise ValueError(
+                "thresholds must be strictly increasing within (0, 1]"
+            )
+        if self.widen_factor < 1.0:
+            raise ValueError("widen_factor must be at least 1")
+        if not 0.0 < self.clamp_factor <= 1.0:
+            raise ValueError("clamp_factor must be in (0, 1]")
+        if not 0.0 < self.shed_target <= 1.0:
+            raise ValueError("shed_target must be in (0, 1]")
+
+
+class BrownoutController:
+    """Maps queue pressure to a level and its staged effects."""
+
+    def __init__(self, policy: BrownoutPolicy = BrownoutPolicy()) -> None:
+        self.policy = policy
+        self.level = 0
+        #: Highest level reached (reporting only).
+        self.peak_level = 0
+
+    def observe(self, queued: int, capacity: int) -> int:
+        """Update and return the level for the current backlog."""
+        pressure = queued / capacity if capacity > 0 else 0.0
+        level = 0
+        for threshold in self.policy.thresholds:
+            if pressure >= threshold:
+                level += 1
+        self.level = level
+        self.peak_level = max(self.peak_level, level)
+        return level
+
+    @property
+    def width_scale(self) -> float:
+        """Coalescing-width multiplier at the current level (≥ 1)."""
+        return self.policy.widen_factor ** self.level
+
+    @property
+    def quota_scale(self) -> float:
+        """Per-tenant quota multiplier at the current level (≤ 1)."""
+        if self.level < 2:
+            return 1.0
+        return self.policy.clamp_factor ** (self.level - 1)
+
+    def shed_count(self, queued: int, capacity: int) -> int:
+        """Queued requests the level-3 shed should drop right now."""
+        if self.level < 3:
+            return 0
+        target = int(capacity * self.policy.shed_target)
+        return max(0, queued - target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BrownoutController level={self.level} peak={self.peak_level}>"

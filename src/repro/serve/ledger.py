@@ -1,0 +1,307 @@
+"""Closed-form request accounting for the likelihood server.
+
+Every request a :class:`~repro.serve.server.LikelihoodServer` ever sees
+lands in exactly one terminal bucket — ``served``, ``shed``, ``failed``
+— or is still ``queued``/``in_flight``; submissions refused by admission
+control are ``rejected`` before they are ever queued. The
+:class:`ServeLedger` keeps those counts globally *and* per tenant, and
+its :meth:`ServeLedger.imbalances` checks the identities that make
+"no silent drops" a checkable property instead of a hope (the same
+discipline as :class:`~repro.exec.pool.PoolStats` and the shard ledger
+of PR 7)::
+
+    offered  == admitted + rejected
+    admitted == served + shed + failed + queued + in_flight
+    rejected == sum(rejected_by_reason)
+    shed     == sum(shed_by_cause)
+    <total>  == sum over tenants, for every bucket
+
+After a full drain ``queued == in_flight == 0``, so the second identity
+collapses to the closed form ``admitted == served + shed + failed``.
+``retried``, ``late``, ``coalesced_*`` and ``verified`` are informative
+counters outside the identities (a retry is not a terminal outcome; a
+late or verified request is still served).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["TenantLedger", "ServeLedger"]
+
+#: Terminal request statuses.
+SERVED = "served"
+SHED = "shed"
+FAILED = "failed"
+
+#: Shed causes.
+SHED_EXPIRED = "expired"  # deadline ran out while queued
+SHED_BROWNOUT = "brownout"  # deadline-ascending overload shed
+
+#: Rejection reasons (admission control).
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_TENANT_QUOTA = "tenant-quota"
+REJECT_INFEASIBLE = "infeasible-deadline"
+REJECT_BROWNOUT = "brownout-clamp"
+
+
+@dataclass
+class TenantLedger:
+    """One tenant's slice of the server's accounting."""
+
+    tenant: str
+    offered: int = 0
+    rejected: int = 0
+    admitted: int = 0
+    served: int = 0
+    shed: int = 0
+    failed: int = 0
+    queued: int = 0
+    in_flight: int = 0
+    retried: int = 0
+    late: int = 0
+
+    def imbalances(self) -> List[str]:
+        """Violated per-tenant identities (empty means the row closes)."""
+        problems: List[str] = []
+        if self.offered != self.admitted + self.rejected:
+            problems.append(
+                f"tenant {self.tenant}: offered={self.offered} != "
+                f"admitted={self.admitted} + rejected={self.rejected}"
+            )
+        accounted = (
+            self.served + self.shed + self.failed
+            + self.queued + self.in_flight
+        )
+        if self.admitted != accounted:
+            problems.append(
+                f"tenant {self.tenant}: admitted={self.admitted} != "
+                f"served={self.served} + shed={self.shed} + "
+                f"failed={self.failed} + queued={self.queued} + "
+                f"in_flight={self.in_flight}"
+            )
+        return problems
+
+
+@dataclass
+class ServeLedger:
+    """Aggregate server ledger plus per-tenant rows.
+
+    Attributes
+    ----------
+    offered:
+        Every :meth:`~repro.serve.server.LikelihoodServer.submit` call,
+        accepted or not.
+    rejected / rejected_by_reason:
+        Submissions refused by admission control, by typed reason.
+    admitted:
+        Requests that entered the queue.
+    served / shed / failed:
+        Terminal outcomes; ``shed_by_cause`` splits queue-expiry from
+        brownout shedding.
+    queued / in_flight:
+        Requests not yet terminal (both zero after a full drain).
+    retried:
+        Server-level uncoalesced re-dispatches after a batch failure
+        (non-terminal; the request still ends in exactly one bucket).
+    late:
+        Served requests whose value arrived after their deadline —
+        delivered and counted, never silently dropped.
+    coalesced_launches / coalesced_requests:
+        Shared launch rounds issued and requests that rode in a batch of
+        width ≥ 2.
+    verified / verify_failures:
+        Bit-identity gate traffic (``verify=`` mode): served values
+        re-computed serially and compared exactly.
+    """
+
+    offered: int = 0
+    rejected: int = 0
+    admitted: int = 0
+    served: int = 0
+    shed: int = 0
+    failed: int = 0
+    queued: int = 0
+    in_flight: int = 0
+    retried: int = 0
+    late: int = 0
+    coalesced_launches: int = 0
+    coalesced_requests: int = 0
+    verified: int = 0
+    verify_failures: int = 0
+    rejected_by_reason: Dict[str, int] = field(default_factory=dict)
+    shed_by_cause: Dict[str, int] = field(default_factory=dict)
+    tenants: Dict[str, TenantLedger] = field(default_factory=dict)
+
+    # -- recording ------------------------------------------------------
+    def tenant(self, name: str) -> TenantLedger:
+        """The (created-on-first-use) row for ``name``."""
+        row = self.tenants.get(name)
+        if row is None:
+            row = TenantLedger(name)
+            self.tenants[name] = row
+        return row
+
+    def record_offered(self, tenant: str) -> None:
+        """Count a request arriving at the front door."""
+        self.offered += 1
+        self.tenant(tenant).offered += 1
+
+    def record_rejected(self, tenant: str, reason: str) -> None:
+        """Count an admission rejection under typed ``reason``."""
+        self.rejected += 1
+        self.rejected_by_reason[reason] = (
+            self.rejected_by_reason.get(reason, 0) + 1
+        )
+        self.tenant(tenant).rejected += 1
+
+    def record_admitted(self, tenant: str) -> None:
+        """Count an admitted request entering the queue."""
+        self.admitted += 1
+        self.queued += 1
+        row = self.tenant(tenant)
+        row.admitted += 1
+        row.queued += 1
+
+    def record_dispatched(self, tenant: str) -> None:
+        """Move one request from queued to in-flight."""
+        self.queued -= 1
+        self.in_flight += 1
+        row = self.tenant(tenant)
+        row.queued -= 1
+        row.in_flight += 1
+
+    def record_served(self, tenant: str, *, late: bool = False) -> None:
+        """Close an in-flight request with a value (``late`` if past deadline)."""
+        self.in_flight -= 1
+        self.served += 1
+        row = self.tenant(tenant)
+        row.in_flight -= 1
+        row.served += 1
+        if late:
+            self.late += 1
+            row.late += 1
+
+    def record_shed(self, tenant: str, cause: str, *, queued: bool = True) -> None:
+        """Close a request as shed (``queued`` selects which bucket it leaves)."""
+        if queued:
+            self.queued -= 1
+            self.tenant(tenant).queued -= 1
+        else:
+            self.in_flight -= 1
+            self.tenant(tenant).in_flight -= 1
+        self.shed += 1
+        self.shed_by_cause[cause] = self.shed_by_cause.get(cause, 0) + 1
+        self.tenant(tenant).shed += 1
+
+    def record_failed(self, tenant: str) -> None:
+        """Close an in-flight request whose retries are exhausted."""
+        self.in_flight -= 1
+        self.failed += 1
+        row = self.tenant(tenant)
+        row.in_flight -= 1
+        row.failed += 1
+
+    def record_retried(self, tenant: str) -> None:
+        """Count one uncoalesced retry of a failed batch member."""
+        self.retried += 1
+        self.tenant(tenant).retried += 1
+
+    # -- identities -----------------------------------------------------
+    def imbalances(self) -> List[str]:
+        """Violated ledger identities (empty means the ledger closes)."""
+        problems: List[str] = []
+        if self.offered != self.admitted + self.rejected:
+            problems.append(
+                f"offered={self.offered} != admitted={self.admitted} "
+                f"+ rejected={self.rejected}"
+            )
+        accounted = (
+            self.served + self.shed + self.failed
+            + self.queued + self.in_flight
+        )
+        if self.admitted != accounted:
+            problems.append(
+                f"admitted={self.admitted} != served={self.served} "
+                f"+ shed={self.shed} + failed={self.failed} "
+                f"+ queued={self.queued} + in_flight={self.in_flight}"
+            )
+        if self.rejected != sum(self.rejected_by_reason.values()):
+            problems.append(
+                f"rejected={self.rejected} != "
+                f"sum(by reason)={sum(self.rejected_by_reason.values())}"
+            )
+        if self.shed != sum(self.shed_by_cause.values()):
+            problems.append(
+                f"shed={self.shed} != "
+                f"sum(by cause)={sum(self.shed_by_cause.values())}"
+            )
+        for bucket in (
+            "offered", "rejected", "admitted", "served", "shed",
+            "failed", "queued", "in_flight", "retried", "late",
+        ):
+            total = getattr(self, bucket)
+            by_tenant = sum(getattr(r, bucket) for r in self.tenants.values())
+            if total != by_tenant:
+                problems.append(
+                    f"{bucket}={total} != sum over tenants={by_tenant}"
+                )
+        for row in self.tenants.values():
+            problems.extend(row.imbalances())
+        return problems
+
+    def balances(self) -> bool:
+        """Does every ledger identity close?"""
+        return not self.imbalances()
+
+    def drained(self) -> bool:
+        """No request left queued or in flight?"""
+        return self.queued == 0 and self.in_flight == 0
+
+    def explain(self) -> str:
+        """Account for every ledger identity with its current numbers."""
+        checks = [
+            (
+                "offered == admitted + rejected",
+                self.offered,
+                self.admitted + self.rejected,
+                "every submission is admitted or refused with a reason",
+            ),
+            (
+                "admitted == served + shed + failed + queued + in_flight",
+                self.admitted,
+                self.served + self.shed + self.failed
+                + self.queued + self.in_flight,
+                "every admitted request is somewhere, exactly once",
+            ),
+            (
+                "rejected == sum(rejected_by_reason)",
+                self.rejected,
+                sum(self.rejected_by_reason.values()),
+                "every rejection carries a typed reason",
+            ),
+            (
+                "shed == sum(shed_by_cause)",
+                self.shed,
+                sum(self.shed_by_cause.values()),
+                "every shed request carries a typed cause",
+            ),
+        ]
+        lines = []
+        for identity, lhs, rhs, meaning in checks:
+            mark = "ok" if lhs == rhs else "VIOLATED"
+            lines.append(f"[{mark}] {identity} ({lhs} vs {rhs}): {meaning}")
+        return "\n".join(lines)
+
+    def format(self) -> str:
+        """One-line summary for logs and ``synthetictest`` output."""
+        return (
+            f"serve: tenants={len(self.tenants)} offered={self.offered} "
+            f"admitted={self.admitted} rejected={self.rejected} "
+            f"served={self.served} shed={self.shed} failed={self.failed} "
+            f"retried={self.retried} late={self.late} "
+            f"coalesced={self.coalesced_requests}req/"
+            f"{self.coalesced_launches}launch "
+            f"verified={self.verified}/{self.verified + self.verify_failures}"
+        )

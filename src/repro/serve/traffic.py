@@ -1,0 +1,213 @@
+"""Seeded arrival traces: steady multi-tenant load and burst storms.
+
+Chaos soaks need arrival patterns that are hostile *and* replayable.
+Everything here is a pure function of its seed: the same
+``burst_storm(seed=...)`` call always yields the same tenants, arrival
+times, deadlines and burst placement, so a failing soak replays exactly
+and two servers fed the same trace can be compared schedule-for-
+schedule.
+
+A trace is a list of :class:`Arrival` events sorted by time. The
+:func:`replay` helper drives a server through a trace against an
+injectable clock (a :class:`StepClock` in tests, the wall clock in
+benches), submitting each arrival and stepping the server between
+arrival groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Arrival", "StepClock", "steady_trace", "burst_storm", "replay"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request arrival in a trace."""
+
+    at: float
+    tenant: str
+    budget_s: Optional[float] = None
+    cost: int = 1
+    label: str = ""
+
+
+class StepClock:
+    """A manual clock: time moves only when the test advances it."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0.0:
+            raise ValueError("time only moves forward")
+        self.now += seconds
+        return self.now
+
+
+def steady_trace(
+    seed: int,
+    *,
+    n_tenants: int = 4,
+    n_requests: int = 64,
+    horizon_s: float = 1.0,
+    budget_s: Optional[float] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> List[Arrival]:
+    """Uniform-ish multi-tenant arrivals over a horizon.
+
+    Tenants are named ``t0 … t{n-1}``; each request picks its tenant
+    with probability proportional to ``weights`` (uniform by default)
+    and arrives at a uniform random time in ``[0, horizon_s)``.
+    """
+    if n_tenants < 1:
+        raise ValueError("need at least one tenant")
+    rng = np.random.default_rng((seed, 0x57EAD))
+    p = None
+    if weights is not None:
+        w = np.asarray(list(weights), dtype=float)
+        if len(w) != n_tenants or (w <= 0).any():
+            raise ValueError("weights must be positive, one per tenant")
+        p = w / w.sum()
+    times = np.sort(rng.uniform(0.0, horizon_s, size=n_requests))
+    tenants = rng.choice(n_tenants, size=n_requests, p=p)
+    return [
+        Arrival(
+            at=float(times[i]),
+            tenant=f"t{int(tenants[i])}",
+            budget_s=budget_s,
+            label=f"req-{i}",
+        )
+        for i in range(n_requests)
+    ]
+
+
+def burst_storm(
+    seed: int,
+    *,
+    n_tenants: int = 8,
+    n_requests: int = 256,
+    horizon_s: float = 1.0,
+    n_bursts: int = 3,
+    burst_fraction: float = 0.6,
+    burst_width_s: float = 0.02,
+    budget_s: Optional[float] = None,
+    hot_tenants: int = 1,
+) -> List[Arrival]:
+    """A hostile trace: background load plus tenant burst storms.
+
+    ``burst_fraction`` of the requests arrive inside ``n_bursts`` narrow
+    windows, all from ``hot_tenants`` randomly chosen hot tenants — the
+    arrival pattern that starves cold tenants and saturates admission
+    unless fairness and brownout hold. The rest arrive as steady
+    background across all tenants.
+    """
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError("burst_fraction must be within [0, 1]")
+    if hot_tenants < 1 or hot_tenants > n_tenants:
+        raise ValueError("hot_tenants must be within [1, n_tenants]")
+    rng = np.random.default_rng((seed, 0xB125))
+    n_burst = int(n_requests * burst_fraction)
+    n_background = n_requests - n_burst
+    arrivals: List[Arrival] = []
+    # Steady background across every tenant.
+    bg_times = np.sort(rng.uniform(0.0, horizon_s, size=n_background))
+    bg_tenants = rng.choice(n_tenants, size=n_background)
+    for i in range(n_background):
+        arrivals.append(
+            Arrival(
+                at=float(bg_times[i]),
+                tenant=f"t{int(bg_tenants[i])}",
+                budget_s=budget_s,
+                label=f"bg-{i}",
+            )
+        )
+    # Burst windows: hot tenants fire n_burst requests inside narrow slots.
+    hot = rng.choice(n_tenants, size=hot_tenants, replace=False)
+    burst_starts = rng.uniform(0.0, max(horizon_s - burst_width_s, 0.0),
+                               size=n_bursts)
+    for i in range(n_burst):
+        window = int(rng.integers(0, n_bursts))
+        at = float(
+            burst_starts[window] + rng.uniform(0.0, burst_width_s)
+        )
+        tenant = int(hot[int(rng.integers(0, hot_tenants))])
+        arrivals.append(
+            Arrival(
+                at=at,
+                tenant=f"t{tenant}",
+                budget_s=budget_s,
+                label=f"burst-{i}",
+            )
+        )
+    arrivals.sort(key=lambda a: (a.at, a.label))
+    return arrivals
+
+
+def replay(
+    server,
+    arrivals: Sequence[Arrival],
+    make_case_for: Callable[[Arrival], Callable[[], Tuple[object, object]]],
+    *,
+    clock: Optional[StepClock] = None,
+    dims=None,
+    step_every: int = 16,
+) -> Tuple[list, list]:
+    """Feed a trace into a server, stepping it as time advances.
+
+    Parameters
+    ----------
+    server:
+        A :class:`~repro.serve.server.LikelihoodServer`.
+    arrivals:
+        The trace (sorted by time).
+    make_case_for:
+        Builds each arrival's ``make_case`` factory.
+    clock:
+        The server's injected :class:`StepClock`, advanced to each
+        arrival's timestamp; omit to submit without advancing time.
+    dims:
+        Optional shared :class:`~repro.serve.request.RequestDims` for
+        every request (homogeneous-traffic traces).
+    step_every:
+        Run one serving cycle after this many submissions, modelling a
+        server that drains while traffic keeps arriving.
+
+    Returns
+    -------
+    (outcomes, rejections):
+        Terminal outcomes collected across all steps plus the final
+        drain, and the :class:`~repro.serve.admission.ServerSaturatedError`
+        for each refused submission.
+    """
+    outcomes: list = []
+    rejections: list = []
+    since_step = 0
+    for arrival in arrivals:
+        if clock is not None and arrival.at > clock.now:
+            clock.now = arrival.at
+        try:
+            server.submit(
+                arrival.tenant,
+                make_case_for(arrival),
+                label=arrival.label or None,
+                deadline_s=arrival.budget_s,
+                cost=arrival.cost,
+                dims=dims,
+            )
+        except Exception as exc:  # ServerSaturatedError and kin
+            rejections.append(exc)
+            continue
+        since_step += 1
+        if since_step >= step_every:
+            outcomes.extend(server.step())
+            since_step = 0
+    outcomes.extend(server.drain())
+    return outcomes, rejections

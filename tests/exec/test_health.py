@@ -180,6 +180,62 @@ class TestCircuitBreaker:
         assert breaker.evicted
 
 
+class TestBreakerTransitions:
+    def test_transitions_record_every_edge_in_order(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=0.1, clock=clock
+        )
+        breaker.record_failure()          # closed -> open
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN  # open -> half-open (lazy)
+        breaker.record_success()          # half-open -> closed
+        breaker.record_failure()          # closed -> open
+        clock.advance(0.2)
+        breaker.record_failure()          # probe fails: half-open -> evicted
+        assert breaker.transitions == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, EVICTED),
+        ]
+
+    def test_same_state_is_not_a_transition(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.transitions == []
+
+    def test_transitions_export_as_labeled_counter(self):
+        from repro.obs import recording
+
+        clock = FakeClock()
+        with recording() as obs:
+            breaker = CircuitBreaker(
+                failure_threshold=1, cooldown_s=0.1, clock=clock
+            )
+            breaker.record_failure()
+            clock.advance(0.2)
+            breaker.record_failure()  # half-open probe fails -> evicted
+        edges = {
+            tuple(dict(c.labels)[k] for k in ("from", "to")): c.value
+            for c in obs.metrics.instruments()
+            if c.name == "repro_breaker_transitions_total"
+        }
+        assert edges == {
+            (CLOSED, OPEN): 1,
+            (OPEN, HALF_OPEN): 1,
+            (HALF_OPEN, EVICTED): 1,
+        }
+
+    def test_no_export_without_recorder(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()  # must not raise with the null recorder
+        assert breaker.transitions == [(CLOSED, OPEN)]
+
+
 class TestSentinel:
     def test_expected_matches_reference_oracle(self):
         sentinel = Sentinel()

@@ -14,6 +14,7 @@ from repro.obs import (
     Recorder,
     get_recorder,
     record_pool_stats,
+    record_serve_stats,
     recording,
     set_recorder,
     validate_metrics,
@@ -161,6 +162,55 @@ def test_record_pool_stats_defaults_to_global_recorder():
     with recording() as obs:
         record_pool_stats(PoolStats(workers=1))
     assert obs.metrics.gauge("repro_pool_workers").value == 1
+
+
+def test_record_serve_stats_exports_gauges_and_labeled_breakdowns():
+    from repro.serve import SHED_EXPIRED, ServeLedger
+
+    ledger = ServeLedger()
+    for _ in range(3):
+        ledger.record_offered("a")
+        ledger.record_admitted("a")
+    ledger.record_offered("b")
+    ledger.record_rejected("b", "queue-full")
+    ledger.record_dispatched("a")
+    ledger.record_served("a")
+    ledger.record_dispatched("a")
+    ledger.record_served("a", late=True)
+    ledger.record_shed("a", SHED_EXPIRED)
+
+    recorder = Recorder()
+    record_serve_stats(ledger, registry=recorder.metrics)
+    assert recorder.metrics.gauge("repro_serve_offered").value == 4
+    assert recorder.metrics.gauge("repro_serve_served").value == 2
+    assert recorder.metrics.gauge("repro_serve_late").value == 1
+    assert recorder.metrics.gauge("repro_serve_tenants").value == 2
+    assert (
+        recorder.metrics.gauge(
+            "repro_serve_rejected_by_reason", labels={"reason": "queue-full"}
+        ).value
+        == 1
+    )
+    assert (
+        recorder.metrics.gauge(
+            "repro_serve_shed_by_cause", labels={"cause": SHED_EXPIRED}
+        ).value
+        == 1
+    )
+    # The ledger above closes: every identity holds.
+    assert recorder.metrics.gauge("repro_serve_ledger_imbalances").value == 0
+
+
+def test_record_serve_stats_flags_an_unbalanced_ledger():
+    from repro.serve import ServeLedger
+
+    broken = ServeLedger()
+    broken.record_offered("a")
+    broken.record_admitted("a")
+    broken.queued = 0  # lose the request: admitted != served+shed+failed+...
+    recorder = Recorder()
+    record_serve_stats(broken, registry=recorder.metrics)
+    assert recorder.metrics.gauge("repro_serve_ledger_imbalances").value >= 1
 
 
 def test_pool_stats_explain_names_each_identity():

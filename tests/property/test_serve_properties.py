@@ -1,0 +1,157 @@
+"""Serving invariants under arbitrary traffic — property-based.
+
+Two contracts the server must honour for *any* arrival schedule and
+tenant weighting, not just the curated scenarios in ``tests/serve``:
+
+* **closed ledger** — every offered request reaches exactly one typed
+  terminal state (served / rejected / shed / failed); the ledger
+  identities balance and ``offered == outcomes + rejections`` (zero
+  silent drops);
+* **starvation freedom** — a queued head request costs at most
+  ``ceil(cost / (quantum * weight))`` scheduler rotations before it is
+  picked, no matter what the competing tenants look like.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.exec import LikelihoodPool
+from repro.models import JC69
+from repro.serve import (
+    AdmissionConfig,
+    BrownoutPolicy,
+    CoalescePolicy,
+    DeficitRoundRobin,
+    FairnessConfig,
+    LikelihoodServer,
+    RequestDims,
+    ServerSaturatedError,
+    StepClock,
+)
+from repro.serve.request import LikelihoodRequest
+from repro.trees import balanced_tree
+
+_TREE = balanced_tree(4)
+_PATTERNS = random_patterns(
+    _TREE.tip_names(), 8, rng=np.random.default_rng(5)
+)
+_MODEL = JC69()
+_PLAN = make_plan(_TREE, "concurrent")
+_REFERENCE = execute_plan(create_instance(_TREE, _MODEL, _PATTERNS), _PLAN)
+_DIMS = RequestDims(state_count=4, pattern_count=8)
+
+
+def _make_case():
+    return create_instance(_TREE, _MODEL, _PATTERNS), _PLAN
+
+
+# An arrival is (tenant index, optional deadline budget in seconds).
+_arrivals = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.one_of(st.none(), st.floats(min_value=0.001, max_value=2.0)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+_weights = st.lists(
+    st.floats(min_value=0.25, max_value=4.0), min_size=4, max_size=4
+)
+
+
+class TestLedgerCloses:
+    @given(arrivals=_arrivals, weights=_weights, step_every=st.sampled_from([4, 7, 100]))
+    @settings(max_examples=25, deadline=None)
+    def test_every_request_is_accounted_exactly_once(
+        self, arrivals, weights, step_every
+    ):
+        clock = StepClock()
+        pool = LikelihoodPool(
+            2, executor="inline", clock=clock,
+            sleep=lambda s: clock.advance(s),
+        )
+        server = LikelihoodServer(
+            pool,
+            admission=AdmissionConfig(max_queued=8, tenant_quota=4),
+            fairness=FairnessConfig(),
+            coalesce=CoalescePolicy(max_width=3),
+            brownout=BrownoutPolicy(),
+            jitter_seed=0,
+            clock=clock,
+        )
+        for weight_index, weight in enumerate(weights):
+            server.scheduler.set_weight(f"t{weight_index}", weight)
+
+        outcomes, rejections = [], 0
+        for submitted, (tenant_index, budget) in enumerate(arrivals):
+            try:
+                server.submit(
+                    f"t{tenant_index}", _make_case,
+                    deadline_s=budget, dims=_DIMS,
+                )
+            except ServerSaturatedError:
+                rejections += 1
+            clock.advance(0.01)
+            if submitted % step_every == step_every - 1:
+                outcomes.extend(server.step())
+        outcomes.extend(server.drain())
+
+        ledger = server.ledger
+        assert ledger.balances(), ledger.imbalances()
+        assert ledger.drained()
+        assert len(outcomes) + rejections == ledger.offered == len(arrivals)
+        # Terminal states are exclusive and exhaustive per request.
+        assert sorted(o.index for o in outcomes) == sorted(
+            set(o.index for o in outcomes)
+        )
+        for outcome in outcomes:
+            assert outcome.status in ("served", "shed", "failed")
+            if outcome.ok:
+                assert outcome.value == _REFERENCE
+        # Per-tenant rows must sum to the aggregate ledger.
+        assert sum(t.offered for t in ledger.tenants.values()) == ledger.offered
+        assert sum(t.served for t in ledger.tenants.values()) == ledger.served
+
+
+def _request(index, tenant, cost):
+    return LikelihoodRequest(
+        index=index, tenant=tenant, make_case=lambda: (None, None),
+        label=f"r{index}", cost=cost,
+    )
+
+
+class TestStarvationFreedom:
+    @given(
+        weight=st.floats(min_value=0.25, max_value=4.0),
+        cost=st.integers(min_value=1, max_value=12),
+        competitors=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # rival tenant
+                st.integers(min_value=1, max_value=4),  # rival cost
+            ),
+            max_size=40,
+        ),
+        quantum=st.floats(min_value=0.5, max_value=4.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_head_request_picked_within_the_bound(
+        self, weight, cost, competitors, quantum
+    ):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=quantum))
+        drr.set_weight("victim", weight)
+        drr.enqueue(_request(0, "victim", cost))
+        for rival_index, (rival, rival_cost) in enumerate(competitors):
+            drr.enqueue(_request(100 + rival_index, f"rival{rival}", rival_cost))
+
+        bound = drr.starvation_bound("victim", cost)
+        picked = []
+        for _ in range(bound):
+            picked.extend(drr.pick(4))
+        assert any(p.index == 0 for p in picked), (
+            f"victim starved past its bound of {bound} rotations"
+        )

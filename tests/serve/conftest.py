@@ -1,0 +1,28 @@
+"""Shared fixtures for the serving front-end tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.models import JC69
+from repro.trees import balanced_tree
+
+
+@pytest.fixture(scope="package")
+def case():
+    """A small real likelihood case: (make_case, reference logL, plan)."""
+    tree = balanced_tree(8)
+    patterns = random_patterns(
+        tree.tip_names(), 24, rng=np.random.default_rng(11)
+    )
+    model = JC69()
+    plan = make_plan(tree, "concurrent")
+
+    def make_case():
+        return create_instance(tree, model, patterns), plan
+
+    reference = execute_plan(*make_case())
+    return make_case, reference, plan

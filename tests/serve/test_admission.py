@@ -1,0 +1,137 @@
+"""Admission control: typed reject reasons and deadline feasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.errors import PoolSaturatedError
+from repro.serve import (
+    REJECT_BROWNOUT,
+    REJECT_INFEASIBLE,
+    REJECT_QUEUE_FULL,
+    REJECT_TENANT_QUOTA,
+    AdmissionConfig,
+    AdmissionController,
+    ServerSaturatedError,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_queue(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queued=0)
+
+    def test_rejects_nonpositive_quota(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(tenant_quota=0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(service_ewma_alpha=0.0)
+
+
+class TestDecisions:
+    def test_admits_under_all_bounds(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=4, tenant_quota=2))
+        decision = ctl.decide(tenant="a", queue_depth=0, tenant_depth=0)
+        assert decision.admit
+        assert decision.reason is None
+
+    def test_queue_full_is_typed(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=4))
+        decision = ctl.decide(tenant="a", queue_depth=4, tenant_depth=4)
+        assert not decision.admit
+        assert decision.reason == REJECT_QUEUE_FULL
+
+    def test_tenant_quota_is_typed(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64, tenant_quota=2))
+        decision = ctl.decide(tenant="a", queue_depth=2, tenant_depth=2)
+        assert not decision.admit
+        assert decision.reason == REJECT_TENANT_QUOTA
+
+    def test_quota_check_ignores_other_tenants(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64, tenant_quota=2))
+        # Queue deep with other tenants' work; this tenant has room.
+        decision = ctl.decide(tenant="a", queue_depth=30, tenant_depth=0)
+        assert decision.admit
+
+    def test_brownout_clamp_gets_its_own_reason(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64, tenant_quota=8))
+        # At depth 4 the full quota of 8 would admit; the 0.5 clamp
+        # rejects — so the reason must say brownout, not tenant-quota.
+        decision = ctl.decide(
+            tenant="a", queue_depth=4, tenant_depth=4, quota_scale=0.5
+        )
+        assert not decision.admit
+        assert decision.reason == REJECT_BROWNOUT
+
+    def test_clamped_quota_never_drops_below_one(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64, tenant_quota=4))
+        decision = ctl.decide(
+            tenant="a", queue_depth=0, tenant_depth=0, quota_scale=0.01
+        )
+        assert decision.admit
+
+
+class TestFeasibility:
+    def test_no_estimate_no_rejection(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64))
+        decision = ctl.decide(
+            tenant="a", queue_depth=50, tenant_depth=0, budget_s=1e-9
+        )
+        assert decision.admit  # no service sample yet: cannot judge
+
+    def test_infeasible_deadline_rejected(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64))
+        ctl.observe_service(0.1)
+        decision = ctl.decide(
+            tenant="a", queue_depth=10, tenant_depth=0,
+            workers=1, budget_s=0.05,
+        )
+        assert not decision.admit
+        assert decision.reason == REJECT_INFEASIBLE
+
+    def test_feasible_deadline_admitted(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64))
+        ctl.observe_service(0.001)
+        decision = ctl.decide(
+            tenant="a", queue_depth=10, tenant_depth=0,
+            workers=4, budget_s=1.0,
+        )
+        assert decision.admit
+
+    def test_more_workers_make_waits_feasible(self):
+        ctl = AdmissionController(AdmissionConfig(max_queued=64))
+        ctl.observe_service(0.1)
+        kwargs = dict(tenant="a", queue_depth=10, tenant_depth=0, budget_s=0.5)
+        assert not ctl.decide(workers=1, **kwargs).admit
+        assert ctl.decide(workers=8, **kwargs).admit
+
+    def test_feasibility_off_admits(self):
+        ctl = AdmissionController(
+            AdmissionConfig(max_queued=64, feasibility=False)
+        )
+        ctl.observe_service(0.1)
+        decision = ctl.decide(
+            tenant="a", queue_depth=10, tenant_depth=0, budget_s=1e-9
+        )
+        assert decision.admit
+
+    def test_ewma_folds_samples(self):
+        ctl = AdmissionController(AdmissionConfig(service_ewma_alpha=0.5))
+        ctl.observe_service(1.0)
+        ctl.observe_service(0.0)
+        assert ctl.service_estimate_s == pytest.approx(0.5)
+        ctl.observe_service(-1.0)  # negative samples ignored
+        assert ctl.service_estimate_s == pytest.approx(0.5)
+
+
+class TestServerSaturatedError:
+    def test_is_a_pool_saturated_error(self):
+        err = ServerSaturatedError(
+            "full", reason=REJECT_QUEUE_FULL, tenant="a",
+            capacity=4, pending=4,
+        )
+        assert isinstance(err, PoolSaturatedError)
+        assert err.reason == REJECT_QUEUE_FULL
+        assert err.tenant == "a"

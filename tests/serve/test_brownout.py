@@ -1,0 +1,79 @@
+"""Brownout staging: pressure to level, level to explicit effects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BrownoutController, BrownoutPolicy
+
+
+class TestPolicyValidation:
+    def test_rejects_unordered_thresholds(self):
+        with pytest.raises(ValueError):
+            BrownoutPolicy(thresholds=(0.9, 0.5, 0.75))
+
+    def test_rejects_threshold_above_one(self):
+        with pytest.raises(ValueError):
+            BrownoutPolicy(thresholds=(0.5, 0.75, 1.5))
+
+    def test_rejects_shrinking_widen(self):
+        with pytest.raises(ValueError):
+            BrownoutPolicy(widen_factor=0.5)
+
+    def test_rejects_bad_clamp(self):
+        with pytest.raises(ValueError):
+            BrownoutPolicy(clamp_factor=0.0)
+
+
+class TestLevels:
+    def test_level_tracks_pressure(self):
+        ctl = BrownoutController(BrownoutPolicy(thresholds=(0.5, 0.75, 0.9)))
+        assert ctl.observe(0, 100) == 0
+        assert ctl.observe(49, 100) == 0
+        assert ctl.observe(50, 100) == 1
+        assert ctl.observe(75, 100) == 2
+        assert ctl.observe(90, 100) == 3
+        assert ctl.observe(10, 100) == 0  # recovery is immediate
+
+    def test_peak_level_is_sticky(self):
+        ctl = BrownoutController()
+        ctl.observe(95, 100)
+        ctl.observe(0, 100)
+        assert ctl.level == 0
+        assert ctl.peak_level == 3
+
+    def test_zero_capacity_is_calm(self):
+        ctl = BrownoutController()
+        assert ctl.observe(10, 0) == 0
+
+
+class TestEffects:
+    def test_width_scale_doubles_per_level(self):
+        ctl = BrownoutController(BrownoutPolicy(widen_factor=2.0))
+        ctl.observe(0, 100)
+        assert ctl.width_scale == 1.0
+        ctl.observe(50, 100)
+        assert ctl.width_scale == 2.0
+        ctl.observe(95, 100)
+        assert ctl.width_scale == 8.0
+
+    def test_quota_clamp_starts_at_level_two(self):
+        ctl = BrownoutController(BrownoutPolicy(clamp_factor=0.5))
+        ctl.observe(50, 100)  # level 1
+        assert ctl.quota_scale == 1.0
+        ctl.observe(75, 100)  # level 2
+        assert ctl.quota_scale == 0.5
+        ctl.observe(95, 100)  # level 3
+        assert ctl.quota_scale == 0.25
+
+    def test_shed_only_at_level_three(self):
+        ctl = BrownoutController(BrownoutPolicy(shed_target=0.75))
+        ctl.observe(89, 100)
+        assert ctl.shed_count(89, 100) == 0
+        ctl.observe(95, 100)
+        assert ctl.shed_count(95, 100) == 20  # down to 75 % of capacity
+
+    def test_shed_never_negative(self):
+        ctl = BrownoutController()
+        ctl.observe(95, 100)
+        assert ctl.shed_count(10, 100) == 0

@@ -1,0 +1,156 @@
+"""Deficit-round-robin fairness: shares, caps, and the starvation bound."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve import DeficitRoundRobin, FairnessConfig
+from repro.serve.request import LikelihoodRequest
+
+
+def request(index, tenant, cost=1):
+    return LikelihoodRequest(
+        index=index, tenant=tenant, make_case=lambda: (None, None),
+        label=f"r{index}", cost=cost,
+    )
+
+
+def fill(drr, tenant, n, cost=1, start=0):
+    for i in range(n):
+        drr.enqueue(request(start + i, tenant, cost=cost))
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError):
+            FairnessConfig(quantum=0.0)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            FairnessConfig(in_flight_cap=0)
+
+    def test_rejects_nonpositive_weight(self):
+        drr = DeficitRoundRobin()
+        with pytest.raises(ValueError):
+            drr.set_weight("a", 0.0)
+
+
+class TestScheduling:
+    def test_round_robin_across_equal_tenants(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=1.0))
+        fill(drr, "a", 3, start=0)
+        fill(drr, "b", 3, start=10)
+        picks = drr.pick(6)
+        tenants = [p.tenant for p in picks]
+        assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+    def test_fifo_within_tenant(self):
+        drr = DeficitRoundRobin()
+        fill(drr, "a", 4)
+        indices = [p.index for p in drr.pick(4)]
+        assert indices == sorted(indices)
+
+    def test_weighted_tenant_gets_proportional_share(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=1.0))
+        drr.set_weight("heavy", 3.0)
+        fill(drr, "heavy", 30, start=0)
+        fill(drr, "light", 30, start=100)
+        picks = drr.pick(20)
+        heavy = sum(1 for p in picks if p.tenant == "heavy")
+        light = len(picks) - heavy
+        assert heavy == pytest.approx(3 * light, abs=3)
+
+    def test_expensive_request_waits_for_credit_but_dispatches(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=2.0))
+        drr.enqueue(request(0, "a", cost=7))
+        picks = drr.pick(1)
+        assert [p.index for p in picks] == [0]
+
+    def test_starvation_bound_holds(self):
+        # A cost-c head request must dispatch within
+        # ceil(c / (quantum * weight)) of its tenant's visits, whatever
+        # the competing load.
+        drr = DeficitRoundRobin(FairnessConfig(quantum=2.0))
+        drr.set_weight("slow", 0.5)
+        cost = 9
+        drr.enqueue(request(0, "slow", cost=cost))
+        fill(drr, "busy", 100, start=10)
+        bound = drr.starvation_bound("slow", cost)
+        assert bound == math.ceil(cost / (2.0 * 0.5))
+        # One full rotation per pick round; after `bound` rounds the
+        # slow tenant's request must have been picked.
+        picked = []
+        for _ in range(bound):
+            picked.extend(drr.pick(2))
+        assert any(p.index == 0 for p in picked)
+
+    def test_empty_tenant_loses_credit(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=4.0))
+        fill(drr, "a", 1)
+        assert len(drr.pick(4)) == 1
+        # The drained tenant must not bank credit while idle.
+        assert drr._tenants["a"].deficit == 0.0
+
+    def test_pick_zero_or_empty(self):
+        drr = DeficitRoundRobin()
+        assert drr.pick(0) == []
+        assert drr.pick(5) == []
+
+
+class TestInFlightCap:
+    def test_cap_limits_picks(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=10.0, in_flight_cap=2))
+        fill(drr, "a", 6)
+        picks = drr.pick(6)
+        assert len(picks) == 2  # cap binds even with credit to spare
+
+    def test_cap_counts_existing_in_flight(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=10.0, in_flight_cap=3))
+        fill(drr, "a", 6)
+        picks = drr.pick(6, in_flight={"a": 2})
+        assert len(picks) == 1
+
+    def test_capped_tenant_does_not_block_others(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=10.0, in_flight_cap=1))
+        fill(drr, "a", 5, start=0)
+        fill(drr, "b", 5, start=10)
+        picks = drr.pick(10, in_flight={"a": 1})
+        assert all(p.tenant == "b" for p in picks)
+        assert len(picks) == 1  # b's cap binds too
+
+    def test_capped_visit_accrues_no_credit(self):
+        drr = DeficitRoundRobin(FairnessConfig(quantum=5.0, in_flight_cap=1))
+        fill(drr, "a", 3)
+        drr.pick(3, in_flight={"a": 1})  # fully capped: no dispatch
+        # Credit must not build while capped (it would burst on uncap).
+        assert drr._tenants["a"].deficit == 0.0
+
+
+class TestQueueSurface:
+    def test_remove_if_preserves_survivor_order(self):
+        drr = DeficitRoundRobin()
+        fill(drr, "a", 6)
+        removed = drr.remove_if(lambda r: r.index % 2 == 0)
+        assert sorted(r.index for r in removed) == [0, 2, 4]
+        assert [r.index for r in drr.queued_requests()] == [1, 3, 5]
+
+    def test_pop_deadline_ascending_takes_soonest(self):
+        from repro.exec.health import Deadline
+
+        clock = lambda: 0.0  # noqa: E731
+        drr = DeficitRoundRobin()
+        for i, budget in enumerate([5.0, 1.0, 3.0]):
+            req = request(i, "a")
+            req.deadline = Deadline(budget, clock=clock)
+            drr.enqueue(req)
+        victims = drr.pop_deadline_ascending(2)
+        assert [v.index for v in victims] == [1, 2]
+        assert drr.pending == 1
+
+    def test_tenant_depth(self):
+        drr = DeficitRoundRobin()
+        fill(drr, "a", 3)
+        assert drr.tenant_depth("a") == 3
+        assert drr.tenant_depth("ghost") == 0
