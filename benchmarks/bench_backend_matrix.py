@@ -1,0 +1,142 @@
+"""Backend matrix: one acceptance run per registered kernel backend.
+
+The pluggable-backend layer is only worth its indirection if (a) every
+registered backend honours its parity class on the acceptance
+configuration, and (b) at least one non-reference backend is measurably
+faster. This benchmark runs the 256-taxon / 1024-pattern configuration
+through every registered backend, asserts the parity gate, asserts the
+blocked backend's >= 1.2x speedup over the reference, and calibrates a
+:class:`~repro.gpu.device.DeviceSpec` from each backend's measured
+launch timings so the GPU simulator can price schedules off real
+numbers (``repro.gpu.calibrate.fit_device_spec``).
+
+Results land in ``bench_results/backend_matrix.md``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.beagle import acquire, available_resources, parity_report
+from repro.bench import format_table
+from repro.bench.harness import build_tree
+from repro.core import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.gpu import WorkloadDims, fit_device_spec, launch_time
+from repro.models import random_gtr
+
+TAXA = 256
+SITES = 1024  # the acceptance configuration
+SEED = 1
+
+
+def acceptance_case():
+    # Balanced topology: the widest operation sets (128 ops at the first
+    # level), i.e. the regime where batched launches — and therefore
+    # cache blocking along the batch axis — actually matter. Narrow-set
+    # topologies execute near-identically on every CPU backend.
+    rng = np.random.default_rng(SEED)
+    tree = build_tree("balanced", TAXA, SEED)
+    model = random_gtr(rng)
+    patterns = random_patterns(tree.tip_names(), SITES, rng=rng)
+    return tree, model, patterns
+
+
+def measure_interleaved(cases, plan, rounds=9):
+    """Best-of timing per backend, alternating backends each round so
+    thermal/scheduler drift hits every backend equally."""
+    best = {name: float("inf") for name in cases}
+    for _ in range(rounds):
+        for name, instance in cases.items():
+            start = time.perf_counter()
+            execute_plan(instance, plan, update_matrices=False)
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best
+
+
+def test_backend_matrix(benchmark, results_dir):
+    tree, model, patterns = acceptance_case()
+    plan = make_plan(tree, "concurrent")
+    names = available_resources()
+    assert names[0] == "reference" and "blocked" in names
+
+    loglik, cases = {}, {}
+    for name in names:
+        instance = cases[name] = create_instance(
+            tree, model, patterns, backend=name
+        )
+        loglik[name] = execute_plan(instance, plan)  # warm-up; validates
+    timings = measure_interleaved(cases, plan)
+
+    rows = []
+    reports = {}
+    for name in names:
+        backend = acquire(name)
+        report = reports[name] = parity_report(name)
+        rows.append(
+            {
+                "backend": name,
+                "parity claim": backend.info.parity,
+                "parity gate": "OK" if report.ok else "VIOLATED",
+                "max |dlogL|": f"{report.max_delta:.1e}",
+                "ms/eval": f"{timings[name] * 1e3:.2f}",
+                "speedup": f"{timings['reference'] / timings[name]:.2f}x",
+            }
+        )
+        assert report.ok, report.format()
+        # Same-dtype NumPy variants must also match on the acceptance
+        # config itself, not just the parity battery's smaller cases.
+        if backend.info.parity == "bit-identical":
+            assert loglik[name] == loglik["reference"]
+
+    speedup = timings["reference"] / timings["blocked"]
+    assert speedup >= 1.2, f"blocked speedup {speedup:.2f}x below the 1.2x gate"
+
+    # Calibrate a DeviceSpec per backend from measured per-set timings:
+    # the launch-cost line t = a + b*k fitted over single-launch probes.
+    dims = WorkloadDims(SITES, model.n_states, 1)
+    calib_rows = []
+    for name in names:
+        instance = create_instance(tree, model, patterns, backend=name)
+        execute_plan(instance, plan)  # warm buffers and matrices
+        samples = []
+        for op_set in plan.operation_sets:
+            k = len(op_set)
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                instance.update_partials_set(op_set)
+                best = min(best, time.perf_counter() - start)
+            samples.append((k, best))
+        spec = fit_device_spec(f"measured:{name}", dims, samples)
+        widest = max(k for k, _ in samples)
+        modelled = launch_time(spec, dims, widest).seconds
+        measured = min(t for k, t in samples if k == widest)
+        calib_rows.append(
+            {
+                "backend": name,
+                "launch overhead (us)": f"{spec.launch_overhead_s * 1e6:.1f}",
+                "per-op slope (us)": f"{spec.wave_time_s * 1e6:.2f}",
+                f"model@k={widest} (us)": f"{modelled * 1e6:.1f}",
+                f"measured@k={widest} (us)": f"{measured * 1e6:.1f}",
+            }
+        )
+        # The calibrated spec must price the measured points sanely.
+        assert modelled == pytest.approx(measured, rel=0.5)
+
+    text = format_table(
+        rows,
+        title=f"Backend matrix: balanced {TAXA}-OTU tree, {SITES} patterns",
+    )
+    text += "\n" + format_table(
+        calib_rows, title="Calibrated DeviceSpec per backend (t = a + b*k fit)"
+    )
+    emit(results_dir, "backend_matrix.md", text)
+
+    instance = create_instance(tree, model, patterns, backend="blocked")
+    execute_plan(instance, plan)
+    benchmark(execute_plan, instance, plan, update_matrices=False)

@@ -1,0 +1,30 @@
+"""Kernel-backend implementations.
+
+Each module here implements the :class:`~repro.beagle.backend.KernelBackend`
+protocol for one execution strategy:
+
+* :mod:`~repro.beagle.backends.reference` — the baseline NumPy engine,
+  exactly the code that lived inline in ``BeagleInstance`` before the
+  backend split. Its numbers *define* correctness for the parity gate.
+* :mod:`~repro.beagle.backends.blocked` — the same NumPy call sequence
+  applied in cache-sized blocks along the operation axis; bit-identical
+  to the reference and measurably faster on wide operation sets.
+* :mod:`~repro.beagle.backends.numba_backend` — optional: the blocked
+  strategy with the batched matmul compiled by numba when that package
+  is importable. Never required; registered only when available.
+
+Backends register with :mod:`repro.beagle.resources`; nothing imports
+:mod:`repro.beagle.instance` from here (the dependency points the other
+way).
+"""
+
+from .reference import ReferenceBackend
+from .blocked import BlockedNumpyBackend
+from .numba_backend import NUMBA_AVAILABLE, NumbaBackend
+
+__all__ = [
+    "ReferenceBackend",
+    "BlockedNumpyBackend",
+    "NumbaBackend",
+    "NUMBA_AVAILABLE",
+]

@@ -1,0 +1,108 @@
+"""Cache-blocked NumPy backend: the same arithmetic, a smaller working set.
+
+The reference backend streams a whole k-operation set through arena
+buffers of ``2k`` rows — at 256 taxa × 1024 patterns that is tens of
+megabytes touched per launch, far beyond any CPU cache level. This
+backend partitions the set into blocks of ``B`` operations along the
+batch axis and runs the identical call sequence per block, keeping the
+hot arena rows cache-resident. Because the batched GEMM is a loop of
+independent 2-D multiplies, the partition changes *nothing* about the
+arithmetic: results are bit-identical to the reference backend (parity
+class ``bit-identical``), while the measured wall clock on wide sets
+drops ~1.3× on the acceptance config (see
+``bench_results/backend_matrix.md``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..backend import BackendInfo
+from .reference import ReferenceBackend
+from .setexec import MatmulHook, execute_operation_block
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..instance import BeagleInstance
+    from ..operations import Operation
+
+__all__ = ["BlockedNumpyBackend", "DEFAULT_CACHE_BUDGET_BYTES"]
+
+#: Target working-set size of one block. The block's hot rows span three
+#: ``(2B, C, P, S)`` arrays (contributions, scratch, gathered); 768 KiB
+#: keeps them comfortably L2-resident, which measured fastest in the
+#: block-size sweep (B = 4 on the 256-taxon/1024-pattern f64 config,
+#: 1.3x over the reference; larger budgets plateaued by B ≈ 32).
+DEFAULT_CACHE_BUDGET_BYTES = 768 * 1024
+
+_MIN_BLOCK = 4
+_MAX_BLOCK = 64
+
+
+class BlockedNumpyBackend(ReferenceBackend):
+    """Reference arithmetic in cache-sized blocks along the batch axis.
+
+    Parameters
+    ----------
+    block_ops:
+        Fixed operations per block; ``None`` (default) sizes blocks from
+        ``cache_budget_bytes`` and the instance dimensions, clamped to
+        ``[4, 64]``.
+    cache_budget_bytes:
+        Working-set target for automatic block sizing.
+    """
+
+    _info = BackendInfo(
+        name="blocked",
+        description="cache-blocked NumPy engine (bit-identical, ~1.3x on wide sets)",
+        kind="cpu",
+        parity="bit-identical",
+    )
+
+    def __init__(
+        self,
+        block_ops: Optional[int] = None,
+        cache_budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+    ) -> None:
+        if block_ops is not None and block_ops < 1:
+            raise ValueError("block_ops must be positive")
+        if cache_budget_bytes < 1:
+            raise ValueError("cache_budget_bytes must be positive")
+        self._block_ops = block_ops
+        self._cache_budget_bytes = cache_budget_bytes
+
+    def block_for(self, instance: "BeagleInstance") -> int:
+        """Operations per block for this instance's dimensions."""
+        if self._block_ops is not None:
+            return self._block_ops
+        # Three hot (2B, C, P, S) arrays per block: contributions,
+        # scratch and gathered — 6·B·C·P·S elements.
+        row_bytes = (
+            instance.category_count
+            * instance.pattern_count
+            * instance.state_count
+            * instance.dtype.itemsize
+        )
+        block = self._cache_budget_bytes // max(6 * row_bytes, 1)
+        return int(min(max(block, _MIN_BLOCK), _MAX_BLOCK))
+
+    def _matmul(self) -> MatmulHook:
+        """Batched-matmul override for subclasses; BLAS when ``None``."""
+        return None
+
+    def update_partials_batch(
+        self, instance: "BeagleInstance", operations: List["Operation"]
+    ) -> None:
+        """Evaluate the set block by block through a block-sized arena."""
+        k = len(operations)
+        block = self.block_for(instance)
+        ws = instance.workspace
+        ws.ensure(min(k, block))
+        matmul = self._matmul()
+        for lo in range(0, k, block):
+            execute_operation_block(
+                instance, ws, operations, lo, min(lo + block, k), matmul=matmul
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        block = self._block_ops if self._block_ops is not None else "auto"
+        return f"<{type(self).__name__} {self._info.name} block={block}>"

@@ -1,0 +1,95 @@
+"""Optional numba-compiled backend (never required).
+
+When `numba <https://numba.pydata.org/>`_ is importable, this module
+provides :class:`NumbaBackend`: the cache-blocked strategy of
+:class:`~repro.beagle.backends.blocked.BlockedNumpyBackend` with the
+batched contribution GEMM replaced by an ``@njit``-compiled loop nest.
+The compiled kernel accumulates each inner product in a fixed ascending
+order, which is *not* guaranteed to match the BLAS summation order —
+so the backend registers under the ``tolerance`` parity class with a
+documented log-likelihood bound instead of claiming bit-identity.
+
+When numba is absent (the default in this repository's container), the
+module still imports cleanly: :data:`NUMBA_AVAILABLE` is ``False``,
+:class:`NumbaBackend` raises a typed error on construction, and the
+resource registry simply never lists the backend. Nothing anywhere
+requires the dependency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..backend import BackendInfo
+from .blocked import BlockedNumpyBackend
+from .setexec import MatmulHook
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # type: ignore[import-not-found]
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the expected offline path
+    numba = None
+    NUMBA_AVAILABLE = False
+
+__all__ = ["NumbaBackend", "NUMBA_AVAILABLE"]
+
+_compiled_gemm = None
+
+
+def _build_gemm():  # pragma: no cover - requires numba
+    """Compile (once) the ordered batched ``L @ Pᵀ`` loop nest."""
+    global _compiled_gemm
+    if _compiled_gemm is None:
+
+        @numba.njit(cache=False, fastmath=False)
+        def batched_gemm_t(gathered, mats, out):
+            n, C, P, S = gathered.shape
+            for i in range(n):
+                for c in range(C):
+                    for p in range(P):
+                        for z in range(S):
+                            acc = 0.0
+                            for x in range(S):
+                                acc += gathered[i, c, p, x] * mats[i, c, z, x]
+                            out[i, c, p, z] = acc
+
+        _compiled_gemm = batched_gemm_t
+    return _compiled_gemm
+
+
+class NumbaBackend(BlockedNumpyBackend):
+    """Blocked execution with a numba-compiled contribution GEMM.
+
+    Parity class ``tolerance``: the compiled kernel's fixed ascending
+    accumulation order may differ from the BLAS order, bounding the
+    log-likelihood deviation from the reference backend at
+    ``info.tolerance`` (1e-6) instead of zero. Construction raises
+    ``ImportError`` when numba is not importable; the registry only
+    offers this resource when it is.
+    """
+
+    _info = BackendInfo(
+        name="numba",
+        description="numba-compiled blocked engine (tolerance parity)",
+        kind="cpu",
+        parity="tolerance",
+        tolerance=1e-6,
+        requires=("numba",),
+    )
+
+    def __init__(self, *args, **kwargs) -> None:
+        if not NUMBA_AVAILABLE:
+            raise ImportError(
+                "the 'numba' backend requires the numba package, which is "
+                "not importable in this environment; use 'reference' or "
+                "'blocked' instead"
+            )
+        super().__init__(*args, **kwargs)
+
+    def _matmul(self) -> MatmulHook:  # pragma: no cover - requires numba
+        """The compiled loop nest instead of BLAS."""
+        return _build_gemm()

@@ -16,27 +16,25 @@ benchmarks can account throughput the way the paper does (§VI-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..models.eigen import EigenDecomposition, transition_matrices
-from ..obs import get_recorder
+from ..models.eigen import EigenDecomposition
+from ..obs import get_recorder, record_backend_info
 from ..obs.profile import (
     PHASE_MATRICES,
     PHASE_PARTIALS,
     PHASE_ROOT,
-    PHASE_SCALING,
 )
+from .backend import KernelBackend
 from .kernels import (
     child_contribution,
     edge_site_likelihoods,
     operation_flops,
-    rescale_partials,
-    root_site_likelihoods,
-    update_partials,
 )
 from .operations import Operation, operations_independent
+from .resources import resolve_backend
 from .scaling import ScaleBufferBank
 from .workspace import TransitionMatrixCache, Workspace
 
@@ -93,6 +91,13 @@ class BeagleInstance:
         large trees motivates the paper's ``--manualscale`` option
         (§VI-F); scale buffers always stay in double precision, exactly
         as BEAGLE keeps log scalers at higher precision.
+    backend:
+        The kernel implementation executing this instance's launches:
+        ``None`` (default — resolve via
+        :func:`repro.beagle.resources.resolve_backend`, honouring the
+        ``REPRO_BACKEND`` environment variable), a registered resource
+        name, or a :class:`~repro.beagle.backend.KernelBackend` object.
+        See ``docs/BACKENDS.md`` for the contract backends honour.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class BeagleInstance:
         category_count: int = 1,
         scale_buffer_count: int = 0,
         dtype=np.float64,
+        backend: Union[None, str, KernelBackend] = None,
     ) -> None:
         if min(tip_count, partials_buffer_count, matrix_count) < 1:
             raise ValueError("buffer counts must be positive")
@@ -114,6 +120,8 @@ class BeagleInstance:
         if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError("dtype must be float32 or float64")
         self.dtype = dtype
+        #: The resolved kernel backend executing this instance's launches.
+        self.backend: KernelBackend = resolve_backend(backend)
         self.tip_count = tip_count
         self.partials_buffer_count = partials_buffer_count
         self.matrix_buffer_count = matrix_count
@@ -150,6 +158,10 @@ class BeagleInstance:
         self._workspace: Optional[Workspace] = None
 
         self.stats = InstanceStats()
+        if get_recorder().enabled:
+            # Info-metric: a metrics export names the backend that
+            # actually executed (the CI backend-matrix grep gate).
+            record_backend_info(self.backend.info)
 
     # ------------------------------------------------------------------
     # Data setters (the beagleSet* family)
@@ -265,7 +277,7 @@ class BeagleInstance:
                 return
             # (k·C,) scaled times -> (k, C, S, S)
             scaled = (t[:, None] * self._category_rates[None, :]).reshape(-1)
-            P = transition_matrices(self._eigens[eigen_index], scaled)
+            P = self.backend.materialize_matrices(self._eigens[eigen_index], scaled)
             P = P.reshape(
                 len(idx), self.category_count, self.state_count, self.state_count
             )
@@ -306,7 +318,9 @@ class BeagleInstance:
             C, S = self.category_count, self.state_count
             lengths = np.array([eff for eff, _ in pending.values()])
             scaled = (lengths[:, None] * self._category_rates[None, :]).reshape(-1)
-            P = transition_matrices(eigen, scaled).reshape(n_misses, C, S, S)
+            P = self.backend.materialize_matrices(eigen, scaled).reshape(
+                n_misses, C, S, S
+            )
             for j, (key, (_, positions)) in enumerate(pending.items()):
                 matrix = np.ascontiguousarray(P[j])
                 cache.store(key, matrix, pin=eigen)
@@ -447,9 +461,10 @@ class BeagleInstance:
 
     @property
     def workspace(self) -> Workspace:
-        """The instance's batched-execution arena (created on first use)."""
+        """The instance's batched-execution arena (created on first use
+        by the backend's :meth:`~repro.beagle.backend.KernelBackend.create_workspace`)."""
         if self._workspace is None:
-            self._workspace = Workspace(
+            self._workspace = self.backend.create_workspace(
                 self.dtype,
                 self.category_count,
                 self.pattern_count,
@@ -494,163 +509,24 @@ class BeagleInstance:
     def _run_operation_set(self, ops: List[Operation], k: int) -> None:
         """Body of :meth:`update_partials_set` after validation.
 
-        Every set — any size — runs through the :class:`Workspace`
-        arena: child gathers, the batched matmuls and the final scatter
-        all write into preallocated buffers (``out=`` everywhere), so
+        Delegates the launch to the instance's :attr:`backend`
+        (:meth:`~repro.beagle.backend.KernelBackend.update_partials_batch`)
+        and keeps the execution counters here so accounting is identical
+        across backends. Every backend runs the set through the
+        :class:`Workspace` arena — gathers, batched matmuls and the
+        final scatter all write into preallocated buffers — so
         steady-state execution performs **zero per-set array
         allocations** and results are bit-identical to the serial
-        kernel however operations are grouped. The flat child list has
-        length 2k: firsts occupy rows ``0..k-1``, seconds ``k..2k-1``.
+        kernel however operations are grouped (the contract the parity
+        gate enforces per backend; see ``docs/BACKENDS.md``).
         """
-        ws = self.workspace
-        ws.ensure(k)
-        with get_recorder().phase(PHASE_PARTIALS):
-            # Classification pass: validate children (firsts before
-            # seconds, matching the serial order) and bucket each row as
-            # internal partials, compact tip codes or explicit tip
-            # partials. Pure int bookkeeping into preallocated arrays.
-            n_int = n_code = n_exp = 0
-            for base, which in ((0, 0), (k, 1)):
-                for i, op in enumerate(ops):
-                    if which == 0:
-                        b, mat = op.child1, op.child1_matrix
-                    else:
-                        b, mat = op.child2, op.child2_matrix
-                    row = base + i
-                    ws.child_buffers[row] = b
-                    if b < self.tip_count:
-                        if b in self._tip_codes:
-                            ws.code_sel[n_code] = row
-                            ws.code_tips[n_code] = b
-                            ws.code_mats[n_code] = mat
-                            n_code += 1
-                        elif b in self._tip_partials:
-                            ws.explicit_sel[n_exp] = row
-                            ws.explicit_mats[n_exp] = mat
-                            n_exp += 1
-                        else:
-                            raise ValueError(f"tip buffer {b} has no data")
-                    else:
-                        slot = self._internal_slot(b)
-                        if not self._partials_valid[slot]:
-                            raise ValueError(
-                                f"partials buffer {b} read before being computed"
-                            )
-                        ws.internal_sel[n_int] = row
-                        ws.internal_slots[n_int] = slot
-                        ws.internal_mats[n_int] = mat
-                        n_int += 1
-            for i, op in enumerate(ops):
-                slot = op.destination - self.tip_count
-                if not 0 <= slot < self.partials_buffer_count:
-                    raise IndexError("destination buffer out of range")
-                ws.dest_slots[i] = slot
-
-            C, S = self.category_count, self.state_count
-            if n_int:
-                # Internal children: gather partials and matrices into
-                # contiguous stacks, one batched L @ Pᵀ, scatter back.
-                np.take(
-                    self._partials,
-                    ws.internal_slots[:n_int],
-                    axis=0,
-                    out=ws.gathered[:n_int],
-                )
-                np.take(
-                    self._matrices,
-                    ws.internal_mats[:n_int],
-                    axis=0,
-                    out=ws.mats[:n_int],
-                )
-                np.copyto(
-                    ws.mats_T[:n_int], ws.mats[:n_int].transpose(0, 1, 3, 2)
-                )
-                np.matmul(
-                    ws.gathered[:n_int], ws.mats_T[:n_int], out=ws.scratch[:n_int]
-                )
-                ws.contributions[ws.internal_sel[:n_int]] = ws.scratch[:n_int]
-            if n_code:
-                # Compact tips: transpose matrices and pad a ones row at
-                # state index S (the "unknown" code), then resolve every
-                # (row, category, pattern) to one flat row gather.
-                np.take(
-                    self._matrices,
-                    ws.code_mats[:n_code],
-                    axis=0,
-                    out=ws.mats[:n_code],
-                )
-                np.copyto(
-                    ws.padded_T[:n_code, :, :S, :],
-                    ws.mats[:n_code].transpose(0, 1, 3, 2),
-                )
-                ws.padded_T[:n_code, :, S, :] = 1.0
-                np.take(
-                    self._tip_codes_dense,
-                    ws.code_tips[:n_code],
-                    axis=0,
-                    out=ws.codes[:n_code],
-                )
-                np.add(
-                    ws.row_base[:n_code, :, None],
-                    ws.codes[:n_code][:, None, :],
-                    out=ws.rowidx[:n_code],
-                )
-                rows2d = ws.padded_T[:n_code].reshape(n_code * C * (S + 1), S)
-                np.take(
-                    rows2d,
-                    ws.rowidx[:n_code],
-                    axis=0,
-                    out=ws.scratch[:n_code],
-                    mode="clip",
-                )
-                ws.contributions[ws.code_sel[:n_code]] = ws.scratch[:n_code]
-            for j in range(n_exp):  # rare: partial-ambiguity tips
-                row = int(ws.explicit_sel[j])
-                partials = self._tip_partials[int(ws.child_buffers[row])]
-                np.matmul(
-                    partials,
-                    self._matrices[int(ws.explicit_mats[j])].transpose(0, 2, 1),
-                    out=ws.contributions[row],
-                )
-
-            product = ws.contributions[:k]
-            np.multiply(product, ws.contributions[k : 2 * k], out=product)
-        if any(op.destination_scale >= 0 for op in ops):
-            with get_recorder().phase(PHASE_SCALING):
-                factors = ws.scale_factors
-                safe = ws.scale_safe
-                mask = ws.scale_mask
-                logs = ws.scale_logs
-                for i, op in enumerate(ops):
-                    if op.destination_scale < 0:
-                        continue
-                    rows = product[i]  # (C, P, S) view
-                    np.amax(rows, axis=(0, 2), out=factors)
-                    np.less_equal(factors, 0.0, out=mask)
-                    np.copyto(safe, factors)
-                    safe[mask] = 1.0
-                    rows /= safe[None, :, None]
-                    np.log(safe, out=logs)
-                    self.scale.write(op.destination_scale, logs)
-        self._partials[ws.dest_slots[:k]] = product
-        self._partials_valid[ws.dest_slots[:k]] = True
+        self.backend.update_partials_batch(self, ops)
         self.stats.kernel_launches += 1
         self.stats.operations += k
         self.stats.flops += k * self.flops_per_operation
 
     def _execute_single(self, op: Operation, count_launch: bool = True) -> None:
-        partials1, codes1 = self._child_arrays(op.child1)
-        partials2, codes2 = self._child_arrays(op.child2)
-        slot = self._internal_slot(op.destination)
-        update_partials(
-            self._matrices[op.child1_matrix],
-            self._matrices[op.child2_matrix],
-            partials1,
-            codes1,
-            partials2,
-            codes2,
-            out=self._partials[slot],
-        )
+        self.backend.update_partials_single(self, op)
         self._finish_operation(op)
         if count_launch:
             self.stats.kernel_launches += 1
@@ -661,7 +537,7 @@ class BeagleInstance:
         slot = self._internal_slot(op.destination)
         self._partials_valid[slot] = True
         if op.destination_scale >= 0:
-            logs = rescale_partials(self._partials[slot])
+            logs = self.backend.rescale(self._partials[slot])
             self.scale.write(op.destination_scale, logs)
 
     # ------------------------------------------------------------------
@@ -683,7 +559,7 @@ class BeagleInstance:
         partials, _ = self._child_arrays(root_buffer)
         if partials is None:
             raise ValueError("root buffer must hold partials, not tip codes")
-        site = root_site_likelihoods(
+        site = self.backend.root_reduce(
             partials, self._frequencies, self._category_weights
         )
         with np.errstate(divide="ignore"):

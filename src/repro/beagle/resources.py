@@ -1,0 +1,214 @@
+"""Resource discovery for kernel backends (the BEAGLE resource API).
+
+BEAGLE programs never name an implementation — they enumerate
+*resources* (``beagleGetResourceList``) and acquire whatever matches
+their requirements; pytbeaglehon wraps the same flow for Python. This
+module is that surface for the NumPy work-alike:
+
+* :func:`list_resources` — descriptors of every registered backend.
+* :func:`acquire` — a backend by name or by
+  :class:`ResourceRequirements`; unknown requests raise the typed
+  :class:`UnknownResourceError` carrying the available names.
+* :func:`resolve_backend` — the engine's entry point: maps ``None`` (the
+  ``REPRO_BACKEND`` environment variable, then the reference default), a
+  name, or an already-constructed backend onto a
+  :class:`~repro.beagle.backend.KernelBackend`.
+
+``python -m repro.beagle.resources`` prints the listing, mirroring
+BEAGLE's resource dump; ``synthetictest --rsrc <name>`` selects one for
+a benchmark run. The environment variable exists so *unmodified* test
+suites can be replayed against every registered backend — the CI
+backend-matrix job sets ``REPRO_BACKEND=blocked`` and reruns the beagle
+and property suites verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+from .backend import BackendInfo, KernelBackend
+from .backends import NUMBA_AVAILABLE, BlockedNumpyBackend, ReferenceBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_RESOURCE",
+    "ResourceRequirements",
+    "UnknownResourceError",
+    "register_resource",
+    "available_resources",
+    "list_resources",
+    "acquire",
+    "resolve_backend",
+    "main",
+]
+
+#: Environment variable naming the default backend when none is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: The backend used when neither caller nor environment chooses one.
+DEFAULT_RESOURCE = "reference"
+
+
+class UnknownResourceError(LookupError):
+    """A resource request matched no registered backend.
+
+    Carries the offending request and the available resource names so
+    CLIs can print an actionable message (and tests can assert on it).
+    """
+
+    def __init__(self, requested: object, available: List[str]) -> None:
+        self.requested = requested
+        self.available = list(available)
+        super().__init__(
+            f"unknown kernel-backend resource {requested!r}; "
+            f"available: {', '.join(self.available)}"
+        )
+
+
+@dataclass(frozen=True)
+class ResourceRequirements:
+    """Constraints for :func:`acquire`; ``None`` fields match anything.
+
+    Attributes
+    ----------
+    name:
+        Exact registry name.
+    kind:
+        Hardware class (``"cpu"``, ``"gpu"``).
+    parity:
+        Required parity class (``"bit-identical"`` / ``"tolerance"``).
+    """
+
+    name: Optional[str] = None
+    kind: Optional[str] = None
+    parity: Optional[str] = None
+
+    def matches(self, info: BackendInfo) -> bool:
+        """Does a backend descriptor satisfy these requirements?"""
+        return (
+            (self.name is None or info.name == self.name)
+            and (self.kind is None or info.kind == self.kind)
+            and (self.parity is None or info.parity == self.parity)
+        )
+
+
+# Registration order is acquisition-preference order: the reference
+# backend first, so requirement-based acquisition defaults to ground
+# truth unless the requirements exclude it.
+_REGISTRY: "OrderedDict[str, Callable[[], KernelBackend]]" = OrderedDict()
+
+
+def register_resource(
+    name: str, factory: Callable[[], KernelBackend], replace: bool = False
+) -> None:
+    """Register a backend factory under a resource name.
+
+    The factory is invoked per :func:`acquire` call; backends are
+    stateless, so construction is cheap. Re-registering an existing name
+    requires ``replace=True`` — silent shadowing would let a typo'd
+    plugin hijack the reference resource.
+    """
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"resource {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_resources() -> List[str]:
+    """Registered resource names, in registration (preference) order."""
+    return list(_REGISTRY)
+
+
+def list_resources() -> List[BackendInfo]:
+    """Descriptors of every registered backend, in preference order."""
+    return [factory().info for factory in _REGISTRY.values()]
+
+
+def acquire(
+    requirements: Union[None, str, ResourceRequirements] = None,
+) -> KernelBackend:
+    """A backend matching ``requirements`` (first registered wins).
+
+    ``None`` acquires the default resource, a string the exact name, a
+    :class:`ResourceRequirements` the first descriptor it matches.
+
+    Raises
+    ------
+    UnknownResourceError
+        If nothing matches; the error lists the available resources.
+    """
+    if requirements is None:
+        requirements = DEFAULT_RESOURCE
+    if isinstance(requirements, str):
+        factory = _REGISTRY.get(requirements)
+        if factory is None:
+            raise UnknownResourceError(requirements, available_resources())
+        return factory()
+    for factory in _REGISTRY.values():
+        backend = factory()
+        if requirements.matches(backend.info):
+            return backend
+    raise UnknownResourceError(requirements, available_resources())
+
+
+def resolve_backend(
+    spec: Union[None, str, KernelBackend] = None,
+) -> KernelBackend:
+    """The engine's backend-selection funnel.
+
+    * ``None`` — the :data:`BACKEND_ENV_VAR` environment variable if
+      set, else the :data:`DEFAULT_RESOURCE`. Consulted per call, so a
+      test process can switch backends between instances.
+    * a string — :func:`acquire` by name.
+    * an object implementing the protocol — returned as-is, letting
+      callers thread one configured backend through every layer.
+    """
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_RESOURCE
+    if isinstance(spec, str):
+        return acquire(spec)
+    if isinstance(spec, KernelBackend):
+        return spec
+    raise TypeError(
+        f"backend must be None, a resource name or a KernelBackend; "
+        f"got {type(spec).__name__}"
+    )
+
+
+register_resource("reference", ReferenceBackend)
+register_resource("blocked", BlockedNumpyBackend)
+if NUMBA_AVAILABLE:  # pragma: no cover - numba absent in this container
+    from .backends import NumbaBackend
+
+    register_resource("numba", NumbaBackend)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Print the resource listing (``python -m repro.beagle.resources``)."""
+    out = out or sys.stdout
+    infos = list_resources()
+    print(f"{len(infos)} kernel backend resource(s):", file=out)
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        bound = "" if info.tolerance == 0.0 else f" (|dlogL| <= {info.tolerance:g})"
+        print(
+            f"  {info.name:<{width}}  {info.kind}  {info.parity}{bound}"
+            f"  {info.description}",
+            file=out,
+        )
+    env = os.environ.get(BACKEND_ENV_VAR)
+    default = env or DEFAULT_RESOURCE
+    source = f"${BACKEND_ENV_VAR}" if env else "built-in default"
+    print(
+        f"default resource: {default} ({source}; override with "
+        f"{BACKEND_ENV_VAR} or synthetictest --rsrc)",
+        file=out,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry point
+    raise SystemExit(main())

@@ -12,11 +12,15 @@ program name)::
 
 Resources (``--rsrc``):
 
-* ``0`` — CPU: the NumPy engine actually computes the likelihood
-  ``--reps`` times and reports measured wall-clock throughput.
-* ``1`` — GP100 device model (the paper's System 1): the engine computes
-  the likelihood once for validation; timing comes from the analytical
-  device model.
+* ``0`` / ``cpu`` — CPU: the NumPy engine actually computes the
+  likelihood ``--reps`` times and reports measured wall-clock
+  throughput (reference kernel backend).
+* ``1`` / ``gp100`` — GP100 device model (the paper's System 1): the
+  engine computes the likelihood once for validation; timing comes from
+  the analytical device model.
+* any registered kernel-backend name (``blocked``, ...) — the measured
+  CPU path on that backend; ``python -m repro.beagle.resources`` lists
+  what is available.
 """
 
 from __future__ import annotations
@@ -68,9 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     # --- Always-used options (Table II, upper half) -------------------
     parser.add_argument(
         "--rsrc",
-        type=int,
-        default=0,
-        help="hardware resource: 0 = CPU (measured), 1 = GP100 model",
+        type=str,
+        default="0",
+        help="resource: 0/cpu = reference CPU (measured), 1/gp100 = GP100 "
+        "model, or a registered kernel-backend name "
+        "(see `python -m repro.beagle.resources`)",
     )
     parser.add_argument("--taxa", type=int, default=16, help="number of OTUs")
     parser.add_argument(
@@ -448,6 +454,39 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     return status
 
 
+def _resolve_rsrc(args, out) -> int:
+    """Normalize ``--rsrc`` into ``args.device_model`` / ``args.backend``.
+
+    BEAGLE numbers its resources; we keep ``0`` (measured CPU) and ``1``
+    (GP100 analytical model) for the paper's invocations and additionally
+    accept any registered kernel-backend name (``--rsrc blocked``), which
+    runs the measured CPU path on that backend. Unknown names exit 2
+    with the available resource listing.
+    """
+    spec = args.rsrc.strip().lower()
+    args.device_model = False
+    args.backend = None
+    if spec in ("0", "cpu"):
+        pass
+    elif spec in ("1", "gp100"):
+        args.device_model = True
+    else:
+        from ..beagle.resources import UnknownResourceError, acquire
+
+        try:
+            acquire(spec)
+        except UnknownResourceError as exc:
+            print(
+                f"error: --rsrc {args.rsrc!r} is neither 0/cpu, 1/gp100 nor "
+                f"a registered backend (available: "
+                f"{', '.join(exc.available)})",
+                file=out,
+            )
+            return 2
+        args.backend = spec
+    return 0
+
+
 def _validate_args(args, out) -> int:
     """Reject inconsistent option combinations; 0 means valid."""
     if args.pectinate and args.randomtree:
@@ -456,16 +495,16 @@ def _validate_args(args, out) -> int:
     if args.taxa < 2:
         print("error: --taxa must be at least 2", file=out)
         return 2
-    if args.rsrc not in (0, 1):
-        print("error: --rsrc must be 0 (CPU) or 1 (GP100 model)", file=out)
-        return 2
+    status = _resolve_rsrc(args, out)
+    if status != 0:
+        return status
     if args.partitions < 1:
         print("error: --partitions must be at least 1", file=out)
         return 2
     if args.streams < 0:
         print("error: --streams must be non-negative", file=out)
         return 2
-    if args.streams and args.rsrc != 1:
+    if args.streams and not args.device_model:
         print("error: --streams requires --rsrc 1 (device model)", file=out)
         return 2
     if not 0.0 <= args.fault_rate <= 1.0:
@@ -488,8 +527,8 @@ def _validate_args(args, out) -> int:
     if args.deadline_ms is not None and args.deadline_ms <= 0:
         print("error: --deadline-ms must be positive", file=out)
         return 2
-    if args.deadline_ms is not None and args.rsrc != 0:
-        print("error: --deadline-ms requires --rsrc 0 (measured CPU)", file=out)
+    if args.deadline_ms is not None and args.device_model:
+        print("error: --deadline-ms requires a CPU resource", file=out)
         return 2
     if (
         args.worker_fault_rates is not None
@@ -511,8 +550,8 @@ def _validate_args(args, out) -> int:
     if args.shards < 0:
         print("error: --shards must be non-negative", file=out)
         return 2
-    if args.shards and args.rsrc != 0:
-        print("error: --shards requires --rsrc 0 (measured CPU)", file=out)
+    if args.shards and args.device_model:
+        print("error: --shards requires a CPU resource", file=out)
         return 2
     if args.shards and args.manualscale:
         print(
@@ -555,8 +594,8 @@ def _validate_args(args, out) -> int:
     if args.serve and not args.pool:
         print("error: --serve requires --pool", file=out)
         return 2
-    if args.serve and args.rsrc != 0:
-        print("error: --serve requires --rsrc 0 (measured CPU)", file=out)
+    if args.serve and args.device_model:
+        print("error: --serve requires a CPU resource", file=out)
         return 2
     if args.serve and args.shards:
         print("error: --serve and --shards are exclusive", file=out)
@@ -619,7 +658,9 @@ def _run_benchmark(args, out) -> int:
     mode = "serial" if args.serial else "concurrent"
     scaling = args.manualscale
     plan = make_plan(tree, mode, scaling=scaling)
-    instance = create_instance(tree, model, patterns, scaling=scaling)
+    instance = create_instance(
+        tree, model, patterns, scaling=scaling, backend=args.backend
+    )
 
     if args.lint:
         from ..analysis import audit_plan, verify_plan
@@ -674,6 +715,8 @@ def _run_benchmark(args, out) -> int:
     # One validated evaluation (both resources).
     loglik = execute_plan(instance, plan)
     print(f"logL: {loglik:.6f}", file=out)
+    info = instance.backend.info
+    print(f"kernel backend: {info.name} ({info.kind}, {info.parity})", file=out)
 
     if args.fault_rate > 0.0 and not args.shards:
         # With --shards, --fault-rate feeds the shard-scoped chaos
@@ -688,7 +731,7 @@ def _run_benchmark(args, out) -> int:
     dims = WorkloadDims(args.sites, args.states, args.categories)
     flops_per_eval = (args.taxa - 1) * dims.flops_per_operation
 
-    if args.rsrc == 0:
+    if not args.device_model:
         if args.shards:
             return _run_sharded_cpu(
                 args, tree, model, patterns, loglik, flops_per_eval, out
@@ -723,7 +766,11 @@ def _run_benchmark(args, out) -> int:
                 return 1
         elapsed = time.perf_counter() - start
         per_eval = elapsed / args.reps
-        print(f"resource: CPU (NumPy engine), reps={args.reps}", file=out)
+        print(
+            f"resource: CPU (NumPy engine, backend={info.name}), "
+            f"reps={args.reps}",
+            file=out,
+        )
         print(f"time per evaluation: {per_eval * 1e3:.3f} ms", file=out)
         print(
             f"effective throughput: {flops_per_eval / per_eval / 1e9:.3f} GFLOPS",
@@ -824,7 +871,10 @@ def _run_pool_cpu(
     """
 
     def make_case():
-        return create_instance(tree, model, patterns, scaling=scaling), plan
+        instance = create_instance(
+            tree, model, patterns, scaling=scaling, backend=args.backend
+        )
+        return instance, plan
 
     pool = LikelihoodPool(
         args.pool,
@@ -933,7 +983,10 @@ def _run_serve_cpu(
     )
 
     def make_case():
-        return create_instance(tree, model, patterns, scaling=scaling), plan
+        instance = create_instance(
+            tree, model, patterns, scaling=scaling, backend=args.backend
+        )
+        return instance, plan
 
     pool = LikelihoodPool(
         args.pool,
@@ -1129,6 +1182,7 @@ def _run_sharded_cpu(
             resume=resume,
             abort_after=abort_after,
             fault_spec=spec,
+            backend=args.backend,
         )
 
     resumed_run = args.shard_resume

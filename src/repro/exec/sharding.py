@@ -221,14 +221,22 @@ def reference_terms(
     rates=None,
     mode: str = "concurrent",
     dtype=np.float64,
+    backend=None,
 ) -> np.ndarray:
     """Per-pattern weighted log terms from one full-matrix instance.
 
     The single-instance oracle the sharded engine must match bit-for-bit
-    (reduce with :func:`deterministic_sum` for the total).
+    (reduce with :func:`deterministic_sum` for the total). ``backend``
+    selects the kernel backend for the oracle instance.
     """
     instance = create_instance(
-        tree, model, patterns, rates=rates, scaling=False, dtype=dtype
+        tree,
+        model,
+        patterns,
+        rates=rates,
+        scaling=False,
+        dtype=dtype,
+        backend=backend,
     )
     plan = make_plan(tree, mode, scaling=False)
     instance.invalidate_partials()
@@ -401,6 +409,7 @@ class ShardedLikelihood:
         fault_spec: Optional[ShardFaultSpec] = None,
         order_seed: Optional[int] = None,
         dtype=np.float64,
+        backend=None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -422,6 +431,9 @@ class ShardedLikelihood:
         self.fault_spec = fault_spec
         self.order_seed = order_seed
         self.dtype = dtype
+        # Kernel-backend spec, forwarded to every shard instance (and
+        # the oracle) so the whole evaluation runs one backend.
+        self.backend = backend
         self._owns_pool = pool is None
         self.pool = pool or LikelihoodPool(
             n_workers=2, executor="inline", deadline_s=None
@@ -487,6 +499,7 @@ class ShardedLikelihood:
             fault_spec=self.fault_spec,
             order_seed=self.order_seed,
             dtype=self.dtype,
+            backend=self.backend,
         )
 
     # -- the reduction -------------------------------------------------
@@ -509,6 +522,7 @@ class ShardedLikelihood:
                 rates=self.rates,
                 mode=self.mode,
                 dtype=self.dtype,
+                backend=self.backend,
             )
         )
 
@@ -673,11 +687,12 @@ class ShardedLikelihood:
         schedule: Optional[ShardFaultSchedule],
         ledger: ShardLedger,
     ) -> Callable[[JobContext], ShardResult]:
-        tree, model, rates, dtype = (
+        tree, model, rates, dtype, backend = (
             self.tree,
             self.model,
             self.rates,
             self.dtype,
+            self.backend,
         )
 
         def job(ctx: JobContext) -> ShardResult:
@@ -717,6 +732,7 @@ class ShardedLikelihood:
                 rates=rates,
                 scaling=run_scaled,
                 dtype=dtype,
+                backend=backend,
             )
             plan = self._shard_plan(run_scaled)
             ctx.execute(instance, plan)

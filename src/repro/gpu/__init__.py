@@ -1,5 +1,6 @@
 """Simulated-GPU substrate: device specs and the analytical timing model."""
 
+from .calibrate import fit_device_spec
 from .device import GP100, QUADRO_P5000, SMALL_GPU, DeviceSpec
 from .perfmodel import (
     launch_time_mixed,
@@ -43,4 +44,5 @@ __all__ = [
     "IncrementalTiming",
     "simulate_tree",
     "simulated_speedup",
+    "fit_device_spec",
 ]

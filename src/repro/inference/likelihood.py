@@ -156,6 +156,7 @@ class TreeLikelihood:
         resilience: Union[RetryPolicy, bool, None] = None,
         faults: Optional[FaultSpec] = None,
         matrix_cache: Union[TransitionMatrixCache, bool, None] = None,
+        backend=None,
     ) -> None:
         if isinstance(data, Alignment):
             data = compress(data)
@@ -178,6 +179,10 @@ class TreeLikelihood:
         elif matrix_cache is False:
             matrix_cache = None
         self.matrix_cache: Optional[TransitionMatrixCache] = matrix_cache
+        # Kernel-backend spec (resource name, KernelBackend, or None for
+        # the environment/default resolution); forwarded verbatim to
+        # every engine instance this evaluator creates.
+        self.backend = backend
         self._dtype = np.float64 if precision == "double" else np.float32
         if reroot == "fast":
             tree = optimal_reroot_fast(tree).tree
@@ -210,6 +215,7 @@ class TreeLikelihood:
                 rates=self.rates,
                 scaling=self.scaling,
                 dtype=self._dtype,
+                backend=self.backend,
             )
             if self.matrix_cache is not None:
                 instance.matrix_cache = self.matrix_cache
@@ -236,6 +242,7 @@ class TreeLikelihood:
             rates=self.rates,
             scaling=self.scaling,
             dtype=self._dtype,
+            backend=self.backend,
         )
 
     def make_case(self):
@@ -256,6 +263,14 @@ class TreeLikelihood:
 
     @property
     def plan(self) -> ExecutionPlan:
+        """The lazily built full-traversal execution plan.
+
+        Plans are backend-agnostic: they name buffer indices and
+        operation sets only, so the same plan replays on any registered
+        kernel backend. After an accepted in-place topology move the
+        plan is rebuilt on the warm instance's frozen index map (see the
+        comment below) instead of via :func:`make_plan`.
+        """
         if self._plan is None:
             if self._incremental_ready and self._instance is not None:
                 # An accepted in-place topology move dropped the cached
@@ -480,6 +495,7 @@ class TreeLikelihood:
             resilience=self.resilience,
             faults=self.faults,
             matrix_cache=self.matrix_cache,
+            backend=self.backend,
         )
 
     def sharded(self, n_shards: int = 4, **kwargs):
@@ -519,6 +535,7 @@ class TreeLikelihood:
             rates=self.rates,
             mode=self.mode,
             dtype=self._dtype,
+            backend=self.backend,
             **kwargs,
         )
 
@@ -538,6 +555,7 @@ class TreeLikelihood:
             resilience=self.resilience,
             faults=self.faults,
             matrix_cache=self.matrix_cache,
+            backend=self.backend,
         )
 
     def invalidate(self) -> None:

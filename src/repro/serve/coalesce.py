@@ -164,6 +164,12 @@ class CoalescedBatch:
         a raising member fails the whole job, which the pool then
         reroutes (re-serving earlier members is safe: values are
         deterministic and the last write wins with identical bits).
+
+        Arena adoption is backend-agnostic: every kernel backend keeps
+        all of its scratch in the Workspace (backends themselves are
+        stateless), and the arena is pure per-launch scratch, so members
+        whose instances run *different* backends may share one arena —
+        the dims key deliberately excludes the backend.
         """
         members = self.members
         batch_width = len(members)

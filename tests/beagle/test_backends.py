@@ -1,0 +1,223 @@
+"""Kernel-backend conformance: contract, bit-identity, doc drift."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.beagle import (
+    NUMBA_AVAILABLE,
+    BackendInfo,
+    BlockedNumpyBackend,
+    KernelBackend,
+    NumbaBackend,
+    ReferenceBackend,
+    Workspace,
+    parity_report,
+)
+from repro.bench.harness import build_tree
+from repro.core import create_instance, execute_plan, make_plan
+from repro.data import random_patterns
+from repro.models import random_gtr
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "BACKENDS.md"
+
+
+def _case(n_tips=12, n_patterns=40, seed=3):
+    rng = np.random.default_rng(seed)
+    tree = build_tree("random", n_tips, seed)
+    for edge in tree.edges():
+        edge.length = float(rng.exponential(0.1))
+    model = random_gtr(rng)
+    patterns = random_patterns(tree.tip_names(), n_patterns, rng=rng)
+    return tree, model, patterns
+
+
+def _loglik(backend, case, dtype=np.float64, mode="concurrent", scaling=False):
+    tree, model, patterns = case
+    instance = create_instance(
+        tree, model, patterns, dtype=dtype, backend=backend, scaling=scaling
+    )
+    return execute_plan(instance, make_plan(tree, mode, scaling=scaling))
+
+
+class TestBackendInfo:
+    def test_bit_identical_requires_zero_tolerance(self):
+        with pytest.raises(ValueError):
+            BackendInfo(name="x", description="d", tolerance=1e-9)
+
+    def test_unknown_parity_class_rejected(self):
+        with pytest.raises(ValueError):
+            BackendInfo(name="x", description="d", parity="close-enough")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            BackendInfo(
+                name="x", description="d", parity="tolerance", tolerance=-1.0
+            )
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "backend", [ReferenceBackend(), BlockedNumpyBackend()]
+    )
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, KernelBackend)
+        info = backend.info
+        assert info.name and info.description and info.kind == "cpu"
+
+    @pytest.mark.parametrize(
+        "backend", [ReferenceBackend(), BlockedNumpyBackend()]
+    )
+    def test_create_workspace_shape(self, backend):
+        ws = backend.create_workspace(np.float64, 2, 16, 4)
+        assert isinstance(ws, Workspace)
+        assert ws.compatible_with(np.float64, 2, 16, 4)
+
+    @pytest.mark.parametrize(
+        "backend", [ReferenceBackend(), BlockedNumpyBackend()]
+    )
+    def test_rescale_and_root_reduce_shapes(self, backend):
+        rng = np.random.default_rng(0)
+        partials = rng.uniform(0.1, 1.0, size=(2, 8, 4))
+        logs = backend.rescale(partials)
+        assert logs.shape == (8,)
+        assert np.all(partials.max(axis=(0, 2)) <= 1.0 + 1e-12)
+        freqs = np.full(4, 0.25)
+        weights = np.full(2, 0.5)
+        site = backend.root_reduce(partials, freqs, weights)
+        assert site.shape == (8,)
+        assert np.all(site > 0)
+
+
+class TestBlockedBitIdentity:
+    """The tentpole guarantee: blocking never changes a single bit."""
+
+    @pytest.mark.parametrize("block", [1, 3, 8, 1024])
+    def test_explicit_block_sizes(self, block):
+        case = _case()
+        expected = _loglik(ReferenceBackend(), case)
+        got = _loglik(BlockedNumpyBackend(block_ops=block), case)
+        assert got == expected  # exact, not approx
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_both_precisions(self, dtype):
+        case = _case()
+        expected = _loglik(ReferenceBackend(), case, dtype=dtype)
+        got = _loglik(BlockedNumpyBackend(block_ops=2), case, dtype=dtype)
+        assert got == expected
+
+    def test_with_scaling(self):
+        case = _case()
+        expected = _loglik(ReferenceBackend(), case, scaling=True)
+        got = _loglik(BlockedNumpyBackend(block_ops=2), case, scaling=True)
+        assert got == expected
+
+    def test_serial_mode(self):
+        case = _case()
+        expected = _loglik(ReferenceBackend(), case, mode="serial")
+        got = _loglik(BlockedNumpyBackend(block_ops=2), case, mode="serial")
+        assert got == expected
+
+    def test_parity_battery_green(self):
+        report = parity_report("blocked", n_taxa=8, n_patterns=24)
+        assert report.ok
+        assert report.bit_identical
+        assert report.measured_class == "bit-identical"
+
+    def test_auto_block_scales_with_row_size(self):
+        backend = BlockedNumpyBackend()
+        wide = create_instance(
+            *_case(n_tips=6, n_patterns=512), backend=backend
+        )
+        narrow = create_instance(
+            *_case(n_tips=6, n_patterns=8), backend=backend
+        )
+        assert backend.block_for(narrow) >= backend.block_for(wide)
+        assert 4 <= backend.block_for(wide) <= 64
+
+    def test_invalid_block_config_rejected(self):
+        with pytest.raises(ValueError):
+            BlockedNumpyBackend(block_ops=0)
+        with pytest.raises(ValueError):
+            BlockedNumpyBackend(cache_budget_bytes=-1)
+
+
+class TestSharedArena:
+    def test_arena_adoption_across_backends(self):
+        """One arena may serve instances on different backends."""
+        case = _case()
+        expected = _loglik(ReferenceBackend(), case)
+        tree, model, patterns = case
+        ref = create_instance(tree, model, patterns, backend="reference")
+        blk = create_instance(tree, model, patterns, backend="blocked")
+        blk.adopt_workspace(ref.workspace)
+        plan = make_plan(tree, "concurrent")
+        assert execute_plan(ref, plan) == expected
+        assert execute_plan(blk, plan) == expected
+
+
+class TestNumbaGating:
+    def test_construction_requires_numba(self):
+        if NUMBA_AVAILABLE:  # pragma: no cover - depends on environment
+            backend = NumbaBackend()
+            assert backend.info.parity == "tolerance"
+        else:
+            with pytest.raises(ImportError, match="numba"):
+                NumbaBackend()
+
+    def test_registry_omits_numba_when_absent(self):
+        from repro.beagle import available_resources
+
+        if not NUMBA_AVAILABLE:
+            assert "numba" not in available_resources()
+
+
+class TestBackendInfoMetric:
+    def test_instance_records_backend_metric(self):
+        from repro.obs import Recorder, set_recorder
+
+        recorder = Recorder()
+        previous = set_recorder(recorder)
+        try:
+            create_instance(*_case(n_tips=4, n_patterns=8), backend="blocked")
+        finally:
+            set_recorder(previous)
+        text = recorder.metrics.to_prometheus()
+        assert 'repro_backend_info{kind="cpu",name="blocked"' in text
+
+
+class TestDocDrift:
+    """docs/BACKENDS.md must describe the protocol actually shipped."""
+
+    PROTOCOL_METHODS = [
+        "create_workspace",
+        "materialize_matrices",
+        "update_partials_batch",
+        "update_partials_single",
+        "rescale",
+        "root_reduce",
+    ]
+
+    def test_contract_doc_exists(self):
+        assert DOCS.is_file(), "docs/BACKENDS.md is missing"
+
+    def test_every_protocol_method_documented(self):
+        text = DOCS.read_text()
+        for method in self.PROTOCOL_METHODS:
+            assert method in text, f"{method} missing from docs/BACKENDS.md"
+
+    def test_protocol_has_no_undocumented_methods(self):
+        public = [
+            name
+            for name in dir(KernelBackend)
+            if not name.startswith("_") and name != "info"
+        ]
+        assert sorted(public) == sorted(self.PROTOCOL_METHODS)
+
+    def test_doc_names_parity_classes_and_env(self):
+        text = DOCS.read_text()
+        for needle in ("bit-identical", "tolerance", "REPRO_BACKEND", "--rsrc"):
+            assert needle in text

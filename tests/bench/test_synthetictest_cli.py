@@ -39,7 +39,7 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args([])
-        assert args.rsrc == 0
+        assert args.rsrc == "0"
         assert not args.pectinate and not args.randomtree
 
 
@@ -63,7 +63,7 @@ class TestRun:
             "--rsrc", "0", "--taxa", "8", "--sites", "32", "--reps", "2"
         )
         assert code == 0
-        assert "CPU (NumPy engine)" in text
+        assert "CPU (NumPy engine, backend=reference)" in text
         assert "GFLOPS" in text
 
     def test_pectinate_counts(self):
@@ -197,7 +197,7 @@ class TestShardedRuns:
     def test_shard_validation(self):
         for argv, message in [
             (["--shards", "-1"], "--shards must be non-negative"),
-            (["--shards", "2", "--rsrc", "1"], "--shards requires --rsrc 0"),
+            (["--shards", "2", "--rsrc", "1"], "--shards requires a CPU"),
             (["--shard-speculate"], "shard options require --shards"),
             (
                 ["--shards", "2", "--shard-resume"],
