@@ -61,7 +61,12 @@ from .races import (
     verify_races,
 )
 from .sanitizer import RaceDetector, RaceReport, SanitizedInstance
-from .verifier import verify_instance_compat, verify_operation_sets, verify_plan
+from .verifier import (
+    verify_gradient_plan,
+    verify_instance_compat,
+    verify_operation_sets,
+    verify_plan,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -95,6 +100,7 @@ __all__ = [
     "operation_footprint",
     "round_robin_streams",
     "seed_mutations",
+    "verify_gradient_plan",
     "verify_instance_compat",
     "verify_operation_sets",
     "verify_plan",

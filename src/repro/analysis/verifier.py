@@ -23,9 +23,14 @@ from .races import check_matrix_update_races, check_set_races
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..beagle.instance import BeagleInstance
-    from ..core.planner import ExecutionPlan
+    from ..core.planner import ExecutionPlan, GradientPlan
 
-__all__ = ["verify_plan", "verify_operation_sets", "verify_instance_compat"]
+__all__ = [
+    "verify_plan",
+    "verify_gradient_plan",
+    "verify_operation_sets",
+    "verify_instance_compat",
+]
 
 
 def verify_operation_sets(
@@ -148,6 +153,191 @@ def verify_plan(
         check_matrix_update_races(plan.matrix_indices, plan.branch_lengths)
     )
     return report
+
+
+def verify_gradient_plan(gplan: "GradientPlan") -> AnalysisReport:
+    """Statically verify a one-sweep all-branch gradient plan.
+
+    The post-order half is checked under the ordinary full-plan contract
+    (:func:`verify_plan`). The pre-order half is checked under the
+    *upper-bank* contract over the combined index space: upper buffers
+    ``upper_base .. upper_base + 2n − 2`` are modelled as additional
+    internal partials buffers, the lower internals and the two seeded
+    root-child uppers are assumed valid (the post pass and the seed
+    copies produce them), and the merged pulley matrix joins the
+    matrix-update table. Dead-write checking is off for the upper sets —
+    every upper buffer is read *externally* by the per-branch
+    recombination, so leaf-node uppers that no upper operation consumes
+    are the product, not a bug.
+
+    Structural invariants checked on top of the dataflow: operation
+    count (``2n − 4``), seed shape (exactly the two root children,
+    seeded from each other's subtrees), bank discipline (``child1``
+    lower, ``child2`` and destination upper, each non-root non-root-child
+    node written exactly once), and pulley-matrix sanity (the root's own
+    matrix slot, finite non-negative merged length).
+    """
+    report = AnalysisReport()
+    report.extend(verify_plan(gplan.post))
+    tree = gplan.tree
+    n = tree.n_tips
+    base = 2 * n - 1
+    config = BufferConfig(
+        tip_count=n,
+        partials_buffer_count=(n - 1) + (2 * n - 1),
+        matrix_count=2 * n - 1,
+        scale_buffer_count=0,
+    )
+    lower_internals = set(range(n, 2 * n - 1))
+    seeded = {destination for destination, _ in gplan.seeds}
+    report.extend(
+        verify_operation_sets(
+            gplan.upper_operation_sets,
+            config,
+            assume_valid=lower_internals | seeded,
+            matrix_updates=list(gplan.post.matrix_indices)
+            + [gplan.pulley_matrix],
+            check_dead_writes=False,
+        )
+    )
+    report.extend(_check_gradient_structure(gplan, base))
+    return report
+
+
+def _check_gradient_structure(
+    gplan: "GradientPlan", base: int
+) -> Iterable[Diagnostic]:
+    """Gradient-plan invariants beyond per-operation dataflow."""
+    # Imported here: repro.core.planner depends on this module.
+    from ..core.schedule import pulley_matrix_update, upper_seeds
+
+    out = []
+    tree = gplan.tree
+    n = tree.n_tips
+    expected_ops = max(2 * n - 4, 0)
+    if gplan.n_operations - gplan.post.n_operations != expected_ops:
+        actual = gplan.n_operations - gplan.post.n_operations
+        out.append(
+            Diagnostic(
+                code="upper-operation-count",
+                severity=Severity.ERROR,
+                message=(
+                    f"gradient plan has {actual} upper operations but a "
+                    f"{n}-tip tree needs exactly {expected_ops} (one per "
+                    f"non-root node below the root children)"
+                ),
+                hint="an upper operation was dropped or duplicated",
+            )
+        )
+    if sorted(gplan.seeds) != sorted(upper_seeds(tree)):
+        out.append(
+            Diagnostic(
+                code="bad-upper-seeds",
+                severity=Severity.ERROR,
+                message=(
+                    f"seeds {gplan.seeds!r} do not seed the two root "
+                    f"children from each other's subtrees"
+                ),
+                hint="each root child's upper buffer is its sibling's lowers",
+            )
+        )
+    seen: set = set()
+    for op_set in gplan.upper_operation_sets:
+        for op in op_set:
+            if op.destination < base:
+                out.append(
+                    Diagnostic(
+                        code="upper-destination-in-lower-bank",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"upper operation writes lower buffer "
+                            f"{op.destination}; the pre-order pass must "
+                            f"never clobber post-order partials"
+                        ),
+                        buffers=(op.destination,),
+                    )
+                )
+            if op.child1 >= base:
+                out.append(
+                    Diagnostic(
+                        code="upper-child1-not-lower",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"upper operation for buffer {op.destination} "
+                            f"reads child1 {op.child1} from the upper "
+                            f"bank; the sibling contribution must come "
+                            f"from lower partials"
+                        ),
+                        buffers=(op.child1,),
+                    )
+                )
+            if op.child2 < base:
+                out.append(
+                    Diagnostic(
+                        code="upper-child2-not-upper",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"upper operation for buffer {op.destination} "
+                            f"reads child2 {op.child2} from the lower "
+                            f"bank; the parent contribution must come "
+                            f"from upper partials"
+                        ),
+                        buffers=(op.child2,),
+                    )
+                )
+            if op.destination in seen:
+                out.append(
+                    Diagnostic(
+                        code="upper-buffer-rewritten",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"upper buffer {op.destination} is written "
+                            f"more than once in one sweep"
+                        ),
+                        buffers=(op.destination,),
+                    )
+                )
+            seen.add(op.destination)
+    expected_matrix, expected_length = pulley_matrix_update(tree)
+    if gplan.pulley_matrix != expected_matrix:
+        out.append(
+            Diagnostic(
+                code="bad-pulley-matrix",
+                severity=Severity.ERROR,
+                message=(
+                    f"pulley matrix slot {gplan.pulley_matrix} is not the "
+                    f"root's matrix index {expected_matrix}"
+                ),
+                buffers=(gplan.pulley_matrix,),
+            )
+        )
+    if not isfinite(gplan.pulley_length) or gplan.pulley_length < 0:
+        out.append(
+            Diagnostic(
+                code="invalid-branch-length",
+                severity=Severity.ERROR,
+                message=(
+                    f"merged pulley length {gplan.pulley_length!r} must be "
+                    f"finite and non-negative"
+                ),
+                buffers=(gplan.pulley_matrix,),
+            )
+        )
+    elif abs(gplan.pulley_length - expected_length) > 0.0:
+        out.append(
+            Diagnostic(
+                code="stale-pulley-length",
+                severity=Severity.WARNING,
+                message=(
+                    f"merged pulley length {gplan.pulley_length!r} does "
+                    f"not match the tree's root-child lengths "
+                    f"({expected_length!r}); the gradient of the pulley "
+                    f"edge would be evaluated at the wrong point"
+                ),
+                buffers=(gplan.pulley_matrix,),
+            )
+        )
+    return out
 
 
 def verify_instance_compat(

@@ -13,6 +13,8 @@ contract. This module is that contract for the NumPy work-alike. A
 * batched partials evaluation (:meth:`KernelBackend.update_partials_batch`),
 * single-operation partials evaluation
   (:meth:`KernelBackend.update_partials_single`),
+* batched *upper*-partials evaluation — the pre-order pass of the
+  all-branch gradient sweep (:meth:`KernelBackend.update_upper_partials`),
 * rescaling (:meth:`KernelBackend.rescale`) and the root reduction
   (:meth:`KernelBackend.root_reduce`).
 
@@ -161,6 +163,22 @@ class KernelBackend(Protocol):
 
         Writes the destination buffer only; the engine finishes the
         operation (validity flag, rescaling via :meth:`rescale`).
+        """
+        ...
+
+    def update_upper_partials(
+        self, instance: "BeagleInstance", operations: List["Operation"]
+    ) -> None:
+        """Execute one validated, independent *upper*-partial set.
+
+        The pre-order twin of :meth:`update_partials_batch`: each
+        operation reads a sibling's lower buffer (``child1``) and the
+        parent's upper buffer (``child2``, index ``≥ instance.upper_base``)
+        and writes the destination into the instance's upper bank. Upper
+        operations never rescale — the gradient sweep runs unscaled, like
+        the per-edge rerooted derivative oracle it must match bit for
+        bit. The engine has already checked set independence, non-
+        emptiness, and that the upper bank is enabled.
         """
         ...
 

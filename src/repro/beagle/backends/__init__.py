@@ -9,6 +9,10 @@ protocol for one execution strategy:
 * :mod:`~repro.beagle.backends.blocked` — the same NumPy call sequence
   applied in cache-sized blocks along the operation axis; bit-identical
   to the reference and measurably faster on wide operation sets.
+* :mod:`~repro.beagle.backends.pattern_blocked` — the orthogonal cut:
+  pattern-axis tiling for *narrow* sets (pectinate/random regimes where
+  there is no batch axis to partition), batch-axis blocking otherwise;
+  bit-identical on both paths.
 * :mod:`~repro.beagle.backends.numba_backend` — optional: the blocked
   strategy with the batched matmul compiled by numba when that package
   is importable. Never required; registered only when available.
@@ -20,11 +24,13 @@ way).
 
 from .reference import ReferenceBackend
 from .blocked import BlockedNumpyBackend
+from .pattern_blocked import PatternBlockedBackend
 from .numba_backend import NUMBA_AVAILABLE, NumbaBackend
 
 __all__ = [
     "ReferenceBackend",
     "BlockedNumpyBackend",
+    "PatternBlockedBackend",
     "NumbaBackend",
     "NUMBA_AVAILABLE",
 ]

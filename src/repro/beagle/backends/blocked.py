@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from ..backend import BackendInfo
 from .reference import ReferenceBackend
-from .setexec import MatmulHook, execute_operation_block
+from .setexec import MatmulHook, execute_operation_block, execute_upper_block
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..instance import BeagleInstance
@@ -100,6 +100,20 @@ class BlockedNumpyBackend(ReferenceBackend):
         matmul = self._matmul()
         for lo in range(0, k, block):
             execute_operation_block(
+                instance, ws, operations, lo, min(lo + block, k), matmul=matmul
+            )
+
+    def update_upper_partials(
+        self, instance: "BeagleInstance", operations: List["Operation"]
+    ) -> None:
+        """Evaluate one pre-order upper set block by block."""
+        k = len(operations)
+        block = self.block_for(instance)
+        ws = instance.workspace
+        ws.ensure(min(k, block))
+        matmul = self._matmul()
+        for lo in range(0, k, block):
+            execute_upper_block(
                 instance, ws, operations, lo, min(lo + block, k), matmul=matmul
             )
 

@@ -18,7 +18,7 @@ from ...models.eigen import transition_matrices
 from ..backend import BackendInfo
 from ..kernels import rescale_partials, root_site_likelihoods, update_partials
 from ..workspace import Workspace
-from .setexec import execute_operation_block
+from .setexec import execute_operation_block, execute_upper_block
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...models.eigen import EigenDecomposition
@@ -85,6 +85,15 @@ class ReferenceBackend:
             codes2,
             out=instance._partials[slot],
         )
+
+    def update_upper_partials(
+        self, instance: "BeagleInstance", operations: List["Operation"]
+    ) -> None:
+        """Evaluate one pre-order upper set as a single arena block."""
+        k = len(operations)
+        ws = instance.workspace
+        ws.ensure(k)
+        execute_upper_block(instance, ws, operations, 0, k)
 
     def rescale(self, partials: np.ndarray) -> np.ndarray:
         """BEAGLE's dynamic-max rescale (see :func:`rescale_partials`)."""

@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..operations import Operation
     from ..workspace import Workspace
 
-__all__ = ["execute_operation_block", "MatmulHook"]
+__all__ = ["execute_operation_block", "execute_upper_block", "MatmulHook"]
 
 #: Signature of a batched-matmul override: ``hook(gathered, mats, out)``
 #: computes ``out[i] = gathered[i] @ mats[i].T`` per category for stacks
@@ -196,3 +196,166 @@ def execute_operation_block(
                 instance.scale.write(op.destination_scale, logs)
     instance._partials[ws.dest_slots[:nb]] = product
     instance._partials_valid[ws.dest_slots[:nb]] = True
+
+
+def execute_upper_block(
+    instance: "BeagleInstance",
+    ws: "Workspace",
+    ops: List["Operation"],
+    lo: int,
+    hi: int,
+    matmul: MatmulHook = None,
+) -> None:
+    """Evaluate *upper*-partial operations ``ops[lo:hi]`` through ``ws``.
+
+    The pre-order twin of :func:`execute_operation_block`: ``child1`` is
+    a sibling's lower buffer (tip codes, explicit tip partials, or
+    internal partials — the same classification), ``child2`` is always
+    the parent's upper buffer, and the destination lands in the upper
+    bank. The arithmetic per operation is exactly Eq. 1 — two child
+    contributions multiplied — so any block partition computes the same
+    bits as the serial kernel, and the results match the far-side
+    half-tree partials a per-edge rerooted post-order evaluation would
+    produce (the bit-consistency the gradient parity gate asserts).
+
+    Upper operations never rescale (``destination_scale`` is −1 by
+    construction; the gradient engine runs unscaled, like the per-edge
+    derivative oracle).
+    """
+    nb = hi - lo
+    block = ops[lo:hi]
+    base = instance.upper_base
+    upper = instance._upper
+    upper_valid = instance._upper_valid
+    assert upper is not None and upper_valid is not None
+    with get_recorder().phase(PHASE_PARTIALS):
+        # First children (lower bank): the standard classification pass
+        # over rows 0..nb-1.
+        n_int = n_code = n_exp = 0
+        for i, op in enumerate(block):
+            b, mat = op.child1, op.child1_matrix
+            ws.child_buffers[i] = b
+            if b < instance.tip_count:
+                if b in instance._tip_codes:
+                    ws.code_sel[n_code] = i
+                    ws.code_tips[n_code] = b
+                    ws.code_mats[n_code] = mat
+                    n_code += 1
+                elif b in instance._tip_partials:
+                    ws.explicit_sel[n_exp] = i
+                    ws.explicit_mats[n_exp] = mat
+                    n_exp += 1
+                else:
+                    raise ValueError(f"tip buffer {b} has no data")
+            else:
+                slot = instance._internal_slot(b)
+                if not instance._partials_valid[slot]:
+                    raise ValueError(
+                        f"partials buffer {b} read before being computed"
+                    )
+                ws.internal_sel[n_int] = i
+                ws.internal_slots[n_int] = slot
+                ws.internal_mats[n_int] = mat
+                n_int += 1
+        # Second children (upper bank) and destinations: pure slot math.
+        for i, op in enumerate(block):
+            slot = op.child2 - base
+            if not 0 <= slot < upper.shape[0]:
+                raise IndexError(f"upper buffer {op.child2} out of range")
+            if not upper_valid[slot]:
+                raise ValueError(
+                    f"upper buffer {op.child2} read before being computed"
+                )
+            ws.upper_slots[i] = slot
+            ws.upper_mats[i] = op.child2_matrix
+            dest = op.destination - base
+            if not 0 <= dest < upper.shape[0]:
+                raise IndexError(
+                    f"upper destination {op.destination} out of range"
+                )
+            ws.dest_slots[i] = dest
+
+        C, S = instance.category_count, instance.state_count
+        if n_int:
+            np.take(
+                instance._partials,
+                ws.internal_slots[:n_int],
+                axis=0,
+                out=ws.gathered[:n_int],
+            )
+            np.take(
+                instance._matrices,
+                ws.internal_mats[:n_int],
+                axis=0,
+                out=ws.mats[:n_int],
+            )
+            if matmul is None:
+                np.copyto(
+                    ws.mats_T[:n_int], ws.mats[:n_int].transpose(0, 1, 3, 2)
+                )
+                np.matmul(
+                    ws.gathered[:n_int], ws.mats_T[:n_int], out=ws.scratch[:n_int]
+                )
+            else:
+                matmul(ws.gathered[:n_int], ws.mats[:n_int], ws.scratch[:n_int])
+            ws.contributions[ws.internal_sel[:n_int]] = ws.scratch[:n_int]
+        if n_code:
+            np.take(
+                instance._matrices,
+                ws.code_mats[:n_code],
+                axis=0,
+                out=ws.mats[:n_code],
+            )
+            np.copyto(
+                ws.padded_T[:n_code, :, :S, :],
+                ws.mats[:n_code].transpose(0, 1, 3, 2),
+            )
+            ws.padded_T[:n_code, :, S, :] = 1.0
+            np.take(
+                instance._tip_codes_dense,
+                ws.code_tips[:n_code],
+                axis=0,
+                out=ws.codes[:n_code],
+            )
+            np.add(
+                ws.row_base[:n_code, :, None],
+                ws.codes[:n_code][:, None, :],
+                out=ws.rowidx[:n_code],
+            )
+            rows2d = ws.padded_T[:n_code].reshape(n_code * C * (S + 1), S)
+            np.take(
+                rows2d,
+                ws.rowidx[:n_code],
+                axis=0,
+                out=ws.scratch[:n_code],
+                mode="clip",
+            )
+            ws.contributions[ws.code_sel[:n_code]] = ws.scratch[:n_code]
+        for j in range(n_exp):  # rare: partial-ambiguity tips
+            row = int(ws.explicit_sel[j])
+            partials = instance._tip_partials[int(ws.child_buffers[row])]
+            np.matmul(
+                partials,
+                instance._matrices[int(ws.explicit_mats[j])].transpose(0, 2, 1),
+                out=ws.contributions[row],
+            )
+
+        # Parent uppers: gather, batched L @ Pᵀ into the second-child rows.
+        np.take(upper, ws.upper_slots[:nb], axis=0, out=ws.gathered[:nb])
+        np.take(
+            instance._matrices, ws.upper_mats[:nb], axis=0, out=ws.mats[:nb]
+        )
+        if matmul is None:
+            np.copyto(ws.mats_T[:nb], ws.mats[:nb].transpose(0, 1, 3, 2))
+            np.matmul(
+                ws.gathered[:nb],
+                ws.mats_T[:nb],
+                out=ws.contributions[nb : 2 * nb],
+            )
+        else:
+            matmul(ws.gathered[:nb], ws.mats[:nb], ws.contributions[nb : 2 * nb])
+
+        product = ws.contributions[:nb]
+        np.multiply(product, ws.contributions[nb : 2 * nb], out=product)
+    upper[ws.dest_slots[:nb]] = product
+    upper_valid[ws.dest_slots[:nb]] = True

@@ -30,6 +30,7 @@ from ..obs.profile import (
 from .backend import KernelBackend
 from .kernels import (
     child_contribution,
+    dense_tip_partials,
     edge_site_likelihoods,
     operation_flops,
 )
@@ -140,6 +141,11 @@ class BeagleInstance:
             dtype=dtype,
         )
         self._partials_valid = np.zeros(partials_buffer_count, dtype=bool)
+        # Pre-order upper-partial bank (one slot per node, tips included);
+        # allocated lazily by enable_upper_partials() so likelihood-only
+        # instances pay nothing for the gradient engine.
+        self._upper: Optional[np.ndarray] = None
+        self._upper_valid: Optional[np.ndarray] = None
         self._matrices = np.zeros(
             (matrix_count, category_count, state_count, state_count), dtype=dtype
         )
@@ -393,6 +399,120 @@ class BeagleInstance:
         """Mark every internal buffer as not-yet-computed."""
         self._partials_valid[:] = False
 
+    # ------------------------------------------------------------------
+    # Pre-order upper partials (the all-branch gradient bank)
+    # ------------------------------------------------------------------
+    @property
+    def upper_base(self) -> int:
+        """First upper-partial buffer index (one past the lower buffers).
+
+        The upper partials of the node with lower buffer index ``i`` live
+        at global index ``upper_base + i``; operations over the combined
+        space need no bank tag (see :mod:`repro.core.schedule`).
+        """
+        return self.tip_count + self.partials_buffer_count
+
+    def enable_upper_partials(self) -> None:
+        """Allocate the upper-partial bank (idempotent).
+
+        One ``(C, P, S)`` slot per node — tips included, because every
+        branch (tip branches too) has a far-side half-tree. Roughly
+        doubles the partials footprint, which is why the bank is opt-in.
+        """
+        if self._upper is None:
+            n = self.upper_base
+            self._upper = np.zeros(
+                (n, self.category_count, self.pattern_count, self.state_count),
+                dtype=self.dtype,
+            )
+            self._upper_valid = np.zeros(n, dtype=bool)
+
+    def invalidate_upper_partials(self) -> None:
+        """Mark every upper-partial buffer as not-yet-computed."""
+        if self._upper_valid is not None:
+            self._upper_valid[:] = False
+
+    def _upper_slot(self, buffer_index: int) -> int:
+        """Bank slot of a global upper buffer index (range-checked)."""
+        if self._upper is None:
+            raise ValueError(
+                "upper partials not enabled; call enable_upper_partials()"
+            )
+        slot = buffer_index - self.upper_base
+        if not 0 <= slot < self._upper.shape[0]:
+            raise IndexError(f"upper buffer {buffer_index} out of range")
+        return slot
+
+    def _upper_array(self, buffer_index: int) -> np.ndarray:
+        """Validated ``(C, P, S)`` view of a computed upper buffer."""
+        slot = self._upper_slot(buffer_index)
+        assert self._upper is not None and self._upper_valid is not None
+        if not self._upper_valid[slot]:
+            raise ValueError(
+                f"upper buffer {buffer_index} read before being computed"
+            )
+        return self._upper[slot]
+
+    def seed_upper_partials(self, destination: int, source: int) -> None:
+        """Seed a root child's upper buffer from its sibling's lowers.
+
+        ``destination`` is a global upper index (``upper_base + node``),
+        ``source`` a lower buffer. Under the suppressed-root (pulley)
+        view the far side of a root child's branch is exactly the sibling
+        subtree, so the seed is a copy — tip codes are expanded to dense
+        one-hot partials in the instance dtype.
+        """
+        slot = self._upper_slot(destination)
+        assert self._upper is not None and self._upper_valid is not None
+        partials, codes = self._child_arrays(source)
+        if partials is None:
+            self._upper[slot] = dense_tip_partials(
+                codes, self.state_count, self.category_count, self.dtype
+            )
+        else:
+            self._upper[slot] = partials
+        self._upper_valid[slot] = True
+
+    def upper_partials(self, node_buffer: int) -> np.ndarray:
+        """Copy of a node's computed upper partials ``(C, P, S)``.
+
+        ``node_buffer`` is the node's *lower* buffer index; the method
+        offsets into the upper bank itself.
+        """
+        return np.array(self._upper_array(self.upper_base + node_buffer), copy=True)
+
+    def update_upper_partials_set(self, operations: Sequence[Operation]) -> None:
+        """Execute one independent *upper*-partial operation set.
+
+        The pre-order analogue of :meth:`update_partials_set`: each
+        operation's ``child1`` is a sibling's lower buffer, its ``child2``
+        the parent's upper buffer, and the destination an upper buffer.
+        Delegated to the backend's
+        :meth:`~repro.beagle.backend.KernelBackend.update_upper_partials`.
+        """
+        ops = list(operations)
+        if not ops:
+            return
+        if not operations_independent(ops):
+            raise ValueError("operation set contains internal dependencies")
+        if self._upper is None:
+            raise ValueError(
+                "upper partials not enabled; call enable_upper_partials()"
+            )
+        k = len(ops)
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("repro_kernel_launches_total")
+            obs.count("repro_operations_evaluated_total", k)
+            obs.observe("repro_operations_per_set", k)
+            with obs.span("kernel.upper", category="kernel", operations=k):
+                self.backend.update_upper_partials(self, ops)
+        else:
+            self.backend.update_upper_partials(self, ops)
+        self.stats.kernel_launches += 1
+        self.stats.operations += k
+        self.stats.flops += k * self.flops_per_operation
+
     def enable_scaling(self, count: int) -> None:
         """Grow the scale bank to at least ``count`` buffers.
 
@@ -625,13 +745,16 @@ class BeagleInstance:
         tips = sum(a.nbytes for a in self._tip_codes.values())
         tips += sum(a.nbytes for a in self._tip_partials.values())
         tips += self._tip_codes_dense.nbytes
+        upper = int(self._upper.nbytes) if self._upper is not None else 0
         return {
             "partials": int(self._partials.nbytes),
+            "upper_partials": upper,
             "matrices": int(self._matrices.nbytes),
             "tips": int(tips),
             "scale": int(self.scale._logs.nbytes),
             "total": int(
                 self._partials.nbytes
+                + upper
                 + self._matrices.nbytes
                 + tips
                 + self.scale._logs.nbytes

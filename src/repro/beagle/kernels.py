@@ -29,6 +29,7 @@ import numpy as np
 
 __all__ = [
     "child_contribution",
+    "dense_tip_partials",
     "update_partials",
     "update_partials_batch",
     "root_site_likelihoods",
@@ -36,6 +37,28 @@ __all__ = [
     "rescale_partials",
     "operation_flops",
 ]
+
+
+def dense_tip_partials(
+    codes: np.ndarray,
+    n_states: int,
+    n_categories: int,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Expand compact tip codes to dense ``(C, P, S)`` partials.
+
+    The identity-matrix contribution of :func:`child_contribution`:
+    observed states become one-hot rows, the "unknown" code ``n_states``
+    becomes all-ones. Used to seed pre-order upper-partial buffers from
+    tip sources and to hand tip lowers to the per-branch derivative
+    recombination.
+    """
+    eye = np.eye(n_states, dtype=dtype)
+    return child_contribution(
+        np.broadcast_to(eye, (n_categories, n_states, n_states)),
+        codes=codes,
+        dtype=np.dtype(dtype),
+    )
 
 
 def child_contribution(

@@ -31,7 +31,12 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 from .backend import BackendInfo, KernelBackend
-from .backends import NUMBA_AVAILABLE, BlockedNumpyBackend, ReferenceBackend
+from .backends import (
+    NUMBA_AVAILABLE,
+    BlockedNumpyBackend,
+    PatternBlockedBackend,
+    ReferenceBackend,
+)
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -180,6 +185,7 @@ def resolve_backend(
 
 register_resource("reference", ReferenceBackend)
 register_resource("blocked", BlockedNumpyBackend)
+register_resource("pattern-blocked", PatternBlockedBackend)
 if NUMBA_AVAILABLE:  # pragma: no cover - numba absent in this container
     from .backends import NumbaBackend
 

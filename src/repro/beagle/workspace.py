@@ -130,6 +130,10 @@ class Workspace:
         self.code_mats = np.empty(rows, dtype=np.int64)
         self.explicit_sel = np.empty(rows, dtype=np.int64)
         self.explicit_mats = np.empty(rows, dtype=np.int64)
+        # Upper-bank bookkeeping (pre-order pass): the second child of an
+        # upper operation is always a parent's upper buffer.
+        self.upper_slots = np.empty(rows, dtype=np.int64)
+        self.upper_mats = np.empty(rows, dtype=np.int64)
         # Destinations.
         self.dest_slots = np.empty(cap, dtype=np.int64)
         self.capacity = cap
@@ -184,6 +188,8 @@ class Workspace:
                 "code_mats",
                 "explicit_sel",
                 "explicit_mats",
+                "upper_slots",
+                "upper_mats",
                 "dest_slots",
             ):
                 total += getattr(self, name).nbytes

@@ -147,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         "multi-operation kernel (GP100 resource only)",
     )
     parser.add_argument(
+        "--gradient",
+        action="store_true",
+        help="compute every branch's (logL, d/dt, d2/dt2) with the "
+        "one-sweep pre-order engine, verify each edge exactly against "
+        "the per-edge rerooted oracle, and assert the one-sweep "
+        "operation count beats the per-edge total (any mismatch fails "
+        "the run)",
+    )
+    parser.add_argument(
         "--lint",
         action="store_true",
         help="statically verify the plan (repro.analysis) before running "
@@ -501,6 +510,9 @@ def _validate_args(args, out) -> int:
     if args.partitions < 1:
         print("error: --partitions must be at least 1", file=out)
         return 2
+    if args.gradient and args.taxa < 3:
+        print("error: --gradient needs at least 3 taxa", file=out)
+        return 2
     if args.streams < 0:
         print("error: --streams must be non-negative", file=out)
         return 2
@@ -640,6 +652,104 @@ def _validate_args(args, out) -> int:
     return 0
 
 
+def _run_gradient(args, tree, model, patterns, info, out) -> int:
+    """The ``--gradient`` exit gate: one-sweep vs per-edge parity.
+
+    Runs :func:`~repro.inference.derivatives.all_branch_derivatives`
+    (one post-order + one pre-order sweep), then replays every canonical
+    edge through the per-edge rerooted oracle on a shared
+    :class:`~repro.inference.derivatives.DerivativeSession` and demands
+    the triple match to the backend's declared parity class — exact for
+    bit-identical backends. Also asserts the one-sweep operation count
+    (``3n − 5``) beats the per-edge total (``(2n − 3)(n − 1)``), the
+    linear-vs-quadratic claim the gradient bench reports. Any violation
+    exits 1. With the GP100 resource the modelled
+    :meth:`~repro.gpu.simulator.SimulatedDevice.time_gradient`
+    economics are printed as well.
+    """
+    from ..core.planner import make_gradient_plan
+    from ..inference.derivatives import (
+        DerivativeSession,
+        all_branch_derivatives,
+        edge_log_likelihood_derivatives,
+    )
+
+    mode = "serial" if args.serial else "concurrent"
+    n = args.taxa
+    gplan = make_gradient_plan(tree, mode, verify=args.lint)
+    per_edge_ops = (2 * n - 3) * (n - 1)
+    print(
+        f"gradient: one sweep = {gplan.n_operations} ops in "
+        f"{gplan.n_launches} launches; per-edge reroots = "
+        f"{per_edge_ops} ops over {2 * n - 3} edges",
+        file=out,
+    )
+    if gplan.n_operations != 3 * n - 5 or gplan.n_operations >= per_edge_ops:
+        print(
+            f"error: one-sweep operation count {gplan.n_operations} is not "
+            f"the linear 3n-5 = {3 * n - 5} below the per-edge "
+            f"{per_edge_ops}",
+            file=out,
+        )
+        return 1
+    grad = all_branch_derivatives(
+        tree, model, patterns, backend=args.backend, mode=mode
+    )
+    session = DerivativeSession(model, patterns, backend=args.backend)
+    exact = info.parity == "bit-identical"
+    mismatches = 0
+    worst = 0.0
+    for edge, got in zip(grad.edges, grad.derivatives):
+        want = edge_log_likelihood_derivatives(
+            tree, model, patterns, edge, session=session
+        )
+        triple_got = (got.log_likelihood, got.first, got.second)
+        triple_want = (want.log_likelihood, want.first, want.second)
+        if exact:
+            ok = triple_got == triple_want
+        else:
+            gap = max(
+                abs(g - w) for g, w in zip(triple_got, triple_want)
+            )
+            worst = max(worst, gap)
+            ok = gap <= max(info.tolerance, 1e-6)
+        if not ok:
+            mismatches += 1
+            print(
+                f"gradient mismatch at edge {edge.name or edge!r}: "
+                f"sweep {triple_got} vs reroot {triple_want}",
+                file=out,
+            )
+    n_edges = len(grad.edges)
+    if mismatches:
+        print(
+            f"gradient verified: FAILED ({mismatches}/{n_edges} edges "
+            f"disagree with the per-edge reroot oracle)",
+            file=out,
+        )
+        return 1
+    bound = "exact" if exact else f"|delta| <= {max(worst, 0.0):.3g}"
+    print(
+        f"gradient verified: {n_edges}/{n_edges} edges match the "
+        f"per-edge reroot oracle ({bound}; session instances: "
+        f"{session.instances_created})",
+        file=out,
+    )
+    if args.device_model:
+        dims = WorkloadDims(args.sites, args.states, args.categories)
+        timing = SimulatedDevice(GP100).time_gradient(
+            tree, dims, mode, plan=gplan
+        )
+        print(
+            f"modelled gradient: one sweep {timing.one_sweep.seconds * 1e6:.2f} us "
+            f"vs per-edge {timing.per_edge.seconds * 1e6:.2f} us "
+            f"(speedup {timing.speedup:.2f}, "
+            f"{timing.launches_saved} launches saved)",
+            file=out,
+        )
+    return 0
+
+
 def _run_benchmark(args, out) -> int:
     """The benchmark proper (arguments already validated)."""
     topology = "pectinate" if args.pectinate else (
@@ -717,6 +827,11 @@ def _run_benchmark(args, out) -> int:
     print(f"logL: {loglik:.6f}", file=out)
     info = instance.backend.info
     print(f"kernel backend: {info.name} ({info.kind}, {info.parity})", file=out)
+
+    if args.gradient:
+        status = _run_gradient(args, tree, model, patterns, info, out)
+        if status != 0:
+            return status
 
     if args.fault_rate > 0.0 and not args.shards:
         # With --shards, --fault-rate feeds the shard-scoped chaos

@@ -29,7 +29,15 @@ from .bounds import (
     theoretical_speedup,
     tree_theoretical_speedup,
 )
-from .planner import ExecutionPlan, create_instance, execute_plan, make_plan
+from .planner import (
+    ExecutionPlan,
+    GradientPlan,
+    create_instance,
+    execute_gradient_plan,
+    execute_plan,
+    make_gradient_plan,
+    make_plan,
+)
 from .incremental import (
     IncrementalLikelihood,
     dirty_nodes,
@@ -60,6 +68,9 @@ __all__ = [
     "rerooted_speedup_interval",
     "tree_theoretical_speedup",
     "ExecutionPlan",
+    "GradientPlan",
+    "make_gradient_plan",
+    "execute_gradient_plan",
     "IncrementalLikelihood",
     "dirty_nodes",
     "incremental_operation_sets",

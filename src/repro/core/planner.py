@@ -6,6 +6,14 @@ updates, the root buffer, and the scaling configuration mirroring
 ``synthetictest``'s ``--manualscale`` / ``--rescale-frequency`` options.
 :func:`execute_plan` drives a :class:`~repro.beagle.instance.BeagleInstance`
 through the plan and returns the log-likelihood.
+
+A :class:`GradientPlan` extends a post-order plan with the *pre-order*
+upper-partial pass: seed copies for the root children, level-batched
+upper operation sets, and the merged pulley-edge matrix update. One
+:func:`execute_gradient_plan` call leaves the engine holding, for every
+node, both the lower (subtree) and upper (rest-of-tree) partials — the
+two halves every branch's (logL, d/dt, d²/dt²) recombination needs, in
+linear total work instead of one rerooted evaluation per edge.
 """
 
 from __future__ import annotations
@@ -26,10 +34,21 @@ from .opsets import build_operation_sets, level_schedule
 from .schedule import (
     matrix_updates,
     postorder_operations,
+    preorder_upper_operations,
+    pulley_matrix_update,
     reverse_levelorder_operations,
+    upper_seeds,
 )
 
-__all__ = ["ExecutionPlan", "make_plan", "create_instance", "execute_plan"]
+__all__ = [
+    "ExecutionPlan",
+    "make_plan",
+    "create_instance",
+    "execute_plan",
+    "GradientPlan",
+    "make_gradient_plan",
+    "execute_gradient_plan",
+]
 
 #: Scale buffer reserved for the accumulated (cumulative) log factors.
 CUMULATIVE_SCALE = 0
@@ -255,3 +274,152 @@ def _execute_plan_body(
     instance.scale.reset(cumulative)
     instance.scale.accumulate(scale_indices, cumulative)
     return instance.calculate_root_log_likelihood(plan.root_buffer, cumulative)
+
+
+@dataclass(frozen=True)
+class GradientPlan:
+    """A post-order plan plus its pre-order upper-partial pass.
+
+    Attributes
+    ----------
+    post:
+        The unscaled :class:`ExecutionPlan` computing every lower
+        (subtree) partials buffer. Unscaled by construction — the
+        all-branch recombination must match the per-edge rerooted
+        derivative oracle bit for bit, and the oracle runs unscaled.
+    upper_operation_sets:
+        Independent upper-operation groups in pre-order (parents before
+        children); each inner list is one ``update_upper_partials``
+        launch. ``2n − 4`` operations total for ``n ≥ 3`` tips.
+    seeds:
+        ``(upper destination, lower source)`` copy pairs seeding the two
+        root children's upper buffers.
+    pulley_matrix, pulley_length:
+        Matrix slot and branch length of the merged pulley edge (the
+        root's own — otherwise unused — matrix index, and the sum of the
+        two root-child branch lengths).
+    mode:
+        ``"concurrent"`` (greedy level batching) or ``"serial"`` (one
+        operation per launch).
+    """
+
+    post: ExecutionPlan
+    upper_operation_sets: List[List[Operation]]
+    seeds: List[tuple]
+    pulley_matrix: int
+    pulley_length: float
+    mode: str
+
+    @property
+    def tree(self) -> Tree:
+        """The tree both passes were built from."""
+        return self.post.tree
+
+    @property
+    def n_launches(self) -> int:
+        """Kernel launches across both passes."""
+        return self.post.n_launches + len(self.upper_operation_sets)
+
+    @property
+    def n_operations(self) -> int:
+        """Partial-update operations across both passes (``3n − 5``)."""
+        return self.post.n_operations + sum(
+            len(s) for s in self.upper_operation_sets
+        )
+
+    @property
+    def upper_set_sizes(self) -> List[int]:
+        """Upper operations per set, in launch order."""
+        return [len(s) for s in self.upper_operation_sets]
+
+
+def make_gradient_plan(
+    tree: Tree, mode: str = "concurrent", *, verify: bool = False
+) -> GradientPlan:
+    """Build the one-sweep all-branch gradient plan for a bifurcating tree.
+
+    Parameters
+    ----------
+    mode:
+        ``"concurrent"`` — both passes batched into independent sets
+        (post-order via greedy reverse level-order, pre-order via greedy
+        level order, so a shallower tree yields fewer launches in *both*
+        directions); ``"serial"`` — one operation per launch in both
+        passes (the launch-overhead baseline).
+    verify:
+        Run the static analyzer
+        (:func:`repro.analysis.verify_gradient_plan`) over the combined
+        def/use contract and raise on any hazard.
+    """
+    if mode not in ("serial", "concurrent"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if tree.n_tips < 3:
+        raise ValueError("gradient plans require at least three tips")
+    post = make_plan(tree, mode=mode, scaling=False)
+    obs = get_recorder()
+    with obs.span(
+        "plan.gradient", category="plan", mode=mode, tips=tree.n_tips
+    ):
+        upper_ops = preorder_upper_operations(tree)
+        if mode == "serial":
+            upper_sets = [[op] for op in upper_ops]
+        else:
+            upper_sets = build_operation_sets(upper_ops)
+        pulley_index, pulley_length = pulley_matrix_update(tree)
+        plan = GradientPlan(
+            post=post,
+            upper_operation_sets=upper_sets,
+            seeds=upper_seeds(tree),
+            pulley_matrix=pulley_index,
+            pulley_length=pulley_length,
+            mode=mode,
+        )
+    if obs.enabled:
+        obs.count("repro_gradient_plans_built_total")
+    if verify:
+        # Imported lazily: repro.analysis depends on this module.
+        from ..analysis.verifier import verify_gradient_plan
+
+        verify_gradient_plan(plan).raise_if_errors()
+    return plan
+
+
+def execute_gradient_plan(
+    instance: BeagleInstance,
+    gplan: GradientPlan,
+    *,
+    update_matrices: bool = True,
+) -> float:
+    """Run both sweeps and return the root log-likelihood.
+
+    Order matters: the post-order pass first (filling every lower
+    buffer and all branch matrices), then the merged pulley matrix, then
+    the upper bank — seeds before level sets, parents before children.
+    Afterwards :meth:`BeagleInstance.upper_partials` holds, for every
+    non-root node, the far-side half-tree partials of its branch —
+    bit-identical to what a rerooted per-edge evaluation computes.
+    """
+    obs = get_recorder()
+    with obs.span(
+        "gradient.sweep",
+        category="plan",
+        mode=gplan.mode,
+        launches=gplan.n_launches,
+        operations=gplan.n_operations,
+    ):
+        log_likelihood = execute_plan(
+            instance, gplan.post, update_matrices=update_matrices
+        )
+        if update_matrices:
+            instance.update_transition_matrices(
+                0, [gplan.pulley_matrix], [gplan.pulley_length]
+            )
+        instance.enable_upper_partials()
+        instance.invalidate_upper_partials()
+        for destination, source in gplan.seeds:
+            instance.seed_upper_partials(destination, source)
+        for op_set in gplan.upper_operation_sets:
+            instance.update_upper_partials_set(op_set)
+    if obs.enabled:
+        obs.count("repro_gradient_sweeps_total")
+    return log_likelihood

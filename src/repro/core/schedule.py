@@ -14,21 +14,37 @@ tip buffers ``0..n-1``, internal partials buffers ``n..2n-2``, and the
 transition matrix of a branch shares the buffer index of its child node.
 Scale-buffer index of an internal node is ``buffer − n`` when manual
 scaling is on.
+
+The *pre-order* (upper-partial) pass reuses the same :class:`Operation`
+shape over an extended buffer space: the upper partials of node ``i``
+live at buffer ``upper_base(tree) + i`` where ``upper_base`` is ``2n−1``
+(one upper slot per node, after every lower buffer). An upper operation's
+``child1`` is the sibling's *lower* buffer, its ``child2`` the parent's
+*upper* buffer, so the greedy set builder and the dataflow verifier work
+unchanged on the combined index space. The merged pulley edge (the two
+root branches of the unrooted view) stores its transition matrix under
+the root's own buffer index — the one matrix slot a rooted post-order
+plan never uses.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from ..beagle.operations import Operation
 from ..trees import Tree
-from ..trees.traversal import reverse_levelorder
+from ..trees.traversal import levelorder, reverse_levelorder
 
 __all__ = [
     "operation_for_node",
     "postorder_operations",
     "reverse_levelorder_operations",
     "matrix_updates",
+    "upper_base",
+    "upper_operation_for_node",
+    "preorder_upper_operations",
+    "upper_seeds",
+    "pulley_matrix_update",
 ]
 
 
@@ -84,3 +100,103 @@ def matrix_updates(tree: Tree) -> tuple[List[int], List[float]]:
         indices.append(tree.index_of(node))
         lengths.append(node.length)
     return indices, lengths
+
+
+def upper_base(tree: Tree) -> int:
+    """First upper-partial buffer index: one past the lower buffers.
+
+    The upper partials of the node with buffer index ``i`` live at
+    ``upper_base(tree) + i``; offsetting keeps the two banks disjoint in
+    one integer space so dependency analysis over mixed operations needs
+    no out-of-band bank tag.
+    """
+    return 2 * tree.n_tips - 1
+
+
+def upper_operation_for_node(tree: Tree, node) -> Operation:
+    """The :class:`Operation` computing one node's *upper* partials.
+
+    The upper partials of ``node`` are the far-side half-tree partials of
+    its branch — exactly the ``V`` buffer the per-edge rerooted evaluation
+    computes — built from the sibling's lower partials (through the
+    sibling's own matrix) and the parent's upper partials (through the
+    parent's branch matrix; the merged pulley matrix when the parent is a
+    root child). Root children themselves are *seeded*, not computed (see
+    :func:`upper_seeds`).
+    """
+    parent = node.parent
+    if parent is None:
+        raise ValueError("the root has no branch, hence no upper partials")
+    if parent.parent is None:
+        raise ValueError(
+            "root children are seeded, not computed; see upper_seeds()"
+        )
+    sibling = node.sibling()
+    if sibling is None:
+        raise ValueError("upper operations require a bifurcating tree")
+    base = upper_base(tree)
+    sibling_index = tree.index_of(sibling)
+    parent_index = tree.index_of(parent)
+    if parent.parent.parent is None and len(tree.root.children) == 2:
+        # Parent is a root child: its upward branch is the merged pulley
+        # edge, whose matrix lives under the root's buffer index.
+        parent_matrix = tree.index_of(tree.root)
+    else:
+        parent_matrix = parent_index
+    return Operation(
+        destination=base + tree.index_of(node),
+        child1=sibling_index,
+        child1_matrix=sibling_index,
+        child2=base + parent_index,
+        child2_matrix=parent_matrix,
+        destination_scale=-1,
+    )
+
+
+def preorder_upper_operations(tree: Tree) -> List[Operation]:
+    """Upper-partial operations in level order (parents before children).
+
+    One operation per non-root node whose parent is not the root —
+    ``2n − 4`` for ``n ≥ 3`` tips — emitted breadth-first so the greedy
+    set builder (:func:`repro.core.opsets.build_operation_sets`) groups
+    whole levels, mirroring the reroot-aware batching of the post-order
+    pass: a shallower (better-rooted) tree yields fewer pre-order sets.
+    """
+    return [
+        upper_operation_for_node(tree, node)
+        for node in levelorder(tree)
+        if node.parent is not None and node.parent.parent is not None
+    ]
+
+
+def upper_seeds(tree: Tree) -> List[Tuple[int, int]]:
+    """``(upper destination, lower source)`` seed pairs for the root children.
+
+    For the pulley-suppressed root the far side of a root child's branch
+    is simply its sibling's subtree, so each root child's upper partials
+    are a copy of the sibling's lower partials — no matrices involved.
+    """
+    children = tree.root.children
+    if len(children) != 2:
+        raise ValueError("upper seeds require a bifurcating root")
+    a, b = children
+    base = upper_base(tree)
+    return [
+        (base + tree.index_of(a), tree.index_of(b)),
+        (base + tree.index_of(b), tree.index_of(a)),
+    ]
+
+
+def pulley_matrix_update(tree: Tree) -> Tuple[int, float]:
+    """The merged pulley edge's ``(matrix index, branch length)`` pair.
+
+    The unrooted view joins the two root children by one edge of length
+    ``a.length + b.length``; its transition matrix is stored under the
+    root's buffer index — the single matrix slot the rooted post-order
+    plan leaves unused.
+    """
+    children = tree.root.children
+    if len(children) != 2:
+        raise ValueError("the pulley edge requires a bifurcating root")
+    a, b = children
+    return tree.index_of(tree.root), float(a.length) + float(b.length)

@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.faults import FaultSchedule, FaultSpec
     from ..exec.resilient import FaultStats, RetryPolicy
 
-from ..core.planner import ExecutionPlan, make_plan
+from ..core.planner import ExecutionPlan, GradientPlan, make_plan
 from ..obs import get_recorder
 from ..obs.profile import PHASE_MODELLED
 from ..trees import Tree
@@ -30,6 +30,7 @@ from .perfmodel import (
     LaunchTiming,
     WorkloadDims,
     launch_time,
+    launch_time_mixed,
     time_set_sizes,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "SimulatedDevice",
     "BenchmarkPoint",
     "CoalesceTiming",
+    "GradientTiming",
     "IncrementalTiming",
     "PoolTiming",
     "ShardTiming",
@@ -145,6 +147,15 @@ class CoalesceTiming:
         Launch counts of the two schedules.
     width:
         Members in the batch.
+    wasted_seconds:
+        Device time the coalesced schedule spends on padded lanes —
+        nonzero only when the caller passes per-member true pattern
+        counts (the serve assembler's ``pad`` mode). It is the padded
+        launch cost minus what a width-aware fused launch of the same
+        operations at their true widths would cost, summed over rounds.
+        Zero while launches stay under device saturation (padding rides
+        in the same waves for free), growing once padded lanes force
+        extra waves — exactly the regime where ``split`` wins.
 
     Per-request latency under coalescing is ``coalesced_seconds`` for
     *every* member — nobody's value is ready before the batch finishes —
@@ -158,10 +169,17 @@ class CoalesceTiming:
     coalesced_launches: int
     solo_launches: int
     width: int
+    wasted_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
-        """Solo seconds over coalesced seconds (aggregate throughput gain)."""
+        """Solo seconds over coalesced seconds (aggregate throughput gain).
+
+        When true member widths were priced, the solo baseline ran each
+        member at its *own* pattern count, so padding waste no longer
+        cancels out of this ratio — ``pad`` has to beat an honest
+        unpadded baseline.
+        """
         if self.coalesced_seconds <= 0.0:
             return float("inf") if self.solo_seconds > 0.0 else 1.0
         return self.solo_seconds / self.coalesced_seconds
@@ -170,6 +188,60 @@ class CoalesceTiming:
     def launches_saved(self) -> int:
         """Kernel launches the lockstep schedule avoids."""
         return self.solo_launches - self.coalesced_launches
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Share of coalesced device time spent on padded lanes."""
+        if self.coalesced_seconds <= 0.0:
+            return 0.0
+        return self.wasted_seconds / self.coalesced_seconds
+
+
+@dataclass(frozen=True)
+class GradientTiming:
+    """Modelled one-sweep all-branch gradient vs per-edge rerooting.
+
+    Attributes
+    ----------
+    one_sweep:
+        Timing of the gradient plan — the post-order traversal followed
+        by the pre-order upper-partial sets (``3n − 5`` operations
+        total).
+    per_edge:
+        Timing of the baseline that reroots above every canonical edge
+        and runs a full post-order traversal per reroot (``(2n − 3) ×
+        (n − 1)`` operations) — what per-edge
+        :func:`~repro.inference.derivatives.edge_log_likelihood_derivatives`
+        calls cost.
+    n_edges:
+        Canonical edges the gradient covers (``2n − 3``).
+    """
+
+    one_sweep: EvaluationTiming
+    per_edge: EvaluationTiming
+    n_edges: int
+
+    @property
+    def speedup(self) -> float:
+        """Per-edge-reroot seconds over one-sweep seconds.
+
+        The headline quantity of the gradient bench: linear work against
+        quadratic work, so the ratio grows roughly linearly in the taxon
+        count.
+        """
+        if self.one_sweep.seconds <= 0.0:
+            return float("inf") if self.per_edge.seconds > 0.0 else 1.0
+        return self.per_edge.seconds / self.one_sweep.seconds
+
+    @property
+    def launches_saved(self) -> int:
+        """Kernel launches the one-sweep schedule avoids."""
+        return self.per_edge.n_launches - self.one_sweep.n_launches
+
+    @property
+    def operations_saved(self) -> int:
+        """Partial-update operations the one-sweep schedule avoids."""
+        return self.per_edge.n_operations - self.one_sweep.n_operations
 
 
 @dataclass(frozen=True)
@@ -559,6 +631,7 @@ class SimulatedDevice:
         *,
         mechanism: str = "kernel",
         n_streams: int = 4,
+        member_patterns: Optional[Sequence[int]] = None,
     ) -> CoalesceTiming:
         """Modelled timing of one coalesced cross-request batch.
 
@@ -569,30 +642,91 @@ class SimulatedDevice:
         operation count, the BEAGLE 4.1 multi-client picture — while the
         solo baseline launches every member's every set separately. All
         members share ``dims``: the assembler only coalesces requests
-        whose dimensions agree (in ``"pad"`` mode callers pass the
-        bucket's padded pattern count, so the padding waste is priced
-        in).
+        whose dimensions agree.
+
+        For the assembler's ``"pad"`` mode pass the bucket's padded
+        pattern count as ``dims.patterns`` *and* each member's true
+        pattern count in ``member_patterns``. The coalesced schedule
+        then runs at the padded width (every lane is padded), but the
+        solo baseline runs each member at its own true width — a solo
+        request never pads — and ``wasted_seconds`` reports the padded
+        lanes' device-time cost, so ``pad`` vs ``split`` is an honest
+        trade-off instead of padding waste cancelling out of the
+        speedup. True-width pricing needs the additive launch model, so
+        ``member_patterns`` requires the ``"kernel"`` mechanism.
         """
         members = [list(sizes) for sizes in member_set_sizes]
         if not members or any(not sizes for sizes in members):
             raise ValueError("every member needs a non-empty set-size list")
-        rounds: List[int] = []
+        if member_patterns is not None:
+            if mechanism != "kernel":
+                raise ValueError(
+                    "member_patterns pricing requires the 'kernel' mechanism"
+                )
+            if len(member_patterns) != len(members):
+                raise ValueError(
+                    "member_patterns must give one pattern count per member"
+                )
+            member_dims = [
+                WorkloadDims(
+                    patterns=patterns,
+                    states=dims.states,
+                    categories=dims.categories,
+                )
+                for patterns in member_patterns
+            ]
+            if any(d.patterns > dims.patterns for d in member_dims):
+                raise ValueError(
+                    "a member's true pattern count exceeds the padded width"
+                )
+        rounds: List[List[Tuple[int, int]]] = []
         for sizes in zip_longest(*members):
-            rounds.append(sum(k for k in sizes if k is not None))
+            rounds.append(
+                [(i, k) for i, k in enumerate(sizes) if k is not None]
+            )
         coalesced = [
-            self._set_cost(dims, k, mechanism, n_streams) for k in rounds
+            self._set_cost(
+                dims, sum(k for _, k in round_ops), mechanism, n_streams
+            )
+            for round_ops in rounds
         ]
-        solo = [
-            self._set_cost(dims, k, mechanism, n_streams)
-            for sizes in members
-            for k in sizes
-        ]
+        wasted = 0.0
+        if member_patterns is None:
+            solo = [
+                self._set_cost(dims, k, mechanism, n_streams)
+                for sizes in members
+                for k in sizes
+            ]
+        else:
+            solo = [
+                self._set_cost(member_dims[i], k, mechanism, n_streams)
+                for i, sizes in enumerate(members)
+                for k in sizes
+            ]
+            # Padded launch cost minus a width-aware fused launch of the
+            # same operations at their true widths: the padded lanes'
+            # device time, per round.
+            for round_ops, padded in zip(rounds, coalesced):
+                n_ops = sum(k for _, k in round_ops)
+                true_threads = sum(
+                    k * member_dims[i].threads_per_operation
+                    for i, k in round_ops
+                )
+                true_flops = sum(
+                    k * member_dims[i].flops_per_operation
+                    for i, k in round_ops
+                )
+                ideal = launch_time_mixed(
+                    self.spec, n_ops, true_threads, true_flops
+                )
+                wasted += padded.seconds - ideal.seconds
         return CoalesceTiming(
             coalesced_seconds=sum(t.seconds for t in coalesced),
             solo_seconds=sum(t.seconds for t in solo),
             coalesced_launches=len(coalesced),
             solo_launches=len(solo),
             width=len(members),
+            wasted_seconds=wasted,
         )
 
     def coalescing_curve(
@@ -733,6 +867,53 @@ class SimulatedDevice:
         serial = self.time_tree(tree, dims, "serial").seconds
         concurrent = self.time_tree(tree, dims, mode).seconds
         return serial / concurrent
+
+    def time_gradient(
+        self,
+        tree: Tree,
+        dims: WorkloadDims,
+        mode: str = "concurrent",
+        *,
+        plan: Optional[GradientPlan] = None,
+    ) -> GradientTiming:
+        """Modelled all-branch derivative economics for one tree.
+
+        Times the one-sweep gradient plan (post-order traversal plus
+        pre-order upper-partial sets, ``3n − 5`` operations) against the
+        per-edge baseline that reroots above every canonical edge and
+        pays a full post-order traversal each time — the exact schedule
+        per-edge :func:`~repro.inference.derivatives.
+        edge_log_likelihood_derivatives` calls execute, built with
+        :func:`~repro.trees.reroot.reroot_above` per edge so the
+        baseline's set structure is real, not assumed. Both schedules
+        are timed under the same ``dims`` and ``mode``; modelled seconds
+        of the one-sweep schedule are credited to
+        :data:`~repro.obs.profile.PHASE_MODELLED`.
+        """
+        from ..core.planner import make_gradient_plan
+        from ..inference.derivatives import canonical_edges
+        from ..trees.reroot import reroot_above
+
+        gplan = plan if plan is not None else make_gradient_plan(tree, mode)
+        sweep_sizes = list(gplan.post.set_sizes) + list(gplan.upper_set_sizes)
+        one_sweep = time_set_sizes(self.spec, dims, sweep_sizes)
+        launches: List[LaunchTiming] = []
+        edges = canonical_edges(gplan.tree)
+        for edge in edges:
+            rerooted = reroot_above(gplan.tree, edge, fraction=0.0)
+            edge_plan = make_plan(rerooted, mode, scaling=False)
+            launches.extend(
+                time_set_sizes(self.spec, dims, edge_plan.set_sizes).launches
+            )
+        per_edge = EvaluationTiming(launches=launches, dims=dims)
+        obs = get_recorder()
+        if obs.enabled:
+            obs.add_phase_seconds(
+                PHASE_MODELLED, one_sweep.seconds, calls=one_sweep.n_launches
+            )
+        return GradientTiming(
+            one_sweep=one_sweep, per_edge=per_edge, n_edges=len(edges)
+        )
 
     def benchmark(
         self,

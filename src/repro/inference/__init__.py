@@ -3,10 +3,20 @@
 from .likelihood import TreeLikelihood
 from .optimize import (
     BranchOptimizationResult,
+    GradientOptimizationResult,
+    gradient_optimize_branch_lengths,
     newton_optimize_branch_lengths,
     optimize_branch_lengths,
 )
-from .derivatives import EdgeDerivatives, edge_log_likelihood_derivatives
+from .derivatives import (
+    BranchGradient,
+    DerivativeSession,
+    EdgeDerivatives,
+    all_branch_derivatives,
+    canonical_edges,
+    edge_log_likelihood_derivatives,
+    merged_edge_length,
+)
 from .ancestral import ancestral_state_probabilities, most_probable_states
 from .proposals import (
     Move,
@@ -21,7 +31,7 @@ from .proposals import (
     nni_move_count,
     random_nni,
 )
-from .mcmc import MCMCResult, run_mcmc
+from .mcmc import HMCResult, MCMCResult, leapfrog, run_hmc, run_mcmc
 from .search import SearchResult, ml_search, nni_neighbors
 from .consensus import majority_rule_consensus, split_frequencies
 from .modelfit import (
@@ -43,10 +53,17 @@ from .bootstrap import (
 __all__ = [
     "TreeLikelihood",
     "BranchOptimizationResult",
+    "GradientOptimizationResult",
     "optimize_branch_lengths",
     "newton_optimize_branch_lengths",
+    "gradient_optimize_branch_lengths",
+    "BranchGradient",
+    "DerivativeSession",
     "EdgeDerivatives",
+    "all_branch_derivatives",
+    "canonical_edges",
     "edge_log_likelihood_derivatives",
+    "merged_edge_length",
     "ancestral_state_probabilities",
     "most_probable_states",
     "Move",
@@ -61,6 +78,9 @@ __all__ = [
     "internal_edges",
     "MCMCResult",
     "run_mcmc",
+    "HMCResult",
+    "leapfrog",
+    "run_hmc",
     "SearchResult",
     "ml_search",
     "nni_neighbors",

@@ -244,6 +244,21 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
         "Cross-set dependency violations found by schedule validation",
     )
     registry.counter(
+        "repro_gradient_plans_built_total",
+        "One-sweep gradient plans constructed by make_gradient_plan",
+    )
+    registry.counter(
+        "repro_gradient_sweeps_total",
+        "Post-order + pre-order gradient sweeps executed",
+    )
+    registry.counter(
+        "repro_gradient_edges_total",
+        "Branch derivative triples produced by all_branch_derivatives",
+    )
+    registry.counter(
+        "repro_hmc_trajectories_total", "HMC leapfrog trajectories simulated"
+    )
+    registry.counter(
         "repro_reroot_searches_total", "Optimal-reroot searches run"
     )
     registry.counter(

@@ -197,6 +197,7 @@ class TestDocDrift:
         "materialize_matrices",
         "update_partials_batch",
         "update_partials_single",
+        "update_upper_partials",
         "rescale",
         "root_reduce",
     ]

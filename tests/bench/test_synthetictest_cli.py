@@ -215,3 +215,47 @@ class TestShardedRuns:
             code, text = run_cli(*argv)
             assert code == 2, argv
             assert message in text
+
+
+class TestGradientFlag:
+    def test_gradient_verifies_against_oracle(self):
+        code, text = run_cli(
+            "--taxa", "8", "--sites", "32", "--reps", "1",
+            "--randomtree", "--gradient", "--seed", "3",
+        )
+        assert code == 0, text
+        assert "gradient: one sweep = 19 ops" in text
+        assert (
+            "gradient verified: 13/13 edges match the per-edge reroot oracle "
+            "(exact" in text
+        )
+        assert "session instances: 1" in text
+
+    def test_gradient_with_pattern_blocked_backend(self):
+        code, text = run_cli(
+            "--taxa", "8", "--sites", "32", "--reps", "1",
+            "--gradient", "--rsrc", "pattern-blocked",
+        )
+        assert code == 0, text
+        assert "(exact" in text
+
+    def test_gradient_device_model_economics(self):
+        code, text = run_cli(
+            "--taxa", "16", "--sites", "64", "--reps", "1",
+            "--gradient", "--rsrc", "1", "--seed", "2",
+        )
+        assert code == 0, text
+        assert "modelled gradient: one sweep" in text
+        assert "launches saved" in text
+
+    def test_gradient_needs_three_taxa(self):
+        code, text = run_cli("--taxa", "2", "--gradient")
+        assert code == 2
+        assert "--gradient needs at least 3 taxa" in text
+
+    def test_gradient_with_lint_verifies_plan(self):
+        code, text = run_cli(
+            "--taxa", "8", "--sites", "32", "--reps", "1",
+            "--gradient", "--lint",
+        )
+        assert code == 0, text

@@ -209,3 +209,110 @@ class TestShardModel:
         # One worker per shard: throughput must not degrade as shards
         # are added (launch overhead is hidden by parallel workers).
         assert rates[-1] >= rates[0]
+
+
+class TestGradientTiming:
+    def test_op_counts_match_theory(self):
+        device = SimulatedDevice(GP100)
+        for n in (8, 16, 32):
+            tree = balanced_tree(n, branch_length=0.1)
+            timing = device.time_gradient(tree, DIMS)
+            assert timing.n_edges == 2 * n - 3
+            assert timing.one_sweep.n_operations == 3 * n - 5
+            assert timing.per_edge.n_operations == (2 * n - 3) * (n - 1)
+
+    def test_speedup_grows_with_taxa(self):
+        device = SimulatedDevice(GP100)
+        speedups = [
+            device.time_gradient(
+                balanced_tree(n, branch_length=0.1), DIMS
+            ).speedup
+            for n in (8, 16, 32, 64)
+        ]
+        assert speedups == sorted(speedups)
+        assert speedups[0] > 1.0
+
+    def test_launch_and_operation_savings(self):
+        device = SimulatedDevice(GP100)
+        timing = device.time_gradient(pectinate_tree(16, branch_length=0.1), DIMS)
+        assert timing.launches_saved == (
+            timing.per_edge.n_launches - timing.one_sweep.n_launches
+        )
+        assert timing.operations_saved == (
+            timing.per_edge.n_operations - timing.one_sweep.n_operations
+        )
+        assert timing.launches_saved > 0 and timing.operations_saved > 0
+
+    def test_explicit_plan_reused(self):
+        from repro.core import make_gradient_plan
+
+        device = SimulatedDevice(GP100)
+        tree = balanced_tree(8, branch_length=0.1)
+        gplan = make_gradient_plan(tree)
+        a = device.time_gradient(tree, DIMS, plan=gplan)
+        b = device.time_gradient(tree, DIMS)
+        assert a.one_sweep.seconds == b.one_sweep.seconds
+        assert a.per_edge.seconds == b.per_edge.seconds
+
+    def test_serial_mode_prices_more_launches(self):
+        device = SimulatedDevice(GP100)
+        tree = balanced_tree(16, branch_length=0.1)
+        serial = device.time_gradient(tree, DIMS, "serial")
+        batched = device.time_gradient(tree, DIMS)
+        assert serial.one_sweep.n_launches > batched.one_sweep.n_launches
+        assert serial.one_sweep.seconds > batched.one_sweep.seconds
+
+
+class TestPadPricing:
+    """Honest padded-lane economics for the serve layer's pad mode."""
+
+    def test_default_reports_no_waste(self):
+        device = SimulatedDevice(GP100)
+        timing = device.time_coalesced([[4, 2, 1]] * 4, DIMS)
+        assert timing.wasted_seconds == 0.0
+        assert timing.wasted_fraction == 0.0
+
+    def test_padding_under_saturation_is_free(self):
+        # Far below device saturation the padded lanes ride in the same
+        # waves: no extra device time, waste exactly zero.
+        device = SimulatedDevice(GP100)
+        dims = WorkloadDims(patterns=128, states=4)
+        timing = device.time_coalesced(
+            [[2, 1]] * 2, dims, member_patterns=[96, 128]
+        )
+        assert timing.wasted_seconds == 0.0
+        assert timing.speedup > 1.0
+
+    def test_padding_past_saturation_costs_waves(self):
+        device = SimulatedDevice(SMALL_GPU)
+        dims = WorkloadDims(patterns=4096, states=4, categories=4)
+        timing = device.time_coalesced(
+            [[8, 4, 2]] * 6, dims, member_patterns=[256] * 6
+        )
+        assert timing.wasted_seconds > 0.0
+        assert 0.0 < timing.wasted_fraction < 1.0
+
+    def test_true_width_solo_baseline_is_cheaper(self):
+        device = SimulatedDevice(SMALL_GPU)
+        dims = WorkloadDims(patterns=4096, states=4, categories=4)
+        padded_solo = device.time_coalesced([[8, 4, 2]] * 6, dims)
+        true_solo = device.time_coalesced(
+            [[8, 4, 2]] * 6, dims, member_patterns=[256] * 6
+        )
+        # Same coalesced schedule, honest (narrower) solo baseline.
+        assert true_solo.coalesced_seconds == padded_solo.coalesced_seconds
+        assert true_solo.solo_seconds < padded_solo.solo_seconds
+        assert true_solo.speedup < padded_solo.speedup
+
+    def test_validation(self):
+        device = SimulatedDevice(GP100)
+        with pytest.raises(ValueError, match="kernel"):
+            device.time_coalesced(
+                [[2]] * 2, DIMS, mechanism="streams", member_patterns=[64, 64]
+            )
+        with pytest.raises(ValueError, match="one pattern count per member"):
+            device.time_coalesced([[2]] * 2, DIMS, member_patterns=[64])
+        with pytest.raises(ValueError, match="exceeds the padded width"):
+            device.time_coalesced(
+                [[2]] * 2, DIMS, member_patterns=[64, DIMS.patterns + 1]
+            )

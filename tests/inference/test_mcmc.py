@@ -168,3 +168,145 @@ class TestSPRMoves:
             spr_probability=0.6,
         )
         assert 0 < result.accepted <= 60
+
+
+class TestLeapfrog:
+    """Integrator invariants that HMC correctness rests on."""
+
+    def quadratic_grad(self):
+        # U(q) = ½ qᵀq → ∇U = q: an exactly solvable test oscillator.
+        return lambda q: q
+
+    def test_reversible(self, rng):
+        from repro.inference import leapfrog
+
+        q0 = rng.standard_normal(5)
+        p0 = rng.standard_normal(5)
+        q1, p1 = leapfrog(q0, p0, self.quadratic_grad(), 0.1, 25)
+        # Negate momentum, integrate back, negate again: the round trip
+        # recovers the start to floating-point round-off.
+        q2, p2 = leapfrog(q1, -p1, self.quadratic_grad(), 0.1, 25)
+        assert np.allclose(q2, q0, atol=1e-10)
+        assert np.allclose(-p2, p0, atol=1e-10)
+
+    def test_energy_conservation_scales_with_step(self):
+        from repro.inference import leapfrog
+
+        rng = np.random.default_rng(3)
+        q0 = rng.standard_normal(4)
+        p0 = rng.standard_normal(4)
+
+        def energy(q, p):
+            return 0.5 * float(q @ q) + 0.5 * float(p @ p)
+
+        h0 = energy(q0, p0)
+        errors = []
+        for step in (0.2, 0.02):
+            n = int(round(2.0 / step))  # same trajectory length
+            q1, p1 = leapfrog(q0, p0, self.quadratic_grad(), step, n)
+            errors.append(abs(energy(q1, p1) - h0))
+        assert errors[1] < errors[0]
+        assert errors[1] < 1e-3  # second-order integrator at small step
+
+    def test_inputs_not_mutated(self, rng):
+        from repro.inference import leapfrog
+
+        q0 = rng.standard_normal(3)
+        p0 = rng.standard_normal(3)
+        q_copy, p_copy = q0.copy(), p0.copy()
+        leapfrog(q0, p0, self.quadratic_grad(), 0.1, 5)
+        assert np.array_equal(q0, q_copy) and np.array_equal(p0, p_copy)
+
+    def test_validation(self):
+        from repro.inference import leapfrog
+
+        with pytest.raises(ValueError, match="at least one leapfrog step"):
+            leapfrog(np.zeros(2), np.zeros(2), lambda q: q, 0.1, 0)
+
+
+class TestRunHMC:
+    def setup_evaluator(self, n=6, sites=60, seed=33):
+        from repro.data import compress
+        from repro.trees import yule_tree
+
+        tree = yule_tree(n, np.random.default_rng(seed))
+        aln = compress(simulate_alignment(tree, JC69(), sites, seed=seed))
+        return TreeLikelihood(tree, JC69(), aln)
+
+    def test_trace_shapes_and_accounting(self):
+        from repro.inference import run_hmc
+
+        evaluator = self.setup_evaluator()
+        n_edges = 2 * evaluator.tree.n_tips - 3
+        result = run_hmc(
+            evaluator, 5, seed=1, step_size=0.02, n_leapfrog=4
+        )
+        assert len(result.log_likelihoods) == 5
+        assert len(result.samples) == 5
+        assert all(s.shape == (n_edges,) for s in result.samples)
+        assert all((s > 0).all() for s in result.samples)
+        assert result.proposed == 5
+        assert 0 <= result.accepted <= 5
+        assert len(result.energy_errors) == 5
+        # 1 initial + per trajectory: n_leapfrog+1 kicks + 1 endpoint.
+        assert result.gradient_sweeps == 1 + 5 * (4 + 2)
+        # Best is the max over every visited state, initial included.
+        assert result.best_log_likelihood >= max(result.log_likelihoods)
+
+    def test_energy_errors_small_at_small_step(self):
+        from repro.inference import run_hmc
+
+        evaluator = self.setup_evaluator()
+        result = run_hmc(
+            evaluator, 4, seed=2, step_size=0.005, n_leapfrog=5
+        )
+        assert max(result.energy_errors) < 0.5
+        assert result.acceptance_rate > 0.5
+
+    def test_deterministic_seed(self):
+        from repro.inference import run_hmc
+
+        evaluator = self.setup_evaluator()
+        a = run_hmc(evaluator, 4, seed=7, step_size=0.01, n_leapfrog=3)
+        b = run_hmc(evaluator, 4, seed=7, step_size=0.01, n_leapfrog=3)
+        assert a.log_likelihoods == b.log_likelihoods
+        assert a.accepted == b.accepted
+
+    def test_input_tree_untouched(self):
+        from repro.inference import run_hmc
+
+        evaluator = self.setup_evaluator()
+        before = [e.length for e in evaluator.tree.edges()]
+        run_hmc(evaluator, 3, seed=4, step_size=0.01, n_leapfrog=3)
+        assert [e.length for e in evaluator.tree.edges()] == before
+
+    def test_climbs_from_bad_start(self):
+        from repro.inference import run_hmc
+
+        evaluator = self.setup_evaluator(n=6, sites=120, seed=8)
+        bad = evaluator.tree.copy()
+        for edge in bad.edges():
+            edge.length = 1.5
+        bad.invalidate_indices()
+        start = TreeLikelihood(bad, evaluator.model, evaluator.patterns)
+        initial = start.log_likelihood()
+        result = run_hmc(
+            start, 15, seed=5, step_size=0.05, n_leapfrog=8
+        )
+        assert result.best_log_likelihood > initial
+        assert result.accepted > 0
+
+    def test_validation(self):
+        from repro.inference import run_hmc
+        from repro.trees import parse_newick
+
+        evaluator = self.setup_evaluator()
+        with pytest.raises(ValueError, match="at least one iteration"):
+            run_hmc(evaluator, 0)
+        tiny = TreeLikelihood(
+            parse_newick("(a:0.1,b:0.1);"),
+            JC69(),
+            simulate_alignment(parse_newick("(a:0.1,b:0.1);"), JC69(), 10, seed=1),
+        )
+        with pytest.raises(ValueError, match="at least three tips"):
+            run_hmc(tiny, 1)

@@ -69,3 +69,83 @@ class TestOptimizeBranchLengths:
         result = optimize_branch_lengths(TreeLikelihood(tree, model, aln), max_sweeps=1)
         # Brent spends many evaluations per branch: at least one per edge.
         assert result.evaluations > len(tree.edges())
+
+
+class TestGradientOptimizer:
+    """Full-gradient Newton / L-BFGS over every branch at once."""
+
+    def setup_case(self, seed=21, n=8, noise=0.5):
+        import numpy as np
+
+        from repro.data import compress
+        from repro.trees import yule_tree
+
+        rng = np.random.default_rng(seed)
+        tree = yule_tree(n, rng)
+        aln = compress(simulate_alignment(tree, HKY85(2.0, [0.3, 0.2, 0.2, 0.3]), 120, seed=seed))
+        # Mild multiplicative noise keeps every optimiser in one basin.
+        for edge in tree.root.traverse_postorder():
+            if edge.parent is not None:
+                edge.length = float(edge.length) * rng.lognormal(0.0, noise) + 1e-4
+        tree.invalidate_indices()
+        return TreeLikelihood(tree, HKY85(2.0, [0.3, 0.2, 0.2, 0.3]), aln)
+
+    @pytest.mark.parametrize("method", ["newton", "lbfgs"])
+    def test_improves_and_converges(self, method):
+        from repro.inference import gradient_optimize_branch_lengths
+
+        evaluator = self.setup_case()
+        result = gradient_optimize_branch_lengths(evaluator, method=method)
+        assert result.method == method
+        assert result.improvement > 0
+        assert result.converged
+        assert result.gradient_sweeps >= result.iterations
+        assert result.log_likelihood == pytest.approx(
+            TreeLikelihood(
+                result.tree, evaluator.model, evaluator.patterns
+            ).log_likelihood()
+        )
+
+    def test_gradient_is_flat_at_solution(self):
+        from repro.inference import (
+            all_branch_derivatives,
+            gradient_optimize_branch_lengths,
+        )
+
+        evaluator = self.setup_case(seed=5)
+        result = gradient_optimize_branch_lengths(
+            evaluator, method="newton", gradient_tolerance=1e-4
+        )
+        bg = all_branch_derivatives(
+            result.tree, evaluator.model, evaluator.patterns
+        )
+        import numpy as np
+
+        assert float(np.max(np.abs(bg.gradient()))) < 1e-4
+
+    def test_matches_per_branch_newton(self):
+        from repro.inference import (
+            gradient_optimize_branch_lengths,
+            newton_optimize_branch_lengths,
+        )
+
+        evaluator = self.setup_case(seed=9, noise=0.3)
+        per_branch = newton_optimize_branch_lengths(evaluator, max_sweeps=6)
+        full = gradient_optimize_branch_lengths(
+            evaluator, method="newton", gradient_tolerance=1e-4
+        )
+        assert full.log_likelihood >= per_branch.log_likelihood - 0.05
+
+    def test_input_untouched(self):
+        from repro.inference import gradient_optimize_branch_lengths
+
+        evaluator = self.setup_case()
+        before = [e.length for e in evaluator.tree.edges()]
+        gradient_optimize_branch_lengths(evaluator, max_iterations=2)
+        assert [e.length for e in evaluator.tree.edges()] == before
+
+    def test_unknown_method_rejected(self):
+        from repro.inference import gradient_optimize_branch_lengths
+
+        with pytest.raises(ValueError, match="unknown method"):
+            gradient_optimize_branch_lengths(self.setup_case(), method="adam")
